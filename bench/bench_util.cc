@@ -1,0 +1,62 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+
+#include "exp/report.h"
+#include "tpch/queries.h"
+#include "tpch/schema.h"
+
+namespace costsense::bench {
+
+FigureBenchConfig MakeFigureBenchConfig() {
+  FigureBenchConfig config{tpch::MakeTpchCatalog(100.0), {}, {}, false};
+  config.quick = exp::QuickMode();
+  if (config.quick) {
+    for (int qn : exp::QuickQueryNumbers()) {
+      config.queries.push_back(tpch::MakeTpchQuery(config.catalog, qn));
+    }
+    config.options.deltas = {2, 10, 100, 1000};
+    config.options.discovery.random_samples = 16;
+    config.options.discovery.sampled_vertices = 48;
+    config.options.discovery.bisection_depth = 3;
+    config.options.discovery.completeness_rounds = 1;
+  } else {
+    config.queries = tpch::MakeTpchQueries(config.catalog);
+    config.options.deltas = {2, 5, 10, 100, 1000, 10000};
+  }
+  return config;
+}
+
+std::vector<exp::FigureSeries> RunWorstCaseFigure(
+    const std::string& title, storage::LayoutPolicy policy) {
+  const FigureBenchConfig config = MakeFigureBenchConfig();
+  const exp::FigureRunner runner(config.catalog, config.options);
+
+  std::vector<exp::FigureSeries> all;
+  for (const query::Query& q : config.queries) {
+    const Result<exp::QueryAnalysis> analysis = runner.Analyze(q, policy);
+    if (!analysis.ok()) {
+      std::fprintf(stderr, "%s: analysis failed: %s\n", q.name.c_str(),
+                   analysis.status().ToString().c_str());
+      continue;
+    }
+    const Result<exp::FigureSeries> series = runner.GtcSeries(*analysis);
+    if (!series.ok()) {
+      std::fprintf(stderr, "%s: series failed: %s\n", q.name.c_str(),
+                   series.status().ToString().c_str());
+      continue;
+    }
+    std::fprintf(stderr,
+                 "%-4s dims=%-2zu plans=%-3zu calls=%-5zu complete=%d\n",
+                 q.name.c_str(), analysis->dims,
+                 analysis->candidate_plans.size(), analysis->oracle_calls,
+                 analysis->discovery_complete ? 1 : 0);
+    all.push_back(*series);
+  }
+  std::fputs(exp::RenderFigureTable(title, all).c_str(), stdout);
+  std::fputs("\nCSV:\n", stdout);
+  std::fputs(exp::RenderFigureCsv(all).c_str(), stdout);
+  return all;
+}
+
+}  // namespace costsense::bench

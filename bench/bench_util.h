@@ -1,0 +1,36 @@
+#ifndef COSTSENSE_BENCH_BENCH_UTIL_H_
+#define COSTSENSE_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "exp/figure_runner.h"
+#include "query/query.h"
+#include "storage/layout.h"
+
+namespace costsense::bench {
+
+/// Shared setup for the figure/table reproduction binaries: the SF-100
+/// TPC-H catalog (the paper's database), the query list (all 22, or the
+/// highlighted subset under COSTSENSE_QUICK=1), and FigureRunner options
+/// scaled to the mode.
+struct FigureBenchConfig {
+  catalog::Catalog catalog;
+  std::vector<query::Query> queries;
+  exp::FigureRunner::Options options;
+  bool quick = false;
+};
+
+FigureBenchConfig MakeFigureBenchConfig();
+
+/// Runs one full worst-case figure (paper Figures 5/6/7 depending on
+/// `policy`): per-query candidate-plan discovery and the GTC-vs-delta
+/// curve, printed as a table on stdout (and progress on stderr).
+/// Returns the computed series for further use.
+std::vector<exp::FigureSeries> RunWorstCaseFigure(
+    const std::string& title, storage::LayoutPolicy policy);
+
+}  // namespace costsense::bench
+
+#endif  // COSTSENSE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,13 @@
+// Reproduces paper Figure 5: worst-case global relative cost of the 22
+// TPC-H queries vs. resource-cost error delta, with all tables and indexes
+// on the SAME storage device (3 resources: d_s, d_t, CPU). Expected shape:
+// every curve flattens to a small constant (no complementary plans;
+// Theorem 2 regime) — the paper saw at most 5x even at delta = 10000.
+#include "bench/bench_util.h"
+
+int main() {
+  costsense::bench::RunWorstCaseFigure(
+      "Figure 5: worst-case GTC, all tables and indexes on one device",
+      costsense::storage::LayoutPolicy::kSharedDevice);
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Reproduces paper Figure 6: worst-case global relative cost vs. delta
+// with every table and every table's index set on its OWN device, plus a
+// temp device (2k+2 resources for a k-table query; d_s:d_t tied).
+// Expected shape: most queries grow quadratically in delta (complementary
+// plans exist; Theorem 1 regime), with Q20-style outliers.
+#include "bench/bench_util.h"
+
+int main() {
+  costsense::bench::RunWorstCaseFigure(
+      "Figure 6: worst-case GTC, tables and indexes on separate devices",
+      costsense::storage::LayoutPolicy::kPerTableAndIndex);
+  return 0;
+}

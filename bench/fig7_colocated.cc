@@ -1,0 +1,13 @@
+// Reproduces paper Figure 7: worst-case global relative cost vs. delta
+// with one device per table, indexes colocated with their table, plus
+// temp (k+2 resources). Expected shape: intermediate between Figures 5
+// and 6 — most queries reach a constant (access-path complementary pairs
+// are gone), some still grow quadratically (temp-complementary remain).
+#include "bench/bench_util.h"
+
+int main() {
+  costsense::bench::RunWorstCaseFigure(
+      "Figure 7: worst-case GTC, one device per table with its indexes",
+      costsense::storage::LayoutPolicy::kPerTableColocated);
+  return 0;
+}

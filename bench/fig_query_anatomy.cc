@@ -1,0 +1,120 @@
+// Reproduces the paper's per-query plan-switch anatomy (Sections
+// 8.1.1-8.1.3):
+//  * Q8/Q19: the LINEITEM-PART join method flips between hash join and
+//    index nested loops as the relative cost of random vs sequential I/O
+//    (d_s : d_t) moves.
+//  * Q20: on the shared device, expensive random I/O turns index filters
+//    into table scans; with separate devices, the cost of the PARTSUPP
+//    index drives an INL <-> hash switch that makes Q20 an order of
+//    magnitude more sensitive than its peers.
+#include <cstdio>
+
+#include "common/strings.h"
+#include "opt/explain.h"
+#include "opt/optimizer.h"
+#include "tpch/queries.h"
+#include "tpch/schema.h"
+
+namespace costsense {
+namespace {
+
+/// First join operator (mnemonic) in the plan id joining refs whose
+/// aliases appear in `a` and `b` — crude but effective anatomy probe.
+std::string JoinMethodBetween(const std::string& plan_id,
+                              const std::string& a, const std::string& b) {
+  // The join "between" two tables is the innermost operator whose argument
+  // span mentions both: scan every join-operator span and keep the
+  // shortest one that qualifies.
+  std::string best = "-";
+  size_t best_len = plan_id.size() + 1;
+  for (const char* method : {"INL", "HSJ", "SMJ", "BNL"}) {
+    size_t pos = 0;
+    while ((pos = plan_id.find(method, pos)) != std::string::npos) {
+      // The operator's argument span: find its matching parentheses.
+      const size_t open = plan_id.find('(', pos);
+      if (open == std::string::npos) break;
+      int depth = 1;
+      size_t close = open + 1;
+      while (close < plan_id.size() && depth > 0) {
+        if (plan_id[close] == '(') ++depth;
+        if (plan_id[close] == ')') --depth;
+        ++close;
+      }
+      const std::string span = plan_id.substr(open, close - open);
+      auto mentions = [&span](const std::string& alias) {
+        return span.find("(" + alias + ")") != std::string::npos ||
+               span.find("(" + alias + ".") != std::string::npos;
+      };
+      if (mentions(a) && mentions(b) && span.size() < best_len) {
+        best = method;
+        best_len = span.size();
+      }
+      pos = close;
+    }
+  }
+  return best;
+}
+
+void SeekTransferSweep(const catalog::Catalog& cat, int query_number,
+                       const char* alias_a, const char* alias_b) {
+  const query::Query q = tpch::MakeTpchQuery(cat, query_number);
+  const storage::StorageLayout layout(storage::LayoutPolicy::kSharedDevice,
+                                      cat, query::ReferencedTables(q));
+  const storage::ResourceSpace space = layout.BuildResourceSpace();
+  const opt::Optimizer optimizer(cat, layout, space);
+
+  std::printf("\n%s on one device: %s-%s join method vs d_s:d_t ratio\n",
+              q.name.c_str(), alias_a, alias_b);
+  std::printf("%-12s %-8s %s\n", "ds:dt", "method", "plan");
+  for (double ratio : {0.01, 0.1, 1.0, 2.7, 10.0, 100.0, 1000.0}) {
+    core::CostVector c = space.BaselineCosts();
+    c[0] = c[1] * ratio;  // d_s relative to d_t
+    const auto r = optimizer.Optimize(q, c);
+    std::printf("%-12s %-8s %.70s\n", FormatDouble(ratio).c_str(),
+                JoinMethodBetween(r->plan->id, alias_a, alias_b).c_str(),
+                r->plan->id.c_str());
+  }
+}
+
+void Q20IndexDeviceSweep(const catalog::Catalog& cat) {
+  const query::Query q = tpch::MakeTpchQuery(cat, 20);
+  const storage::StorageLayout layout(
+      storage::LayoutPolicy::kPerTableAndIndex, cat,
+      query::ReferencedTables(q));
+  const storage::ResourceSpace space = layout.BuildResourceSpace();
+  const opt::Optimizer optimizer(cat, layout, space);
+
+  // Locate the partsupp-index device dimension.
+  size_t ps_ix_dim = 0;
+  const int ps_table = cat.TableId("partsupp").value();
+  for (size_t i = 0; i < space.dim_info().size(); ++i) {
+    if (space.dim_info()[i].cls == core::DimClass::kIndex &&
+        space.dim_info()[i].table_id == ps_table) {
+      ps_ix_dim = i;
+    }
+  }
+  std::printf("\nQ20 with separate devices: PART-PARTSUPP method vs cost "
+              "of PARTSUPP's index device\n");
+  std::printf("%-12s %-8s %s\n", "ix-cost-mult", "method", "plan");
+  for (double mult : {0.01, 0.1, 1.0, 10.0, 100.0, 1000.0}) {
+    core::CostVector c = space.BaselineCosts();
+    c[ps_ix_dim] *= mult;
+    const auto r = optimizer.Optimize(q, c);
+    std::printf("%-12s %-8s %.70s\n", FormatDouble(mult).c_str(),
+                JoinMethodBetween(r->plan->id, "ps", "p").c_str(),
+                r->plan->id.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace costsense
+
+int main() {
+  using namespace costsense;
+  const catalog::Catalog cat = tpch::MakeTpchCatalog(100.0);
+  SeekTransferSweep(cat, 8, "l", "p");
+  SeekTransferSweep(cat, 19, "l", "p");
+  SeekTransferSweep(cat, 20, "ps", "p");
+  Q20IndexDeviceSweep(cat);
+  return 0;
+}

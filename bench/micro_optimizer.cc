@@ -1,0 +1,70 @@
+// Micro-benchmarks of the optimizer itself: cost of one full
+// dynamic-programming optimization per TPC-H query class, plus the
+// ablation the paper's setup implies (bushy vs left-deep enumeration —
+// DB2's optimization level 7 considers bushy trees, Section 7.1).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/feasible_region.h"
+#include "opt/optimizer.h"
+#include "tpch/queries.h"
+#include "tpch/schema.h"
+
+namespace costsense {
+namespace {
+
+const catalog::Catalog& Cat() {
+  static const catalog::Catalog* cat =
+      new catalog::Catalog(tpch::MakeTpchCatalog(100.0));
+  return *cat;
+}
+
+void BM_OptimizeTpch(benchmark::State& state) {
+  const query::Query q = tpch::MakeTpchQuery(Cat(), static_cast<int>(state.range(0)));
+  const storage::StorageLayout layout(
+      storage::LayoutPolicy::kPerTableAndIndex, Cat(),
+      query::ReferencedTables(q));
+  const storage::ResourceSpace space = layout.BuildResourceSpace();
+  const opt::Optimizer optimizer(Cat(), layout, space);
+  const core::Box box =
+      core::Box::MultiplicativeBand(space.BaselineCosts(), 100.0);
+  Rng rng(1);
+  for (auto _ : state) {
+    const auto r = optimizer.Optimize(q, box.SampleLogUniform(rng));
+    benchmark::DoNotOptimize(r->total_cost);
+  }
+  state.SetLabel("tables=" + std::to_string(q.num_tables()));
+}
+BENCHMARK(BM_OptimizeTpch)->Arg(1)->Arg(3)->Arg(5)->Arg(9)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_OptimizeBushyVsLeftDeep(benchmark::State& state) {
+  const query::Query q = tpch::MakeTpchQuery(Cat(), 8);
+  const storage::StorageLayout layout(
+      storage::LayoutPolicy::kPerTableAndIndex, Cat(),
+      query::ReferencedTables(q));
+  const storage::ResourceSpace space = layout.BuildResourceSpace();
+  opt::OptimizerOptions options;
+  options.bushy_joins = state.range(0) != 0;
+  const opt::Optimizer optimizer(Cat(), layout, space, options);
+  for (auto _ : state) {
+    const auto r = optimizer.OptimizeAtBaseline(q);
+    benchmark::DoNotOptimize(r->total_cost);
+  }
+  state.SetLabel(options.bushy_joins ? "bushy" : "left-deep");
+}
+BENCHMARK(BM_OptimizeBushyVsLeftDeep)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MakeTpchCatalog(benchmark::State& state) {
+  for (auto _ : state) {
+    const catalog::Catalog cat = tpch::MakeTpchCatalog(100.0);
+    benchmark::DoNotOptimize(cat.num_indexes());
+  }
+}
+BENCHMARK(BM_MakeTpchCatalog)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace costsense
+
+BENCHMARK_MAIN();

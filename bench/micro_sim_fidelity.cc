@@ -1,0 +1,80 @@
+// Quantifies the paper's disclaimer that its two-parameter disk model is
+// "not entirely accurate ... a good first approximation" (Section 3.1):
+// replays synthetic I/O traces against the positional (Ruemmler-Wilkes
+// style) disk simulator and compares against the additive d_s/d_t
+// estimate, using d_s = the geometry's equivalent average repositioning
+// cost.
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "sim/replay.h"
+
+int main() {
+  using namespace costsense;
+  const sim::DiskGeometry disk;  // defaults approximate a 2003-era drive
+  const double ds = disk.EquivalentSeekCost();
+  const double dt = disk.transfer_per_page;
+  std::printf("additive model parameters: d_s=%s d_t=%s\n",
+              FormatDouble(ds).c_str(), FormatDouble(dt).c_str());
+  std::printf("%-28s %12s %12s %8s\n", "workload", "simulated", "additive",
+              "err%");
+
+  Rng rng(11);
+  const uint64_t device_pages =
+      static_cast<uint64_t>(disk.pages_per_cylinder) * disk.num_cylinders;
+
+  struct Case {
+    const char* name;
+    sim::IoTrace trace;
+  };
+  std::vector<Case> cases;
+
+  {
+    Case c{"sequential scan 100k pages", {}};
+    sim::AppendSequential(c.trace, 0, 0, 100000, 32);
+    cases.push_back(std::move(c));
+  }
+  {
+    Case c{"random probes 10k pages", {}};
+    sim::AppendRandom(c.trace, 0, 10000, device_pages, rng);
+    cases.push_back(std::move(c));
+  }
+  {
+    Case c{"clustered probes (narrow)", {}};
+    // Random single-page reads confined to 1% of the disk: shorter seeks
+    // than the average the additive model assumes.
+    for (int i = 0; i < 10000; ++i) {
+      c.trace.push_back({0, rng.Index(device_pages / 100), 1});
+    }
+    cases.push_back(std::move(c));
+  }
+  {
+    Case c{"mixed scan + probes", {}};
+    sim::AppendSequential(c.trace, 0, 0, 50000, 32);
+    sim::AppendRandom(c.trace, 0, 5000, device_pages, rng);
+    cases.push_back(std::move(c));
+  }
+  {
+    Case c{"external sort (2 passes)", {}};
+    for (int pass = 0; pass < 2; ++pass) {
+      sim::AppendSequential(c.trace, 0, 0, 40000, 32);       // read
+      sim::AppendSequential(c.trace, 0, 1000000, 40000, 32);  // write
+    }
+    cases.push_back(std::move(c));
+  }
+
+  for (const Case& c : cases) {
+    const sim::ReplayResult r = sim::Replay(c.trace, {disk});
+    const double add = sim::AdditiveEstimate(c.trace, ds, dt);
+    std::printf("%-28s %12s %12s %7.1f%%\n", c.name,
+                FormatDouble(r.total_time).c_str(),
+                FormatDouble(add).c_str(),
+                100.0 * (add - r.total_time) / r.total_time);
+  }
+  std::printf("\nThe additive model tracks sequential and uniformly random "
+              "workloads closely\nand overprices locality-heavy access — "
+              "the error band the paper's framework\ntreats as feasible "
+              "cost perturbation.\n");
+  return 0;
+}

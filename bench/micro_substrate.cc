@@ -1,0 +1,128 @@
+// Micro-benchmarks of the supporting substrates: SQL parsing, linear
+// algebra, usage-vector extraction through the narrow interface, disk
+// trace replay, and risk profiling.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/risk.h"
+#include "core/usage_extraction.h"
+#include "linalg/least_squares.h"
+#include "query/parser.h"
+#include "sim/replay.h"
+#include "tests/core/fake_oracle.h"
+#include "tpch/schema.h"
+
+namespace costsense {
+namespace {
+
+const catalog::Catalog& Cat() {
+  static const catalog::Catalog* cat =
+      new catalog::Catalog(tpch::MakeTpchCatalog(100.0));
+  return *cat;
+}
+
+void BM_ParseSql(benchmark::State& state) {
+  const char* sql =
+      "SELECT l.l_returnflag, SUM(l.l_extendedprice) FROM lineitem l, "
+      "orders o, customer c WHERE l.l_orderkey = o.o_orderkey AND "
+      "o.o_custkey = c.c_custkey AND l.l_shipdate >= DATE '1995-06-01' "
+      "AND c.c_mktsegment = 'BUILDING' GROUP BY l.l_returnflag "
+      "ORDER BY l.l_returnflag";
+  for (auto _ : state) {
+    const auto q = query::ParseSql(Cat(), sql);
+    benchmark::DoNotOptimize(q.ok());
+  }
+}
+BENCHMARK(BM_ParseSql)->Unit(benchmark::kMicrosecond);
+
+void BM_LeastSquares(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<linalg::Vector> rows;
+  linalg::Vector truth(n), t(2 * n);
+  for (size_t j = 0; j < n; ++j) truth[j] = rng.LogUniform(1.0, 1e6);
+  for (size_t i = 0; i < 2 * n; ++i) {
+    linalg::Vector r(n);
+    for (size_t j = 0; j < n; ++j) r[j] = rng.LogUniform(0.01, 100.0);
+    t[i] = linalg::Dot(r, truth);
+    rows.push_back(std::move(r));
+  }
+  const linalg::Matrix m = linalg::Matrix::FromRows(rows);
+  for (auto _ : state) {
+    const auto fit = linalg::LeastSquares(m, t);
+    benchmark::DoNotOptimize(fit.ok());
+  }
+}
+BENCHMARK(BM_LeastSquares)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_UsageExtraction(benchmark::State& state) {
+  const size_t dims = static_cast<size_t>(state.range(0));
+  Rng init(7);
+  std::vector<core::PlanUsage> plans;
+  for (int p = 0; p < 6; ++p) {
+    core::UsageVector u(dims);
+    for (size_t i = 0; i < dims; ++i) u[i] = init.LogUniform(1.0, 1e5);
+    plans.push_back({"p" + std::to_string(p), std::move(u)});
+  }
+  const core::Box box =
+      core::Box::MultiplicativeBand(core::CostVector(dims, 1.0), 100.0);
+  core::FakeOracle probe(plans, false);
+  const std::string target = probe.Optimize(box.Center()).plan_id;
+  size_t calls = 0, runs = 0;
+  for (auto _ : state) {
+    core::FakeOracle oracle(plans, false);
+    Rng rng(11);
+    const auto ex = core::ExtractUsageVector(oracle, target, box.Center(),
+                                             box, rng, {});
+    benchmark::DoNotOptimize(ex.ok());
+    calls += oracle.calls();
+    ++runs;
+  }
+  state.counters["oracle_calls"] =
+      static_cast<double>(calls) / static_cast<double>(runs);
+}
+BENCHMARK(BM_UsageExtraction)->Arg(3)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_TraceReplay(benchmark::State& state) {
+  const sim::DiskGeometry disk;
+  Rng rng(5);
+  sim::IoTrace trace;
+  sim::AppendSequential(trace, 0, 0, 50000, 32);
+  sim::AppendRandom(trace, 0, static_cast<uint64_t>(state.range(0)),
+                    1u << 24, rng);
+  for (auto _ : state) {
+    const auto r = sim::Replay(trace, {disk});
+    benchmark::DoNotOptimize(r.total_time);
+  }
+}
+BENCHMARK(BM_TraceReplay)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_RiskProfile(benchmark::State& state) {
+  Rng init(9);
+  const size_t dims = 10;
+  std::vector<core::PlanUsage> plans;
+  for (int p = 0; p < 12; ++p) {
+    core::UsageVector u(dims);
+    for (size_t i = 0; i < dims; ++i) {
+      u[i] = init.Uniform() < 0.2 ? 0.0 : init.LogUniform(1.0, 1e5);
+    }
+    plans.push_back({"p" + std::to_string(p), std::move(u)});
+  }
+  const core::Box box =
+      core::Box::MultiplicativeBand(core::CostVector(dims, 1.0), 100.0);
+  for (auto _ : state) {
+    Rng rng(13);
+    const auto profile =
+        core::ComputeRiskProfile(plans[0].usage, plans, box, rng, 2000);
+    benchmark::DoNotOptimize(profile->p99);
+  }
+}
+BENCHMARK(BM_RiskProfile)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace costsense
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+// Ablations of the design choices DESIGN.md Section 5 calls out, measured
+// on the queries the paper highlights:
+//
+//  1. Plan-space richness (bushy trees / index-only plans, the features
+//     the paper credits DB2's optimization level 7 with): effect on
+//     candidate-plan counts and on worst-case GTC.
+//  2. Discovery strategy: optimizer calls and plans found with and
+//     without segment bisection and the completeness probe.
+#include <cstdio>
+
+#include "blackbox/narrow_optimizer.h"
+#include "common/strings.h"
+#include "core/discovery.h"
+#include "core/worst_case.h"
+#include "exp/report.h"
+#include "opt/optimizer.h"
+#include "tpch/queries.h"
+#include "tpch/schema.h"
+
+namespace costsense {
+namespace {
+
+struct AblationRow {
+  size_t plans = 0;
+  size_t calls = 0;
+  double gtc_at_100 = 1.0;
+};
+
+AblationRow RunOne(const catalog::Catalog& cat, const query::Query& q,
+                   const opt::OptimizerOptions& opt_options,
+                   const core::DiscoveryOptions& disc_options) {
+  const storage::StorageLayout layout(
+      storage::LayoutPolicy::kPerTableAndIndex, cat,
+      query::ReferencedTables(q));
+  const storage::ResourceSpace space = layout.BuildResourceSpace();
+  const opt::Optimizer optimizer(cat, layout, space, opt_options);
+  blackbox::NarrowOptimizer oracle(optimizer, q, /*white_box=*/true);
+  const core::Box box =
+      core::Box::MultiplicativeBand(space.BaselineCosts(), 100.0);
+  Rng rng(17);
+
+  AblationRow row;
+  const auto d = core::DiscoverCandidatePlans(oracle, box, rng, disc_options);
+  if (!d.ok()) return row;
+  row.plans = d->plans.size();
+  row.calls = oracle.calls();
+
+  const auto initial = optimizer.OptimizeAtBaseline(q);
+  std::vector<core::PlanUsage> plans;
+  for (const auto& dp : d->plans) plans.push_back(dp.plan);
+  const auto wc =
+      core::WorstCaseOverPlansByLp(initial->plan->usage, plans, box);
+  if (wc.ok()) row.gtc_at_100 = wc->gtc;
+  return row;
+}
+
+}  // namespace
+}  // namespace costsense
+
+int main() {
+  using namespace costsense;
+  const catalog::Catalog cat = tpch::MakeTpchCatalog(100.0);
+  const std::vector<int> queries =
+      exp::QuickMode() ? std::vector<int>{8, 20} :
+                         std::vector<int>{3, 8, 11, 19, 20};
+
+  core::DiscoveryOptions light;
+  light.random_samples = 24;
+  light.sampled_vertices = 64;
+  light.completeness_rounds = 1;
+
+  std::printf("Ablation 1: optimizer plan-space features "
+              "(separate-device layout, delta band 100x)\n");
+  std::printf("%-6s | %-22s | %-22s | %-22s\n", "query",
+              "full (bushy+ixonly)", "left-deep only", "no index-only");
+  for (int qn : queries) {
+    const query::Query q = tpch::MakeTpchQuery(cat, qn);
+    opt::OptimizerOptions full;
+    opt::OptimizerOptions left_deep;
+    left_deep.bushy_joins = false;
+    opt::OptimizerOptions no_ixonly;
+    no_ixonly.enable_index_only = false;
+
+    const auto a = RunOne(cat, q, full, light);
+    const auto b = RunOne(cat, q, left_deep, light);
+    const auto c = RunOne(cat, q, no_ixonly, light);
+    std::printf("%-6s | plans=%-3zu gtc=%-9s | plans=%-3zu gtc=%-9s | "
+                "plans=%-3zu gtc=%-9s\n",
+                q.name.c_str(), a.plans, FormatDouble(a.gtc_at_100).c_str(),
+                b.plans, FormatDouble(b.gtc_at_100).c_str(), c.plans,
+                FormatDouble(c.gtc_at_100).c_str());
+  }
+
+  std::printf("\nAblation 2: discovery strategy (plans found / optimizer "
+              "calls)\n");
+  std::printf("%-6s | %-18s | %-18s | %-18s\n", "query", "full strategy",
+              "no bisection", "no completeness");
+  for (int qn : queries) {
+    const query::Query q = tpch::MakeTpchQuery(cat, qn);
+    core::DiscoveryOptions no_bisect = light;
+    no_bisect.bisection_depth = 0;
+    core::DiscoveryOptions no_complete = light;
+    no_complete.completeness_rounds = 0;
+
+    const auto a = RunOne(cat, q, {}, light);
+    const auto b = RunOne(cat, q, {}, no_bisect);
+    const auto c = RunOne(cat, q, {}, no_complete);
+    std::printf("%-6s | %3zu / %-10zu | %3zu / %-10zu | %3zu / %-10zu\n",
+                q.name.c_str(), a.plans, a.calls, b.plans, b.calls, c.plans,
+                c.calls);
+  }
+  return 0;
+}

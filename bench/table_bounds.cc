@@ -1,0 +1,148 @@
+// Reproduces the paper's two worked examples that anchor its bounds:
+//
+//  Part 1 (Example 1 / Theorem 1): two fully complementary plans
+//  A = (1,0), B = (0,1). With costs allowed to drift by a factor delta in
+//  each coordinate, the worst-case relative cost is exactly delta^2 —
+//  the delta^2 upper bound is tight.
+//
+//  Part 2 (Example 2 / Theorem 2): the 3-table chain T1 - T2 - T3, one
+//  million tuples per table, join selectivities 1e-8, T1 on its own
+//  storage device. Plan A (scan T1, probe T2 then T3) reads all 1e6 T1
+//  tuples; plan B (scan T3, probe T2 then T1) touches T1 only through
+//  ~1e4 index probes fetching ~100 tuples — a 1e4 ratio on T1's
+//  resource, so Theorem 2's constant bound is large but finite.
+#include <algorithm>
+#include <cstdio>
+
+#include "catalog/catalog.h"
+#include "common/strings.h"
+#include "core/bounds.h"
+#include "core/feasible_region.h"
+#include "core/relative_cost.h"
+#include "core/worst_case.h"
+#include "lp/fractional.h"
+#include "opt/explain.h"
+#include "opt/optimizer.h"
+#include "query/builder.h"
+
+namespace costsense {
+namespace {
+
+void Part1() {
+  std::printf("Part 1 - Example 1: tightness of the delta^2 bound\n");
+  std::printf("%-10s %-14s %-14s\n", "delta", "worst T_rel", "delta^2 bound");
+  const core::UsageVector a{1.0, 0.0};
+  const core::UsageVector b{0.0, 1.0};
+  for (double delta : {2.0, 5.0, 10.0, 100.0, 1000.0, 10000.0}) {
+    const core::Box box =
+        core::Box::MultiplicativeBand(core::CostVector{1.0, 1.0}, delta);
+    const auto sol =
+        lp::MaximizeRatioOverBox(a, b, box.lower(), box.upper());
+    std::printf("%-10s %-14s %-14s\n", FormatDouble(delta).c_str(),
+                FormatDouble(sol->value).c_str(),
+                FormatDouble(core::Theorem1UpperBound(1.0, delta)).c_str());
+  }
+}
+
+void Part2() {
+  std::printf("\nPart 2 - Example 2: the T1-T2-T3 chain through the real "
+              "optimizer\n");
+  catalog::Catalog cat;
+  std::vector<int> ids;
+  for (const char* name : {"t1", "t2", "t3"}) {
+    ids.push_back(cat.AddTable(catalog::Table(
+        name, 1e6, 4096,
+        {catalog::MakeColumn("pk", 1e6, 1, 1e6, 4),
+         catalog::MakeColumn("fk", 1e6, 1, 1e6, 4),
+         catalog::MakeColumn("pad", 1e6, 0, 0, 80)})));
+  }
+  for (size_t i = 0; i < 3; ++i) {
+    cat.AddIndex(std::string("pk") + std::to_string(i + 1),
+                 ids[i], {0}, true, false);
+    cat.AddIndex(std::string("fk") + std::to_string(i + 1),
+                 ids[i], {1}, false, false);
+  }
+  const query::Query q = query::QueryBuilder(cat, "chain")
+                             .Table("t1", "t1")
+                             .Table("t2", "t2")
+                             .Table("t3", "t3")
+                             .Join("t1", "pk", "t2", "fk", query::JoinKind::kInner, 1e-8)
+                             .Join("t2", "pk", "t3", "fk", query::JoinKind::kInner, 1e-8)
+                             .Build();
+  // Probe-based plans only surface when table data and index devices are
+  // priced separately (the paper's Section 8.1.2 layout).
+  const storage::StorageLayout layout(
+      storage::LayoutPolicy::kPerTableAndIndex, cat,
+      query::ReferencedTables(q));
+  const storage::ResourceSpace space = layout.BuildResourceSpace();
+  const opt::Optimizer optimizer(cat, layout, space);
+
+  // Dimension bookkeeping.
+  std::vector<size_t> data_dim(3), ix_dim(3);
+  for (size_t d = 0; d < space.dim_info().size(); ++d) {
+    const auto& info = space.dim_info()[d];
+    if (info.table_id < 0) continue;
+    if (info.cls == core::DimClass::kTable) {
+      data_dim[static_cast<size_t>(info.table_id)] = d;
+    } else if (info.cls == core::DimClass::kIndex) {
+      ix_dim[static_cast<size_t>(info.table_id)] = d;
+    }
+  }
+  // Plan A's world: scanning t1 is the only cheap bulk access (t2, t3
+  // data devices dear; all indexes cheap), so the optimizer scans t1 and
+  // probes t2 then t3. Plan B's world is the mirror image.
+  auto make_world = [&](size_t scan_table) {
+    core::CostVector c = space.BaselineCosts();
+    for (size_t t = 0; t < 3; ++t) {
+      if (t != scan_table) c[data_dim[t]] *= 1e4;
+      c[ix_dim[t]] /= 100.0;
+    }
+    return c;
+  };
+  const auto plan_a = optimizer.Optimize(q, make_world(0));  // scans t1
+  const auto plan_b = optimizer.Optimize(q, make_world(2));  // scans t3
+  std::printf("plan A (t1 is the scan side): %s\n", plan_a->plan->id.c_str());
+  std::printf("plan B (t3 is the scan side): %s\n", plan_b->plan->id.c_str());
+
+  const core::RatioBound rb =
+      core::ComputeRatioBound(plan_a->plan->usage, plan_b->plan->usage);
+  std::printf(
+      "complementary=%s  (the paper's Example 2 counts tuples: 1e6 scanned "
+      "vs 1e2 fetched\n on T1 => ratio 1e4; our page-based usage shows the "
+      "same asymmetry below)\n",
+      rb.complementary ? "yes" : "no");
+  std::printf("t1 data-device usage:  A=%s  B=%s  (ratio %s)\n",
+              FormatDouble(plan_a->plan->usage[data_dim[0]]).c_str(),
+              FormatDouble(plan_b->plan->usage[data_dim[0]]).c_str(),
+              FormatDouble(plan_a->plan->usage[data_dim[0]] /
+                           std::max(1e-12,
+                                    plan_b->plan->usage[data_dim[0]]))
+                  .c_str());
+  std::printf("t1 index-device usage: A=%s  B=%s\n",
+              FormatDouble(plan_a->plan->usage[ix_dim[0]]).c_str(),
+              FormatDouble(plan_b->plan->usage[ix_dim[0]]).c_str());
+
+  std::printf("\nworst-case GTC of plan A vs delta (bounded by the plan "
+              "set's constant):\n");
+  const std::vector<core::PlanUsage> plans = {
+      {plan_a->plan->id, plan_a->plan->usage},
+      {plan_b->plan->id, plan_b->plan->usage}};
+  std::printf("%-10s %-14s\n", "delta", "worst GTC");
+  for (double delta : {10.0, 100.0, 1000.0, 10000.0, 100000.0}) {
+    const core::Box box =
+        core::Box::MultiplicativeBand(space.BaselineCosts(), delta);
+    const auto wc =
+        core::WorstCaseOverPlansByLp(plan_a->plan->usage, plans, box);
+    std::printf("%-10s %-14s\n", FormatDouble(delta).c_str(),
+                FormatDouble(wc->gtc).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace costsense
+
+int main() {
+  costsense::Part1();
+  costsense::Part2();
+  return 0;
+}

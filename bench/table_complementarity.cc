@@ -1,0 +1,57 @@
+// Reproduces the paper's Section 8.2 analysis of resource usage vectors:
+// for each storage layout, the census of candidate-optimal plan pairs —
+// how many are complementary, of which kind (table / access-path / temp),
+// and how many are near-complementary (element ratio > 10x).
+//
+// Expected shape (paper Section 8.2): no complementary pairs on the
+// shared device; many access-path and temp complementary pairs with
+// tables and indexes separated, but NO table-complementary pairs;
+// colocating indexes with tables removes the access-path kind while temp
+// complementarity remains.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "exp/report.h"
+
+int main() {
+  using namespace costsense;
+  bench::FigureBenchConfig config = bench::MakeFigureBenchConfig();
+  // The census classifies plan pairs; moderate discovery sampling is
+  // enough and keeps the three-layout sweep fast even in full mode.
+  config.options.discovery.sampled_vertices = 96;
+  config.options.discovery.completeness_rounds = 1;
+  const exp::FigureRunner runner(config.catalog, config.options);
+
+  for (storage::LayoutPolicy policy :
+       {storage::LayoutPolicy::kSharedDevice,
+        storage::LayoutPolicy::kPerTableAndIndex,
+        storage::LayoutPolicy::kPerTableColocated}) {
+    std::vector<std::pair<std::string, core::ComplementarityReport>> rows;
+    size_t total_compl = 0, total_table = 0, total_path = 0, total_temp = 0;
+    for (const query::Query& q : config.queries) {
+      const Result<exp::QueryAnalysis> analysis = runner.Analyze(q, policy);
+      if (!analysis.ok()) {
+        std::fprintf(stderr, "%s: %s\n", q.name.c_str(),
+                     analysis.status().ToString().c_str());
+        continue;
+      }
+      core::ComplementarityReport report = runner.Complementarity(*analysis);
+      total_compl += report.num_complementary;
+      total_table += report.num_table;
+      total_path += report.num_access_path;
+      total_temp += report.num_temp;
+      rows.emplace_back(q.name, std::move(report));
+    }
+    std::fputs(
+        exp::RenderComplementarityTable(
+            std::string("Section 8.2 census, layout = ") +
+                storage::LayoutPolicyName(policy),
+            rows)
+            .c_str(),
+        stdout);
+    std::printf(
+        "totals: complementary=%zu table=%zu access-path=%zu temp=%zu\n\n",
+        total_compl, total_table, total_path, total_temp);
+  }
+  return 0;
+}

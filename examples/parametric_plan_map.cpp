@@ -1,0 +1,55 @@
+// Plan diagram: rasterize which plan is optimal across a 2-D slice of the
+// resource cost space — the picture behind the paper's switchover planes
+// and cone-shaped regions of influence (Figures 2 and 4), in the plan
+// diagram tradition of the parametric query optimization literature.
+//
+//   $ ./parametric_plan_map [query 1..22]
+//   $ ./parametric_plan_map 8      # d_s x d_t plane of the shared device
+#include <cstdio>
+#include <cstdlib>
+
+#include "blackbox/narrow_optimizer.h"
+#include "exp/plan_map.h"
+#include "opt/optimizer.h"
+#include "tpch/queries.h"
+#include "tpch/schema.h"
+
+int main(int argc, char** argv) {
+  using namespace costsense;
+  const int qn = argc > 1 ? std::atoi(argv[1]) : 8;
+  if (qn < 1 || qn > 22) {
+    std::fprintf(stderr, "query number must be 1..22\n");
+    return 1;
+  }
+  const catalog::Catalog cat = tpch::MakeTpchCatalog(100.0);
+  const query::Query q = tpch::MakeTpchQuery(cat, qn);
+
+  // Shared device, split granularity: dims are [d_s, d_t, cpu]; sweep the
+  // disk plane, exactly the axes of the paper's first experiment.
+  const storage::StorageLayout layout(storage::LayoutPolicy::kSharedDevice,
+                                      cat, query::ReferencedTables(q));
+  const storage::ResourceSpace space = layout.BuildResourceSpace();
+  const opt::Optimizer optimizer(cat, layout, space);
+  blackbox::NarrowOptimizer oracle(optimizer, q, /*white_box=*/false);
+
+  const core::Box box =
+      core::Box::MultiplicativeBand(space.BaselineCosts(), 100.0);
+  const auto map = exp::ComputePlanMap(oracle, box, /*dim_x=*/0,
+                                       /*dim_y=*/1, /*resolution=*/28);
+  if (!map.ok()) {
+    std::fprintf(stderr, "%s\n", map.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s over the (d_s, d_t) plane, 1/100x .. 100x around DB2 "
+              "defaults\n(%zu optimizer calls)\n\n",
+              q.name.c_str(), oracle.calls());
+  std::fputs(exp::RenderPlanMap(*map, "d_s (seek cost)",
+                                "d_t (transfer cost)")
+                 .c_str(),
+             stdout);
+  std::printf(
+      "\nRegions meet along straight log-log diagonals: switchover planes\n"
+      "through the origin. Any 45-degree ray stays inside one region —\n"
+      "the scale invariance of Observation 1.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// SQL front end: type a query against the TPC-H schema, get the optimized
+// plan, its resource usage vector, and a one-shot sensitivity readout
+// (worst-case GTC at delta = 10 under the separate-device layout).
+//
+//   $ ./sql_explain "SELECT SUM(l_extendedprice) FROM lineitem, part
+//                     WHERE l_partkey = p_partkey AND p_brand = 'Brand#23'"
+#include <cstdio>
+
+#include "common/strings.h"
+#include "core/risk.h"
+#include "core/worst_case.h"
+#include "exp/figure_runner.h"
+#include "opt/explain.h"
+#include "opt/optimizer.h"
+#include "query/parser.h"
+#include "tpch/schema.h"
+
+int main(int argc, char** argv) {
+  using namespace costsense;
+  const char* sql = argc > 1
+                        ? argv[1]
+                        : "SELECT SUM(l_extendedprice) FROM lineitem l, "
+                          "part p WHERE l.l_partkey = p.p_partkey AND "
+                          "p.p_container = 'SM BOX' AND l.l_quantity < 5";
+
+  const catalog::Catalog cat = tpch::MakeTpchCatalog(100.0);
+  const Result<query::Query> q = query::ParseSql(cat, sql);
+  if (!q.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", q.status().ToString().c_str());
+    return 1;
+  }
+
+  const storage::StorageLayout layout(
+      storage::LayoutPolicy::kPerTableAndIndex, cat,
+      query::ReferencedTables(*q));
+  const storage::ResourceSpace space = layout.BuildResourceSpace();
+  const opt::Optimizer optimizer(cat, layout, space);
+  const auto best = optimizer.OptimizeAtBaseline(*q);
+  if (!best.ok()) {
+    std::fprintf(stderr, "%s\n", best.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("plan:\n%s\n%s", opt::Explain(*best->plan, *q).c_str(),
+              opt::ExplainSummary(*best->plan, space, space.BaselineCosts())
+                  .c_str());
+
+  // Sensitivity readout: discover rivals and profile the risk.
+  exp::FigureRunner::Options options;
+  options.deltas = {10.0};
+  options.discovery.random_samples = 24;
+  options.discovery.sampled_vertices = 64;
+  options.discovery.completeness_rounds = 1;
+  const exp::FigureRunner runner(cat, options);
+  const auto analysis =
+      runner.Analyze(*q, storage::LayoutPolicy::kPerTableAndIndex);
+  if (analysis.ok()) {
+    const core::Box box =
+        core::Box::MultiplicativeBand(analysis->baseline, 10.0);
+    const auto wc = core::WorstCaseOverPlansByLp(
+        analysis->initial_usage, analysis->candidate_plans, box);
+    Rng rng(1);
+    const auto risk = core::ComputeRiskProfile(
+        analysis->initial_usage, analysis->candidate_plans, box, rng);
+    if (wc.ok() && risk.ok()) {
+      std::printf(
+          "\nsensitivity (costs within 10x of estimates, %zu candidate "
+          "plans):\n  worst-case GTC %.3f | mean %.3f | p99 %.3f | "
+          "suboptimal in %.0f%% of scenarios\n",
+          analysis->candidate_plans.size(), wc->gtc, risk->mean_gtc,
+          risk->p99, risk->prob_suboptimal * 100.0);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+#include "blackbox/narrow_optimizer.h"
+
+#include "common/macros.h"
+
+namespace costsense::blackbox {
+
+NarrowOptimizer::NarrowOptimizer(const opt::Optimizer& optimizer,
+                                 const query::Query& query, bool white_box)
+    : optimizer_(optimizer), query_(query), white_box_(white_box) {}
+
+core::OracleResult NarrowOptimizer::Optimize(const core::CostVector& c) {
+  ++calls_;
+  const Result<opt::Optimized> r = optimizer_.Optimize(query_, c);
+  COSTSENSE_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+  core::OracleResult out;
+  out.plan_id = r->plan->id;
+  out.total_cost = r->total_cost;
+  if (white_box_) out.usage = r->plan->usage;
+  return out;
+}
+
+size_t NarrowOptimizer::dims() const { return optimizer_.space().dims(); }
+
+Result<opt::Optimized> NarrowOptimizer::Inspect(
+    const core::CostVector& c) const {
+  return optimizer_.Optimize(query_, c);
+}
+
+}  // namespace costsense::blackbox

@@ -1,0 +1,44 @@
+#ifndef COSTSENSE_BLACKBOX_NARROW_OPTIMIZER_H_
+#define COSTSENSE_BLACKBOX_NARROW_OPTIMIZER_H_
+
+#include "core/oracle.h"
+#include "opt/optimizer.h"
+#include "query/query.h"
+
+namespace costsense::blackbox {
+
+/// Adapts (optimizer, query) to the PlanOracle interface the sensitivity
+/// algorithms consume. In narrow mode it reveals only the chosen plan's
+/// identity and estimated total cost — the "limitations of commercial
+/// optimizers" the paper works around with least-squares extraction
+/// (Section 6.1.1). White-box mode additionally exposes the usage vector,
+/// which the paper could not do with DB2; it exists to validate the
+/// extraction and to accelerate the figure sweeps.
+class NarrowOptimizer : public core::PlanOracle {
+ public:
+  /// Neither the optimizer nor the query is owned; both must outlive this.
+  NarrowOptimizer(const opt::Optimizer& optimizer, const query::Query& query,
+                  bool white_box = false);
+
+  core::OracleResult Optimize(const core::CostVector& c) override;
+  size_t dims() const override;
+
+  /// Number of optimization calls made so far (the paper's experiments are
+  /// budgeted in optimizer invocations).
+  size_t calls() const { return calls_; }
+  void ResetCallCount() { calls_ = 0; }
+
+  /// Re-runs the optimizer at `c` and returns the full plan (for EXPLAIN
+  /// inspection once an interesting cost point is identified).
+  Result<opt::Optimized> Inspect(const core::CostVector& c) const;
+
+ private:
+  const opt::Optimizer& optimizer_;
+  const query::Query& query_;
+  bool white_box_;
+  size_t calls_ = 0;
+};
+
+}  // namespace costsense::blackbox
+
+#endif  // COSTSENSE_BLACKBOX_NARROW_OPTIMIZER_H_

@@ -1,0 +1,61 @@
+#include "catalog/catalog.h"
+
+#include "common/macros.h"
+
+namespace costsense::catalog {
+
+int Catalog::AddTable(Table table) {
+  for (const Table& t : tables_) {
+    COSTSENSE_CHECK_MSG(t.name() != table.name(), "duplicate table name");
+  }
+  tables_.push_back(std::move(table));
+  return static_cast<int>(tables_.size()) - 1;
+}
+
+int Catalog::AddIndex(std::string name, int table_id,
+                      std::vector<size_t> key_columns, bool unique,
+                      bool clustered) {
+  COSTSENSE_CHECK(table_id >= 0 &&
+                  table_id < static_cast<int>(tables_.size()));
+  indexes_.push_back(MakeIndex(std::move(name), table_id, tables_[table_id],
+                               std::move(key_columns), unique, clustered,
+                               config_.page_size_bytes));
+  return static_cast<int>(indexes_.size()) - 1;
+}
+
+const Table& Catalog::table(int id) const {
+  COSTSENSE_CHECK(id >= 0 && id < static_cast<int>(tables_.size()));
+  return tables_[id];
+}
+
+const Index& Catalog::index(int id) const {
+  COSTSENSE_CHECK(id >= 0 && id < static_cast<int>(indexes_.size()));
+  return indexes_[id];
+}
+
+Result<int> Catalog::TableId(const std::string& name) const {
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    if (tables_[i].name() == name) return static_cast<int>(i);
+  }
+  return Status::NotFound("no table named '" + name + "'");
+}
+
+std::vector<int> Catalog::IndexesOn(int table_id) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < indexes_.size(); ++i) {
+    if (indexes_[i].table_id == table_id) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+int Catalog::FindIndexByLeadingColumn(int table_id, size_t column) const {
+  for (size_t i = 0; i < indexes_.size(); ++i) {
+    if (indexes_[i].table_id == table_id &&
+        indexes_[i].key_columns.front() == column) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace costsense::catalog

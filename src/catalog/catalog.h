@@ -1,0 +1,53 @@
+#ifndef COSTSENSE_CATALOG_CATALOG_H_
+#define COSTSENSE_CATALOG_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/index.h"
+#include "catalog/system_config.h"
+#include "catalog/table.h"
+#include "common/status.h"
+
+namespace costsense::catalog {
+
+/// The system catalog: tables, indexes and configuration. This plays the
+/// role of the DB2 catalog into which the paper loaded the db2look dump of
+/// the benchmark system's statistics (Section 7.2) — the optimizer reads
+/// everything it knows about the data from here.
+class Catalog {
+ public:
+  explicit Catalog(SystemConfig config = {}) : config_(std::move(config)) {}
+
+  const SystemConfig& config() const { return config_; }
+
+  /// Registers a table; returns its id. Table names must be unique.
+  int AddTable(Table table);
+  /// Builds and registers an index over table `table_id`; returns its id.
+  int AddIndex(std::string name, int table_id, std::vector<size_t> key_columns,
+               bool unique, bool clustered);
+
+  size_t num_tables() const { return tables_.size(); }
+  size_t num_indexes() const { return indexes_.size(); }
+
+  const Table& table(int id) const;
+  const Index& index(int id) const;
+
+  Result<int> TableId(const std::string& name) const;
+
+  /// Ids of all indexes on `table_id`.
+  std::vector<int> IndexesOn(int table_id) const;
+
+  /// The first index on `table_id` whose leading key column is `column`,
+  /// or -1 if none exists.
+  int FindIndexByLeadingColumn(int table_id, size_t column) const;
+
+ private:
+  SystemConfig config_;
+  std::vector<Table> tables_;
+  std::vector<Index> indexes_;
+};
+
+}  // namespace costsense::catalog
+
+#endif  // COSTSENSE_CATALOG_CATALOG_H_

@@ -1,0 +1,16 @@
+#include "catalog/column.h"
+
+namespace costsense::catalog {
+
+Column MakeColumn(std::string name, double n_distinct, double min_value,
+                  double max_value, double avg_width_bytes) {
+  Column c;
+  c.name = std::move(name);
+  c.stats.n_distinct = n_distinct;
+  c.stats.min_value = min_value;
+  c.stats.max_value = max_value;
+  c.stats.avg_width_bytes = avg_width_bytes;
+  return c;
+}
+
+}  // namespace costsense::catalog

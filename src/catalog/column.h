@@ -1,0 +1,35 @@
+#ifndef COSTSENSE_CATALOG_COLUMN_H_
+#define COSTSENSE_CATALOG_COLUMN_H_
+
+#include <string>
+
+namespace costsense::catalog {
+
+/// Per-column statistics of the kind RUNSTATS collects and db2look dumps
+/// (the paper transplanted exactly such statistics from IBM's published
+/// 100 GB TPC-H run into an empty catalog, Section 7.2).
+struct ColumnStats {
+  /// Number of distinct values (COLCARD).
+  double n_distinct = 1.0;
+  /// Low/high key values for range selectivity (LOW2KEY/HIGH2KEY); only
+  /// meaningful for numeric-ish columns.
+  double min_value = 0.0;
+  double max_value = 0.0;
+  /// Average stored width in bytes (AVGCOLLEN).
+  double avg_width_bytes = 8.0;
+};
+
+/// A column of a table.
+struct Column {
+  std::string name;
+  ColumnStats stats;
+};
+
+/// Convenience constructor for a column whose values are uniform over
+/// [min_value, max_value] with `n_distinct` distinct values.
+Column MakeColumn(std::string name, double n_distinct, double min_value,
+                  double max_value, double avg_width_bytes);
+
+}  // namespace costsense::catalog
+
+#endif  // COSTSENSE_CATALOG_COLUMN_H_

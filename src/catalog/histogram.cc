@@ -1,0 +1,84 @@
+#include "catalog/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace costsense::catalog {
+
+Result<EquiDepthHistogram> EquiDepthHistogram::Build(
+    std::vector<double> values, size_t num_buckets) {
+  if (values.empty()) {
+    return Status::InvalidArgument("cannot build a histogram of nothing");
+  }
+  if (num_buckets == 0) {
+    return Status::InvalidArgument("need at least one bucket");
+  }
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  num_buckets = std::min(num_buckets, n);
+
+  EquiDepthHistogram h;
+  h.total_rows_ = static_cast<double>(n);
+  h.bounds_.push_back(values.front());
+
+  size_t start = 0;
+  for (size_t b = 0; b < num_buckets; ++b) {
+    // Target end of this bucket; extend past duplicates so a value never
+    // straddles a boundary.
+    size_t end = (b + 1) * n / num_buckets;
+    if (end < n) {
+      while (end < n && values[end] == values[end - 1]) ++end;
+    }
+    if (end <= start) continue;  // swallowed by a duplicate run
+    double distinct = 1.0;
+    for (size_t i = start + 1; i < end; ++i) {
+      if (values[i] != values[i - 1]) distinct += 1.0;
+    }
+    h.bounds_.push_back(values[end - 1]);
+    h.counts_.push_back(static_cast<double>(end - start));
+    h.distinct_.push_back(distinct);
+    start = end;
+    if (start >= n) break;
+  }
+  return h;
+}
+
+double EquiDepthHistogram::FractionBelow(double v) const {
+  if (v < bounds_.front()) return 0.0;
+  if (v >= bounds_.back()) return 1.0;
+  double below = 0.0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    const double lo = bounds_[b];
+    const double hi = bounds_[b + 1];
+    if (v >= hi) {
+      below += counts_[b];
+      continue;
+    }
+    // Linear interpolation within the bucket.
+    const double width = hi - lo;
+    const double frac = width > 0.0 ? (v - lo) / width : 1.0;
+    below += counts_[b] * std::clamp(frac, 0.0, 1.0);
+    break;
+  }
+  return below / total_rows_;
+}
+
+double EquiDepthHistogram::RangeSelectivity(double lo, double hi) const {
+  if (hi < lo) return 0.0;
+  return std::clamp(FractionBelow(hi) - FractionBelow(lo) +
+                        EqualitySelectivity(lo),
+                    0.0, 1.0);
+}
+
+double EquiDepthHistogram::EqualitySelectivity(double v) const {
+  if (v < bounds_.front() || v > bounds_.back()) return 0.0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    if (v <= bounds_[b + 1] || b + 1 == counts_.size()) {
+      const double distinct = std::max(1.0, distinct_[b]);
+      return counts_[b] / distinct / total_rows_;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace costsense::catalog

@@ -1,0 +1,51 @@
+#ifndef COSTSENSE_CATALOG_HISTOGRAM_H_
+#define COSTSENSE_CATALOG_HISTOGRAM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace costsense::catalog {
+
+/// An equi-depth histogram — the "WITH DISTRIBUTION" statistics the paper's
+/// RUNSTATS invocation collects (Section 7.2). Bucket i covers
+/// (bound[i], bound[i+1]] and holds ~1/buckets of the rows; selectivity
+/// estimates interpolate linearly within a bucket.
+class EquiDepthHistogram {
+ public:
+  /// Builds a histogram with up to `num_buckets` buckets over `values`
+  /// (need not be sorted; copied and sorted internally). Fails on empty
+  /// input or zero buckets.
+  static Result<EquiDepthHistogram> Build(std::vector<double> values,
+                                          size_t num_buckets);
+
+  size_t num_buckets() const { return counts_.size(); }
+  double total_rows() const { return total_rows_; }
+  /// Bucket boundaries, size num_buckets() + 1; bounds().front() is the
+  /// minimum, bounds().back() the maximum.
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Fraction of rows with value <= v (0 below the min, 1 above the max,
+  /// linear interpolation within a bucket).
+  double FractionBelow(double v) const;
+
+  /// Selectivity of lo <= value <= hi.
+  double RangeSelectivity(double lo, double hi) const;
+
+  /// Selectivity of value == v: the containing bucket's fraction divided
+  /// by its estimated distinct values.
+  double EqualitySelectivity(double v) const;
+
+ private:
+  EquiDepthHistogram() = default;
+
+  std::vector<double> bounds_;       // num_buckets + 1 edges
+  std::vector<double> counts_;       // rows per bucket
+  std::vector<double> distinct_;     // distinct values per bucket
+  double total_rows_ = 0.0;
+};
+
+}  // namespace costsense::catalog
+
+#endif  // COSTSENSE_CATALOG_HISTOGRAM_H_

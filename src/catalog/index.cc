@@ -1,0 +1,50 @@
+#include "catalog/index.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace costsense::catalog {
+
+namespace {
+constexpr double kRidBytes = 8.0;
+constexpr double kLeafFillFactor = 0.7;
+}  // namespace
+
+Index MakeIndex(std::string name, int table_id, const Table& table,
+                std::vector<size_t> key_columns, bool unique, bool clustered,
+                double page_size_bytes) {
+  COSTSENSE_CHECK(!key_columns.empty());
+  Index idx;
+  idx.name = std::move(name);
+  idx.table_id = table_id;
+  idx.unique = unique;
+  idx.clustered = clustered;
+
+  double key_width = 0.0;
+  for (size_t col : key_columns) {
+    COSTSENSE_CHECK(col < table.num_columns());
+    key_width += table.column(col).stats.avg_width_bytes;
+  }
+  idx.key_columns = std::move(key_columns);
+  idx.key_width_bytes = key_width;
+
+  const double entry_bytes = key_width + kRidBytes;
+  const double entries_per_leaf =
+      std::max(2.0, std::floor(page_size_bytes * kLeafFillFactor /
+                               entry_bytes));
+  idx.leaf_pages = std::max(1.0, std::ceil(table.row_count() /
+                                           entries_per_leaf));
+  // Internal fan-out approximately equals leaf entry density.
+  const double fanout = entries_per_leaf;
+  double level_pages = idx.leaf_pages;
+  int levels = 1;
+  while (level_pages > 1.0) {
+    level_pages = std::ceil(level_pages / fanout);
+    ++levels;
+  }
+  idx.levels = levels;
+  return idx;
+}
+
+}  // namespace costsense::catalog

@@ -1,0 +1,38 @@
+#ifndef COSTSENSE_CATALOG_INDEX_H_
+#define COSTSENSE_CATALOG_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/table.h"
+
+namespace costsense::catalog {
+
+/// A B-tree index over one or more columns of a table, with the derived
+/// statistics the cost model needs (leaf page count and tree height).
+struct Index {
+  std::string name;
+  int table_id = -1;
+  /// Ordinal positions of the key columns in the table, leading first.
+  std::vector<size_t> key_columns;
+  bool unique = false;
+  /// Clustered: table rows are stored in index order, so a range of the
+  /// index maps to a contiguous range of data pages.
+  bool clustered = false;
+  double leaf_pages = 1.0;
+  /// Non-leaf levels above the leaves (probe cost).
+  int levels = 1;
+  /// Total key width in bytes (for index-only width estimates).
+  double key_width_bytes = 8.0;
+};
+
+/// Builds an index over `table` (which has id `table_id`), deriving leaf
+/// page count and levels from the table's statistics: leaves hold
+/// (key + 8-byte RID) entries at 70% fill; levels = ceil(log_fanout).
+Index MakeIndex(std::string name, int table_id, const Table& table,
+                std::vector<size_t> key_columns, bool unique, bool clustered,
+                double page_size_bytes);
+
+}  // namespace costsense::catalog
+
+#endif  // COSTSENSE_CATALOG_INDEX_H_

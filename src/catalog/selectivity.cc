@@ -1,0 +1,37 @@
+#include "catalog/selectivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace costsense::catalog {
+
+double EqualitySelectivity(const ColumnStats& stats) {
+  return 1.0 / std::max(1.0, stats.n_distinct);
+}
+
+double RangeSelectivity(const ColumnStats& stats, double value_lo,
+                        double value_hi) {
+  const double width = stats.max_value - stats.min_value;
+  if (width <= 0.0) return 1.0;
+  const double lo = std::max(value_lo, stats.min_value);
+  const double hi = std::min(value_hi, stats.max_value);
+  if (hi <= lo) return 0.0;
+  return std::clamp((hi - lo) / width, 0.0, 1.0);
+}
+
+double JoinSelectivity(const ColumnStats& left, const ColumnStats& right) {
+  return 1.0 / std::max({1.0, left.n_distinct, right.n_distinct});
+}
+
+double ExpectedPagesFetched(double rows_fetched, double table_rows,
+                            double table_pages) {
+  if (rows_fetched <= 0.0 || table_pages <= 0.0) return 0.0;
+  if (table_pages <= 1.0) return 1.0;
+  // pages * (1 - (1 - 1/pages)^k), with (1-1/p)^k = exp(k * log1p(-1/p))
+  // to stay stable when p is ~1e7 and k is ~1e9.
+  const double log_miss = rows_fetched * std::log1p(-1.0 / table_pages);
+  const double touched = table_pages * -std::expm1(log_miss);
+  return std::min(touched, std::min(rows_fetched, table_pages));
+}
+
+}  // namespace costsense::catalog

@@ -1,0 +1,31 @@
+#ifndef COSTSENSE_CATALOG_SELECTIVITY_H_
+#define COSTSENSE_CATALOG_SELECTIVITY_H_
+
+#include "catalog/column.h"
+
+namespace costsense::catalog {
+
+/// Selinger-style default selectivity of an equality predicate on the
+/// column: 1 / n_distinct.
+double EqualitySelectivity(const ColumnStats& stats);
+
+/// Selectivity of a range predicate value_lo <= col <= value_hi under the
+/// uniform assumption; clamps to [0, 1]. Open-ended ranges pass the
+/// column's own min/max.
+double RangeSelectivity(const ColumnStats& stats, double value_lo,
+                        double value_hi);
+
+/// Selinger default equi-join selectivity: 1 / max(ndv_left, ndv_right).
+double JoinSelectivity(const ColumnStats& left, const ColumnStats& right);
+
+/// Expected number of distinct pages touched when fetching `rows_fetched`
+/// random rows of a table with `table_rows` rows on `table_pages` pages —
+/// the Cardenas/Yao estimate pages * (1 - (1 - 1/pages)^rows), evaluated
+/// in a numerically stable way for the billions-of-rows scale of TPC-H
+/// SF 100. Used to price unclustered index fetches.
+double ExpectedPagesFetched(double rows_fetched, double table_rows,
+                            double table_pages);
+
+}  // namespace costsense::catalog
+
+#endif  // COSTSENSE_CATALOG_SELECTIVITY_H_

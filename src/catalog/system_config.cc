@@ -1,0 +1,28 @@
+#include "catalog/system_config.h"
+
+#include "common/strings.h"
+
+namespace costsense::catalog {
+
+std::vector<std::pair<std::string, std::string>>
+SystemConfig::ToParameterTable() const {
+  return {
+      {"DB2_EXTENDED_OPTIMIZATION", "YES"},
+      {"DB2_ANTIJOIN", "Y"},
+      {"DB2_CORRELATED_PREDICATES", "Y"},
+      {"DB2_NEW_CORR_SQ_FF", "Y"},
+      {"DB2_VECTOR", "Y"},
+      {"DB2_HASH_JOIN", "Y"},
+      {"DB2_BINSORT", "Y"},
+      {"INTRA_PARALLEL", "YES"},
+      {"FEDERATED", "NO"},
+      {"DFT_DEGREE", StrFormat("%d", degree_of_parallelism)},
+      {"AVG_APPLS", "1"},
+      {"LOCKLIST", "16384"},
+      {"DFT_QUERYOPT", StrFormat("%d", optimization_level)},
+      {"OPT_BUFFPAGE", StrFormat("%.0f", buffer_pool_pages)},
+      {"OPT_SORTHEAP", StrFormat("%.0f", sort_heap_pages)},
+  };
+}
+
+}  // namespace costsense::catalog

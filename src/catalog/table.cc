@@ -1,0 +1,36 @@
+#include "catalog/table.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace costsense::catalog {
+
+namespace {
+constexpr double kRowOverheadBytes = 10.0;  // header + null map + slot
+constexpr double kPageFillFactor = 0.9;
+}  // namespace
+
+Table::Table(std::string name, double row_count, double page_size_bytes,
+             std::vector<Column> columns)
+    : name_(std::move(name)),
+      row_count_(row_count),
+      columns_(std::move(columns)) {
+  COSTSENSE_CHECK_MSG(row_count_ >= 0.0, "negative row count");
+  COSTSENSE_CHECK_MSG(page_size_bytes > 0.0, "page size must be positive");
+  double width = kRowOverheadBytes;
+  for (const Column& c : columns_) width += c.stats.avg_width_bytes;
+  row_width_bytes_ = width;
+  const double rows_per_page =
+      std::max(1.0, std::floor(page_size_bytes * kPageFillFactor / width));
+  pages_ = std::max(1.0, std::ceil(row_count_ / rows_per_page));
+}
+
+Result<size_t> Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column '" + name + "' in table " + name_);
+}
+
+}  // namespace costsense::catalog

@@ -1,0 +1,45 @@
+#ifndef COSTSENSE_CATALOG_TABLE_H_
+#define COSTSENSE_CATALOG_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/column.h"
+#include "common/status.h"
+
+namespace costsense::catalog {
+
+/// A base table with its statistics. Row counts and page counts are
+/// doubles because TPC-H at scale factor 100 has 600M-row tables and all
+/// cost arithmetic is in floating point anyway.
+class Table {
+ public:
+  Table(std::string name, double row_count, double page_size_bytes,
+        std::vector<Column> columns);
+
+  const std::string& name() const { return name_; }
+  double row_count() const { return row_count_; }
+  /// Data pages, derived from row count, total row width and page size
+  /// (90% fill).
+  double pages() const { return pages_; }
+  /// Total row width in bytes (sum of column widths + per-row overhead).
+  double row_width_bytes() const { return row_width_bytes_; }
+
+  const std::vector<Column>& columns() const { return columns_; }
+  const Column& column(size_t i) const { return columns_[i]; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Index of the column with `name`, or NotFound.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+ private:
+  std::string name_;
+  double row_count_;
+  double row_width_bytes_;
+  double pages_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace costsense::catalog
+
+#endif  // COSTSENSE_CATALOG_TABLE_H_

@@ -1,0 +1,35 @@
+#ifndef COSTSENSE_COMMON_MACROS_H_
+#define COSTSENSE_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// CHECK-style invariant macros. These guard internal invariants whose
+/// violation indicates a programming error; they abort rather than return a
+/// Status. User-input validation paths return Status instead.
+#define COSTSENSE_CHECK(cond)                                            \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                     \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#define COSTSENSE_CHECK_MSG(cond, msg)                                   \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__, \
+                   __LINE__, #cond, msg);                                \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+/// Propagates a non-OK Status from an expression that yields a Status.
+#define COSTSENSE_RETURN_IF_ERROR(expr)                  \
+  do {                                                   \
+    ::costsense::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                           \
+  } while (0)
+
+#endif  // COSTSENSE_COMMON_MACROS_H_

@@ -1,0 +1,49 @@
+#include "common/strings.h"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace costsense {
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  if (v == 0.0) return "0";
+  const double mag = std::fabs(v);
+  std::string s = (mag >= 1e7 || mag < 1e-4) ? StrFormat("%.4g", v)
+                                             : StrFormat("%.6f", v);
+  // Trim trailing zeros after a decimal point (but keep "1e+07" intact).
+  if (s.find('e') == std::string::npos &&
+      s.find('.') != std::string::npos) {
+    size_t last = s.find_last_not_of('0');
+    if (s[last] == '.') --last;
+    s.erase(last + 1);
+  }
+  return s;
+}
+
+}  // namespace costsense

@@ -1,0 +1,23 @@
+#ifndef COSTSENSE_COMMON_STRINGS_H_
+#define COSTSENSE_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace costsense {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats a double compactly for plan ids and reports (trims trailing
+/// zeros, uses scientific notation for very large/small magnitudes).
+std::string FormatDouble(double v);
+
+}  // namespace costsense
+
+#endif  // COSTSENSE_COMMON_STRINGS_H_

@@ -1,0 +1,64 @@
+#include "core/bounds.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace costsense::core {
+
+double Theorem1UpperBound(double gamma, double delta) {
+  COSTSENSE_CHECK(delta >= 1.0 && gamma > 0.0);
+  return gamma * delta * delta;
+}
+
+RatioBound ComputeRatioBound(const UsageVector& a, const UsageVector& b,
+                             double zero_tol) {
+  COSTSENSE_CHECK(a.size() == b.size());
+  RatioBound out;
+  out.r_min = std::numeric_limits<double>::infinity();
+  out.r_max = -std::numeric_limits<double>::infinity();
+  bool any_ratio = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    // Absolute zero test: Theorem 2 hinges on whether a plan uses the
+    // resource at all, not on how lopsided the pair's usage is (lopsided
+    // but positive pairs just get a large finite r_max).
+    const bool zero_a = a[i] <= zero_tol;
+    const bool zero_b = b[i] <= zero_tol;
+    if (zero_a && zero_b) continue;  // neither plan touches this resource
+    if (zero_a != zero_b) {
+      out.complementary = true;
+      continue;
+    }
+    const double r = a[i] / b[i];
+    out.r_min = std::min(out.r_min, r);
+    out.r_max = std::max(out.r_max, r);
+    any_ratio = true;
+  }
+  if (!any_ratio) {
+    // Both vectors are (numerically) zero everywhere, or every dimension
+    // was complementary: fall back to a neutral ratio.
+    out.r_min = 1.0;
+    out.r_max = 1.0;
+  }
+  return out;
+}
+
+double WorstCaseConstantBound(const std::vector<PlanUsage>& plans,
+                              double zero_tol) {
+  double bound = 1.0;
+  for (size_t i = 0; i < plans.size(); ++i) {
+    for (size_t j = 0; j < plans.size(); ++j) {
+      if (i == j) continue;
+      const RatioBound rb =
+          ComputeRatioBound(plans[i].usage, plans[j].usage, zero_tol);
+      if (rb.complementary) {
+        return std::numeric_limits<double>::infinity();
+      }
+      bound = std::max(bound, rb.r_max);
+    }
+  }
+  return bound;
+}
+
+}  // namespace costsense::core

@@ -1,0 +1,49 @@
+#ifndef COSTSENSE_CORE_BOUNDS_H_
+#define COSTSENSE_CORE_BOUNDS_H_
+
+#include <vector>
+
+#include "core/vectors.h"
+
+namespace costsense::core {
+
+/// Theorem 1 (paper Section 5.4): if every resource-cost estimate is within
+/// a multiplicative factor of [1/delta, delta] of the truth and
+/// T_rel(a,b,C) = gamma, then T_rel under any feasible costs lies in
+/// [gamma / delta^2, gamma * delta^2]. This returns the upper end,
+/// gamma * delta^2. The bound is tight (paper Example 1).
+double Theorem1UpperBound(double gamma, double delta);
+
+/// Result of the Theorem 2 analysis of one plan pair.
+struct RatioBound {
+  /// True if the pair is complementary: some resource is used by exactly
+  /// one of the two plans (paper Section 5.5). Theorem 2 does not apply.
+  bool complementary = false;
+  /// min_i a_i / b_i over dims where the ratio is defined (only meaningful
+  /// when !complementary).
+  double r_min = 0.0;
+  /// max_i a_i / b_i (only meaningful when !complementary).
+  double r_max = 0.0;
+};
+
+/// Theorem 2 (paper Section 5.5): for non-complementary plans a and b the
+/// relative total cost under *any* positive cost vector lies within
+/// [r_min, r_max] of element-wise usage ratios. Elements where both plans
+/// use (approximately) zero are skipped; an element where exactly one plan
+/// uses zero marks the pair complementary. `zero_tol` is the absolute
+/// threshold below which a usage element counts as zero (any genuine
+/// access in this cost model charges at least ~0.01 of a page or seek).
+RatioBound ComputeRatioBound(const UsageVector& a, const UsageVector& b,
+                             double zero_tol = 1e-9);
+
+/// Corollary to Theorem 2 (paper Eq. 9): if no pair of candidate optimal
+/// plans is complementary, the optimizer's choice is within
+///   max_{a,b} max(r_min^{a,b}, r_max^{a,b})
+/// of optimal, for any cost errors whatsoever. Returns +infinity if some
+/// pair is complementary (the constant bound does not exist).
+double WorstCaseConstantBound(const std::vector<PlanUsage>& plans,
+                              double zero_tol = 1e-9);
+
+}  // namespace costsense::core
+
+#endif  // COSTSENSE_CORE_BOUNDS_H_

@@ -1,0 +1,109 @@
+#include "core/complementarity.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/macros.h"
+
+namespace costsense::core {
+
+namespace {
+
+/// Absolute zero test: complementarity is about whether a plan touches a
+/// resource AT ALL (paper Section 5.5), so the threshold must not scale
+/// with the rival's usage — a plan that rescans a one-page table 1e14
+/// times must not make the rival's single genuine access look like zero.
+/// Any real touch in this cost model is at least ~0.01 of a page/seek.
+bool IsZero(double v, double /*other*/, double tol) { return v <= tol; }
+
+}  // namespace
+
+PairAnalysis AnalyzePair(const UsageVector& a, const UsageVector& b,
+                         const std::vector<DimInfo>& dims,
+                         const ComplementarityOptions& options) {
+  COSTSENSE_CHECK(a.size() == b.size());
+  COSTSENSE_CHECK(dims.size() == a.size());
+
+  PairAnalysis out;
+  // Total (data + index) usage per table per plan, to decide whether a
+  // plan touches a table at all.
+  std::map<int, double> touch_a;
+  std::map<int, double> touch_b;
+  // Tables with a zero/non-zero mismatch on some table/index dimension.
+  std::map<int, bool> table_dim_mismatch;
+
+  for (size_t i = 0; i < a.size(); ++i) {
+    const bool zero_a = IsZero(a[i], b[i], options.zero_tol);
+    const bool zero_b = IsZero(b[i], a[i], options.zero_tol);
+    if (dims[i].cls == DimClass::kTable || dims[i].cls == DimClass::kIndex) {
+      touch_a[dims[i].table_id] += a[i];
+      touch_b[dims[i].table_id] += b[i];
+    }
+    if (zero_a && zero_b) continue;
+    if (zero_a != zero_b) {
+      out.complementary = true;
+      switch (dims[i].cls) {
+        case DimClass::kTemp:
+          // Exactly one plan materializes sorted runs / hash partitions.
+          out.temp_complementary = true;
+          break;
+        case DimClass::kIndex:
+        case DimClass::kTable:
+          table_dim_mismatch[dims[i].table_id] = true;
+          break;
+        case DimClass::kCpu:
+        case DimClass::kOther:
+          break;  // every plan burns CPU; plain complementarity only
+      }
+      continue;
+    }
+    const double ratio = std::max(a[i] / b[i], b[i] / a[i]);
+    out.max_element_ratio = std::max(out.max_element_ratio, ratio);
+  }
+
+  // Attribute per-table mismatches (paper Section 5.6): if one plan does
+  // not touch the table at all (neither data nor index pages) the plans
+  // retrieve different numbers of tuples — table complementary. If both
+  // plans touch the table but through different structures (index-only vs
+  // scan, probe vs fetch), that is an access-path difference.
+  for (const auto& [table_id, mismatch] : table_dim_mismatch) {
+    if (!mismatch) continue;
+    const double ta = touch_a[table_id];
+    const double tb = touch_b[table_id];
+    const bool a_touches = !IsZero(ta, tb, options.zero_tol);
+    const bool b_touches = !IsZero(tb, ta, options.zero_tol);
+    if (a_touches != b_touches) {
+      out.table_complementary = true;
+    } else {
+      out.access_path_complementary = true;
+    }
+  }
+  return out;
+}
+
+ComplementarityReport AnalyzePlanSet(const std::vector<PlanUsage>& plans,
+                                     const std::vector<DimInfo>& dims,
+                                     const ComplementarityOptions& options) {
+  ComplementarityReport report;
+  for (size_t i = 0; i < plans.size(); ++i) {
+    for (size_t j = i + 1; j < plans.size(); ++j) {
+      PairAnalysis pa =
+          AnalyzePair(plans[i].usage, plans[j].usage, dims, options);
+      pa.plan_a = i;
+      pa.plan_b = j;
+      ++report.num_pairs;
+      if (pa.complementary) ++report.num_complementary;
+      if (pa.table_complementary) ++report.num_table;
+      if (pa.access_path_complementary) ++report.num_access_path;
+      if (pa.temp_complementary) ++report.num_temp;
+      if (!pa.complementary &&
+          pa.max_element_ratio > options.near_ratio_threshold) {
+        ++report.num_near_complementary;
+      }
+      report.pairs.push_back(std::move(pa));
+    }
+  }
+  return report;
+}
+
+}  // namespace costsense::core

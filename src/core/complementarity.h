@@ -1,0 +1,75 @@
+#ifndef COSTSENSE_CORE_COMPLEMENTARITY_H_
+#define COSTSENSE_CORE_COMPLEMENTARITY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/vectors.h"
+
+namespace costsense::core {
+
+/// Why a pair of plans is complementary (paper Section 5.6). A pair can
+/// carry several flags at once (e.g. it can be both access-path and temp
+/// complementary).
+struct PairAnalysis {
+  size_t plan_a = 0;
+  size_t plan_b = 0;
+  /// Some resource is used by exactly one of the two plans.
+  bool complementary = false;
+  /// The plans access different numbers of tuples from some base table,
+  /// with no accompanying access-path difference on that table.
+  bool table_complementary = false;
+  /// The plans retrieve tuples of some table through different access
+  /// paths (one uses an index the other does not, or trades index pages
+  /// for table pages).
+  bool access_path_complementary = false;
+  /// Exactly one of the plans spills to temporary structures (sorted runs,
+  /// hash partitions).
+  bool temp_complementary = false;
+  /// Largest ratio between corresponding *defined* (both non-zero)
+  /// elements, max(a_i/b_i, b_i/a_i); the paper flags pairs with ratios
+  /// above an order of magnitude as near-complementary.
+  double max_element_ratio = 1.0;
+};
+
+/// Aggregate complementarity census over a candidate plan set.
+struct ComplementarityReport {
+  std::vector<PairAnalysis> pairs;
+  size_t num_pairs = 0;
+  size_t num_complementary = 0;
+  size_t num_table = 0;
+  size_t num_access_path = 0;
+  size_t num_temp = 0;
+  /// Pairs whose max element ratio exceeds `near_ratio_threshold` without
+  /// being complementary.
+  size_t num_near_complementary = 0;
+};
+
+/// Options for the census.
+struct ComplementarityOptions {
+  /// Absolute threshold under which a usage element counts as "the plan
+  /// does not touch this resource". Usage units (pages, seeks, pre-priced
+  /// time units, instructions) are all >= ~0.01 for any genuine access;
+  /// raise this when classifying least-squares-extracted vectors, whose
+  /// zeros carry estimation noise.
+  double zero_tol = 1e-6;
+  /// Ratio above which a non-complementary pair counts as "near" (the
+  /// paper uses an order of magnitude).
+  double near_ratio_threshold = 10.0;
+};
+
+/// Classifies one plan pair against the dimension metadata. `dims` must
+/// describe each coordinate of the usage vectors (class + owning table).
+PairAnalysis AnalyzePair(const UsageVector& a, const UsageVector& b,
+                         const std::vector<DimInfo>& dims,
+                         const ComplementarityOptions& options = {});
+
+/// Runs AnalyzePair over all unordered pairs of `plans` and aggregates the
+/// paper's Section 8.2 statistics.
+ComplementarityReport AnalyzePlanSet(const std::vector<PlanUsage>& plans,
+                                     const std::vector<DimInfo>& dims,
+                                     const ComplementarityOptions& options = {});
+
+}  // namespace costsense::core
+
+#endif  // COSTSENSE_CORE_COMPLEMENTARITY_H_

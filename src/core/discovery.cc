@@ -1,0 +1,242 @@
+#include "core/discovery.h"
+
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "core/region_of_influence.h"
+
+namespace costsense::core {
+namespace {
+
+/// Book-keeping for one plan while discovery is running.
+struct Found {
+  CostVector witness;
+  std::optional<UsageVector> usage;  // white-box usage if the oracle gave it
+  double total_cost_at_witness = 0.0;
+};
+
+class Discoverer {
+ public:
+  Discoverer(PlanOracle& oracle, const Box& box, Rng& rng,
+             const DiscoveryOptions& options)
+      : oracle_(oracle), box_(box), rng_(rng), options_(options) {}
+
+  Result<DiscoveryResult> Run() {
+    SeedProbes();
+    BisectBetweenWitnesses();
+
+    // Resolve usage vectors (least squares where the oracle is narrow),
+    // then iterate the completeness check: find a deep-interior witness of
+    // each region of influence implied by the discovered set and confirm
+    // the oracle agrees there. A disagreement *is* a new plan.
+    bool complete = false;
+    std::vector<DiscoveredPlan> plans;
+    for (size_t round = 0; round <= options_.completeness_rounds; ++round) {
+      Result<std::vector<DiscoveredPlan>> resolved = ResolveUsageVectors();
+      if (!resolved.ok()) return resolved.status();
+      plans = std::move(resolved).value();
+      if (round == options_.completeness_rounds) break;
+      // Each probe LP carries one constraint per discovered plan; for
+      // extremely rich plan sets (hundreds of candidates over a 10^4-wide
+      // band) the probing cost outweighs its marginal coverage.
+      if (plans.size() > 150) break;
+      const size_t before = found_.size();
+      Status st = CompletenessProbe(plans);
+      if (!st.ok()) return st;
+      if (found_.size() == before) {
+        complete = true;
+        break;
+      }
+    }
+
+    ComputeMargins(plans);
+    DiscoveryResult out;
+    out.plans = std::move(plans);
+    out.oracle_calls = calls_;
+    out.complete = complete;
+    return out;
+  }
+
+ private:
+  OracleResult Probe(const CostVector& c) {
+    ++calls_;
+    OracleResult r = oracle_.Optimize(c);
+    auto [it, inserted] = found_.try_emplace(r.plan_id);
+    if (inserted) {
+      it->second.witness = c;
+      it->second.usage = r.usage;
+      it->second.total_cost_at_witness = r.total_cost;
+    }
+    return r;
+  }
+
+  void SeedProbes() {
+    Probe(box_.Center());
+    // Axis extremes: cheapest / most expensive along each single resource.
+    for (size_t i = 0; i < box_.dims(); ++i) {
+      CostVector lo = box_.Center();
+      lo[i] = box_.lower()[i];
+      Probe(lo);
+      CostVector hi = box_.Center();
+      hi[i] = box_.upper()[i];
+      Probe(hi);
+    }
+    // Vertices: exhaustive when small, sampled otherwise. Vertices matter
+    // because worst cases live there (Observation 2).
+    if (box_.dims() <= options_.full_vertex_sweep_max_dims) {
+      const uint64_t n = box_.VertexCount();
+      for (uint64_t mask = 0; mask < n; ++mask) Probe(box_.Vertex(mask));
+    } else {
+      for (size_t k = 0; k < options_.sampled_vertices; ++k) {
+        uint64_t mask = rng_.Next();
+        if (box_.dims() < 64) mask &= (uint64_t{1} << box_.dims()) - 1;
+        Probe(box_.Vertex(mask));
+      }
+    }
+    for (size_t k = 0; k < options_.random_samples; ++k) {
+      Probe(box_.SampleLogUniform(rng_));
+    }
+  }
+
+  /// Geometric midpoint of two cost vectors (log-space bisection, matching
+  /// the multiplicative structure of the region).
+  static CostVector GeoMid(const CostVector& a, const CostVector& b) {
+    CostVector m(a.size());
+    for (size_t i = 0; i < a.size(); ++i) m[i] = std::sqrt(a[i] * b[i]);
+    return m;
+  }
+
+  void Bisect(const CostVector& a, const std::string& plan_a,
+              const CostVector& b, const std::string& plan_b, size_t depth) {
+    if (depth == 0 || plan_a == plan_b) return;
+    if (found_.size() >= options_.max_plans) return;
+    const CostVector mid = GeoMid(a, b);
+    const OracleResult r = Probe(mid);
+    Bisect(a, plan_a, mid, r.plan_id, depth - 1);
+    Bisect(mid, r.plan_id, b, plan_b, depth - 1);
+  }
+
+  void BisectBetweenWitnesses() {
+    // Snapshot witnesses first; Bisect mutates found_.
+    std::vector<std::pair<std::string, CostVector>> snapshot;
+    snapshot.reserve(found_.size());
+    for (const auto& [id, f] : found_) snapshot.emplace_back(id, f.witness);
+
+    std::vector<std::pair<size_t, size_t>> pairs;
+    for (size_t i = 0; i < snapshot.size(); ++i) {
+      for (size_t j = i + 1; j < snapshot.size(); ++j) {
+        pairs.emplace_back(i, j);
+      }
+    }
+    // Plan-rich queries would spend quadratic optimizer calls here; refine
+    // a random subset of segments instead (the completeness probe catches
+    // anything bisection misses).
+    if (pairs.size() > options_.max_bisection_pairs) {
+      rng_.Shuffle(pairs);
+      pairs.resize(options_.max_bisection_pairs);
+    }
+    for (const auto& [i, j] : pairs) {
+      Bisect(snapshot[i].second, snapshot[i].first, snapshot[j].second,
+             snapshot[j].first, options_.bisection_depth);
+      if (found_.size() >= options_.max_plans) return;
+    }
+  }
+
+  Result<std::vector<DiscoveredPlan>> ResolveUsageVectors() {
+    std::vector<DiscoveredPlan> plans;
+    plans.reserve(found_.size());
+    for (const auto& [id, f] : found_) {
+      DiscoveredPlan dp;
+      dp.plan.plan_id = id;
+      dp.witness = f.witness;
+      if (f.usage.has_value()) {
+        dp.plan.usage = *f.usage;
+      } else {
+        Result<ExtractedUsage> ex = ExtractUsageVector(
+            oracle_, id, f.witness, box_, rng_, options_.extraction);
+        if (!ex.ok()) {
+          // Thin region: fall back to a rank-one estimate from the single
+          // witness (usage colinear with nothing better available). Skip
+          // the plan rather than poison the set.
+          continue;
+        }
+        calls_ += ex->oracle_calls;
+        dp.plan.usage = ex->usage;
+        dp.usage_from_least_squares = true;
+        dp.extraction_error = ex->validation_error;
+      }
+      plans.push_back(std::move(dp));
+    }
+    return plans;
+  }
+
+  /// Annotates per-plan interior margins. Each margin is one LP with
+  /// |plans| constraints, so this is quadratic in the plan count; it is
+  /// informational only and skipped for very large plan sets.
+  void ComputeMargins(std::vector<DiscoveredPlan>& plans) const {
+    if (plans.size() > 96) return;
+    for (size_t i = 0; i < plans.size(); ++i) {
+      std::vector<PlanUsage> rivals;
+      rivals.reserve(plans.size() - 1);
+      for (size_t j = 0; j < plans.size(); ++j) {
+        if (j != i) rivals.push_back(plans[j].plan);
+      }
+      Result<CandidacyResult> cr =
+          FindRegionWitness(plans[i].plan.usage, rivals, box_);
+      if (cr.ok() && cr->candidate) plans[i].margin = cr->margin;
+    }
+  }
+
+  Status CompletenessProbe(const std::vector<DiscoveredPlan>& plans) {
+    // Each probe solves an LP with |plans| constraints; for very rich plan
+    // sets check a random subset per round (coverage accumulates across
+    // rounds).
+    std::vector<size_t> order(plans.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    constexpr size_t kMaxProbesPerRound = 128;
+    if (order.size() > kMaxProbesPerRound) {
+      rng_.Shuffle(order);
+      order.resize(kMaxProbesPerRound);
+    }
+    for (size_t idx : order) {
+      const DiscoveredPlan& dp = plans[idx];
+      std::vector<PlanUsage> rivals;
+      for (const DiscoveredPlan& other : plans) {
+        if (other.plan.plan_id != dp.plan.plan_id) {
+          rivals.push_back(other.plan);
+        }
+      }
+      Result<CandidacyResult> cr =
+          FindRegionWitness(dp.plan.usage, rivals, box_);
+      if (!cr.ok()) return cr.status();
+      if (!cr->candidate || cr->margin <= 0.0) continue;
+      // The discovered set predicts plan dp at this deep-interior point; if
+      // the oracle disagrees, Probe records the new plan automatically.
+      Probe(cr->witness);
+      if (found_.size() >= options_.max_plans) break;
+    }
+    return Status::Ok();
+  }
+
+  PlanOracle& oracle_;
+  const Box& box_;
+  Rng& rng_;
+  const DiscoveryOptions& options_;
+  std::map<std::string, Found> found_;
+  size_t calls_ = 0;
+};
+
+}  // namespace
+
+Result<DiscoveryResult> DiscoverCandidatePlans(
+    PlanOracle& oracle, const Box& box, Rng& rng,
+    const DiscoveryOptions& options) {
+  if (oracle.dims() != box.dims()) {
+    return Status::InvalidArgument("oracle and box dimensions differ");
+  }
+  Discoverer d(oracle, box, rng, options);
+  return d.Run();
+}
+
+}  // namespace costsense::core

@@ -1,0 +1,80 @@
+#ifndef COSTSENSE_CORE_DISCOVERY_H_
+#define COSTSENSE_CORE_DISCOVERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/feasible_region.h"
+#include "core/oracle.h"
+#include "core/usage_extraction.h"
+#include "core/vectors.h"
+
+namespace costsense::core {
+
+/// Tuning for candidate-optimal plan discovery.
+struct DiscoveryOptions {
+  /// Random log-uniform probes of the feasible region.
+  size_t random_samples = 48;
+  /// Enumerate all box vertices when dims <= this (else sample vertices).
+  size_t full_vertex_sweep_max_dims = 10;
+  /// Random vertices probed when the full sweep is too large.
+  size_t sampled_vertices = 256;
+  /// Recursive bisection depth along segments between witnesses of
+  /// different plans (Observation 3: a plan optimal at both endpoints is
+  /// optimal on the whole segment, so only differing endpoints can hide
+  /// undiscovered plans between them).
+  size_t bisection_depth = 5;
+  /// Cap on witness pairs refined by bisection; above it a random subset
+  /// of pairs is used (plan-rich queries would otherwise spend quadratic
+  /// optimizer calls on segment refinement).
+  size_t max_bisection_pairs = 300;
+  /// Rounds of the completeness check: probe a deep-interior witness of
+  /// each region of influence and verify the oracle agrees.
+  size_t completeness_rounds = 3;
+  /// Safety cap on the total number of plans to discover.
+  size_t max_plans = 512;
+  /// When the oracle does not reveal usage vectors, extract them by least
+  /// squares with these options.
+  ExtractionOptions extraction;
+};
+
+/// One discovered candidate optimal plan.
+struct DiscoveredPlan {
+  PlanUsage plan;
+  /// A feasible cost vector at which the oracle chose this plan.
+  CostVector witness;
+  /// Normalized interior margin of the plan's region of influence within
+  /// the discovered set (0 = boundary-only / tie).
+  double margin = 0.0;
+  /// True if the usage vector came from least-squares extraction rather
+  /// than directly from the oracle.
+  bool usage_from_least_squares = false;
+  /// Validation error of the extraction (0 when white-box).
+  double extraction_error = 0.0;
+};
+
+/// Result of a discovery run.
+struct DiscoveryResult {
+  std::vector<DiscoveredPlan> plans;
+  size_t oracle_calls = 0;
+  /// True if the final completeness round found no new plan (the
+  /// discovered regions of influence tile the feasible region as far as
+  /// interior probing can tell — the practical analogue of the paper's
+  /// Observation-3 polytope check).
+  bool complete = false;
+};
+
+/// Finds the candidate optimal plans of the feasible box through the
+/// oracle, following the paper's five-step procedure (Section 6.2.1):
+/// sample cost vectors, ask the optimizer for the optimal plan at each,
+/// estimate usage vectors (least squares if the oracle is narrow), and
+/// verify completeness using the convexity of regions of influence.
+Result<DiscoveryResult> DiscoverCandidatePlans(PlanOracle& oracle,
+                                               const Box& box, Rng& rng,
+                                               const DiscoveryOptions& options);
+
+}  // namespace costsense::core
+
+#endif  // COSTSENSE_CORE_DISCOVERY_H_

@@ -1,0 +1,23 @@
+#ifndef COSTSENSE_CORE_DOMINANCE_H_
+#define COSTSENSE_CORE_DOMINANCE_H_
+
+#include <vector>
+
+#include "core/vectors.h"
+
+namespace costsense::core {
+
+/// True if plan `a` dominates plan `b`: B lies in the positive first
+/// quadrant relative to A (B = A + q with q >= 0 and q != 0), so b can never
+/// be optimal under any positive cost vector (paper Section 4.4, Figure 3).
+bool Dominates(const UsageVector& a, const UsageVector& b, double tol = 0.0);
+
+/// Removes every plan that is dominated by some other plan in `plans`.
+/// Exact duplicates (identical usage vectors) are collapsed to the first
+/// occurrence. The survivors are the only possible candidate optimal plans.
+std::vector<PlanUsage> FilterDominated(std::vector<PlanUsage> plans,
+                                       double tol = 0.0);
+
+}  // namespace costsense::core
+
+#endif  // COSTSENSE_CORE_DOMINANCE_H_

@@ -1,0 +1,68 @@
+#include "core/feasible_region.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace costsense::core {
+
+Box::Box(CostVector lower, CostVector upper)
+    : lower_(std::move(lower)), upper_(std::move(upper)) {
+  COSTSENSE_CHECK(lower_.size() == upper_.size());
+  for (size_t i = 0; i < lower_.size(); ++i) {
+    COSTSENSE_CHECK_MSG(lower_[i] > 0.0, "cost lower bounds must be positive");
+    COSTSENSE_CHECK_MSG(lower_[i] <= upper_[i], "lower bound above upper");
+  }
+}
+
+Box Box::MultiplicativeBand(const CostVector& baseline, double delta) {
+  COSTSENSE_CHECK_MSG(delta >= 1.0, "delta must be >= 1");
+  CostVector lo(baseline.size());
+  CostVector hi(baseline.size());
+  for (size_t i = 0; i < baseline.size(); ++i) {
+    lo[i] = baseline[i] / delta;
+    hi[i] = baseline[i] * delta;
+  }
+  return Box(std::move(lo), std::move(hi));
+}
+
+uint64_t Box::VertexCount() const {
+  COSTSENSE_CHECK_MSG(dims() < 64, "vertex enumeration limited to 63 dims");
+  return uint64_t{1} << dims();
+}
+
+CostVector Box::Vertex(uint64_t mask) const {
+  CostVector v(dims());
+  for (size_t i = 0; i < dims(); ++i) {
+    v[i] = (mask >> i) & 1 ? upper_[i] : lower_[i];
+  }
+  return v;
+}
+
+CostVector Box::Center() const {
+  CostVector v(dims());
+  for (size_t i = 0; i < dims(); ++i) {
+    v[i] = std::sqrt(lower_[i] * upper_[i]);
+  }
+  return v;
+}
+
+bool Box::Contains(const CostVector& c, double tol) const {
+  if (c.size() != dims()) return false;
+  for (size_t i = 0; i < dims(); ++i) {
+    const double slack = tol * (upper_[i] - lower_[i] + 1.0);
+    if (c[i] < lower_[i] - slack || c[i] > upper_[i] + slack) return false;
+  }
+  return true;
+}
+
+CostVector Box::SampleLogUniform(Rng& rng) const {
+  CostVector v(dims());
+  for (size_t i = 0; i < dims(); ++i) {
+    v[i] = (lower_[i] == upper_[i]) ? lower_[i]
+                                    : rng.LogUniform(lower_[i], upper_[i]);
+  }
+  return v;
+}
+
+}  // namespace costsense::core

@@ -1,0 +1,44 @@
+#ifndef COSTSENSE_CORE_ORACLE_H_
+#define COSTSENSE_CORE_ORACLE_H_
+
+#include <optional>
+#include <string>
+
+#include "core/vectors.h"
+
+namespace costsense::core {
+
+/// What a (possibly narrow) optimizer interface reports for one
+/// optimization call: the chosen plan's identity and its estimated total
+/// cost under the supplied resource costs — exactly the information the
+/// paper says commercial optimizers expose (Section 7.1).
+struct OracleResult {
+  /// Canonical identifier of the estimated optimal plan; equal ids mean
+  /// equal plans.
+  std::string plan_id;
+  /// Estimated total cost of that plan, U . C.
+  double total_cost = 0.0;
+  /// Resource usage vector of the plan, when the oracle is willing to
+  /// reveal it (white-box mode). Commercial optimizers do not provide this
+  /// (paper Section 6.1.1); the narrow wrapper leaves it empty and forces
+  /// least-squares extraction.
+  std::optional<UsageVector> usage;
+};
+
+/// Abstract optimizer interface used by the sensitivity algorithms: feed in
+/// a resource cost vector, get back the estimated optimal plan and its
+/// estimated total cost.
+class PlanOracle {
+ public:
+  virtual ~PlanOracle() = default;
+
+  /// Optimizes under resource costs `c` (dimension must equal dims()).
+  virtual OracleResult Optimize(const CostVector& c) = 0;
+
+  /// Dimensionality of the resource cost space this oracle prices over.
+  virtual size_t dims() const = 0;
+};
+
+}  // namespace costsense::core
+
+#endif  // COSTSENSE_CORE_ORACLE_H_

@@ -1,0 +1,38 @@
+#include "core/relative_cost.h"
+
+#include <limits>
+
+#include "common/macros.h"
+
+namespace costsense::core {
+
+double RelativeTotalCost(const UsageVector& a, const UsageVector& b,
+                         const CostVector& c) {
+  const double denom = TotalCost(b, c);
+  COSTSENSE_CHECK_MSG(denom > 0.0, "reference plan has non-positive cost");
+  return TotalCost(a, c) / denom;
+}
+
+size_t OptimalPlanIndex(const std::vector<PlanUsage>& plans,
+                        const CostVector& c) {
+  COSTSENSE_CHECK(!plans.empty());
+  size_t best = 0;
+  double best_cost = TotalCost(plans[0].usage, c);
+  for (size_t i = 1; i < plans.size(); ++i) {
+    const double cost = TotalCost(plans[i].usage, c);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double GlobalRelativeCost(const UsageVector& a,
+                          const std::vector<PlanUsage>& plans,
+                          const CostVector& c) {
+  const size_t best = OptimalPlanIndex(plans, c);
+  return RelativeTotalCost(a, plans[best].usage, c);
+}
+
+}  // namespace costsense::core

@@ -1,0 +1,30 @@
+#ifndef COSTSENSE_CORE_RELATIVE_COST_H_
+#define COSTSENSE_CORE_RELATIVE_COST_H_
+
+#include <vector>
+
+#include "core/vectors.h"
+
+namespace costsense::core {
+
+/// Relative total cost of plan a with respect to plan b under costs C
+/// (paper Eq. 7): T_rel(a, b, C) = (A . C) / (B . C). Unitless; equals 1
+/// exactly on the switchover plane. Requires B . C > 0 (CHECKed).
+double RelativeTotalCost(const UsageVector& a, const UsageVector& b,
+                         const CostVector& c);
+
+/// Global relative total cost of plan a under costs C (paper Section 5.2):
+/// the ratio of a's cost to the cost of the best plan in `plans` under C.
+/// Intuitively: how many times faster the query would have run had the
+/// optimizer picked the right plan. Returns >= 1 when a is in `plans`.
+double GlobalRelativeCost(const UsageVector& a,
+                          const std::vector<PlanUsage>& plans,
+                          const CostVector& c);
+
+/// Index into `plans` of the cheapest plan under C (first on ties).
+size_t OptimalPlanIndex(const std::vector<PlanUsage>& plans,
+                        const CostVector& c);
+
+}  // namespace costsense::core
+
+#endif  // COSTSENSE_CORE_RELATIVE_COST_H_

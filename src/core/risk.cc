@@ -1,0 +1,52 @@
+#include "core/risk.h"
+
+#include <algorithm>
+
+#include "core/relative_cost.h"
+
+namespace costsense::core {
+
+Result<RiskProfile> ComputeRiskProfile(const UsageVector& initial_usage,
+                                       const std::vector<PlanUsage>& plans,
+                                       const Box& box, Rng& rng,
+                                       size_t samples) {
+  if (plans.empty()) {
+    return Status::InvalidArgument("candidate plan set is empty");
+  }
+  if (initial_usage.size() != box.dims()) {
+    return Status::InvalidArgument("usage dims do not match box");
+  }
+  if (samples == 0) {
+    return Status::InvalidArgument("need at least one sample");
+  }
+
+  std::vector<double> gtcs;
+  gtcs.reserve(samples);
+  double sum = 0.0;
+  size_t suboptimal = 0;
+  for (size_t i = 0; i < samples; ++i) {
+    const CostVector c = box.SampleLogUniform(rng);
+    const double gtc = GlobalRelativeCost(initial_usage, plans, c);
+    gtcs.push_back(gtc);
+    sum += gtc;
+    if (gtc > 1.0 + 1e-9) ++suboptimal;
+  }
+  std::sort(gtcs.begin(), gtcs.end());
+
+  auto quantile = [&gtcs](double q) {
+    const size_t idx = static_cast<size_t>(q * (gtcs.size() - 1));
+    return gtcs[idx];
+  };
+  RiskProfile out;
+  out.samples = samples;
+  out.mean_gtc = sum / static_cast<double>(samples);
+  out.p50 = quantile(0.50);
+  out.p90 = quantile(0.90);
+  out.p99 = quantile(0.99);
+  out.max_seen = gtcs.back();
+  out.prob_suboptimal =
+      static_cast<double>(suboptimal) / static_cast<double>(samples);
+  return out;
+}
+
+}  // namespace costsense::core

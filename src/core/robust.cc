@@ -1,0 +1,27 @@
+#include "core/robust.h"
+
+#include "core/worst_case.h"
+
+namespace costsense::core {
+
+Result<RobustChoice> ChooseRobustPlan(const std::vector<PlanUsage>& plans,
+                                      const Box& box) {
+  if (plans.empty()) {
+    return Status::InvalidArgument("no candidate plans to choose from");
+  }
+  RobustChoice out;
+  out.per_plan_worst_gtc.reserve(plans.size());
+  for (size_t i = 0; i < plans.size(); ++i) {
+    Result<WorstCaseResult> wc =
+        WorstCaseOverPlansByLp(plans[i].usage, plans, box);
+    if (!wc.ok()) return wc.status();
+    out.per_plan_worst_gtc.push_back(wc->gtc);
+    if (i == 0 || wc->gtc < out.per_plan_worst_gtc[out.plan_index]) {
+      out.plan_index = i;
+    }
+  }
+  out.worst_case_gtc = out.per_plan_worst_gtc[out.plan_index];
+  return out;
+}
+
+}  // namespace costsense::core

@@ -1,0 +1,40 @@
+#ifndef COSTSENSE_CORE_ROBUST_H_
+#define COSTSENSE_CORE_ROBUST_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/feasible_region.h"
+#include "core/vectors.h"
+
+namespace costsense::core {
+
+/// Result of robust plan selection.
+struct RobustChoice {
+  /// Index into the candidate set of the chosen plan.
+  size_t plan_index = 0;
+  /// Its worst-case global relative cost over the feasible region — the
+  /// best achievable guarantee.
+  double worst_case_gtc = 1.0;
+  /// Worst-case GTC of every candidate, parallel to the input (the full
+  /// minimax landscape).
+  std::vector<double> per_plan_worst_gtc;
+};
+
+/// Minimax-regret plan selection — the constructive counterpart to the
+/// paper's diagnosis. The paper shows the *estimate-optimal* plan can be
+/// delta^2 from optimal when storage costs are uncertain (Theorem 1);
+/// this picks instead the candidate plan whose worst-case global relative
+/// cost over the feasible cost region is smallest:
+///
+///   argmin_a  max_{C in box}  A.C / min_b B.C
+///
+/// evaluated exactly with the linear-fractional maximizer per plan pair.
+/// The returned guarantee is at most the estimate-optimal plan's worst
+/// case, often far below it when complementary plans exist.
+Result<RobustChoice> ChooseRobustPlan(const std::vector<PlanUsage>& plans,
+                                      const Box& box);
+
+}  // namespace costsense::core
+
+#endif  // COSTSENSE_CORE_ROBUST_H_

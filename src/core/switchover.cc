@@ -1,0 +1,33 @@
+#include "core/switchover.h"
+
+#include <cmath>
+
+namespace costsense::core {
+
+SwitchoverPlane::SwitchoverPlane(const UsageVector& a, const UsageVector& b)
+    : normal_(a - b), degenerate_(normal_.InfNorm() == 0.0) {}
+
+double SwitchoverPlane::Evaluate(const CostVector& c) const {
+  return linalg::Dot(normal_, c);
+}
+
+Side SwitchoverPlane::Classify(const CostVector& c, double tol) const {
+  // Scale the tolerance by the magnitudes involved so classification is
+  // invariant under rescaling of C (paper Observation 1).
+  const double v = Evaluate(c);
+  const double scale = normal_.InfNorm() * c.InfNorm();
+  const double eff_tol = tol * (scale > 0.0 ? scale : 1.0);
+  if (v > eff_tol) return Side::kADominated;
+  if (v < -eff_tol) return Side::kBDominated;
+  return Side::kOnPlane;
+}
+
+bool OnSameEquicostLine(const UsageVector& a, const UsageVector& b,
+                        const CostVector& c, double rel_tol) {
+  const double ta = TotalCost(a, c);
+  const double tb = TotalCost(b, c);
+  const double scale = std::max(std::fabs(ta), std::fabs(tb));
+  return std::fabs(ta - tb) <= rel_tol * (scale > 0.0 ? scale : 1.0);
+}
+
+}  // namespace costsense::core

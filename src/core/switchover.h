@@ -1,0 +1,49 @@
+#ifndef COSTSENSE_CORE_SWITCHOVER_H_
+#define COSTSENSE_CORE_SWITCHOVER_H_
+
+#include "core/vectors.h"
+
+namespace costsense::core {
+
+/// Which side of the switchover plane of plans a and b a cost vector C lies
+/// on (paper Sections 4.2-4.3). On the A-dominated side plan a is the more
+/// expensive one (A.C > B.C); on the B-dominated side plan b is.
+enum class Side { kADominated, kBDominated, kOnPlane };
+
+/// The switchover plane of two plans: the set of cost vectors under which
+/// both plans have equal total cost,
+///   Switchover_{A,B} = { C : (A - B) . C = 0 },
+/// a hyperplane through the origin with normal A - B (paper Section 4.2).
+class SwitchoverPlane {
+ public:
+  /// Builds the plane for plans with usage vectors `a` and `b`.
+  SwitchoverPlane(const UsageVector& a, const UsageVector& b);
+
+  /// The plane normal, A - B.
+  const linalg::Vector& normal() const { return normal_; }
+
+  /// Signed evaluation (A - B) . c; zero (within tol) means c is on the
+  /// plane, positive means plan a costs more under c.
+  double Evaluate(const CostVector& c) const;
+
+  /// Classifies which half-space `c` falls in (paper Section 4.3).
+  Side Classify(const CostVector& c, double tol = 1e-12) const;
+
+  /// True if the two plans have identical usage vectors, in which case
+  /// there is no plane (every C is "on" it).
+  bool degenerate() const { return degenerate_; }
+
+ private:
+  linalg::Vector normal_;
+  bool degenerate_;
+};
+
+/// Returns the cost-space distance scale-free test of equicost: whether two
+/// usage vectors lie on the same equicost line for cost vector `c`
+/// (paper Section 4.1): A.C == B.C within relative tolerance.
+bool OnSameEquicostLine(const UsageVector& a, const UsageVector& b,
+                        const CostVector& c, double rel_tol = 1e-9);
+
+}  // namespace costsense::core
+
+#endif  // COSTSENSE_CORE_SWITCHOVER_H_

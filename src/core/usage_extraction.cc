@@ -1,0 +1,103 @@
+#include "core/usage_extraction.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/strings.h"
+#include "linalg/least_squares.h"
+#include "linalg/matrix.h"
+
+namespace costsense::core {
+
+Result<ExtractedUsage> ExtractUsageVector(PlanOracle& oracle,
+                                          const std::string& plan_id,
+                                          const CostVector& seed,
+                                          const Box& box, Rng& rng,
+                                          const ExtractionOptions& options) {
+  const size_t n = box.dims();
+  if (seed.size() != n) {
+    return Status::InvalidArgument("seed dimension does not match box");
+  }
+  const size_t fit_target =
+      std::max<size_t>(options.oversample_factor * n, n + 1);
+  const size_t want = fit_target + options.validation_samples;
+
+  std::vector<CostVector> accepted;
+  std::vector<double> observed;
+  accepted.reserve(want);
+  observed.reserve(want);
+
+  size_t calls = 0;
+  // The seed itself must produce the plan; it anchors the sample cloud.
+  {
+    const OracleResult r = oracle.Optimize(seed);
+    ++calls;
+    if (r.plan_id != plan_id) {
+      return Status::FailedPrecondition(
+          "seed point does not yield the requested plan");
+    }
+    accepted.push_back(seed);
+    observed.push_back(r.total_cost);
+  }
+
+  // Adaptive jitter: widen on acceptance, shrink on rejection, so the cloud
+  // fills the region of influence without leaving it too often. Convexity
+  // of the region (paper Observation 3) guarantees that shrinking toward
+  // the seed eventually re-enters it.
+  double jitter = options.initial_jitter;
+  constexpr double kMinJitter = 1e-5;
+  while (accepted.size() < want && calls < options.max_oracle_calls) {
+    CostVector c(n);
+    for (size_t i = 0; i < n; ++i) {
+      const double f = std::exp(rng.Uniform(-1.0, 1.0) * std::log1p(jitter));
+      double v = seed[i] * f;
+      v = std::min(std::max(v, box.lower()[i]), box.upper()[i]);
+      c[i] = v;
+    }
+    const OracleResult r = oracle.Optimize(c);
+    ++calls;
+    if (r.plan_id == plan_id) {
+      accepted.push_back(std::move(c));
+      observed.push_back(r.total_cost);
+      jitter = std::min(jitter * 1.1, 4.0);
+    } else {
+      jitter = std::max(jitter * 0.8, kMinJitter);
+    }
+  }
+  if (accepted.size() < want) {
+    return Status::FailedPrecondition(StrFormat(
+        "only %zu of %zu in-region samples found for plan %s after %zu "
+        "oracle calls",
+        accepted.size(), want, plan_id.c_str(), calls));
+  }
+
+  // Split into fit and validation sets.
+  std::vector<linalg::Vector> fit_rows(accepted.begin(),
+                                       accepted.begin() + fit_target);
+  linalg::Vector fit_rhs(fit_target);
+  for (size_t i = 0; i < fit_target; ++i) fit_rhs[i] = observed[i];
+
+  const linalg::Matrix c_matrix = linalg::Matrix::FromRows(fit_rows);
+  Result<UsageVector> fit = linalg::NonNegativeLeastSquares(
+      c_matrix, fit_rhs, /*clamp_tol=*/1e-6 * fit_rhs.InfNorm());
+  if (!fit.ok()) return fit.status();
+
+  ExtractedUsage out;
+  out.usage = std::move(fit).value();
+  out.samples_used = fit_target;
+  out.oracle_calls = calls;
+
+  // Validate on held-out samples (the paper's <1% discrepancy check).
+  const size_t n_val = accepted.size() - fit_target;
+  if (n_val > 0) {
+    std::vector<linalg::Vector> val_rows(accepted.begin() + fit_target,
+                                         accepted.end());
+    linalg::Vector val_rhs(n_val);
+    for (size_t i = 0; i < n_val; ++i) val_rhs[i] = observed[fit_target + i];
+    out.validation_error = linalg::RelativeResidual(
+        linalg::Matrix::FromRows(val_rows), out.usage, val_rhs);
+  }
+  return out;
+}
+
+}  // namespace costsense::core

@@ -1,0 +1,57 @@
+#ifndef COSTSENSE_CORE_USAGE_EXTRACTION_H_
+#define COSTSENSE_CORE_USAGE_EXTRACTION_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/feasible_region.h"
+#include "core/oracle.h"
+#include "core/vectors.h"
+
+namespace costsense::core {
+
+/// Tuning for least-squares usage-vector extraction.
+struct ExtractionOptions {
+  /// Collect oversample_factor * n accepted samples (paper Section 6.1.1
+  /// always used m >= 2n to compensate for optimizer quantization error).
+  size_t oversample_factor = 2;
+  /// Additional held-out samples used to validate the fit.
+  size_t validation_samples = 4;
+  /// Initial per-dimension multiplicative jitter around the seed point
+  /// (each coordinate is multiplied by a factor in [1/(1+j), 1+j]).
+  double initial_jitter = 0.5;
+  /// Give up after this many oracle calls.
+  size_t max_oracle_calls = 2000;
+};
+
+/// Outcome of an extraction.
+struct ExtractedUsage {
+  UsageVector usage;
+  /// RMS relative error of the fit on the held-out validation samples.
+  /// The paper reports this discrepancy to be below one percent.
+  double validation_error = 0.0;
+  /// Accepted sample count used in the least-squares solve.
+  size_t samples_used = 0;
+  size_t oracle_calls = 0;
+};
+
+/// Estimates the resource usage vector of the plan `plan_id` through a
+/// narrow optimizer interface, by the paper's method (Section 6.1.1):
+/// sample m >= 2n cost vectors C_i inside the plan's region of influence
+/// (jittering around `seed`, a point where the oracle is known to return
+/// this plan), record the reported total costs t_i, and solve the normal
+/// equations U = (C^T C)^{-1} C^T t by Gaussian elimination. Slightly
+/// negative components are clamped to zero.
+///
+/// Fails with FailedPrecondition if not enough in-region samples can be
+/// found (region too thin) or the sample matrix is rank-deficient.
+Result<ExtractedUsage> ExtractUsageVector(PlanOracle& oracle,
+                                          const std::string& plan_id,
+                                          const CostVector& seed,
+                                          const Box& box, Rng& rng,
+                                          const ExtractionOptions& options);
+
+}  // namespace costsense::core
+
+#endif  // COSTSENSE_CORE_USAGE_EXTRACTION_H_

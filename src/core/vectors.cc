@@ -1,0 +1,25 @@
+#include "core/vectors.h"
+
+namespace costsense::core {
+
+double TotalCost(const UsageVector& usage, const CostVector& costs) {
+  return linalg::Dot(usage, costs);
+}
+
+const char* DimClassName(DimClass cls) {
+  switch (cls) {
+    case DimClass::kTable:
+      return "table";
+    case DimClass::kIndex:
+      return "index";
+    case DimClass::kTemp:
+      return "temp";
+    case DimClass::kCpu:
+      return "cpu";
+    case DimClass::kOther:
+      return "other";
+  }
+  return "other";
+}
+
+}  // namespace costsense::core

@@ -1,0 +1,90 @@
+#include "core/worst_case.h"
+
+#include "common/strings.h"
+#include "lp/fractional.h"
+
+namespace costsense::core {
+
+Result<WorstCaseResult> WorstCaseByVertexSweep(PlanOracle& oracle,
+                                               const UsageVector& initial_usage,
+                                               const Box& box,
+                                               size_t max_dims) {
+  if (box.dims() != initial_usage.size()) {
+    return Status::InvalidArgument("usage vector dims do not match box");
+  }
+  if (box.dims() > max_dims) {
+    return Status::FailedPrecondition(StrFormat(
+        "vertex sweep over %zu dims needs 2^%zu oracle calls; use the LP "
+        "method instead",
+        box.dims(), box.dims()));
+  }
+  WorstCaseResult out;
+  out.worst_costs = box.Center();
+  const uint64_t vertices = box.VertexCount();
+  for (uint64_t mask = 0; mask < vertices; ++mask) {
+    const CostVector v = box.Vertex(mask);
+    const OracleResult r = oracle.Optimize(v);
+    if (r.total_cost <= 0.0) continue;  // degenerate; skip
+    const double gtc = TotalCost(initial_usage, v) / r.total_cost;
+    if (gtc > out.gtc) {
+      out.gtc = gtc;
+      out.worst_costs = v;
+      out.worst_rival = r.plan_id;
+    }
+  }
+  return out;
+}
+
+WorstCaseResult WorstCaseOverPlansByVertices(
+    const UsageVector& initial_usage, const std::vector<PlanUsage>& plans,
+    const Box& box) {
+  WorstCaseResult out;
+  out.worst_costs = box.Center();
+  const uint64_t vertices = box.VertexCount();
+  for (uint64_t mask = 0; mask < vertices; ++mask) {
+    const CostVector v = box.Vertex(mask);
+    double best = 0.0;
+    size_t best_idx = 0;
+    bool first = true;
+    for (size_t i = 0; i < plans.size(); ++i) {
+      const double cost = TotalCost(plans[i].usage, v);
+      if (first || cost < best) {
+        best = cost;
+        best_idx = i;
+        first = false;
+      }
+    }
+    if (first || best <= 0.0) continue;
+    const double gtc = TotalCost(initial_usage, v) / best;
+    if (gtc > out.gtc) {
+      out.gtc = gtc;
+      out.worst_costs = v;
+      out.worst_rival = plans[best_idx].plan_id;
+    }
+  }
+  return out;
+}
+
+Result<WorstCaseResult> WorstCaseOverPlansByLp(
+    const UsageVector& initial_usage, const std::vector<PlanUsage>& plans,
+    const Box& box) {
+  WorstCaseResult out;
+  out.worst_costs = box.Center();
+  for (const PlanUsage& rival : plans) {
+    Result<lp::FractionalSolution> sol = lp::MaximizeRatioOverBox(
+        initial_usage, rival.usage, box.lower(), box.upper());
+    if (!sol.ok()) return sol.status();
+    if (sol->value > out.gtc) {
+      // The ratio against one rival upper-bounds GTC only if that rival is
+      // itself optimal at the maximizer; but the max over *all* rivals of
+      // the max ratio equals the max over the box of cost/min-rival-cost,
+      // so taking the overall maximum is exact.
+      out.gtc = sol->value;
+      out.worst_costs = sol->x;
+      out.worst_rival = rival.plan_id;
+    }
+  }
+  return out;
+}
+
+}  // namespace costsense::core

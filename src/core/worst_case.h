@@ -1,0 +1,57 @@
+#ifndef COSTSENSE_CORE_WORST_CASE_H_
+#define COSTSENSE_CORE_WORST_CASE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/feasible_region.h"
+#include "core/oracle.h"
+#include "core/vectors.h"
+
+namespace costsense::core {
+
+/// Result of a worst-case global-relative-cost analysis for one initial
+/// plan over one feasible cost region (paper Section 6.1).
+struct WorstCaseResult {
+  /// Maximum global relative total cost: how many times more expensive the
+  /// initial plan can get, relative to the true optimum, at the worst
+  /// feasible cost vector.
+  double gtc = 1.0;
+  /// The cost vector achieving the maximum (a vertex of the box).
+  CostVector worst_costs;
+  /// Id (or index rendered as text) of the rival plan that is optimal at
+  /// the worst point, when known.
+  std::string worst_rival;
+};
+
+/// Paper-faithful worst-case analysis (Section 6.1): evaluates the global
+/// relative cost of the plan with usage vector `initial_usage` at *every*
+/// vertex of the feasible box, asking the oracle for the optimal plan's
+/// total cost at each vertex. Correct by the paper's Observation 2 (the
+/// linear-fractional objective is vertex-maximized). Costs 2^dims oracle
+/// calls; refuses boxes with more than `max_dims` dimensions.
+Result<WorstCaseResult> WorstCaseByVertexSweep(PlanOracle& oracle,
+                                               const UsageVector& initial_usage,
+                                               const Box& box,
+                                               size_t max_dims = 20);
+
+/// Worst case over a *known* candidate plan set, by sweeping box vertices
+/// and computing the optimum by dot products (no oracle calls). Exact when
+/// `plans` contains every candidate optimal plan of the region.
+WorstCaseResult WorstCaseOverPlansByVertices(
+    const UsageVector& initial_usage, const std::vector<PlanUsage>& plans,
+    const Box& box);
+
+/// Worst case over a known candidate plan set by exact linear-fractional
+/// programming: for each rival plan b, maximize (U0 . C)/(B . C) over the
+/// box with the exact fractional maximizer and take the largest. Equivalent to the
+/// vertex sweep (max_C U0.C/min_b B.C == max_b max_C U0.C/B.C) but
+/// polynomial in the dimension count, so it scales past 20 resources.
+Result<WorstCaseResult> WorstCaseOverPlansByLp(
+    const UsageVector& initial_usage, const std::vector<PlanUsage>& plans,
+    const Box& box);
+
+}  // namespace costsense::core
+
+#endif  // COSTSENSE_CORE_WORST_CASE_H_

@@ -1,0 +1,84 @@
+#include "exp/figure_runner.h"
+
+#include <cmath>
+
+#include "blackbox/narrow_optimizer.h"
+#include "core/bounds.h"
+#include "core/worst_case.h"
+#include "opt/optimizer.h"
+
+namespace costsense::exp {
+
+FigureRunner::FigureRunner(const catalog::Catalog& catalog, Options options)
+    : catalog_(catalog), options_(std::move(options)) {}
+
+Result<QueryAnalysis> FigureRunner::Analyze(
+    const query::Query& query, storage::LayoutPolicy policy) const {
+  const storage::StorageLayout layout(policy, catalog_,
+                                      query::ReferencedTables(query));
+  const storage::ResourceSpace space = layout.BuildResourceSpace();
+  const opt::Optimizer optimizer(catalog_, layout, space);
+  blackbox::NarrowOptimizer oracle(optimizer, query, options_.white_box);
+
+  QueryAnalysis out;
+  out.query_name = query.name;
+  out.policy = policy;
+  out.dims = space.dims();
+  out.baseline = space.BaselineCosts();
+  out.dim_info = space.dim_info();
+
+  // The initial plan: optimal at the (estimated) baseline costs, i.e. the
+  // plan a DBA gets by leaving DB2's defaults in place (Section 8.1).
+  const Result<opt::Optimized> initial =
+      optimizer.Optimize(query, out.baseline);
+  if (!initial.ok()) return initial.status();
+  out.initial_plan_id = initial->plan->id;
+  out.initial_usage = initial->plan->usage;
+
+  // Discover candidate optimal plans over the widest error band; plan
+  // sets for narrower bands are subsets, so one discovery serves every
+  // delta (usage vectors are box-independent).
+  const double delta_max = options_.deltas.back();
+  const core::Box box = core::Box::MultiplicativeBand(out.baseline, delta_max);
+  Rng rng(options_.seed);
+  Result<core::DiscoveryResult> d =
+      core::DiscoverCandidatePlans(oracle, box, rng, options_.discovery);
+  if (!d.ok()) return d.status();
+  for (core::DiscoveredPlan& dp : d->plans) {
+    out.candidate_plans.push_back(std::move(dp.plan));
+  }
+  out.oracle_calls = oracle.calls();
+  out.discovery_complete = d->complete;
+  return out;
+}
+
+Result<FigureSeries> FigureRunner::GtcSeries(
+    const QueryAnalysis& analysis) const {
+  FigureSeries series;
+  series.query_name = analysis.query_name;
+  series.num_candidate_plans = analysis.candidate_plans.size();
+  series.constant_bound =
+      core::WorstCaseConstantBound(analysis.candidate_plans);
+  series.has_complementary_plans = std::isinf(series.constant_bound);
+
+  for (double delta : options_.deltas) {
+    const core::Box box =
+        core::Box::MultiplicativeBand(analysis.baseline, delta);
+    Result<core::WorstCaseResult> wc = core::WorstCaseOverPlansByLp(
+        analysis.initial_usage, analysis.candidate_plans, box);
+    if (!wc.ok()) return wc.status();
+    GtcPoint p;
+    p.delta = delta;
+    p.gtc = wc->gtc;
+    p.worst_rival = wc->worst_rival;
+    series.points.push_back(std::move(p));
+  }
+  return series;
+}
+
+core::ComplementarityReport FigureRunner::Complementarity(
+    const QueryAnalysis& analysis) const {
+  return core::AnalyzePlanSet(analysis.candidate_plans, analysis.dim_info);
+}
+
+}  // namespace costsense::exp

@@ -1,0 +1,94 @@
+#ifndef COSTSENSE_EXP_FIGURE_RUNNER_H_
+#define COSTSENSE_EXP_FIGURE_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "core/complementarity.h"
+#include "core/discovery.h"
+#include "core/vectors.h"
+#include "query/query.h"
+#include "storage/layout.h"
+
+namespace costsense::exp {
+
+/// Everything learned about one (query, storage layout) pair: the initial
+/// plan chosen at the DB2-default baseline costs and the candidate optimal
+/// plan set over the widest feasible region — sufficient to evaluate the
+/// worst-case curve at every delta by pure geometry afterwards.
+struct QueryAnalysis {
+  std::string query_name;
+  storage::LayoutPolicy policy = storage::LayoutPolicy::kSharedDevice;
+  size_t dims = 0;
+  core::CostVector baseline;
+  std::vector<core::DimInfo> dim_info;
+  /// The paper's "initial query plan": optimal at the baseline costs.
+  std::string initial_plan_id;
+  core::UsageVector initial_usage;
+  /// Candidate optimal plans discovered over the delta_max band.
+  std::vector<core::PlanUsage> candidate_plans;
+  size_t oracle_calls = 0;
+  bool discovery_complete = false;
+};
+
+/// One point of a worst-case curve (paper Figures 5-7): at error level
+/// `delta`, the initial plan can be `gtc` times costlier than optimal.
+struct GtcPoint {
+  double delta = 1.0;
+  double gtc = 1.0;
+  std::string worst_rival;
+};
+
+/// A full curve for one query.
+struct FigureSeries {
+  std::string query_name;
+  std::vector<GtcPoint> points;
+  /// Theorem 2's constant bound over the candidate set (infinity when
+  /// complementary plans exist and only the delta^2 law applies).
+  double constant_bound = 0.0;
+  size_t num_candidate_plans = 0;
+  bool has_complementary_plans = false;
+};
+
+/// Drives the paper's worst-case experiments (Section 6.1 / Section 8.1):
+/// per query and storage layout, find the initial plan at the DB2-default
+/// baseline, discover the candidate optimal plans over the widest
+/// multiplicative error band, and evaluate worst-case global relative cost
+/// at each delta via the exact linear-fractional program.
+class FigureRunner {
+ public:
+  struct Options {
+    /// Error levels reported on the x-axis.
+    std::vector<double> deltas = {2, 5, 10, 100, 1000, 10000};
+    /// Plans are discovered once over the widest band (deltas.back()).
+    bool white_box = true;
+    uint64_t seed = 0x5eed;
+    core::DiscoveryOptions discovery;
+  };
+
+  FigureRunner(const catalog::Catalog& catalog, Options options);
+
+  /// Discovers plans and the initial plan for one query under `policy`.
+  Result<QueryAnalysis> Analyze(const query::Query& query,
+                                storage::LayoutPolicy policy) const;
+
+  /// Evaluates the worst-case curve from an analysis (pure geometry; no
+  /// further optimizer calls).
+  Result<FigureSeries> GtcSeries(const QueryAnalysis& analysis) const;
+
+  /// Section 8.2's census of the candidate plan set.
+  core::ComplementarityReport Complementarity(
+      const QueryAnalysis& analysis) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  const catalog::Catalog& catalog_;
+  Options options_;
+};
+
+}  // namespace costsense::exp
+
+#endif  // COSTSENSE_EXP_FIGURE_RUNNER_H_

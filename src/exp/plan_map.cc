@@ -1,0 +1,95 @@
+#include "exp/plan_map.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace costsense::exp {
+
+namespace {
+
+std::vector<double> LogSpace(double lo, double hi, size_t n) {
+  std::vector<double> out(n);
+  if (n == 1 || lo == hi) {
+    out.assign(n, lo);
+    return out;
+  }
+  const double step = (std::log(hi) - std::log(lo)) /
+                      static_cast<double>(n - 1);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = std::exp(std::log(lo) + step * static_cast<double>(i));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<PlanMap> ComputePlanMap(core::PlanOracle& oracle, const core::Box& box,
+                               size_t dim_x, size_t dim_y,
+                               size_t resolution) {
+  if (dim_x >= box.dims() || dim_y >= box.dims() || dim_x == dim_y) {
+    return Status::InvalidArgument("invalid plan-map dimensions");
+  }
+  if (resolution < 2) {
+    return Status::InvalidArgument("resolution must be at least 2");
+  }
+  if (oracle.dims() != box.dims()) {
+    return Status::InvalidArgument("oracle and box dimensions differ");
+  }
+
+  PlanMap map;
+  map.dim_x = dim_x;
+  map.dim_y = dim_y;
+  map.resolution = resolution;
+  map.x_values = LogSpace(box.lower()[dim_x], box.upper()[dim_x], resolution);
+  map.y_values = LogSpace(box.lower()[dim_y], box.upper()[dim_y], resolution);
+  map.cells.resize(resolution * resolution, -1);
+
+  core::CostVector c = box.Center();
+  for (size_t iy = 0; iy < resolution; ++iy) {
+    c[dim_y] = map.y_values[iy];
+    for (size_t ix = 0; ix < resolution; ++ix) {
+      c[dim_x] = map.x_values[ix];
+      const core::OracleResult r = oracle.Optimize(c);
+      auto it =
+          std::find(map.plan_ids.begin(), map.plan_ids.end(), r.plan_id);
+      int idx;
+      if (it == map.plan_ids.end()) {
+        idx = static_cast<int>(map.plan_ids.size());
+        map.plan_ids.push_back(r.plan_id);
+      } else {
+        idx = static_cast<int>(it - map.plan_ids.begin());
+      }
+      map.cells[iy * resolution + ix] = idx;
+    }
+  }
+  return map;
+}
+
+std::string RenderPlanMap(const PlanMap& map, const std::string& x_label,
+                          const std::string& y_label) {
+  static const char kGlyphs[] =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+  const size_t n_glyphs = sizeof(kGlyphs) - 1;
+
+  std::string out =
+      StrFormat("plan map: x = %s, y = %s (log-log, y grows upward)\n",
+                x_label.c_str(), y_label.c_str());
+  for (size_t row = map.resolution; row-- > 0;) {
+    out += "  ";
+    for (size_t ix = 0; ix < map.resolution; ++ix) {
+      const int idx = map.cell(ix, row);
+      out += idx < 0 ? '?' : kGlyphs[static_cast<size_t>(idx) % n_glyphs];
+    }
+    out += "\n";
+  }
+  out += "legend:\n";
+  for (size_t i = 0; i < map.plan_ids.size(); ++i) {
+    out += StrFormat("  %c = %.90s\n", kGlyphs[i % n_glyphs],
+                     map.plan_ids[i].c_str());
+  }
+  return out;
+}
+
+}  // namespace costsense::exp

@@ -1,0 +1,45 @@
+#ifndef COSTSENSE_EXP_PLAN_MAP_H_
+#define COSTSENSE_EXP_PLAN_MAP_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/feasible_region.h"
+#include "core/oracle.h"
+
+namespace costsense::exp {
+
+/// A 2-D raster of the optimizer's regions of influence: a plan diagram in
+/// the parametric-query-optimization tradition, and a direct visualization
+/// of the paper's Figure 4 (cone-shaped regions separated by switchover
+/// planes). Two resource dimensions sweep log-uniformly across the
+/// feasible box; all other dimensions stay at the box center.
+struct PlanMap {
+  size_t dim_x = 0;
+  size_t dim_y = 0;
+  size_t resolution = 0;
+  /// cell(ix, iy) = index into `plan_ids` of the optimal plan there; x is
+  /// the fast axis.
+  std::vector<int> cells;
+  std::vector<std::string> plan_ids;
+  /// Axis sample values (log-spaced), size `resolution` each.
+  std::vector<double> x_values;
+  std::vector<double> y_values;
+
+  int cell(size_t ix, size_t iy) const { return cells[iy * resolution + ix]; }
+};
+
+/// Rasterizes the plan map by querying `oracle` at resolution^2 points.
+Result<PlanMap> ComputePlanMap(core::PlanOracle& oracle, const core::Box& box,
+                               size_t dim_x, size_t dim_y,
+                               size_t resolution = 24);
+
+/// Renders the map as ASCII art: one letter per distinct plan, plus a
+/// legend mapping letters to plan ids.
+std::string RenderPlanMap(const PlanMap& map, const std::string& x_label,
+                          const std::string& y_label);
+
+}  // namespace costsense::exp
+
+#endif  // COSTSENSE_EXP_PLAN_MAP_H_

@@ -1,0 +1,41 @@
+#ifndef COSTSENSE_EXP_REPORT_H_
+#define COSTSENSE_EXP_REPORT_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/complementarity.h"
+#include "exp/figure_runner.h"
+
+namespace costsense::exp {
+
+/// Renders a figure's series as a fixed-width table: one row per query,
+/// one column per delta, values are worst-case global relative cost —
+/// the data behind the paper's Figures 5-7 (each line of those log-scale
+/// plots is one row here).
+std::string RenderFigureTable(const std::string& title,
+                              const std::vector<FigureSeries>& series);
+
+/// Renders the same data as CSV (query, delta, gtc, worst_rival).
+std::string RenderFigureCsv(const std::vector<FigureSeries>& series);
+
+/// Renders the Section 8.2 complementarity census for one layout.
+std::string RenderComplementarityTable(
+    const std::string& title,
+    const std::vector<std::pair<std::string, core::ComplementarityReport>>&
+        rows);
+
+/// Parses the COSTSENSE_QUICK environment variable: when set (non-empty,
+/// not "0"), benches restrict to a representative query subset and
+/// lighter discovery so the whole suite runs in seconds. Full fidelity is
+/// the default.
+bool QuickMode();
+
+/// The query numbers exercised in quick mode (the paper's highlighted
+/// queries: 1, 8, 11, 16, 19, 20).
+std::vector<int> QuickQueryNumbers();
+
+}  // namespace costsense::exp
+
+#endif  // COSTSENSE_EXP_REPORT_H_

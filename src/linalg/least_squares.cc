@@ -1,0 +1,52 @@
+#include "linalg/least_squares.h"
+
+#include <cmath>
+
+namespace costsense::linalg {
+
+Result<Vector> LeastSquares(const Matrix& c, const Vector& t) {
+  if (c.rows() < c.cols()) {
+    return Status::FailedPrecondition(
+        "least squares needs at least as many samples as unknowns");
+  }
+  if (c.rows() != t.size()) {
+    return Status::InvalidArgument("row count of C must match size of t");
+  }
+  const Matrix ct = c.Transposed();
+  const Matrix normal = ct.Multiply(c);      // C^T C  (n x n)
+  const Vector rhs = ct.Multiply(t);         // C^T t  (n)
+  Result<Matrix> inv = Invert(normal);
+  if (!inv.ok()) {
+    return Status::FailedPrecondition(
+        "C^T C is singular; cost-vector samples are not independent");
+  }
+  return inv.value().Multiply(rhs);
+}
+
+Result<Vector> NonNegativeLeastSquares(const Matrix& c, const Vector& t,
+                                       double clamp_tol) {
+  Result<Vector> fit = LeastSquares(c, t);
+  if (!fit.ok()) return fit;
+  Vector x = std::move(fit).value();
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (x[i] < 0.0 && x[i] > -clamp_tol) x[i] = 0.0;
+  }
+  return x;
+}
+
+double RelativeResidual(const Matrix& c, const Vector& x, const Vector& t) {
+  double sum_sq = 0.0;
+  size_t count = 0;
+  for (size_t r = 0; r < c.rows(); ++r) {
+    if (t[r] == 0.0) continue;
+    double pred = 0.0;
+    for (size_t j = 0; j < c.cols(); ++j) pred += c(r, j) * x[j];
+    const double rel = (pred - t[r]) / t[r];
+    sum_sq += rel * rel;
+    ++count;
+  }
+  if (count == 0) return 0.0;
+  return std::sqrt(sum_sq / static_cast<double>(count));
+}
+
+}  // namespace costsense::linalg

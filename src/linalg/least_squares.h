@@ -1,0 +1,34 @@
+#ifndef COSTSENSE_LINALG_LEAST_SQUARES_H_
+#define COSTSENSE_LINALG_LEAST_SQUARES_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace costsense::linalg {
+
+/// Solves the overdetermined system C x ~= t in the least-squares sense via
+/// the normal equations  x = (C^T C)^{-1} C^T t, using Gaussian elimination
+/// for the inverse — exactly the estimator of paper Section 6.1.1, where C's
+/// rows are resource cost vectors and t holds the optimizer-reported total
+/// costs of one plan, so that x recovers the plan's resource usage vector.
+///
+/// Requires rows(C) >= cols(C) and C of full column rank; otherwise returns
+/// FailedPrecondition.
+Result<Vector> LeastSquares(const Matrix& c, const Vector& t);
+
+/// Like LeastSquares, but additionally clamps slightly-negative components
+/// of the solution to zero. Resource usage is physically non-negative; small
+/// negative values arise from quantization noise in the observed costs
+/// (paper Section 6.1.1 compensates by oversampling, m >= 2n).
+Result<Vector> NonNegativeLeastSquares(const Matrix& c, const Vector& t,
+                                       double clamp_tol);
+
+/// Root-mean-square relative residual of a least-squares fit:
+/// sqrt(mean_i ((C_i . x - t_i) / t_i)^2) over rows with t_i != 0. Used to
+/// reproduce the paper's validation that extraction error is below 1%.
+double RelativeResidual(const Matrix& c, const Vector& x, const Vector& t);
+
+}  // namespace costsense::linalg
+
+#endif  // COSTSENSE_LINALG_LEAST_SQUARES_H_

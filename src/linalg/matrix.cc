@@ -1,0 +1,162 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace costsense::linalg {
+
+namespace {
+constexpr double kSingularTol = 1e-12;
+}  // namespace
+
+Matrix Matrix::FromRows(const std::vector<Vector>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    COSTSENSE_CHECK(rows[r].size() == m.cols());
+    for (size_t c = 0; c < m.cols(); ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Vector Matrix::Row(size_t r) const {
+  COSTSENSE_CHECK(r < rows_);
+  Vector out(cols_);
+  for (size_t c = 0; c < cols_; ++c) out[c] = (*this)(r, c);
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Vector Matrix::Multiply(const Vector& x) const {
+  COSTSENSE_CHECK(x.size() == cols_);
+  Vector out(rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (size_t c = 0; c < cols_; ++c) s += (*this)(r, c) * x[c];
+    out[r] = s;
+  }
+  return out;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  COSTSENSE_CHECK(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (size_t c = 0; c < other.cols_; ++c) {
+        out(r, c) += a * other(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+std::string Matrix::ToString() const {
+  std::string out;
+  for (size_t r = 0; r < rows_; ++r) {
+    out += Row(r).ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+Result<Vector> SolveLinearSystem(const Matrix& a, const Vector& b) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("SolveLinearSystem requires a square A");
+  }
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("dimension mismatch between A and b");
+  }
+  const size_t n = a.rows();
+  Matrix work = a;
+  Vector rhs = b;
+
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivoting: move the largest-magnitude entry to the diagonal.
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(work(r, col)) > std::fabs(work(pivot, col))) pivot = r;
+    }
+    if (std::fabs(work(pivot, col)) < kSingularTol) {
+      return Status::FailedPrecondition("matrix is singular");
+    }
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(work(pivot, c), work(col, c));
+      std::swap(rhs[pivot], rhs[col]);
+    }
+    const double inv = 1.0 / work(col, col);
+    for (size_t r = col + 1; r < n; ++r) {
+      const double f = work(r, col) * inv;
+      if (f == 0.0) continue;
+      work(r, col) = 0.0;
+      for (size_t c = col + 1; c < n; ++c) work(r, c) -= f * work(col, c);
+      rhs[r] -= f * rhs[col];
+    }
+  }
+  // Back substitution.
+  Vector x(n);
+  for (size_t ri = n; ri-- > 0;) {
+    double s = rhs[ri];
+    for (size_t c = ri + 1; c < n; ++c) s -= work(ri, c) * x[c];
+    x[ri] = s / work(ri, ri);
+  }
+  return x;
+}
+
+Result<Matrix> Invert(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Invert requires a square matrix");
+  }
+  const size_t n = a.rows();
+  Matrix work = a;
+  Matrix inv = Matrix::Identity(n);
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(work(r, col)) > std::fabs(work(pivot, col))) pivot = r;
+    }
+    if (std::fabs(work(pivot, col)) < kSingularTol) {
+      return Status::FailedPrecondition("matrix is singular");
+    }
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) {
+        std::swap(work(pivot, c), work(col, c));
+        std::swap(inv(pivot, c), inv(col, c));
+      }
+    }
+    const double d = 1.0 / work(col, col);
+    for (size_t c = 0; c < n; ++c) {
+      work(col, c) *= d;
+      inv(col, c) *= d;
+    }
+    for (size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = work(r, col);
+      if (f == 0.0) continue;
+      for (size_t c = 0; c < n; ++c) {
+        work(r, c) -= f * work(col, c);
+        inv(r, c) -= f * inv(col, c);
+      }
+    }
+  }
+  return inv;
+}
+
+}  // namespace costsense::linalg

@@ -1,0 +1,68 @@
+#ifndef COSTSENSE_LINALG_MATRIX_H_
+#define COSTSENSE_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/vector.h"
+
+namespace costsense::linalg {
+
+/// A dense row-major matrix of doubles.
+///
+/// Sized for the small systems this library solves: normal equations for
+/// least-squares usage-vector estimation (paper Section 6.1.1, n <= a few
+/// dozen resources) and simplex tableaus.
+class Matrix {
+ public:
+  Matrix() = default;
+  /// Creates a `rows` x `cols` zero matrix.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Builds a matrix whose rows are the given vectors (all equal length).
+  static Matrix FromRows(const std::vector<Vector>& rows);
+  /// Returns the `n` x `n` identity.
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+
+  /// Returns row `r` as a Vector.
+  Vector Row(size_t r) const;
+
+  /// Returns the transpose.
+  Matrix Transposed() const;
+
+  /// Matrix-vector product (dimensions CHECKed).
+  Vector Multiply(const Vector& x) const;
+
+  /// Matrix-matrix product (dimensions CHECKed).
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Renders rows one per line, for debugging.
+  std::string ToString() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves the square system A x = b by Gaussian elimination with partial
+/// pivoting (the method the paper cites for its least-squares solve).
+/// Fails with InvalidArgument on shape mismatch and FailedPrecondition if A
+/// is singular to working precision.
+Result<Vector> SolveLinearSystem(const Matrix& a, const Vector& b);
+
+/// Computes A^{-1} via Gauss-Jordan elimination. Fails if A is singular.
+Result<Matrix> Invert(const Matrix& a);
+
+}  // namespace costsense::linalg
+
+#endif  // COSTSENSE_LINALG_MATRIX_H_

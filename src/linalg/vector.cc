@@ -1,0 +1,89 @@
+#include "linalg/vector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace costsense::linalg {
+
+Vector& Vector::operator+=(const Vector& other) {
+  COSTSENSE_CHECK(size() == other.size());
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& other) {
+  COSTSENSE_CHECK(size() == other.size());
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator*=(double k) {
+  for (double& v : data_) v *= k;
+  return *this;
+}
+
+Vector Vector::Hadamard(const Vector& other) const {
+  COSTSENSE_CHECK(size() == other.size());
+  Vector out(size());
+  for (size_t i = 0; i < size(); ++i) out[i] = data_[i] * other.data_[i];
+  return out;
+}
+
+double Vector::Norm() const { return std::sqrt(Dot(*this, *this)); }
+
+double Vector::InfNorm() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+double Vector::Sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+double Vector::Max() const {
+  COSTSENSE_CHECK(!empty());
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+double Vector::Min() const {
+  COSTSENSE_CHECK(!empty());
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+bool Vector::AllLessEqual(const Vector& other, double tol) const {
+  COSTSENSE_CHECK(size() == other.size());
+  for (size_t i = 0; i < size(); ++i) {
+    if (data_[i] > other.data_[i] + tol) return false;
+  }
+  return true;
+}
+
+std::string Vector::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(size());
+  for (double v : data_) parts.push_back(FormatDouble(v));
+  return "[" + Join(parts, ", ") + "]";
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  COSTSENSE_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+bool ApproxEqual(const Vector& a, const Vector& b, double tol) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::fabs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace costsense::linalg

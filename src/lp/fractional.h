@@ -1,0 +1,39 @@
+#ifndef COSTSENSE_LP_FRACTIONAL_H_
+#define COSTSENSE_LP_FRACTIONAL_H_
+
+#include "common/status.h"
+#include "linalg/vector.h"
+
+namespace costsense::lp {
+
+/// Result of a linear-fractional maximization.
+struct FractionalSolution {
+  /// Maximum value of (a.x)/(b.x) over the box.
+  double value = 0.0;
+  /// Arg max point (always a vertex of the box).
+  linalg::Vector x;
+};
+
+/// Maximizes the ratio (a.x)/(b.x) over the axis-aligned box
+/// lower <= x <= upper, exactly, via Dinkelbach's parametric algorithm
+/// (each iteration solves max (a - lambda*b).x, which separates per
+/// coordinate on a box; lambda increases monotonically to the optimum).
+///
+/// In the paper's terms: a and b are resource usage vectors of two plans
+/// and the box is the feasible cost region, so the optimum is the exact
+/// worst-case relative total cost T_rel(a, b, C) over all feasible C (the
+/// quantity the paper maximizes by sweeping the 2^n box vertices, justified
+/// by its Observation 2 — linear-fractional objectives attain their maximum
+/// at a vertex). This route is polynomial in n, where the sweep stops
+/// scaling around 20 resources.
+///
+/// Requirements: sizes match; lower > 0 element-wise (cost bounds are
+/// positive); a, b >= 0 element-wise with b not identically zero.
+Result<FractionalSolution> MaximizeRatioOverBox(const linalg::Vector& a,
+                                                const linalg::Vector& b,
+                                                const linalg::Vector& lower,
+                                                const linalg::Vector& upper);
+
+}  // namespace costsense::lp
+
+#endif  // COSTSENSE_LP_FRACTIONAL_H_

@@ -1,0 +1,53 @@
+#ifndef COSTSENSE_LP_SIMPLEX_H_
+#define COSTSENSE_LP_SIMPLEX_H_
+
+#include <vector>
+
+#include "linalg/vector.h"
+
+namespace costsense::lp {
+
+/// Relation of a linear constraint's left side to its right side.
+enum class Relation { kLessEqual, kGreaterEqual, kEqual };
+
+/// One linear constraint: coeffs . x  <relation>  rhs.
+struct Constraint {
+  linalg::Vector coeffs;
+  Relation rel = Relation::kLessEqual;
+  double rhs = 0.0;
+};
+
+/// A linear program over non-negative variables x >= 0:
+///   maximize (or minimize) objective . x  subject to the constraints.
+///
+/// costsense uses LPs for two jobs in the paper's algorithms:
+///  * deciding candidate optimality of a plan (does a feasible cost vector
+///    exist under which the plan beats all others — paper Section 4.4), and
+///  * exact worst-case relative-cost maximization over the feasible cost
+///    region (the companion fractional maximizer in fractional.h replaces
+///    the 2^n vertex sweep when the resource count is large).
+struct Problem {
+  size_t num_vars = 0;
+  linalg::Vector objective;
+  std::vector<Constraint> constraints;
+  bool maximize = true;
+};
+
+/// Outcome of a solve.
+enum class SolveStatus { kOptimal, kInfeasible, kUnbounded };
+
+/// Optimal point and value (valid when status == kOptimal).
+struct Solution {
+  SolveStatus status = SolveStatus::kInfeasible;
+  double objective_value = 0.0;
+  linalg::Vector x;
+};
+
+/// Solves `problem` with a dense two-phase primal simplex using Bland's
+/// rule (no cycling). Suitable for the small instances this library
+/// generates (tens of variables and constraints).
+Solution Solve(const Problem& problem);
+
+}  // namespace costsense::lp
+
+#endif  // COSTSENSE_LP_SIMPLEX_H_

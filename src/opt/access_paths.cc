@@ -1,0 +1,42 @@
+#include "opt/access_paths.h"
+
+#include <algorithm>
+
+namespace costsense::opt {
+
+std::vector<PlanNodePtr> EnumerateAccessPaths(const CostModel& model,
+                                              const catalog::Catalog& catalog,
+                                              size_t ref,
+                                              const OptimizerOptions& options) {
+  const query::Query& q = model.query();
+  const query::TableRef& tref = q.refs[ref];
+
+  std::vector<PlanNodePtr> paths;
+  paths.push_back(model.SeqScan(ref));
+
+  const std::vector<size_t> used = model.UsedColumns(ref);
+  for (int index_id : catalog.IndexesOn(tref.table_id)) {
+    const catalog::Index& idx = catalog.index(index_id);
+    const size_t lead = idx.key_columns.front();
+
+    bool sargable = false;
+    for (const query::ColumnRestriction& r : tref.restrictions) {
+      if (r.column == lead && r.sargable) sargable = true;
+    }
+    // The index order is useful if its leading column participates in a
+    // join, grouping, or ordering for this reference.
+    const bool order_useful =
+        std::find(used.begin(), used.end(), lead) != used.end();
+    const bool covering =
+        options.enable_index_only && model.IndexCoversRef(ref, index_id);
+
+    if (!sargable && !order_useful && !covering) continue;
+    paths.push_back(model.IndexScan(ref, index_id, /*index_only=*/false));
+    if (covering) {
+      paths.push_back(model.IndexScan(ref, index_id, /*index_only=*/true));
+    }
+  }
+  return paths;
+}
+
+}  // namespace costsense::opt

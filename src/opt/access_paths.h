@@ -1,0 +1,41 @@
+#ifndef COSTSENSE_OPT_ACCESS_PATHS_H_
+#define COSTSENSE_OPT_ACCESS_PATHS_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "opt/cost_model.h"
+#include "opt/plan.h"
+
+namespace costsense::opt {
+
+/// Optimizer feature switches. Defaults correspond to the paper's DB2
+/// configuration (optimization level 7: full plan space, bushy trees, hash
+/// joins enabled). Individual toggles exist for ablation benchmarks.
+struct OptimizerOptions {
+  bool bushy_joins = true;
+  bool enable_index_only = true;
+  bool enable_hash_join = true;
+  bool enable_sort_merge_join = true;
+  bool enable_index_nl_join = true;
+  bool enable_block_nl_join = true;
+  /// Cross products are only generated when the join graph is
+  /// disconnected (or when forced here).
+  bool allow_cross_products = false;
+  /// Pareto entries retained per table subset (cost/order frontier cap).
+  size_t max_entries_per_subset = 6;
+};
+
+/// Enumerates the leaf access paths for query reference `ref`: the
+/// sequential scan, plus an index scan for every index that is useful —
+/// sargable restriction on its leading column, an order the query can
+/// exploit, or full coverage (index-only). This mirrors Selinger-style
+/// single-relation access path selection.
+std::vector<PlanNodePtr> EnumerateAccessPaths(const CostModel& model,
+                                              const catalog::Catalog& catalog,
+                                              size_t ref,
+                                              const OptimizerOptions& options);
+
+}  // namespace costsense::opt
+
+#endif  // COSTSENSE_OPT_ACCESS_PATHS_H_

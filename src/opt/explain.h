@@ -1,0 +1,32 @@
+#ifndef COSTSENSE_OPT_EXPLAIN_H_
+#define COSTSENSE_OPT_EXPLAIN_H_
+
+#include <string>
+
+#include "core/vectors.h"
+#include "opt/plan.h"
+#include "query/query.h"
+#include "storage/resource_space.h"
+
+namespace costsense::opt {
+
+/// Renders a plan tree as an indented EXPLAIN listing with per-node
+/// cardinalities and the subtree resource usage, e.g.
+///
+///   HSJ  rows=2.4e+05 width=120
+///   ├─ SORT[r0.c0]  rows=6e+06 ...
+///   ...
+///
+/// The paper used DB2's EXPLAIN facility the same way to examine why
+/// particular queries switched plans (Section 8.1.1).
+std::string Explain(const PlanNode& plan, const query::Query& query);
+
+/// One-line summary: canonical id, total cost under `costs`, and the
+/// usage vector rendered against the resource space's dimension names.
+std::string ExplainSummary(const PlanNode& plan,
+                           const storage::ResourceSpace& space,
+                           const core::CostVector& costs);
+
+}  // namespace costsense::opt
+
+#endif  // COSTSENSE_OPT_EXPLAIN_H_

@@ -1,0 +1,41 @@
+#include "opt/optimizer.h"
+
+#include "opt/cost_model.h"
+#include "opt/join_enum.h"
+
+namespace costsense::opt {
+
+Optimizer::Optimizer(const catalog::Catalog& catalog,
+                     const storage::StorageLayout& layout,
+                     const storage::ResourceSpace& space,
+                     OptimizerOptions options)
+    : catalog_(catalog), layout_(layout), space_(space), options_(options) {
+  // DB2 only considers bushy shapes at higher optimization levels; mirror
+  // that coupling unless the caller overrode it explicitly.
+  if (catalog_.config().optimization_level < 5) {
+    options_.bushy_joins = false;
+  }
+}
+
+Result<Optimized> Optimizer::Optimize(const query::Query& query,
+                                      const core::CostVector& costs) const {
+  if (costs.size() != space_.dims()) {
+    return Status::InvalidArgument(
+        "cost vector dimension does not match the resource space");
+  }
+  const CostModel model(catalog_, layout_, space_, query);
+  JoinEnumerator enumerator(model, catalog_, options_);
+  Result<PlanNodePtr> best = enumerator.BestPlan(costs);
+  if (!best.ok()) return best.status();
+  Optimized out;
+  out.plan = std::move(best).value();
+  out.total_cost = core::TotalCost(out.plan->usage, costs);
+  return out;
+}
+
+Result<Optimized> Optimizer::OptimizeAtBaseline(
+    const query::Query& query) const {
+  return Optimize(query, space_.BaselineCosts());
+}
+
+}  // namespace costsense::opt

@@ -1,0 +1,50 @@
+#include "opt/plan.h"
+
+#include "common/strings.h"
+
+namespace costsense::opt {
+
+const char* OpTypeName(OpType op) {
+  switch (op) {
+    case OpType::kSeqScan:
+      return "SCAN";
+    case OpType::kIndexScan:
+      return "IXS";
+    case OpType::kIndexNLJoin:
+      return "INL";
+    case OpType::kBlockNLJoin:
+      return "BNL";
+    case OpType::kSortMergeJoin:
+      return "SMJ";
+    case OpType::kHashJoin:
+      return "HSJ";
+    case OpType::kSort:
+      return "SORT";
+    case OpType::kAggregate:
+      return "AGG";
+  }
+  return "?";
+}
+
+bool OrderSatisfies(const std::vector<query::SortKey>& produced,
+                    const std::vector<query::SortKey>& required) {
+  if (required.size() > produced.size()) return false;
+  for (size_t i = 0; i < required.size(); ++i) {
+    if (produced[i].ref != required[i].ref ||
+        produced[i].column != required[i].column) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string KeysToString(const std::vector<query::SortKey>& keys) {
+  std::vector<std::string> parts;
+  parts.reserve(keys.size());
+  for (const query::SortKey& k : keys) {
+    parts.push_back(StrFormat("r%zu.c%zu", k.ref, k.column));
+  }
+  return Join(parts, ",");
+}
+
+}  // namespace costsense::opt

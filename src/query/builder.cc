@@ -1,0 +1,110 @@
+#include "query/builder.h"
+
+#include "common/macros.h"
+
+namespace costsense::query {
+
+QueryBuilder::QueryBuilder(const catalog::Catalog& catalog, std::string name)
+    : catalog_(catalog) {
+  query_.name = std::move(name);
+}
+
+size_t QueryBuilder::RefIndex(const std::string& alias) const {
+  for (size_t i = 0; i < query_.refs.size(); ++i) {
+    if (query_.refs[i].alias == alias) return i;
+  }
+  COSTSENSE_CHECK_MSG(false, ("unknown alias: " + alias).c_str());
+  return 0;
+}
+
+size_t QueryBuilder::ColumnIndex(size_t ref, const std::string& column) const {
+  const auto& table = catalog_.table(query_.refs[ref].table_id);
+  const Result<size_t> idx = table.ColumnIndex(column);
+  COSTSENSE_CHECK_MSG(idx.ok(), ("unknown column: " + column).c_str());
+  return idx.value();
+}
+
+QueryBuilder& QueryBuilder::Table(const std::string& table_name,
+                                  const std::string& alias) {
+  const Result<int> id = catalog_.TableId(table_name);
+  COSTSENSE_CHECK_MSG(id.ok(), ("unknown table: " + table_name).c_str());
+  for (const TableRef& ref : query_.refs) {
+    COSTSENSE_CHECK_MSG(ref.alias != alias, "duplicate alias");
+  }
+  TableRef ref;
+  ref.table_id = id.value();
+  ref.alias = alias;
+  query_.refs.push_back(std::move(ref));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::LocalSelectivity(const std::string& alias,
+                                             double selectivity) {
+  COSTSENSE_CHECK(selectivity >= 0.0 && selectivity <= 1.0);
+  query_.refs[RefIndex(alias)].local_selectivity = selectivity;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Restrict(const std::string& alias,
+                                     const std::string& column,
+                                     double selectivity, bool sargable,
+                                     bool fold) {
+  COSTSENSE_CHECK(selectivity >= 0.0 && selectivity <= 1.0);
+  const size_t ref = RefIndex(alias);
+  ColumnRestriction r;
+  r.column = ColumnIndex(ref, column);
+  r.selectivity = selectivity;
+  r.sargable = sargable;
+  query_.refs[ref].restrictions.push_back(r);
+  if (fold) query_.refs[ref].local_selectivity *= selectivity;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Project(const std::string& alias,
+                                    double width_fraction) {
+  COSTSENSE_CHECK(width_fraction > 0.0 && width_fraction <= 1.0);
+  query_.refs[RefIndex(alias)].projected_width_fraction = width_fraction;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Join(const std::string& left_alias,
+                                 const std::string& left_column,
+                                 const std::string& right_alias,
+                                 const std::string& right_column,
+                                 JoinKind kind, double selectivity_override) {
+  JoinEdge e;
+  e.left_ref = RefIndex(left_alias);
+  e.right_ref = RefIndex(right_alias);
+  COSTSENSE_CHECK_MSG(e.left_ref != e.right_ref, "self-join edge");
+  e.left_column = ColumnIndex(e.left_ref, left_column);
+  e.right_column = ColumnIndex(e.right_ref, right_column);
+  e.kind = kind;
+  e.selectivity_override = selectivity_override;
+  query_.joins.push_back(e);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::GroupBy(double output_groups,
+                                    const std::vector<std::string>& keys) {
+  query_.aggregation.present = true;
+  query_.aggregation.output_groups = output_groups;
+  for (const std::string& key : keys) {
+    const size_t dot = key.find('.');
+    COSTSENSE_CHECK_MSG(dot != std::string::npos, "key must be alias.column");
+    const size_t ref = RefIndex(key.substr(0, dot));
+    query_.aggregation.group_keys.push_back(
+        {ref, ColumnIndex(ref, key.substr(dot + 1))});
+  }
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::OrderBy(const std::string& alias,
+                                    const std::string& column) {
+  const size_t ref = RefIndex(alias);
+  query_.order_by.push_back({ref, ColumnIndex(ref, column)});
+  return *this;
+}
+
+Query QueryBuilder::Build() { return std::move(query_); }
+
+}  // namespace costsense::query

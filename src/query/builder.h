@@ -1,0 +1,64 @@
+#ifndef COSTSENSE_QUERY_BUILDER_H_
+#define COSTSENSE_QUERY_BUILDER_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "query/query.h"
+
+namespace costsense::query {
+
+/// Fluent construction of Query objects against a catalog, resolving table
+/// and column names and validating references. Aborts (CHECK) on unknown
+/// names — queries are authored by programmers, not end users.
+class QueryBuilder {
+ public:
+  QueryBuilder(const catalog::Catalog& catalog, std::string name);
+
+  /// Adds a table reference; returns *this for chaining. `alias` must be
+  /// unique within the query.
+  QueryBuilder& Table(const std::string& table_name, const std::string& alias);
+
+  /// Sets the combined local-predicate selectivity of `alias`.
+  QueryBuilder& LocalSelectivity(const std::string& alias, double selectivity);
+
+  /// Adds an indexable restriction on `alias.column` with the given
+  /// selectivity. Also folds the selectivity into the combined local
+  /// selectivity unless `fold` is false.
+  QueryBuilder& Restrict(const std::string& alias, const std::string& column,
+                         double selectivity, bool sargable = true,
+                         bool fold = true);
+
+  /// Sets the projected width fraction of `alias`.
+  QueryBuilder& Project(const std::string& alias, double width_fraction);
+
+  /// Adds an equi-join edge between alias.column pairs.
+  QueryBuilder& Join(const std::string& left_alias,
+                     const std::string& left_column,
+                     const std::string& right_alias,
+                     const std::string& right_column,
+                     JoinKind kind = JoinKind::kInner,
+                     double selectivity_override = -1.0);
+
+  /// Declares aggregation with an estimated group count and optional
+  /// grouping keys ("alias.column" strings).
+  QueryBuilder& GroupBy(double output_groups,
+                        const std::vector<std::string>& keys = {});
+
+  /// Appends an ORDER BY key "alias.column".
+  QueryBuilder& OrderBy(const std::string& alias, const std::string& column);
+
+  /// Finalizes and returns the query.
+  Query Build();
+
+ private:
+  size_t RefIndex(const std::string& alias) const;
+  size_t ColumnIndex(size_t ref, const std::string& column) const;
+
+  const catalog::Catalog& catalog_;
+  Query query_;
+};
+
+}  // namespace costsense::query
+
+#endif  // COSTSENSE_QUERY_BUILDER_H_

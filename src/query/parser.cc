@@ -1,0 +1,535 @@
+#include "query/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "catalog/selectivity.h"
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace costsense::query {
+
+namespace {
+
+// Default selectivities where statistics cannot decide (Selinger-style
+// magic numbers).
+constexpr double kPrefixLikeSelectivity = 0.02;
+constexpr double kInfixLikeSelectivity = 0.10;
+constexpr double kStringRangeSelectivity = 1.0 / 3.0;
+
+enum class TokenKind { kIdent, kNumber, kString, kSymbol, kEnd };
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // identifier (upper-cased for keywords), symbol, or
+                      // string body
+  double number = 0.0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view sql) : sql_(sql) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (pos_ < sql_.size()) {
+      const char c = sql_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        out.push_back(Ident());
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && pos_ + 1 < sql_.size() &&
+           std::isdigit(static_cast<unsigned char>(sql_[pos_ + 1])))) {
+        out.push_back(Number());
+        continue;
+      }
+      if (c == '\'') {
+        Result<Token> s = QuotedString();
+        if (!s.ok()) return s.status();
+        out.push_back(std::move(s).value());
+        continue;
+      }
+      // Multi-char comparison symbols.
+      for (const char* sym : {"<=", ">=", "<>", "!="}) {
+        if (sql_.substr(pos_, 2) == sym) {
+          out.push_back({TokenKind::kSymbol, sym == std::string("!=")
+                                                 ? "<>"
+                                                 : std::string(sym)});
+          pos_ += 2;
+          goto next;
+        }
+      }
+      if (std::string("(),.=<>*+-/").find(c) != std::string::npos) {
+        out.push_back({TokenKind::kSymbol, std::string(1, c)});
+        ++pos_;
+        continue;
+      }
+      return Status::InvalidArgument(
+          StrFormat("unexpected character '%c' at offset %zu", c, pos_));
+    next:;
+    }
+    out.push_back({TokenKind::kEnd, ""});
+    return out;
+  }
+
+ private:
+  Token Ident() {
+    const size_t start = pos_;
+    while (pos_ < sql_.size() &&
+           (std::isalnum(static_cast<unsigned char>(sql_[pos_])) ||
+            sql_[pos_] == '_')) {
+      ++pos_;
+    }
+    Token t{TokenKind::kIdent, std::string(sql_.substr(start, pos_ - start))};
+    return t;
+  }
+
+  Token Number() {
+    const size_t start = pos_;
+    while (pos_ < sql_.size() &&
+           (std::isdigit(static_cast<unsigned char>(sql_[pos_])) ||
+            sql_[pos_] == '.' || sql_[pos_] == 'e' || sql_[pos_] == 'E' ||
+            ((sql_[pos_] == '+' || sql_[pos_] == '-') &&
+             (sql_[pos_ - 1] == 'e' || sql_[pos_ - 1] == 'E')))) {
+      ++pos_;
+    }
+    Token t{TokenKind::kNumber, std::string(sql_.substr(start, pos_ - start))};
+    t.number = std::strtod(t.text.c_str(), nullptr);
+    return t;
+  }
+
+  Result<Token> QuotedString() {
+    ++pos_;  // opening quote
+    const size_t start = pos_;
+    while (pos_ < sql_.size() && sql_[pos_] != '\'') ++pos_;
+    if (pos_ >= sql_.size()) {
+      return Status::InvalidArgument("unterminated string literal");
+    }
+    Token t{TokenKind::kString,
+            std::string(sql_.substr(start, pos_ - start))};
+    ++pos_;  // closing quote
+    return t;
+  }
+
+  std::string_view sql_;
+  size_t pos_ = 0;
+};
+
+std::string Upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+/// A parsed literal: either numeric (possibly a converted date) or a
+/// string whose exact value the statistics cannot place.
+struct Literal {
+  bool numeric = false;
+  double value = 0.0;
+};
+
+class Parser {
+ public:
+  Parser(const catalog::Catalog& catalog, std::vector<Token> tokens)
+      : catalog_(catalog), tokens_(std::move(tokens)) {}
+
+  Result<Query> Run() {
+    COSTSENSE_RETURN_IF_ERROR(ParseSelect());
+    COSTSENSE_RETURN_IF_ERROR(ParseFrom());
+    if (AcceptKeyword("WHERE")) {
+      COSTSENSE_RETURN_IF_ERROR(ParseConjunct());
+      while (AcceptKeyword("AND")) {
+        COSTSENSE_RETURN_IF_ERROR(ParseConjunct());
+      }
+    }
+    if (AcceptKeyword("GROUP")) {
+      if (!AcceptKeyword("BY")) return Expected("BY after GROUP");
+      COSTSENSE_RETURN_IF_ERROR(ParseKeyList(&group_keys_));
+    }
+    if (AcceptKeyword("ORDER")) {
+      if (!AcceptKeyword("BY")) return Expected("BY after ORDER");
+      COSTSENSE_RETURN_IF_ERROR(ParseKeyList(&order_keys_));
+    }
+    if (!AtEnd()) {
+      return Status::InvalidArgument("trailing tokens after query: " +
+                                     Peek().text);
+    }
+    return Finish();
+  }
+
+ private:
+  // --- token helpers -----------------------------------------------------
+  const Token& Peek() const { return tokens_[pos_]; }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+  void Advance() { ++pos_; }
+
+  bool AcceptKeyword(const std::string& kw) {
+    if (Peek().kind == TokenKind::kIdent && Upper(Peek().text) == kw) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool AcceptSymbol(const std::string& sym) {
+    if (Peek().kind == TokenKind::kSymbol && Peek().text == sym) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status Expected(const std::string& what) const {
+    return Status::InvalidArgument("expected " + what + " near '" +
+                                   Peek().text + "'");
+  }
+
+  // --- clause parsing ----------------------------------------------------
+  Status ParseSelect() {
+    if (!AcceptKeyword("SELECT")) return Expected("SELECT");
+    // Scan (without interpreting) up to FROM, noting aggregate functions.
+    while (!AtEnd() && !(Peek().kind == TokenKind::kIdent &&
+                         Upper(Peek().text) == "FROM")) {
+      if (Peek().kind == TokenKind::kIdent) {
+        const std::string kw = Upper(Peek().text);
+        if (kw == "SUM" || kw == "AVG" || kw == "COUNT" || kw == "MIN" ||
+            kw == "MAX") {
+          has_aggregate_ = true;
+        }
+      }
+      Advance();
+    }
+    return Status::Ok();
+  }
+
+  Status ParseFrom() {
+    if (!AcceptKeyword("FROM")) return Expected("FROM");
+    COSTSENSE_RETURN_IF_ERROR(ParseTableItem(JoinKind::kInner, false));
+    while (true) {
+      if (AcceptSymbol(",")) {
+        COSTSENSE_RETURN_IF_ERROR(ParseTableItem(JoinKind::kInner, false));
+        continue;
+      }
+      JoinKind kind = JoinKind::kInner;
+      bool explicit_join = false;
+      if (AcceptKeyword("SEMI")) {
+        kind = JoinKind::kSemi;
+        explicit_join = true;
+        if (!AcceptKeyword("JOIN")) return Expected("JOIN after SEMI");
+      } else if (AcceptKeyword("ANTI")) {
+        kind = JoinKind::kAnti;
+        explicit_join = true;
+        if (!AcceptKeyword("JOIN")) return Expected("JOIN after ANTI");
+      } else if (AcceptKeyword("INNER")) {
+        explicit_join = true;
+        if (!AcceptKeyword("JOIN")) return Expected("JOIN after INNER");
+      } else if (AcceptKeyword("JOIN")) {
+        explicit_join = true;
+      }
+      if (!explicit_join) break;
+      COSTSENSE_RETURN_IF_ERROR(ParseTableItem(kind, true));
+    }
+    return Status::Ok();
+  }
+
+  Status ParseTableItem(JoinKind kind, bool with_on) {
+    if (Peek().kind != TokenKind::kIdent) return Expected("table name");
+    const std::string table = Peek().text;
+    Advance();
+    std::string alias = table;
+    AcceptKeyword("AS");
+    if (Peek().kind == TokenKind::kIdent &&
+        !IsClauseKeyword(Upper(Peek().text))) {
+      alias = Peek().text;
+      Advance();
+    }
+    const Result<int> table_id = catalog_.TableId(table);
+    if (!table_id.ok()) return table_id.status();
+    for (const Ref& r : refs_) {
+      if (r.alias == alias) {
+        return Status::InvalidArgument("duplicate alias: " + alias);
+      }
+    }
+    refs_.push_back({alias, table_id.value()});
+
+    if (with_on) {
+      if (!AcceptKeyword("ON")) return Expected("ON");
+      // The ON condition must be an equi-join; remember the join kind so
+      // the edge gets tagged semi/anti.
+      pending_join_kind_ = kind;
+      COSTSENSE_RETURN_IF_ERROR(ParseConjunct());
+      pending_join_kind_ = JoinKind::kInner;
+    }
+    return Status::Ok();
+  }
+
+  static bool IsClauseKeyword(const std::string& kw) {
+    return kw == "WHERE" || kw == "GROUP" || kw == "ORDER" || kw == "JOIN" ||
+           kw == "SEMI" || kw == "ANTI" || kw == "INNER" || kw == "ON" ||
+           kw == "AND";
+  }
+
+  struct ColumnRef {
+    size_t ref = 0;
+    size_t column = 0;
+  };
+
+  Result<ColumnRef> ParseColumnRef() {
+    if (Peek().kind != TokenKind::kIdent) return Expected("column reference");
+    const std::string first = Peek().text;
+    Advance();
+    std::string alias;
+    std::string column;
+    if (AcceptSymbol(".")) {
+      if (Peek().kind != TokenKind::kIdent) return Expected("column name");
+      alias = first;
+      column = Peek().text;
+      Advance();
+    } else {
+      column = first;  // unqualified: search all refs
+    }
+    for (size_t r = 0; r < refs_.size(); ++r) {
+      if (!alias.empty() && refs_[r].alias != alias) continue;
+      const Result<size_t> col =
+          catalog_.table(refs_[r].table_id).ColumnIndex(column);
+      if (col.ok()) return ColumnRef{r, col.value()};
+      if (!alias.empty()) return col.status();
+    }
+    return Status::NotFound("cannot resolve column '" + column + "'");
+  }
+
+  Result<Literal> ParseLiteral() {
+    if (AcceptKeyword("DATE")) {
+      if (Peek().kind != TokenKind::kString) return Expected("date string");
+      const Result<double> days = ParseDateLiteral(Peek().text);
+      if (!days.ok()) return days.status();
+      Advance();
+      return Literal{true, days.value()};
+    }
+    if (Peek().kind == TokenKind::kNumber) {
+      Literal lit{true, Peek().number};
+      Advance();
+      return lit;
+    }
+    if (Peek().kind == TokenKind::kString) {
+      // A plain string that looks like a date gets the date encoding.
+      const Result<double> days = ParseDateLiteral(Peek().text);
+      Advance();
+      if (days.ok()) return Literal{true, days.value()};
+      return Literal{false, 0.0};
+    }
+    return Expected("literal");
+  }
+
+  Status ParseConjunct() {
+    const Result<ColumnRef> left = ParseColumnRef();
+    if (!left.ok()) return left.status();
+    const catalog::ColumnStats& stats =
+        catalog_.table(refs_[left->ref].table_id).column(left->column).stats;
+
+    if (AcceptKeyword("BETWEEN")) {
+      const Result<Literal> lo = ParseLiteral();
+      if (!lo.ok()) return lo.status();
+      if (!AcceptKeyword("AND")) return Expected("AND in BETWEEN");
+      const Result<Literal> hi = ParseLiteral();
+      if (!hi.ok()) return hi.status();
+      const double sel =
+          lo->numeric && hi->numeric
+              ? catalog::RangeSelectivity(stats, lo->value, hi->value)
+              : kStringRangeSelectivity;
+      restrictions_.push_back({left->ref, left->column, sel, true});
+      return Status::Ok();
+    }
+    if (AcceptKeyword("IN")) {
+      if (!AcceptSymbol("(")) return Expected("( after IN");
+      size_t count = 0;
+      do {
+        const Result<Literal> lit = ParseLiteral();
+        if (!lit.ok()) return lit.status();
+        ++count;
+      } while (AcceptSymbol(","));
+      if (!AcceptSymbol(")")) return Expected(") after IN list");
+      const double sel = std::min(
+          1.0, static_cast<double>(count) * catalog::EqualitySelectivity(stats));
+      restrictions_.push_back({left->ref, left->column, sel, true});
+      return Status::Ok();
+    }
+    if (AcceptKeyword("LIKE")) {
+      if (Peek().kind != TokenKind::kString) return Expected("LIKE pattern");
+      const std::string pattern = Peek().text;
+      Advance();
+      const bool prefix = !pattern.empty() && pattern.front() != '%';
+      restrictions_.push_back({left->ref, left->column,
+                               prefix ? kPrefixLikeSelectivity
+                                      : kInfixLikeSelectivity,
+                               prefix});
+      return Status::Ok();
+    }
+
+    std::string op;
+    for (const char* candidate : {"=", "<>", "<=", ">=", "<", ">"}) {
+      if (AcceptSymbol(candidate)) {
+        op = candidate;
+        break;
+      }
+    }
+    if (op.empty()) return Expected("comparison operator");
+
+    // Column-to-column with '=' is a join edge.
+    const size_t save = pos_;
+    if (op == "=" && Peek().kind == TokenKind::kIdent &&
+        !IsClauseKeyword(Upper(Peek().text))) {
+      const Result<ColumnRef> right = ParseColumnRef();
+      if (right.ok()) {
+        if (right->ref == left->ref) {
+          return Status::InvalidArgument(
+              "same-table column equality is not supported");
+        }
+        joins_.push_back(
+            {left->ref, right->ref, left->column, right->column,
+             pending_join_kind_, -1.0});
+        return Status::Ok();
+      }
+      pos_ = save;  // fall through to literal comparison
+    }
+
+    const Result<Literal> lit = ParseLiteral();
+    if (!lit.ok()) return lit.status();
+    double sel = 1.0;
+    bool sargable = true;
+    if (op == "=") {
+      sel = catalog::EqualitySelectivity(stats);
+    } else if (op == "<>") {
+      sel = 1.0 - catalog::EqualitySelectivity(stats);
+      sargable = false;
+    } else if (!lit->numeric) {
+      sel = kStringRangeSelectivity;
+    } else if (op == "<" || op == "<=") {
+      sel = catalog::RangeSelectivity(stats, stats.min_value, lit->value);
+    } else {  // > or >=
+      sel = catalog::RangeSelectivity(stats, lit->value, stats.max_value);
+    }
+    restrictions_.push_back({left->ref, left->column, sel, sargable});
+    return Status::Ok();
+  }
+
+  Status ParseKeyList(std::vector<ColumnRef>* out) {
+    do {
+      const Result<ColumnRef> col = ParseColumnRef();
+      if (!col.ok()) return col.status();
+      out->push_back(*col);
+    } while (AcceptSymbol(","));
+    return Status::Ok();
+  }
+
+  // --- assembly ----------------------------------------------------------
+  Result<Query> Finish() {
+    Query q;
+    q.name = "sql";
+    for (const Ref& r : refs_) {
+      TableRef ref;
+      ref.table_id = r.table_id;
+      ref.alias = r.alias;
+      q.refs.push_back(std::move(ref));
+    }
+    for (const PendingRestriction& r : restrictions_) {
+      query::ColumnRestriction cr;
+      cr.column = r.column;
+      cr.selectivity = r.selectivity;
+      cr.sargable = r.sargable;
+      q.refs[r.ref].restrictions.push_back(cr);
+      q.refs[r.ref].local_selectivity *= r.selectivity;
+    }
+    q.joins = joins_;
+
+    if (!group_keys_.empty() || has_aggregate_) {
+      q.aggregation.present = true;
+      double groups = 1.0;
+      for (const ColumnRef& k : group_keys_) {
+        const auto& table = catalog_.table(q.refs[k.ref].table_id);
+        groups *= table.column(k.column).stats.n_distinct;
+        q.aggregation.group_keys.push_back({k.ref, k.column});
+      }
+      // Cap the group estimate by the filtered input cardinality of the
+      // referenced tables (a grouping cannot out-multiply its input).
+      double cap = 1.0;
+      for (const ColumnRef& k : group_keys_) {
+        const auto& table = catalog_.table(q.refs[k.ref].table_id);
+        cap = std::max(cap, table.row_count() *
+                                q.refs[k.ref].local_selectivity);
+      }
+      q.aggregation.output_groups =
+          group_keys_.empty() ? 1.0 : std::min(groups, cap);
+    }
+    for (const ColumnRef& k : order_keys_) {
+      q.order_by.push_back({k.ref, k.column});
+    }
+    return q;
+  }
+
+  struct Ref {
+    std::string alias;
+    int table_id;
+  };
+  struct PendingRestriction {
+    size_t ref;
+    size_t column;
+    double selectivity;
+    bool sargable;
+  };
+
+  const catalog::Catalog& catalog_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+
+  std::vector<Ref> refs_;
+  std::vector<PendingRestriction> restrictions_;
+  std::vector<JoinEdge> joins_;
+  std::vector<ColumnRef> group_keys_;
+  std::vector<ColumnRef> order_keys_;
+  bool has_aggregate_ = false;
+  JoinKind pending_join_kind_ = JoinKind::kInner;
+};
+
+}  // namespace
+
+Result<double> ParseDateLiteral(std::string_view date) {
+  if (date.size() != 10 || date[4] != '-' || date[7] != '-') {
+    return Status::InvalidArgument("dates must be YYYY-MM-DD");
+  }
+  int y = 0, m = 0, d = 0;
+  if (std::sscanf(std::string(date).c_str(), "%d-%d-%d", &y, &m, &d) != 3 ||
+      m < 1 || m > 12 || d < 1 || d > 31) {
+    return Status::InvalidArgument("dates must be YYYY-MM-DD");
+  }
+  // Howard Hinnant's days-from-civil algorithm.
+  auto days_from_civil = [](int yy, int mm, int dd) -> long {
+    yy -= mm <= 2;
+    const long era = (yy >= 0 ? yy : yy - 399) / 400;
+    const unsigned yoe = static_cast<unsigned>(yy - era * 400);
+    const unsigned doy =
+        (153u * static_cast<unsigned>(mm + (mm > 2 ? -3 : 9)) + 2u) / 5u +
+        static_cast<unsigned>(dd) - 1u;
+    const unsigned doe = yoe * 365u + yoe / 4u - yoe / 100u + doy;
+    return era * 146097 + static_cast<long>(doe) - 719468;
+  };
+  return static_cast<double>(days_from_civil(y, m, d) -
+                             days_from_civil(1992, 1, 1));
+}
+
+Result<Query> ParseSql(const catalog::Catalog& catalog,
+                       std::string_view sql) {
+  Lexer lexer(sql);
+  Result<std::vector<Token>> tokens = lexer.Run();
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(catalog, std::move(tokens).value());
+  return parser.Run();
+}
+
+}  // namespace costsense::query

@@ -1,0 +1,48 @@
+#ifndef COSTSENSE_QUERY_PARSER_H_
+#define COSTSENSE_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "query/query.h"
+
+namespace costsense::query {
+
+/// Parses a SQL subset into the join-graph IR, deriving predicate
+/// selectivities from catalog statistics (Selinger defaults over the
+/// column min/max/distinct metadata). Supported grammar:
+///
+///   SELECT <exprs>                       -- aggregates detected, rest ignored
+///   FROM t1 [AS] a1, t2 [AS] a2, ...
+///        [ [SEMI | ANTI] JOIN t [AS] a ON a.x = b.y ]...
+///   [WHERE <cond> [AND <cond>]...]
+///   [GROUP BY a.col, ...]
+///   [ORDER BY a.col, ...]
+///
+/// with conditions:
+///
+///   a.col = b.col                        -- equi-join edge
+///   a.col <op> <literal>                 -- op in = <> < <= > >=
+///   a.col BETWEEN <lit> AND <lit>
+///   a.col IN (<lit>, ...)
+///   a.col LIKE 'pattern'                 -- prefix patterns are sargable
+///
+/// Literals: numbers, 'strings' (selectivity from distinct counts; the
+/// value itself is not needed), and DATE 'YYYY-MM-DD' (encoded as days
+/// since 1992-01-01, matching the TPC-H catalog's date encoding).
+///
+/// This is an optimizer-study front end, not a full SQL implementation:
+/// expressions in SELECT are only scanned for aggregate functions, OR is
+/// not supported (rewrite as IN where possible), and subqueries must be
+/// pre-flattened to SEMI/ANTI JOIN.
+Result<Query> ParseSql(const catalog::Catalog& catalog, std::string_view sql);
+
+/// Converts a 'YYYY-MM-DD' date to days since 1992-01-01 (the encoding
+/// used by the TPC-H catalog columns). Returns InvalidArgument for
+/// malformed dates.
+Result<double> ParseDateLiteral(std::string_view date);
+
+}  // namespace costsense::query
+
+#endif  // COSTSENSE_QUERY_PARSER_H_

@@ -1,0 +1,17 @@
+#include "query/query.h"
+
+#include <algorithm>
+
+namespace costsense::query {
+
+std::vector<int> ReferencedTables(const Query& q) {
+  std::vector<int> out;
+  for (const TableRef& ref : q.refs) {
+    if (std::find(out.begin(), out.end(), ref.table_id) == out.end()) {
+      out.push_back(ref.table_id);
+    }
+  }
+  return out;
+}
+
+}  // namespace costsense::query

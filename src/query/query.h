@@ -1,0 +1,92 @@
+#ifndef COSTSENSE_QUERY_QUERY_H_
+#define COSTSENSE_QUERY_QUERY_H_
+
+#include <string>
+#include <vector>
+
+namespace costsense::query {
+
+/// A single-column restriction on a base table, with the information the
+/// optimizer needs for access-path selection: which column, how selective,
+/// and whether an index on that column can evaluate it (sargable).
+struct ColumnRestriction {
+  size_t column = 0;
+  double selectivity = 1.0;
+  /// True for predicates a B-tree can evaluate (equality / range on the
+  /// leading key); false e.g. for LIKE '%x%' patterns.
+  bool sargable = true;
+};
+
+/// One occurrence of a base table in a query.
+struct TableRef {
+  int table_id = -1;
+  std::string alias;
+  /// Combined selectivity of all local predicates on this reference.
+  double local_selectivity = 1.0;
+  /// The individually indexable restrictions (subset of the local
+  /// predicates).
+  std::vector<ColumnRestriction> restrictions;
+  /// Fraction of the row width this query actually needs from the table
+  /// (projection narrowing; affects intermediate sizes and temp usage).
+  double projected_width_fraction = 1.0;
+};
+
+/// Join flavor. Correlated EXISTS / NOT EXISTS / IN subqueries of TPC-H
+/// are flattened to semi / anti joins (the paper's DB2 setup enables
+/// DB2_ANTIJOIN for the same reason).
+enum class JoinKind { kInner, kSemi, kAnti };
+
+/// An equi-join edge between two table references.
+struct JoinEdge {
+  size_t left_ref = 0;
+  size_t right_ref = 0;
+  size_t left_column = 0;
+  size_t right_column = 0;
+  JoinKind kind = JoinKind::kInner;
+  /// When >= 0 overrides the catalog-derived join selectivity (used when
+  /// the benchmark spec implies a different value).
+  double selectivity_override = -1.0;
+};
+
+/// A sort key: column of one table reference.
+struct SortKey {
+  size_t ref = 0;
+  size_t column = 0;
+
+  friend bool operator==(const SortKey& a, const SortKey& b) {
+    return a.ref == b.ref && a.column == b.column;
+  }
+};
+
+/// Grouping/aggregation properties that drive sort/hash-aggregate and temp
+/// usage decisions.
+struct Aggregation {
+  bool present = false;
+  /// Estimated number of groups (1.0 for a scalar aggregate).
+  double output_groups = 1.0;
+  /// Keys the grouping needs (sort-based aggregation can reuse matching
+  /// input orders).
+  std::vector<SortKey> group_keys;
+};
+
+/// A query in join-graph form: everything the optimizer needs, with the
+/// selectivity estimates fixed up front. The paper assumes the optimizer's
+/// selectivity and intermediate-size estimates are accurate (Section 3.3),
+/// so they are inputs here, not things the optimizer re-derives per plan.
+struct Query {
+  std::string name;
+  std::vector<TableRef> refs;
+  std::vector<JoinEdge> joins;
+  Aggregation aggregation;
+  std::vector<SortKey> order_by;
+
+  size_t num_tables() const { return refs.size(); }
+};
+
+/// Returns the distinct catalog table ids referenced by `q`, in first-use
+/// order (input to StorageLayout construction).
+std::vector<int> ReferencedTables(const Query& q);
+
+}  // namespace costsense::query
+
+#endif  // COSTSENSE_QUERY_QUERY_H_

@@ -1,0 +1,81 @@
+#include "sim/calibrate.h"
+
+#include "linalg/least_squares.h"
+#include "linalg/matrix.h"
+
+namespace costsense::sim {
+
+namespace {
+
+/// The additive model's feature extraction: repositions (requests not
+/// page-contiguous with their predecessor) and total pages.
+void TraceFeatures(const IoTrace& trace, double* repositions, double* pages) {
+  *repositions = 0.0;
+  *pages = 0.0;
+  uint64_t next = UINT64_MAX;
+  for (const IoRequest& r : trace) {
+    if (r.start_page != next) *repositions += 1.0;
+    *pages += static_cast<double>(r.num_pages);
+    next = r.start_page + r.num_pages;
+  }
+}
+
+}  // namespace
+
+Result<CalibrationResult> CalibrateAdditiveModel(
+    const std::vector<IoTrace>& traces,
+    const std::vector<double>& measured_times) {
+  if (traces.size() != measured_times.size()) {
+    return Status::InvalidArgument("one measured time per trace required");
+  }
+  if (traces.size() < 2) {
+    return Status::InvalidArgument("need at least two calibration runs");
+  }
+  std::vector<linalg::Vector> rows;
+  linalg::Vector t(traces.size());
+  for (size_t i = 0; i < traces.size(); ++i) {
+    double repositions = 0.0, pages = 0.0;
+    TraceFeatures(traces[i], &repositions, &pages);
+    rows.push_back(linalg::Vector{repositions, pages});
+    t[i] = measured_times[i];
+  }
+  const linalg::Matrix features = linalg::Matrix::FromRows(rows);
+  Result<linalg::Vector> fit = linalg::NonNegativeLeastSquares(
+      features, t, /*clamp_tol=*/1e-9 * t.InfNorm());
+  if (!fit.ok()) {
+    return Status::FailedPrecondition(
+        "calibration runs are not linearly independent (mix sequential and "
+        "random workloads)");
+  }
+  CalibrationResult out;
+  out.seek_cost = (*fit)[0];
+  out.transfer_cost = (*fit)[1];
+  out.rms_relative_error = linalg::RelativeResidual(features, *fit, t);
+  out.runs = traces.size();
+  return out;
+}
+
+std::vector<IoTrace> MakeCalibrationWorkload(uint64_t device_pages,
+                                             Rng& rng) {
+  std::vector<IoTrace> out;
+  for (uint64_t pages : {1000u, 10000u, 50000u}) {
+    IoTrace t;
+    AppendSequential(t, 0, rng.Index(device_pages / 2), pages, 32);
+    out.push_back(std::move(t));
+  }
+  for (uint64_t probes : {500u, 2000u, 8000u}) {
+    IoTrace t;
+    AppendRandom(t, 0, probes, device_pages, rng);
+    out.push_back(std::move(t));
+  }
+  {
+    // One mixed run to anchor the cross term.
+    IoTrace t;
+    AppendSequential(t, 0, 0, 20000, 32);
+    AppendRandom(t, 0, 3000, device_pages, rng);
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace costsense::sim

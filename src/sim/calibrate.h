@@ -1,0 +1,45 @@
+#ifndef COSTSENSE_SIM_CALIBRATE_H_
+#define COSTSENSE_SIM_CALIBRATE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "sim/trace.h"
+
+namespace costsense::sim {
+
+/// Fitted additive-model parameters for one device.
+struct CalibrationResult {
+  /// Fitted cost per repositioning (the optimizer's d_s).
+  double seek_cost = 0.0;
+  /// Fitted cost per page transferred (the optimizer's d_t).
+  double transfer_cost = 0.0;
+  /// RMS relative residual of the fit over the calibration runs.
+  double rms_relative_error = 0.0;
+  size_t runs = 0;
+};
+
+/// Fits (d_s, d_t) by least squares from observed run times: each
+/// calibration run i contributes the equation
+///
+///   repositions_i * d_s + pages_i * d_t = measured_time_i,
+///
+/// the measurement-side counterpart of the paper's conclusion that
+/// optimizers benefit from "accurate and timely information regarding the
+/// cost of accessing storage devices" — this is how a monitoring agent
+/// would produce that information from I/O telemetry. Needs at least two
+/// runs with linearly independent (repositions, pages) profiles — e.g.
+/// one sequential and one random workload.
+Result<CalibrationResult> CalibrateAdditiveModel(
+    const std::vector<IoTrace>& traces,
+    const std::vector<double>& measured_times);
+
+/// Builds a standard calibration workload: sequential scans and random
+/// probe bursts of varying sizes over a `device_pages`-page device,
+/// spanning the (repositions, pages) feature space.
+std::vector<IoTrace> MakeCalibrationWorkload(uint64_t device_pages, Rng& rng);
+
+}  // namespace costsense::sim
+
+#endif  // COSTSENSE_SIM_CALIBRATE_H_

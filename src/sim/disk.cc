@@ -1,0 +1,30 @@
+#include "sim/disk.h"
+
+#include <cmath>
+
+namespace costsense::sim {
+
+double DiskGeometry::SeekTime(uint64_t from_cylinder,
+                              uint64_t to_cylinder) const {
+  if (from_cylinder == to_cylinder) return 0.0;
+  const double dist =
+      from_cylinder > to_cylinder
+          ? static_cast<double>(from_cylinder - to_cylinder)
+          : static_cast<double>(to_cylinder - from_cylinder);
+  const double frac = dist / static_cast<double>(num_cylinders);
+  return min_seek + (max_seek - min_seek) * std::sqrt(frac);
+}
+
+uint64_t DiskGeometry::CylinderOf(uint64_t page) const {
+  const uint64_t cyl =
+      static_cast<uint64_t>(static_cast<double>(page) / pages_per_cylinder);
+  return cyl >= num_cylinders ? num_cylinders - 1 : cyl;
+}
+
+double DiskGeometry::EquivalentSeekCost() const {
+  // Random seeks average one third of the stroke; sqrt(1/3) of the span.
+  return min_seek + (max_seek - min_seek) * std::sqrt(1.0 / 3.0) +
+         rotation / 2.0;
+}
+
+}  // namespace costsense::sim

@@ -1,0 +1,44 @@
+#ifndef COSTSENSE_SIM_DISK_H_
+#define COSTSENSE_SIM_DISK_H_
+
+#include <cstdint>
+
+namespace costsense::sim {
+
+/// A positional disk model in the spirit of Ruemmler & Wilkes (the paper
+/// cites their model when calling its own two-parameter (d_s, d_t)
+/// treatment "a good first approximation", Section 3.1). Seek time grows
+/// with the square root of cylinder distance, plus an average half
+/// rotation per repositioning; sequential successor pages pay transfer
+/// only. The simulator exists to quantify how much reality that first
+/// approximation discards (bench/micro_sim_fidelity).
+struct DiskGeometry {
+  /// Pages per cylinder.
+  double pages_per_cylinder = 1024.0;
+  uint64_t num_cylinders = 20000;
+  /// Cost of the shortest possible seek (track-to-track), in the same
+  /// abstract time units the optimizer uses.
+  double min_seek = 6.0;
+  /// Cost of a full-stroke seek.
+  double max_seek = 40.0;
+  /// Full rotation time; each repositioning pays half on average.
+  double rotation = 12.0;
+  /// Time to transfer one page.
+  double transfer_per_page = 9.0;
+
+  /// Seek cost between cylinders, sqrt-shaped in the distance; zero for
+  /// the same cylinder.
+  double SeekTime(uint64_t from_cylinder, uint64_t to_cylinder) const;
+
+  /// Cylinder containing `page`.
+  uint64_t CylinderOf(uint64_t page) const;
+
+  /// The average repositioning cost this geometry implies (1/3-stroke
+  /// seek + half rotation): what the additive model's d_s parameter
+  /// should ideally be set to.
+  double EquivalentSeekCost() const;
+};
+
+}  // namespace costsense::sim
+
+#endif  // COSTSENSE_SIM_DISK_H_

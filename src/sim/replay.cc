@@ -1,0 +1,51 @@
+#include "sim/replay.h"
+
+#include <map>
+
+#include "common/macros.h"
+
+namespace costsense::sim {
+
+ReplayResult Replay(const IoTrace& trace,
+                    const std::vector<DiskGeometry>& devices) {
+  ReplayResult out;
+  out.per_device_time.assign(devices.size(), 0.0);
+  // Per device: head cylinder and the page right after the last transfer.
+  std::vector<uint64_t> head_cylinder(devices.size(), 0);
+  std::vector<uint64_t> next_sequential(devices.size(), UINT64_MAX);
+
+  for (const IoRequest& r : trace) {
+    COSTSENSE_CHECK(r.device >= 0 &&
+                    r.device < static_cast<int>(devices.size()));
+    const DiskGeometry& d = devices[r.device];
+    double t = 0.0;
+    if (r.start_page != next_sequential[r.device]) {
+      // Reposition: seek to the target cylinder plus half a rotation.
+      t += d.SeekTime(head_cylinder[r.device], d.CylinderOf(r.start_page)) +
+           d.rotation / 2.0;
+      ++out.repositions;
+    }
+    t += static_cast<double>(r.num_pages) * d.transfer_per_page;
+    out.per_device_time[r.device] += t;
+    out.total_time += t;
+    out.pages += r.num_pages;
+    head_cylinder[r.device] = d.CylinderOf(r.start_page + r.num_pages - 1);
+    next_sequential[r.device] = r.start_page + r.num_pages;
+  }
+  return out;
+}
+
+double AdditiveEstimate(const IoTrace& trace, double seek_cost,
+                        double transfer_cost) {
+  double total = 0.0;
+  std::map<int, uint64_t> next_sequential;
+  for (const IoRequest& r : trace) {
+    auto [it, inserted] = next_sequential.try_emplace(r.device, UINT64_MAX);
+    if (inserted || it->second != r.start_page) total += seek_cost;
+    total += static_cast<double>(r.num_pages) * transfer_cost;
+    it->second = r.start_page + r.num_pages;
+  }
+  return total;
+}
+
+}  // namespace costsense::sim

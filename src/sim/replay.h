@@ -1,0 +1,35 @@
+#ifndef COSTSENSE_SIM_REPLAY_H_
+#define COSTSENSE_SIM_REPLAY_H_
+
+#include <vector>
+
+#include "sim/disk.h"
+#include "sim/trace.h"
+
+namespace costsense::sim {
+
+/// Outcome of replaying a trace against positional disk models.
+struct ReplayResult {
+  double total_time = 0.0;
+  std::vector<double> per_device_time;
+  /// Requests that required repositioning (head moved or rotation missed).
+  uint64_t repositions = 0;
+  uint64_t pages = 0;
+};
+
+/// Replays `trace` request-by-request against one DiskGeometry per device,
+/// tracking head position so sequential runs pay transfer only.
+ReplayResult Replay(const IoTrace& trace,
+                    const std::vector<DiskGeometry>& devices);
+
+/// The additive two-parameter estimate of the same trace (paper Section
+/// 3.1): every request that is not page-contiguous with its predecessor on
+/// the same device costs one d_s, every page one d_t. Comparing this with
+/// Replay quantifies the error of the paper's first-approximation disk
+/// model (bench/micro_sim_fidelity).
+double AdditiveEstimate(const IoTrace& trace, double seek_cost,
+                        double transfer_cost);
+
+}  // namespace costsense::sim
+
+#endif  // COSTSENSE_SIM_REPLAY_H_

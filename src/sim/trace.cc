@@ -1,0 +1,36 @@
+#include "sim/trace.h"
+
+#include "common/macros.h"
+
+namespace costsense::sim {
+
+void AppendSequential(IoTrace& trace, int device, uint64_t start_page,
+                      uint64_t pages, uint64_t extent) {
+  COSTSENSE_CHECK(extent > 0);
+  uint64_t page = start_page;
+  uint64_t left = pages;
+  while (left > 0) {
+    const uint64_t chunk = left < extent ? left : extent;
+    trace.push_back({device, page, chunk});
+    page += chunk;
+    left -= chunk;
+  }
+}
+
+void AppendRandom(IoTrace& trace, int device, uint64_t count,
+                  uint64_t device_pages, Rng& rng) {
+  COSTSENSE_CHECK(device_pages > 0);
+  for (uint64_t i = 0; i < count; ++i) {
+    trace.push_back({device, rng.Index(device_pages), 1});
+  }
+}
+
+uint64_t TotalPages(const IoTrace& trace, int device) {
+  uint64_t total = 0;
+  for (const IoRequest& r : trace) {
+    if (device < 0 || r.device == device) total += r.num_pages;
+  }
+  return total;
+}
+
+}  // namespace costsense::sim

@@ -1,0 +1,37 @@
+#ifndef COSTSENSE_SIM_TRACE_H_
+#define COSTSENSE_SIM_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace costsense::sim {
+
+/// One contiguous I/O: read/write `num_pages` starting at `start_page` on
+/// `device`.
+struct IoRequest {
+  int device = 0;
+  uint64_t start_page = 0;
+  uint64_t num_pages = 1;
+};
+
+/// A sequence of I/O requests in issue order.
+using IoTrace = std::vector<IoRequest>;
+
+/// Appends a sequential run of `pages` pages split into `extent`-sized
+/// requests (an optimizer prefetch extent).
+void AppendSequential(IoTrace& trace, int device, uint64_t start_page,
+                      uint64_t pages, uint64_t extent);
+
+/// Appends `count` single-page random reads uniform over
+/// [0, device_pages).
+void AppendRandom(IoTrace& trace, int device, uint64_t count,
+                  uint64_t device_pages, Rng& rng);
+
+/// Total pages transferred by the trace on `device` (-1 for all devices).
+uint64_t TotalPages(const IoTrace& trace, int device = -1);
+
+}  // namespace costsense::sim
+
+#endif  // COSTSENSE_SIM_TRACE_H_

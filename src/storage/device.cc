@@ -1,0 +1,21 @@
+#include "storage/device.h"
+
+namespace costsense::storage {
+
+const char* DeviceRoleName(DeviceRole role) {
+  switch (role) {
+    case DeviceRole::kShared:
+      return "shared";
+    case DeviceRole::kTableData:
+      return "data";
+    case DeviceRole::kTableIndexes:
+      return "indexes";
+    case DeviceRole::kTableColocated:
+      return "colocated";
+    case DeviceRole::kTemp:
+      return "temp";
+  }
+  return "unknown";
+}
+
+}  // namespace costsense::storage

@@ -1,0 +1,99 @@
+#include "storage/layout.h"
+
+#include "common/macros.h"
+
+namespace costsense::storage {
+
+const char* LayoutPolicyName(LayoutPolicy policy) {
+  switch (policy) {
+    case LayoutPolicy::kSharedDevice:
+      return "shared";
+    case LayoutPolicy::kPerTableAndIndex:
+      return "per-table-and-index";
+    case LayoutPolicy::kPerTableColocated:
+      return "per-table-colocated";
+  }
+  return "unknown";
+}
+
+StorageLayout::StorageLayout(LayoutPolicy policy,
+                             const catalog::Catalog& catalog,
+                             std::vector<int> table_ids, double seek_cost,
+                             double transfer_cost)
+    : policy_(policy), table_ids_(std::move(table_ids)) {
+  COSTSENSE_CHECK_MSG(!table_ids_.empty(), "layout needs at least one table");
+  data_device_.resize(table_ids_.size());
+  index_device_.resize(table_ids_.size());
+
+  auto add_device = [&](DeviceRole role, int table_id,
+                        const std::string& name) {
+    devices_.push_back({name, role, table_id, seek_cost, transfer_cost});
+    return static_cast<int>(devices_.size()) - 1;
+  };
+
+  switch (policy_) {
+    case LayoutPolicy::kSharedDevice: {
+      const int dev = add_device(DeviceRole::kShared, -1, "disk");
+      for (size_t i = 0; i < table_ids_.size(); ++i) {
+        data_device_[i] = dev;
+        index_device_[i] = dev;
+      }
+      temp_device_ = dev;
+      break;
+    }
+    case LayoutPolicy::kPerTableAndIndex: {
+      for (size_t i = 0; i < table_ids_.size(); ++i) {
+        const std::string& tname = catalog.table(table_ids_[i]).name();
+        data_device_[i] =
+            add_device(DeviceRole::kTableData, table_ids_[i], tname);
+        index_device_[i] = add_device(DeviceRole::kTableIndexes,
+                                      table_ids_[i], tname + ".ix");
+      }
+      temp_device_ = add_device(DeviceRole::kTemp, -1, "temp");
+      break;
+    }
+    case LayoutPolicy::kPerTableColocated: {
+      for (size_t i = 0; i < table_ids_.size(); ++i) {
+        const std::string& tname = catalog.table(table_ids_[i]).name();
+        const int dev =
+            add_device(DeviceRole::kTableColocated, table_ids_[i], tname);
+        data_device_[i] = dev;
+        index_device_[i] = dev;
+      }
+      temp_device_ = add_device(DeviceRole::kTemp, -1, "temp");
+      break;
+    }
+  }
+}
+
+int StorageLayout::TablePos(int table_id) const {
+  for (size_t i = 0; i < table_ids_.size(); ++i) {
+    if (table_ids_[i] == table_id) return static_cast<int>(i);
+  }
+  COSTSENSE_CHECK_MSG(false, "table not covered by this layout");
+  return -1;
+}
+
+int StorageLayout::DataDevice(int table_id) const {
+  return data_device_[TablePos(table_id)];
+}
+
+int StorageLayout::IndexDevice(int table_id) const {
+  return index_device_[TablePos(table_id)];
+}
+
+int StorageLayout::TempDevice() const { return temp_device_; }
+
+ResourceSpace StorageLayout::BuildResourceSpace(double cpu_baseline) const {
+  const Granularity g = policy_ == LayoutPolicy::kSharedDevice
+                            ? Granularity::kSplitSeekTransfer
+                            : Granularity::kTiedPerDevice;
+  return BuildResourceSpace(g, cpu_baseline);
+}
+
+ResourceSpace StorageLayout::BuildResourceSpace(Granularity granularity,
+                                                double cpu_baseline) const {
+  return ResourceSpace(devices_, granularity, cpu_baseline);
+}
+
+}  // namespace costsense::storage

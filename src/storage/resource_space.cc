@@ -1,0 +1,93 @@
+#include "storage/resource_space.h"
+
+#include "common/macros.h"
+
+namespace costsense::storage {
+
+namespace {
+
+core::DimClass DimClassForRole(DeviceRole role) {
+  switch (role) {
+    case DeviceRole::kShared:
+      return core::DimClass::kOther;
+    case DeviceRole::kTableData:
+      return core::DimClass::kTable;
+    case DeviceRole::kTableIndexes:
+      return core::DimClass::kIndex;
+    case DeviceRole::kTableColocated:
+      // A colocated device carries a table and its indexes as one
+      // resource; mismatches on it mean genuinely different data volumes
+      // from that table, so classify it with the table dims.
+      return core::DimClass::kTable;
+    case DeviceRole::kTemp:
+      return core::DimClass::kTemp;
+  }
+  return core::DimClass::kOther;
+}
+
+}  // namespace
+
+ResourceSpace::ResourceSpace(std::vector<Device> devices,
+                             Granularity granularity, double cpu_baseline)
+    : devices_(std::move(devices)),
+      granularity_(granularity),
+      cpu_baseline_(cpu_baseline) {
+  COSTSENSE_CHECK_MSG(!devices_.empty(), "need at least one device");
+  COSTSENSE_CHECK_MSG(cpu_baseline_ > 0.0, "CPU baseline must be positive");
+  seek_dim_.resize(devices_.size());
+  transfer_dim_.resize(devices_.size());
+  for (size_t d = 0; d < devices_.size(); ++d) {
+    const Device& dev = devices_[d];
+    const core::DimClass cls = DimClassForRole(dev.role);
+    if (granularity_ == Granularity::kSplitSeekTransfer) {
+      seek_dim_[d] = dim_info_.size();
+      dim_info_.push_back({cls, dev.table_id, dev.name + ".seek"});
+      transfer_dim_[d] = dim_info_.size();
+      dim_info_.push_back({cls, dev.table_id, dev.name + ".transfer"});
+    } else {
+      seek_dim_[d] = transfer_dim_[d] = dim_info_.size();
+      dim_info_.push_back({cls, dev.table_id, dev.name});
+    }
+  }
+  cpu_dim_ = dim_info_.size();
+  dim_info_.push_back({core::DimClass::kCpu, -1, "cpu"});
+}
+
+void ResourceSpace::ChargeIo(core::UsageVector& usage, int device_id,
+                             double seeks, double pages) const {
+  COSTSENSE_CHECK(device_id >= 0 &&
+                  device_id < static_cast<int>(devices_.size()));
+  COSTSENSE_CHECK(usage.size() == dims());
+  const Device& dev = devices_[device_id];
+  if (granularity_ == Granularity::kSplitSeekTransfer) {
+    usage[seek_dim_[device_id]] += seeks;
+    usage[transfer_dim_[device_id]] += pages;
+  } else {
+    // Tied ratio: usage is pre-priced in baseline time units, so the cost
+    // coordinate becomes a per-device multiplier.
+    usage[seek_dim_[device_id]] +=
+        seeks * dev.seek_cost + pages * dev.transfer_cost;
+  }
+}
+
+void ResourceSpace::ChargeCpu(core::UsageVector& usage,
+                              double instructions) const {
+  COSTSENSE_CHECK(usage.size() == dims());
+  usage[cpu_dim_] += instructions;
+}
+
+core::CostVector ResourceSpace::BaselineCosts() const {
+  core::CostVector c(dims());
+  for (size_t d = 0; d < devices_.size(); ++d) {
+    if (granularity_ == Granularity::kSplitSeekTransfer) {
+      c[seek_dim_[d]] = devices_[d].seek_cost;
+      c[transfer_dim_[d]] = devices_[d].transfer_cost;
+    } else {
+      c[seek_dim_[d]] = 1.0;  // multiplier on the tied (d_s, d_t) pair
+    }
+  }
+  c[cpu_dim_] = cpu_baseline_;
+  return c;
+}
+
+}  // namespace costsense::storage

@@ -1,0 +1,72 @@
+#ifndef COSTSENSE_STORAGE_RESOURCE_SPACE_H_
+#define COSTSENSE_STORAGE_RESOURCE_SPACE_H_
+
+#include <vector>
+
+#include "core/vectors.h"
+#include "storage/device.h"
+
+namespace costsense::storage {
+
+/// How a device's two disk parameters map onto resource dimensions.
+enum class Granularity {
+  /// d_s and d_t are independent resources (2 dims per device). The
+  /// paper's first experiment (Section 8.1.1) varies them independently.
+  kSplitSeekTransfer,
+  /// d_s and d_t are kept in a fixed ratio (1 dim per device): usage is
+  /// pre-weighted by the baseline costs and the resource's cost coordinate
+  /// is a unitless multiplier. The paper adopts this tying in the
+  /// multi-device experiments "to reduce the running time" (Section
+  /// 8.1.2), which is what makes a k-table query a 2k+2-resource problem.
+  kTiedPerDevice,
+};
+
+/// Assembles the resource cost vector space for a set of devices plus the
+/// CPU, and lets the cost model charge I/O and CPU into usage vectors
+/// without knowing the dimension layout.
+class ResourceSpace {
+ public:
+  /// Builds the space. `cpu_baseline` is the starting cost per instruction
+  /// (the paper uses 1e-6 time units).
+  ResourceSpace(std::vector<Device> devices, Granularity granularity,
+                double cpu_baseline = 1e-6);
+
+  size_t dims() const { return dim_info_.size(); }
+  const std::vector<core::DimInfo>& dim_info() const { return dim_info_; }
+  const std::vector<Device>& devices() const { return devices_; }
+  Granularity granularity() const { return granularity_; }
+
+  /// Returns a zero usage vector of the right dimensionality.
+  core::UsageVector ZeroUsage() const { return core::UsageVector(dims()); }
+
+  /// Charges `seeks` random accesses and `pages` page transfers on device
+  /// `device_id` into `usage`.
+  void ChargeIo(core::UsageVector& usage, int device_id, double seeks,
+                double pages) const;
+
+  /// Charges `instructions` CPU instructions into `usage`.
+  void ChargeCpu(core::UsageVector& usage, double instructions) const;
+
+  /// The baseline (estimated) resource cost vector: per-device (d_s, d_t)
+  /// and the CPU cost in split mode; all-ones device multipliers plus the
+  /// CPU cost in tied mode.
+  core::CostVector BaselineCosts() const;
+
+  /// Index of the CPU dimension.
+  size_t cpu_dim() const { return cpu_dim_; }
+
+ private:
+  std::vector<Device> devices_;
+  Granularity granularity_;
+  double cpu_baseline_;
+  std::vector<core::DimInfo> dim_info_;
+  /// Per device: dimension of seeks (split) or the single tied dim.
+  std::vector<size_t> seek_dim_;
+  /// Per device: dimension of transfers (split) or the single tied dim.
+  std::vector<size_t> transfer_dim_;
+  size_t cpu_dim_ = 0;
+};
+
+}  // namespace costsense::storage
+
+#endif  // COSTSENSE_STORAGE_RESOURCE_SPACE_H_

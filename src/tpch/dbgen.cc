@@ -1,0 +1,215 @@
+#include "tpch/dbgen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "tpch/stats.h"
+
+namespace costsense::tpch {
+
+namespace {
+
+/// Rounds a scaled cardinality to a whole row count.
+uint64_t ScaledRows(double base, double sf) {
+  return static_cast<uint64_t>(std::llround(base * sf));
+}
+
+}  // namespace
+
+const std::vector<double>& GeneratedTable::column(
+    const std::string& col_name) const {
+  for (size_t i = 0; i < column_names.size(); ++i) {
+    if (column_names[i] == col_name) return columns[i];
+  }
+  COSTSENSE_CHECK_MSG(false, ("no generated column " + col_name).c_str());
+  return columns[0];
+}
+
+DbgenLite::DbgenLite(double scale_factor, uint64_t seed)
+    : scale_factor_(scale_factor), seed_(seed) {
+  COSTSENSE_CHECK_MSG(scale_factor_ >= 0.01, "scale factor too small");
+}
+
+GeneratedTable DbgenLite::Region() const {
+  GeneratedTable t;
+  t.name = "region";
+  t.column_names = {"r_regionkey", "r_name"};
+  t.columns.assign(2, {});
+  for (int i = 0; i < 5; ++i) {
+    t.columns[0].push_back(i);
+    t.columns[1].push_back(i);
+  }
+  return t;
+}
+
+GeneratedTable DbgenLite::Nation() const {
+  GeneratedTable t;
+  t.name = "nation";
+  t.column_names = {"n_nationkey", "n_name", "n_regionkey"};
+  t.columns.assign(3, {});
+  // The spec pins each nation to a region; the mapping below follows the
+  // spec's nation list ordering (5 nations per region).
+  for (int i = 0; i < 25; ++i) {
+    t.columns[0].push_back(i);
+    t.columns[1].push_back(i);
+    t.columns[2].push_back(i % 5);
+  }
+  return t;
+}
+
+GeneratedTable DbgenLite::Supplier() const {
+  Rng rng(seed_ ^ 0x5001);
+  const uint64_t n = ScaledRows(10000, scale_factor_);
+  GeneratedTable t;
+  t.name = "supplier";
+  t.column_names = {"s_suppkey", "s_nationkey", "s_acctbal"};
+  t.columns.assign(3, {});
+  for (uint64_t i = 1; i <= n; ++i) {
+    t.columns[0].push_back(static_cast<double>(i));
+    t.columns[1].push_back(static_cast<double>(rng.Index(25)));
+    // acctbal uniform in [-999.99, 9999.99], cent-granular.
+    t.columns[2].push_back(
+        static_cast<double>(rng.Index(1100000)) / 100.0 - 1000.0 + 0.01);
+  }
+  return t;
+}
+
+GeneratedTable DbgenLite::Part() const {
+  Rng rng(seed_ ^ 0x9a47);
+  const uint64_t n = ScaledRows(200000, scale_factor_);
+  GeneratedTable t;
+  t.name = "part";
+  t.column_names = {"p_partkey", "p_mfgr", "p_brand", "p_type", "p_size",
+                    "p_container"};
+  t.columns.assign(6, {});
+  for (uint64_t i = 1; i <= n; ++i) {
+    t.columns[0].push_back(static_cast<double>(i));
+    const double mfgr = static_cast<double>(rng.Index(5));
+    t.columns[1].push_back(mfgr);
+    // Brand = mfgr-dependent (5 brands per manufacturer, 25 total).
+    t.columns[2].push_back(mfgr * 5 + static_cast<double>(rng.Index(5)));
+    t.columns[3].push_back(static_cast<double>(rng.Index(150)));
+    t.columns[4].push_back(static_cast<double>(1 + rng.Index(50)));
+    t.columns[5].push_back(static_cast<double>(rng.Index(40)));
+  }
+  return t;
+}
+
+GeneratedTable DbgenLite::PartSupp() const {
+  Rng rng(seed_ ^ 0xa5);
+  const uint64_t parts = ScaledRows(200000, scale_factor_);
+  const uint64_t suppliers = ScaledRows(10000, scale_factor_);
+  GeneratedTable t;
+  t.name = "partsupp";
+  t.column_names = {"ps_partkey", "ps_suppkey", "ps_availqty",
+                    "ps_supplycost"};
+  t.columns.assign(4, {});
+  // Spec: each part has exactly 4 supplier rows, spread across the
+  // supplier keyspace by the (partkey, i) formula.
+  for (uint64_t p = 1; p <= parts; ++p) {
+    for (uint64_t i = 0; i < 4; ++i) {
+      const uint64_t s =
+          (p + i * (suppliers / 4 + (p - 1) / suppliers)) % suppliers + 1;
+      t.columns[0].push_back(static_cast<double>(p));
+      t.columns[1].push_back(static_cast<double>(s));
+      t.columns[2].push_back(static_cast<double>(1 + rng.Index(9999)));
+      t.columns[3].push_back(1.0 +
+                             static_cast<double>(rng.Index(99901)) / 100.0);
+    }
+  }
+  return t;
+}
+
+GeneratedTable DbgenLite::Customer() const {
+  Rng rng(seed_ ^ 0xc001);
+  const uint64_t n = ScaledRows(150000, scale_factor_);
+  GeneratedTable t;
+  t.name = "customer";
+  t.column_names = {"c_custkey", "c_nationkey", "c_mktsegment", "c_acctbal"};
+  t.columns.assign(4, {});
+  for (uint64_t i = 1; i <= n; ++i) {
+    t.columns[0].push_back(static_cast<double>(i));
+    t.columns[1].push_back(static_cast<double>(rng.Index(25)));
+    t.columns[2].push_back(static_cast<double>(rng.Index(5)));
+    t.columns[3].push_back(
+        static_cast<double>(rng.Index(1100000)) / 100.0 - 1000.0 + 0.01);
+  }
+  return t;
+}
+
+void DbgenLite::OrdersAndLineitem(GeneratedTable* orders,
+                                  GeneratedTable* lineitem) const {
+  Rng rng(seed_ ^ 0x0dde5);
+  const uint64_t n_orders = ScaledRows(1500000, scale_factor_);
+  const uint64_t n_customers = ScaledRows(150000, scale_factor_);
+  const uint64_t n_parts = ScaledRows(200000, scale_factor_);
+  const uint64_t n_suppliers = ScaledRows(10000, scale_factor_);
+
+  orders->name = "orders";
+  orders->column_names = {"o_orderkey", "o_custkey", "o_orderstatus",
+                          "o_orderdate", "o_orderpriority"};
+  orders->columns.assign(5, {});
+  lineitem->name = "lineitem";
+  lineitem->column_names = {"l_orderkey",   "l_partkey",  "l_suppkey",
+                            "l_linenumber", "l_quantity", "l_discount",
+                            "l_tax",        "l_shipdate", "l_commitdate",
+                            "l_receiptdate"};
+  lineitem->columns.assign(10, {});
+
+  const double last_order_day = kOrderDateDays - 1;  // 1998-08-02
+  for (uint64_t o = 1; o <= n_orders; ++o) {
+    // Customers whose key is divisible by 3 place no orders (this is what
+    // makes o_custkey's distinct count 2/3 of the customer count).
+    uint64_t cust = 1 + rng.Index(n_customers);
+    while (cust % 3 == 0) cust = 1 + rng.Index(n_customers);
+    const double odate =
+        std::floor(rng.Uniform() * (last_order_day + 1));
+    orders->columns[0].push_back(static_cast<double>(o));
+    orders->columns[1].push_back(static_cast<double>(cust));
+    orders->columns[2].push_back(static_cast<double>(rng.Index(3)));
+    orders->columns[3].push_back(odate);
+    orders->columns[4].push_back(static_cast<double>(rng.Index(5)));
+
+    const uint64_t lines = 1 + rng.Index(7);
+    for (uint64_t ln = 1; ln <= lines; ++ln) {
+      const double ship = odate + 1 + static_cast<double>(rng.Index(121));
+      const double commit = odate + 30 + static_cast<double>(rng.Index(61));
+      const double receipt = ship + 1 + static_cast<double>(rng.Index(30));
+      lineitem->columns[0].push_back(static_cast<double>(o));
+      lineitem->columns[1].push_back(
+          static_cast<double>(1 + rng.Index(n_parts)));
+      lineitem->columns[2].push_back(
+          static_cast<double>(1 + rng.Index(n_suppliers)));
+      lineitem->columns[3].push_back(static_cast<double>(ln));
+      lineitem->columns[4].push_back(static_cast<double>(1 + rng.Index(50)));
+      lineitem->columns[5].push_back(static_cast<double>(rng.Index(11)) /
+                                     100.0);
+      lineitem->columns[6].push_back(static_cast<double>(rng.Index(9)) /
+                                     100.0);
+      lineitem->columns[7].push_back(ship);
+      lineitem->columns[8].push_back(commit);
+      lineitem->columns[9].push_back(receipt);
+    }
+  }
+}
+
+catalog::ColumnStats MeasureStats(const std::vector<double>& values,
+                                  double avg_width_bytes) {
+  catalog::ColumnStats stats;
+  stats.avg_width_bytes = avg_width_bytes;
+  if (values.empty()) return stats;
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  stats.min_value = sorted.front();
+  stats.max_value = sorted.back();
+  double distinct = 1.0;
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i] != sorted[i - 1]) distinct += 1.0;
+  }
+  stats.n_distinct = distinct;
+  return stats;
+}
+
+}  // namespace costsense::tpch

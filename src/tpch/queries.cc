@@ -1,0 +1,508 @@
+#include "tpch/queries.h"
+
+#include "common/macros.h"
+#include "common/strings.h"
+#include "query/builder.h"
+#include "tpch/stats.h"
+
+namespace costsense::tpch {
+
+namespace {
+
+using query::JoinKind;
+using query::Query;
+using query::QueryBuilder;
+
+/// Selectivity of an o_orderdate range predicate covering `days` days.
+double OrderDateSel(double days) { return days / kOrderDateDays; }
+/// Selectivity of an l_shipdate (or receipt/commit date) range of `days`.
+double ShipDateSel(double days) { return days / kShipDateDays; }
+
+double Rows(const catalog::Catalog& cat, const char* table) {
+  return cat.table(cat.TableId(table).value()).row_count();
+}
+
+Query Q1(const catalog::Catalog& cat) {
+  // Pricing summary: single-table scan with a wide shipdate filter,
+  // grouped on two tiny columns.
+  return QueryBuilder(cat, "Q1")
+      .Table("lineitem", "l")
+      .Project("l", 0.3)
+      .Restrict("l", "l_shipdate", ShipDateSel(2526 - 90))
+      .GroupBy(4, {"l.l_returnflag", "l.l_linestatus"})
+      .OrderBy("l", "l_returnflag")
+      .OrderBy("l", "l_linestatus")
+      .Build();
+}
+
+Query Q2(const catalog::Catalog& cat) {
+  // Minimum-cost supplier. The correlated min(ps_supplycost) subquery is
+  // folded into a 1/4 selectivity on partsupp (each part has 4 suppliers;
+  // the min picks one).
+  return QueryBuilder(cat, "Q2")
+      .Table("part", "p")
+      .Table("supplier", "s")
+      .Table("partsupp", "ps")
+      .Table("nation", "n")
+      .Table("region", "r")
+      .Project("p", 0.3)
+      .Project("ps", 0.15)
+      .Project("s", 0.6)
+      .Restrict("p", "p_size", 1.0 / 50)
+      .Restrict("p", "p_type", 0.2, /*sargable=*/false)
+      .LocalSelectivity("ps", 0.25)
+      .Restrict("r", "r_name", 0.2)
+      .Join("p", "p_partkey", "ps", "ps_partkey")
+      .Join("s", "s_suppkey", "ps", "ps_suppkey")
+      .Join("s", "s_nationkey", "n", "n_nationkey")
+      .Join("n", "n_regionkey", "r", "r_regionkey")
+      .OrderBy("s", "s_acctbal")
+      .Build();
+}
+
+Query Q3(const catalog::Catalog& cat) {
+  return QueryBuilder(cat, "Q3")
+      .Table("customer", "c")
+      .Table("orders", "o")
+      .Table("lineitem", "l")
+      .Project("c", 0.1)
+      .Project("o", 0.2)
+      .Project("l", 0.15)
+      .Restrict("c", "c_mktsegment", 0.2, /*sargable=*/false)
+      .Restrict("o", "o_orderdate", OrderDateSel(1168))  // < 1995-03-15
+      .Restrict("l", "l_shipdate", ShipDateSel(1358), /*sargable=*/true)
+      .Join("c", "c_custkey", "o", "o_custkey")
+      .Join("o", "o_orderkey", "l", "l_orderkey")
+      .GroupBy(Rows(cat, "orders") * OrderDateSel(1168) * 0.3,
+               {"l.l_orderkey"})
+      .OrderBy("o", "o_orderdate")
+      .Build();
+}
+
+Query Q4(const catalog::Catalog& cat) {
+  // Order priority checking: EXISTS(lineitem with commit < receipt)
+  // flattened to a semi join.
+  return QueryBuilder(cat, "Q4")
+      .Table("orders", "o")
+      .Table("lineitem", "l")
+      .Restrict("o", "o_orderdate", OrderDateSel(92))
+      .Project("o", 0.15)
+      .LocalSelectivity("l", 0.63)  // l_commitdate < l_receiptdate
+      .Join("o", "o_orderkey", "l", "l_orderkey", JoinKind::kSemi)
+      .GroupBy(5, {"o.o_orderpriority"})
+      .OrderBy("o", "o_orderpriority")
+      .Build();
+}
+
+Query Q5(const catalog::Catalog& cat) {
+  return QueryBuilder(cat, "Q5")
+      .Table("customer", "c")
+      .Table("orders", "o")
+      .Table("lineitem", "l")
+      .Table("supplier", "s")
+      .Table("nation", "n")
+      .Table("region", "r")
+      .Restrict("o", "o_orderdate", OrderDateSel(365))
+      .Restrict("r", "r_name", 0.2)
+      .Project("c", 0.08)
+      .Project("o", 0.08)
+      .Project("l", 0.2)
+      .Project("s", 0.1)
+      .Join("c", "c_custkey", "o", "o_custkey")
+      .Join("o", "o_orderkey", "l", "l_orderkey")
+      .Join("l", "l_suppkey", "s", "s_suppkey")
+      .Join("c", "c_nationkey", "s", "s_nationkey")
+      .Join("s", "s_nationkey", "n", "n_nationkey")
+      .Join("n", "n_regionkey", "r", "r_regionkey")
+      .GroupBy(5, {"n.n_name"})
+      .Build();
+}
+
+Query Q6(const catalog::Catalog& cat) {
+  return QueryBuilder(cat, "Q6")
+      .Table("lineitem", "l")
+      .Restrict("l", "l_shipdate", ShipDateSel(365))
+      .Project("l", 0.2)
+      .Restrict("l", "l_discount", 3.0 / 11, /*sargable=*/false)
+      .Restrict("l", "l_quantity", 0.48, /*sargable=*/false)
+      .GroupBy(1)
+      .Build();
+}
+
+Query Q7(const catalog::Catalog& cat) {
+  // Volume shipping between two nations; the (n1, n2) pair disjunction is
+  // approximated by independent 2/25 filters on each nation ref.
+  return QueryBuilder(cat, "Q7")
+      .Table("supplier", "s")
+      .Table("lineitem", "l")
+      .Table("orders", "o")
+      .Table("customer", "c")
+      .Table("nation", "n1")
+      .Table("nation", "n2")
+      .Restrict("l", "l_shipdate", ShipDateSel(730))
+      .Project("s", 0.1)
+      .Project("l", 0.25)
+      .Project("o", 0.08)
+      .Project("c", 0.08)
+      .Restrict("n1", "n_name", 2.0 / 25)
+      .Restrict("n2", "n_name", 2.0 / 25)
+      .Join("s", "s_suppkey", "l", "l_suppkey")
+      .Join("o", "o_orderkey", "l", "l_orderkey")
+      .Join("c", "c_custkey", "o", "o_custkey")
+      .Join("s", "s_nationkey", "n1", "n_nationkey")
+      .Join("c", "c_nationkey", "n2", "n_nationkey")
+      .GroupBy(14, {"n1.n_name", "n2.n_name"})
+      .OrderBy("n1", "n_name")
+      .Build();
+}
+
+Query Q8(const catalog::Catalog& cat) {
+  // National market share: the paper's 8-table query whose LINEITEM-PART
+  // join method flips between hash join and index nested loops as the
+  // seek:transfer cost ratio moves (Section 8.1.1).
+  return QueryBuilder(cat, "Q8")
+      .Table("part", "p")
+      .Table("lineitem", "l")
+      .Table("supplier", "s")
+      .Table("orders", "o")
+      .Table("customer", "c")
+      .Table("nation", "n1")
+      .Table("region", "r")
+      .Table("nation", "n2")
+      .Project("p", 0.08)
+      .Project("l", 0.3)
+      .Project("s", 0.08)
+      .Project("o", 0.1)
+      .Project("c", 0.08)
+      .Restrict("p", "p_type", 1.0 / 150, /*sargable=*/false)
+      .Restrict("o", "o_orderdate", OrderDateSel(730))
+      .Restrict("r", "r_name", 0.2)
+      .Join("p", "p_partkey", "l", "l_partkey")
+      .Join("s", "s_suppkey", "l", "l_suppkey")
+      .Join("l", "l_orderkey", "o", "o_orderkey")
+      .Join("o", "o_custkey", "c", "c_custkey")
+      .Join("c", "c_nationkey", "n1", "n_nationkey")
+      .Join("n1", "n_regionkey", "r", "r_regionkey")
+      .Join("s", "s_nationkey", "n2", "n_nationkey")
+      .GroupBy(2)
+      .Build();
+}
+
+Query Q9(const catalog::Catalog& cat) {
+  // Product type profit: partsupp joins lineitem on both part and
+  // supplier keys (two edges).
+  return QueryBuilder(cat, "Q9")
+      .Table("part", "p")
+      .Table("lineitem", "l")
+      .Table("supplier", "s")
+      .Table("partsupp", "ps")
+      .Table("orders", "o")
+      .Table("nation", "n")
+      .Project("p", 0.2)
+      .Project("l", 0.35)
+      .Project("s", 0.1)
+      .Project("ps", 0.2)
+      .Project("o", 0.1)
+      .Restrict("p", "p_name", 1.0 / 17, /*sargable=*/false)
+      .Join("p", "p_partkey", "l", "l_partkey")
+      .Join("s", "s_suppkey", "l", "l_suppkey")
+      .Join("ps", "ps_partkey", "l", "l_partkey")
+      .Join("ps", "ps_suppkey", "l", "l_suppkey")
+      .Join("o", "o_orderkey", "l", "l_orderkey")
+      .Join("s", "s_nationkey", "n", "n_nationkey")
+      .GroupBy(175, {"n.n_name"})
+      .OrderBy("n", "n_name")
+      .Build();
+}
+
+Query Q10(const catalog::Catalog& cat) {
+  return QueryBuilder(cat, "Q10")
+      .Table("customer", "c")
+      .Table("orders", "o")
+      .Table("lineitem", "l")
+      .Table("nation", "n")
+      .Restrict("o", "o_orderdate", OrderDateSel(92))
+      .Project("c", 0.8)
+      .Project("o", 0.1)
+      .Project("l", 0.2)
+      .Restrict("l", "l_returnflag", 1.0 / 3, /*sargable=*/false)
+      .Join("c", "c_custkey", "o", "o_custkey")
+      .Join("o", "o_orderkey", "l", "l_orderkey")
+      .Join("c", "c_nationkey", "n", "n_nationkey")
+      .GroupBy(Rows(cat, "customer") * 0.25, {"c.c_custkey"})
+      .Build();
+}
+
+Query Q11(const catalog::Catalog& cat) {
+  // Important stock: the HAVING-threshold scalar subquery is dropped (it
+  // filters output rows after aggregation, not the plan shape).
+  return QueryBuilder(cat, "Q11")
+      .Table("partsupp", "ps")
+      .Table("supplier", "s")
+      .Table("nation", "n")
+      .Project("ps", 0.2)
+      .Project("s", 0.1)
+      .Restrict("n", "n_name", 1.0 / 25)
+      .Join("ps", "ps_suppkey", "s", "s_suppkey")
+      .Join("s", "s_nationkey", "n", "n_nationkey")
+      .GroupBy(Rows(cat, "partsupp") / 25 * 0.8, {"ps.ps_partkey"})
+      .Build();
+}
+
+Query Q12(const catalog::Catalog& cat) {
+  return QueryBuilder(cat, "Q12")
+      .Table("orders", "o")
+      .Table("lineitem", "l")
+      .Project("o", 0.2)
+      .Project("l", 0.2)
+      .Restrict("l", "l_shipmode", 2.0 / 7, /*sargable=*/false)
+      .Restrict("l", "l_receiptdate", ShipDateSel(365), /*sargable=*/false)
+      .LocalSelectivity("l",
+                        (2.0 / 7) * ShipDateSel(365) * 0.63 * 0.63)
+      .Join("o", "o_orderkey", "l", "l_orderkey")
+      .GroupBy(2, {"l.l_shipmode"})
+      .OrderBy("l", "l_shipmode")
+      .Build();
+}
+
+Query Q13(const catalog::Catalog& cat) {
+  // Customer distribution. The LEFT OUTER join is approximated by an
+  // inner join (the comment filter keeps 98% of orders).
+  return QueryBuilder(cat, "Q13")
+      .Table("customer", "c")
+      .Table("orders", "o")
+      .Project("c", 0.1)
+      .Project("o", 0.3)
+      .Restrict("o", "o_comment", 0.98, /*sargable=*/false)
+      .Join("c", "c_custkey", "o", "o_custkey")
+      .GroupBy(Rows(cat, "customer") * kCustomersWithOrdersFraction,
+               {"c.c_custkey"})
+      .Build();
+}
+
+Query Q14(const catalog::Catalog& cat) {
+  return QueryBuilder(cat, "Q14")
+      .Table("lineitem", "l")
+      .Table("part", "p")
+      .Project("l", 0.25)
+      .Project("p", 0.2)
+      .Restrict("l", "l_shipdate", ShipDateSel(30))
+      .Join("l", "l_partkey", "p", "p_partkey")
+      .GroupBy(1)
+      .Build();
+}
+
+Query Q15(const catalog::Catalog& cat) {
+  // Top supplier: the revenue view is flattened to a grouped join; the
+  // max-revenue selection touches only the tiny aggregate output.
+  return QueryBuilder(cat, "Q15")
+      .Table("supplier", "s")
+      .Table("lineitem", "l")
+      .Project("s", 0.5)
+      .Project("l", 0.2)
+      .Restrict("l", "l_shipdate", ShipDateSel(92))
+      .Join("s", "s_suppkey", "l", "l_suppkey")
+      .GroupBy(Rows(cat, "supplier"), {"s.s_suppkey"})
+      .Build();
+}
+
+Query Q16(const catalog::Catalog& cat) {
+  // Parts/supplier relationship: NOT IN (complaint suppliers) flattened
+  // to an anti join against a highly selective supplier filter.
+  return QueryBuilder(cat, "Q16")
+      .Table("partsupp", "ps")
+      .Table("part", "p")
+      .Table("supplier", "s")
+      .Project("ps", 0.1)
+      .Project("p", 0.4)
+      .Restrict("p", "p_brand", 24.0 / 25, /*sargable=*/false)
+      .Restrict("p", "p_type", 29.0 / 30, /*sargable=*/false)
+      .Restrict("p", "p_size", 8.0 / 50)
+      .Restrict("s", "s_comment", 5e-4, /*sargable=*/false)
+      .Join("ps", "ps_partkey", "p", "p_partkey")
+      .Join("ps", "ps_suppkey", "s", "s_suppkey", JoinKind::kAnti)
+      .GroupBy(18000, {"p.p_brand"})
+      .OrderBy("p", "p_brand")
+      .Build();
+}
+
+Query Q17(const catalog::Catalog& cat) {
+  // Small-quantity-order revenue: the correlated avg(l_quantity) subquery
+  // becomes a 0.2 residual selectivity on lineitem.
+  return QueryBuilder(cat, "Q17")
+      .Table("lineitem", "l")
+      .Table("part", "p")
+      .Project("l", 0.15)
+      .Project("p", 0.1)
+      .Restrict("p", "p_brand", 1.0 / 25, /*sargable=*/false)
+      .Restrict("p", "p_container", 1.0 / 40, /*sargable=*/false)
+      .Restrict("l", "l_quantity", 0.2, /*sargable=*/false)
+      .Join("l", "l_partkey", "p", "p_partkey")
+      .GroupBy(1)
+      .Build();
+}
+
+Query Q18(const catalog::Catalog& cat) {
+  // Large volume customer: the HAVING sum(l_quantity) > 300 group filter
+  // is a semi join of orders against a pre-aggregated lineitem whose
+  // qualifying fraction is ~6e-5.
+  const double l_rows = Rows(cat, "lineitem");
+  const double o_rows = Rows(cat, "orders");
+  const double qualifying = 6e-5;
+  return QueryBuilder(cat, "Q18")
+      .Table("customer", "c")
+      .Table("orders", "o")
+      .Table("lineitem", "l")
+      .Table("lineitem", "lq")
+      .Project("c", 0.2)
+      .Project("o", 0.3)
+      .Project("l", 0.1)
+      .Project("lq", 0.05)
+      .LocalSelectivity("lq", qualifying)
+      .Join("c", "c_custkey", "o", "o_custkey")
+      .Join("o", "o_orderkey", "l", "l_orderkey")
+      .Join("o", "o_orderkey", "lq", "l_orderkey", JoinKind::kSemi,
+            /*selectivity_override=*/std::min(1.0, 1.0 / o_rows) *
+                std::min(1.0, o_rows / (l_rows * qualifying)))
+      .GroupBy(o_rows * 4e-5, {"c.c_custkey", "o.o_orderkey"})
+      .OrderBy("o", "o_totalprice")
+      .Build();
+}
+
+Query Q19(const catalog::Catalog& cat) {
+  // Discounted revenue: three OR'd brand/container/quantity brackets; the
+  // paper singles this query out for its LINEITEM-PART join method
+  // sensitivity (Section 8.1.1).
+  return QueryBuilder(cat, "Q19")
+      .Table("lineitem", "l")
+      .Table("part", "p")
+      .Restrict("l", "l_shipmode", 2.0 / 7, /*sargable=*/false)
+      .Project("l", 0.3)
+      .Project("p", 0.2)
+      .Restrict("l", "l_shipinstruct", 0.25, /*sargable=*/false)
+      .Restrict("l", "l_quantity", 0.6, /*sargable=*/false)
+      .Restrict("p", "p_brand", 3.0 / 25, /*sargable=*/false)
+      .Restrict("p", "p_container", 12.0 / 40, /*sargable=*/false)
+      .Restrict("p", "p_size", 0.3)
+      .Join("l", "l_partkey", "p", "p_partkey")
+      .GroupBy(1)
+      .Build();
+}
+
+Query Q20(const catalog::Catalog& cat) {
+  // Potential part promotion. Flattened to the inner-join chain whose
+  // PART-PARTSUPP join method choice the paper identifies as the
+  // sensitivity driver (Sections 8.1.1-8.1.2); the availqty subquery
+  // becomes a 0.5 filter on partsupp and DISTINCT suppliers the final
+  // aggregation.
+  return QueryBuilder(cat, "Q20")
+      .Table("part", "p")
+      .Table("partsupp", "ps")
+      .Table("supplier", "s")
+      .Table("nation", "n")
+      .Project("p", 0.1)
+      .Project("ps", 0.15)
+      .Project("s", 0.4)
+      .Restrict("p", "p_name", 0.01, /*sargable=*/false)
+      .LocalSelectivity("ps", 0.5)
+      .Restrict("n", "n_name", 1.0 / 25)
+      .Join("p", "p_partkey", "ps", "ps_partkey")
+      .Join("ps", "ps_suppkey", "s", "s_suppkey")
+      .Join("s", "s_nationkey", "n", "n_nationkey")
+      .GroupBy(Rows(cat, "supplier") / 25, {"s.s_suppkey"})
+      .OrderBy("s", "s_name")
+      .Build();
+}
+
+Query Q21(const catalog::Catalog& cat) {
+  // Suppliers who kept orders waiting: EXISTS (another supplier's line)
+  // and NOT EXISTS (another supplier's late line) become semi and anti
+  // joins on the order key. Match probabilities are calibrated so the
+  // anti join keeps ~10% of orders (multi-supplier orders are common).
+  const double l_rows = Rows(cat, "lineitem");
+  return QueryBuilder(cat, "Q21")
+      .Table("supplier", "s")
+      .Table("lineitem", "l1")
+      .Table("orders", "o")
+      .Table("nation", "n")
+      .Table("lineitem", "l2")
+      .Table("lineitem", "l3")
+      .Project("s", 0.2)
+      .Project("l1", 0.15)
+      .Project("o", 0.05)
+      .Project("l2", 0.05)
+      .Project("l3", 0.05)
+      .Restrict("l1", "l_receiptdate", 0.5, /*sargable=*/false)
+      .Restrict("o", "o_orderstatus", 0.486, /*sargable=*/false)
+      .Restrict("n", "n_name", 1.0 / 25)
+      .LocalSelectivity("l3", 0.5)
+      .Join("s", "s_suppkey", "l1", "l_suppkey")
+      .Join("o", "o_orderkey", "l1", "l_orderkey")
+      .Join("s", "s_nationkey", "n", "n_nationkey")
+      .Join("l1", "l_orderkey", "l2", "l_orderkey", JoinKind::kSemi,
+            /*selectivity_override=*/0.95 / l_rows)
+      .Join("l1", "l_orderkey", "l3", "l_orderkey", JoinKind::kAnti,
+            /*selectivity_override=*/0.9 / (l_rows * 0.5))
+      .GroupBy(Rows(cat, "supplier") / 25, {"s.s_name"})
+      .OrderBy("s", "s_name")
+      .Build();
+}
+
+Query Q22(const catalog::Catalog& cat) {
+  // Global sales opportunity: customers with no orders (anti join),
+  // calibrated so 1/3 of customers survive.
+  const double o_rows = Rows(cat, "orders");
+  return QueryBuilder(cat, "Q22")
+      .Table("customer", "c")
+      .Table("orders", "o")
+      .Project("c", 0.3)
+      .Project("o", 0.05)
+      .Restrict("c", "c_phone", 7.0 / 25, /*sargable=*/false)
+      .Restrict("c", "c_acctbal", 0.5, /*sargable=*/false)
+      .Join("c", "c_custkey", "o", "o_custkey", JoinKind::kAnti,
+            /*selectivity_override=*/(2.0 / 3.0) / o_rows)
+      .GroupBy(7, {"c.c_phone"})
+      .OrderBy("c", "c_phone")
+      .Build();
+}
+
+}  // namespace
+
+query::Query MakeTpchQuery(const catalog::Catalog& catalog, int number) {
+  switch (number) {
+    case 1: return Q1(catalog);
+    case 2: return Q2(catalog);
+    case 3: return Q3(catalog);
+    case 4: return Q4(catalog);
+    case 5: return Q5(catalog);
+    case 6: return Q6(catalog);
+    case 7: return Q7(catalog);
+    case 8: return Q8(catalog);
+    case 9: return Q9(catalog);
+    case 10: return Q10(catalog);
+    case 11: return Q11(catalog);
+    case 12: return Q12(catalog);
+    case 13: return Q13(catalog);
+    case 14: return Q14(catalog);
+    case 15: return Q15(catalog);
+    case 16: return Q16(catalog);
+    case 17: return Q17(catalog);
+    case 18: return Q18(catalog);
+    case 19: return Q19(catalog);
+    case 20: return Q20(catalog);
+    case 21: return Q21(catalog);
+    case 22: return Q22(catalog);
+    default:
+      COSTSENSE_CHECK_MSG(false, "TPC-H query number must be 1..22");
+      return {};
+  }
+}
+
+std::vector<query::Query> MakeTpchQueries(const catalog::Catalog& catalog) {
+  std::vector<query::Query> out;
+  out.reserve(22);
+  for (int i = 1; i <= 22; ++i) out.push_back(MakeTpchQuery(catalog, i));
+  return out;
+}
+
+}  // namespace costsense::tpch

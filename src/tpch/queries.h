@@ -1,0 +1,23 @@
+#ifndef COSTSENSE_TPCH_QUERIES_H_
+#define COSTSENSE_TPCH_QUERIES_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "query/query.h"
+
+namespace costsense::tpch {
+
+/// Builds TPC-H query `number` (1..22) in join-graph form against a
+/// catalog produced by MakeTpchCatalog. Selectivities follow the
+/// specification's default substitution parameters; correlated subqueries
+/// are flattened to semi/anti joins or folded into local selectivities
+/// (each flattening is documented inline and in DESIGN.md).
+query::Query MakeTpchQuery(const catalog::Catalog& catalog, int number);
+
+/// All 22 queries, in order (the paper's workload, Section 7.4).
+std::vector<query::Query> MakeTpchQueries(const catalog::Catalog& catalog);
+
+}  // namespace costsense::tpch
+
+#endif  // COSTSENSE_TPCH_QUERIES_H_

@@ -1,0 +1,114 @@
+#include "tpch/schema.h"
+
+#include <algorithm>
+
+#include "tpch/stats.h"
+
+namespace costsense::tpch {
+
+namespace {
+
+using catalog::Column;
+using catalog::MakeColumn;
+using catalog::Table;
+
+/// Key column uniform over [1, n] with n distinct values, 4 bytes.
+Column Key(const char* name, double n) { return MakeColumn(name, n, 1, n, 4); }
+
+/// Categorical column: n distinct values, `width` bytes.
+Column Cat(const char* name, double n, double width) {
+  return MakeColumn(name, n, 0, n - 1, width);
+}
+
+/// Date column encoded as days since 1992-01-01.
+Column Date(const char* name, double lo, double hi) {
+  return MakeColumn(name, hi - lo + 1, lo, hi, 4);
+}
+
+/// Decimal column, 8 bytes.
+Column Dec(const char* name, double n, double lo, double hi) {
+  return MakeColumn(name, n, lo, hi, 8);
+}
+
+}  // namespace
+
+catalog::Catalog MakeTpchCatalog(double scale_factor,
+                                 catalog::SystemConfig config) {
+  const Cardinalities n = CardinalitiesFor(scale_factor);
+  const double page = config.page_size_bytes;
+  catalog::Catalog cat(std::move(config));
+
+  cat.AddTable(Table("region", n.region, page,
+                     {Key("r_regionkey", 5), Cat("r_name", 5, 25),
+                      Cat("r_comment", 5, 100)}));
+
+  cat.AddTable(Table("nation", n.nation, page,
+                     {Key("n_nationkey", 25), Cat("n_name", 25, 25),
+                      MakeColumn("n_regionkey", 5, 0, 4, 4),
+                      Cat("n_comment", 25, 100)}));
+
+  cat.AddTable(Table(
+      "supplier", n.supplier, page,
+      {Key("s_suppkey", n.supplier), Cat("s_name", n.supplier, 25),
+       Cat("s_address", n.supplier, 25),
+       MakeColumn("s_nationkey", 25, 0, 24, 4), Cat("s_phone", n.supplier, 15),
+       Dec("s_acctbal", std::min(n.supplier, 1.1e6), -999.99, 9999.99),
+       Cat("s_comment", n.supplier, 62)}));
+
+  cat.AddTable(Table(
+      "part", n.part, page,
+      {Key("p_partkey", n.part), Cat("p_name", n.part, 33),
+       Cat("p_mfgr", 5, 25), Cat("p_brand", 25, 10), Cat("p_type", 150, 25),
+       MakeColumn("p_size", 50, 1, 50, 4), Cat("p_container", 40, 10),
+       Dec("p_retailprice", std::min(n.part, 1.2e5), 900, 2100),
+       Cat("p_comment", n.part, 14)}));
+
+  cat.AddTable(Table(
+      "partsupp", n.partsupp, page,
+      {MakeColumn("ps_partkey", n.part, 1, n.part, 4),
+       MakeColumn("ps_suppkey", n.supplier, 1, n.supplier, 4),
+       MakeColumn("ps_availqty", 9999, 1, 9999, 4),
+       Dec("ps_supplycost", 99901, 1.0, 1000.0),
+       Cat("ps_comment", n.partsupp, 124)}));
+
+  cat.AddTable(Table(
+      "customer", n.customer, page,
+      {Key("c_custkey", n.customer), Cat("c_name", n.customer, 18),
+       Cat("c_address", n.customer, 25),
+       MakeColumn("c_nationkey", 25, 0, 24, 4),
+       Cat("c_phone", n.customer, 15),
+       Dec("c_acctbal", std::min(n.customer, 1.1e6), -999.99, 9999.99),
+       Cat("c_mktsegment", 5, 10), Cat("c_comment", n.customer, 73)}));
+
+  cat.AddTable(Table(
+      "orders", n.orders, page,
+      {Key("o_orderkey", n.orders),
+       MakeColumn("o_custkey", n.customer * kCustomersWithOrdersFraction, 1,
+                  n.customer, 4),
+       Cat("o_orderstatus", 3, 1), Dec("o_totalprice", n.orders, 800, 600000),
+       Date("o_orderdate", 0, kOrderDateDays - 1),
+       Cat("o_orderpriority", 5, 15),
+       Cat("o_clerk", 1000 * std::max(1.0, scale_factor), 15),
+       Cat("o_shippriority", 1, 4), Cat("o_comment", n.orders, 49)}));
+
+  cat.AddTable(Table(
+      "lineitem", n.lineitem, page,
+      {MakeColumn("l_orderkey", n.orders, 1, n.orders, 4),
+       MakeColumn("l_partkey", n.part, 1, n.part, 4),
+       MakeColumn("l_suppkey", n.supplier, 1, n.supplier, 4),
+       MakeColumn("l_linenumber", 7, 1, 7, 4),
+       MakeColumn("l_quantity", 50, 1, 50, 8),
+       Dec("l_extendedprice", std::min(n.lineitem, 1.0e6), 900, 105000),
+       Dec("l_discount", 11, 0.0, 0.10), Dec("l_tax", 9, 0.0, 0.08),
+       Cat("l_returnflag", 3, 1), Cat("l_linestatus", 2, 1),
+       Date("l_shipdate", 1, kShipDateDays - 1),
+       Date("l_commitdate", 30, kShipDateDays + 60),
+       Date("l_receiptdate", 2, kShipDateDays + 29),
+       Cat("l_shipinstruct", 4, 25), Cat("l_shipmode", 7, 10),
+       Cat("l_comment", n.lineitem, 27)}));
+
+  AddTpchIndexes(cat);
+  return cat;
+}
+
+}  // namespace costsense::tpch

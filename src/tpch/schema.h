@@ -1,0 +1,23 @@
+#ifndef COSTSENSE_TPCH_SCHEMA_H_
+#define COSTSENSE_TPCH_SCHEMA_H_
+
+#include "catalog/catalog.h"
+
+namespace costsense::tpch {
+
+/// Builds a catalog holding the TPC-H schema with analytically-derived
+/// statistics for `scale_factor` (default 100, the paper's database size)
+/// and the benchmark-style index set (see indexes.cc). This substitutes
+/// for the paper's transplanted db2look statistics dump (Section 7.2):
+/// dbgen data is deterministic, so column cardinalities, extrema and
+/// widths are closed-form functions of SF.
+catalog::Catalog MakeTpchCatalog(double scale_factor = 100.0,
+                                 catalog::SystemConfig config = {});
+
+/// Adds the benchmark index set to a catalog already holding the TPC-H
+/// tables (called by MakeTpchCatalog; exposed for tests and ablations).
+void AddTpchIndexes(catalog::Catalog& catalog);
+
+}  // namespace costsense::tpch
+
+#endif  // COSTSENSE_TPCH_SCHEMA_H_

@@ -1,0 +1,19 @@
+#include "tpch/stats.h"
+
+#include "common/macros.h"
+
+namespace costsense::tpch {
+
+Cardinalities CardinalitiesFor(double scale_factor) {
+  COSTSENSE_CHECK_MSG(scale_factor >= 0.01, "scale factor too small");
+  Cardinalities c;
+  c.supplier = 10000.0 * scale_factor;
+  c.part = 200000.0 * scale_factor;
+  c.partsupp = 800000.0 * scale_factor;
+  c.customer = 150000.0 * scale_factor;
+  c.orders = 1500000.0 * scale_factor;
+  c.lineitem = 6000000.0 * scale_factor;
+  return c;
+}
+
+}  // namespace costsense::tpch

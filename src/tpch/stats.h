@@ -1,0 +1,37 @@
+#ifndef COSTSENSE_TPCH_STATS_H_
+#define COSTSENSE_TPCH_STATS_H_
+
+namespace costsense::tpch {
+
+/// Exact dbgen table cardinalities as a function of the scale factor
+/// (TPC-H specification clause 4.2.5). dbgen data is deterministic, so
+/// these are the row counts RUNSTATS would have measured on the paper's
+/// 100 GB (SF = 100) database.
+struct Cardinalities {
+  double region = 5.0;
+  double nation = 25.0;
+  double supplier = 0.0;
+  double part = 0.0;
+  double partsupp = 0.0;
+  double customer = 0.0;
+  double orders = 0.0;
+  double lineitem = 0.0;
+};
+
+/// Computes the cardinalities for `scale_factor` (SF >= 0.01). Lineitem
+/// uses the expected 6,000,000 * SF (the exact dbgen count deviates by
+/// <0.1%).
+Cardinalities CardinalitiesFor(double scale_factor);
+
+/// Number of distinct o_orderdate values (1992-01-01 .. 1998-08-02),
+/// encoded as days since 1992-01-01.
+inline constexpr double kOrderDateDays = 2406.0;
+/// Number of distinct l_shipdate values (orderdate + 1 .. orderdate + 121).
+inline constexpr double kShipDateDays = 2526.0;
+/// Customers with at least one order: dbgen gives orders to 2/3 of the
+/// customer keyspace.
+inline constexpr double kCustomersWithOrdersFraction = 2.0 / 3.0;
+
+}  // namespace costsense::tpch
+
+#endif  // COSTSENSE_TPCH_STATS_H_

@@ -1,0 +1,100 @@
+#include "catalog/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace costsense::catalog {
+namespace {
+
+TEST(HistogramTest, RejectsEmptyAndZeroBuckets) {
+  EXPECT_FALSE(EquiDepthHistogram::Build({}, 4).ok());
+  EXPECT_FALSE(EquiDepthHistogram::Build({1.0}, 0).ok());
+}
+
+TEST(HistogramTest, UniformDataGivesUniformFractions) {
+  std::vector<double> values;
+  for (int i = 0; i < 10000; ++i) values.push_back(i);
+  const auto h = EquiDepthHistogram::Build(values, 16);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->num_buckets(), 16u);
+  EXPECT_NEAR(h->FractionBelow(2500), 0.25, 0.01);
+  EXPECT_NEAR(h->FractionBelow(5000), 0.50, 0.01);
+  EXPECT_NEAR(h->FractionBelow(9999), 1.00, 0.01);
+  EXPECT_DOUBLE_EQ(h->FractionBelow(-5), 0.0);
+  EXPECT_DOUBLE_EQ(h->FractionBelow(20000), 1.0);
+}
+
+TEST(HistogramTest, RangeSelectivityMatchesTruthOnUniform) {
+  std::vector<double> values;
+  for (int i = 0; i < 10000; ++i) values.push_back(i % 100);
+  const auto h = EquiDepthHistogram::Build(values, 10);
+  ASSERT_TRUE(h.ok());
+  EXPECT_NEAR(h->RangeSelectivity(20, 39), 0.20, 0.03);
+  EXPECT_DOUBLE_EQ(h->RangeSelectivity(50, 40), 0.0);
+}
+
+TEST(HistogramTest, SkewedDataBeatsUniformAssumption) {
+  // 90% of rows are value 0; a histogram must see that, while the uniform
+  // min/max assumption cannot.
+  std::vector<double> values(9000, 0.0);
+  for (int i = 0; i < 1000; ++i) values.push_back(1 + i % 100);
+  const auto h = EquiDepthHistogram::Build(values, 20);
+  ASSERT_TRUE(h.ok());
+  EXPECT_NEAR(h->EqualitySelectivity(0.0), 0.9, 0.02);
+  EXPECT_LT(h->EqualitySelectivity(50.0), 0.01);
+}
+
+TEST(HistogramTest, DuplicateRunsDoNotStraddleBuckets) {
+  // A single value dominating the data must collapse buckets, not split.
+  std::vector<double> values(1000, 7.0);
+  const auto h = EquiDepthHistogram::Build(values, 8);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->num_buckets(), 1u);
+  EXPECT_NEAR(h->EqualitySelectivity(7.0), 1.0, 1e-9);
+}
+
+TEST(HistogramTest, EqualityOutsideDomainIsZero) {
+  const auto h = EquiDepthHistogram::Build({1, 2, 3, 4, 5}, 2);
+  ASSERT_TRUE(h.ok());
+  EXPECT_DOUBLE_EQ(h->EqualitySelectivity(99.0), 0.0);
+  EXPECT_DOUBLE_EQ(h->EqualitySelectivity(-1.0), 0.0);
+}
+
+// Property sweep: on random data, FractionBelow is monotone, bounded, and
+// range selectivities approximate true fractions.
+class HistogramPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HistogramPropertyTest, FractionBelowIsAccurateCdf) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 61 + 3);
+  std::vector<double> values;
+  const int n = 5000;
+  const bool skewed = GetParam() % 2 == 0;
+  for (int i = 0; i < n; ++i) {
+    values.push_back(skewed ? std::floor(rng.LogUniform(1.0, 1e4))
+                            : std::floor(rng.Uniform(0.0, 1000.0)));
+  }
+  const auto h = EquiDepthHistogram::Build(values, 32);
+  ASSERT_TRUE(h.ok());
+  double prev = 0.0;
+  for (double q : {0.0, 1.0, 5.0, 50.0, 200.0, 900.0, 5000.0, 9999.0}) {
+    const double est = h->FractionBelow(q);
+    EXPECT_GE(est, prev - 1e-12);  // monotone
+    EXPECT_GE(est, 0.0);
+    EXPECT_LE(est, 1.0);
+    prev = est;
+    // Compare with the exact fraction.
+    double exact = 0.0;
+    for (double v : values) exact += v <= q ? 1.0 : 0.0;
+    exact /= n;
+    EXPECT_NEAR(est, exact, 0.05) << "q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramPropertyTest,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace costsense::catalog

@@ -1,0 +1,44 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace costsense {
+namespace {
+
+TEST(StringsTest, JoinEmpty) { EXPECT_EQ(Join({}, ","), ""); }
+
+TEST(StringsTest, JoinSingle) { EXPECT_EQ(Join({"a"}, ","), "a"); }
+
+TEST(StringsTest, JoinMany) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringsTest, StrFormatBasic) {
+  EXPECT_EQ(StrFormat("q%d delta=%.1f", 8, 2.5), "q8 delta=2.5");
+}
+
+TEST(StringsTest, StrFormatEmptyResult) { EXPECT_EQ(StrFormat("%s", ""), ""); }
+
+TEST(StringsTest, FormatDoubleZero) { EXPECT_EQ(FormatDouble(0.0), "0"); }
+
+TEST(StringsTest, FormatDoubleTrimsTrailingZeros) {
+  EXPECT_EQ(FormatDouble(1.5), "1.5");
+  EXPECT_EQ(FormatDouble(2.0), "2");
+}
+
+TEST(StringsTest, FormatDoubleLargeUsesScientific) {
+  const std::string s = FormatDouble(6.0e8);
+  EXPECT_NE(s.find('e'), std::string::npos);
+}
+
+TEST(StringsTest, FormatDoubleSmallUsesScientific) {
+  const std::string s = FormatDouble(1.0e-6);
+  EXPECT_NE(s.find('e'), std::string::npos);
+}
+
+TEST(StringsTest, FormatDoubleNegative) {
+  EXPECT_EQ(FormatDouble(-3.25), "-3.25");
+}
+
+}  // namespace
+}  // namespace costsense

@@ -1,0 +1,143 @@
+// Tests for the complementary-plan taxonomy of paper Section 5.6.
+#include "core/complementarity.h"
+
+#include <gtest/gtest.h>
+
+namespace costsense::core {
+namespace {
+
+// Dimension layout used throughout: [t0.table, t0.index, t1.table,
+// t1.index, temp, cpu].
+std::vector<DimInfo> Dims() {
+  return {
+      {DimClass::kTable, 0, "t0.table"}, {DimClass::kIndex, 0, "t0.index"},
+      {DimClass::kTable, 1, "t1.table"}, {DimClass::kIndex, 1, "t1.index"},
+      {DimClass::kTemp, -1, "temp"},     {DimClass::kCpu, -1, "cpu"},
+  };
+}
+
+TEST(ComplementarityTest, NonComplementaryPair) {
+  const UsageVector a{10.0, 1.0, 5.0, 1.0, 2.0, 1.0};
+  const UsageVector b{20.0, 2.0, 5.0, 1.0, 4.0, 1.0};
+  const PairAnalysis pa = AnalyzePair(a, b, Dims());
+  EXPECT_FALSE(pa.complementary);
+  EXPECT_DOUBLE_EQ(pa.max_element_ratio, 2.0);
+}
+
+TEST(ComplementarityTest, TempComplementaryDetected) {
+  // Plan a spills to temp (external sort), plan b pipelines.
+  const UsageVector a{10.0, 1.0, 5.0, 1.0, 50.0, 1.0};
+  const UsageVector b{10.0, 1.0, 5.0, 1.0, 0.0, 1.0};
+  const PairAnalysis pa = AnalyzePair(a, b, Dims());
+  EXPECT_TRUE(pa.complementary);
+  EXPECT_TRUE(pa.temp_complementary);
+  EXPECT_FALSE(pa.access_path_complementary);
+  EXPECT_FALSE(pa.table_complementary);
+}
+
+TEST(ComplementarityTest, AccessPathComplementaryViaIndexDim) {
+  // Plan a probes t0's index, plan b scans the table only.
+  const UsageVector a{2.0, 8.0, 5.0, 1.0, 0.0, 1.0};
+  const UsageVector b{40.0, 0.0, 5.0, 1.0, 0.0, 1.0};
+  const PairAnalysis pa = AnalyzePair(a, b, Dims());
+  EXPECT_TRUE(pa.complementary);
+  EXPECT_TRUE(pa.access_path_complementary);
+  EXPECT_FALSE(pa.table_complementary);
+}
+
+TEST(ComplementarityTest, IndexOnlyVersusTableScanIsAccessPath) {
+  // Plan a answers from the index alone (zero table pages); plan b scans.
+  // The table-dim mismatch is explained by the index-dim difference, so
+  // this is access-path, not table, complementary.
+  const UsageVector a{0.0, 8.0, 5.0, 1.0, 0.0, 1.0};
+  const UsageVector b{40.0, 0.0, 5.0, 1.0, 0.0, 1.0};
+  const PairAnalysis pa = AnalyzePair(a, b, Dims());
+  EXPECT_TRUE(pa.complementary);
+  EXPECT_TRUE(pa.access_path_complementary);
+  EXPECT_FALSE(pa.table_complementary);
+}
+
+TEST(ComplementarityTest, TableComplementaryWhenTableUntouched) {
+  // Plan b reads nothing at all from t1 (neither data nor index pages):
+  // the plans access different numbers of tuples from t1 — genuinely
+  // table complementary (paper Section 5.6).
+  const UsageVector a{10.0, 1.0, 5.0, 1.0, 0.0, 1.0};
+  const UsageVector b{10.0, 1.0, 0.0, 0.0, 0.0, 1.0};
+  const PairAnalysis pa = AnalyzePair(a, b, Dims());
+  EXPECT_TRUE(pa.complementary);
+  EXPECT_TRUE(pa.table_complementary);
+  EXPECT_FALSE(pa.access_path_complementary);
+}
+
+TEST(ComplementarityTest, IndexOnlyVersusFetchIsAccessPath) {
+  // Identical index traffic, but plan b answers from the index alone
+  // while plan a also fetches data pages: an access-path difference, not
+  // different tuple counts.
+  const UsageVector a{20.0, 8.0, 5.0, 1.0, 0.0, 1.0};
+  const UsageVector b{0.0, 8.0, 5.0, 1.0, 0.0, 1.0};
+  const PairAnalysis pa = AnalyzePair(a, b, Dims());
+  EXPECT_TRUE(pa.complementary);
+  EXPECT_TRUE(pa.access_path_complementary);
+  EXPECT_FALSE(pa.table_complementary);
+}
+
+TEST(ComplementarityTest, TinyDimensionsDoNotFalselyComplement) {
+  // A 150-vs-50 difference on a tiny table next to a 1e9 scan dimension
+  // must not register as complementary (per-dimension zero test).
+  const UsageVector a{1e9, 1.0, 150.0, 1.0, 0.0, 1e11};
+  const UsageVector b{1e9, 1.0, 50.0, 1.0, 0.0, 1e11};
+  const PairAnalysis pa = AnalyzePair(a, b, Dims());
+  EXPECT_FALSE(pa.complementary);
+  EXPECT_DOUBLE_EQ(pa.max_element_ratio, 3.0);
+}
+
+TEST(ComplementarityTest, MultipleKindsCoexist) {
+  const UsageVector a{2.0, 8.0, 5.0, 1.0, 50.0, 1.0};
+  const UsageVector b{40.0, 0.0, 5.0, 1.0, 0.0, 1.0};
+  const PairAnalysis pa = AnalyzePair(a, b, Dims());
+  EXPECT_TRUE(pa.access_path_complementary);
+  EXPECT_TRUE(pa.temp_complementary);
+}
+
+TEST(ComplementarityTest, ReportAggregates) {
+  const std::vector<PlanUsage> plans = {
+      {"scan", UsageVector{40.0, 0.0, 5.0, 1.0, 0.0, 1.0}},
+      {"probe", UsageVector{2.0, 8.0, 5.0, 1.0, 0.0, 1.0}},
+      {"sort", UsageVector{40.0, 0.0, 5.0, 1.0, 50.0, 1.0}},
+  };
+  const ComplementarityReport report = AnalyzePlanSet(plans, Dims());
+  EXPECT_EQ(report.num_pairs, 3u);
+  EXPECT_EQ(report.num_complementary, 3u);
+  EXPECT_GE(report.num_access_path, 2u);
+  EXPECT_GE(report.num_temp, 2u);
+  EXPECT_EQ(report.num_table, 0u);
+}
+
+TEST(ComplementarityTest, NearComplementaryCounted) {
+  const std::vector<PlanUsage> plans = {
+      {"a", UsageVector{1000.0, 1.0, 5.0, 1.0, 1.0, 1.0}},
+      {"b", UsageVector{1.0, 1.0, 5.0, 1.0, 1.0, 1.0}},
+  };
+  const ComplementarityReport report = AnalyzePlanSet(plans, Dims());
+  EXPECT_EQ(report.num_complementary, 0u);
+  EXPECT_EQ(report.num_near_complementary, 1u);
+  EXPECT_DOUBLE_EQ(report.pairs[0].max_element_ratio, 1000.0);
+}
+
+TEST(ComplementarityTest, PaperExampleTwoRatio) {
+  // Paper Example 2: plan A scans T1 (1e6 tuples), plan B probes T1's
+  // index fetching 100 tuples via 1e4 probes: ratio 1e4 on T1's resource.
+  const std::vector<DimInfo> dims = {
+      {DimClass::kTable, 0, "t1"},
+      {DimClass::kTable, 1, "rest"},
+      {DimClass::kCpu, -1, "cpu"},
+  };
+  const UsageVector plan_a{1e6, 2e4, 1.0};
+  const UsageVector plan_b{100.0, 1.1e6, 1.0};
+  const PairAnalysis pa = AnalyzePair(plan_a, plan_b, dims);
+  EXPECT_FALSE(pa.complementary);
+  EXPECT_DOUBLE_EQ(pa.max_element_ratio, 1e4);
+}
+
+}  // namespace
+}  // namespace costsense::core

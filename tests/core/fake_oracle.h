@@ -1,0 +1,47 @@
+#ifndef COSTSENSE_TESTS_CORE_FAKE_ORACLE_H_
+#define COSTSENSE_TESTS_CORE_FAKE_ORACLE_H_
+
+#include <vector>
+
+#include "core/oracle.h"
+
+namespace costsense::core {
+
+/// A synthetic optimizer over an explicit plan set: returns the cheapest
+/// plan by dot product, optionally revealing the usage vector (white box)
+/// or hiding it (narrow interface, like a commercial optimizer).
+class FakeOracle : public PlanOracle {
+ public:
+  FakeOracle(std::vector<PlanUsage> plans, bool white_box)
+      : plans_(std::move(plans)), white_box_(white_box) {}
+
+  OracleResult Optimize(const CostVector& c) override {
+    ++calls_;
+    size_t best = 0;
+    double best_cost = TotalCost(plans_[0].usage, c);
+    for (size_t i = 1; i < plans_.size(); ++i) {
+      const double cost = TotalCost(plans_[i].usage, c);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = i;
+      }
+    }
+    OracleResult r;
+    r.plan_id = plans_[best].plan_id;
+    r.total_cost = best_cost;
+    if (white_box_) r.usage = plans_[best].usage;
+    return r;
+  }
+
+  size_t dims() const override { return plans_[0].usage.size(); }
+  size_t calls() const { return calls_; }
+
+ private:
+  std::vector<PlanUsage> plans_;
+  bool white_box_;
+  size_t calls_ = 0;
+};
+
+}  // namespace costsense::core
+
+#endif  // COSTSENSE_TESTS_CORE_FAKE_ORACLE_H_

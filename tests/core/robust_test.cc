@@ -1,0 +1,94 @@
+#include "core/robust.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/relative_cost.h"
+#include "core/worst_case.h"
+
+namespace costsense::core {
+namespace {
+
+TEST(RobustTest, BalancedPlanBeatsComplementaryExtremes) {
+  // Two fully complementary plans risk delta^2 each; a balanced middle
+  // plan caps the damage at a constant.
+  const std::vector<PlanUsage> plans = {
+      {"extreme_a", UsageVector{1.0, 0.0}},
+      {"extreme_b", UsageVector{0.0, 1.0}},
+      {"balanced", UsageVector{0.75, 0.75}},
+  };
+  const Box box = Box::MultiplicativeBand(CostVector{1.0, 1.0}, 100.0);
+  const Result<RobustChoice> choice = ChooseRobustPlan(plans, box);
+  ASSERT_TRUE(choice.ok());
+  EXPECT_EQ(choice->plan_index, 2u);
+  // Each extreme risks exactly delta^2 = 1e4 against the other; the
+  // balanced plan's exposure is 0.75 * (delta^2 + 1) ~ 7500 — better,
+  // though still quadratic (with fully complementary rivals no plan can
+  // earn a constant guarantee; cf. Theorem 1).
+  EXPECT_NEAR(choice->per_plan_worst_gtc[0], 1e4, 1.0);
+  EXPECT_NEAR(choice->per_plan_worst_gtc[1], 1e4, 1.0);
+  EXPECT_NEAR(choice->worst_case_gtc, 0.75 * (1e4 + 1.0), 1.0);
+}
+
+TEST(RobustTest, SinglePlanIsTriviallyRobust) {
+  const std::vector<PlanUsage> plans = {{"only", UsageVector{1.0, 2.0}}};
+  const Box box = Box::MultiplicativeBand(CostVector{1.0, 1.0}, 10.0);
+  const Result<RobustChoice> choice = ChooseRobustPlan(plans, box);
+  ASSERT_TRUE(choice.ok());
+  EXPECT_EQ(choice->plan_index, 0u);
+  EXPECT_DOUBLE_EQ(choice->worst_case_gtc, 1.0);
+}
+
+TEST(RobustTest, EmptySetRejected) {
+  const Box box = Box::MultiplicativeBand(CostVector{1.0}, 10.0);
+  EXPECT_FALSE(ChooseRobustPlan({}, box).ok());
+}
+
+TEST(RobustTest, GuaranteeNeverWorseThanEstimateOptimal) {
+  // Property: the robust choice's worst case is <= the worst case of the
+  // plan that is optimal at the box center (the estimate-optimal plan).
+  Rng rng(77);
+  for (int t = 0; t < 30; ++t) {
+    const size_t n = 2 + rng.Index(4);
+    std::vector<PlanUsage> plans;
+    for (int p = 0; p < 6; ++p) {
+      UsageVector u(n);
+      for (size_t i = 0; i < n; ++i) {
+        u[i] = rng.Uniform() < 0.25 ? 0.0 : rng.LogUniform(1.0, 1e4);
+      }
+      if (u.Sum() == 0.0) u[0] = 1.0;
+      plans.push_back({"p" + std::to_string(p), std::move(u)});
+    }
+    CostVector base(n);
+    for (size_t i = 0; i < n; ++i) base[i] = rng.LogUniform(0.01, 10.0);
+    const Box box = Box::MultiplicativeBand(base, rng.LogUniform(2.0, 100.0));
+
+    const Result<RobustChoice> choice = ChooseRobustPlan(plans, box);
+    ASSERT_TRUE(choice.ok());
+    const size_t est = OptimalPlanIndex(plans, box.Center());
+    EXPECT_LE(choice->worst_case_gtc,
+              choice->per_plan_worst_gtc[est] * (1 + 1e-9));
+    // And the reported landscape is consistent with direct evaluation.
+    const auto direct =
+        WorstCaseOverPlansByLp(plans[est].usage, plans, box);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_NEAR(choice->per_plan_worst_gtc[est], direct->gtc,
+                1e-9 * direct->gtc);
+  }
+}
+
+TEST(RobustTest, PaperExampleOneRobustGuaranteeIsDelta) {
+  // For Example 1's symmetric complementary pair, each plan's worst case
+  // is delta^2; any mixture is unavailable (only these two plans exist),
+  // so the guarantee is delta^2 — choosing either is equally robust.
+  const double delta = 10.0;
+  const std::vector<PlanUsage> plans = {{"a", UsageVector{1.0, 0.0}},
+                                        {"b", UsageVector{0.0, 1.0}}};
+  const Box box = Box::MultiplicativeBand(CostVector{1.0, 1.0}, delta);
+  const Result<RobustChoice> choice = ChooseRobustPlan(plans, box);
+  ASSERT_TRUE(choice.ok());
+  EXPECT_NEAR(choice->worst_case_gtc, delta * delta, 1e-6);
+}
+
+}  // namespace
+}  // namespace costsense::core

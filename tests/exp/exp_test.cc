@@ -1,0 +1,150 @@
+// Integration tests of the experiment harness: these assert the *shape*
+// results the paper reports, on a subset of queries at full SF-100 scale.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exp/figure_runner.h"
+#include "exp/report.h"
+#include "tpch/queries.h"
+#include "tpch/schema.h"
+
+namespace costsense::exp {
+namespace {
+
+const catalog::Catalog& Cat() {
+  static const catalog::Catalog* cat =
+      new catalog::Catalog(tpch::MakeTpchCatalog(100.0));
+  return *cat;
+}
+
+FigureRunner::Options LightOptions() {
+  FigureRunner::Options o;
+  o.deltas = {2, 10, 100, 1000};
+  o.discovery.random_samples = 16;
+  o.discovery.sampled_vertices = 32;
+  o.discovery.bisection_depth = 3;
+  o.discovery.completeness_rounds = 1;
+  return o;
+}
+
+TEST(FigureRunnerTest, SharedDeviceCurvesAreConstantBounded) {
+  // Paper Figure 5 shape: on one device there are no complementary plans
+  // and worst-case GTC approaches a constant (Theorem 2 regime).
+  const FigureRunner runner(Cat(), LightOptions());
+  for (int qn : {1, 11, 19, 20}) {
+    const query::Query q = tpch::MakeTpchQuery(Cat(), qn);
+    const auto analysis =
+        runner.Analyze(q, storage::LayoutPolicy::kSharedDevice);
+    ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+    const auto series = runner.GtcSeries(*analysis);
+    ASSERT_TRUE(series.ok());
+    EXPECT_FALSE(series->has_complementary_plans) << q.name;
+    EXPECT_TRUE(std::isfinite(series->constant_bound)) << q.name;
+    for (const GtcPoint& p : series->points) {
+      EXPECT_LE(p.gtc, series->constant_bound * (1 + 1e-6))
+          << q.name << " at delta " << p.delta;
+      EXPECT_GE(p.gtc, 1.0 - 1e-9);
+    }
+  }
+}
+
+TEST(FigureRunnerTest, SeparateDevicesGoQuadratic) {
+  // Paper Figure 6 shape: with tables and indexes on separate devices,
+  // complementary plans appear and worst-case GTC grows ~delta^2 while
+  // respecting the Theorem 1 bound.
+  const FigureRunner runner(Cat(), LightOptions());
+  const query::Query q = tpch::MakeTpchQuery(Cat(), 19);
+  const auto analysis =
+      runner.Analyze(q, storage::LayoutPolicy::kPerTableAndIndex);
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  const auto series = runner.GtcSeries(*analysis);
+  ASSERT_TRUE(series.ok());
+  EXPECT_TRUE(series->has_complementary_plans);
+  const auto& pts = series->points;
+  // Quadratic regime between delta=10 and delta=1000: GTC scales by
+  // ~(delta ratio)^2 once complementary rivals dominate.
+  const double growth = pts[3].gtc / pts[1].gtc;  // delta 1000 vs 10
+  EXPECT_GT(growth, 1e3);
+  // Theorem 1: never exceeds delta^2 above the baseline GTC of 1.
+  for (const GtcPoint& p : pts) {
+    EXPECT_LE(p.gtc, p.delta * p.delta * (1 + 1e-6));
+  }
+}
+
+TEST(FigureRunnerTest, MonotoneInDelta) {
+  const FigureRunner runner(Cat(), LightOptions());
+  for (auto policy : {storage::LayoutPolicy::kSharedDevice,
+                      storage::LayoutPolicy::kPerTableColocated}) {
+    const query::Query q = tpch::MakeTpchQuery(Cat(), 8);
+    const auto analysis = runner.Analyze(q, policy);
+    ASSERT_TRUE(analysis.ok());
+    const auto series = runner.GtcSeries(*analysis);
+    ASSERT_TRUE(series.ok());
+    double prev = 1.0;
+    for (const GtcPoint& p : series->points) {
+      EXPECT_GE(p.gtc, prev * (1 - 1e-9));  // wider box can't shrink GTC
+      prev = p.gtc;
+    }
+  }
+}
+
+TEST(FigureRunnerTest, ComplementarityCensusMatchesPaperShape) {
+  // Paper Section 8.2: separated layout shows access-path (not table)
+  // complementarity; colocated layout eliminates the access-path kind.
+  const FigureRunner runner(Cat(), LightOptions());
+  const query::Query q = tpch::MakeTpchQuery(Cat(), 11);
+
+  const auto sep =
+      runner.Analyze(q, storage::LayoutPolicy::kPerTableAndIndex);
+  ASSERT_TRUE(sep.ok());
+  const core::ComplementarityReport sep_report = runner.Complementarity(*sep);
+  EXPECT_GT(sep_report.num_access_path, 0u);
+  EXPECT_EQ(sep_report.num_table, 0u);
+
+  const auto colo =
+      runner.Analyze(q, storage::LayoutPolicy::kPerTableColocated);
+  ASSERT_TRUE(colo.ok());
+  const core::ComplementarityReport colo_report =
+      runner.Complementarity(*colo);
+  EXPECT_EQ(colo_report.num_access_path, 0u);
+  EXPECT_EQ(colo_report.num_table, 0u);
+}
+
+TEST(FigureRunnerTest, InitialPlanIsAmongCandidates) {
+  const FigureRunner runner(Cat(), LightOptions());
+  const query::Query q = tpch::MakeTpchQuery(Cat(), 3);
+  const auto analysis =
+      runner.Analyze(q, storage::LayoutPolicy::kSharedDevice);
+  ASSERT_TRUE(analysis.ok());
+  bool found = false;
+  for (const core::PlanUsage& p : analysis->candidate_plans) {
+    if (p.plan_id == analysis->initial_plan_id) found = true;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(analysis->dims, 3u);
+  EXPECT_EQ(analysis->dim_info.size(), 3u);
+}
+
+TEST(ReportTest, TablesRender) {
+  FigureSeries s;
+  s.query_name = "Q1";
+  s.num_candidate_plans = 2;
+  s.constant_bound = 3.5;
+  s.points = {{2, 1.0, "x"}, {10, 2.5, "y"}};
+  const std::string table = RenderFigureTable("title", {s});
+  EXPECT_NE(table.find("title"), std::string::npos);
+  EXPECT_NE(table.find("Q1"), std::string::npos);
+  EXPECT_NE(table.find("2.5"), std::string::npos);
+  const std::string csv = RenderFigureCsv({s});
+  EXPECT_NE(csv.find("Q1,10,2.5,\"y\""), std::string::npos);
+}
+
+TEST(ReportTest, QuickModeReadsEnvironment) {
+  // Not set in the test environment by default.
+  EXPECT_FALSE(QuickMode());
+  EXPECT_EQ(QuickQueryNumbers().size(), 6u);
+}
+
+}  // namespace
+}  // namespace costsense::exp

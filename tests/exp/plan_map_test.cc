@@ -1,0 +1,88 @@
+#include "exp/plan_map.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tests/core/fake_oracle.h"
+
+namespace costsense::exp {
+namespace {
+
+using core::CostVector;
+using core::FakeOracle;
+using core::PlanUsage;
+using core::UsageVector;
+
+TEST(PlanMapTest, RasterizesConeRegions) {
+  // Three frontier plans over 2 dims: regions of influence are cones from
+  // the origin (paper Figure 4), so the log-log map shows three bands
+  // separated by diagonal switchover lines.
+  std::vector<PlanUsage> plans = {{"lo", UsageVector{8.0, 1.0}},
+                                  {"mid", UsageVector{3.0, 3.0}},
+                                  {"hi", UsageVector{1.0, 8.0}}};
+  FakeOracle oracle(plans, true);
+  const core::Box box =
+      core::Box::MultiplicativeBand(CostVector{1.0, 1.0}, 100.0);
+  const auto map = ComputePlanMap(oracle, box, 0, 1, 32);
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(map->plan_ids.size(), 3u);
+  EXPECT_EQ(map->cells.size(), 32u * 32u);
+
+  // Corners: cheap dim0 + dear dim1 => plan "lo" (heavy on dim0) wins.
+  const int bottom_right = map->cell(31, 0);   // x high, y low
+  const int top_left = map->cell(0, 31);       // x low, y high
+  EXPECT_EQ(map->plan_ids[static_cast<size_t>(map->cell(0, 31))], "lo");
+  EXPECT_EQ(map->plan_ids[static_cast<size_t>(bottom_right)], "hi");
+  EXPECT_NE(bottom_right, top_left);
+
+  // The diagonal passes through the middle region.
+  std::set<int> diagonal;
+  for (size_t i = 0; i < 32; ++i) diagonal.insert(map->cell(i, i));
+  EXPECT_EQ(diagonal.size(), 1u);  // scale invariance: one plan on the ray
+}
+
+TEST(PlanMapTest, ScaleInvarianceAlongDiagonal) {
+  // Observation 1: along any ray from the origin the optimal plan cannot
+  // change. In log-log coordinates rays are 45-degree diagonals.
+  std::vector<PlanUsage> plans = {{"a", UsageVector{5.0, 1.0}},
+                                  {"b", UsageVector{1.0, 5.0}}};
+  FakeOracle oracle(plans, true);
+  const core::Box box =
+      core::Box::MultiplicativeBand(CostVector{2.0, 2.0}, 1000.0);
+  const auto map = ComputePlanMap(oracle, box, 0, 1, 25);
+  ASSERT_TRUE(map.ok());
+  for (size_t offset = 0; offset < 25; ++offset) {
+    std::set<int> ray;
+    for (size_t i = 0; i + offset < 25; ++i) {
+      ray.insert(map->cell(i + offset, i));
+    }
+    EXPECT_EQ(ray.size(), 1u) << "ray offset " << offset;
+  }
+}
+
+TEST(PlanMapTest, InvalidArgumentsRejected) {
+  std::vector<PlanUsage> plans = {{"a", UsageVector{1.0, 2.0}}};
+  FakeOracle oracle(plans, true);
+  const core::Box box =
+      core::Box::MultiplicativeBand(CostVector{1.0, 1.0}, 10.0);
+  EXPECT_FALSE(ComputePlanMap(oracle, box, 0, 0, 8).ok());   // same dims
+  EXPECT_FALSE(ComputePlanMap(oracle, box, 0, 5, 8).ok());   // out of range
+  EXPECT_FALSE(ComputePlanMap(oracle, box, 0, 1, 1).ok());   // resolution
+}
+
+TEST(PlanMapTest, RenderContainsLegendAndGrid) {
+  std::vector<PlanUsage> plans = {{"only", UsageVector{1.0, 1.0}}};
+  FakeOracle oracle(plans, true);
+  const core::Box box =
+      core::Box::MultiplicativeBand(CostVector{1.0, 1.0}, 10.0);
+  const auto map = ComputePlanMap(oracle, box, 0, 1, 4);
+  ASSERT_TRUE(map.ok());
+  const std::string text = RenderPlanMap(*map, "d_s", "d_t");
+  EXPECT_NE(text.find("legend:"), std::string::npos);
+  EXPECT_NE(text.find("A = only"), std::string::npos);
+  EXPECT_NE(text.find("AAAA"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace costsense::exp

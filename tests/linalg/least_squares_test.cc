@@ -1,0 +1,131 @@
+#include "linalg/least_squares.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace costsense::linalg {
+namespace {
+
+TEST(LeastSquaresTest, ExactSystemRecovered) {
+  // With m == n and consistent data, least squares is exact.
+  const Matrix c = Matrix::FromRows({Vector{1.0, 0.0}, Vector{0.0, 1.0}});
+  const Result<Vector> x = LeastSquares(c, Vector{3.0, 4.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 3.0, 1e-10);
+  EXPECT_NEAR((*x)[1], 4.0, 1e-10);
+}
+
+TEST(LeastSquaresTest, OverdeterminedConsistent) {
+  const Vector truth{2.0, 5.0, 1.0};
+  Rng rng(3);
+  std::vector<Vector> rows;
+  Vector t(8);
+  for (int i = 0; i < 8; ++i) {
+    Vector r(3);
+    for (int j = 0; j < 3; ++j) r[j] = rng.Uniform(0.1, 10.0);
+    t[i] = Dot(r, truth);
+    rows.push_back(std::move(r));
+  }
+  const Result<Vector> x = LeastSquares(Matrix::FromRows(rows), t);
+  ASSERT_TRUE(x.ok());
+  for (int j = 0; j < 3; ++j) EXPECT_NEAR((*x)[j], truth[j], 1e-8);
+}
+
+TEST(LeastSquaresTest, NoisyRecoveryWithinTolerance) {
+  // Mimics the paper's setting: observed totals carry small quantization
+  // noise; oversampling (m = 2n) keeps the estimate close.
+  const Vector truth{100.0, 7.0, 0.5};
+  Rng rng(4);
+  std::vector<Vector> rows;
+  std::vector<double> obs;
+  for (int i = 0; i < 12; ++i) {
+    Vector r(3);
+    for (int j = 0; j < 3; ++j) r[j] = rng.Uniform(0.5, 5.0);
+    const double noise = 1.0 + rng.Uniform(-0.001, 0.001);
+    obs.push_back(Dot(r, truth) * noise);
+    rows.push_back(std::move(r));
+  }
+  Vector t(obs.size());
+  for (size_t i = 0; i < obs.size(); ++i) t[i] = obs[i];
+  const Result<Vector> x = LeastSquares(Matrix::FromRows(rows), t);
+  ASSERT_TRUE(x.ok());
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_NEAR((*x)[j], truth[j], 0.02 * truth[j] + 0.05);
+  }
+}
+
+TEST(LeastSquaresTest, UnderdeterminedRejected) {
+  const Matrix c = Matrix::FromRows({Vector{1.0, 2.0}});
+  EXPECT_EQ(LeastSquares(c, Vector{1.0}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(LeastSquaresTest, RankDeficientRejected) {
+  const Matrix c = Matrix::FromRows(
+      {Vector{1.0, 1.0}, Vector{2.0, 2.0}, Vector{3.0, 3.0}});
+  EXPECT_FALSE(LeastSquares(c, Vector{1.0, 2.0, 3.0}).ok());
+}
+
+TEST(LeastSquaresTest, SizeMismatchRejected) {
+  const Matrix c = Matrix::FromRows({Vector{1.0}, Vector{2.0}});
+  EXPECT_EQ(LeastSquares(c, Vector{1.0}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NonNegativeLeastSquaresTest, ClampsTinyNegatives) {
+  // Construct a fit whose exact solution has a tiny negative component by
+  // solving for a truth vector with a zero and adding one-sided noise.
+  const Matrix c = Matrix::FromRows(
+      {Vector{1.0, 1.0}, Vector{1.0, 2.0}, Vector{2.0, 1.0},
+       Vector{3.0, 1.0}});
+  // Truth (5, 0): totals 5,5,10,15. Perturb slightly.
+  const Vector t{5.0, 4.9999, 10.0001, 15.0};
+  const Result<Vector> x = NonNegativeLeastSquares(c, t, /*clamp_tol=*/1e-2);
+  ASSERT_TRUE(x.ok());
+  EXPECT_GE((*x)[1], 0.0);
+}
+
+TEST(RelativeResidualTest, PerfectFitIsZero) {
+  const Matrix c = Matrix::FromRows({Vector{1.0, 2.0}, Vector{3.0, 4.0}});
+  const Vector x{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(RelativeResidual(c, x, Vector{3.0, 7.0}), 0.0);
+}
+
+TEST(RelativeResidualTest, KnownError) {
+  const Matrix c = Matrix::FromRows({Vector{1.0}});
+  // Prediction 1.1 vs observation 1.0 -> 10% relative error.
+  EXPECT_NEAR(RelativeResidual(c, Vector{1.1}, Vector{1.0}), 0.1, 1e-12);
+}
+
+// Property sweep: recovery of random non-negative usage vectors from
+// m = 2n samples, the paper's oversampling rule.
+class RecoveryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RecoveryTest, RecoversRandomUsageVector) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 977 + 13);
+  const size_t n = 2 + rng.Index(8);
+  Vector truth(n);
+  for (size_t j = 0; j < n; ++j) {
+    truth[j] = rng.Uniform() < 0.3 ? 0.0 : rng.LogUniform(0.1, 1e6);
+  }
+  const size_t m = 2 * n;
+  std::vector<Vector> rows;
+  Vector t(m);
+  for (size_t i = 0; i < m; ++i) {
+    Vector r(n);
+    for (size_t j = 0; j < n; ++j) r[j] = rng.LogUniform(0.01, 100.0);
+    t[i] = Dot(r, truth);
+    rows.push_back(std::move(r));
+  }
+  const Result<Vector> x = LeastSquares(Matrix::FromRows(rows), t);
+  ASSERT_TRUE(x.ok());
+  for (size_t j = 0; j < n; ++j) {
+    EXPECT_NEAR((*x)[j], truth[j], 1e-6 * (1.0 + truth[j]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecoveryTest, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace costsense::linalg

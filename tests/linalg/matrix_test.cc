@@ -1,0 +1,124 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace costsense::linalg {
+namespace {
+
+TEST(MatrixTest, IdentityMultiply) {
+  const Matrix id = Matrix::Identity(3);
+  const Vector x{1.0, 2.0, 3.0};
+  EXPECT_EQ(id.Multiply(x), x);
+}
+
+TEST(MatrixTest, FromRowsAndRowRoundTrip) {
+  const Matrix m = Matrix::FromRows({Vector{1.0, 2.0}, Vector{3.0, 4.0}});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m.Row(0), (Vector{1.0, 2.0}));
+  EXPECT_EQ(m.Row(1), (Vector{3.0, 4.0}));
+}
+
+TEST(MatrixTest, Transpose) {
+  const Matrix m = Matrix::FromRows({Vector{1.0, 2.0, 3.0}});
+  const Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 1u);
+  EXPECT_EQ(t(1, 0), 2.0);
+}
+
+TEST(MatrixTest, MatrixMultiply) {
+  const Matrix a = Matrix::FromRows({Vector{1.0, 2.0}, Vector{3.0, 4.0}});
+  const Matrix b = Matrix::FromRows({Vector{5.0, 6.0}, Vector{7.0, 8.0}});
+  const Matrix c = a.Multiply(b);
+  EXPECT_EQ(c(0, 0), 19.0);
+  EXPECT_EQ(c(0, 1), 22.0);
+  EXPECT_EQ(c(1, 0), 43.0);
+  EXPECT_EQ(c(1, 1), 50.0);
+}
+
+TEST(SolveTest, SimpleSystem) {
+  // 2x + y = 5 ; x - y = 1  =>  x = 2, y = 1
+  const Matrix a = Matrix::FromRows({Vector{2.0, 1.0}, Vector{1.0, -1.0}});
+  const Result<Vector> x = SolveLinearSystem(a, Vector{5.0, 1.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 2.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 1.0, 1e-12);
+}
+
+TEST(SolveTest, RequiresPivoting) {
+  // Leading zero forces a row swap.
+  const Matrix a = Matrix::FromRows({Vector{0.0, 1.0}, Vector{1.0, 0.0}});
+  const Result<Vector> x = SolveLinearSystem(a, Vector{3.0, 4.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 4.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+}
+
+TEST(SolveTest, SingularDetected) {
+  const Matrix a = Matrix::FromRows({Vector{1.0, 2.0}, Vector{2.0, 4.0}});
+  const Result<Vector> x = SolveLinearSystem(a, Vector{1.0, 2.0});
+  EXPECT_FALSE(x.ok());
+  EXPECT_EQ(x.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SolveTest, NonSquareRejected) {
+  const Matrix a = Matrix::FromRows({Vector{1.0, 2.0}});
+  EXPECT_EQ(SolveLinearSystem(a, Vector{1.0}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(InvertTest, InverseTimesOriginalIsIdentity) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 1 + rng.Index(6);
+    Matrix a(n, n);
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t c = 0; c < n; ++c) a(r, c) = rng.Uniform(-5.0, 5.0);
+      a(r, r) += 10.0;  // diagonally dominant => nonsingular
+    }
+    const Result<Matrix> inv = Invert(a);
+    ASSERT_TRUE(inv.ok());
+    const Matrix prod = inv->Multiply(a);
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t c = 0; c < n; ++c) {
+        EXPECT_NEAR(prod(r, c), r == c ? 1.0 : 0.0, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(InvertTest, SingularDetected) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 1.0;
+  EXPECT_FALSE(Invert(a).ok());
+}
+
+// Property sweep: random well-conditioned systems solve to high accuracy.
+class RandomSolveTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomSolveTest, SolvesRandomSystem) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const size_t n = 2 + rng.Index(10);
+  Matrix a(n, n);
+  Vector x_true(n);
+  for (size_t r = 0; r < n; ++r) {
+    x_true[r] = rng.Uniform(-10.0, 10.0);
+    for (size_t c = 0; c < n; ++c) a(r, c) = rng.Uniform(-1.0, 1.0);
+    a(r, r) += n;  // keep it well-conditioned
+  }
+  const Vector b = a.Multiply(x_true);
+  const Result<Vector> x = SolveLinearSystem(a, b);
+  ASSERT_TRUE(x.ok());
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR((*x)[i], x_true[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSolveTest, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace costsense::linalg

@@ -1,0 +1,92 @@
+#include "linalg/vector.h"
+
+#include <gtest/gtest.h>
+
+namespace costsense::linalg {
+namespace {
+
+TEST(VectorTest, ZeroConstruction) {
+  Vector v(3);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 0.0);
+  EXPECT_EQ(v[2], 0.0);
+}
+
+TEST(VectorTest, FillConstruction) {
+  Vector v(4, 2.5);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(v[i], 2.5);
+}
+
+TEST(VectorTest, InitializerList) {
+  Vector v{1.0, 2.0, 3.0};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[1], 2.0);
+}
+
+TEST(VectorTest, Arithmetic) {
+  Vector a{1.0, 2.0};
+  Vector b{3.0, 4.0};
+  EXPECT_EQ((a + b), (Vector{4.0, 6.0}));
+  EXPECT_EQ((b - a), (Vector{2.0, 2.0}));
+  EXPECT_EQ((a * 2.0), (Vector{2.0, 4.0}));
+  EXPECT_EQ((2.0 * a), (Vector{2.0, 4.0}));
+}
+
+TEST(VectorTest, Dot) {
+  Vector a{1.0, 2.0, 3.0};
+  Vector b{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32.0);
+}
+
+TEST(VectorTest, DotOrthogonal) {
+  EXPECT_DOUBLE_EQ(Dot(Vector{1.0, 0.0}, Vector{0.0, 7.0}), 0.0);
+}
+
+TEST(VectorTest, Hadamard) {
+  Vector a{2.0, 3.0};
+  Vector b{5.0, 7.0};
+  EXPECT_EQ(a.Hadamard(b), (Vector{10.0, 21.0}));
+}
+
+TEST(VectorTest, Norms) {
+  Vector v{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(v.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.InfNorm(), 4.0);
+}
+
+TEST(VectorTest, SumMaxMin) {
+  Vector v{1.0, -2.0, 5.0};
+  EXPECT_DOUBLE_EQ(v.Sum(), 4.0);
+  EXPECT_DOUBLE_EQ(v.Max(), 5.0);
+  EXPECT_DOUBLE_EQ(v.Min(), -2.0);
+}
+
+TEST(VectorTest, AllLessEqual) {
+  Vector a{1.0, 2.0};
+  Vector b{1.0, 3.0};
+  EXPECT_TRUE(a.AllLessEqual(b));
+  EXPECT_FALSE(b.AllLessEqual(a));
+  EXPECT_TRUE(b.AllLessEqual(a, 1.5));
+}
+
+TEST(VectorTest, ApproxEqual) {
+  Vector a{1.0, 2.0};
+  Vector b{1.0 + 1e-12, 2.0};
+  EXPECT_TRUE(ApproxEqual(a, b, 1e-9));
+  EXPECT_FALSE(ApproxEqual(a, Vector{1.1, 2.0}, 1e-9));
+  EXPECT_FALSE(ApproxEqual(a, Vector{1.0}, 1e-9));
+}
+
+TEST(VectorTest, ToString) {
+  Vector v{1.0, 2.5};
+  EXPECT_EQ(v.ToString(), "[1, 2.5]");
+}
+
+TEST(VectorDeathTest, MismatchedDotAborts) {
+  Vector a{1.0};
+  Vector b{1.0, 2.0};
+  EXPECT_DEATH((void)Dot(a, b), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace costsense::linalg

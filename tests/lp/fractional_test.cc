@@ -1,0 +1,113 @@
+#include "lp/fractional.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/vector.h"
+
+namespace costsense::lp {
+namespace {
+
+using linalg::Vector;
+
+TEST(FractionalTest, PaperExampleOneTightness) {
+  // Paper Example 1: A=(1,0), B=(0,1), costs in [1/d, d]^2. The maximum of
+  // (A.C)/(B.C) is d^2, achieved at C=(d, 1/d).
+  const double d = 10.0;
+  const Result<FractionalSolution> sol = MaximizeRatioOverBox(
+      Vector{1.0, 0.0}, Vector{0.0, 1.0}, Vector{1.0 / d, 1.0 / d},
+      Vector{d, d});
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->value, d * d, 1e-6);
+  EXPECT_NEAR(sol->x[0], d, 1e-6);
+  EXPECT_NEAR(sol->x[1], 1.0 / d, 1e-6);
+}
+
+TEST(FractionalTest, IdenticalVectorsGiveOne) {
+  const Vector u{2.0, 3.0};
+  const Result<FractionalSolution> sol =
+      MaximizeRatioOverBox(u, u, Vector{0.5, 0.5}, Vector{2.0, 2.0});
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->value, 1.0, 1e-9);
+}
+
+TEST(FractionalTest, DegenerateBoxIsPointEvaluation) {
+  const Vector a{3.0, 1.0};
+  const Vector b{1.0, 1.0};
+  const Vector point{2.0, 4.0};
+  const Result<FractionalSolution> sol =
+      MaximizeRatioOverBox(a, b, point, point);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->value, (3.0 * 2 + 1 * 4) / (2.0 + 4.0), 1e-9);
+}
+
+TEST(FractionalTest, RejectsNonPositiveLowerBound) {
+  EXPECT_FALSE(MaximizeRatioOverBox(Vector{1.0}, Vector{1.0}, Vector{0.0},
+                                    Vector{1.0})
+                   .ok());
+}
+
+TEST(FractionalTest, RejectsZeroDenominator) {
+  EXPECT_FALSE(MaximizeRatioOverBox(Vector{1.0}, Vector{0.0}, Vector{0.5},
+                                    Vector{1.0})
+                   .ok());
+}
+
+TEST(FractionalTest, RejectsDimensionMismatch) {
+  EXPECT_FALSE(MaximizeRatioOverBox(Vector{1.0, 2.0}, Vector{1.0},
+                                    Vector{0.5}, Vector{1.0})
+                   .ok());
+}
+
+TEST(FractionalTest, NonComplementaryBoundedByRatioTheorem) {
+  // Theorem 2: for strictly positive vectors the ratio never exceeds
+  // max_i a_i/b_i regardless of the box.
+  const Vector a{4.0, 1.0, 9.0};
+  const Vector b{2.0, 1.0, 3.0};  // ratios 2, 1, 3 -> r_max = 3
+  const Result<FractionalSolution> sol = MaximizeRatioOverBox(
+      a, b, Vector{1e-3, 1e-3, 1e-3}, Vector{1e3, 1e3, 1e3});
+  ASSERT_TRUE(sol.ok());
+  EXPECT_LE(sol->value, 3.0 + 1e-6);
+  EXPECT_GT(sol->value, 2.9);  // the bound is approached as the box widens
+}
+
+// Property sweep: the LP optimum matches brute-force vertex enumeration of
+// the ratio (Observation 2: linear-fractional maxima sit at vertices).
+class RatioSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RatioSweepTest, MatchesVertexEnumeration) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 37 + 5);
+  const size_t n = 1 + rng.Index(6);
+  Vector a(n), b(n), lo(n), hi(n);
+  bool b_nonzero = false;
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = rng.Uniform() < 0.25 ? 0.0 : rng.LogUniform(0.1, 100.0);
+    b[i] = rng.Uniform() < 0.25 ? 0.0 : rng.LogUniform(0.1, 100.0);
+    if (b[i] > 0.0) b_nonzero = true;
+    lo[i] = rng.LogUniform(0.01, 1.0);
+    hi[i] = lo[i] * rng.LogUniform(1.0, 100.0);
+  }
+  if (!b_nonzero) b[0] = 1.0;
+
+  const Result<FractionalSolution> sol = MaximizeRatioOverBox(a, b, lo, hi);
+  ASSERT_TRUE(sol.ok());
+
+  double best = 0.0;
+  for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+    double num = 0.0, den = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double c = (mask >> i) & 1 ? hi[i] : lo[i];
+      num += a[i] * c;
+      den += b[i] * c;
+    }
+    if (den > 0.0) best = std::max(best, num / den);
+  }
+  EXPECT_NEAR(sol->value, best, 1e-6 * (1.0 + best));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RatioSweepTest, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace costsense::lp

@@ -1,0 +1,195 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "tpch/schema.h"
+
+namespace costsense::query {
+namespace {
+
+const catalog::Catalog& Cat() {
+  static const catalog::Catalog* cat =
+      new catalog::Catalog(tpch::MakeTpchCatalog(1.0));
+  return *cat;
+}
+
+TEST(DateTest, EpochIsZero) {
+  EXPECT_DOUBLE_EQ(ParseDateLiteral("1992-01-01").value(), 0.0);
+  EXPECT_DOUBLE_EQ(ParseDateLiteral("1992-01-02").value(), 1.0);
+  EXPECT_DOUBLE_EQ(ParseDateLiteral("1993-01-01").value(), 366.0);  // leap
+  EXPECT_DOUBLE_EQ(ParseDateLiteral("1998-08-02").value(), 2405.0);
+}
+
+TEST(DateTest, MalformedRejected) {
+  EXPECT_FALSE(ParseDateLiteral("1992/01/01").ok());
+  EXPECT_FALSE(ParseDateLiteral("not-a-date!").ok());
+  EXPECT_FALSE(ParseDateLiteral("1992-13-01").ok());
+}
+
+TEST(ParserTest, SimpleSelect) {
+  const auto q = ParseSql(Cat(), "SELECT * FROM lineitem l");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->refs.size(), 1u);
+  EXPECT_EQ(q->refs[0].alias, "l");
+  EXPECT_FALSE(q->aggregation.present);
+}
+
+TEST(ParserTest, AliasDefaultsToTableName) {
+  const auto q = ParseSql(Cat(), "SELECT * FROM orders WHERE o_orderkey = 5");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->refs[0].alias, "orders");
+  ASSERT_EQ(q->refs[0].restrictions.size(), 1u);
+}
+
+TEST(ParserTest, EqualityUsesDistinctCounts) {
+  const auto q = ParseSql(
+      Cat(), "SELECT * FROM part p WHERE p.p_size = 15");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_NEAR(q->refs[0].restrictions[0].selectivity, 1.0 / 50, 1e-12);
+  EXPECT_TRUE(q->refs[0].restrictions[0].sargable);
+}
+
+TEST(ParserTest, DateRangeSelectivity) {
+  // One year of the ~6.9-year o_orderdate domain: selectivity ~0.152.
+  const auto q = ParseSql(Cat(),
+                          "SELECT * FROM orders o WHERE o.o_orderdate >= "
+                          "DATE '1994-01-01' AND o.o_orderdate < "
+                          "DATE '1995-01-01'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->refs[0].restrictions.size(), 2u);
+  // Selinger independence multiplies the two half-range selectivities
+  // (~0.70 and ~0.46), overestimating the true one-year fraction (0.152)
+  // — the standard optimizer behaviour, reproduced deliberately.
+  EXPECT_NEAR(q->refs[0].local_selectivity, 0.696 * 0.456, 0.02);
+}
+
+TEST(ParserTest, BetweenAndIn) {
+  const auto q = ParseSql(Cat(),
+                          "SELECT * FROM lineitem l WHERE l.l_quantity "
+                          "BETWEEN 10 AND 20 AND l.l_shipmode IN "
+                          "('AIR', 'RAIL')");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->refs[0].restrictions.size(), 2u);
+  EXPECT_NEAR(q->refs[0].restrictions[0].selectivity, 10.0 / 49, 0.01);
+  EXPECT_NEAR(q->refs[0].restrictions[1].selectivity, 2.0 / 7, 1e-9);
+}
+
+TEST(ParserTest, LikeSargability) {
+  const auto prefix = ParseSql(
+      Cat(), "SELECT * FROM part p WHERE p.p_name LIKE 'forest%'");
+  ASSERT_TRUE(prefix.ok());
+  EXPECT_TRUE(prefix->refs[0].restrictions[0].sargable);
+  const auto infix = ParseSql(
+      Cat(), "SELECT * FROM part p WHERE p.p_name LIKE '%green%'");
+  ASSERT_TRUE(infix.ok());
+  EXPECT_FALSE(infix->refs[0].restrictions[0].sargable);
+}
+
+TEST(ParserTest, JoinInWhereClause) {
+  const auto q = ParseSql(Cat(),
+                          "SELECT * FROM customer c, orders o "
+                          "WHERE c.c_custkey = o.o_custkey");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->joins.size(), 1u);
+  EXPECT_EQ(q->joins[0].left_ref, 0u);
+  EXPECT_EQ(q->joins[0].right_ref, 1u);
+  EXPECT_EQ(q->joins[0].kind, JoinKind::kInner);
+}
+
+TEST(ParserTest, ExplicitJoinSyntax) {
+  const auto q = ParseSql(Cat(),
+                          "SELECT * FROM customer c JOIN orders o ON "
+                          "c.c_custkey = o.o_custkey");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->joins.size(), 1u);
+}
+
+TEST(ParserTest, SemiAndAntiJoins) {
+  const auto semi = ParseSql(Cat(),
+                             "SELECT * FROM orders o SEMI JOIN lineitem l "
+                             "ON o.o_orderkey = l.l_orderkey");
+  ASSERT_TRUE(semi.ok()) << semi.status().ToString();
+  EXPECT_EQ(semi->joins[0].kind, JoinKind::kSemi);
+
+  const auto anti = ParseSql(Cat(),
+                             "SELECT * FROM customer c ANTI JOIN orders o "
+                             "ON c.c_custkey = o.o_custkey");
+  ASSERT_TRUE(anti.ok()) << anti.status().ToString();
+  EXPECT_EQ(anti->joins[0].kind, JoinKind::kAnti);
+}
+
+TEST(ParserTest, GroupByAndAggregates) {
+  const auto q = ParseSql(Cat(),
+                          "SELECT l.l_returnflag, SUM(l.l_quantity) "
+                          "FROM lineitem l GROUP BY l.l_returnflag, "
+                          "l.l_linestatus ORDER BY l.l_returnflag");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->aggregation.present);
+  EXPECT_EQ(q->aggregation.group_keys.size(), 2u);
+  EXPECT_DOUBLE_EQ(q->aggregation.output_groups, 6.0);  // 3 flags x 2 states
+  ASSERT_EQ(q->order_by.size(), 1u);
+}
+
+TEST(ParserTest, ScalarAggregateWithoutGroupBy) {
+  const auto q = ParseSql(
+      Cat(), "SELECT SUM(l_extendedprice) FROM lineitem");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->aggregation.present);
+  EXPECT_DOUBLE_EQ(q->aggregation.output_groups, 1.0);
+}
+
+TEST(ParserTest, UnqualifiedColumnsResolveAcrossTables) {
+  const auto q = ParseSql(Cat(),
+                          "SELECT * FROM customer, orders "
+                          "WHERE c_custkey = o_custkey AND c_mktsegment = "
+                          "'BUILDING'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->joins.size(), 1u);
+  EXPECT_EQ(q->refs[0].restrictions.size(), 1u);
+}
+
+TEST(ParserTest, TpchQ6Shape) {
+  const auto q = ParseSql(Cat(),
+                          "SELECT SUM(l_extendedprice * l_discount) "
+                          "FROM lineitem WHERE l_shipdate >= DATE "
+                          "'1994-01-01' AND l_shipdate < DATE '1995-01-01' "
+                          "AND l_discount BETWEEN 0.05 AND 0.07 "
+                          "AND l_quantity < 24");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->refs.size(), 1u);
+  EXPECT_EQ(q->refs[0].restrictions.size(), 4u);
+  EXPECT_TRUE(q->aggregation.present);
+  // Combined selectivity lands near the spec's ~2% qualifying fraction.
+  EXPECT_GT(q->refs[0].local_selectivity, 0.001);
+  EXPECT_LT(q->refs[0].local_selectivity, 0.05);
+}
+
+TEST(ParserTest, ErrorsAreStatusesNotCrashes) {
+  EXPECT_FALSE(ParseSql(Cat(), "").ok());
+  EXPECT_FALSE(ParseSql(Cat(), "SELECT * FROM no_such_table").ok());
+  EXPECT_FALSE(ParseSql(Cat(), "SELECT * FROM part WHERE nope = 1").ok());
+  EXPECT_FALSE(ParseSql(Cat(), "SELECT * FROM part p, part p").ok());
+  EXPECT_FALSE(
+      ParseSql(Cat(), "SELECT * FROM part WHERE p_size = ").ok());
+  EXPECT_FALSE(ParseSql(Cat(), "SELECT * FROM part WHERE p_size ! 3").ok());
+  EXPECT_FALSE(
+      ParseSql(Cat(), "SELECT * FROM part WHERE p_name LIKE unquoted").ok());
+  EXPECT_FALSE(ParseSql(Cat(), "SELECT * FROM part GROUP p_size").ok());
+  EXPECT_FALSE(
+      ParseSql(Cat(), "SELECT * FROM part p WHERE p.p_size = 1 extra").ok());
+  EXPECT_FALSE(ParseSql(Cat(), "SELECT * FROM part WHERE 'stray").ok());
+}
+
+TEST(ParserTest, ParsedQueryOptimizes) {
+  // End-to-end: SQL -> IR -> plan.
+  const auto q = ParseSql(Cat(),
+                          "SELECT SUM(l_extendedprice) FROM lineitem l, "
+                          "part p WHERE l.l_partkey = p.p_partkey AND "
+                          "p.p_brand = 'Brand#23'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->joins.size(), 1u);
+  EXPECT_NEAR(q->refs[1].local_selectivity, 1.0 / 25, 1e-9);
+}
+
+}  // namespace
+}  // namespace costsense::query

@@ -1,0 +1,112 @@
+#include "query/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+
+namespace costsense::query {
+namespace {
+
+catalog::Catalog TinyCatalog() {
+  catalog::Catalog cat;
+  cat.AddTable(catalog::Table(
+      "fact", 1e6, 4096,
+      {catalog::MakeColumn("id", 1e6, 1, 1e6, 4),
+       catalog::MakeColumn("dim_id", 1e4, 1, 1e4, 4),
+       catalog::MakeColumn("val", 100, 0, 99, 8)}));
+  cat.AddTable(catalog::Table("dim", 1e4, 4096,
+                              {catalog::MakeColumn("id", 1e4, 1, 1e4, 4),
+                               catalog::MakeColumn("name", 1e4, 0, 0, 30)}));
+  return cat;
+}
+
+TEST(BuilderTest, BuildsJoinGraph) {
+  const catalog::Catalog cat = TinyCatalog();
+  const Query q = QueryBuilder(cat, "test")
+                      .Table("fact", "f")
+                      .Table("dim", "d")
+                      .Restrict("f", "val", 0.01)
+                      .Join("f", "dim_id", "d", "id")
+                      .GroupBy(100, {"d.name"})
+                      .OrderBy("d", "name")
+                      .Build();
+  EXPECT_EQ(q.name, "test");
+  ASSERT_EQ(q.refs.size(), 2u);
+  EXPECT_EQ(q.refs[0].alias, "f");
+  EXPECT_DOUBLE_EQ(q.refs[0].local_selectivity, 0.01);
+  ASSERT_EQ(q.refs[0].restrictions.size(), 1u);
+  EXPECT_EQ(q.refs[0].restrictions[0].column, 2u);
+  ASSERT_EQ(q.joins.size(), 1u);
+  EXPECT_EQ(q.joins[0].left_ref, 0u);
+  EXPECT_EQ(q.joins[0].right_ref, 1u);
+  EXPECT_EQ(q.joins[0].left_column, 1u);
+  EXPECT_TRUE(q.aggregation.present);
+  EXPECT_DOUBLE_EQ(q.aggregation.output_groups, 100.0);
+  ASSERT_EQ(q.order_by.size(), 1u);
+  EXPECT_EQ(q.order_by[0].ref, 1u);
+}
+
+TEST(BuilderTest, RestrictWithoutFoldKeepsLocalSelectivity) {
+  const catalog::Catalog cat = TinyCatalog();
+  const Query q = QueryBuilder(cat, "t")
+                      .Table("fact", "f")
+                      .LocalSelectivity("f", 0.5)
+                      .Restrict("f", "val", 0.1, true, /*fold=*/false)
+                      .Build();
+  EXPECT_DOUBLE_EQ(q.refs[0].local_selectivity, 0.5);
+}
+
+TEST(BuilderTest, RestrictFoldsByDefault) {
+  const catalog::Catalog cat = TinyCatalog();
+  const Query q = QueryBuilder(cat, "t")
+                      .Table("fact", "f")
+                      .Restrict("f", "val", 0.1)
+                      .Restrict("f", "id", 0.5)
+                      .Build();
+  EXPECT_DOUBLE_EQ(q.refs[0].local_selectivity, 0.05);
+}
+
+TEST(BuilderTest, SelfJoinViaTwoAliases) {
+  const catalog::Catalog cat = TinyCatalog();
+  const Query q = QueryBuilder(cat, "t")
+                      .Table("fact", "a")
+                      .Table("fact", "b")
+                      .Join("a", "id", "b", "dim_id")
+                      .Build();
+  EXPECT_EQ(q.refs[0].table_id, q.refs[1].table_id);
+  EXPECT_EQ(ReferencedTables(q).size(), 1u);
+}
+
+TEST(BuilderTest, ReferencedTablesDeduplicates) {
+  const catalog::Catalog cat = TinyCatalog();
+  const Query q = QueryBuilder(cat, "t")
+                      .Table("fact", "f")
+                      .Table("dim", "d")
+                      .Table("dim", "d2")
+                      .Join("f", "dim_id", "d", "id")
+                      .Join("f", "dim_id", "d2", "id")
+                      .Build();
+  EXPECT_EQ(ReferencedTables(q).size(), 2u);
+}
+
+TEST(BuilderDeathTest, UnknownTableAborts) {
+  const catalog::Catalog cat = TinyCatalog();
+  EXPECT_DEATH(QueryBuilder(cat, "t").Table("nope", "n"), "unknown table");
+}
+
+TEST(BuilderDeathTest, UnknownColumnAborts) {
+  const catalog::Catalog cat = TinyCatalog();
+  EXPECT_DEATH(
+      QueryBuilder(cat, "t").Table("fact", "f").Restrict("f", "nope", 0.5),
+      "unknown column");
+}
+
+TEST(BuilderDeathTest, DuplicateAliasAborts) {
+  const catalog::Catalog cat = TinyCatalog();
+  EXPECT_DEATH(
+      QueryBuilder(cat, "t").Table("fact", "f").Table("dim", "f"),
+      "duplicate alias");
+}
+
+}  // namespace
+}  // namespace costsense::query

@@ -1,0 +1,85 @@
+#include "sim/calibrate.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/replay.h"
+
+namespace costsense::sim {
+namespace {
+
+TEST(CalibrateTest, RecoversParametersFromSimulatedTimings) {
+  // Time the calibration workload on the positional simulator, then fit
+  // the additive model: the fitted d_s must land near the geometry's
+  // equivalent repositioning cost and d_t near its transfer rate.
+  const DiskGeometry disk;
+  Rng rng(5);
+  const uint64_t device_pages =
+      static_cast<uint64_t>(disk.pages_per_cylinder) * disk.num_cylinders;
+  const std::vector<IoTrace> workload =
+      MakeCalibrationWorkload(device_pages, rng);
+  std::vector<double> times;
+  for (const IoTrace& t : workload) {
+    times.push_back(Replay(t, {disk}).total_time);
+  }
+  const Result<CalibrationResult> fit =
+      CalibrateAdditiveModel(workload, times);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  EXPECT_NEAR(fit->transfer_cost, disk.transfer_per_page,
+              0.15 * disk.transfer_per_page);
+  EXPECT_NEAR(fit->seek_cost, disk.EquivalentSeekCost(),
+              0.30 * disk.EquivalentSeekCost());
+  EXPECT_LT(fit->rms_relative_error, 0.15);
+}
+
+TEST(CalibrateTest, ExactRecoveryWhenWorldIsAdditive) {
+  // If measurements come from the additive model itself, the fit is exact.
+  Rng rng(7);
+  const std::vector<IoTrace> workload = MakeCalibrationWorkload(1 << 24, rng);
+  const double ds = 24.1, dt = 9.0;
+  std::vector<double> times;
+  for (const IoTrace& t : workload) {
+    times.push_back(AdditiveEstimate(t, ds, dt));
+  }
+  const Result<CalibrationResult> fit =
+      CalibrateAdditiveModel(workload, times);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->seek_cost, ds, 1e-6);
+  EXPECT_NEAR(fit->transfer_cost, dt, 1e-6);
+  EXPECT_NEAR(fit->rms_relative_error, 0.0, 1e-9);
+}
+
+TEST(CalibrateTest, DegradedDeviceShowsUpInParameters) {
+  // A 10x-degraded device yields ~10x fitted parameters: the refreshed
+  // numbers a monitoring agent would hand to the optimizer.
+  DiskGeometry slow;
+  slow.min_seek *= 10;
+  slow.max_seek *= 10;
+  slow.rotation *= 10;
+  slow.transfer_per_page *= 10;
+  Rng rng(9);
+  const uint64_t device_pages =
+      static_cast<uint64_t>(slow.pages_per_cylinder) * slow.num_cylinders;
+  const std::vector<IoTrace> workload =
+      MakeCalibrationWorkload(device_pages, rng);
+  std::vector<double> times;
+  for (const IoTrace& t : workload) {
+    times.push_back(Replay(t, {slow}).total_time);
+  }
+  const auto fit = CalibrateAdditiveModel(workload, times);
+  ASSERT_TRUE(fit.ok());
+  const DiskGeometry healthy;
+  EXPECT_NEAR(fit->transfer_cost / healthy.transfer_per_page, 10.0, 2.0);
+}
+
+TEST(CalibrateTest, RejectsDegenerateInputs) {
+  EXPECT_FALSE(CalibrateAdditiveModel({}, {}).ok());
+  IoTrace t;
+  AppendSequential(t, 0, 0, 100, 32);
+  EXPECT_FALSE(CalibrateAdditiveModel({t}, {1.0}).ok());
+  EXPECT_FALSE(CalibrateAdditiveModel({t, t}, {1.0}).ok());  // size mismatch
+  // Two identical sequential traces: rank-deficient features.
+  EXPECT_FALSE(CalibrateAdditiveModel({t, t}, {100.0, 100.0}).ok());
+}
+
+}  // namespace
+}  // namespace costsense::sim

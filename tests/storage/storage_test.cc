@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "storage/layout.h"
+#include "tpch/schema.h"
+
+namespace costsense::storage {
+namespace {
+
+catalog::Catalog TestCatalog() { return tpch::MakeTpchCatalog(1.0); }
+
+std::vector<int> SomeTables(const catalog::Catalog& cat, int k) {
+  std::vector<int> ids;
+  const char* names[] = {"lineitem", "orders", "customer", "part",
+                         "supplier", "nation"};
+  for (int i = 0; i < k; ++i) ids.push_back(cat.TableId(names[i]).value());
+  return ids;
+}
+
+TEST(LayoutTest, SharedLayoutIsThreeResources) {
+  // Paper Section 8.1.1: d_s, d_t and CPU.
+  const catalog::Catalog cat = TestCatalog();
+  const StorageLayout layout(LayoutPolicy::kSharedDevice, cat,
+                             SomeTables(cat, 4));
+  const ResourceSpace space = layout.BuildResourceSpace();
+  EXPECT_EQ(space.dims(), 3u);
+  EXPECT_EQ(space.granularity(), Granularity::kSplitSeekTransfer);
+  // Every object maps to the single device.
+  const int dev = layout.DataDevice(SomeTables(cat, 1)[0]);
+  EXPECT_EQ(layout.IndexDevice(SomeTables(cat, 1)[0]), dev);
+  EXPECT_EQ(layout.TempDevice(), dev);
+}
+
+TEST(LayoutTest, PerTableAndIndexIs2kPlus2) {
+  // Paper Section 8.1.2: one resource per table, one per table's indexes,
+  // plus temp and CPU (tied d_s:d_t ratio).
+  const catalog::Catalog cat = TestCatalog();
+  for (int k = 1; k <= 6; ++k) {
+    const StorageLayout layout(LayoutPolicy::kPerTableAndIndex, cat,
+                               SomeTables(cat, k));
+    const ResourceSpace space = layout.BuildResourceSpace();
+    EXPECT_EQ(space.dims(), static_cast<size_t>(2 * k + 2)) << "k=" << k;
+    EXPECT_EQ(space.granularity(), Granularity::kTiedPerDevice);
+  }
+}
+
+TEST(LayoutTest, ColocatedIsKPlus2) {
+  // Paper Section 8.1.3: one resource per table (indexes colocated), plus
+  // temp and CPU.
+  const catalog::Catalog cat = TestCatalog();
+  for (int k = 1; k <= 6; ++k) {
+    const StorageLayout layout(LayoutPolicy::kPerTableColocated, cat,
+                               SomeTables(cat, k));
+    EXPECT_EQ(layout.BuildResourceSpace().dims(),
+              static_cast<size_t>(k + 2));
+  }
+}
+
+TEST(LayoutTest, SeparateLayoutSeparatesDataAndIndex) {
+  const catalog::Catalog cat = TestCatalog();
+  const auto ids = SomeTables(cat, 2);
+  const StorageLayout layout(LayoutPolicy::kPerTableAndIndex, cat, ids);
+  EXPECT_NE(layout.DataDevice(ids[0]), layout.IndexDevice(ids[0]));
+  EXPECT_NE(layout.DataDevice(ids[0]), layout.DataDevice(ids[1]));
+  EXPECT_NE(layout.TempDevice(), layout.DataDevice(ids[0]));
+}
+
+TEST(LayoutTest, ColocatedSharesDataAndIndexDevice) {
+  const catalog::Catalog cat = TestCatalog();
+  const auto ids = SomeTables(cat, 2);
+  const StorageLayout layout(LayoutPolicy::kPerTableColocated, cat, ids);
+  EXPECT_EQ(layout.DataDevice(ids[0]), layout.IndexDevice(ids[0]));
+  EXPECT_NE(layout.DataDevice(ids[0]), layout.DataDevice(ids[1]));
+}
+
+TEST(ResourceSpaceTest, SplitChargesRawCounts) {
+  const catalog::Catalog cat = TestCatalog();
+  const StorageLayout layout(LayoutPolicy::kSharedDevice, cat,
+                             SomeTables(cat, 1));
+  const ResourceSpace space = layout.BuildResourceSpace();
+  core::UsageVector u = space.ZeroUsage();
+  space.ChargeIo(u, 0, /*seeks=*/2.0, /*pages=*/3.0);
+  space.ChargeCpu(u, 1000.0);
+  EXPECT_DOUBLE_EQ(u[0], 2.0);
+  EXPECT_DOUBLE_EQ(u[1], 3.0);
+  EXPECT_DOUBLE_EQ(u[space.cpu_dim()], 1000.0);
+
+  // Paper Section 3.1's example: 2 seeks + 3 blocks cost
+  // 2*c_ds + 3*c_dt under the baseline costs.
+  const core::CostVector c = space.BaselineCosts();
+  EXPECT_DOUBLE_EQ(core::TotalCost(u, c), 2 * 24.1 + 3 * 9.0 + 1000 * 1e-6);
+}
+
+TEST(ResourceSpaceTest, TiedChargesPreWeightedTimeUnits) {
+  const catalog::Catalog cat = TestCatalog();
+  const StorageLayout layout(LayoutPolicy::kPerTableColocated, cat,
+                             SomeTables(cat, 1));
+  const ResourceSpace space = layout.BuildResourceSpace();
+  core::UsageVector u = space.ZeroUsage();
+  space.ChargeIo(u, 0, 2.0, 3.0);
+  EXPECT_DOUBLE_EQ(u[0], 2 * 24.1 + 3 * 9.0);
+  // Tied device baselines are unit multipliers.
+  EXPECT_DOUBLE_EQ(space.BaselineCosts()[0], 1.0);
+}
+
+TEST(ResourceSpaceTest, DimClassesForComplementarityAnalysis) {
+  const catalog::Catalog cat = TestCatalog();
+  const auto ids = SomeTables(cat, 2);
+  const StorageLayout layout(LayoutPolicy::kPerTableAndIndex, cat, ids);
+  const ResourceSpace space = layout.BuildResourceSpace();
+  const auto& dims = space.dim_info();
+  ASSERT_EQ(dims.size(), 6u);
+  EXPECT_EQ(dims[0].cls, core::DimClass::kTable);
+  EXPECT_EQ(dims[0].table_id, ids[0]);
+  EXPECT_EQ(dims[1].cls, core::DimClass::kIndex);
+  EXPECT_EQ(dims[1].table_id, ids[0]);
+  EXPECT_EQ(dims[4].cls, core::DimClass::kTemp);
+  EXPECT_EQ(dims[5].cls, core::DimClass::kCpu);
+}
+
+TEST(ResourceSpaceTest, BaselineMatchesDb2Defaults) {
+  const catalog::Catalog cat = TestCatalog();
+  const StorageLayout layout(LayoutPolicy::kSharedDevice, cat,
+                             SomeTables(cat, 1));
+  const core::CostVector c = layout.BuildResourceSpace().BaselineCosts();
+  // Paper Section 8.1: d_s = 24.1, d_t = 9.0, CPU = 1e-6.
+  EXPECT_DOUBLE_EQ(c[0], 24.1);
+  EXPECT_DOUBLE_EQ(c[1], 9.0);
+  EXPECT_DOUBLE_EQ(c[2], 1e-6);
+}
+
+}  // namespace
+}  // namespace costsense::storage

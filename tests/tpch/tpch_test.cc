@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "blackbox/narrow_optimizer.h"
+#include "opt/optimizer.h"
+#include "tpch/queries.h"
+#include "tpch/schema.h"
+#include "tpch/stats.h"
+
+namespace costsense::tpch {
+namespace {
+
+TEST(TpchStatsTest, CardinalitiesScaleLinearly) {
+  const Cardinalities c1 = CardinalitiesFor(1.0);
+  const Cardinalities c100 = CardinalitiesFor(100.0);
+  EXPECT_DOUBLE_EQ(c1.lineitem, 6e6);
+  EXPECT_DOUBLE_EQ(c100.lineitem, 6e8);
+  EXPECT_DOUBLE_EQ(c100.orders, 1.5e8);
+  EXPECT_DOUBLE_EQ(c100.region, 5.0);
+  EXPECT_DOUBLE_EQ(c100.nation, 25.0);
+  EXPECT_DOUBLE_EQ(c100.partsupp / c100.part, 4.0);
+}
+
+TEST(TpchSchemaTest, CatalogHasAllTables) {
+  const catalog::Catalog cat = MakeTpchCatalog(1.0);
+  EXPECT_EQ(cat.num_tables(), 8u);
+  for (const char* name : {"region", "nation", "supplier", "part",
+                           "partsupp", "customer", "orders", "lineitem"}) {
+    EXPECT_TRUE(cat.TableId(name).ok()) << name;
+  }
+}
+
+TEST(TpchSchemaTest, Sf100IsRoughly100GB) {
+  // The paper's database: statistics from a 100 GB run. Summing table
+  // pages at SF 100 should land in the right ballpark (TPC-H "100 GB"
+  // counts raw data; stored pages with overhead run somewhat larger).
+  const catalog::Catalog cat = MakeTpchCatalog(100.0);
+  double total_bytes = 0.0;
+  for (size_t t = 0; t < cat.num_tables(); ++t) {
+    total_bytes +=
+        cat.table(static_cast<int>(t)).pages() * cat.config().page_size_bytes;
+  }
+  EXPECT_GT(total_bytes, 80e9);
+  EXPECT_LT(total_bytes, 220e9);
+}
+
+TEST(TpchSchemaTest, LineitemDominates) {
+  const catalog::Catalog cat = MakeTpchCatalog(100.0);
+  const auto& lineitem = cat.table(cat.TableId("lineitem").value());
+  EXPECT_DOUBLE_EQ(lineitem.row_count(), 6e8);
+  EXPECT_GT(lineitem.pages(), 1e7);  // tens of millions of pages
+}
+
+TEST(TpchSchemaTest, IndexSetCoversJoinColumns) {
+  const catalog::Catalog cat = MakeTpchCatalog(1.0);
+  EXPECT_GE(cat.num_indexes(), 14u);
+  const int lineitem = cat.TableId("lineitem").value();
+  const auto& t = cat.table(lineitem);
+  EXPECT_GE(cat.FindIndexByLeadingColumn(
+                lineitem, t.ColumnIndex("l_orderkey").value()),
+            0);
+  EXPECT_GE(cat.FindIndexByLeadingColumn(
+                lineitem, t.ColumnIndex("l_partkey").value()),
+            0);
+  EXPECT_GE(cat.FindIndexByLeadingColumn(
+                lineitem, t.ColumnIndex("l_shipdate").value()),
+            0);
+}
+
+TEST(TpchQueriesTest, AllQueriesBuild) {
+  const catalog::Catalog cat = MakeTpchCatalog(1.0);
+  const std::vector<query::Query> queries = MakeTpchQueries(cat);
+  ASSERT_EQ(queries.size(), 22u);
+  for (int i = 0; i < 22; ++i) {
+    EXPECT_EQ(queries[i].name, "Q" + std::to_string(i + 1));
+    EXPECT_GE(queries[i].num_tables(), 1u);
+    EXPECT_LE(queries[i].num_tables(), 8u);
+  }
+  // The paper's named queries have their expected shapes.
+  EXPECT_EQ(queries[7].num_tables(), 8u);   // Q8
+  EXPECT_EQ(queries[0].num_tables(), 1u);   // Q1
+  EXPECT_EQ(queries[5].num_tables(), 1u);   // Q6
+}
+
+class TpchOptimizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TpchOptimizeTest, OptimizesUnderAllThreeLayouts) {
+  // End-to-end: every TPC-H query optimizes at the DB2-default baseline
+  // under each of the paper's three storage configurations.
+  static const catalog::Catalog cat = MakeTpchCatalog(100.0);
+  const query::Query q = MakeTpchQuery(cat, GetParam());
+  for (storage::LayoutPolicy policy :
+       {storage::LayoutPolicy::kSharedDevice,
+        storage::LayoutPolicy::kPerTableAndIndex,
+        storage::LayoutPolicy::kPerTableColocated}) {
+    const storage::StorageLayout layout(policy, cat,
+                                        query::ReferencedTables(q));
+    const storage::ResourceSpace space = layout.BuildResourceSpace();
+    const opt::Optimizer optimizer(cat, layout, space);
+    const Result<opt::Optimized> r = optimizer.OptimizeAtBaseline(q);
+    ASSERT_TRUE(r.ok()) << q.name << " under "
+                        << storage::LayoutPolicyName(policy) << ": "
+                        << r.status().ToString();
+    EXPECT_FALSE(r->plan->id.empty());
+    EXPECT_GT(r->total_cost, 0.0);
+    EXPECT_EQ(r->plan->usage.size(), space.dims());
+    // Every query does CPU work.
+    EXPECT_GT(r->plan->usage[space.cpu_dim()], 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, TpchOptimizeTest,
+                         ::testing::Range(1, 23));
+
+TEST(TpchBlackboxTest, NarrowInterfaceHidesUsage) {
+  static const catalog::Catalog cat = MakeTpchCatalog(100.0);
+  const query::Query q = MakeTpchQuery(cat, 6);
+  const storage::StorageLayout layout(storage::LayoutPolicy::kSharedDevice,
+                                      cat, query::ReferencedTables(q));
+  const storage::ResourceSpace space = layout.BuildResourceSpace();
+  const opt::Optimizer optimizer(cat, layout, space);
+
+  blackbox::NarrowOptimizer narrow(optimizer, q, /*white_box=*/false);
+  const core::OracleResult r = narrow.Optimize(space.BaselineCosts());
+  EXPECT_FALSE(r.plan_id.empty());
+  EXPECT_GT(r.total_cost, 0.0);
+  EXPECT_FALSE(r.usage.has_value());
+  EXPECT_EQ(narrow.calls(), 1u);
+
+  blackbox::NarrowOptimizer white(optimizer, q, /*white_box=*/true);
+  EXPECT_TRUE(white.Optimize(space.BaselineCosts()).usage.has_value());
+}
+
+}  // namespace
+}  // namespace costsense::tpch
