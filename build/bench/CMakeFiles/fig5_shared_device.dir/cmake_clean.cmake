@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_shared_device.dir/fig5_shared_device.cc.o"
+  "CMakeFiles/fig5_shared_device.dir/fig5_shared_device.cc.o.d"
+  "fig5_shared_device"
+  "fig5_shared_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_shared_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

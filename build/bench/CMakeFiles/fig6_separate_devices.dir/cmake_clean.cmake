@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_separate_devices.dir/fig6_separate_devices.cc.o"
+  "CMakeFiles/fig6_separate_devices.dir/fig6_separate_devices.cc.o.d"
+  "fig6_separate_devices"
+  "fig6_separate_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_separate_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_colocated.dir/fig7_colocated.cc.o"
+  "CMakeFiles/fig7_colocated.dir/fig7_colocated.cc.o.d"
+  "fig7_colocated"
+  "fig7_colocated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_colocated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

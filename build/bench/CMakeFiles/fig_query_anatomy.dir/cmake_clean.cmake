@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_query_anatomy.dir/fig_query_anatomy.cc.o"
+  "CMakeFiles/fig_query_anatomy.dir/fig_query_anatomy.cc.o.d"
+  "fig_query_anatomy"
+  "fig_query_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_query_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sim_fidelity.dir/micro_sim_fidelity.cc.o"
+  "CMakeFiles/micro_sim_fidelity.dir/micro_sim_fidelity.cc.o.d"
+  "micro_sim_fidelity"
+  "micro_sim_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sim_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_worstcase.dir/micro_worstcase.cc.o"
+  "CMakeFiles/micro_worstcase.dir/micro_worstcase.cc.o.d"
+  "micro_worstcase"
+  "micro_worstcase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_worstcase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_ablations.dir/table_ablations.cc.o"
+  "CMakeFiles/table_ablations.dir/table_ablations.cc.o.d"
+  "table_ablations"
+  "table_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

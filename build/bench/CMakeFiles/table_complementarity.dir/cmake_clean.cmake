@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_complementarity.dir/table_complementarity.cc.o"
+  "CMakeFiles/table_complementarity.dir/table_complementarity.cc.o.d"
+  "table_complementarity"
+  "table_complementarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_complementarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_least_squares.dir/table_least_squares.cc.o"
+  "CMakeFiles/table_least_squares.dir/table_least_squares.cc.o.d"
+  "table_least_squares"
+  "table_least_squares.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_least_squares.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

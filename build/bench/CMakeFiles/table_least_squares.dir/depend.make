@@ -1,0 +1,2 @@
+# Empty dependencies file for table_least_squares.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_system_params.dir/table_system_params.cc.o"
+  "CMakeFiles/table_system_params.dir/table_system_params.cc.o.d"
+  "table_system_params"
+  "table_system_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_system_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_device.dir/calibrate_device.cpp.o"
+  "CMakeFiles/calibrate_device.dir/calibrate_device.cpp.o.d"
+  "calibrate_device"
+  "calibrate_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

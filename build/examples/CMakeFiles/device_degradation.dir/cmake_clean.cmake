@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_degradation.dir/device_degradation.cpp.o"
+  "CMakeFiles/device_degradation.dir/device_degradation.cpp.o.d"
+  "device_degradation"
+  "device_degradation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

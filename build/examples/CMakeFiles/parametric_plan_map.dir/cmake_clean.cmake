@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parametric_plan_map.dir/parametric_plan_map.cpp.o"
+  "CMakeFiles/parametric_plan_map.dir/parametric_plan_map.cpp.o.d"
+  "parametric_plan_map"
+  "parametric_plan_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parametric_plan_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robust_plan_picker.dir/robust_plan_picker.cpp.o"
+  "CMakeFiles/robust_plan_picker.dir/robust_plan_picker.cpp.o.d"
+  "robust_plan_picker"
+  "robust_plan_picker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robust_plan_picker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_audit.dir/sensitivity_audit.cpp.o"
+  "CMakeFiles/sensitivity_audit.dir/sensitivity_audit.cpp.o.d"
+  "sensitivity_audit"
+  "sensitivity_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blackbox/narrow_optimizer.cc" "src/CMakeFiles/costsense.dir/blackbox/narrow_optimizer.cc.o" "gcc" "src/CMakeFiles/costsense.dir/blackbox/narrow_optimizer.cc.o.d"
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/costsense.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/costsense.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/column.cc" "src/CMakeFiles/costsense.dir/catalog/column.cc.o" "gcc" "src/CMakeFiles/costsense.dir/catalog/column.cc.o.d"
+  "/root/repo/src/catalog/histogram.cc" "src/CMakeFiles/costsense.dir/catalog/histogram.cc.o" "gcc" "src/CMakeFiles/costsense.dir/catalog/histogram.cc.o.d"
+  "/root/repo/src/catalog/index.cc" "src/CMakeFiles/costsense.dir/catalog/index.cc.o" "gcc" "src/CMakeFiles/costsense.dir/catalog/index.cc.o.d"
+  "/root/repo/src/catalog/selectivity.cc" "src/CMakeFiles/costsense.dir/catalog/selectivity.cc.o" "gcc" "src/CMakeFiles/costsense.dir/catalog/selectivity.cc.o.d"
+  "/root/repo/src/catalog/system_config.cc" "src/CMakeFiles/costsense.dir/catalog/system_config.cc.o" "gcc" "src/CMakeFiles/costsense.dir/catalog/system_config.cc.o.d"
+  "/root/repo/src/catalog/table.cc" "src/CMakeFiles/costsense.dir/catalog/table.cc.o" "gcc" "src/CMakeFiles/costsense.dir/catalog/table.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/costsense.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/costsense.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/costsense.dir/common/status.cc.o" "gcc" "src/CMakeFiles/costsense.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/costsense.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/costsense.dir/common/strings.cc.o.d"
+  "/root/repo/src/core/bounds.cc" "src/CMakeFiles/costsense.dir/core/bounds.cc.o" "gcc" "src/CMakeFiles/costsense.dir/core/bounds.cc.o.d"
+  "/root/repo/src/core/complementarity.cc" "src/CMakeFiles/costsense.dir/core/complementarity.cc.o" "gcc" "src/CMakeFiles/costsense.dir/core/complementarity.cc.o.d"
+  "/root/repo/src/core/discovery.cc" "src/CMakeFiles/costsense.dir/core/discovery.cc.o" "gcc" "src/CMakeFiles/costsense.dir/core/discovery.cc.o.d"
+  "/root/repo/src/core/dominance.cc" "src/CMakeFiles/costsense.dir/core/dominance.cc.o" "gcc" "src/CMakeFiles/costsense.dir/core/dominance.cc.o.d"
+  "/root/repo/src/core/feasible_region.cc" "src/CMakeFiles/costsense.dir/core/feasible_region.cc.o" "gcc" "src/CMakeFiles/costsense.dir/core/feasible_region.cc.o.d"
+  "/root/repo/src/core/region_of_influence.cc" "src/CMakeFiles/costsense.dir/core/region_of_influence.cc.o" "gcc" "src/CMakeFiles/costsense.dir/core/region_of_influence.cc.o.d"
+  "/root/repo/src/core/relative_cost.cc" "src/CMakeFiles/costsense.dir/core/relative_cost.cc.o" "gcc" "src/CMakeFiles/costsense.dir/core/relative_cost.cc.o.d"
+  "/root/repo/src/core/risk.cc" "src/CMakeFiles/costsense.dir/core/risk.cc.o" "gcc" "src/CMakeFiles/costsense.dir/core/risk.cc.o.d"
+  "/root/repo/src/core/robust.cc" "src/CMakeFiles/costsense.dir/core/robust.cc.o" "gcc" "src/CMakeFiles/costsense.dir/core/robust.cc.o.d"
+  "/root/repo/src/core/switchover.cc" "src/CMakeFiles/costsense.dir/core/switchover.cc.o" "gcc" "src/CMakeFiles/costsense.dir/core/switchover.cc.o.d"
+  "/root/repo/src/core/usage_extraction.cc" "src/CMakeFiles/costsense.dir/core/usage_extraction.cc.o" "gcc" "src/CMakeFiles/costsense.dir/core/usage_extraction.cc.o.d"
+  "/root/repo/src/core/vectors.cc" "src/CMakeFiles/costsense.dir/core/vectors.cc.o" "gcc" "src/CMakeFiles/costsense.dir/core/vectors.cc.o.d"
+  "/root/repo/src/core/worst_case.cc" "src/CMakeFiles/costsense.dir/core/worst_case.cc.o" "gcc" "src/CMakeFiles/costsense.dir/core/worst_case.cc.o.d"
+  "/root/repo/src/exp/figure_runner.cc" "src/CMakeFiles/costsense.dir/exp/figure_runner.cc.o" "gcc" "src/CMakeFiles/costsense.dir/exp/figure_runner.cc.o.d"
+  "/root/repo/src/exp/plan_map.cc" "src/CMakeFiles/costsense.dir/exp/plan_map.cc.o" "gcc" "src/CMakeFiles/costsense.dir/exp/plan_map.cc.o.d"
+  "/root/repo/src/exp/report.cc" "src/CMakeFiles/costsense.dir/exp/report.cc.o" "gcc" "src/CMakeFiles/costsense.dir/exp/report.cc.o.d"
+  "/root/repo/src/linalg/least_squares.cc" "src/CMakeFiles/costsense.dir/linalg/least_squares.cc.o" "gcc" "src/CMakeFiles/costsense.dir/linalg/least_squares.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/CMakeFiles/costsense.dir/linalg/matrix.cc.o" "gcc" "src/CMakeFiles/costsense.dir/linalg/matrix.cc.o.d"
+  "/root/repo/src/linalg/vector.cc" "src/CMakeFiles/costsense.dir/linalg/vector.cc.o" "gcc" "src/CMakeFiles/costsense.dir/linalg/vector.cc.o.d"
+  "/root/repo/src/lp/fractional.cc" "src/CMakeFiles/costsense.dir/lp/fractional.cc.o" "gcc" "src/CMakeFiles/costsense.dir/lp/fractional.cc.o.d"
+  "/root/repo/src/lp/simplex.cc" "src/CMakeFiles/costsense.dir/lp/simplex.cc.o" "gcc" "src/CMakeFiles/costsense.dir/lp/simplex.cc.o.d"
+  "/root/repo/src/opt/access_paths.cc" "src/CMakeFiles/costsense.dir/opt/access_paths.cc.o" "gcc" "src/CMakeFiles/costsense.dir/opt/access_paths.cc.o.d"
+  "/root/repo/src/opt/cost_model.cc" "src/CMakeFiles/costsense.dir/opt/cost_model.cc.o" "gcc" "src/CMakeFiles/costsense.dir/opt/cost_model.cc.o.d"
+  "/root/repo/src/opt/explain.cc" "src/CMakeFiles/costsense.dir/opt/explain.cc.o" "gcc" "src/CMakeFiles/costsense.dir/opt/explain.cc.o.d"
+  "/root/repo/src/opt/join_enum.cc" "src/CMakeFiles/costsense.dir/opt/join_enum.cc.o" "gcc" "src/CMakeFiles/costsense.dir/opt/join_enum.cc.o.d"
+  "/root/repo/src/opt/optimizer.cc" "src/CMakeFiles/costsense.dir/opt/optimizer.cc.o" "gcc" "src/CMakeFiles/costsense.dir/opt/optimizer.cc.o.d"
+  "/root/repo/src/opt/plan.cc" "src/CMakeFiles/costsense.dir/opt/plan.cc.o" "gcc" "src/CMakeFiles/costsense.dir/opt/plan.cc.o.d"
+  "/root/repo/src/query/builder.cc" "src/CMakeFiles/costsense.dir/query/builder.cc.o" "gcc" "src/CMakeFiles/costsense.dir/query/builder.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/costsense.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/costsense.dir/query/parser.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/CMakeFiles/costsense.dir/query/query.cc.o" "gcc" "src/CMakeFiles/costsense.dir/query/query.cc.o.d"
+  "/root/repo/src/sim/calibrate.cc" "src/CMakeFiles/costsense.dir/sim/calibrate.cc.o" "gcc" "src/CMakeFiles/costsense.dir/sim/calibrate.cc.o.d"
+  "/root/repo/src/sim/disk.cc" "src/CMakeFiles/costsense.dir/sim/disk.cc.o" "gcc" "src/CMakeFiles/costsense.dir/sim/disk.cc.o.d"
+  "/root/repo/src/sim/replay.cc" "src/CMakeFiles/costsense.dir/sim/replay.cc.o" "gcc" "src/CMakeFiles/costsense.dir/sim/replay.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/costsense.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/costsense.dir/sim/trace.cc.o.d"
+  "/root/repo/src/storage/device.cc" "src/CMakeFiles/costsense.dir/storage/device.cc.o" "gcc" "src/CMakeFiles/costsense.dir/storage/device.cc.o.d"
+  "/root/repo/src/storage/layout.cc" "src/CMakeFiles/costsense.dir/storage/layout.cc.o" "gcc" "src/CMakeFiles/costsense.dir/storage/layout.cc.o.d"
+  "/root/repo/src/storage/resource_space.cc" "src/CMakeFiles/costsense.dir/storage/resource_space.cc.o" "gcc" "src/CMakeFiles/costsense.dir/storage/resource_space.cc.o.d"
+  "/root/repo/src/tpch/dbgen.cc" "src/CMakeFiles/costsense.dir/tpch/dbgen.cc.o" "gcc" "src/CMakeFiles/costsense.dir/tpch/dbgen.cc.o.d"
+  "/root/repo/src/tpch/indexes.cc" "src/CMakeFiles/costsense.dir/tpch/indexes.cc.o" "gcc" "src/CMakeFiles/costsense.dir/tpch/indexes.cc.o.d"
+  "/root/repo/src/tpch/queries.cc" "src/CMakeFiles/costsense.dir/tpch/queries.cc.o" "gcc" "src/CMakeFiles/costsense.dir/tpch/queries.cc.o.d"
+  "/root/repo/src/tpch/schema.cc" "src/CMakeFiles/costsense.dir/tpch/schema.cc.o" "gcc" "src/CMakeFiles/costsense.dir/tpch/schema.cc.o.d"
+  "/root/repo/src/tpch/stats.cc" "src/CMakeFiles/costsense.dir/tpch/stats.cc.o" "gcc" "src/CMakeFiles/costsense.dir/tpch/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

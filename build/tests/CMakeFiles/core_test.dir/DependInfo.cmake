@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/algorithms_test.cc" "tests/CMakeFiles/core_test.dir/core/algorithms_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/algorithms_test.cc.o.d"
+  "/root/repo/tests/core/bounds_test.cc" "tests/CMakeFiles/core_test.dir/core/bounds_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/bounds_test.cc.o.d"
+  "/root/repo/tests/core/complementarity_test.cc" "tests/CMakeFiles/core_test.dir/core/complementarity_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/complementarity_test.cc.o.d"
+  "/root/repo/tests/core/geometry_test.cc" "tests/CMakeFiles/core_test.dir/core/geometry_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/geometry_test.cc.o.d"
+  "/root/repo/tests/core/region_test.cc" "tests/CMakeFiles/core_test.dir/core/region_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/region_test.cc.o.d"
+  "/root/repo/tests/core/risk_test.cc" "tests/CMakeFiles/core_test.dir/core/risk_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/risk_test.cc.o.d"
+  "/root/repo/tests/core/robust_test.cc" "tests/CMakeFiles/core_test.dir/core/robust_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/robust_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/costsense.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/algorithms_test.cc.o"
+  "CMakeFiles/core_test.dir/core/algorithms_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/bounds_test.cc.o"
+  "CMakeFiles/core_test.dir/core/bounds_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/complementarity_test.cc.o"
+  "CMakeFiles/core_test.dir/core/complementarity_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/geometry_test.cc.o"
+  "CMakeFiles/core_test.dir/core/geometry_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/region_test.cc.o"
+  "CMakeFiles/core_test.dir/core/region_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/risk_test.cc.o"
+  "CMakeFiles/core_test.dir/core/risk_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/robust_test.cc.o"
+  "CMakeFiles/core_test.dir/core/robust_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
