@@ -1,8 +1,10 @@
 #include "bench/bench_util.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "exp/report.h"
+#include "runtime/thread_pool.h"
 #include "tpch/queries.h"
 #include "tpch/schema.h"
 
@@ -27,14 +29,45 @@ FigureBenchConfig MakeFigureBenchConfig() {
   return config;
 }
 
+void EmitBenchJson(const std::string& bench_name,
+                   const runtime::RuntimeMetrics& metrics,
+                   const std::vector<std::pair<std::string, double>>& extra) {
+  const std::string line = metrics.ToJsonLine(bench_name, extra);
+  std::fputs(line.c_str(), stderr);
+  const char* path = std::getenv("COSTSENSE_BENCH_JSON");
+  if (path != nullptr && path[0] != '\0') {
+    std::FILE* f = std::fopen(path, "a");
+    if (f != nullptr) {
+      std::fputs(line.c_str(), f);
+      std::fclose(f);
+    }
+  }
+}
+
 std::vector<exp::FigureSeries> RunWorstCaseFigure(
-    const std::string& title, storage::LayoutPolicy policy) {
+    const std::string& title, const std::string& bench_name,
+    storage::LayoutPolicy policy) {
   const FigureBenchConfig config = MakeFigureBenchConfig();
   const exp::FigureRunner runner(config.catalog, config.options);
+  runtime::ThreadPool& pool = runtime::ThreadPool::Global();
 
+  runtime::RuntimeMetrics metrics;
+  metrics.threads = pool.num_threads();
+
+  // Phase 1 — analysis: every query discovers its candidate plans
+  // concurrently (and each discovery fans out further over the same pool).
+  runtime::WallTimer timer;
+  const std::vector<Result<exp::QueryAnalysis>> analyses =
+      runner.AnalyzeMany(config.queries, policy);
+  metrics.phase_wall_ms.emplace_back("analyze", timer.ElapsedMs());
+
+  // Phase 2 — series: pure geometry (per-rival fractional programs).
+  timer.Restart();
+  size_t oracle_calls = 0;
   std::vector<exp::FigureSeries> all;
-  for (const query::Query& q : config.queries) {
-    const Result<exp::QueryAnalysis> analysis = runner.Analyze(q, policy);
+  for (size_t i = 0; i < analyses.size(); ++i) {
+    const query::Query& q = config.queries[i];
+    const Result<exp::QueryAnalysis>& analysis = analyses[i];
     if (!analysis.ok()) {
       std::fprintf(stderr, "%s: analysis failed: %s\n", q.name.c_str(),
                    analysis.status().ToString().c_str());
@@ -46,16 +79,33 @@ std::vector<exp::FigureSeries> RunWorstCaseFigure(
                    series.status().ToString().c_str());
       continue;
     }
-    std::fprintf(stderr,
-                 "%-4s dims=%-2zu plans=%-3zu calls=%-5zu complete=%d\n",
-                 q.name.c_str(), analysis->dims,
-                 analysis->candidate_plans.size(), analysis->oracle_calls,
-                 analysis->discovery_complete ? 1 : 0);
+    std::fprintf(
+        stderr,
+        "%-4s dims=%-2zu plans=%-3zu calls=%-5zu hits=%-4zu complete=%d\n",
+        q.name.c_str(), analysis->dims, analysis->candidate_plans.size(),
+        analysis->oracle_calls, analysis->cache_hits,
+        analysis->discovery_complete ? 1 : 0);
+    oracle_calls += analysis->oracle_calls;
+    metrics.cache_hits += analysis->cache_hits;
+    metrics.cache_misses += analysis->cache_misses;
     all.push_back(*series);
   }
+  metrics.phase_wall_ms.emplace_back("series", timer.ElapsedMs());
+
+  const runtime::PoolStats pool_stats = pool.stats();
+  metrics.tasks_run = pool_stats.tasks_run;
+  metrics.queue_high_water = pool_stats.queue_high_water;
+
+  // Figure output on stdout only: byte-identical for every thread count.
   std::fputs(exp::RenderFigureTable(title, all).c_str(), stdout);
   std::fputs("\nCSV:\n", stdout);
   std::fputs(exp::RenderFigureCsv(all).c_str(), stdout);
+
+  std::fputs(metrics.Render().c_str(), stderr);
+  EmitBenchJson(bench_name, metrics,
+                {{"queries", static_cast<double>(all.size())},
+                 {"oracle_calls", static_cast<double>(oracle_calls)},
+                 {"quick", config.quick ? 1.0 : 0.0}});
   return all;
 }
 

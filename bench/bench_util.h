@@ -7,6 +7,7 @@
 #include "catalog/catalog.h"
 #include "exp/figure_runner.h"
 #include "query/query.h"
+#include "runtime/metrics.h"
 #include "storage/layout.h"
 
 namespace costsense::bench {
@@ -24,12 +25,23 @@ struct FigureBenchConfig {
 
 FigureBenchConfig MakeFigureBenchConfig();
 
+/// Emits one machine-readable JSON line for a bench run: always to
+/// stderr, and appended to the file named by the COSTSENSE_BENCH_JSON
+/// environment variable when set (e.g. BENCH_fig6.json), so successive
+/// PRs can track the perf trajectory. `extra` adds numeric fields.
+void EmitBenchJson(
+    const std::string& bench_name, const runtime::RuntimeMetrics& metrics,
+    const std::vector<std::pair<std::string, double>>& extra = {});
+
 /// Runs one full worst-case figure (paper Figures 5/6/7 depending on
 /// `policy`): per-query candidate-plan discovery and the GTC-vs-delta
-/// curve, printed as a table on stdout (and progress on stderr).
-/// Returns the computed series for further use.
+/// curve, fanned out over the process-global thread pool (COSTSENSE_THREADS;
+/// 1 recovers the serial path, with byte-identical stdout). The table and
+/// CSV go to stdout; progress, runtime metrics and the JSON perf line go
+/// to stderr. Returns the computed series for further use.
 std::vector<exp::FigureSeries> RunWorstCaseFigure(
-    const std::string& title, storage::LayoutPolicy policy);
+    const std::string& title, const std::string& bench_name,
+    storage::LayoutPolicy policy);
 
 }  // namespace costsense::bench
 

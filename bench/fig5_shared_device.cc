@@ -8,6 +8,6 @@
 int main() {
   costsense::bench::RunWorstCaseFigure(
       "Figure 5: worst-case GTC, all tables and indexes on one device",
-      costsense::storage::LayoutPolicy::kSharedDevice);
+      "fig5_shared_device", costsense::storage::LayoutPolicy::kSharedDevice);
   return 0;
 }

@@ -8,6 +8,7 @@
 int main() {
   costsense::bench::RunWorstCaseFigure(
       "Figure 6: worst-case GTC, tables and indexes on separate devices",
+      "fig6_separate_devices",
       costsense::storage::LayoutPolicy::kPerTableAndIndex);
   return 0;
 }

@@ -8,6 +8,7 @@
 int main() {
   costsense::bench::RunWorstCaseFigure(
       "Figure 7: worst-case GTC, one device per table with its indexes",
+      "fig7_colocated",
       costsense::storage::LayoutPolicy::kPerTableColocated);
   return 0;
 }

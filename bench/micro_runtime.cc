@@ -1,0 +1,103 @@
+// Micro-benchmarks of the parallel analysis runtime: fork-join dispatch
+// overhead of ThreadPool::ParallelFor at several pool sizes, and the
+// hit/miss path costs of the sharded memoizing oracle cache. These price
+// the fixed costs that the figure drivers amortize over real optimizer
+// calls (an optimizer invocation is ~100us-10ms; a cache hit should be
+// ~100ns, so memoization pays off after a single duplicate probe).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/vectors.h"
+#include "runtime/oracle_cache.h"
+#include "runtime/thread_pool.h"
+#include "tests/core/fake_oracle.h"
+
+namespace costsense {
+namespace {
+
+void BM_ParallelForDispatch(benchmark::State& state) {
+  runtime::ThreadPool pool(static_cast<size_t>(state.range(0)));
+  const size_t n = 256;
+  std::atomic<size_t> sink{0};
+  for (auto _ : state) {
+    (void)pool.ParallelFor(n, [&](size_t i) {
+      sink.fetch_add(i, std::memory_order_relaxed);
+      return Status::Ok();
+    });
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_ParallelForDispatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+std::vector<core::PlanUsage> MakePlans(size_t dims, size_t count) {
+  Rng rng(17);
+  std::vector<core::PlanUsage> plans;
+  for (size_t p = 0; p < count; ++p) {
+    core::UsageVector u(dims);
+    for (size_t i = 0; i < dims; ++i) u[i] = rng.LogUniform(1.0, 1e4);
+    plans.push_back({"p" + std::to_string(p), std::move(u)});
+  }
+  return plans;
+}
+
+void BM_OracleCacheHit(benchmark::State& state) {
+  const size_t dims = 8;
+  core::FakeOracle base(MakePlans(dims, 16), /*white_box=*/true);
+  runtime::CachingOracle cache(base);
+  const core::CostVector c(dims, 1.0);
+  cache.Optimize(c);  // prime
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Optimize(c).total_cost);
+  }
+}
+BENCHMARK(BM_OracleCacheHit)->Unit(benchmark::kNanosecond);
+
+void BM_OracleCacheMiss(benchmark::State& state) {
+  const size_t dims = 8;
+  core::FakeOracle base(MakePlans(dims, 16), /*white_box=*/true);
+  runtime::OracleCacheOptions options;
+  options.max_entries = 1 << 10;  // force steady-state eviction
+  runtime::CachingOracle cache(base, options);
+  Rng rng(3);
+  core::CostVector c(dims, 1.0);
+  for (auto _ : state) {
+    c[0] = rng.LogUniform(1.0, 1e6);
+    benchmark::DoNotOptimize(cache.Optimize(c).total_cost);
+  }
+  state.counters["evictions"] =
+      static_cast<double>(cache.stats().evictions);
+}
+BENCHMARK(BM_OracleCacheMiss)->Unit(benchmark::kNanosecond);
+
+void BM_OracleCacheConcurrent(benchmark::State& state) {
+  const size_t dims = 8;
+  core::FakeOracle base(MakePlans(dims, 16), /*white_box=*/true);
+  runtime::CachingOracle cache(base);
+  runtime::ThreadPool pool(static_cast<size_t>(state.range(0)));
+  std::vector<core::CostVector> points;
+  Rng rng(11);
+  for (size_t i = 0; i < 512; ++i) {
+    core::CostVector c(dims, 1.0);
+    c[i % dims] = rng.LogUniform(1.0, 1e3);
+    points.push_back(std::move(c));
+  }
+  for (auto _ : state) {
+    (void)pool.ParallelFor(points.size(), [&](size_t i) {
+      benchmark::DoNotOptimize(cache.Optimize(points[i]).total_cost);
+      return Status::Ok();
+    });
+  }
+  state.counters["hit_rate"] = cache.stats().hit_rate();
+}
+BENCHMARK(BM_OracleCacheConcurrent)->Arg(1)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace costsense
+
+BENCHMARK_MAIN();

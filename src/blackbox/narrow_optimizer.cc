@@ -9,7 +9,7 @@ NarrowOptimizer::NarrowOptimizer(const opt::Optimizer& optimizer,
     : optimizer_(optimizer), query_(query), white_box_(white_box) {}
 
 core::OracleResult NarrowOptimizer::Optimize(const core::CostVector& c) {
-  ++calls_;
+  calls_.fetch_add(1, std::memory_order_relaxed);
   const Result<opt::Optimized> r = optimizer_.Optimize(query_, c);
   COSTSENSE_CHECK_MSG(r.ok(), r.status().ToString().c_str());
   core::OracleResult out;

@@ -1,6 +1,8 @@
 #ifndef COSTSENSE_BLACKBOX_NARROW_OPTIMIZER_H_
 #define COSTSENSE_BLACKBOX_NARROW_OPTIMIZER_H_
 
+#include <atomic>
+
 #include "core/oracle.h"
 #include "opt/optimizer.h"
 #include "query/query.h"
@@ -24,9 +26,11 @@ class NarrowOptimizer : public core::PlanOracle {
   size_t dims() const override;
 
   /// Number of optimization calls made so far (the paper's experiments are
-  /// budgeted in optimizer invocations).
-  size_t calls() const { return calls_; }
-  void ResetCallCount() { calls_ = 0; }
+  /// budgeted in optimizer invocations). The counter is atomic, and
+  /// Optimize() touches no other mutable state, so one NarrowOptimizer may
+  /// be shared by concurrent probes (e.g. behind runtime::CachingOracle).
+  size_t calls() const { return calls_.load(std::memory_order_relaxed); }
+  void ResetCallCount() { calls_.store(0, std::memory_order_relaxed); }
 
   /// Re-runs the optimizer at `c` and returns the full plan (for EXPLAIN
   /// inspection once an interesting cost point is identified).
@@ -36,7 +40,7 @@ class NarrowOptimizer : public core::PlanOracle {
   const opt::Optimizer& optimizer_;
   const query::Query& query_;
   bool white_box_;
-  size_t calls_ = 0;
+  std::atomic<size_t> calls_{0};
 };
 
 }  // namespace costsense::blackbox

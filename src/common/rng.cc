@@ -48,6 +48,19 @@ double Rng::LogUniform(double lo, double hi) {
   return std::exp(u);
 }
 
+Rng Rng::Fork(uint64_t stream_id) const {
+  // Collapse the 256-bit state into one word, perturb it by the stream id,
+  // and let the seeding splitmix re-expand it. Distinct stream ids give
+  // uncorrelated children; the parent state is left untouched.
+  uint64_t mixed = s_[0];
+  mixed ^= Rotl(s_[1], 13);
+  mixed ^= Rotl(s_[2], 29);
+  mixed ^= Rotl(s_[3], 43);
+  uint64_t sm = stream_id + 0x9e3779b97f4a7c15ULL;
+  mixed ^= SplitMix64(sm);
+  return Rng(mixed);
+}
+
 uint64_t Rng::Index(uint64_t n) {
   COSTSENSE_CHECK(n > 0);
   // Rejection sampling to avoid modulo bias.

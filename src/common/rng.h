@@ -34,6 +34,13 @@ class Rng {
   /// Returns an integer uniform in [0, n); n must be positive.
   uint64_t Index(uint64_t n);
 
+  /// Derives an independent child generator from this generator's current
+  /// state and `stream_id`, without advancing this generator. The same
+  /// (state, stream_id) pair always yields the same child stream, so
+  /// per-task generators forked before a parallel fan-out are
+  /// deterministic regardless of thread count or execution order.
+  Rng Fork(uint64_t stream_id) const;
+
   /// Fisher-Yates shuffles `items` in place.
   template <typename T>
   void Shuffle(std::vector<T>& items) {

@@ -2,12 +2,26 @@
 
 #include <cmath>
 #include <map>
+#include <optional>
 #include <utility>
 
 #include "core/region_of_influence.h"
+#include "runtime/thread_pool.h"
 
 namespace costsense::core {
 namespace {
+
+/// Stable 64-bit hash of a plan id, used to key per-plan forked RNG
+/// streams: the same plan always extracts with the same stream, no matter
+/// how many other plans were discovered first or on which thread it runs.
+uint64_t PlanStreamId(const std::string& plan_id) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char ch : plan_id) {
+    h ^= ch;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
 
 /// Book-keeping for one plan while discovery is running.
 struct Found {
@@ -59,44 +73,64 @@ class Discoverer {
   }
 
  private:
-  OracleResult Probe(const CostVector& c) {
-    ++calls_;
-    OracleResult r = oracle_.Optimize(c);
+  /// Evaluates the oracle at every point (fanning out over the pool when
+  /// one is configured) and records first-seen witnesses in point order —
+  /// the same order a serial probe loop would, so the discovered set is
+  /// independent of thread count and scheduling.
+  std::vector<OracleResult> ProbeBatch(const std::vector<CostVector>& points) {
+    std::vector<OracleResult> results(points.size());
+    runtime::ForEachIndex(options_.pool, points.size(), [&](size_t i) {
+      results[i] = oracle_.Optimize(points[i]);
+      return Status::Ok();
+    });
+    calls_ += points.size();
+    for (size_t i = 0; i < points.size(); ++i) {
+      Record(points[i], results[i]);
+    }
+    return results;
+  }
+
+  void Record(const CostVector& c, const OracleResult& r) {
     auto [it, inserted] = found_.try_emplace(r.plan_id);
     if (inserted) {
       it->second.witness = c;
       it->second.usage = r.usage;
       it->second.total_cost_at_witness = r.total_cost;
     }
-    return r;
   }
 
   void SeedProbes() {
-    Probe(box_.Center());
+    // Generate every seed point serially (all rng_ draws happen here, in
+    // the fixed order the serial algorithm used), then probe as one batch.
+    std::vector<CostVector> points;
+    points.push_back(box_.Center());
     // Axis extremes: cheapest / most expensive along each single resource.
     for (size_t i = 0; i < box_.dims(); ++i) {
       CostVector lo = box_.Center();
       lo[i] = box_.lower()[i];
-      Probe(lo);
+      points.push_back(std::move(lo));
       CostVector hi = box_.Center();
       hi[i] = box_.upper()[i];
-      Probe(hi);
+      points.push_back(std::move(hi));
     }
     // Vertices: exhaustive when small, sampled otherwise. Vertices matter
     // because worst cases live there (Observation 2).
     if (box_.dims() <= options_.full_vertex_sweep_max_dims) {
       const uint64_t n = box_.VertexCount();
-      for (uint64_t mask = 0; mask < n; ++mask) Probe(box_.Vertex(mask));
+      for (uint64_t mask = 0; mask < n; ++mask) {
+        points.push_back(box_.Vertex(mask));
+      }
     } else {
       for (size_t k = 0; k < options_.sampled_vertices; ++k) {
         uint64_t mask = rng_.Next();
         if (box_.dims() < 64) mask &= (uint64_t{1} << box_.dims()) - 1;
-        Probe(box_.Vertex(mask));
+        points.push_back(box_.Vertex(mask));
       }
     }
     for (size_t k = 0; k < options_.random_samples; ++k) {
-      Probe(box_.SampleLogUniform(rng_));
+      points.push_back(box_.SampleLogUniform(rng_));
     }
+    ProbeBatch(points);
   }
 
   /// Geometric midpoint of two cost vectors (log-space bisection, matching
@@ -107,18 +141,18 @@ class Discoverer {
     return m;
   }
 
-  void Bisect(const CostVector& a, const std::string& plan_a,
-              const CostVector& b, const std::string& plan_b, size_t depth) {
-    if (depth == 0 || plan_a == plan_b) return;
-    if (found_.size() >= options_.max_plans) return;
-    const CostVector mid = GeoMid(a, b);
-    const OracleResult r = Probe(mid);
-    Bisect(a, plan_a, mid, r.plan_id, depth - 1);
-    Bisect(mid, r.plan_id, b, plan_b, depth - 1);
-  }
+  /// One segment whose endpoints are witnesses of *different* plans: by
+  /// Observation 3 an undiscovered plan can only hide between differing
+  /// endpoints, so these are the only segments worth refining.
+  struct Segment {
+    CostVector a;
+    std::string plan_a;
+    CostVector b;
+    std::string plan_b;
+  };
 
   void BisectBetweenWitnesses() {
-    // Snapshot witnesses first; Bisect mutates found_.
+    // Snapshot witnesses first; probing mutates found_.
     std::vector<std::pair<std::string, CostVector>> snapshot;
     snapshot.reserve(found_.size());
     for (const auto& [id, f] : found_) snapshot.emplace_back(id, f.witness);
@@ -136,47 +170,96 @@ class Discoverer {
       rng_.Shuffle(pairs);
       pairs.resize(options_.max_bisection_pairs);
     }
+
+    // Level-synchronous bisection: each level probes the midpoints of
+    // every open segment as one parallel batch, then splits segments whose
+    // midpoint plan differs from an endpoint. The probe tree is the same
+    // one the recursive serial bisection explores; batching it per depth
+    // exposes hundreds of independent optimizer calls at a time. Shared
+    // midpoints (e.g. every complementary vertex pair meets the center)
+    // collapse in the oracle cache rather than re-running the optimizer.
+    std::vector<Segment> frontier;
+    frontier.reserve(pairs.size());
     for (const auto& [i, j] : pairs) {
-      Bisect(snapshot[i].second, snapshot[i].first, snapshot[j].second,
-             snapshot[j].first, options_.bisection_depth);
+      if (snapshot[i].first == snapshot[j].first) continue;
+      frontier.push_back(Segment{snapshot[i].second, snapshot[i].first,
+                                 snapshot[j].second, snapshot[j].first});
+    }
+    for (size_t depth = options_.bisection_depth;
+         depth > 0 && !frontier.empty(); --depth) {
       if (found_.size() >= options_.max_plans) return;
+      std::vector<CostVector> mids;
+      mids.reserve(frontier.size());
+      for (const Segment& s : frontier) mids.push_back(GeoMid(s.a, s.b));
+      const std::vector<OracleResult> results = ProbeBatch(mids);
+      std::vector<Segment> next;
+      for (size_t k = 0; k < frontier.size(); ++k) {
+        const Segment& s = frontier[k];
+        const std::string& mid_plan = results[k].plan_id;
+        if (mid_plan != s.plan_a) {
+          next.push_back(Segment{s.a, s.plan_a, mids[k], mid_plan});
+        }
+        if (mid_plan != s.plan_b) {
+          next.push_back(Segment{mids[k], mid_plan, s.b, s.plan_b});
+        }
+      }
+      frontier = std::move(next);
     }
   }
 
   Result<std::vector<DiscoveredPlan>> ResolveUsageVectors() {
+    // Deterministic work list in found_'s (sorted) iteration order.
+    std::vector<std::pair<std::string, const Found*>> todo;
+    todo.reserve(found_.size());
+    for (const auto& [id, f] : found_) todo.emplace_back(id, &f);
+
+    // Per-plan extraction is independent: each plan gets its own RNG
+    // stream forked from the shared generator and keyed by plan id, so
+    // the sample set — and therefore the fit — is the same whether plans
+    // extract one after another or all at once. White-box plans skip the
+    // oracle entirely. A failed extraction (thin region) yields an empty
+    // slot: skip the plan rather than poison the set.
+    std::vector<std::optional<DiscoveredPlan>> slots(todo.size());
+    std::vector<size_t> extraction_calls(todo.size(), 0);
+    Status st = runtime::ForEachIndex(
+        options_.pool, todo.size(), [&](size_t k) {
+          const auto& [id, f] = todo[k];
+          DiscoveredPlan dp;
+          dp.plan.plan_id = id;
+          dp.witness = f->witness;
+          if (f->usage.has_value()) {
+            dp.plan.usage = *f->usage;
+          } else {
+            Rng stream = rng_.Fork(PlanStreamId(id));
+            Result<ExtractedUsage> ex = ExtractUsageVector(
+                oracle_, id, f->witness, box_, stream, options_.extraction);
+            if (!ex.ok()) return Status::Ok();  // thin region: skip plan
+            extraction_calls[k] = ex->oracle_calls;
+            dp.plan.usage = ex->usage;
+            dp.usage_from_least_squares = true;
+            dp.extraction_error = ex->validation_error;
+          }
+          slots[k] = std::move(dp);
+          return Status::Ok();
+        });
+    if (!st.ok()) return st;
+
     std::vector<DiscoveredPlan> plans;
-    plans.reserve(found_.size());
-    for (const auto& [id, f] : found_) {
-      DiscoveredPlan dp;
-      dp.plan.plan_id = id;
-      dp.witness = f.witness;
-      if (f.usage.has_value()) {
-        dp.plan.usage = *f.usage;
-      } else {
-        Result<ExtractedUsage> ex = ExtractUsageVector(
-            oracle_, id, f.witness, box_, rng_, options_.extraction);
-        if (!ex.ok()) {
-          // Thin region: fall back to a rank-one estimate from the single
-          // witness (usage colinear with nothing better available). Skip
-          // the plan rather than poison the set.
-          continue;
-        }
-        calls_ += ex->oracle_calls;
-        dp.plan.usage = ex->usage;
-        dp.usage_from_least_squares = true;
-        dp.extraction_error = ex->validation_error;
-      }
-      plans.push_back(std::move(dp));
+    plans.reserve(todo.size());
+    for (size_t k = 0; k < todo.size(); ++k) {
+      calls_ += extraction_calls[k];
+      if (slots[k].has_value()) plans.push_back(std::move(*slots[k]));
     }
     return plans;
   }
 
   /// Annotates per-plan interior margins. Each margin is one LP with
   /// |plans| constraints, so this is quadratic in the plan count; it is
-  /// informational only and skipped for very large plan sets.
+  /// informational only and skipped for very large plan sets. The LPs are
+  /// independent and fan out over the pool.
   void ComputeMargins(std::vector<DiscoveredPlan>& plans) const {
     if (plans.size() > 96) return;
-    for (size_t i = 0; i < plans.size(); ++i) {
+    runtime::ForEachIndex(options_.pool, plans.size(), [&](size_t i) {
       std::vector<PlanUsage> rivals;
       rivals.reserve(plans.size() - 1);
       for (size_t j = 0; j < plans.size(); ++j) {
@@ -185,7 +268,8 @@ class Discoverer {
       Result<CandidacyResult> cr =
           FindRegionWitness(plans[i].plan.usage, rivals, box_);
       if (cr.ok() && cr->candidate) plans[i].margin = cr->margin;
-    }
+      return Status::Ok();
+    });
   }
 
   Status CompletenessProbe(const std::vector<DiscoveredPlan>& plans) {
@@ -199,23 +283,32 @@ class Discoverer {
       rng_.Shuffle(order);
       order.resize(kMaxProbesPerRound);
     }
-    for (size_t idx : order) {
-      const DiscoveredPlan& dp = plans[idx];
+    // Phase 1 (parallel, pure LP): a deep-interior witness per region.
+    std::vector<std::optional<Result<CandidacyResult>>> witnesses(
+        order.size());
+    runtime::ForEachIndex(options_.pool, order.size(), [&](size_t k) {
+      const DiscoveredPlan& dp = plans[order[k]];
       std::vector<PlanUsage> rivals;
       for (const DiscoveredPlan& other : plans) {
         if (other.plan.plan_id != dp.plan.plan_id) {
           rivals.push_back(other.plan);
         }
       }
-      Result<CandidacyResult> cr =
-          FindRegionWitness(dp.plan.usage, rivals, box_);
+      witnesses[k].emplace(FindRegionWitness(dp.plan.usage, rivals, box_));
+      return Status::Ok();
+    });
+    // Phase 2 (batched): the discovered set predicts each plan at its
+    // witness; probe them all — where the oracle disagrees, Record adds
+    // the new plan automatically.
+    std::vector<CostVector> probes;
+    for (size_t k = 0; k < order.size(); ++k) {
+      const Result<CandidacyResult>& cr = *witnesses[k];
       if (!cr.ok()) return cr.status();
       if (!cr->candidate || cr->margin <= 0.0) continue;
-      // The discovered set predicts plan dp at this deep-interior point; if
-      // the oracle disagrees, Probe records the new plan automatically.
-      Probe(cr->witness);
-      if (found_.size() >= options_.max_plans) break;
+      if (found_.size() + probes.size() >= options_.max_plans) break;
+      probes.push_back(cr->witness);
     }
+    ProbeBatch(probes);
     return Status::Ok();
   }
 

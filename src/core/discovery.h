@@ -11,6 +11,10 @@
 #include "core/usage_extraction.h"
 #include "core/vectors.h"
 
+namespace costsense::runtime {
+class ThreadPool;
+}  // namespace costsense::runtime
+
 namespace costsense::core {
 
 /// Tuning for candidate-optimal plan discovery.
@@ -38,6 +42,15 @@ struct DiscoveryOptions {
   /// When the oracle does not reveal usage vectors, extract them by least
   /// squares with these options.
   ExtractionOptions extraction;
+  /// Optional thread pool for fanning out oracle probes, per-plan
+  /// least-squares extractions, and the margin/completeness LPs; null runs
+  /// everything inline. Parallel runs are bit-identical to serial ones:
+  /// probe points are generated serially from `rng`, evaluated
+  /// concurrently, and recorded in generation order, while per-plan
+  /// extraction streams are forked from `rng` keyed by plan id. The oracle
+  /// must be safe to call concurrently when a pool is supplied (wrap it in
+  /// runtime::CachingOracle, or see blackbox::NarrowOptimizer).
+  runtime::ThreadPool* pool = nullptr;
 };
 
 /// One discovered candidate optimal plan.

@@ -1,14 +1,46 @@
 #include "core/worst_case.h"
 
+#include <algorithm>
+#include <optional>
+
 #include "common/strings.h"
 #include "lp/fractional.h"
+#include "runtime/thread_pool.h"
 
 namespace costsense::core {
+namespace {
+
+/// Best-so-far slot for one chunk of a vertex sweep.
+struct ChunkBest {
+  double gtc = 1.0;
+  uint64_t mask = 0;
+  std::string rival;
+  bool any = false;
+};
+
+/// Splits [0, vertices) into contiguous chunks sized for the pool. Each
+/// chunk keeps its own first-strictly-greater maximum; merging chunks in
+/// ascending order then reproduces the serial sweep's tie-breaking (the
+/// lowest vertex mask achieving the maximum wins) exactly.
+std::vector<std::pair<uint64_t, uint64_t>> VertexChunks(
+    uint64_t vertices, runtime::ThreadPool* pool) {
+  const uint64_t want =
+      pool == nullptr ? 1 : std::max<uint64_t>(1, 8 * pool->num_threads());
+  const uint64_t chunks = std::min<uint64_t>(vertices, want);
+  const uint64_t per = (vertices + chunks - 1) / chunks;
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  for (uint64_t lo = 0; lo < vertices; lo += per) {
+    out.emplace_back(lo, std::min(vertices, lo + per));
+  }
+  return out;
+}
+
+}  // namespace
 
 Result<WorstCaseResult> WorstCaseByVertexSweep(PlanOracle& oracle,
                                                const UsageVector& initial_usage,
-                                               const Box& box,
-                                               size_t max_dims) {
+                                               const Box& box, size_t max_dims,
+                                               runtime::ThreadPool* pool) {
   if (box.dims() != initial_usage.size()) {
     return Status::InvalidArgument("usage vector dims do not match box");
   }
@@ -18,48 +50,81 @@ Result<WorstCaseResult> WorstCaseByVertexSweep(PlanOracle& oracle,
         "method instead",
         box.dims(), box.dims()));
   }
+  const uint64_t vertices = box.VertexCount();
+  const auto chunks = VertexChunks(vertices, pool);
+  std::vector<ChunkBest> best(chunks.size());
+  runtime::ForEachIndex(pool, chunks.size(), [&](size_t k) {
+    ChunkBest b;
+    for (uint64_t mask = chunks[k].first; mask < chunks[k].second; ++mask) {
+      const CostVector v = box.Vertex(mask);
+      const OracleResult r = oracle.Optimize(v);
+      if (r.total_cost <= 0.0) continue;  // degenerate; skip
+      const double gtc = TotalCost(initial_usage, v) / r.total_cost;
+      if (!b.any || gtc > b.gtc) {
+        b.gtc = gtc;
+        b.mask = mask;
+        b.rival = r.plan_id;
+        b.any = true;
+      }
+    }
+    best[k] = std::move(b);
+    return Status::Ok();
+  });
+
   WorstCaseResult out;
   out.worst_costs = box.Center();
-  const uint64_t vertices = box.VertexCount();
-  for (uint64_t mask = 0; mask < vertices; ++mask) {
-    const CostVector v = box.Vertex(mask);
-    const OracleResult r = oracle.Optimize(v);
-    if (r.total_cost <= 0.0) continue;  // degenerate; skip
-    const double gtc = TotalCost(initial_usage, v) / r.total_cost;
-    if (gtc > out.gtc) {
-      out.gtc = gtc;
-      out.worst_costs = v;
-      out.worst_rival = r.plan_id;
+  for (const ChunkBest& b : best) {
+    if (b.any && b.gtc > out.gtc) {
+      out.gtc = b.gtc;
+      out.worst_costs = box.Vertex(b.mask);
+      out.worst_rival = b.rival;
     }
   }
   return out;
 }
 
-WorstCaseResult WorstCaseOverPlansByVertices(
-    const UsageVector& initial_usage, const std::vector<PlanUsage>& plans,
-    const Box& box) {
-  WorstCaseResult out;
-  out.worst_costs = box.Center();
+WorstCaseResult WorstCaseOverPlansByVertices(const UsageVector& initial_usage,
+                                             const std::vector<PlanUsage>& plans,
+                                             const Box& box,
+                                             runtime::ThreadPool* pool) {
   const uint64_t vertices = box.VertexCount();
-  for (uint64_t mask = 0; mask < vertices; ++mask) {
-    const CostVector v = box.Vertex(mask);
-    double best = 0.0;
-    size_t best_idx = 0;
-    bool first = true;
-    for (size_t i = 0; i < plans.size(); ++i) {
-      const double cost = TotalCost(plans[i].usage, v);
-      if (first || cost < best) {
-        best = cost;
-        best_idx = i;
-        first = false;
+  const auto chunks = VertexChunks(vertices, pool);
+  std::vector<ChunkBest> best(chunks.size());
+  runtime::ForEachIndex(pool, chunks.size(), [&](size_t k) {
+    ChunkBest b;
+    for (uint64_t mask = chunks[k].first; mask < chunks[k].second; ++mask) {
+      const CostVector v = box.Vertex(mask);
+      double cheapest = 0.0;
+      size_t cheapest_idx = 0;
+      bool first = true;
+      for (size_t i = 0; i < plans.size(); ++i) {
+        const double cost = TotalCost(plans[i].usage, v);
+        if (first || cost < cheapest) {
+          cheapest = cost;
+          cheapest_idx = i;
+          first = false;
+        }
+      }
+      if (first || cheapest <= 0.0) continue;
+      const double gtc = TotalCost(initial_usage, v) / cheapest;
+      if (!b.any || gtc > b.gtc) {
+        b.gtc = gtc;
+        b.mask = mask;
+        b.rival = plans[cheapest_idx].plan_id;
+        b.any = true;
       }
     }
-    if (first || best <= 0.0) continue;
-    const double gtc = TotalCost(initial_usage, v) / best;
-    if (gtc > out.gtc) {
-      out.gtc = gtc;
-      out.worst_costs = v;
-      out.worst_rival = plans[best_idx].plan_id;
+    best[k] = std::move(b);
+    return Status::Ok();
+  });
+
+  WorstCaseResult out;
+  out.worst_costs = box.Center();
+  for (const ChunkBest& b : best) {
+    if (b.any && b.gtc > out.gtc) {
+      out.gtc = b.gtc;
+      out.worst_costs = box.Vertex(b.mask);
+      out.worst_rival = b.rival;
     }
   }
   return out;
@@ -67,12 +132,22 @@ WorstCaseResult WorstCaseOverPlansByVertices(
 
 Result<WorstCaseResult> WorstCaseOverPlansByLp(
     const UsageVector& initial_usage, const std::vector<PlanUsage>& plans,
-    const Box& box) {
+    const Box& box, runtime::ThreadPool* pool) {
+  // The per-rival fractional programs are independent: solve them all
+  // (concurrently when pooled), then reduce in rival order so the winning
+  // rival on ties matches the serial scan.
+  std::vector<std::optional<Result<lp::FractionalSolution>>> sols(
+      plans.size());
+  runtime::ForEachIndex(pool, plans.size(), [&](size_t i) {
+    sols[i].emplace(lp::MaximizeRatioOverBox(initial_usage, plans[i].usage,
+                                             box.lower(), box.upper()));
+    return Status::Ok();
+  });
+
   WorstCaseResult out;
   out.worst_costs = box.Center();
-  for (const PlanUsage& rival : plans) {
-    Result<lp::FractionalSolution> sol = lp::MaximizeRatioOverBox(
-        initial_usage, rival.usage, box.lower(), box.upper());
+  for (size_t i = 0; i < plans.size(); ++i) {
+    const Result<lp::FractionalSolution>& sol = *sols[i];
     if (!sol.ok()) return sol.status();
     if (sol->value > out.gtc) {
       // The ratio against one rival upper-bounds GTC only if that rival is
@@ -81,7 +156,7 @@ Result<WorstCaseResult> WorstCaseOverPlansByLp(
       // so taking the overall maximum is exact.
       out.gtc = sol->value;
       out.worst_costs = sol->x;
-      out.worst_rival = rival.plan_id;
+      out.worst_rival = plans[i].plan_id;
     }
   }
   return out;

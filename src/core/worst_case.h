@@ -9,6 +9,10 @@
 #include "core/oracle.h"
 #include "core/vectors.h"
 
+namespace costsense::runtime {
+class ThreadPool;
+}  // namespace costsense::runtime
+
 namespace costsense::core {
 
 /// Result of a worst-case global-relative-cost analysis for one initial
@@ -31,26 +35,37 @@ struct WorstCaseResult {
 /// total cost at each vertex. Correct by the paper's Observation 2 (the
 /// linear-fractional objective is vertex-maximized). Costs 2^dims oracle
 /// calls; refuses boxes with more than `max_dims` dimensions.
+///
+/// When `pool` is non-null the vertex sweep fans out over it (the oracle
+/// must then be safe to call concurrently — runtime::CachingOracle over
+/// blackbox::NarrowOptimizer qualifies) and the result is bit-identical to
+/// the serial sweep: vertices are reduced in mask order.
 Result<WorstCaseResult> WorstCaseByVertexSweep(PlanOracle& oracle,
                                                const UsageVector& initial_usage,
                                                const Box& box,
-                                               size_t max_dims = 20);
+                                               size_t max_dims = 20,
+                                               runtime::ThreadPool* pool =
+                                                   nullptr);
 
 /// Worst case over a *known* candidate plan set, by sweeping box vertices
 /// and computing the optimum by dot products (no oracle calls). Exact when
-/// `plans` contains every candidate optimal plan of the region.
+/// `plans` contains every candidate optimal plan of the region. Fans out
+/// over `pool` when non-null, with serial-identical results.
 WorstCaseResult WorstCaseOverPlansByVertices(
     const UsageVector& initial_usage, const std::vector<PlanUsage>& plans,
-    const Box& box);
+    const Box& box, runtime::ThreadPool* pool = nullptr);
 
 /// Worst case over a known candidate plan set by exact linear-fractional
 /// programming: for each rival plan b, maximize (U0 . C)/(B . C) over the
 /// box with the exact fractional maximizer and take the largest. Equivalent to the
 /// vertex sweep (max_C U0.C/min_b B.C == max_b max_C U0.C/B.C) but
 /// polynomial in the dimension count, so it scales past 20 resources.
+/// The per-rival maximizations are independent and fan out over `pool`
+/// when non-null; rivals are reduced in input order, so results match the
+/// serial run exactly.
 Result<WorstCaseResult> WorstCaseOverPlansByLp(
     const UsageVector& initial_usage, const std::vector<PlanUsage>& plans,
-    const Box& box);
+    const Box& box, runtime::ThreadPool* pool = nullptr);
 
 }  // namespace costsense::core
 

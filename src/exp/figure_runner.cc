@@ -1,6 +1,7 @@
 #include "exp/figure_runner.h"
 
 #include <cmath>
+#include <utility>
 
 #include "blackbox/narrow_optimizer.h"
 #include "core/bounds.h"
@@ -12,13 +13,24 @@ namespace costsense::exp {
 FigureRunner::FigureRunner(const catalog::Catalog& catalog, Options options)
     : catalog_(catalog), options_(std::move(options)) {}
 
+runtime::ThreadPool& FigureRunner::pool() const {
+  return options_.pool != nullptr ? *options_.pool
+                                  : runtime::ThreadPool::Global();
+}
+
 Result<QueryAnalysis> FigureRunner::Analyze(
     const query::Query& query, storage::LayoutPolicy policy) const {
   const storage::StorageLayout layout(policy, catalog_,
                                       query::ReferencedTables(query));
   const storage::ResourceSpace space = layout.BuildResourceSpace();
   const opt::Optimizer optimizer(catalog_, layout, space);
-  blackbox::NarrowOptimizer oracle(optimizer, query, options_.white_box);
+  blackbox::NarrowOptimizer narrow(optimizer, query, options_.white_box);
+  // Every probe is memoized: discovery's seed sweep, segment bisection and
+  // completeness rounds revisit cost points (the box center, shared
+  // segment midpoints), and the cache collapses those into one optimizer
+  // invocation each — concurrently safe, since misses compute outside the
+  // shard locks against the stateless optimizer.
+  runtime::CachingOracle oracle(narrow, options_.cache);
 
   QueryAnalysis out;
   out.query_name = query.name;
@@ -28,12 +40,28 @@ Result<QueryAnalysis> FigureRunner::Analyze(
   out.dim_info = space.dim_info();
 
   // The initial plan: optimal at the (estimated) baseline costs, i.e. the
-  // plan a DBA gets by leaving DB2's defaults in place (Section 8.1).
-  const Result<opt::Optimized> initial =
-      optimizer.Optimize(query, out.baseline);
-  if (!initial.ok()) return initial.status();
-  out.initial_plan_id = initial->plan->id;
-  out.initial_usage = initial->plan->usage;
+  // plan a DBA gets by leaving DB2's defaults in place (Section 8.1). The
+  // baseline probe goes through the caching oracle, which also warms the
+  // cache for discovery's center probe (the box center *is* the baseline
+  // for multiplicative bands).
+  if (options_.white_box) {
+    const core::OracleResult initial = oracle.Optimize(out.baseline);
+    if (!initial.usage.has_value()) {
+      return Status::Internal("white-box oracle did not reveal usage");
+    }
+    out.initial_plan_id = initial.plan_id;
+    out.initial_usage = *initial.usage;
+  } else {
+    // Narrow mode hides usage vectors; take the initial plan's directly
+    // from the optimizer (the DBA can always EXPLAIN the current plan),
+    // and still warm the cache at the baseline point.
+    const Result<opt::Optimized> initial =
+        optimizer.Optimize(query, out.baseline);
+    if (!initial.ok()) return initial.status();
+    out.initial_plan_id = initial->plan->id;
+    out.initial_usage = initial->plan->usage;
+    oracle.Optimize(out.baseline);
+  }
 
   // Discover candidate optimal plans over the widest error band; plan
   // sets for narrower bands are subsets, so one discovery serves every
@@ -41,15 +69,29 @@ Result<QueryAnalysis> FigureRunner::Analyze(
   const double delta_max = options_.deltas.back();
   const core::Box box = core::Box::MultiplicativeBand(out.baseline, delta_max);
   Rng rng(options_.seed);
+  core::DiscoveryOptions discovery = options_.discovery;
+  discovery.pool = &pool();
   Result<core::DiscoveryResult> d =
-      core::DiscoverCandidatePlans(oracle, box, rng, options_.discovery);
+      core::DiscoverCandidatePlans(oracle, box, rng, discovery);
   if (!d.ok()) return d.status();
   for (core::DiscoveredPlan& dp : d->plans) {
     out.candidate_plans.push_back(std::move(dp.plan));
   }
-  out.oracle_calls = oracle.calls();
+  out.oracle_calls = narrow.calls();
   out.discovery_complete = d->complete;
+  const runtime::OracleCacheStats cache = oracle.stats();
+  out.cache_hits = cache.hits;
+  out.cache_misses = cache.misses;
   return out;
+}
+
+std::vector<Result<QueryAnalysis>> FigureRunner::AnalyzeMany(
+    const std::vector<query::Query>& queries,
+    storage::LayoutPolicy policy) const {
+  return pool().ParallelMap(
+      queries, [&](size_t, const query::Query& q) -> Result<QueryAnalysis> {
+        return Analyze(q, policy);
+      });
 }
 
 Result<FigureSeries> FigureRunner::GtcSeries(
@@ -65,7 +107,7 @@ Result<FigureSeries> FigureRunner::GtcSeries(
     const core::Box box =
         core::Box::MultiplicativeBand(analysis.baseline, delta);
     Result<core::WorstCaseResult> wc = core::WorstCaseOverPlansByLp(
-        analysis.initial_usage, analysis.candidate_plans, box);
+        analysis.initial_usage, analysis.candidate_plans, box, &pool());
     if (!wc.ok()) return wc.status();
     GtcPoint p;
     p.delta = delta;

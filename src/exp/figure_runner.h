@@ -10,6 +10,8 @@
 #include "core/discovery.h"
 #include "core/vectors.h"
 #include "query/query.h"
+#include "runtime/oracle_cache.h"
+#include "runtime/thread_pool.h"
 #include "storage/layout.h"
 
 namespace costsense::exp {
@@ -29,8 +31,13 @@ struct QueryAnalysis {
   core::UsageVector initial_usage;
   /// Candidate optimal plans discovered over the delta_max band.
   std::vector<core::PlanUsage> candidate_plans;
+  /// Distinct optimizer invocations (cache misses reach the optimizer;
+  /// hits do not).
   size_t oracle_calls = 0;
   bool discovery_complete = false;
+  /// Memoizing-oracle effectiveness during this analysis.
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
 };
 
 /// One point of a worst-case curve (paper Figures 5-7): at error level
@@ -57,6 +64,12 @@ struct FigureSeries {
 /// baseline, discover the candidate optimal plans over the widest
 /// multiplicative error band, and evaluate worst-case global relative cost
 /// at each delta via the exact linear-fractional program.
+///
+/// Analyses fan out over a runtime::ThreadPool at two granularities —
+/// across queries (AnalyzeMany) and within a query (discovery probes,
+/// extraction, per-rival LPs) — and every optimizer call goes through a
+/// sharded memoizing runtime::CachingOracle. Results are bit-identical
+/// for any thread count, including 1 (the serial path).
 class FigureRunner {
  public:
   struct Options {
@@ -66,6 +79,11 @@ class FigureRunner {
     bool white_box = true;
     uint64_t seed = 0x5eed;
     core::DiscoveryOptions discovery;
+    /// Pool for per-query and per-probe fan-out; null uses the
+    /// process-global pool (sized by COSTSENSE_THREADS; 1 = serial).
+    runtime::ThreadPool* pool = nullptr;
+    /// Memoizing oracle cache applied around each per-query optimizer.
+    runtime::OracleCacheOptions cache;
   };
 
   FigureRunner(const catalog::Catalog& catalog, Options options);
@@ -74,8 +92,16 @@ class FigureRunner {
   Result<QueryAnalysis> Analyze(const query::Query& query,
                                 storage::LayoutPolicy policy) const;
 
+  /// Analyzes every query concurrently (one task per query, each of which
+  /// fans out further). Results arrive in input order; a failed analysis
+  /// occupies its slot as an error Result so callers can report and skip.
+  std::vector<Result<QueryAnalysis>> AnalyzeMany(
+      const std::vector<query::Query>& queries,
+      storage::LayoutPolicy policy) const;
+
   /// Evaluates the worst-case curve from an analysis (pure geometry; no
-  /// further optimizer calls).
+  /// further optimizer calls). Per-rival fractional programs fan out over
+  /// the pool.
   Result<FigureSeries> GtcSeries(const QueryAnalysis& analysis) const;
 
   /// Section 8.2's census of the candidate plan set.
@@ -85,6 +111,8 @@ class FigureRunner {
   const Options& options() const { return options_; }
 
  private:
+  runtime::ThreadPool& pool() const;
+
   const catalog::Catalog& catalog_;
   Options options_;
 };

@@ -1,0 +1,59 @@
+#ifndef COSTSENSE_RUNTIME_METRICS_H_
+#define COSTSENSE_RUNTIME_METRICS_H_
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace costsense::runtime {
+
+/// Wall-clock stopwatch for phase timing in drivers and benches.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Aggregated runtime counters for one driver run: thread-pool activity,
+/// oracle-cache effectiveness, and wall time per phase. Printed by the
+/// figure/table binaries (stderr, to keep figure stdout byte-stable) and
+/// serialized as one JSON line for perf-trajectory tracking.
+struct RuntimeMetrics {
+  size_t threads = 1;
+  size_t tasks_run = 0;
+  size_t queue_high_water = 0;
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+  size_t cache_evictions = 0;
+  /// (phase name, wall milliseconds), in execution order.
+  std::vector<std::pair<std::string, double>> phase_wall_ms;
+
+  double CacheHitRate() const;
+  double TotalWallMs() const;
+
+  /// Human-readable multi-line block.
+  std::string Render() const;
+
+  /// One machine-readable JSON object per line, e.g.
+  ///   {"bench":"fig6_separate_devices","threads":8,"wall_ms":912.4,...}
+  /// `extra` appends numeric fields (name, value) after the fixed ones.
+  std::string ToJsonLine(
+      const std::string& bench_name,
+      const std::vector<std::pair<std::string, double>>& extra = {}) const;
+};
+
+}  // namespace costsense::runtime
+
+#endif  // COSTSENSE_RUNTIME_METRICS_H_

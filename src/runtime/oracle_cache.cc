@@ -1,0 +1,154 @@
+#include "runtime/oracle_cache.h"
+
+#include <algorithm>
+#include <bit>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace costsense::runtime {
+namespace {
+
+using Key = std::vector<uint64_t>;
+
+/// FNV-1a over the quantized coordinates, finished with a splitmix-style
+/// avalanche so the low bits used for shard selection are well mixed.
+uint64_t HashKey(const Key& key) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (uint64_t q : key) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (q >> (byte * 8)) & 0xffULL;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  return h;
+}
+
+struct KeyHash {
+  size_t operator()(const Key& key) const { return HashKey(key); }
+};
+
+size_t RoundUpToPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+uint64_t QuantizeCost(double value, int mantissa_bits) {
+  const uint64_t bits = std::bit_cast<uint64_t>(value);
+  const int drop = 52 - mantissa_bits;
+  if (drop <= 0) return bits;
+  const uint64_t half = uint64_t{1} << (drop - 1);
+  return (bits + half) >> drop;
+}
+
+double DequantizeCost(uint64_t quantized, int mantissa_bits) {
+  const int drop = 52 - mantissa_bits;
+  if (drop <= 0) return std::bit_cast<double>(quantized);
+  return std::bit_cast<double>(quantized << drop);
+}
+
+struct CachingOracle::Shard {
+  std::mutex mu;
+  /// Recency list, most recent at the front; map entries point into it.
+  std::list<Key> lru;
+  struct Entry {
+    core::OracleResult result;
+    std::list<Key>::iterator lru_it;
+  };
+  std::unordered_map<Key, Entry, KeyHash> map;
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t evictions = 0;
+};
+
+CachingOracle::CachingOracle(core::PlanOracle& base,
+                             const OracleCacheOptions& options)
+    : base_(base),
+      options_(options),
+      shard_mask_(RoundUpToPowerOfTwo(options.shards == 0 ? 1 : options.shards) -
+                  1),
+      per_shard_capacity_(
+          std::max<size_t>(1, options.max_entries / (shard_mask_ + 1))) {
+  COSTSENSE_CHECK(options_.mantissa_bits > 0 && options_.mantissa_bits <= 52);
+  shards_.reserve(shard_mask_ + 1);
+  for (size_t i = 0; i <= shard_mask_; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+CachingOracle::~CachingOracle() = default;
+
+core::OracleResult CachingOracle::Optimize(const core::CostVector& c) {
+  Key key;
+  key.reserve(c.size());
+  for (double v : c) key.push_back(QuantizeCost(v, options_.mantissa_bits));
+  Shard& shard = *shards_[HashKey(key) & shard_mask_];
+
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      ++shard.hits;
+      // LRU-ish: refresh recency on hit.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+      return it->second.result;
+    }
+    ++shard.misses;
+  }
+
+  // Compute outside the lock, at the key's canonical point so every thread
+  // that misses on this key produces the identical result.
+  core::CostVector canonical(c.size());
+  for (size_t i = 0; i < key.size(); ++i) {
+    canonical[i] = DequantizeCost(key[i], options_.mantissa_bits);
+  }
+  core::OracleResult result = base_.Optimize(canonical);
+
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [it, inserted] = shard.map.try_emplace(std::move(key));
+  if (inserted) {
+    shard.lru.push_front(it->first);
+    it->second.result = result;
+    it->second.lru_it = shard.lru.begin();
+    if (shard.map.size() > per_shard_capacity_) {
+      const Key& victim = shard.lru.back();
+      shard.map.erase(victim);
+      shard.lru.pop_back();
+      ++shard.evictions;
+    }
+  }
+  // A racing thread may have inserted the same key first; its value is
+  // identical (same canonical point), so the duplicate compute is dropped.
+  return result;
+}
+
+OracleCacheStats CachingOracle::stats() const {
+  OracleCacheStats s;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    s.hits += shard->hits;
+    s.misses += shard->misses;
+    s.evictions += shard->evictions;
+    s.entries += shard->map.size();
+  }
+  return s;
+}
+
+void CachingOracle::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->map.clear();
+    shard->lru.clear();
+  }
+}
+
+}  // namespace costsense::runtime

@@ -1,0 +1,95 @@
+#ifndef COSTSENSE_RUNTIME_ORACLE_CACHE_H_
+#define COSTSENSE_RUNTIME_ORACLE_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/oracle.h"
+
+namespace costsense::runtime {
+
+/// Tuning for CachingOracle.
+struct OracleCacheOptions {
+  /// Number of independently locked shards (rounded up to a power of two).
+  /// Probes hash-distribute across shards, so concurrent sweeps rarely
+  /// contend on the same mutex.
+  size_t shards = 16;
+  /// Total entry bound across all shards; each shard evicts its least
+  /// recently used entry once it exceeds max_entries / shards.
+  size_t max_entries = 1 << 16;
+  /// Mantissa bits retained when quantizing each cost coordinate for the
+  /// cache key (52 = exact doubles). The default 40 bits (~12 significant
+  /// decimal digits) merges probe points that differ only by float round-off
+  /// — e.g. a box center recomputed as sqrt((c/d)*(c*d)) versus the
+  /// baseline c itself.
+  int mantissa_bits = 40;
+};
+
+/// Hit/miss/eviction counters for a CachingOracle.
+struct OracleCacheStats {
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t evictions = 0;
+  /// Entries currently resident across all shards.
+  size_t entries = 0;
+  double hit_rate() const {
+    const size_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// Quantizes a cost coordinate to `mantissa_bits` of mantissa, rounding to
+/// nearest (the carry into the exponent field is exactly binade rounding
+/// for finite IEEE doubles). Exposed for tests.
+uint64_t QuantizeCost(double value, int mantissa_bits);
+
+/// The canonical representative of QuantizeCost's bucket (the unique
+/// member whose dropped mantissa bits are zero). The cache evaluates the
+/// base oracle at this point, so all vectors sharing a key share one
+/// result — which is what makes concurrent misses benign: whichever
+/// thread computes first stores the same value any loser would.
+double DequantizeCost(uint64_t quantized, int mantissa_bits);
+
+/// A sharded, memoizing, thread-safe PlanOracle decorator.
+///
+/// Wraps any PlanOracle behind the same narrow interface and memoizes
+/// Optimize() by a hash of the quantized cost vector, so vertex sweeps,
+/// segment bisection and completeness probing never pay for the same
+/// optimizer invocation twice — serially or across threads. The base
+/// oracle is invoked outside the shard lock (optimizer calls are the
+/// expensive part) and must itself be safe to call concurrently when the
+/// cache is shared across threads (blackbox::NarrowOptimizer qualifies).
+///
+/// Lookups are exact on the quantized key: colliding hashes compare full
+/// keys, so two genuinely different cost vectors never alias. Results are
+/// computed at the key's canonical (dequantized) point, which keeps runs
+/// bit-identical regardless of thread count and probe order.
+class CachingOracle : public core::PlanOracle {
+ public:
+  /// `base` is not owned and must outlive this.
+  explicit CachingOracle(core::PlanOracle& base,
+                         const OracleCacheOptions& options = {});
+  ~CachingOracle() override;
+
+  core::OracleResult Optimize(const core::CostVector& c) override;
+  size_t dims() const override { return base_.dims(); }
+
+  OracleCacheStats stats() const;
+
+  /// Drops every entry (counters are preserved).
+  void Clear();
+
+ private:
+  struct Shard;
+
+  core::PlanOracle& base_;
+  const OracleCacheOptions options_;
+  const size_t shard_mask_;
+  const size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace costsense::runtime
+
+#endif  // COSTSENSE_RUNTIME_ORACLE_CACHE_H_

@@ -1,0 +1,163 @@
+#include "runtime/thread_pool.h"
+
+#include <cstdlib>
+#include <memory>
+
+#include "common/macros.h"
+
+namespace costsense::runtime {
+
+size_t ConfiguredThreadCount() {
+  const char* v = std::getenv("COSTSENSE_THREADS");
+  if (v != nullptr && v[0] != '\0') {
+    char* end = nullptr;
+    const long parsed = std::strtol(v, &end, 10);
+    if (end != nullptr && *end == '\0' && parsed >= 1) {
+      return static_cast<size_t>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+ThreadPool::ThreadPool(size_t num_threads)
+    : num_threads_(num_threads == 0 ? ConfiguredThreadCount() : num_threads) {
+  workers_.reserve(num_threads_ - 1);
+  for (size_t i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+PoolStats ThreadPool::stats() const {
+  PoolStats s;
+  s.threads = num_threads_;
+  s.tasks_run = tasks_run_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.queue_high_water = queue_high_water_;
+  }
+  return s;
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    tasks_run_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    COSTSENSE_CHECK_MSG(!stop_, "Submit on a stopped ThreadPool");
+    queue_.push_back(std::move(task));
+    if (queue_.size() > queue_high_water_) queue_high_water_ = queue_.size();
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    tasks_run_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Status ThreadPool::ParallelFor(size_t n,
+                               const std::function<Status(size_t)>& body) {
+  if (n == 0) return Status::Ok();
+  if (num_threads_ <= 1 || n == 1) {
+    Status first;
+    for (size_t i = 0; i < n; ++i) {
+      Status st = body(i);
+      if (!st.ok() && first.ok()) first = std::move(st);
+    }
+    return first;
+  }
+
+  // Shared loop state. Workers and the caller race on `next` to claim
+  // iterations; `done` counts completed ones. The state is heap-held so a
+  // helper task that starts after the loop has finished (every iteration
+  // already claimed) can still read `next`, see it exhausted, and exit
+  // without touching the caller's dead stack frame.
+  struct LoopState {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t error_index;
+    Status error;
+    size_t n;
+    const std::function<Status(size_t)>* body;
+  };
+  auto state = std::make_shared<LoopState>();
+  state->error_index = n;
+  state->n = n;
+  state->body = &body;
+
+  auto drive = [](const std::shared_ptr<LoopState>& s) {
+    for (;;) {
+      const size_t i = s->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= s->n) return;
+      Status st = (*s->body)(i);
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        if (i < s->error_index) {
+          s->error_index = i;
+          s->error = std::move(st);
+        }
+      }
+      if (s->done.fetch_add(1, std::memory_order_acq_rel) + 1 == s->n) {
+        // Lock before notifying so the caller cannot miss the wakeup
+        // between its predicate check and its wait.
+        std::lock_guard<std::mutex> lock(s->mu);
+        s->cv.notify_all();
+      }
+    }
+  };
+
+  const size_t helpers = std::min(num_threads_ - 1, n - 1);
+  for (size_t h = 0; h < helpers; ++h) {
+    Submit([state, drive] { drive(state); });
+  }
+  drive(state);  // the caller is a full participant: nested-safe
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) >= n;
+  });
+  return state->error_index == n ? Status::Ok() : std::move(state->error);
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool(ConfiguredThreadCount());
+  return *pool;
+}
+
+Status ForEachIndex(ThreadPool* pool, size_t n,
+                    const std::function<Status(size_t)>& body) {
+  if (pool != nullptr) return pool->ParallelFor(n, body);
+  Status first;
+  for (size_t i = 0; i < n; ++i) {
+    Status st = body(i);
+    if (!st.ok() && first.ok()) first = std::move(st);
+  }
+  return first;
+}
+
+}  // namespace costsense::runtime

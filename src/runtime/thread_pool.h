@@ -1,0 +1,112 @@
+#ifndef COSTSENSE_RUNTIME_THREAD_POOL_H_
+#define COSTSENSE_RUNTIME_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace costsense::runtime {
+
+/// Concurrency level requested via the COSTSENSE_THREADS environment
+/// variable, or std::thread::hardware_concurrency() when unset/invalid.
+/// A value of 1 recovers the fully serial execution path.
+size_t ConfiguredThreadCount();
+
+/// Counters exported by a ThreadPool (see RuntimeMetrics for the rendered
+/// form). Snapshots are consistent but not atomic across fields.
+struct PoolStats {
+  /// Concurrency level (worker threads + the participating caller).
+  size_t threads = 1;
+  /// Tasks executed by worker threads since construction.
+  size_t tasks_run = 0;
+  /// High-water mark of the pending-task queue depth.
+  size_t queue_high_water = 0;
+};
+
+/// A fixed-size thread pool with a work queue and fork-join helpers.
+///
+/// ParallelFor/ParallelMap use a caller-participates design: the calling
+/// thread claims and executes loop iterations alongside the workers, so a
+/// nested ParallelFor issued from inside a task always makes progress even
+/// when every worker is busy — saturation degrades to inline execution
+/// instead of deadlocking.
+///
+/// Loop bodies must not throw (the repo-wide no-exceptions convention);
+/// fallible bodies report through the returned Status.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers (the caller is the remaining lane).
+  /// 0 means ConfiguredThreadCount(); 1 spawns no workers and runs all
+  /// helpers inline, byte-identical to the pre-pool serial code path.
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return num_threads_; }
+  PoolStats stats() const;
+
+  /// Enqueues a task for a worker. With num_threads() == 1 there are no
+  /// workers and the task runs inline before Submit returns.
+  void Submit(std::function<void()> task);
+
+  /// Runs body(i) for every i in [0, n), fanning out over the pool. All
+  /// iterations execute even if some fail; the returned Status is OK or
+  /// the failure with the smallest index (deterministic regardless of
+  /// thread count or scheduling).
+  Status ParallelFor(size_t n, const std::function<Status(size_t)>& body);
+
+  /// Maps fn(i, items[i]) over `items` concurrently and returns the
+  /// results in input order. fn must be copyable and is invoked exactly
+  /// once per item.
+  template <typename T, typename Fn>
+  auto ParallelMap(const std::vector<T>& items, Fn fn)
+      -> std::vector<std::decay_t<decltype(fn(size_t{0}, items[0]))>> {
+    using R = std::decay_t<decltype(fn(size_t{0}, items[0]))>;
+    std::vector<std::optional<R>> slots(items.size());
+    ParallelFor(items.size(), [&](size_t i) {
+      slots[i].emplace(fn(i, items[i]));
+      return Status::Ok();
+    });
+    std::vector<R> out;
+    out.reserve(items.size());
+    for (auto& slot : slots) out.push_back(std::move(*slot));
+    return out;
+  }
+
+  /// Process-wide pool sized by ConfiguredThreadCount(); constructed on
+  /// first use and intentionally leaked (workers outlive static teardown).
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  const size_t num_threads_;
+  mutable std::mutex mu_;  // guards queue_/stop_/queue_high_water_
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  size_t queue_high_water_ = 0;
+  std::atomic<size_t> tasks_run_{0};
+  std::vector<std::thread> workers_;
+};
+
+/// Runs body(i) for i in [0, n) on `pool` when non-null, inline otherwise.
+/// The serial path keeps ParallelFor's all-iterations/lowest-index-error
+/// semantics, so callers behave identically with and without a pool.
+Status ForEachIndex(ThreadPool* pool, size_t n,
+                    const std::function<Status(size_t)>& body);
+
+}  // namespace costsense::runtime
+
+#endif  // COSTSENSE_RUNTIME_THREAD_POOL_H_

@@ -75,6 +75,54 @@ TEST(RngTest, IndexBounded) {
   for (int c : counts) EXPECT_GT(c, 800);  // roughly uniform
 }
 
+TEST(RngTest, ForkIsDeterministic) {
+  // Same parent state + same stream id => identical child streams, no
+  // matter which thread does the forking.
+  const Rng parent(42);
+  Rng a = parent.Fork(5);
+  Rng b = parent.Fork(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, ForkStreamsDiverge) {
+  const Rng parent(42);
+  Rng a = parent.Fork(1);
+  Rng b = parent.Fork(2);
+  Rng c = parent.Fork(0x9e3779b97f4a7c15ULL);
+  int same_ab = 0, same_ap = 0;
+  Rng p(42);
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t av = a.Next();
+    if (av == b.Next()) ++same_ab;
+    if (av == p.Next()) ++same_ap;
+    (void)c.Next();
+  }
+  EXPECT_LT(same_ab, 3);  // children differ from each other
+  EXPECT_LT(same_ap, 3);  // and from the parent's own stream
+}
+
+TEST(RngTest, ForkDoesNotAdvanceParent) {
+  Rng forked(42);
+  (void)forked.Fork(1);
+  (void)forked.Fork(2);
+  Rng pristine(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(forked.Next(), pristine.Next());
+}
+
+TEST(RngTest, ForkDependsOnParentState) {
+  // Advancing the parent changes what its forks produce: stream identity
+  // is (parent state, stream id), not just the id.
+  Rng p1(42), p2(42);
+  (void)p2.Next();
+  Rng a = p1.Fork(9);
+  Rng b = p2.Fork(9);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
 TEST(RngTest, ShufflePreservesElements) {
   Rng rng(7);
   std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};

@@ -1,6 +1,7 @@
 #ifndef COSTSENSE_TESTS_CORE_FAKE_ORACLE_H_
 #define COSTSENSE_TESTS_CORE_FAKE_ORACLE_H_
 
+#include <atomic>
 #include <vector>
 
 #include "core/oracle.h"
@@ -16,7 +17,7 @@ class FakeOracle : public PlanOracle {
       : plans_(std::move(plans)), white_box_(white_box) {}
 
   OracleResult Optimize(const CostVector& c) override {
-    ++calls_;
+    calls_.fetch_add(1, std::memory_order_relaxed);
     size_t best = 0;
     double best_cost = TotalCost(plans_[0].usage, c);
     for (size_t i = 1; i < plans_.size(); ++i) {
@@ -34,12 +35,12 @@ class FakeOracle : public PlanOracle {
   }
 
   size_t dims() const override { return plans_[0].usage.size(); }
-  size_t calls() const { return calls_; }
+  size_t calls() const { return calls_.load(std::memory_order_relaxed); }
 
  private:
   std::vector<PlanUsage> plans_;
   bool white_box_;
-  size_t calls_ = 0;
+  std::atomic<size_t> calls_{0};  // atomic: probes may run on a pool
 };
 
 }  // namespace costsense::core

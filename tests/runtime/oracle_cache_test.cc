@@ -1,0 +1,176 @@
+// Tests of the sharded memoizing oracle cache: hit/miss accounting,
+// quantized-key merging, the bounded-eviction guarantee, LRU recency, and
+// correctness under concurrent hammering from a thread pool.
+#include "runtime/oracle_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "runtime/thread_pool.h"
+#include "tests/core/fake_oracle.h"
+
+namespace costsense::runtime {
+namespace {
+
+std::vector<core::PlanUsage> TwoPlans() {
+  // Plan a is cheap when dim 0 is cheap; plan b when dim 1 is cheap.
+  return {{"a", core::UsageVector{1.0, 10.0}},
+          {"b", core::UsageVector{10.0, 1.0}}};
+}
+
+TEST(QuantizeCostTest, RoundTripsAndMerges) {
+  for (double v : {1.0, 3.14159, 1e-12, 7.5e18, 123456.789}) {
+    const uint64_t q = QuantizeCost(v, 40);
+    const double canonical = DequantizeCost(q, 40);
+    // The canonical point is within half an ulp-at-40-bits of v...
+    EXPECT_NEAR(canonical, v, v * 1e-11);
+    // ...and is a fixed point: quantizing it returns the same key.
+    EXPECT_EQ(QuantizeCost(canonical, 40), q);
+  }
+  // Values differing only by float round-off share a key at 40 bits.
+  const double c = 0.1 + 0.2;  // 0.30000000000000004...
+  EXPECT_EQ(QuantizeCost(c, 40), QuantizeCost(0.3, 40));
+  // Genuinely different values do not.
+  EXPECT_NE(QuantizeCost(1.0, 40), QuantizeCost(1.0 + 1e-9, 40));
+  // Full mantissa keeps exact doubles distinct.
+  EXPECT_NE(QuantizeCost(c, 52), QuantizeCost(0.3, 52));
+}
+
+TEST(CachingOracleTest, HitsAndMisses) {
+  core::FakeOracle base(TwoPlans(), /*white_box=*/true);
+  CachingOracle cache(base);
+  EXPECT_EQ(cache.dims(), 2u);
+
+  const core::CostVector p1{1.0, 1.0};
+  const core::CostVector p2{5.0, 1.0};
+  const auto r1 = cache.Optimize(p1);
+  const auto r1_again = cache.Optimize(p1);
+  cache.Optimize(p2);
+  cache.Optimize(p2);
+  cache.Optimize(p1);
+
+  EXPECT_EQ(base.calls(), 2u);  // one per distinct point
+  const OracleCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 3.0 / 5.0);
+
+  // Cached results are the base oracle's results, usage included.
+  EXPECT_EQ(r1.plan_id, r1_again.plan_id);
+  EXPECT_EQ(r1.total_cost, r1_again.total_cost);
+  ASSERT_TRUE(r1_again.usage.has_value());
+}
+
+TEST(CachingOracleTest, QuantizationMergesRoundOffTwins) {
+  core::FakeOracle base(TwoPlans(), /*white_box=*/true);
+  CachingOracle cache(base);
+  const auto r1 = cache.Optimize({0.3, 1.0});
+  const auto r2 = cache.Optimize({0.1 + 0.2, 1.0});
+  EXPECT_EQ(base.calls(), 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  // Bit-identical: both callers get the canonical point's result.
+  EXPECT_EQ(r1.total_cost, r2.total_cost);
+  EXPECT_EQ(r1.plan_id, r2.plan_id);
+}
+
+TEST(CachingOracleTest, EvictionKeepsEntriesBounded) {
+  core::FakeOracle base(TwoPlans(), /*white_box=*/false);
+  OracleCacheOptions options;
+  options.shards = 1;
+  options.max_entries = 8;
+  CachingOracle cache(base, options);
+  for (int i = 0; i < 100; ++i) {
+    cache.Optimize({1.0 + i, 1.0});
+  }
+  const OracleCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 100u);
+  EXPECT_LE(stats.entries, 8u);
+  EXPECT_GE(stats.evictions, 92u);
+}
+
+TEST(CachingOracleTest, EvictsLeastRecentlyUsed) {
+  core::FakeOracle base(TwoPlans(), /*white_box=*/false);
+  OracleCacheOptions options;
+  options.shards = 1;
+  options.max_entries = 2;
+  CachingOracle cache(base, options);
+
+  const core::CostVector a{1.0, 1.0}, b{2.0, 1.0}, c{3.0, 1.0};
+  cache.Optimize(a);  // miss: {a}
+  cache.Optimize(b);  // miss: {a, b}
+  cache.Optimize(a);  // hit: a is now most recent
+  cache.Optimize(c);  // miss: evicts b, keeps a
+  EXPECT_EQ(base.calls(), 3u);
+
+  cache.Optimize(a);  // still cached
+  EXPECT_EQ(base.calls(), 3u);
+  cache.Optimize(b);  // was evicted: recomputes
+  EXPECT_EQ(base.calls(), 4u);
+}
+
+TEST(CachingOracleTest, ClearDropsEntriesKeepsCounters) {
+  core::FakeOracle base(TwoPlans(), /*white_box=*/false);
+  CachingOracle cache(base);
+  cache.Optimize({1.0, 1.0});
+  cache.Optimize({1.0, 1.0});
+  cache.Clear();
+  OracleCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.hits, 1u);
+  cache.Optimize({1.0, 1.0});
+  EXPECT_EQ(base.calls(), 2u);  // recomputed after Clear
+}
+
+TEST(CachingOracleTest, ConcurrentHammerIsCorrectAndBounded) {
+  // Many threads hit a small point set through every shard; results must
+  // match an uncached oracle and the entry bound must hold throughout.
+  const auto plans = TwoPlans();
+  core::FakeOracle base(plans, /*white_box=*/true);
+  core::FakeOracle reference(plans, /*white_box=*/true);
+  OracleCacheOptions options;
+  options.shards = 4;
+  options.max_entries = 64;
+  CachingOracle cache(base, options);
+
+  std::vector<core::CostVector> points;
+  Rng rng(123);
+  for (int i = 0; i < 32; ++i) {
+    points.push_back({rng.LogUniform(0.1, 10.0), rng.LogUniform(0.1, 10.0)});
+  }
+
+  ThreadPool pool(8);
+  const size_t rounds = 2000;
+  const Status s = pool.ParallelFor(rounds, [&](size_t i) -> Status {
+    const core::CostVector& p = points[i % points.size()];
+    const core::OracleResult got = cache.Optimize(p);
+    // Compare against the canonical-point result the cache promises.
+    core::CostVector canonical(p.size());
+    for (size_t d = 0; d < p.size(); ++d) {
+      canonical[d] =
+          DequantizeCost(QuantizeCost(p[d], options.mantissa_bits),
+                         options.mantissa_bits);
+    }
+    const core::OracleResult want = reference.Optimize(canonical);
+    if (got.plan_id != want.plan_id || got.total_cost != want.total_cost) {
+      return Status::Internal("cache returned a wrong result");
+    }
+    return Status::Ok();
+  });
+  EXPECT_TRUE(s.ok()) << s.ToString();
+
+  const OracleCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, rounds);
+  EXPECT_LE(stats.entries, options.max_entries);
+  // 32 distinct points over 2000 probes: the cache must absorb nearly
+  // everything (racing first-misses may duplicate a handful of computes).
+  EXPECT_GT(stats.hit_rate(), 0.9);
+  EXPECT_LE(base.calls(), 32u * 8u);
+}
+
+}  // namespace
+}  // namespace costsense::runtime

@@ -1,0 +1,170 @@
+// Tests of the fixed-size thread pool: startup/shutdown, fork-join
+// correctness, deterministic Status propagation, and the nested-loop
+// no-deadlock guarantee the discovery driver depends on.
+#include "runtime/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace costsense::runtime {
+namespace {
+
+TEST(ConfiguredThreadCountTest, ReadsEnvironment) {
+  ::setenv("COSTSENSE_THREADS", "3", 1);
+  EXPECT_EQ(ConfiguredThreadCount(), 3u);
+  ::setenv("COSTSENSE_THREADS", "1", 1);
+  EXPECT_EQ(ConfiguredThreadCount(), 1u);
+  // Unset or garbage falls back to hardware concurrency (>= 1).
+  ::setenv("COSTSENSE_THREADS", "banana", 1);
+  EXPECT_GE(ConfiguredThreadCount(), 1u);
+  ::unsetenv("COSTSENSE_THREADS");
+  EXPECT_GE(ConfiguredThreadCount(), 1u);
+}
+
+TEST(ThreadPoolTest, StartupAndShutdownAcrossSizes) {
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.num_threads(), threads);
+    // Destruction with an idle queue must not hang (checked by exiting
+    // the loop body).
+  }
+}
+
+TEST(ThreadPoolTest, SubmitDrainsOnDestruction) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  bool ran = false;
+  pool.Submit([&ran] { ran = true; });
+  EXPECT_TRUE(ran);  // no workers: Submit runs the task before returning
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    const size_t n = 1000;
+    std::vector<std::atomic<int>> seen(n);
+    const Status s = pool.ParallelFor(n, [&](size_t i) {
+      seen[i].fetch_add(1);
+      return Status::Ok();
+    });
+    EXPECT_TRUE(s.ok());
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(seen[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroAndOne) {
+  ThreadPool pool(4);
+  EXPECT_TRUE(pool.ParallelFor(0, [](size_t) { return Status::Ok(); }).ok());
+  int runs = 0;
+  EXPECT_TRUE(pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++runs;
+    return Status::Ok();
+  }).ok());
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(ThreadPoolTest, StatusPropagatesLowestFailingIndex) {
+  // All iterations run even when some fail, and the reported error is the
+  // one with the smallest index — deterministic for any schedule.
+  for (size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    const size_t n = 500;
+    std::atomic<size_t> executed{0};
+    const Status s = pool.ParallelFor(n, [&](size_t i) -> Status {
+      executed.fetch_add(1);
+      if (i == 7 || i == 3 || i == 400) {
+        return Status::Internal("boom at " + std::to_string(i));
+      }
+      return Status::Ok();
+    });
+    EXPECT_EQ(executed.load(), n);
+    ASSERT_FALSE(s.ok());
+    EXPECT_NE(s.message().find("boom at 3"), std::string::npos)
+        << s.ToString();
+  }
+}
+
+TEST(ThreadPoolTest, ParallelMapPreservesInputOrder) {
+  ThreadPool pool(4);
+  std::vector<int> items;
+  for (int i = 0; i < 300; ++i) items.push_back(i);
+  const std::vector<long> out =
+      pool.ParallelMap(items, [](size_t i, int v) -> long {
+        EXPECT_EQ(static_cast<int>(i), v);
+        return static_cast<long>(v) * v;
+      });
+  ASSERT_EQ(out.size(), items.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<long>(i) * static_cast<long>(i));
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // The discovery driver nests loops (queries -> probes -> extraction);
+  // caller participation means a saturated pool degrades to inline
+  // execution instead of deadlocking.
+  ThreadPool pool(4);
+  std::atomic<size_t> inner_total{0};
+  const Status s = pool.ParallelFor(16, [&](size_t) {
+    return pool.ParallelFor(16, [&](size_t) {
+      inner_total.fetch_add(1);
+      return Status::Ok();
+    });
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(inner_total.load(), 16u * 16u);
+}
+
+TEST(ThreadPoolTest, StatsCountWork) {
+  ThreadPool pool(4);
+  (void)pool.ParallelFor(64, [](size_t) { return Status::Ok(); });
+  EXPECT_EQ(pool.stats().threads, 4u);
+  // ParallelFor may complete through the caller's lane before any worker
+  // pops its helper task, but submitted helpers always run eventually.
+  PoolStats stats = pool.stats();
+  for (int i = 0; i < 5000 && stats.tasks_run == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    stats = pool.stats();
+  }
+  EXPECT_GT(stats.tasks_run, 0u);
+}
+
+TEST(ForEachIndexTest, NullPoolRunsSerially) {
+  std::vector<int> seen(10, 0);
+  const Status ok = ForEachIndex(nullptr, 10, [&](size_t i) {
+    seen[i] += 1;
+    return Status::Ok();
+  });
+  EXPECT_TRUE(ok.ok());
+  for (int v : seen) EXPECT_EQ(v, 1);
+
+  // Same lowest-index-error, all-iterations semantics as the pool path.
+  int executed = 0;
+  const Status err = ForEachIndex(nullptr, 10, [&](size_t i) -> Status {
+    ++executed;
+    if (i == 6 || i == 2) return Status::Internal("x" + std::to_string(i));
+    return Status::Ok();
+  });
+  EXPECT_EQ(executed, 10);
+  ASSERT_FALSE(err.ok());
+  EXPECT_NE(err.message().find("x2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace costsense::runtime
