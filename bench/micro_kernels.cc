@@ -1,0 +1,244 @@
+// Microbenchmark for the batched plan-cost kernel layer: scalar vs
+// incremental (Gray-code) vertex sweeps across an (n x d) grid, and
+// naive vs sum-prescreened dominance filtering. Every timed pair is also
+// checked for result equality — a mismatch is a hard failure, since the
+// kernels promise byte-identical answers.
+//
+// Output: a human-readable table on stdout, plus one JSON line per grid
+// point on stderr (and appended to $COSTSENSE_BENCH_JSON when set).
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "core/dominance.h"
+#include "core/plan_matrix.h"
+#include "core/worst_case.h"
+#include "runtime/metrics.h"
+
+namespace costsense {
+namespace {
+
+using core::Box;
+using core::CostVector;
+using core::PlanUsage;
+using core::SweepKernel;
+using core::UsageVector;
+using core::WorstCaseResult;
+
+std::vector<PlanUsage> RandomPlans(Rng& rng, size_t dims, size_t count) {
+  std::vector<PlanUsage> plans;
+  for (size_t p = 0; p < count; ++p) {
+    UsageVector u(dims);
+    for (size_t i = 0; i < dims; ++i) {
+      u[i] = rng.Uniform() < 0.2 ? 0.0 : rng.LogUniform(1.0, 1e4);
+    }
+    if (u.Sum() == 0.0) u[0] = 1.0;
+    plans.push_back({"p" + std::to_string(p), std::move(u)});
+  }
+  return plans;
+}
+
+Box RandomBox(Rng& rng, size_t dims) {
+  CostVector base(dims);
+  for (size_t i = 0; i < dims; ++i) base[i] = rng.LogUniform(0.01, 10.0);
+  return Box::MultiplicativeBand(base, 100.0);
+}
+
+bool SameResult(const WorstCaseResult& a, const WorstCaseResult& b) {
+  return a.gtc == b.gtc && a.worst_costs == b.worst_costs &&
+         a.worst_rival == b.worst_rival &&
+         a.degenerate_vertices == b.degenerate_vertices;
+}
+
+/// Times `reps` runs of the sweep under `kernel` and returns total ms.
+double TimeSweep(const UsageVector& initial, const core::PlanMatrix& matrix,
+                 const Box& box, SweepKernel kernel, int reps,
+                 WorstCaseResult* out) {
+  runtime::WallTimer timer;
+  for (int r = 0; r < reps; ++r) {
+    *out = core::WorstCaseOverPlanMatrix(initial, matrix, box, kernel);
+  }
+  return timer.ElapsedMs();
+}
+
+int RunSweepGrid() {
+  struct GridPoint {
+    size_t dims;
+    size_t plans;
+  };
+  const std::vector<GridPoint> grid = {{8, 32}, {12, 64}, {12, 128}, {16, 64}};
+  const bool quick = std::getenv("COSTSENSE_QUICK") != nullptr;
+
+  std::printf("batched vertex-sweep kernels: scalar vs incremental\n");
+  std::printf("%6s %6s %10s %12s %14s %9s\n", "dims", "plans", "vertices",
+              "scalar_ms", "incremental_ms", "speedup");
+  int failures = 0;
+  for (const GridPoint& g : grid) {
+    if (quick && g.dims > 12) continue;
+    Rng rng(0xbe9c0000 + g.dims * 131 + g.plans);
+    const auto plans = RandomPlans(rng, g.dims, g.plans);
+    const core::PlanMatrix matrix(plans);
+    const Box box = RandomBox(rng, g.dims);
+    const UsageVector& initial = plans[0].usage;
+
+    // Calibrate rep count so each side runs a few hundred ms even on the
+    // small grid points.
+    WorstCaseResult scalar_result;
+    WorstCaseResult incremental_result;
+    const double probe_ms = TimeSweep(initial, matrix, box,
+                                      SweepKernel::kScalar, 1, &scalar_result);
+    const int reps =
+        std::max(1, static_cast<int>((quick ? 50.0 : 300.0) / (probe_ms + 0.01)));
+
+    const double scalar_ms = TimeSweep(initial, matrix, box,
+                                       SweepKernel::kScalar, reps,
+                                       &scalar_result);
+    const double incremental_ms =
+        TimeSweep(initial, matrix, box, SweepKernel::kIncremental, reps,
+                  &incremental_result);
+    if (!SameResult(scalar_result, incremental_result)) {
+      std::fprintf(stderr,
+                   "FAIL: kernels disagree at dims=%zu plans=%zu "
+                   "(scalar gtc=%.17g incremental gtc=%.17g)\n",
+                   g.dims, g.plans, scalar_result.gtc, incremental_result.gtc);
+      ++failures;
+      continue;
+    }
+    const double speedup = scalar_ms / incremental_ms;
+    std::printf("%6zu %6zu %10" PRIu64 " %12.2f %14.2f %8.2fx\n", g.dims,
+                g.plans, box.VertexCount(), scalar_ms, incremental_ms,
+                speedup);
+
+    runtime::RuntimeMetrics metrics;
+    metrics.phase_wall_ms.emplace_back("scalar", scalar_ms);
+    metrics.phase_wall_ms.emplace_back("incremental", incremental_ms);
+    metrics.degenerate_vertices =
+        scalar_result.degenerate_vertices * static_cast<size_t>(reps);
+    bench::EmitBenchJson("micro_kernels_sweep", metrics,
+                         {{"dims", static_cast<double>(g.dims)},
+                          {"plans", static_cast<double>(g.plans)},
+                          {"reps", static_cast<double>(reps)},
+                          {"scalar_ms", scalar_ms},
+                          {"incremental_ms", incremental_ms},
+                          {"speedup", speedup}});
+  }
+  return failures;
+}
+
+bool SameSurvivors(const std::vector<PlanUsage>& a,
+                   const std::vector<PlanUsage>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].plan_id != b[i].plan_id || !(a[i].usage == b[i].usage)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The pre-prescreen all-pairs dominance filter, kept here as the timing
+/// baseline (and correctness reference) for FilterDominated.
+std::vector<PlanUsage> NaiveFilterDominated(std::vector<PlanUsage> plans,
+                                            double tol) {
+  std::vector<bool> keep(plans.size(), true);
+  for (size_t i = 0; i < plans.size(); ++i) {
+    for (size_t j = 0; j < plans.size() && keep[i]; ++j) {
+      if (i == j) continue;
+      if (core::Dominates(plans[j].usage, plans[i].usage, tol)) {
+        keep[i] = false;
+      }
+      if (j < i && linalg::ApproxEqual(plans[j].usage, plans[i].usage, tol)) {
+        keep[i] = false;
+      }
+    }
+  }
+  std::vector<PlanUsage> out;
+  for (size_t i = 0; i < plans.size(); ++i) {
+    if (keep[i]) out.push_back(std::move(plans[i]));
+  }
+  return out;
+}
+
+int RunDominanceGrid() {
+  const bool quick = std::getenv("COSTSENSE_QUICK") != nullptr;
+  const std::vector<size_t> sizes = quick ? std::vector<size_t>{256}
+                                          : std::vector<size_t>{256, 1024};
+  constexpr size_t kDims = 16;
+
+  std::printf("\ndominance filter: naive all-pairs vs sum prescreen\n");
+  std::printf("%6s %6s %10s %13s %9s %10s\n", "dims", "plans", "naive_ms",
+              "prescreen_ms", "speedup", "survivors");
+  int failures = 0;
+  for (size_t n : sizes) {
+    Rng rng(0xd03u + n);
+    auto plans = RandomPlans(rng, kDims, n);
+    // Mix in structure the filter can exploit: duplicates and dominated
+    // variants of existing plans (discovery output looks like this).
+    const size_t extras = n / 4;
+    for (size_t k = 0; k < extras; ++k) {
+      PlanUsage copy = plans[rng.Index(n)];
+      copy.plan_id += "_v" + std::to_string(k);
+      if (rng.Uniform() < 0.5) {
+        copy.usage[rng.Index(kDims)] += rng.LogUniform(1.0, 100.0);
+      }
+      plans.push_back(std::move(copy));
+    }
+
+    const int reps = quick ? 3 : 10;
+    runtime::WallTimer timer;
+    std::vector<PlanUsage> naive;
+    for (int r = 0; r < reps; ++r) {
+      naive = NaiveFilterDominated(plans, 1e-9);
+    }
+    const double naive_ms = timer.ElapsedMs();
+    timer.Restart();
+    std::vector<PlanUsage> screened;
+    for (int r = 0; r < reps; ++r) {
+      screened = core::FilterDominated(plans, 1e-9);
+    }
+    const double prescreen_ms = timer.ElapsedMs();
+    if (!SameSurvivors(naive, screened)) {
+      std::fprintf(stderr,
+                   "FAIL: dominance survivor sets differ at n=%zu "
+                   "(naive=%zu prescreen=%zu)\n",
+                   plans.size(), naive.size(), screened.size());
+      ++failures;
+      continue;
+    }
+    const double speedup = naive_ms / prescreen_ms;
+    std::printf("%6zu %6zu %10.2f %13.2f %8.2fx %10zu\n", kDims, plans.size(),
+                naive_ms, prescreen_ms, speedup, screened.size());
+
+    runtime::RuntimeMetrics metrics;
+    metrics.phase_wall_ms.emplace_back("naive", naive_ms);
+    metrics.phase_wall_ms.emplace_back("prescreen", prescreen_ms);
+    bench::EmitBenchJson("micro_kernels_dominance", metrics,
+                         {{"dims", static_cast<double>(kDims)},
+                          {"plans", static_cast<double>(plans.size())},
+                          {"reps", static_cast<double>(reps)},
+                          {"naive_ms", naive_ms},
+                          {"prescreen_ms", prescreen_ms},
+                          {"speedup", speedup},
+                          {"survivors", static_cast<double>(screened.size())}});
+  }
+  return failures;
+}
+
+}  // namespace
+}  // namespace costsense
+
+int main() {
+  int failures = costsense::RunSweepGrid();
+  failures += costsense::RunDominanceGrid();
+  if (failures > 0) {
+    std::fprintf(stderr, "micro_kernels: %d equivalence failure(s)\n",
+                 failures);
+    return 1;
+  }
+  return 0;
+}

@@ -118,13 +118,15 @@ class Discoverer {
     if (box_.dims() <= options_.full_vertex_sweep_max_dims) {
       const uint64_t n = box_.VertexCount();
       for (uint64_t mask = 0; mask < n; ++mask) {
-        points.push_back(box_.Vertex(mask));
+        points.emplace_back(box_.dims());
+        box_.VertexInto(mask, points.back());
       }
     } else {
       for (size_t k = 0; k < options_.sampled_vertices; ++k) {
         uint64_t mask = rng_.Next();
         if (box_.dims() < 64) mask &= (uint64_t{1} << box_.dims()) - 1;
-        points.push_back(box_.Vertex(mask));
+        points.emplace_back(box_.dims());
+        box_.VertexInto(mask, points.back());
       }
     }
     for (size_t k = 0; k < options_.random_samples; ++k) {

@@ -33,10 +33,15 @@ uint64_t Box::VertexCount() const {
 
 CostVector Box::Vertex(uint64_t mask) const {
   CostVector v(dims());
-  for (size_t i = 0; i < dims(); ++i) {
-    v[i] = (mask >> i) & 1 ? upper_[i] : lower_[i];
-  }
+  VertexInto(mask, v);
   return v;
+}
+
+void Box::VertexInto(uint64_t mask, CostVector& out) const {
+  COSTSENSE_CHECK(out.size() == dims());
+  for (size_t i = 0; i < dims(); ++i) {
+    out[i] = (mask >> i) & 1 ? upper_[i] : lower_[i];
+  }
 }
 
 CostVector Box::Center() const {
@@ -58,11 +63,16 @@ bool Box::Contains(const CostVector& c, double tol) const {
 
 CostVector Box::SampleLogUniform(Rng& rng) const {
   CostVector v(dims());
-  for (size_t i = 0; i < dims(); ++i) {
-    v[i] = (lower_[i] == upper_[i]) ? lower_[i]
-                                    : rng.LogUniform(lower_[i], upper_[i]);
-  }
+  SampleLogUniformInto(rng, v);
   return v;
+}
+
+void Box::SampleLogUniformInto(Rng& rng, CostVector& out) const {
+  COSTSENSE_CHECK(out.size() == dims());
+  for (size_t i = 0; i < dims(); ++i) {
+    out[i] = (lower_[i] == upper_[i]) ? lower_[i]
+                                      : rng.LogUniform(lower_[i], upper_[i]);
+  }
 }
 
 }  // namespace costsense::core

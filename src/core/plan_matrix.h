@@ -1,0 +1,65 @@
+#ifndef COSTSENSE_CORE_PLAN_MATRIX_H_
+#define COSTSENSE_CORE_PLAN_MATRIX_H_
+
+#include <string>
+#include <vector>
+
+#include "core/vectors.h"
+
+namespace costsense::core {
+
+/// A candidate plan set flattened into structure-of-arrays form for the
+/// batched plan-cost kernels: one contiguous row-major buffer (plan p's
+/// usage vector is the p-th row) for full-vector products, plus a
+/// column-major transpose (dimension i's values across all plans are
+/// contiguous) for the Gray-code incremental sweep, which touches one
+/// dimension of every plan per vertex. Per-plan element sums and Euclidean
+/// norms are cached at construction (the dominance prescreen and bench
+/// reporting read them repeatedly).
+///
+/// BatchTotalCosts reproduces TotalCost bit for bit per plan (left-to-right
+/// accumulation; see linalg/kernels.h), so code rewritten on top of a
+/// PlanMatrix returns byte-identical results to the per-plan loops it
+/// replaces.
+class PlanMatrix {
+ public:
+  /// Flattens `plans`; all usage vectors must share one dimensionality
+  /// (CHECKed). An empty plan set yields a 0 x 0 matrix.
+  explicit PlanMatrix(const std::vector<PlanUsage>& plans);
+
+  /// Number of plans (matrix rows).
+  size_t rows() const { return rows_; }
+  /// Resource-space dimensionality (matrix columns).
+  size_t dims() const { return dims_; }
+
+  const std::string& plan_id(size_t p) const { return ids_[p]; }
+  double at(size_t p, size_t i) const { return row_major_[p * dims_ + i]; }
+
+  /// Plan p's usage vector, contiguous, dims() long.
+  const double* row(size_t p) const { return row_major_.data() + p * dims_; }
+  /// Dimension i's usage across all plans, contiguous, rows() long.
+  const double* col(size_t i) const { return col_major_.data() + i * rows_; }
+
+  /// Cached element sum of plan p's usage vector.
+  double row_sum(size_t p) const { return sums_[p]; }
+  /// Cached Euclidean norm of plan p's usage vector.
+  double row_norm(size_t p) const { return norms_[p]; }
+
+  /// out[p] = U_p . c for every plan, resizing `out` to rows(). Blocked
+  /// matrix-vector kernel; each entry is bit-identical to
+  /// TotalCost(plans[p].usage, c).
+  void BatchTotalCosts(const CostVector& c, std::vector<double>& out) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t dims_ = 0;
+  std::vector<double> row_major_;
+  std::vector<double> col_major_;
+  std::vector<double> sums_;
+  std::vector<double> norms_;
+  std::vector<std::string> ids_;
+};
+
+}  // namespace costsense::core
+
+#endif  // COSTSENSE_CORE_PLAN_MATRIX_H_

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
-#include "core/relative_cost.h"
+#include "common/macros.h"
+#include "core/plan_matrix.h"
+#include "linalg/kernels.h"
 
 namespace costsense::core {
 
@@ -20,13 +22,24 @@ Result<RiskProfile> ComputeRiskProfile(const UsageVector& initial_usage,
     return Status::InvalidArgument("need at least one sample");
   }
 
+  // Batched sampling loop: one flattened plan matrix, one scratch sample
+  // vector, one scratch cost vector — no per-sample allocation. ArgMin
+  // over the batched costs picks the same first-strict-minimum plan as
+  // the per-plan dot scan did, and every reduction accumulates left to
+  // right, so each sample's gtc is bit-identical to the scalar path.
+  const PlanMatrix matrix(plans);
   std::vector<double> gtcs;
   gtcs.reserve(samples);
+  CostVector c(box.dims());
+  std::vector<double> costs(matrix.rows());
   double sum = 0.0;
   size_t suboptimal = 0;
   for (size_t i = 0; i < samples; ++i) {
-    const CostVector c = box.SampleLogUniform(rng);
-    const double gtc = GlobalRelativeCost(initial_usage, plans, c);
+    box.SampleLogUniformInto(rng, c);
+    matrix.BatchTotalCosts(c, costs);
+    const double denom = costs[linalg::ArgMin(costs.data(), costs.size())];
+    COSTSENSE_CHECK_MSG(denom > 0.0, "reference plan has non-positive cost");
+    const double gtc = TotalCost(initial_usage, c) / denom;
     gtcs.push_back(gtc);
     sum += gtc;
     if (gtc > 1.0 + 1e-9) ++suboptimal;

@@ -1,14 +1,31 @@
 #include "core/worst_case.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <optional>
+#include <string_view>
 
 #include "common/strings.h"
+#include "linalg/kernels.h"
 #include "lp/fractional.h"
 #include "runtime/thread_pool.h"
 
 namespace costsense::core {
 namespace {
+
+/// Vertices between full recomputes in the incremental kernel. Each axpy
+/// step adds one rounding error per plan cost; refreshing every 64 steps
+/// keeps accumulated drift around 64 ulps — far inside the 1e-9 guard band
+/// that triggers exact re-evaluation of record candidates.
+constexpr uint64_t kRefreshPeriod = 64;
+
+/// Relative slack on "challenges the record": any vertex whose estimated
+/// gtc comes within this factor of the incumbent is re-evaluated exactly.
+/// Incremental drift is ~1e-13 relative, so no true record can hide below
+/// the band, and spurious re-evaluations stay vanishingly rare.
+constexpr double kRecheckGuard = 1e-9;
 
 /// Best-so-far slot for one chunk of a vertex sweep.
 struct ChunkBest {
@@ -16,12 +33,23 @@ struct ChunkBest {
   uint64_t mask = 0;
   std::string rival;
   bool any = false;
+  size_t degenerate = 0;
 };
 
-/// Splits [0, vertices) into contiguous chunks sized for the pool. Each
-/// chunk keeps its own first-strictly-greater maximum; merging chunks in
-/// ascending order then reproduces the serial sweep's tie-breaking (the
-/// lowest vertex mask achieving the maximum wins) exactly.
+/// The serial sweep's selection rule, made order-free: a strictly larger
+/// gtc wins, and exact ties resolve to the lowest vertex *mask* (not visit
+/// order or Gray rank). An ascending-mask scan's first-strictly-greater
+/// rule picks exactly this winner, so chunked, pooled, and Gray-ordered
+/// sweeps all reproduce the serial result byte for byte.
+bool BeatsIncumbent(const ChunkBest& b, double gtc, uint64_t mask) {
+  if (!b.any) return true;
+  if (gtc != b.gtc) return gtc > b.gtc;
+  return mask < b.mask;
+}
+
+/// Splits [0, vertices) into contiguous chunks sized for the pool. With
+/// the mask tie-break above the merge is order-free, but chunks are still
+/// merged in ascending order for a deterministic degenerate-count sum.
 std::vector<std::pair<uint64_t, uint64_t>> VertexChunks(
     uint64_t vertices, runtime::ThreadPool* pool) {
   const uint64_t want =
@@ -35,11 +63,218 @@ std::vector<std::pair<uint64_t, uint64_t>> VertexChunks(
   return out;
 }
 
+/// Warns the first time any sweep in this process skips degenerate
+/// vertices; per-call counts are surfaced in WorstCaseResult.
+void WarnDegenerateOnce(size_t skipped) {
+  if (skipped == 0) return;
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true, std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "costsense: worst-case vertex sweep skipped %zu degenerate "
+                 "vertices (non-positive optimal cost); the reported maximum "
+                 "covers the remaining vertices\n",
+                 skipped);
+  }
+}
+
+/// Merges per-chunk bests into the final result. Matches the serial rule:
+/// the result only moves off its gtc=1.0 default for a strictly larger
+/// value, and equal-gtc chunks resolve to the lowest vertex mask.
+WorstCaseResult MergeChunks(const Box& box,
+                            const std::vector<ChunkBest>& best) {
+  WorstCaseResult out;
+  out.worst_costs = box.Center();
+  bool have = false;
+  uint64_t best_mask = 0;
+  for (const ChunkBest& b : best) {
+    out.degenerate_vertices += b.degenerate;
+    if (!b.any) continue;
+    const bool better =
+        b.gtc > out.gtc || (have && b.gtc == out.gtc && b.mask < best_mask);
+    if (better) {
+      out.gtc = b.gtc;
+      best_mask = b.mask;
+      out.worst_rival = b.rival;
+      have = true;
+    }
+  }
+  if (have) box.VertexInto(best_mask, out.worst_costs);
+  WarnDegenerateOnce(out.degenerate_vertices);
+  return out;
+}
+
+/// Oracle sweep over one chunk in ascending mask order (scalar kernel).
+/// The scratch vertex is rewritten in place — no per-vertex allocation.
+ChunkBest OracleChunkScalar(PlanOracle& oracle, const UsageVector& initial,
+                            const Box& box, uint64_t lo, uint64_t hi) {
+  ChunkBest b;
+  CostVector v(box.dims());
+  for (uint64_t mask = lo; mask < hi; ++mask) {
+    box.VertexInto(mask, v);
+    const OracleResult r = oracle.Optimize(v);
+    if (r.total_cost <= 0.0) {
+      ++b.degenerate;
+      continue;
+    }
+    const double gtc = TotalCost(initial, v) / r.total_cost;
+    if (BeatsIncumbent(b, gtc, mask)) {
+      b.gtc = gtc;
+      b.mask = mask;
+      b.rival = r.plan_id;
+      b.any = true;
+    }
+  }
+  return b;
+}
+
+/// Oracle sweep over one chunk in Gray-code order: the chunk seeds its own
+/// walk at GrayCode(lo) and each step rewrites exactly one coordinate of
+/// the scratch vertex. Coordinates are assigned (not accumulated), so the
+/// vertex — and every oracle answer — is bit-identical to the scalar
+/// kernel's; only the visit order differs, which the mask tie-break
+/// absorbs.
+ChunkBest OracleChunkGray(PlanOracle& oracle, const UsageVector& initial,
+                          const Box& box, uint64_t lo, uint64_t hi) {
+  ChunkBest b;
+  CostVector v(box.dims());
+  uint64_t g = GrayCode(lo);
+  box.VertexInto(g, v);
+  for (uint64_t rank = lo; rank < hi; ++rank) {
+    if (rank != lo) {
+      const int bit = GrayFlipBit(rank);
+      g ^= uint64_t{1} << bit;
+      v[bit] = (g >> bit) & 1 ? box.upper()[bit] : box.lower()[bit];
+    }
+    const OracleResult r = oracle.Optimize(v);
+    if (r.total_cost <= 0.0) {
+      ++b.degenerate;
+      continue;
+    }
+    const double gtc = TotalCost(initial, v) / r.total_cost;
+    if (BeatsIncumbent(b, gtc, g)) {
+      b.gtc = gtc;
+      b.mask = g;
+      b.rival = r.plan_id;
+      b.any = true;
+    }
+  }
+  return b;
+}
+
+/// Plan-set sweep over one chunk in ascending mask order: batched
+/// matrix-vector costs, scratch buffers mutated in place.
+ChunkBest PlansChunkScalar(const UsageVector& initial, const PlanMatrix& m,
+                           const Box& box, uint64_t lo, uint64_t hi) {
+  ChunkBest b;
+  CostVector v(box.dims());
+  std::vector<double> costs(m.rows());
+  for (uint64_t mask = lo; mask < hi; ++mask) {
+    box.VertexInto(mask, v);
+    m.BatchTotalCosts(v, costs);
+    const size_t ci = linalg::ArgMin(costs.data(), costs.size());
+    const double cheapest = costs[ci];
+    if (cheapest <= 0.0) {
+      ++b.degenerate;
+      continue;
+    }
+    const double gtc = TotalCost(initial, v) / cheapest;
+    if (BeatsIncumbent(b, gtc, mask)) {
+      b.gtc = gtc;
+      b.mask = mask;
+      b.rival = m.plan_id(ci);
+      b.any = true;
+    }
+  }
+  return b;
+}
+
+/// Plan-set sweep over one chunk in Gray-code order. Each step flips one
+/// box coordinate, so every plan's cost changes by usage[bit] * delta: one
+/// axpy over the matrix column updates all n costs in O(n). The
+/// incrementally-maintained costs carry rounding drift, so they are only
+/// used to *screen* vertices; any vertex whose estimated gtc reaches the
+/// incumbent's guard band is re-evaluated with the exact scalar kernel,
+/// and records are accepted solely on exact values. A full recompute every
+/// kRefreshPeriod vertices bounds the drift the screen must absorb.
+ChunkBest PlansChunkGray(const UsageVector& initial, const PlanMatrix& m,
+                         const Box& box, uint64_t lo, uint64_t hi) {
+  ChunkBest b;
+  const size_t n = m.rows();
+  CostVector v(box.dims());
+  std::vector<double> costs(n);
+  std::vector<double> exact_costs(n);
+  uint64_t g = GrayCode(lo);
+  box.VertexInto(g, v);
+  m.BatchTotalCosts(v, costs);
+  double init_cost = TotalCost(initial, v);
+  double cheapest = linalg::MinValue(costs.data(), n);
+  for (uint64_t rank = lo; rank < hi; ++rank) {
+    if (rank != lo) {
+      const int bit = GrayFlipBit(rank);
+      g ^= uint64_t{1} << bit;
+      const bool up = (g >> bit) & 1;
+      v[bit] = up ? box.upper()[bit] : box.lower()[bit];
+      if (((rank - lo) % kRefreshPeriod) == 0) {
+        m.BatchTotalCosts(v, costs);
+        init_cost = TotalCost(initial, v);
+        cheapest = linalg::MinValue(costs.data(), n);
+      } else {
+        const double delta = box.FlipDelta(bit, up);
+        cheapest = linalg::AxpyMin(n, delta, m.col(bit), costs.data());
+        init_cost += initial[bit] * delta;
+      }
+    }
+    // Screen: only vertices whose estimate challenges the record (or that
+    // look degenerate — drift can push a near-zero cost across zero) pay
+    // for an exact re-evaluation.
+    const bool challenger =
+        cheapest <= 0.0 || !b.any ||
+        init_cost / cheapest > b.gtc * (1.0 - kRecheckGuard);
+    if (!challenger) continue;
+    m.BatchTotalCosts(v, exact_costs);
+    const size_t eci = linalg::ArgMin(exact_costs.data(), n);
+    const double exact_cheapest = exact_costs[eci];
+    if (exact_cheapest <= 0.0) {
+      ++b.degenerate;
+      continue;
+    }
+    const double gtc = TotalCost(initial, v) / exact_cheapest;
+    if (BeatsIncumbent(b, gtc, g)) {
+      b.gtc = gtc;
+      b.mask = g;
+      b.rival = m.plan_id(eci);
+      b.any = true;
+    }
+  }
+  return b;
+}
+
 }  // namespace
+
+SweepKernel ConfiguredSweepKernel() {
+  static const SweepKernel kernel = [] {
+    const char* v = std::getenv("COSTSENSE_KERNEL");
+    if (v != nullptr && std::string_view(v) == "scalar") {
+      return SweepKernel::kScalar;
+    }
+    return SweepKernel::kIncremental;
+  }();
+  return kernel;
+}
 
 Result<WorstCaseResult> WorstCaseByVertexSweep(PlanOracle& oracle,
                                                const UsageVector& initial_usage,
                                                const Box& box, size_t max_dims,
+                                               runtime::ThreadPool* pool) {
+  return WorstCaseByVertexSweep(oracle, initial_usage, box,
+                                ConfiguredSweepKernel(), max_dims, pool);
+}
+
+Result<WorstCaseResult> WorstCaseByVertexSweep(PlanOracle& oracle,
+                                               const UsageVector& initial_usage,
+                                               const Box& box,
+                                               SweepKernel kernel,
+                                               size_t max_dims,
                                                runtime::ThreadPool* pool) {
   if (box.dims() != initial_usage.size()) {
     return Status::InvalidArgument("usage vector dims do not match box");
@@ -54,80 +289,55 @@ Result<WorstCaseResult> WorstCaseByVertexSweep(PlanOracle& oracle,
   const auto chunks = VertexChunks(vertices, pool);
   std::vector<ChunkBest> best(chunks.size());
   runtime::ForEachIndex(pool, chunks.size(), [&](size_t k) {
-    ChunkBest b;
-    for (uint64_t mask = chunks[k].first; mask < chunks[k].second; ++mask) {
-      const CostVector v = box.Vertex(mask);
-      const OracleResult r = oracle.Optimize(v);
-      if (r.total_cost <= 0.0) continue;  // degenerate; skip
-      const double gtc = TotalCost(initial_usage, v) / r.total_cost;
-      if (!b.any || gtc > b.gtc) {
-        b.gtc = gtc;
-        b.mask = mask;
-        b.rival = r.plan_id;
-        b.any = true;
-      }
-    }
-    best[k] = std::move(b);
+    best[k] = kernel == SweepKernel::kScalar
+                  ? OracleChunkScalar(oracle, initial_usage, box,
+                                      chunks[k].first, chunks[k].second)
+                  : OracleChunkGray(oracle, initial_usage, box,
+                                    chunks[k].first, chunks[k].second);
     return Status::Ok();
   });
-
-  WorstCaseResult out;
-  out.worst_costs = box.Center();
-  for (const ChunkBest& b : best) {
-    if (b.any && b.gtc > out.gtc) {
-      out.gtc = b.gtc;
-      out.worst_costs = box.Vertex(b.mask);
-      out.worst_rival = b.rival;
-    }
-  }
-  return out;
+  return MergeChunks(box, best);
 }
 
 WorstCaseResult WorstCaseOverPlansByVertices(const UsageVector& initial_usage,
                                              const std::vector<PlanUsage>& plans,
                                              const Box& box,
                                              runtime::ThreadPool* pool) {
+  return WorstCaseOverPlansByVertices(initial_usage, plans, box,
+                                      ConfiguredSweepKernel(), pool);
+}
+
+WorstCaseResult WorstCaseOverPlansByVertices(const UsageVector& initial_usage,
+                                             const std::vector<PlanUsage>& plans,
+                                             const Box& box, SweepKernel kernel,
+                                             runtime::ThreadPool* pool) {
+  const PlanMatrix matrix(plans);
+  return WorstCaseOverPlanMatrix(initial_usage, matrix, box, kernel, pool);
+}
+
+WorstCaseResult WorstCaseOverPlanMatrix(const UsageVector& initial_usage,
+                                        const PlanMatrix& plans,
+                                        const Box& box, SweepKernel kernel,
+                                        runtime::ThreadPool* pool) {
+  if (plans.rows() == 0) {
+    // An empty candidate set makes every vertex vacuous (the serial scan
+    // skipped them all); keep the default result.
+    WorstCaseResult out;
+    out.worst_costs = box.Center();
+    return out;
+  }
   const uint64_t vertices = box.VertexCount();
   const auto chunks = VertexChunks(vertices, pool);
   std::vector<ChunkBest> best(chunks.size());
   runtime::ForEachIndex(pool, chunks.size(), [&](size_t k) {
-    ChunkBest b;
-    for (uint64_t mask = chunks[k].first; mask < chunks[k].second; ++mask) {
-      const CostVector v = box.Vertex(mask);
-      double cheapest = 0.0;
-      size_t cheapest_idx = 0;
-      bool first = true;
-      for (size_t i = 0; i < plans.size(); ++i) {
-        const double cost = TotalCost(plans[i].usage, v);
-        if (first || cost < cheapest) {
-          cheapest = cost;
-          cheapest_idx = i;
-          first = false;
-        }
-      }
-      if (first || cheapest <= 0.0) continue;
-      const double gtc = TotalCost(initial_usage, v) / cheapest;
-      if (!b.any || gtc > b.gtc) {
-        b.gtc = gtc;
-        b.mask = mask;
-        b.rival = plans[cheapest_idx].plan_id;
-        b.any = true;
-      }
-    }
-    best[k] = std::move(b);
+    best[k] = kernel == SweepKernel::kScalar
+                  ? PlansChunkScalar(initial_usage, plans, box,
+                                     chunks[k].first, chunks[k].second)
+                  : PlansChunkGray(initial_usage, plans, box, chunks[k].first,
+                                   chunks[k].second);
     return Status::Ok();
   });
-
-  WorstCaseResult out;
-  out.worst_costs = box.Center();
-  for (const ChunkBest& b : best) {
-    if (b.any && b.gtc > out.gtc) {
-      out.gtc = b.gtc;
-      out.worst_costs = box.Vertex(b.mask);
-      out.worst_rival = b.rival;
-    }
-  }
-  return out;
+  return MergeChunks(box, best);
 }
 
 Result<WorstCaseResult> WorstCaseOverPlansByLp(

@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "core/feasible_region.h"
 #include "core/oracle.h"
+#include "core/plan_matrix.h"
 #include "core/vectors.h"
 
 namespace costsense::runtime {
@@ -27,7 +28,33 @@ struct WorstCaseResult {
   /// Id (or index rendered as text) of the rival plan that is optimal at
   /// the worst point, when known.
   std::string worst_rival;
+  /// Vertices skipped because the optimal total cost there was
+  /// non-positive (degenerate: a zero-usage plan, or an oracle reporting a
+  /// zero estimate). Nonzero counts are also warned once to stderr; the
+  /// reported maximum covers only the remaining vertices.
+  size_t degenerate_vertices = 0;
 };
+
+/// Vertex-sweep evaluation strategy, selected process-wide by the
+/// COSTSENSE_KERNEL environment variable ("scalar" or "incremental";
+/// unset/unknown means incremental) or per call via the explicit
+/// overloads. Both kernels return identical results — the incremental
+/// kernel re-evaluates candidate record vertices with the scalar kernel
+/// before accepting them — so the env var is a fallback/ablation switch,
+/// not a semantic knob.
+enum class SweepKernel {
+  /// Full O(n * d) cost re-derivation at every vertex, in ascending mask
+  /// order (the seed implementation, minus its allocation churn).
+  kScalar,
+  /// Gray-code vertex walk: consecutive vertices differ in one coordinate,
+  /// so all n plan costs update in O(n) via one column axpy. Drift from
+  /// incremental updates is bounded by a full recompute every 64 vertices
+  /// and by exact re-evaluation of any vertex that challenges the record.
+  kIncremental,
+};
+
+/// The configured default kernel (parses COSTSENSE_KERNEL once).
+SweepKernel ConfiguredSweepKernel();
 
 /// Paper-faithful worst-case analysis (Section 6.1): evaluates the global
 /// relative cost of the plan with usage vector `initial_usage` at *every*
@@ -39,10 +66,21 @@ struct WorstCaseResult {
 /// When `pool` is non-null the vertex sweep fans out over it (the oracle
 /// must then be safe to call concurrently — runtime::CachingOracle over
 /// blackbox::NarrowOptimizer qualifies) and the result is bit-identical to
-/// the serial sweep: vertices are reduced in mask order.
+/// the serial sweep: ties between vertices resolve to the lowest mask no
+/// matter how the sweep is chunked or ordered.
 Result<WorstCaseResult> WorstCaseByVertexSweep(PlanOracle& oracle,
                                                const UsageVector& initial_usage,
                                                const Box& box,
+                                               size_t max_dims = 20,
+                                               runtime::ThreadPool* pool =
+                                                   nullptr);
+
+/// As above with an explicit kernel (tests and ablations; normal callers
+/// use the configured default).
+Result<WorstCaseResult> WorstCaseByVertexSweep(PlanOracle& oracle,
+                                               const UsageVector& initial_usage,
+                                               const Box& box,
+                                               SweepKernel kernel,
                                                size_t max_dims = 20,
                                                runtime::ThreadPool* pool =
                                                    nullptr);
@@ -54,6 +92,20 @@ Result<WorstCaseResult> WorstCaseByVertexSweep(PlanOracle& oracle,
 WorstCaseResult WorstCaseOverPlansByVertices(
     const UsageVector& initial_usage, const std::vector<PlanUsage>& plans,
     const Box& box, runtime::ThreadPool* pool = nullptr);
+
+/// As above with an explicit kernel.
+WorstCaseResult WorstCaseOverPlansByVertices(
+    const UsageVector& initial_usage, const std::vector<PlanUsage>& plans,
+    const Box& box, SweepKernel kernel, runtime::ThreadPool* pool = nullptr);
+
+/// The batched core of WorstCaseOverPlansByVertices: sweeps against a
+/// prebuilt PlanMatrix so repeated sweeps over one plan set (delta sweeps,
+/// benches) skip the flattening cost. The matrix's dims must match the
+/// box.
+WorstCaseResult WorstCaseOverPlanMatrix(const UsageVector& initial_usage,
+                                        const PlanMatrix& plans,
+                                        const Box& box, SweepKernel kernel,
+                                        runtime::ThreadPool* pool = nullptr);
 
 /// Worst case over a known candidate plan set by exact linear-fractional
 /// programming: for each rival plan b, maximize (U0 . C)/(B . C) over the

@@ -1,6 +1,7 @@
 #include "exp/figure_runner.h"
 
 #include <cmath>
+#include <optional>
 #include <utility>
 
 #include "blackbox/narrow_optimizer.h"
@@ -103,14 +104,25 @@ Result<FigureSeries> FigureRunner::GtcSeries(
       core::WorstCaseConstantBound(analysis.candidate_plans);
   series.has_complementary_plans = std::isinf(series.constant_bound);
 
-  for (double delta : options_.deltas) {
+  // The per-delta analyses are independent, so fan them out across the
+  // pool (each one's per-rival LPs nest onto the same pool) and reduce in
+  // delta order afterwards — the emitted series is byte-identical to the
+  // serial loop at any thread count.
+  const std::vector<double>& deltas = options_.deltas;
+  std::vector<std::optional<Result<core::WorstCaseResult>>> slots(
+      deltas.size());
+  runtime::ForEachIndex(&pool(), deltas.size(), [&](size_t i) {
     const core::Box box =
-        core::Box::MultiplicativeBand(analysis.baseline, delta);
-    Result<core::WorstCaseResult> wc = core::WorstCaseOverPlansByLp(
-        analysis.initial_usage, analysis.candidate_plans, box, &pool());
+        core::Box::MultiplicativeBand(analysis.baseline, deltas[i]);
+    slots[i].emplace(core::WorstCaseOverPlansByLp(
+        analysis.initial_usage, analysis.candidate_plans, box, &pool()));
+    return Status::Ok();
+  });
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    const Result<core::WorstCaseResult>& wc = *slots[i];
     if (!wc.ok()) return wc.status();
     GtcPoint p;
-    p.delta = delta;
+    p.delta = deltas[i];
     p.gtc = wc->gtc;
     p.worst_rival = wc->worst_rival;
     series.points.push_back(std::move(p));

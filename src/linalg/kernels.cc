@@ -1,0 +1,110 @@
+#include "linalg/kernels.h"
+
+#include "common/macros.h"
+
+namespace costsense::linalg {
+
+double DotRaw(const double* a, const double* b, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+void Axpy(size_t n, double alpha, const double* x, double* y) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void MatVecRowMajor(const double* a, size_t rows, size_t cols,
+                    const double* x, double* out) {
+  size_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    const double* a0 = a + (r + 0) * cols;
+    const double* a1 = a + (r + 1) * cols;
+    const double* a2 = a + (r + 2) * cols;
+    const double* a3 = a + (r + 3) * cols;
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    for (size_t j = 0; j < cols; ++j) {
+      const double xj = x[j];
+      s0 += a0[j] * xj;
+      s1 += a1[j] * xj;
+      s2 += a2[j] * xj;
+      s3 += a3[j] * xj;
+    }
+    out[r + 0] = s0;
+    out[r + 1] = s1;
+    out[r + 2] = s2;
+    out[r + 3] = s3;
+  }
+  for (; r < rows; ++r) {
+    out[r] = DotRaw(a + r * cols, x, cols);
+  }
+}
+
+namespace {
+
+inline double Min4(double m0, double m1, double m2, double m3) {
+  const double a = m0 < m1 ? m0 : m1;
+  const double b = m2 < m3 ? m2 : m3;
+  return a < b ? a : b;
+}
+
+}  // namespace
+
+double AxpyMin(size_t n, double alpha, const double* x, double* y) {
+  COSTSENSE_CHECK(n > 0);
+  double m0 = y[0] + alpha * x[0];
+  y[0] = m0;
+  double m1 = m0, m2 = m0, m3 = m0;
+  size_t i = 1;
+  for (; i + 4 <= n; i += 4) {
+    const double v0 = y[i + 0] + alpha * x[i + 0];
+    const double v1 = y[i + 1] + alpha * x[i + 1];
+    const double v2 = y[i + 2] + alpha * x[i + 2];
+    const double v3 = y[i + 3] + alpha * x[i + 3];
+    y[i + 0] = v0;
+    y[i + 1] = v1;
+    y[i + 2] = v2;
+    y[i + 3] = v3;
+    m0 = v0 < m0 ? v0 : m0;
+    m1 = v1 < m1 ? v1 : m1;
+    m2 = v2 < m2 ? v2 : m2;
+    m3 = v3 < m3 ? v3 : m3;
+  }
+  for (; i < n; ++i) {
+    const double v = y[i] + alpha * x[i];
+    y[i] = v;
+    m0 = v < m0 ? v : m0;
+  }
+  return Min4(m0, m1, m2, m3);
+}
+
+double MinValue(const double* x, size_t n) {
+  COSTSENSE_CHECK(n > 0);
+  double m0 = x[0], m1 = x[0], m2 = x[0], m3 = x[0];
+  size_t i = 1;
+  for (; i + 4 <= n; i += 4) {
+    m0 = x[i + 0] < m0 ? x[i + 0] : m0;
+    m1 = x[i + 1] < m1 ? x[i + 1] : m1;
+    m2 = x[i + 2] < m2 ? x[i + 2] : m2;
+    m3 = x[i + 3] < m3 ? x[i + 3] : m3;
+  }
+  for (; i < n; ++i) {
+    m0 = x[i] < m0 ? x[i] : m0;
+  }
+  return Min4(m0, m1, m2, m3);
+}
+
+size_t ArgMin(const double* x, size_t n) {
+  COSTSENSE_CHECK(n > 0);
+  size_t best = 0;
+  double best_value = x[0];
+  for (size_t i = 1; i < n; ++i) {
+    if (x[i] < best_value) {
+      best_value = x[i];
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace costsense::linalg

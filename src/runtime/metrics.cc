@@ -18,9 +18,10 @@ double RuntimeMetrics::TotalWallMs() const {
 std::string RuntimeMetrics::Render() const {
   std::string out = StrFormat(
       "runtime: threads=%zu tasks=%zu queue_high_water=%zu "
-      "cache: hits=%zu misses=%zu evictions=%zu hit_rate=%.3f\n",
+      "cache: hits=%zu misses=%zu evictions=%zu hit_rate=%.3f "
+      "degenerate_vertices=%zu\n",
       threads, tasks_run, queue_high_water, cache_hits, cache_misses,
-      cache_evictions, CacheHitRate());
+      cache_evictions, CacheHitRate(), degenerate_vertices);
   for (const auto& [name, ms] : phase_wall_ms) {
     out += StrFormat("  phase %-12s %10.1f ms\n", name.c_str(), ms);
   }
@@ -35,9 +36,10 @@ std::string RuntimeMetrics::ToJsonLine(
       "{\"bench\":\"%s\",\"threads\":%zu,\"wall_ms\":%.1f,"
       "\"tasks_run\":%zu,\"queue_high_water\":%zu,"
       "\"cache_hits\":%zu,\"cache_misses\":%zu,\"cache_evictions\":%zu,"
-      "\"cache_hit_rate\":%.4f",
+      "\"cache_hit_rate\":%.4f,\"degenerate_vertices\":%zu",
       bench_name.c_str(), threads, TotalWallMs(), tasks_run, queue_high_water,
-      cache_hits, cache_misses, cache_evictions, CacheHitRate());
+      cache_hits, cache_misses, cache_evictions, CacheHitRate(),
+      degenerate_vertices);
   for (const auto& [name, ms] : phase_wall_ms) {
     out += StrFormat(",\"%s_ms\":%.1f", name.c_str(), ms);
   }

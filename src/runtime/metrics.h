@@ -37,6 +37,9 @@ struct RuntimeMetrics {
   size_t cache_hits = 0;
   size_t cache_misses = 0;
   size_t cache_evictions = 0;
+  /// Degenerate vertices (non-positive optimal cost) skipped by worst-case
+  /// vertex sweeps during the run; summed from WorstCaseResult counters.
+  size_t degenerate_vertices = 0;
   /// (phase name, wall milliseconds), in execution order.
   std::vector<std::pair<std::string, double>> phase_wall_ms;
 

@@ -1,0 +1,313 @@
+// Tests for the batched plan-cost kernel layer: PlanMatrix layout, the
+// Gray-code vertex walk, bit-exact equivalence between the scalar and
+// incremental sweep kernels (serial and pooled), and the sort-by-sum
+// dominance prescreen. Equivalence is asserted with EXPECT_EQ on doubles
+// on purpose: the kernels promise byte-identical results, not merely
+// close ones.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdlib>
+#include <set>
+#include <string_view>
+
+#include "common/rng.h"
+#include "core/dominance.h"
+#include "core/plan_matrix.h"
+#include "core/worst_case.h"
+#include "linalg/kernels.h"
+#include "runtime/thread_pool.h"
+#include "tests/core/fake_oracle.h"
+
+namespace costsense::core {
+namespace {
+
+std::vector<PlanUsage> RandomPlans(Rng& rng, size_t dims, size_t count) {
+  std::vector<PlanUsage> plans;
+  for (size_t p = 0; p < count; ++p) {
+    UsageVector u(dims);
+    for (size_t i = 0; i < dims; ++i) {
+      u[i] = rng.Uniform() < 0.2 ? 0.0 : rng.LogUniform(1.0, 1e4);
+    }
+    if (u.Sum() == 0.0) u[0] = 1.0;
+    plans.push_back({"p" + std::to_string(p), std::move(u)});
+  }
+  return plans;
+}
+
+Box RandomBox(Rng& rng, size_t dims) {
+  CostVector base(dims);
+  for (size_t i = 0; i < dims; ++i) base[i] = rng.LogUniform(0.01, 10.0);
+  return Box::MultiplicativeBand(base, rng.LogUniform(1.5, 100.0));
+}
+
+/// Reference implementation: the pre-kernel serial sweep over a known plan
+/// set, in ascending mask order with per-vertex dot products, plus the
+/// degenerate-vertex counter. Both kernels must reproduce this byte for
+/// byte.
+WorstCaseResult NaivePlansSweep(const UsageVector& initial,
+                                const std::vector<PlanUsage>& plans,
+                                const Box& box) {
+  WorstCaseResult out;
+  out.worst_costs = box.Center();
+  for (uint64_t mask = 0; mask < box.VertexCount(); ++mask) {
+    const CostVector v = box.Vertex(mask);
+    size_t ci = 0;
+    double cheapest = TotalCost(plans[0].usage, v);
+    for (size_t i = 1; i < plans.size(); ++i) {
+      const double cost = TotalCost(plans[i].usage, v);
+      if (cost < cheapest) {
+        cheapest = cost;
+        ci = i;
+      }
+    }
+    if (cheapest <= 0.0) {
+      ++out.degenerate_vertices;
+      continue;
+    }
+    const double gtc = TotalCost(initial, v) / cheapest;
+    if (gtc > out.gtc) {
+      out.gtc = gtc;
+      out.worst_costs = v;
+      out.worst_rival = plans[ci].plan_id;
+    }
+  }
+  return out;
+}
+
+/// Reference oracle sweep, same shape as above but asking the oracle.
+WorstCaseResult NaiveOracleSweep(PlanOracle& oracle,
+                                 const UsageVector& initial, const Box& box) {
+  WorstCaseResult out;
+  out.worst_costs = box.Center();
+  for (uint64_t mask = 0; mask < box.VertexCount(); ++mask) {
+    const CostVector v = box.Vertex(mask);
+    const OracleResult r = oracle.Optimize(v);
+    if (r.total_cost <= 0.0) {
+      ++out.degenerate_vertices;
+      continue;
+    }
+    const double gtc = TotalCost(initial, v) / r.total_cost;
+    if (gtc > out.gtc) {
+      out.gtc = gtc;
+      out.worst_costs = v;
+      out.worst_rival = r.plan_id;
+    }
+  }
+  return out;
+}
+
+void ExpectSameResult(const WorstCaseResult& want, const WorstCaseResult& got) {
+  EXPECT_EQ(want.gtc, got.gtc);
+  EXPECT_EQ(want.worst_costs, got.worst_costs);
+  EXPECT_EQ(want.worst_rival, got.worst_rival);
+  EXPECT_EQ(want.degenerate_vertices, got.degenerate_vertices);
+}
+
+TEST(GrayCodeTest, VisitsEveryMaskOnceFlippingOneBitPerStep) {
+  constexpr size_t kDims = 10;
+  std::set<uint64_t> seen;
+  for (uint64_t rank = 0; rank < (uint64_t{1} << kDims); ++rank) {
+    const uint64_t g = GrayCode(rank);
+    EXPECT_TRUE(seen.insert(g).second) << "mask revisited at rank " << rank;
+    if (rank > 0) {
+      const uint64_t diff = g ^ GrayCode(rank - 1);
+      EXPECT_EQ(std::popcount(diff), 1);
+      EXPECT_EQ(diff, uint64_t{1} << GrayFlipBit(rank));
+    }
+  }
+  EXPECT_EQ(seen.size(), uint64_t{1} << kDims);
+}
+
+TEST(GrayCodeTest, VertexIntoMatchesVertexAndFlipDelta) {
+  Rng rng(7);
+  const Box box = RandomBox(rng, 6);
+  CostVector scratch(box.dims());
+  for (uint64_t mask = 0; mask < box.VertexCount(); ++mask) {
+    box.VertexInto(mask, scratch);
+    EXPECT_EQ(scratch, box.Vertex(mask));
+  }
+  for (size_t i = 0; i < box.dims(); ++i) {
+    EXPECT_EQ(box.FlipDelta(i, true), box.upper()[i] - box.lower()[i]);
+    EXPECT_EQ(box.FlipDelta(i, false), box.lower()[i] - box.upper()[i]);
+  }
+}
+
+TEST(PlanMatrixTest, LayoutSumsNormsAndBatchedCosts) {
+  Rng rng(11);
+  const auto plans = RandomPlans(rng, 5, 9);
+  const PlanMatrix m(plans);
+  ASSERT_EQ(m.rows(), plans.size());
+  ASSERT_EQ(m.dims(), size_t{5});
+  for (size_t p = 0; p < m.rows(); ++p) {
+    EXPECT_EQ(m.plan_id(p), plans[p].plan_id);
+    double sum = 0.0;
+    for (size_t i = 0; i < m.dims(); ++i) {
+      EXPECT_EQ(m.at(p, i), plans[p].usage[i]);
+      EXPECT_EQ(m.row(p)[i], plans[p].usage[i]);
+      EXPECT_EQ(m.col(i)[p], plans[p].usage[i]);
+      sum += plans[p].usage[i];
+    }
+    EXPECT_EQ(m.row_sum(p), sum);
+    EXPECT_DOUBLE_EQ(m.row_norm(p) * m.row_norm(p),
+                     linalg::Dot(plans[p].usage, plans[p].usage));
+  }
+  // Batched costs must be bit-identical to per-plan TotalCost.
+  const Box box = RandomBox(rng, 5);
+  CostVector c = box.Center();
+  std::vector<double> costs;
+  m.BatchTotalCosts(c, costs);
+  ASSERT_EQ(costs.size(), plans.size());
+  for (size_t p = 0; p < plans.size(); ++p) {
+    EXPECT_EQ(costs[p], TotalCost(plans[p].usage, c));
+  }
+}
+
+TEST(PlanMatrixTest, EmptyPlanSet) {
+  const PlanMatrix m({});
+  EXPECT_EQ(m.rows(), size_t{0});
+  std::vector<double> costs{1.0, 2.0};
+  m.BatchTotalCosts(CostVector{1.0}, costs);
+  EXPECT_TRUE(costs.empty());
+
+  Rng rng(3);
+  const Box box = RandomBox(rng, 3);
+  const WorstCaseResult r = WorstCaseOverPlanMatrix(
+      UsageVector{1.0, 1.0, 1.0}, m, box, SweepKernel::kIncremental);
+  EXPECT_EQ(r.gtc, 1.0);
+  EXPECT_EQ(r.degenerate_vertices, size_t{0});
+}
+
+TEST(SweepKernelTest, ConfiguredKernelFollowsEnvironment) {
+  const char* v = std::getenv("COSTSENSE_KERNEL");
+  const SweepKernel want = (v != nullptr && std::string_view(v) == "scalar")
+                               ? SweepKernel::kScalar
+                               : SweepKernel::kIncremental;
+  EXPECT_EQ(ConfiguredSweepKernel(), want);
+}
+
+TEST(SweepKernelTest, PlanSweepKernelsMatchNaiveSerialAndPooled) {
+  Rng rng(123);
+  runtime::ThreadPool pool(3);
+  for (int t = 0; t < 40; ++t) {
+    const size_t dims = 2 + rng.Index(9);  // up to 10 dims = 1024 vertices
+    auto plans = RandomPlans(rng, dims, 1 + rng.Index(12));
+    // Occasionally add an all-zero plan: its cost is exactly 0 at every
+    // vertex, so the whole sweep is degenerate and must be counted as such
+    // by every kernel.
+    if (t % 7 == 0) {
+      plans.push_back({"zero", UsageVector(dims)});
+    }
+    const Box box = RandomBox(rng, dims);
+    const UsageVector& initial = plans[rng.Index(plans.size())].usage;
+
+    const WorstCaseResult want = NaivePlansSweep(initial, plans, box);
+    if (t % 7 == 0) {
+      EXPECT_EQ(want.degenerate_vertices, box.VertexCount());
+    }
+    for (SweepKernel kernel :
+         {SweepKernel::kScalar, SweepKernel::kIncremental}) {
+      ExpectSameResult(
+          want, WorstCaseOverPlansByVertices(initial, plans, box, kernel));
+      ExpectSameResult(want, WorstCaseOverPlansByVertices(initial, plans, box,
+                                                          kernel, &pool));
+    }
+    // The env-selected default overload must agree too (it is one of the
+    // two kernels, both already shown equal to the reference).
+    ExpectSameResult(want,
+                     WorstCaseOverPlansByVertices(initial, plans, box));
+  }
+}
+
+TEST(SweepKernelTest, OracleSweepKernelsMatchNaiveSerialAndPooled) {
+  Rng rng(321);
+  runtime::ThreadPool pool(3);
+  for (int t = 0; t < 20; ++t) {
+    const size_t dims = 2 + rng.Index(7);
+    auto plans = RandomPlans(rng, dims, 2 + rng.Index(6));
+    if (t % 5 == 0) {
+      plans.push_back({"zero", UsageVector(dims)});
+    }
+    const Box box = RandomBox(rng, dims);
+    const UsageVector& initial = plans[0].usage;
+
+    FakeOracle ref_oracle(plans, /*white_box=*/false);
+    const WorstCaseResult want = NaiveOracleSweep(ref_oracle, initial, box);
+    for (SweepKernel kernel :
+         {SweepKernel::kScalar, SweepKernel::kIncremental}) {
+      FakeOracle serial_oracle(plans, false);
+      const Result<WorstCaseResult> serial =
+          WorstCaseByVertexSweep(serial_oracle, initial, box, kernel);
+      ASSERT_TRUE(serial.ok());
+      ExpectSameResult(want, *serial);
+      EXPECT_EQ(serial_oracle.calls(), box.VertexCount());
+
+      FakeOracle pooled_oracle(plans, false);
+      const Result<WorstCaseResult> pooled = WorstCaseByVertexSweep(
+          pooled_oracle, initial, box, kernel, /*max_dims=*/20, &pool);
+      ASSERT_TRUE(pooled.ok());
+      ExpectSameResult(want, *pooled);
+    }
+  }
+}
+
+/// Reference implementation of FilterDominated: the pre-prescreen
+/// all-pairs scan, copied verbatim from the seed.
+std::vector<PlanUsage> NaiveFilterDominated(std::vector<PlanUsage> plans,
+                                            double tol) {
+  std::vector<bool> keep(plans.size(), true);
+  for (size_t i = 0; i < plans.size(); ++i) {
+    for (size_t j = 0; j < plans.size() && keep[i]; ++j) {
+      if (i == j) continue;
+      if (Dominates(plans[j].usage, plans[i].usage, tol)) keep[i] = false;
+      if (j < i && linalg::ApproxEqual(plans[j].usage, plans[i].usage, tol)) {
+        keep[i] = false;
+      }
+    }
+  }
+  std::vector<PlanUsage> out;
+  for (size_t i = 0; i < plans.size(); ++i) {
+    if (keep[i]) out.push_back(std::move(plans[i]));
+  }
+  return out;
+}
+
+TEST(DominancePrescreenTest, SameSurvivorsAsNaiveScan) {
+  Rng rng(99);
+  for (int t = 0; t < 30; ++t) {
+    const size_t dims = 1 + rng.Index(6);
+    auto plans = RandomPlans(rng, dims, 2 + rng.Index(20));
+    // Seed eliminations: exact duplicates and dominated copies.
+    const size_t base = plans.size();
+    const size_t extras = 1 + rng.Index(4);
+    for (size_t k = 0; k < extras; ++k) {
+      PlanUsage copy = plans[rng.Index(base)];
+      copy.plan_id += "_copy" + std::to_string(k);
+      if (rng.Uniform() < 0.5) {
+        // Strictly worse in one coordinate: dominated.
+        copy.usage[rng.Index(dims)] += rng.LogUniform(1.0, 10.0);
+      }
+      plans.push_back(std::move(copy));
+    }
+    for (double tol : {0.0, 1e-9, 0.5}) {
+      const auto want = NaiveFilterDominated(plans, tol);
+      const auto got = FilterDominated(plans, tol);
+      ASSERT_EQ(want.size(), got.size()) << "tol=" << tol;
+      for (size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(want[i].plan_id, got[i].plan_id);
+        EXPECT_EQ(want[i].usage, got[i].usage);
+      }
+    }
+  }
+}
+
+TEST(DominancePrescreenTest, EdgeCases) {
+  EXPECT_TRUE(FilterDominated({}, 0.0).empty());
+  const std::vector<PlanUsage> one = {{"solo", UsageVector{1.0, 2.0}}};
+  const auto out = FilterDominated(one, 0.0);
+  ASSERT_EQ(out.size(), size_t{1});
+  EXPECT_EQ(out[0].plan_id, "solo");
+}
+
+}  // namespace
+}  // namespace costsense::core
