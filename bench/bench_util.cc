@@ -46,8 +46,10 @@ void EmitBenchJson(const std::string& bench_name,
 
 std::vector<exp::FigureSeries> RunWorstCaseFigure(
     const std::string& title, const std::string& bench_name,
-    storage::LayoutPolicy policy) {
-  const FigureBenchConfig config = MakeFigureBenchConfig();
+    storage::LayoutPolicy policy,
+    const exp::FigureRunner::Options::Resilience* resilience) {
+  FigureBenchConfig config = MakeFigureBenchConfig();
+  if (resilience != nullptr) config.options.resilience = *resilience;
   const exp::FigureRunner runner(config.catalog, config.options);
   runtime::ThreadPool& pool = runtime::ThreadPool::Global();
 
@@ -64,6 +66,7 @@ std::vector<exp::FigureSeries> RunWorstCaseFigure(
   // Phase 2 — series: pure geometry (per-rival fractional programs).
   timer.Restart();
   size_t oracle_calls = 0;
+  size_t probe_calls = 0;
   std::vector<exp::FigureSeries> all;
   for (size_t i = 0; i < analyses.size(); ++i) {
     const query::Query& q = config.queries[i];
@@ -88,9 +91,20 @@ std::vector<exp::FigureSeries> RunWorstCaseFigure(
     oracle_calls += analysis->oracle_calls;
     metrics.cache_hits += analysis->cache_hits;
     metrics.cache_misses += analysis->cache_misses;
+    probe_calls += analysis->oracle_probe_calls;
+    metrics.oracle_attempts += analysis->oracle_attempts;
+    metrics.oracle_retries += analysis->oracle_retries;
+    metrics.oracle_failures += analysis->oracle_failures;
+    metrics.faults_injected += analysis->faults_injected;
+    metrics.degraded_points += analysis->degraded_points;
     all.push_back(*series);
   }
   metrics.phase_wall_ms.emplace_back("series", timer.ElapsedMs());
+  if (probe_calls > 0) {
+    metrics.coverage = static_cast<double>(probe_calls -
+                                           metrics.oracle_failures) /
+                       static_cast<double>(probe_calls);
+  }
 
   const runtime::PoolStats pool_stats = pool.stats();
   metrics.tasks_run = pool_stats.tasks_run;

@@ -39,9 +39,17 @@ void EmitBenchJson(
 /// 1 recovers the serial path, with byte-identical stdout). The table and
 /// CSV go to stdout; progress, runtime metrics and the JSON perf line go
 /// to stderr. Returns the computed series for further use.
+///
+/// When `resilience` is non-null the per-query oracle stacks run behind
+/// the fault-injection + retry tier with that configuration; the
+/// aggregated attempt/retry/failure/degraded counters land in the emitted
+/// RuntimeMetrics. With fault bursts the retry budget absorbs, stdout is
+/// byte-identical to a fault-free run — the fault-sweep harness asserts
+/// exactly that.
 std::vector<exp::FigureSeries> RunWorstCaseFigure(
     const std::string& title, const std::string& bench_name,
-    storage::LayoutPolicy policy);
+    storage::LayoutPolicy policy,
+    const exp::FigureRunner::Options::Resilience* resilience = nullptr);
 
 }  // namespace costsense::bench
 

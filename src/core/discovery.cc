@@ -32,7 +32,7 @@ struct Found {
 
 class Discoverer {
  public:
-  Discoverer(PlanOracle& oracle, const Box& box, Rng& rng,
+  Discoverer(FalliblePlanOracle& oracle, const Box& box, Rng& rng,
              const DiscoveryOptions& options)
       : oracle_(oracle), box_(box), rng_(rng), options_(options) {}
 
@@ -69,6 +69,7 @@ class Discoverer {
     out.plans = std::move(plans);
     out.oracle_calls = calls_;
     out.complete = complete;
+    out.failed_probes = failed_probes_;
     return out;
   }
 
@@ -76,16 +77,24 @@ class Discoverer {
   /// Evaluates the oracle at every point (fanning out over the pool when
   /// one is configured) and records first-seen witnesses in point order —
   /// the same order a serial probe loop would, so the discovered set is
-  /// independent of thread count and scheduling.
-  std::vector<OracleResult> ProbeBatch(const std::vector<CostVector>& points) {
-    std::vector<OracleResult> results(points.size());
+  /// independent of thread count and scheduling. A probe that errors
+  /// leaves an empty slot and is counted, never recorded: degradation is
+  /// losing witnesses, not inventing them.
+  std::vector<std::optional<OracleResult>> ProbeBatch(
+      const std::vector<CostVector>& points) {
+    std::vector<std::optional<OracleResult>> results(points.size());
     runtime::ForEachIndex(options_.pool, points.size(), [&](size_t i) {
-      results[i] = oracle_.Optimize(points[i]);
+      Result<OracleResult> r = oracle_.TryOptimize(points[i]);
+      if (r.ok()) results[i] = std::move(r).value();
       return Status::Ok();
     });
     calls_ += points.size();
     for (size_t i = 0; i < points.size(); ++i) {
-      Record(points[i], results[i]);
+      if (results[i].has_value()) {
+        Record(points[i], *results[i]);
+      } else {
+        ++failed_probes_;
+      }
     }
     return results;
   }
@@ -193,11 +202,15 @@ class Discoverer {
       std::vector<CostVector> mids;
       mids.reserve(frontier.size());
       for (const Segment& s : frontier) mids.push_back(GeoMid(s.a, s.b));
-      const std::vector<OracleResult> results = ProbeBatch(mids);
+      const std::vector<std::optional<OracleResult>> results =
+          ProbeBatch(mids);
       std::vector<Segment> next;
       for (size_t k = 0; k < frontier.size(); ++k) {
+        // A failed midpoint stops refinement of this segment; later
+        // completeness rounds can still recover plans hiding inside it.
+        if (!results[k].has_value()) continue;
         const Segment& s = frontier[k];
-        const std::string& mid_plan = results[k].plan_id;
+        const std::string& mid_plan = results[k]->plan_id;
         if (mid_plan != s.plan_a) {
           next.push_back(Segment{s.a, s.plan_a, mids[k], mid_plan});
         }
@@ -222,7 +235,7 @@ class Discoverer {
     // oracle entirely. A failed extraction (thin region) yields an empty
     // slot: skip the plan rather than poison the set.
     std::vector<std::optional<DiscoveredPlan>> slots(todo.size());
-    std::vector<size_t> extraction_calls(todo.size(), 0);
+    std::vector<ExtractionTelemetry> telemetry(todo.size());
     Status st = runtime::ForEachIndex(
         options_.pool, todo.size(), [&](size_t k) {
           const auto& [id, f] = todo[k];
@@ -233,10 +246,12 @@ class Discoverer {
             dp.plan.usage = *f->usage;
           } else {
             Rng stream = rng_.Fork(PlanStreamId(id));
-            Result<ExtractedUsage> ex = ExtractUsageVector(
-                oracle_, id, f->witness, box_, stream, options_.extraction);
-            if (!ex.ok()) return Status::Ok();  // thin region: skip plan
-            extraction_calls[k] = ex->oracle_calls;
+            Result<ExtractedUsage> ex =
+                ExtractUsageVector(oracle_, id, f->witness, box_, stream,
+                                   options_.extraction, &telemetry[k]);
+            // Thin region or probes lost to oracle failures: skip the plan
+            // rather than poison the set (telemetry keeps the accounting).
+            if (!ex.ok()) return Status::Ok();
             dp.plan.usage = ex->usage;
             dp.usage_from_least_squares = true;
             dp.extraction_error = ex->validation_error;
@@ -249,7 +264,8 @@ class Discoverer {
     std::vector<DiscoveredPlan> plans;
     plans.reserve(todo.size());
     for (size_t k = 0; k < todo.size(); ++k) {
-      calls_ += extraction_calls[k];
+      calls_ += telemetry[k].oracle_calls;
+      failed_probes_ += telemetry[k].failed_probes;
       if (slots[k].has_value()) plans.push_back(std::move(*slots[k]));
     }
     return plans;
@@ -314,18 +330,26 @@ class Discoverer {
     return Status::Ok();
   }
 
-  PlanOracle& oracle_;
+  FalliblePlanOracle& oracle_;
   const Box& box_;
   Rng& rng_;
   const DiscoveryOptions& options_;
   std::map<std::string, Found> found_;
   size_t calls_ = 0;
+  size_t failed_probes_ = 0;
 };
 
 }  // namespace
 
 Result<DiscoveryResult> DiscoverCandidatePlans(
     PlanOracle& oracle, const Box& box, Rng& rng,
+    const DiscoveryOptions& options) {
+  InfallibleOracleAdapter adapter(oracle);
+  return DiscoverCandidatePlans(adapter, box, rng, options);
+}
+
+Result<DiscoveryResult> DiscoverCandidatePlans(
+    FalliblePlanOracle& oracle, const Box& box, Rng& rng,
     const DiscoveryOptions& options) {
   if (oracle.dims() != box.dims()) {
     return Status::InvalidArgument("oracle and box dimensions differ");

@@ -77,6 +77,12 @@ struct DiscoveryResult {
   /// interior probing can tell — the practical analogue of the paper's
   /// Observation-3 polytope check).
   bool complete = false;
+  /// Probes that returned an error after the oracle stack's own retries
+  /// and were skipped (fallible overload only; 0 against an infallible
+  /// oracle). Includes probes dropped inside usage extraction. Nonzero
+  /// counts mean the discovered set is a partial view: plans witnessed
+  /// only by failed probes may be missing.
+  size_t failed_probes = 0;
 };
 
 /// Finds the candidate optimal plans of the feasible box through the
@@ -85,6 +91,17 @@ struct DiscoveryResult {
 /// estimate usage vectors (least squares if the oracle is narrow), and
 /// verify completeness using the convexity of regions of influence.
 Result<DiscoveryResult> DiscoverCandidatePlans(PlanOracle& oracle,
+                                               const Box& box, Rng& rng,
+                                               const DiscoveryOptions& options);
+
+/// Fallible-oracle overload with graceful degradation: a probe that errors
+/// (after whatever retries the oracle stack performs internally) is
+/// skipped and counted in DiscoveryResult::failed_probes rather than
+/// aborting the run — a failed seed probe loses at most one witness, a
+/// failed midpoint stops refining one segment, a failed extraction drops
+/// one narrow plan. Against an oracle that never errors this is
+/// call-for-call identical to the overload above.
+Result<DiscoveryResult> DiscoverCandidatePlans(FalliblePlanOracle& oracle,
                                                const Box& box, Rng& rng,
                                                const DiscoveryOptions& options);
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "core/vectors.h"
 
 namespace costsense::core {
@@ -27,14 +28,23 @@ inline int GrayFlipBit(uint64_t rank) { return std::countr_zero(rank); }
 /// exactly this multiplicative band.
 class Box {
  public:
-  /// Builds a box from explicit bounds; lower must be positive and
-  /// element-wise <= upper (CHECKed).
+  /// Builds a box from explicit bounds; lower must be positive and finite
+  /// and element-wise <= the (finite) upper (CHECKed).
   Box(CostVector lower, CostVector upper);
 
   /// The paper's construction: each estimated cost c_i may be off by a
   /// multiplicative factor in [1/delta, delta]. Requires delta >= 1 and a
   /// positive baseline.
   static Box MultiplicativeBand(const CostVector& baseline, double delta);
+
+  /// Validating factories: the same invariants as the constructors above,
+  /// reported as a typed InvalidArgument instead of a process-fatal CHECK.
+  /// For bounds that arrive from outside the process's own arithmetic —
+  /// checkpoint files, configuration, extraction output — where a bad
+  /// value must degrade one analysis, not kill the run.
+  static Result<Box> Validated(CostVector lower, CostVector upper);
+  static Result<Box> ValidatedMultiplicativeBand(const CostVector& baseline,
+                                                 double delta);
 
   size_t dims() const { return lower_.size(); }
   const CostVector& lower() const { return lower_; }

@@ -4,6 +4,7 @@
 #include <optional>
 #include <string>
 
+#include "common/status.h"
 #include "core/vectors.h"
 
 namespace costsense::core {
@@ -37,6 +38,41 @@ class PlanOracle {
 
   /// Dimensionality of the resource cost space this oracle prices over.
   virtual size_t dims() const = 0;
+};
+
+/// The fallible flavor of the same interface. Real optimizer endpoints
+/// time out, flake under load, and return garbage; decorators that model
+/// or absorb those failures (runtime::resilience) speak this contract,
+/// and the drivers (discovery, vertex sweeps, extraction) degrade
+/// per-point instead of aborting a whole run on one bad reply.
+class FalliblePlanOracle {
+ public:
+  virtual ~FalliblePlanOracle() = default;
+
+  /// Optimizes under resource costs `c`, or reports why it could not:
+  /// kUnavailable for transient faults, kDeadlineExceeded for blown time
+  /// budgets, kInternal for replies rejected by validation.
+  virtual Result<OracleResult> TryOptimize(const CostVector& c) = 0;
+
+  virtual size_t dims() const = 0;
+};
+
+/// Adapts an infallible PlanOracle to the fallible interface (every call
+/// succeeds by contract). Lets the degradation-aware driver internals run
+/// unchanged on oracles that cannot fail, with identical behavior to the
+/// pre-resilience code path.
+class InfallibleOracleAdapter final : public FalliblePlanOracle {
+ public:
+  /// `base` is not owned and must outlive this.
+  explicit InfallibleOracleAdapter(PlanOracle& base) : base_(base) {}
+
+  Result<OracleResult> TryOptimize(const CostVector& c) override {
+    return base_.Optimize(c);
+  }
+  size_t dims() const override { return base_.dims(); }
+
+ private:
+  PlanOracle& base_;
 };
 
 }  // namespace costsense::core

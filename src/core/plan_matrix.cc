@@ -3,9 +3,42 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "common/strings.h"
 #include "linalg/kernels.h"
 
 namespace costsense::core {
+
+namespace {
+
+// Shared by the CHECKing constructor and the Status-returning factory. A
+// non-finite usage entry would poison every batched dot product built on
+// the matrix, so it is rejected at flattening time.
+Status CheckPlanSet(const std::vector<PlanUsage>& plans) {
+  const size_t dims = plans.empty() ? 0 : plans[0].usage.size();
+  for (size_t p = 0; p < plans.size(); ++p) {
+    if (plans[p].usage.size() != dims) {
+      return Status::InvalidArgument(StrFormat(
+          "plan usage vectors must share one dimensionality "
+          "(plan %s has %zu dims, expected %zu)",
+          plans[p].plan_id.c_str(), plans[p].usage.size(), dims));
+    }
+    for (size_t i = 0; i < dims; ++i) {
+      if (!std::isfinite(plans[p].usage[i])) {
+        return Status::InvalidArgument(
+            StrFormat("plan %s has non-finite usage in dim %zu (%g)",
+                      plans[p].plan_id.c_str(), i, plans[p].usage[i]));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<PlanMatrix> PlanMatrix::Validated(const std::vector<PlanUsage>& plans) {
+  COSTSENSE_RETURN_IF_ERROR(CheckPlanSet(plans));
+  return PlanMatrix(plans);
+}
 
 PlanMatrix::PlanMatrix(const std::vector<PlanUsage>& plans)
     : rows_(plans.size()),
@@ -24,6 +57,8 @@ PlanMatrix::PlanMatrix(const std::vector<PlanUsage>& plans)
     double sq = 0.0;
     for (size_t i = 0; i < dims_; ++i) {
       const double u = plan.usage[i];
+      COSTSENSE_CHECK_MSG(std::isfinite(u),
+                          "plan usage vectors must be finite");
       row_major_[p * dims_ + i] = u;
       col_major_[i * rows_ + p] = u;
       sum += u;

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/vectors.h"
 
 namespace costsense::core {
@@ -23,9 +24,17 @@ namespace costsense::core {
 /// replaces.
 class PlanMatrix {
  public:
-  /// Flattens `plans`; all usage vectors must share one dimensionality
-  /// (CHECKed). An empty plan set yields a 0 x 0 matrix.
+  /// Flattens `plans`; all usage vectors must share one dimensionality and
+  /// contain only finite values (CHECKed). An empty plan set yields a
+  /// 0 x 0 matrix.
   explicit PlanMatrix(const std::vector<PlanUsage>& plans);
+
+  /// Validating factory: the same invariants reported as a typed
+  /// InvalidArgument instead of a process-fatal CHECK. For plan sets built
+  /// from an untrusted source — a faulty oracle reply, a checkpoint, a
+  /// least-squares fit that went non-finite — where a garbage usage vector
+  /// must fail one analysis, not abort the sweep that batched it.
+  static Result<PlanMatrix> Validated(const std::vector<PlanUsage>& plans);
 
   /// Number of plans (matrix rows).
   size_t rows() const { return rows_; }

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "common/macros.h"
 #include "core/plan_matrix.h"
 #include "linalg/kernels.h"
 
@@ -34,15 +33,26 @@ Result<RiskProfile> ComputeRiskProfile(const UsageVector& initial_usage,
   std::vector<double> costs(matrix.rows());
   double sum = 0.0;
   size_t suboptimal = 0;
+  size_t degenerate = 0;
   for (size_t i = 0; i < samples; ++i) {
     box.SampleLogUniformInto(rng, c);
     matrix.BatchTotalCosts(c, costs);
     const double denom = costs[linalg::ArgMin(costs.data(), costs.size())];
-    COSTSENSE_CHECK_MSG(denom > 0.0, "reference plan has non-positive cost");
+    // A degenerate draw (non-positive optimal cost) is counted and
+    // skipped; the profile covers the remaining draws. Aborting here would
+    // let one pathological corner of the band kill a whole table run.
+    if (denom <= 0.0) {
+      ++degenerate;
+      continue;
+    }
     const double gtc = TotalCost(initial_usage, c) / denom;
     gtcs.push_back(gtc);
     sum += gtc;
     if (gtc > 1.0 + 1e-9) ++suboptimal;
+  }
+  if (gtcs.empty()) {
+    return Status::FailedPrecondition(
+        "every risk sample was degenerate (non-positive optimal cost)");
   }
   std::sort(gtcs.begin(), gtcs.end());
 
@@ -51,14 +61,15 @@ Result<RiskProfile> ComputeRiskProfile(const UsageVector& initial_usage,
     return gtcs[idx];
   };
   RiskProfile out;
-  out.samples = samples;
-  out.mean_gtc = sum / static_cast<double>(samples);
+  out.samples = gtcs.size();
+  out.degenerate_samples = degenerate;
+  out.mean_gtc = sum / static_cast<double>(gtcs.size());
   out.p50 = quantile(0.50);
   out.p90 = quantile(0.90);
   out.p99 = quantile(0.99);
   out.max_seen = gtcs.back();
   out.prob_suboptimal =
-      static_cast<double>(suboptimal) / static_cast<double>(samples);
+      static_cast<double>(suboptimal) / static_cast<double>(gtcs.size());
   return out;
 }
 

@@ -26,6 +26,10 @@ struct RiskProfile {
   /// (GTC > 1 beyond rounding).
   double prob_suboptimal = 0.0;
   size_t samples = 0;
+  /// Draws skipped because the optimal total cost there was non-positive
+  /// (a zero-usage candidate at a degenerate corner of the band). The
+  /// quantiles cover only the remaining samples; `samples` counts those.
+  size_t degenerate_samples = 0;
 };
 
 /// Profiles plan `initial_usage` against the candidate set `plans` over

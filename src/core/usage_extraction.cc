@@ -14,6 +14,21 @@ Result<ExtractedUsage> ExtractUsageVector(PlanOracle& oracle,
                                           const CostVector& seed,
                                           const Box& box, Rng& rng,
                                           const ExtractionOptions& options) {
+  InfallibleOracleAdapter adapter(oracle);
+  return ExtractUsageVector(adapter, plan_id, seed, box, rng, options,
+                            /*telemetry=*/nullptr);
+}
+
+Result<ExtractedUsage> ExtractUsageVector(FalliblePlanOracle& oracle,
+                                          const std::string& plan_id,
+                                          const CostVector& seed,
+                                          const Box& box, Rng& rng,
+                                          const ExtractionOptions& options,
+                                          ExtractionTelemetry* telemetry) {
+  ExtractionTelemetry local;
+  ExtractionTelemetry& tel = telemetry != nullptr ? *telemetry : local;
+  tel = ExtractionTelemetry{};
+
   const size_t n = box.dims();
   if (seed.size() != n) {
     return Status::InvalidArgument("seed dimension does not match box");
@@ -27,26 +42,33 @@ Result<ExtractedUsage> ExtractUsageVector(PlanOracle& oracle,
   accepted.reserve(want);
   observed.reserve(want);
 
-  size_t calls = 0;
   // The seed itself must produce the plan; it anchors the sample cloud.
   {
-    const OracleResult r = oracle.Optimize(seed);
-    ++calls;
-    if (r.plan_id != plan_id) {
+    const Result<OracleResult> r = oracle.TryOptimize(seed);
+    ++tel.oracle_calls;
+    if (!r.ok()) {
+      ++tel.failed_probes;
+      return Status::FailedPrecondition(
+          StrFormat("seed probe for plan %s failed: %s", plan_id.c_str(),
+                    r.status().message().c_str()));
+    }
+    if (r->plan_id != plan_id) {
       return Status::FailedPrecondition(
           "seed point does not yield the requested plan");
     }
     accepted.push_back(seed);
-    observed.push_back(r.total_cost);
+    observed.push_back(r->total_cost);
   }
 
   // Adaptive jitter: widen on acceptance, shrink on rejection, so the cloud
   // fills the region of influence without leaving it too often. Convexity
   // of the region (paper Observation 3) guarantees that shrinking toward
-  // the seed eventually re-enters it.
+  // the seed eventually re-enters it. A failed probe is neither: it says
+  // nothing about region membership, so it is dropped without touching the
+  // jitter width.
   double jitter = options.initial_jitter;
   constexpr double kMinJitter = 1e-5;
-  while (accepted.size() < want && calls < options.max_oracle_calls) {
+  while (accepted.size() < want && tel.oracle_calls < options.max_oracle_calls) {
     CostVector c(n);
     for (size_t i = 0; i < n; ++i) {
       const double f = std::exp(rng.Uniform(-1.0, 1.0) * std::log1p(jitter));
@@ -54,11 +76,15 @@ Result<ExtractedUsage> ExtractUsageVector(PlanOracle& oracle,
       v = std::min(std::max(v, box.lower()[i]), box.upper()[i]);
       c[i] = v;
     }
-    const OracleResult r = oracle.Optimize(c);
-    ++calls;
-    if (r.plan_id == plan_id) {
+    const Result<OracleResult> r = oracle.TryOptimize(c);
+    ++tel.oracle_calls;
+    if (!r.ok()) {
+      ++tel.failed_probes;
+      continue;
+    }
+    if (r->plan_id == plan_id) {
       accepted.push_back(std::move(c));
-      observed.push_back(r.total_cost);
+      observed.push_back(r->total_cost);
       jitter = std::min(jitter * 1.1, 4.0);
     } else {
       jitter = std::max(jitter * 0.8, kMinJitter);
@@ -67,8 +93,9 @@ Result<ExtractedUsage> ExtractUsageVector(PlanOracle& oracle,
   if (accepted.size() < want) {
     return Status::FailedPrecondition(StrFormat(
         "only %zu of %zu in-region samples found for plan %s after %zu "
-        "oracle calls",
-        accepted.size(), want, plan_id.c_str(), calls));
+        "oracle calls (%zu probes failed)",
+        accepted.size(), want, plan_id.c_str(), tel.oracle_calls,
+        tel.failed_probes));
   }
 
   // Split into fit and validation sets.
@@ -80,12 +107,19 @@ Result<ExtractedUsage> ExtractUsageVector(PlanOracle& oracle,
   const linalg::Matrix c_matrix = linalg::Matrix::FromRows(fit_rows);
   Result<UsageVector> fit = linalg::NonNegativeLeastSquares(
       c_matrix, fit_rhs, /*clamp_tol=*/1e-6 * fit_rhs.InfNorm());
-  if (!fit.ok()) return fit.status();
+  if (!fit.ok()) {
+    // Rank deficiency surfaces as a typed error with extraction context,
+    // never as a garbage usage vector.
+    return Status::FailedPrecondition(StrFormat(
+        "usage extraction for plan %s: probe matrix unusable after %zu "
+        "dropped probes: %s",
+        plan_id.c_str(), tel.failed_probes, fit.status().message().c_str()));
+  }
 
   ExtractedUsage out;
   out.usage = std::move(fit).value();
   out.samples_used = fit_target;
-  out.oracle_calls = calls;
+  out.oracle_calls = tel.oracle_calls;
 
   // Validate on held-out samples (the paper's <1% discrepancy check).
   const size_t n_val = accepted.size() - fit_target;

@@ -36,6 +36,16 @@ struct ExtractedUsage {
   size_t oracle_calls = 0;
 };
 
+/// Oracle-traffic accounting for one extraction, filled even when the
+/// extraction itself fails — graceful-degradation callers need the dropped
+/// probe count of failed extractions to reconcile against the fault log.
+struct ExtractionTelemetry {
+  /// TryOptimize calls issued (successful or not).
+  size_t oracle_calls = 0;
+  /// Probes that returned an error and were dropped from the sample cloud.
+  size_t failed_probes = 0;
+};
+
 /// Estimates the resource usage vector of the plan `plan_id` through a
 /// narrow optimizer interface, by the paper's method (Section 6.1.1):
 /// sample m >= 2n cost vectors C_i inside the plan's region of influence
@@ -51,6 +61,22 @@ Result<ExtractedUsage> ExtractUsageVector(PlanOracle& oracle,
                                           const CostVector& seed,
                                           const Box& box, Rng& rng,
                                           const ExtractionOptions& options);
+
+/// Fallible-oracle overload: probes that return an error are dropped from
+/// the sample cloud (they say nothing about region membership, so they
+/// leave the jitter width untouched) and counted in `telemetry`, which is
+/// filled even when the extraction fails. Against an oracle that never
+/// errors this is call-for-call identical to the overload above. Fails
+/// with a typed FailedPrecondition — never a garbage vector — when the
+/// seed probe fails, too few in-region samples survive, or the probe
+/// matrix is rank-deficient after dropped probes.
+Result<ExtractedUsage> ExtractUsageVector(FalliblePlanOracle& oracle,
+                                          const std::string& plan_id,
+                                          const CostVector& seed,
+                                          const Box& box, Rng& rng,
+                                          const ExtractionOptions& options,
+                                          ExtractionTelemetry* telemetry =
+                                              nullptr);
 
 }  // namespace costsense::core
 

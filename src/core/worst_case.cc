@@ -10,6 +10,7 @@
 #include "common/strings.h"
 #include "linalg/kernels.h"
 #include "lp/fractional.h"
+#include "runtime/resilience/checkpoint.h"
 #include "runtime/thread_pool.h"
 
 namespace costsense::core {
@@ -34,6 +35,8 @@ struct ChunkBest {
   std::string rival;
   bool any = false;
   size_t degenerate = 0;
+  /// Vertices skipped because the (fallible) oracle erred there.
+  size_t failed = 0;
 };
 
 /// The serial sweep's selection rule, made order-free: a strictly larger
@@ -80,14 +83,16 @@ void WarnDegenerateOnce(size_t skipped) {
 /// Merges per-chunk bests into the final result. Matches the serial rule:
 /// the result only moves off its gtc=1.0 default for a strictly larger
 /// value, and equal-gtc chunks resolve to the lowest vertex mask.
-WorstCaseResult MergeChunks(const Box& box,
-                            const std::vector<ChunkBest>& best) {
+WorstCaseResult MergeChunks(const Box& box, const std::vector<ChunkBest>& best,
+                            uint64_t total_vertices) {
   WorstCaseResult out;
   out.worst_costs = box.Center();
+  out.total_vertices = total_vertices;
   bool have = false;
   uint64_t best_mask = 0;
   for (const ChunkBest& b : best) {
     out.degenerate_vertices += b.degenerate;
+    out.failed_vertices += b.failed;
     if (!b.any) continue;
     const bool better =
         b.gtc > out.gtc || (have && b.gtc == out.gtc && b.mask < best_mask);
@@ -99,6 +104,10 @@ WorstCaseResult MergeChunks(const Box& box,
     }
   }
   if (have) box.VertexInto(best_mask, out.worst_costs);
+  if (total_vertices > 0) {
+    out.coverage = static_cast<double>(total_vertices - out.failed_vertices) /
+                   static_cast<double>(total_vertices);
+  }
   WarnDegenerateOnce(out.degenerate_vertices);
   return out;
 }
@@ -159,6 +168,80 @@ ChunkBest OracleChunkGray(PlanOracle& oracle, const UsageVector& initial,
     }
   }
   return b;
+}
+
+/// Fallible twin of OracleChunkScalar: an erring vertex is counted and
+/// skipped; the clean vertices are evaluated exactly as the infallible
+/// kernel does, so a zero-failure chunk is byte-identical to it.
+ChunkBest FallibleOracleChunkScalar(FalliblePlanOracle& oracle,
+                                    const UsageVector& initial, const Box& box,
+                                    uint64_t lo, uint64_t hi) {
+  ChunkBest b;
+  CostVector v(box.dims());
+  for (uint64_t mask = lo; mask < hi; ++mask) {
+    box.VertexInto(mask, v);
+    const Result<OracleResult> r = oracle.TryOptimize(v);
+    if (!r.ok()) {
+      ++b.failed;
+      continue;
+    }
+    if (r->total_cost <= 0.0) {
+      ++b.degenerate;
+      continue;
+    }
+    const double gtc = TotalCost(initial, v) / r->total_cost;
+    if (BeatsIncumbent(b, gtc, mask)) {
+      b.gtc = gtc;
+      b.mask = mask;
+      b.rival = r->plan_id;
+      b.any = true;
+    }
+  }
+  return b;
+}
+
+/// Fallible twin of OracleChunkGray. Skipping a failed vertex is safe in
+/// Gray order because coordinates are assigned (not accumulated), so the
+/// walk's later vertices are unaffected.
+ChunkBest FallibleOracleChunkGray(FalliblePlanOracle& oracle,
+                                  const UsageVector& initial, const Box& box,
+                                  uint64_t lo, uint64_t hi) {
+  ChunkBest b;
+  CostVector v(box.dims());
+  uint64_t g = GrayCode(lo);
+  box.VertexInto(g, v);
+  for (uint64_t rank = lo; rank < hi; ++rank) {
+    if (rank != lo) {
+      const int bit = GrayFlipBit(rank);
+      g ^= uint64_t{1} << bit;
+      v[bit] = (g >> bit) & 1 ? box.upper()[bit] : box.lower()[bit];
+    }
+    const Result<OracleResult> r = oracle.TryOptimize(v);
+    if (!r.ok()) {
+      ++b.failed;
+      continue;
+    }
+    if (r->total_cost <= 0.0) {
+      ++b.degenerate;
+      continue;
+    }
+    const double gtc = TotalCost(initial, v) / r->total_cost;
+    if (BeatsIncumbent(b, gtc, g)) {
+      b.gtc = gtc;
+      b.mask = g;
+      b.rival = r->plan_id;
+      b.any = true;
+    }
+  }
+  return b;
+}
+
+ChunkBest FallibleOracleChunk(FalliblePlanOracle& oracle,
+                              const UsageVector& initial, const Box& box,
+                              SweepKernel kernel, uint64_t lo, uint64_t hi) {
+  return kernel == SweepKernel::kScalar
+             ? FallibleOracleChunkScalar(oracle, initial, box, lo, hi)
+             : FallibleOracleChunkGray(oracle, initial, box, lo, hi);
 }
 
 /// Plan-set sweep over one chunk in ascending mask order: batched
@@ -296,7 +379,79 @@ Result<WorstCaseResult> WorstCaseByVertexSweep(PlanOracle& oracle,
                                     chunks[k].first, chunks[k].second);
     return Status::Ok();
   });
-  return MergeChunks(box, best);
+  return MergeChunks(box, best, vertices);
+}
+
+Result<WorstCaseResult> WorstCaseByVertexSweep(
+    FalliblePlanOracle& oracle, const UsageVector& initial_usage,
+    const Box& box, size_t max_dims, runtime::ThreadPool* pool,
+    runtime::resilience::SweepCheckpoint* checkpoint) {
+  return WorstCaseByVertexSweep(oracle, initial_usage, box,
+                                ConfiguredSweepKernel(), max_dims, pool,
+                                checkpoint);
+}
+
+Result<WorstCaseResult> WorstCaseByVertexSweep(
+    FalliblePlanOracle& oracle, const UsageVector& initial_usage,
+    const Box& box, SweepKernel kernel, size_t max_dims,
+    runtime::ThreadPool* pool,
+    runtime::resilience::SweepCheckpoint* checkpoint) {
+  if (box.dims() != initial_usage.size()) {
+    return Status::InvalidArgument("usage vector dims do not match box");
+  }
+  if (box.dims() > max_dims) {
+    return Status::FailedPrecondition(StrFormat(
+        "vertex sweep over %zu dims needs 2^%zu oracle calls; use the LP "
+        "method instead",
+        box.dims(), box.dims()));
+  }
+  const uint64_t vertices = box.VertexCount();
+
+  if (checkpoint == nullptr) {
+    const auto chunks = VertexChunks(vertices, pool);
+    std::vector<ChunkBest> best(chunks.size());
+    runtime::ForEachIndex(pool, chunks.size(), [&](size_t k) {
+      best[k] = FallibleOracleChunk(oracle, initial_usage, box, kernel,
+                                    chunks[k].first, chunks[k].second);
+      return Status::Ok();
+    });
+    return MergeChunks(box, best, vertices);
+  }
+
+  // Checkpointed path: the sweep runs on the checkpoint's fixed block grid
+  // rather than the pool-sized chunking, so stored blocks line up across
+  // runs at any thread count. Each stored block replaces its oracle calls
+  // with the recorded reduction; each freshly-clean block is recorded for
+  // the next attempt.
+  const uint64_t block_size = checkpoint->block_size();
+  const uint64_t num_blocks = (vertices + block_size - 1) / block_size;
+  std::vector<ChunkBest> best(num_blocks);
+  runtime::ForEachIndex(pool, num_blocks, [&](size_t k) {
+    const uint64_t lo = static_cast<uint64_t>(k) * block_size;
+    const uint64_t hi = std::min(vertices, lo + block_size);
+    runtime::resilience::SweepBlockResult stored;
+    if (checkpoint->Lookup(k, &stored)) {
+      ChunkBest& b = best[k];
+      b.gtc = stored.gtc;
+      b.mask = stored.mask;
+      b.rival = stored.rival;
+      b.any = stored.any;
+      b.degenerate = stored.degenerate;
+      return Status::Ok();
+    }
+    best[k] = FallibleOracleChunk(oracle, initial_usage, box, kernel, lo, hi);
+    if (best[k].failed == 0) {
+      runtime::resilience::SweepBlockResult r;
+      r.gtc = best[k].gtc;
+      r.mask = best[k].mask;
+      r.rival = best[k].rival;
+      r.any = best[k].any;
+      r.degenerate = best[k].degenerate;
+      checkpoint->Store(k, std::move(r));
+    }
+    return Status::Ok();
+  });
+  return MergeChunks(box, best, vertices);
 }
 
 WorstCaseResult WorstCaseOverPlansByVertices(const UsageVector& initial_usage,
@@ -337,7 +492,7 @@ WorstCaseResult WorstCaseOverPlanMatrix(const UsageVector& initial_usage,
                                    chunks[k].second);
     return Status::Ok();
   });
-  return MergeChunks(box, best);
+  return MergeChunks(box, best, vertices);
 }
 
 Result<WorstCaseResult> WorstCaseOverPlansByLp(

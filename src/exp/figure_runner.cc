@@ -40,6 +40,10 @@ Result<QueryAnalysis> FigureRunner::Analyze(
   out.baseline = space.BaselineCosts();
   out.dim_info = space.dim_info();
 
+  if (options_.resilience.enabled) {
+    return AnalyzeResilient(query, optimizer, oracle, narrow, std::move(out));
+  }
+
   // The initial plan: optimal at the (estimated) baseline costs, i.e. the
   // plan a DBA gets by leaving DB2's defaults in place (Section 8.1). The
   // baseline probe goes through the caching oracle, which also warms the
@@ -83,6 +87,89 @@ Result<QueryAnalysis> FigureRunner::Analyze(
   const runtime::OracleCacheStats cache = oracle.stats();
   out.cache_hits = cache.hits;
   out.cache_misses = cache.misses;
+  return out;
+}
+
+Result<QueryAnalysis> FigureRunner::AnalyzeResilient(
+    const query::Query& query, const opt::Optimizer& optimizer,
+    runtime::CachingOracle& oracle, blackbox::NarrowOptimizer& narrow,
+    QueryAnalysis out) const {
+  const Options::Resilience& res = options_.resilience;
+  // Faults are injected *above* the cache: a retried probe re-enters the
+  // injector (consuming its burst) and then lands on the warm cache, so
+  // retries cost no optimizer invocations and the cache only ever holds
+  // clean replies.
+  runtime::resilience::FaultInjectingOracle injector(oracle, res.faults,
+                                                     res.clock);
+  runtime::resilience::ResilientOracle resilient(injector, res.retry,
+                                                 res.clock);
+
+  // Degraded probe points this driver skipped or routed to a fallback;
+  // reconciled against the oracle- and injector-side counts below.
+  size_t degraded_points = 0;
+
+  // The initial plan. If the resilient probe fails even after retries, the
+  // analysis still proceeds: the in-process optimizer answers directly
+  // (the DBA can always EXPLAIN the current plan) and the point is
+  // accounted as degraded rather than fatal.
+  if (options_.white_box) {
+    Result<core::OracleResult> initial = resilient.TryOptimize(out.baseline);
+    if (initial.ok()) {
+      if (!initial->usage.has_value()) {
+        return Status::Internal("white-box oracle did not reveal usage");
+      }
+      out.initial_plan_id = initial->plan_id;
+      out.initial_usage = *initial->usage;
+    } else {
+      ++degraded_points;
+      const Result<opt::Optimized> direct =
+          optimizer.Optimize(query, out.baseline);
+      if (!direct.ok()) return direct.status();
+      out.initial_plan_id = direct->plan->id;
+      out.initial_usage = direct->plan->usage;
+    }
+  } else {
+    const Result<opt::Optimized> initial =
+        optimizer.Optimize(query, out.baseline);
+    if (!initial.ok()) return initial.status();
+    out.initial_plan_id = initial->plan->id;
+    out.initial_usage = initial->plan->usage;
+    // Warm the cache at the baseline point as the fault-free path does; a
+    // failure here just forfeits the warm-up.
+    if (!resilient.TryOptimize(out.baseline).ok()) ++degraded_points;
+  }
+
+  const double delta_max = options_.deltas.back();
+  const core::Box box = core::Box::MultiplicativeBand(out.baseline, delta_max);
+  Rng rng(options_.seed);
+  core::DiscoveryOptions discovery = options_.discovery;
+  discovery.pool = &pool();
+  Result<core::DiscoveryResult> d =
+      core::DiscoverCandidatePlans(resilient, box, rng, discovery);
+  if (!d.ok()) return d.status();
+  for (core::DiscoveredPlan& dp : d->plans) {
+    out.candidate_plans.push_back(std::move(dp.plan));
+  }
+  out.oracle_calls = narrow.calls();
+  out.discovery_complete = d->complete;
+  degraded_points += d->failed_probes;
+
+  const runtime::OracleCacheStats cache = oracle.stats();
+  out.cache_hits = cache.hits;
+  out.cache_misses = cache.misses;
+
+  const runtime::resilience::ResilienceStats stats = resilient.stats();
+  out.oracle_probe_calls = stats.calls;
+  out.oracle_attempts = stats.attempts;
+  out.oracle_retries = stats.retries;
+  out.oracle_failures = stats.failures;
+  out.faults_injected = injector.log().faults;
+  out.degraded_points = degraded_points;
+  out.probe_coverage =
+      stats.calls == 0
+          ? 1.0
+          : static_cast<double>(stats.calls - stats.failures) /
+                static_cast<double>(stats.calls);
   return out;
 }
 

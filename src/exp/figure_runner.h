@@ -11,8 +11,18 @@
 #include "core/vectors.h"
 #include "query/query.h"
 #include "runtime/oracle_cache.h"
+#include "runtime/resilience/fault_injector.h"
+#include "runtime/resilience/resilient_oracle.h"
 #include "runtime/thread_pool.h"
 #include "storage/layout.h"
+
+namespace costsense::opt {
+class Optimizer;
+}  // namespace costsense::opt
+
+namespace costsense::blackbox {
+class NarrowOptimizer;
+}  // namespace costsense::blackbox
 
 namespace costsense::exp {
 
@@ -38,6 +48,24 @@ struct QueryAnalysis {
   /// Memoizing-oracle effectiveness during this analysis.
   size_t cache_hits = 0;
   size_t cache_misses = 0;
+  /// Resilience accounting (all zero when the resilience tier is off).
+  /// Oracle-side view, from ResilientOracle: probe_calls are TryOptimize
+  /// invocations, attempts includes retries; failures are calls that erred
+  /// after the whole retry budget.
+  size_t oracle_probe_calls = 0;
+  size_t oracle_attempts = 0;
+  size_t oracle_retries = 0;
+  size_t oracle_failures = 0;
+  /// Fault events the injector actually delivered (its own log).
+  size_t faults_injected = 0;
+  /// Driver-side view: probe points this analysis skipped or routed to a
+  /// fallback because their oracle call failed. With a zero retry budget
+  /// each injected fault surfaces as exactly one degraded point, so
+  /// degraded_points == oracle_failures == faults_injected.
+  size_t degraded_points = 0;
+  /// Fraction of resilient oracle calls that produced a usable reply; 1.0
+  /// marks a full-coverage (non-degraded) analysis.
+  double probe_coverage = 1.0;
 };
 
 /// One point of a worst-case curve (paper Figures 5-7): at error level
@@ -84,6 +112,25 @@ class FigureRunner {
     runtime::ThreadPool* pool = nullptr;
     /// Memoizing oracle cache applied around each per-query optimizer.
     runtime::OracleCacheOptions cache;
+    /// Optional fault-injection + retry tier. When enabled the per-query
+    /// oracle stack becomes
+    ///   drivers -> ResilientOracle -> FaultInjectingOracle -> cache ->
+    ///   optimizer
+    /// (faults above the cache, so retries are cheap and the cache holds
+    /// only clean replies) and Analyze degrades gracefully instead of
+    /// failing: probes the stack cannot answer are skipped and accounted
+    /// in the QueryAnalysis counters. With fault_rate 0, or any fault rate
+    /// whose bursts the retry budget absorbs (max_retries > max_burst),
+    /// analysis content is byte-identical to the tier being off.
+    struct Resilience {
+      bool enabled = false;
+      runtime::resilience::FaultInjectionOptions faults;
+      runtime::resilience::ResilientOracleOptions retry;
+      /// Clock for latency faults, backoff and deadlines; null = real
+      /// steady clock (tests inject a ManualClock).
+      runtime::resilience::Clock* clock = nullptr;
+    };
+    Resilience resilience;
   };
 
   FigureRunner(const catalog::Catalog& catalog, Options options);
@@ -112,6 +159,16 @@ class FigureRunner {
 
  private:
   runtime::ThreadPool& pool() const;
+
+  /// The fault-tolerant variant of Analyze's probing phase, used when
+  /// options_.resilience.enabled: stacks the injector and retry tiers over
+  /// `oracle`, degrades per-point instead of failing, and fills the
+  /// resilience counters. `out` arrives with the layout fields populated.
+  Result<QueryAnalysis> AnalyzeResilient(const query::Query& query,
+                                         const opt::Optimizer& optimizer,
+                                         runtime::CachingOracle& oracle,
+                                         blackbox::NarrowOptimizer& narrow,
+                                         QueryAnalysis out) const;
 
   const catalog::Catalog& catalog_;
   Options options_;

@@ -22,6 +22,13 @@ std::string RuntimeMetrics::Render() const {
       "degenerate_vertices=%zu\n",
       threads, tasks_run, queue_high_water, cache_hits, cache_misses,
       cache_evictions, CacheHitRate(), degenerate_vertices);
+  if (oracle_attempts > 0 || faults_injected > 0 || degraded_points > 0) {
+    out += StrFormat(
+        "resilience: attempts=%zu retries=%zu failures=%zu "
+        "faults_injected=%zu degraded_points=%zu coverage=%.4f\n",
+        oracle_attempts, oracle_retries, oracle_failures, faults_injected,
+        degraded_points, coverage);
+  }
   for (const auto& [name, ms] : phase_wall_ms) {
     out += StrFormat("  phase %-12s %10.1f ms\n", name.c_str(), ms);
   }
@@ -36,10 +43,14 @@ std::string RuntimeMetrics::ToJsonLine(
       "{\"bench\":\"%s\",\"threads\":%zu,\"wall_ms\":%.1f,"
       "\"tasks_run\":%zu,\"queue_high_water\":%zu,"
       "\"cache_hits\":%zu,\"cache_misses\":%zu,\"cache_evictions\":%zu,"
-      "\"cache_hit_rate\":%.4f,\"degenerate_vertices\":%zu",
+      "\"cache_hit_rate\":%.4f,\"degenerate_vertices\":%zu,"
+      "\"oracle_attempts\":%zu,\"oracle_retries\":%zu,"
+      "\"oracle_failures\":%zu,\"faults_injected\":%zu,"
+      "\"degraded_points\":%zu,\"coverage\":%.6f",
       bench_name.c_str(), threads, TotalWallMs(), tasks_run, queue_high_water,
       cache_hits, cache_misses, cache_evictions, CacheHitRate(),
-      degenerate_vertices);
+      degenerate_vertices, oracle_attempts, oracle_retries, oracle_failures,
+      faults_injected, degraded_points, coverage);
   for (const auto& [name, ms] : phase_wall_ms) {
     out += StrFormat(",\"%s_ms\":%.1f", name.c_str(), ms);
   }

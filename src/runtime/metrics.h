@@ -40,6 +40,18 @@ struct RuntimeMetrics {
   /// Degenerate vertices (non-positive optimal cost) skipped by worst-case
   /// vertex sweeps during the run; summed from WorstCaseResult counters.
   size_t degenerate_vertices = 0;
+  /// Resilience-tier accounting (all zero when the tier is off): oracle
+  /// attempts including retries, retry attempts, calls that failed after
+  /// the whole retry budget, fault events the injector delivered, probe
+  /// points the drivers degraded (skipped or routed to a fallback), and
+  /// the fraction of oracle calls that produced a usable reply (1.0 =
+  /// full coverage, nothing degraded).
+  size_t oracle_attempts = 0;
+  size_t oracle_retries = 0;
+  size_t oracle_failures = 0;
+  size_t faults_injected = 0;
+  size_t degraded_points = 0;
+  double coverage = 1.0;
   /// (phase name, wall milliseconds), in execution order.
   std::vector<std::pair<std::string, double>> phase_wall_ms;
 

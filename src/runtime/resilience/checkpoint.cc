@@ -1,0 +1,129 @@
+#include "runtime/resilience/checkpoint.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace costsense::runtime::resilience {
+namespace {
+
+constexpr const char* kHeaderTag = "costsense-sweep-checkpoint";
+constexpr int kVersion = 1;
+
+}  // namespace
+
+SweepCheckpoint::SweepCheckpoint(uint64_t block_size)
+    : block_size_(block_size) {
+  COSTSENSE_CHECK_MSG(block_size_ > 0, "checkpoint block size must be > 0");
+}
+
+SweepCheckpoint::SweepCheckpoint(SweepCheckpoint&& other) noexcept
+    : block_size_(other.block_size_) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  blocks_ = std::move(other.blocks_);
+}
+
+SweepCheckpoint& SweepCheckpoint::operator=(SweepCheckpoint&& other) noexcept {
+  if (this != &other) {
+    std::scoped_lock lock(mu_, other.mu_);
+    block_size_ = other.block_size_;
+    blocks_ = std::move(other.blocks_);
+  }
+  return *this;
+}
+
+void SweepCheckpoint::Store(uint64_t block, SweepBlockResult result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  blocks_[block] = std::move(result);
+}
+
+bool SweepCheckpoint::Lookup(uint64_t block, SweepBlockResult* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blocks_.find(block);
+  if (it == blocks_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+size_t SweepCheckpoint::blocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blocks_.size();
+}
+
+std::string SweepCheckpoint::Serialize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = StrFormat("%s v%d block_size=%llu\n", kHeaderTag, kVersion,
+                              static_cast<unsigned long long>(block_size_));
+  for (const auto& [block, r] : blocks_) {
+    // %a renders the exact bit pattern of the double, so gtc survives a
+    // serialize/load round trip without rounding.
+    out += StrFormat("block=%llu gtc=%a mask=%llu any=%d degenerate=%llu "
+                     "rival=%s\n",
+                     static_cast<unsigned long long>(block), r.gtc,
+                     static_cast<unsigned long long>(r.mask),
+                     r.any ? 1 : 0,
+                     static_cast<unsigned long long>(r.degenerate),
+                     r.rival.c_str());
+  }
+  return out;
+}
+
+Result<SweepCheckpoint> SweepCheckpoint::Deserialize(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("checkpoint snapshot is empty");
+  }
+  char tag[64];
+  int version = 0;
+  unsigned long long block_size = 0;
+  if (std::sscanf(line.c_str(), "%63s v%d block_size=%llu", tag, &version,
+                  &block_size) != 3 ||
+      std::string(tag) != kHeaderTag) {
+    return Status::InvalidArgument("checkpoint snapshot has a bad header");
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument(
+        StrFormat("checkpoint snapshot version %d unsupported", version));
+  }
+  if (block_size == 0) {
+    return Status::InvalidArgument("checkpoint block size must be > 0");
+  }
+
+  SweepCheckpoint ckpt(block_size);
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    unsigned long long block = 0;
+    double gtc = 0.0;
+    unsigned long long mask = 0;
+    int any = 0;
+    unsigned long long degenerate = 0;
+    int rival_at = -1;
+    // rival= is last on the line and may contain spaces; capture its
+    // starting offset and slice manually.
+    if (std::sscanf(line.c_str(),
+                    "block=%llu gtc=%la mask=%llu any=%d degenerate=%llu "
+                    "rival=%n",
+                    &block, &gtc, &mask, &any, &degenerate, &rival_at) != 5 ||
+        rival_at < 0) {
+      return Status::InvalidArgument(
+          StrFormat("checkpoint snapshot line %zu is malformed", line_no));
+    }
+    SweepBlockResult r;
+    r.gtc = gtc;
+    r.mask = mask;
+    r.any = any != 0;
+    r.degenerate = degenerate;
+    r.rival = line.substr(static_cast<size_t>(rival_at));
+    ckpt.blocks_[block] = std::move(r);
+  }
+  return ckpt;
+}
+
+}  // namespace costsense::runtime::resilience

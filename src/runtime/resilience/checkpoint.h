@@ -1,0 +1,83 @@
+#ifndef COSTSENSE_RUNTIME_RESILIENCE_CHECKPOINT_H_
+#define COSTSENSE_RUNTIME_RESILIENCE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace costsense::runtime::resilience {
+
+/// The reduced outcome of one fixed-size block of vertex ranks — the same
+/// information a sweep chunk carries, in a serializable shape. A block is
+/// only ever recorded when every vertex in it was evaluated cleanly, so a
+/// stored block never needs re-probing on resume.
+struct SweepBlockResult {
+  /// Best global relative cost seen in the block (1.0 when `any` is false).
+  double gtc = 1.0;
+  /// Vertex mask achieving it (the order-free tie-break key).
+  uint64_t mask = 0;
+  /// Rival plan id at that vertex.
+  std::string rival;
+  /// Whether any non-degenerate vertex was evaluated.
+  bool any = false;
+  /// Vertices skipped for a non-positive optimal cost.
+  uint64_t degenerate = 0;
+};
+
+/// A resumable record of a long vertex sweep, keyed by fixed-size blocks of
+/// vertex ranks.
+///
+/// The block grid is a property of the sweep (`block_size` ranks per
+/// block), deliberately independent of how a thread pool chunks the work:
+/// a checkpoint taken at 1 thread resumes correctly at any thread count
+/// and vice versa. Only fully-clean blocks are stored — a block any of
+/// whose vertices failed (oracle error after retries) is left absent so a
+/// resume re-evaluates exactly the failed and never-reached blocks,
+/// reusing the oracle cache for the vertices that did answer.
+///
+/// Store/Lookup are safe to call concurrently from pool workers.
+class SweepCheckpoint {
+ public:
+  explicit SweepCheckpoint(uint64_t block_size = 256);
+
+  /// Movable (the mutex is not moved; the target gets a fresh one) so it
+  /// can travel in a Result. Not copyable.
+  SweepCheckpoint(SweepCheckpoint&& other) noexcept;
+  SweepCheckpoint& operator=(SweepCheckpoint&& other) noexcept;
+  SweepCheckpoint(const SweepCheckpoint&) = delete;
+  SweepCheckpoint& operator=(const SweepCheckpoint&) = delete;
+
+  uint64_t block_size() const { return block_size_; }
+
+  /// Records `result` for block index `block` (overwrites a prior entry).
+  /// Only call for blocks whose every vertex evaluated cleanly.
+  void Store(uint64_t block, SweepBlockResult result);
+
+  /// Copies block `block` into `*out` when present; returns whether it was.
+  bool Lookup(uint64_t block, SweepBlockResult* out) const;
+
+  /// Number of stored blocks.
+  size_t blocks() const;
+
+  /// Plain-text snapshot: a version header carrying the block size, then
+  /// one line per block. Doubles are rendered as hex floats so a load
+  /// restores them bit for bit.
+  std::string Serialize() const;
+
+  /// Parses a Serialize() snapshot. The checkpoint's block size is taken
+  /// from the header; malformed input yields a typed error, never a
+  /// partially-loaded checkpoint.
+  static Result<SweepCheckpoint> Deserialize(const std::string& text);
+
+ private:
+  uint64_t block_size_;
+  mutable std::mutex mu_;
+  std::map<uint64_t, SweepBlockResult> blocks_;
+};
+
+}  // namespace costsense::runtime::resilience
+
+#endif  // COSTSENSE_RUNTIME_RESILIENCE_CHECKPOINT_H_

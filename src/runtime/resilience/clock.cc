@@ -1,0 +1,29 @@
+#include "runtime/resilience/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace costsense::runtime::resilience {
+namespace {
+
+class SteadyClock final : public Clock {
+ public:
+  uint64_t NowNanos() override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+  void SleepFor(uint64_t nanos) override {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(nanos));
+  }
+};
+
+}  // namespace
+
+Clock& Clock::Real() {
+  static SteadyClock* clock = new SteadyClock();
+  return *clock;
+}
+
+}  // namespace costsense::runtime::resilience

@@ -1,0 +1,130 @@
+#ifndef COSTSENSE_RUNTIME_RESILIENCE_RESILIENT_ORACLE_H_
+#define COSTSENSE_RUNTIME_RESILIENCE_RESILIENT_ORACLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "core/oracle.h"
+#include "runtime/resilience/clock.h"
+
+namespace costsense::runtime::resilience {
+
+/// Tuning for ResilientOracle — the retry/hedging tier of the oracle
+/// decorator stack.
+struct ResilientOracleOptions {
+  /// Retries after the first attempt (total attempts = max_retries + 1).
+  /// 0 disables retrying: every fault surfaces to the caller.
+  size_t max_retries = 5;
+  /// Per-attempt deadline on the injected clock; an attempt whose reply
+  /// arrives later is discarded as kDeadlineExceeded (and retried while
+  /// budget remains). 0 = unlimited.
+  uint64_t per_call_deadline_ns = 0;
+  /// Cumulative budget for the oracle's whole lifetime (one sweep/run).
+  /// Once spent, calls fail fast with kDeadlineExceeded instead of
+  /// retrying — a long sweep degrades its tail rather than hanging.
+  /// 0 = unlimited. ResetBudget() restarts the window.
+  uint64_t run_deadline_ns = 0;
+  /// Exponential backoff between retries: attempt k sleeps
+  /// backoff_base_ns * backoff_multiplier^k, scaled by a deterministic
+  /// jitter factor in [1, 1 + backoff_jitter] drawn from a stream keyed by
+  /// (seed, quantized cost vector, attempt).
+  uint64_t backoff_base_ns = 1000;
+  double backoff_multiplier = 2.0;
+  double backoff_jitter = 0.25;
+  /// Consecutive *exhausted* calls (all retries failed) that open the
+  /// circuit breaker; while open, calls fail fast with kUnavailable until
+  /// breaker_cooldown_ns passes, then one probe call is let through
+  /// (half-open). 0 disables the breaker.
+  size_t breaker_threshold = 0;
+  uint64_t breaker_cooldown_ns = 1'000'000;
+  /// Reply validation: a reply with a non-finite total cost or an empty
+  /// plan id is always rejected (converted to kInternal and retried).
+  /// Optionally also reject non-positive costs — off by default because
+  /// the vertex sweeps legitimately see non-positive optima at degenerate
+  /// vertices and account for them separately.
+  bool require_positive_cost = false;
+  /// Extra validation hook (e.g. membership in a known plan-id set);
+  /// return a non-OK status to reject the reply. Null = none.
+  std::function<Status(const core::OracleResult&)> validate;
+  /// Seed of the jitter streams.
+  uint64_t seed = 0x0e51113e;
+  /// Mantissa bits for the per-key jitter stream quantization (matches the
+  /// oracle cache / fault injector keying).
+  int key_mantissa_bits = 40;
+};
+
+/// Counters exported by a ResilientOracle. Snapshots are consistent per
+/// field; `failures` is the count the graceful-degradation layer must
+/// account for point by point.
+struct ResilienceStats {
+  /// TryOptimize invocations.
+  size_t calls = 0;
+  /// Base-oracle attempts, including retries.
+  size_t attempts = 0;
+  /// Attempts beyond the first of their call.
+  size_t retries = 0;
+  /// Calls that failed at least once and then succeeded within budget.
+  size_t recovered = 0;
+  /// Calls that returned an error to the caller (retry budget exhausted,
+  /// run deadline spent, or breaker open).
+  size_t failures = 0;
+  /// Replies rejected by validation (non-finite cost, empty id, hook).
+  size_t invalid_replies = 0;
+  /// Attempts discarded for blowing the per-call deadline.
+  size_t deadline_exceeded = 0;
+  /// Times the breaker transitioned closed -> open.
+  size_t breaker_trips = 0;
+  /// Calls rejected without touching the base oracle while open.
+  size_t breaker_short_circuits = 0;
+  /// Virtual/real nanoseconds spent in backoff sleeps.
+  uint64_t backoff_waited_ns = 0;
+};
+
+/// Bounded-retry decorator over a fallible oracle: exponential backoff
+/// with deterministic jitter, per-call and per-run deadline budgets on an
+/// injectable Clock, a consecutive-failure circuit breaker, and reply
+/// validation that converts garbage replies into typed Status codes.
+///
+/// Determinism: whether a call ultimately succeeds depends only on the
+/// wrapped oracle's (deterministic) fault script and the retry budget —
+/// backoff jitter affects time, never results. Under an injected fault
+/// burst shorter than the retry budget, callers observe exactly the
+/// fault-free reply stream, which is what makes figure output byte-stable
+/// under faults.
+class ResilientOracle final : public core::FalliblePlanOracle {
+ public:
+  /// `base` is not owned and must outlive this. `clock` defaults to the
+  /// real steady clock.
+  ResilientOracle(core::FalliblePlanOracle& base,
+                  const ResilientOracleOptions& options,
+                  Clock* clock = nullptr);
+
+  Result<core::OracleResult> TryOptimize(const core::CostVector& c) override;
+  size_t dims() const override { return base_.dims(); }
+
+  ResilienceStats stats() const;
+
+  /// Restarts the run-deadline window and closes the breaker (counters are
+  /// preserved). Call between sweeps that share one oracle.
+  void ResetBudget();
+
+ private:
+  Status ValidateReply(const core::OracleResult& r) const;
+
+  core::FalliblePlanOracle& base_;
+  const ResilientOracleOptions options_;
+  Clock& clock_;
+
+  mutable std::mutex mu_;  // guards everything below
+  ResilienceStats stats_;
+  uint64_t run_start_ns_ = 0;
+  size_t consecutive_failures_ = 0;
+  bool breaker_open_ = false;
+  uint64_t breaker_open_until_ns_ = 0;
+};
+
+}  // namespace costsense::runtime::resilience
+
+#endif  // COSTSENSE_RUNTIME_RESILIENCE_RESILIENT_ORACLE_H_

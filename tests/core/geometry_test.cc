@@ -3,6 +3,8 @@
 // (Section 4.4) and the feasible cost region (Section 3.3).
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/rng.h"
 #include "core/dominance.h"
 #include "core/feasible_region.h"
@@ -10,6 +12,9 @@
 
 namespace costsense::core {
 namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
 
 TEST(SwitchoverTest, NormalIsDifferenceOfUsageVectors) {
   const SwitchoverPlane plane(UsageVector{3.0, 1.0}, UsageVector{1.0, 2.0});
@@ -160,6 +165,56 @@ TEST(BoxDeathTest, RejectsNonPositiveLower) {
 
 TEST(BoxDeathTest, RejectsDeltaBelowOne) {
   EXPECT_DEATH(Box::MultiplicativeBand(CostVector{1.0}, 0.5), "delta");
+}
+
+TEST(BoxDeathTest, RejectsNonFiniteBounds) {
+  EXPECT_DEATH(Box(CostVector{1.0}, CostVector{kInf}), "finite");
+  EXPECT_DEATH(Box(CostVector{kNan}, CostVector{1.0}), "finite");
+}
+
+TEST(BoxDeathTest, RejectsLowerAboveUpper) {
+  EXPECT_DEATH(Box(CostVector{2.0}, CostVector{1.0}), "lower bound above");
+}
+
+TEST(BoxValidatedTest, AcceptsGoodBoundsAndMatchesConstructor) {
+  const Result<Box> box = Box::Validated(CostVector{1.0, 2.0},
+                                         CostVector{3.0, 4.0});
+  ASSERT_TRUE(box.ok());
+  EXPECT_EQ(box->lower(), (CostVector{1.0, 2.0}));
+  EXPECT_EQ(box->upper(), (CostVector{3.0, 4.0}));
+}
+
+TEST(BoxValidatedTest, RejectsBadBoundsWithTypedStatus) {
+  // Each violation is a typed InvalidArgument, not a process abort: these
+  // bounds may arrive from checkpoints or config rather than local math.
+  EXPECT_EQ(Box::Validated(CostVector{2.0}, CostVector{1.0}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Box::Validated(CostVector{0.0}, CostVector{1.0}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Box::Validated(CostVector{1.0}, CostVector{kInf}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Box::Validated(CostVector{kNan}, CostVector{1.0}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      Box::Validated(CostVector{1.0}, CostVector{1.0, 2.0}).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(BoxValidatedTest, MultiplicativeBandValidatesDeltaAndBaseline) {
+  ASSERT_TRUE(Box::ValidatedMultiplicativeBand(CostVector{1.0, 2.0}, 10.0)
+                  .ok());
+  EXPECT_EQ(Box::ValidatedMultiplicativeBand(CostVector{1.0}, 0.5)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Box::ValidatedMultiplicativeBand(CostVector{1.0}, kNan)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Box::ValidatedMultiplicativeBand(CostVector{kNan}, 10.0)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 
 #include <bit>
 #include <cstdlib>
+#include <limits>
 #include <set>
 #include <string_view>
 
@@ -299,6 +300,35 @@ TEST(DominancePrescreenTest, SameSurvivorsAsNaiveScan) {
       }
     }
   }
+}
+
+TEST(PlanMatrixTest, ValidatedRejectsNonFiniteUsageWithTypedStatus) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<PlanUsage> good = {{"a", UsageVector{1.0, 2.0}},
+                                       {"b", UsageVector{2.0, 1.0}}};
+  const Result<PlanMatrix> ok = PlanMatrix::Validated(good);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->rows(), 2u);
+  EXPECT_EQ(ok->dims(), 2u);
+
+  // Garbage usage vectors — a faulty oracle reply or a degenerate fit —
+  // must surface as InvalidArgument naming the plan, not as a CHECK abort.
+  const std::vector<PlanUsage> with_nan = {{"a", UsageVector{1.0, 2.0}},
+                                           {"bad", UsageVector{kNan, 1.0}}};
+  const Result<PlanMatrix> nan_result = PlanMatrix::Validated(with_nan);
+  ASSERT_FALSE(nan_result.ok());
+  EXPECT_EQ(nan_result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(nan_result.status().message().find("bad"), std::string::npos);
+
+  const std::vector<PlanUsage> with_inf = {{"c", UsageVector{kInf, 1.0}}};
+  EXPECT_EQ(PlanMatrix::Validated(with_inf).status().code(),
+            StatusCode::kInvalidArgument);
+
+  const std::vector<PlanUsage> ragged = {{"a", UsageVector{1.0, 2.0}},
+                                         {"short", UsageVector{1.0}}};
+  EXPECT_EQ(PlanMatrix::Validated(ragged).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(DominancePrescreenTest, EdgeCases) {

@@ -100,6 +100,35 @@ TEST(ThreadPoolTest, StatusPropagatesLowestFailingIndex) {
   }
 }
 
+TEST(ThreadPoolTest, MassFailureUnderContentionReportsLowestIndex) {
+  // Adversarial variant of the test above, modeled on a fault-injected
+  // probe sweep: hundreds of iterations fail, and the lowest failing
+  // index is deliberately the *slowest* to report, so an implementation
+  // that kept the first error to arrive would return a higher index.
+  // Every round on the contended pool must still run all iterations and
+  // report the lowest failing index.
+  ThreadPool pool(4);
+  const size_t n = 1000;
+  for (size_t round = 0; round < 5; ++round) {
+    const size_t lowest = 11 + 31 * round;
+    std::atomic<size_t> executed{0};
+    const Status s = pool.ParallelFor(n, [&](size_t i) -> Status {
+      executed.fetch_add(1);
+      if (i < lowest || (i - lowest) % 3 != 0) return Status::Ok();
+      if (i == lowest) {
+        // Make the winning error the last one to arrive in wall time.
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      return Status::Unavailable("fault at " + std::to_string(i));
+    });
+    EXPECT_EQ(executed.load(), n);
+    ASSERT_FALSE(s.ok());
+    EXPECT_NE(s.message().find("fault at " + std::to_string(lowest)),
+              std::string::npos)
+        << "round " << round << ": " << s.ToString();
+  }
+}
+
 TEST(ThreadPoolTest, ParallelMapPreservesInputOrder) {
   ThreadPool pool(4);
   std::vector<int> items;
