@@ -34,7 +34,7 @@ class NarrowOptimizer : public core::PlanOracle {
 
   /// Re-runs the optimizer at `c` and returns the full plan (for EXPLAIN
   /// inspection once an interesting cost point is identified).
-  Result<opt::Optimized> Inspect(const core::CostVector& c) const;
+  [[nodiscard]] Result<opt::Optimized> Inspect(const core::CostVector& c) const;
 
  private:
   const opt::Optimizer& optimizer_;

@@ -33,7 +33,7 @@ class Catalog {
   const Table& table(int id) const;
   const Index& index(int id) const;
 
-  Result<int> TableId(const std::string& name) const;
+  [[nodiscard]] Result<int> TableId(const std::string& name) const;
 
   /// Ids of all indexes on `table_id`.
   std::vector<int> IndexesOn(int table_id) const;

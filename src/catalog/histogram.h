@@ -17,7 +17,7 @@ class EquiDepthHistogram {
   /// Builds a histogram with up to `num_buckets` buckets over `values`
   /// (need not be sorted; copied and sorted internally). Fails on empty
   /// input or zero buckets.
-  static Result<EquiDepthHistogram> Build(std::vector<double> values,
+  [[nodiscard]] static Result<EquiDepthHistogram> Build(std::vector<double> values,
                                           size_t num_buckets);
 
   size_t num_buckets() const { return counts_.size(); }

@@ -30,7 +30,7 @@ class Table {
   size_t num_columns() const { return columns_.size(); }
 
   /// Index of the column with `name`, or NotFound.
-  Result<size_t> ColumnIndex(const std::string& name) const;
+  [[nodiscard]] Result<size_t> ColumnIndex(const std::string& name) const;
 
  private:
   std::string name_;

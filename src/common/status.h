@@ -30,8 +30,11 @@ const char* StatusCodeName(StatusCode code);
 /// A lightweight success/error result, modeled after absl::Status.
 ///
 /// costsense does not throw exceptions across API boundaries; fallible
-/// operations return `Status` or `Result<T>` instead.
-class Status {
+/// operations return `Status` or `Result<T>` instead. The class-level
+/// [[nodiscard]] makes the compiler reject silently dropped statuses from
+/// any call site (enforced under -DCOSTSENSE_WERROR=ON); the per-function
+/// attributes repeat the contract where the declaration is read.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -39,29 +42,29 @@ class Status {
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status Ok() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status Ok() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status FailedPrecondition(std::string msg) {
+  [[nodiscard]] static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
-  static Status Unimplemented(std::string msg) {
+  [[nodiscard]] static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
-  static Status Unavailable(std::string msg) {
+  [[nodiscard]] static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
-  static Status DeadlineExceeded(std::string msg) {
+  [[nodiscard]] static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
@@ -82,7 +85,7 @@ class Status {
 /// Access the value only after checking `ok()`; `value()` on an error
 /// aborts the process (there are no exceptions to throw).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs from a value (implicit, mirroring absl::StatusOr).
   Result(T value) : rep_(std::move(value)) {}
@@ -92,7 +95,7 @@ class Result {
   bool ok() const { return std::holds_alternative<T>(rep_); }
 
   /// Returns the error status, or OK if a value is held.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     if (ok()) return Status::Ok();
     return std::get<Status>(rep_);
   }

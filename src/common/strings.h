@@ -12,6 +12,7 @@ std::string Join(const std::vector<std::string>& parts, std::string_view sep);
 
 /// printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...)
+    // costsense-lint: allow(R3, "format-checking attribute, not an output call")
     __attribute__((format(printf, 1, 2)));
 
 /// Formats a double compactly for plan ids and reports (trims trailing

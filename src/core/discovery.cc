@@ -5,6 +5,7 @@
 #include <optional>
 #include <utility>
 
+#include "common/macros.h"
 #include "core/region_of_influence.h"
 #include "runtime/thread_pool.h"
 
@@ -83,11 +84,13 @@ class Discoverer {
   std::vector<std::optional<OracleResult>> ProbeBatch(
       const std::vector<CostVector>& points) {
     std::vector<std::optional<OracleResult>> results(points.size());
-    runtime::ForEachIndex(options_.pool, points.size(), [&](size_t i) {
+    const Status pool_status =
+        runtime::ForEachIndex(options_.pool, points.size(), [&](size_t i) {
       Result<OracleResult> r = oracle_.TryOptimize(points[i]);
       if (r.ok()) results[i] = std::move(r).value();
       return Status::Ok();
     });
+    COSTSENSE_CHECK(pool_status.ok());  // bodies always return Ok
     calls_ += points.size();
     for (size_t i = 0; i < points.size(); ++i) {
       if (results[i].has_value()) {
@@ -277,7 +280,8 @@ class Discoverer {
   /// independent and fan out over the pool.
   void ComputeMargins(std::vector<DiscoveredPlan>& plans) const {
     if (plans.size() > 96) return;
-    runtime::ForEachIndex(options_.pool, plans.size(), [&](size_t i) {
+    const Status pool_status =
+        runtime::ForEachIndex(options_.pool, plans.size(), [&](size_t i) {
       std::vector<PlanUsage> rivals;
       rivals.reserve(plans.size() - 1);
       for (size_t j = 0; j < plans.size(); ++j) {
@@ -288,6 +292,7 @@ class Discoverer {
       if (cr.ok() && cr->candidate) plans[i].margin = cr->margin;
       return Status::Ok();
     });
+    COSTSENSE_CHECK(pool_status.ok());  // bodies always return Ok
   }
 
   Status CompletenessProbe(const std::vector<DiscoveredPlan>& plans) {
@@ -304,7 +309,8 @@ class Discoverer {
     // Phase 1 (parallel, pure LP): a deep-interior witness per region.
     std::vector<std::optional<Result<CandidacyResult>>> witnesses(
         order.size());
-    runtime::ForEachIndex(options_.pool, order.size(), [&](size_t k) {
+    const Status pool_status =
+        runtime::ForEachIndex(options_.pool, order.size(), [&](size_t k) {
       const DiscoveredPlan& dp = plans[order[k]];
       std::vector<PlanUsage> rivals;
       for (const DiscoveredPlan& other : plans) {
@@ -315,6 +321,7 @@ class Discoverer {
       witnesses[k].emplace(FindRegionWitness(dp.plan.usage, rivals, box_));
       return Status::Ok();
     });
+    COSTSENSE_CHECK(pool_status.ok());  // bodies always return Ok
     // Phase 2 (batched): the discovered set predicts each plan at its
     // witness; probe them all — where the oracle disagrees, Record adds
     // the new plan automatically.

@@ -90,7 +90,7 @@ struct DiscoveryResult {
 /// sample cost vectors, ask the optimizer for the optimal plan at each,
 /// estimate usage vectors (least squares if the oracle is narrow), and
 /// verify completeness using the convexity of regions of influence.
-Result<DiscoveryResult> DiscoverCandidatePlans(PlanOracle& oracle,
+[[nodiscard]] Result<DiscoveryResult> DiscoverCandidatePlans(PlanOracle& oracle,
                                                const Box& box, Rng& rng,
                                                const DiscoveryOptions& options);
 
@@ -101,7 +101,7 @@ Result<DiscoveryResult> DiscoverCandidatePlans(PlanOracle& oracle,
 /// failed midpoint stops refining one segment, a failed extraction drops
 /// one narrow plan. Against an oracle that never errors this is
 /// call-for-call identical to the overload above.
-Result<DiscoveryResult> DiscoverCandidatePlans(FalliblePlanOracle& oracle,
+[[nodiscard]] Result<DiscoveryResult> DiscoverCandidatePlans(FalliblePlanOracle& oracle,
                                                const Box& box, Rng& rng,
                                                const DiscoveryOptions& options);
 

@@ -42,8 +42,8 @@ class Box {
   /// For bounds that arrive from outside the process's own arithmetic —
   /// checkpoint files, configuration, extraction output — where a bad
   /// value must degrade one analysis, not kill the run.
-  static Result<Box> Validated(CostVector lower, CostVector upper);
-  static Result<Box> ValidatedMultiplicativeBand(const CostVector& baseline,
+  [[nodiscard]] static Result<Box> Validated(CostVector lower, CostVector upper);
+  [[nodiscard]] static Result<Box> ValidatedMultiplicativeBand(const CostVector& baseline,
                                                  double delta);
 
   size_t dims() const { return lower_.size(); }

@@ -52,7 +52,7 @@ class FalliblePlanOracle {
   /// Optimizes under resource costs `c`, or reports why it could not:
   /// kUnavailable for transient faults, kDeadlineExceeded for blown time
   /// budgets, kInternal for replies rejected by validation.
-  virtual Result<OracleResult> TryOptimize(const CostVector& c) = 0;
+  [[nodiscard]] virtual Result<OracleResult> TryOptimize(const CostVector& c) = 0;
 
   virtual size_t dims() const = 0;
 };
@@ -66,7 +66,7 @@ class InfallibleOracleAdapter final : public FalliblePlanOracle {
   /// `base` is not owned and must outlive this.
   explicit InfallibleOracleAdapter(PlanOracle& base) : base_(base) {}
 
-  Result<OracleResult> TryOptimize(const CostVector& c) override {
+  [[nodiscard]] Result<OracleResult> TryOptimize(const CostVector& c) override {
     return base_.Optimize(c);
   }
   size_t dims() const override { return base_.dims(); }

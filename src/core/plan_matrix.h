@@ -34,7 +34,7 @@ class PlanMatrix {
   /// from an untrusted source — a faulty oracle reply, a checkpoint, a
   /// least-squares fit that went non-finite — where a garbage usage vector
   /// must fail one analysis, not abort the sweep that batched it.
-  static Result<PlanMatrix> Validated(const std::vector<PlanUsage>& plans);
+  [[nodiscard]] static Result<PlanMatrix> Validated(const std::vector<PlanUsage>& plans);
 
   /// Number of plans (matrix rows).
   size_t rows() const { return rows_; }

@@ -34,7 +34,7 @@ struct CandidacyResult {
 /// This is the LP replacement for the paper's geometric construction:
 /// regions of influence are convex polytopes bounded by switchover planes,
 /// so emptiness and interior points are exactly LP questions.
-Result<CandidacyResult> FindRegionWitness(const UsageVector& a,
+[[nodiscard]] Result<CandidacyResult> FindRegionWitness(const UsageVector& a,
                                           const std::vector<PlanUsage>& rivals,
                                           const Box& box);
 

@@ -35,7 +35,7 @@ struct RiskProfile {
 /// Profiles plan `initial_usage` against the candidate set `plans` over
 /// `box` with `samples` Monte Carlo draws. `plans` must be the complete
 /// candidate set for GTC values to be exact per draw.
-Result<RiskProfile> ComputeRiskProfile(const UsageVector& initial_usage,
+[[nodiscard]] Result<RiskProfile> ComputeRiskProfile(const UsageVector& initial_usage,
                                        const std::vector<PlanUsage>& plans,
                                        const Box& box, Rng& rng,
                                        size_t samples = 2000);

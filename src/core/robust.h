@@ -32,7 +32,7 @@ struct RobustChoice {
 /// evaluated exactly with the linear-fractional maximizer per plan pair.
 /// The returned guarantee is at most the estimate-optimal plan's worst
 /// case, often far below it when complementary plans exist.
-Result<RobustChoice> ChooseRobustPlan(const std::vector<PlanUsage>& plans,
+[[nodiscard]] Result<RobustChoice> ChooseRobustPlan(const std::vector<PlanUsage>& plans,
                                       const Box& box);
 
 }  // namespace costsense::core

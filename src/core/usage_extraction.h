@@ -56,7 +56,7 @@ struct ExtractionTelemetry {
 ///
 /// Fails with FailedPrecondition if not enough in-region samples can be
 /// found (region too thin) or the sample matrix is rank-deficient.
-Result<ExtractedUsage> ExtractUsageVector(PlanOracle& oracle,
+[[nodiscard]] Result<ExtractedUsage> ExtractUsageVector(PlanOracle& oracle,
                                           const std::string& plan_id,
                                           const CostVector& seed,
                                           const Box& box, Rng& rng,
@@ -70,7 +70,7 @@ Result<ExtractedUsage> ExtractUsageVector(PlanOracle& oracle,
 /// with a typed FailedPrecondition — never a garbage vector — when the
 /// seed probe fails, too few in-region samples survive, or the probe
 /// matrix is rank-deficient after dropped probes.
-Result<ExtractedUsage> ExtractUsageVector(FalliblePlanOracle& oracle,
+[[nodiscard]] Result<ExtractedUsage> ExtractUsageVector(FalliblePlanOracle& oracle,
                                           const std::string& plan_id,
                                           const CostVector& seed,
                                           const Box& box, Rng& rng,

@@ -81,7 +81,7 @@ SweepKernel ConfiguredSweepKernel();
 /// blackbox::NarrowOptimizer qualifies) and the result is bit-identical to
 /// the serial sweep: ties between vertices resolve to the lowest mask no
 /// matter how the sweep is chunked or ordered.
-Result<WorstCaseResult> WorstCaseByVertexSweep(PlanOracle& oracle,
+[[nodiscard]] Result<WorstCaseResult> WorstCaseByVertexSweep(PlanOracle& oracle,
                                                const UsageVector& initial_usage,
                                                const Box& box,
                                                size_t max_dims = 20,
@@ -90,7 +90,7 @@ Result<WorstCaseResult> WorstCaseByVertexSweep(PlanOracle& oracle,
 
 /// As above with an explicit kernel (tests and ablations; normal callers
 /// use the configured default).
-Result<WorstCaseResult> WorstCaseByVertexSweep(PlanOracle& oracle,
+[[nodiscard]] Result<WorstCaseResult> WorstCaseByVertexSweep(PlanOracle& oracle,
                                                const UsageVector& initial_usage,
                                                const Box& box,
                                                SweepKernel kernel,
@@ -111,13 +111,13 @@ Result<WorstCaseResult> WorstCaseByVertexSweep(PlanOracle& oracle,
 /// stored for the next attempt. A degraded run therefore re-pays only its
 /// failed and unreached blocks on resume, with the oracle cache absorbing
 /// the clean vertices inside re-run blocks.
-Result<WorstCaseResult> WorstCaseByVertexSweep(
+[[nodiscard]] Result<WorstCaseResult> WorstCaseByVertexSweep(
     FalliblePlanOracle& oracle, const UsageVector& initial_usage,
     const Box& box, size_t max_dims = 20, runtime::ThreadPool* pool = nullptr,
     runtime::resilience::SweepCheckpoint* checkpoint = nullptr);
 
 /// As above with an explicit kernel.
-Result<WorstCaseResult> WorstCaseByVertexSweep(
+[[nodiscard]] Result<WorstCaseResult> WorstCaseByVertexSweep(
     FalliblePlanOracle& oracle, const UsageVector& initial_usage,
     const Box& box, SweepKernel kernel, size_t max_dims = 20,
     runtime::ThreadPool* pool = nullptr,
@@ -153,7 +153,7 @@ WorstCaseResult WorstCaseOverPlanMatrix(const UsageVector& initial_usage,
 /// The per-rival maximizations are independent and fan out over `pool`
 /// when non-null; rivals are reduced in input order, so results match the
 /// serial run exactly.
-Result<WorstCaseResult> WorstCaseOverPlansByLp(
+[[nodiscard]] Result<WorstCaseResult> WorstCaseOverPlansByLp(
     const UsageVector& initial_usage, const std::vector<PlanUsage>& plans,
     const Box& box, runtime::ThreadPool* pool = nullptr);
 

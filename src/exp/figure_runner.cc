@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "blackbox/narrow_optimizer.h"
+#include "common/macros.h"
 #include "core/bounds.h"
 #include "core/worst_case.h"
 #include "opt/optimizer.h"
@@ -198,13 +199,16 @@ Result<FigureSeries> FigureRunner::GtcSeries(
   const std::vector<double>& deltas = options_.deltas;
   std::vector<std::optional<Result<core::WorstCaseResult>>> slots(
       deltas.size());
-  runtime::ForEachIndex(&pool(), deltas.size(), [&](size_t i) {
-    const core::Box box =
-        core::Box::MultiplicativeBand(analysis.baseline, deltas[i]);
-    slots[i].emplace(core::WorstCaseOverPlansByLp(
-        analysis.initial_usage, analysis.candidate_plans, box, &pool()));
-    return Status::Ok();
-  });
+  const Status pool_status =
+      runtime::ForEachIndex(&pool(), deltas.size(), [&](size_t i) {
+        const core::Box box =
+            core::Box::MultiplicativeBand(analysis.baseline, deltas[i]);
+        Result<core::WorstCaseResult> wc = core::WorstCaseOverPlansByLp(
+            analysis.initial_usage, analysis.candidate_plans, box, &pool());
+        slots[i].emplace(std::move(wc));
+        return Status::Ok();
+      });
+  COSTSENSE_CHECK(pool_status.ok());  // bodies always return Ok
   for (size_t i = 0; i < deltas.size(); ++i) {
     const Result<core::WorstCaseResult>& wc = *slots[i];
     if (!wc.ok()) return wc.status();

@@ -136,7 +136,7 @@ class FigureRunner {
   FigureRunner(const catalog::Catalog& catalog, Options options);
 
   /// Discovers plans and the initial plan for one query under `policy`.
-  Result<QueryAnalysis> Analyze(const query::Query& query,
+  [[nodiscard]] Result<QueryAnalysis> Analyze(const query::Query& query,
                                 storage::LayoutPolicy policy) const;
 
   /// Analyzes every query concurrently (one task per query, each of which
@@ -149,7 +149,7 @@ class FigureRunner {
   /// Evaluates the worst-case curve from an analysis (pure geometry; no
   /// further optimizer calls). Per-rival fractional programs fan out over
   /// the pool.
-  Result<FigureSeries> GtcSeries(const QueryAnalysis& analysis) const;
+  [[nodiscard]] Result<FigureSeries> GtcSeries(const QueryAnalysis& analysis) const;
 
   /// Section 8.2's census of the candidate plan set.
   core::ComplementarityReport Complementarity(
@@ -164,7 +164,7 @@ class FigureRunner {
   /// options_.resilience.enabled: stacks the injector and retry tiers over
   /// `oracle`, degrades per-point instead of failing, and fills the
   /// resilience counters. `out` arrives with the layout fields populated.
-  Result<QueryAnalysis> AnalyzeResilient(const query::Query& query,
+  [[nodiscard]] Result<QueryAnalysis> AnalyzeResilient(const query::Query& query,
                                          const opt::Optimizer& optimizer,
                                          runtime::CachingOracle& oracle,
                                          blackbox::NarrowOptimizer& narrow,

@@ -31,7 +31,7 @@ struct PlanMap {
 };
 
 /// Rasterizes the plan map by querying `oracle` at resolution^2 points.
-Result<PlanMap> ComputePlanMap(core::PlanOracle& oracle, const core::Box& box,
+[[nodiscard]] Result<PlanMap> ComputePlanMap(core::PlanOracle& oracle, const core::Box& box,
                                size_t dim_x, size_t dim_y,
                                size_t resolution = 24);
 

@@ -15,13 +15,13 @@ namespace costsense::linalg {
 ///
 /// Requires rows(C) >= cols(C) and C of full column rank; otherwise returns
 /// FailedPrecondition.
-Result<Vector> LeastSquares(const Matrix& c, const Vector& t);
+[[nodiscard]] Result<Vector> LeastSquares(const Matrix& c, const Vector& t);
 
 /// Like LeastSquares, but additionally clamps slightly-negative components
 /// of the solution to zero. Resource usage is physically non-negative; small
 /// negative values arise from quantization noise in the observed costs
 /// (paper Section 6.1.1 compensates by oversampling, m >= 2n).
-Result<Vector> NonNegativeLeastSquares(const Matrix& c, const Vector& t,
+[[nodiscard]] Result<Vector> NonNegativeLeastSquares(const Matrix& c, const Vector& t,
                                        double clamp_tol);
 
 /// Root-mean-square relative residual of a least-squares fit:

@@ -58,10 +58,10 @@ class Matrix {
 /// pivoting (the method the paper cites for its least-squares solve).
 /// Fails with InvalidArgument on shape mismatch and FailedPrecondition if A
 /// is singular to working precision.
-Result<Vector> SolveLinearSystem(const Matrix& a, const Vector& b);
+[[nodiscard]] Result<Vector> SolveLinearSystem(const Matrix& a, const Vector& b);
 
 /// Computes A^{-1} via Gauss-Jordan elimination. Fails if A is singular.
-Result<Matrix> Invert(const Matrix& a);
+[[nodiscard]] Result<Matrix> Invert(const Matrix& a);
 
 }  // namespace costsense::linalg
 

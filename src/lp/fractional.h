@@ -29,7 +29,7 @@ struct FractionalSolution {
 ///
 /// Requirements: sizes match; lower > 0 element-wise (cost bounds are
 /// positive); a, b >= 0 element-wise with b not identically zero.
-Result<FractionalSolution> MaximizeRatioOverBox(const linalg::Vector& a,
+[[nodiscard]] Result<FractionalSolution> MaximizeRatioOverBox(const linalg::Vector& a,
                                                 const linalg::Vector& b,
                                                 const linalg::Vector& lower,
                                                 const linalg::Vector& upper);

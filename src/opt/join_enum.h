@@ -27,7 +27,7 @@ class JoinEnumerator {
   /// Returns the estimated optimal plan under `costs` (fully annotated,
   /// including its resource usage vector). Fails on malformed queries
   /// (too many tables, missing refs).
-  Result<PlanNodePtr> BestPlan(const core::CostVector& costs);
+  [[nodiscard]] Result<PlanNodePtr> BestPlan(const core::CostVector& costs);
 
   /// Cardinality shared by every plan covering subset `mask` (exposed for
   /// tests).

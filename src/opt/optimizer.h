@@ -34,11 +34,11 @@ class Optimizer {
 
   /// Optimizes `query` under resource costs `costs` (dimension must match
   /// the resource space).
-  Result<Optimized> Optimize(const query::Query& query,
+  [[nodiscard]] Result<Optimized> Optimize(const query::Query& query,
                              const core::CostVector& costs) const;
 
   /// Optimizes under the layout's baseline (estimated) costs.
-  Result<Optimized> OptimizeAtBaseline(const query::Query& query) const;
+  [[nodiscard]] Result<Optimized> OptimizeAtBaseline(const query::Query& query) const;
 
   const storage::ResourceSpace& space() const { return space_; }
   const OptimizerOptions& options() const { return options_; }

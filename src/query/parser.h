@@ -36,12 +36,12 @@ namespace costsense::query {
 /// expressions in SELECT are only scanned for aggregate functions, OR is
 /// not supported (rewrite as IN where possible), and subqueries must be
 /// pre-flattened to SEMI/ANTI JOIN.
-Result<Query> ParseSql(const catalog::Catalog& catalog, std::string_view sql);
+[[nodiscard]] Result<Query> ParseSql(const catalog::Catalog& catalog, std::string_view sql);
 
 /// Converts a 'YYYY-MM-DD' date to days since 1992-01-01 (the encoding
 /// used by the TPC-H catalog columns). Returns InvalidArgument for
 /// malformed dates.
-Result<double> ParseDateLiteral(std::string_view date);
+[[nodiscard]] Result<double> ParseDateLiteral(std::string_view date);
 
 }  // namespace costsense::query
 

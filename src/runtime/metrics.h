@@ -11,18 +11,22 @@ namespace costsense::runtime {
 /// Wall-clock stopwatch for phase timing in drivers and benches.
 class WallTimer {
  public:
+  // costsense-lint: allow(R1, "phase timing for stderr/JSON perf lines; never reaches figure stdout")
   WallTimer() : start_(std::chrono::steady_clock::now()) {}
 
   /// Milliseconds elapsed since construction or the last Restart().
   double ElapsedMs() const {
     return std::chrono::duration<double, std::milli>(
+               // costsense-lint: allow(R1, "stopwatch read; stderr/JSON metrics only")
                std::chrono::steady_clock::now() - start_)
         .count();
   }
 
+  // costsense-lint: allow(R1, "stopwatch reset; stderr/JSON metrics only")
   void Restart() { start_ = std::chrono::steady_clock::now(); }
 
  private:
+  // costsense-lint: allow(R1, "stopwatch state; stderr/JSON metrics only")
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -70,7 +70,7 @@ class SweepCheckpoint {
   /// Parses a Serialize() snapshot. The checkpoint's block size is taken
   /// from the header; malformed input yields a typed error, never a
   /// partially-loaded checkpoint.
-  static Result<SweepCheckpoint> Deserialize(const std::string& text);
+  [[nodiscard]] static Result<SweepCheckpoint> Deserialize(const std::string& text);
 
  private:
   uint64_t block_size_;

@@ -105,7 +105,7 @@ class FaultInjectingOracle final : public core::FalliblePlanOracle {
                        Clock* clock = nullptr);
   ~FaultInjectingOracle() override;
 
-  Result<core::OracleResult> TryOptimize(const core::CostVector& c) override;
+  [[nodiscard]] Result<core::OracleResult> TryOptimize(const core::CostVector& c) override;
   size_t dims() const override { return base_.dims(); }
 
   FaultLog log() const;

@@ -101,7 +101,7 @@ class ResilientOracle final : public core::FalliblePlanOracle {
                   const ResilientOracleOptions& options,
                   Clock* clock = nullptr);
 
-  Result<core::OracleResult> TryOptimize(const core::CostVector& c) override;
+  [[nodiscard]] Result<core::OracleResult> TryOptimize(const core::CostVector& c) override;
   size_t dims() const override { return base_.dims(); }
 
   ResilienceStats stats() const;
@@ -111,7 +111,7 @@ class ResilientOracle final : public core::FalliblePlanOracle {
   void ResetBudget();
 
  private:
-  Status ValidateReply(const core::OracleResult& r) const;
+  [[nodiscard]] Status ValidateReply(const core::OracleResult& r) const;
 
   core::FalliblePlanOracle& base_;
   const ResilientOracleOptions options_;

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/status.h"
 
 namespace costsense::runtime {
@@ -64,7 +65,8 @@ class ThreadPool {
   /// iterations execute even if some fail; the returned Status is OK or
   /// the failure with the smallest index (deterministic regardless of
   /// thread count or scheduling).
-  Status ParallelFor(size_t n, const std::function<Status(size_t)>& body);
+  [[nodiscard]] Status ParallelFor(
+      size_t n, const std::function<Status(size_t)>& body);
 
   /// Maps fn(i, items[i]) over `items` concurrently and returns the
   /// results in input order. fn must be copyable and is invoked exactly
@@ -74,10 +76,11 @@ class ThreadPool {
       -> std::vector<std::decay_t<decltype(fn(size_t{0}, items[0]))>> {
     using R = std::decay_t<decltype(fn(size_t{0}, items[0]))>;
     std::vector<std::optional<R>> slots(items.size());
-    ParallelFor(items.size(), [&](size_t i) {
+    const Status status = ParallelFor(items.size(), [&](size_t i) {
       slots[i].emplace(fn(i, items[i]));
       return Status::Ok();
     });
+    COSTSENSE_CHECK(status.ok());  // bodies always return Ok
     std::vector<R> out;
     out.reserve(items.size());
     for (auto& slot : slots) out.push_back(std::move(*slot));
@@ -104,7 +107,7 @@ class ThreadPool {
 /// Runs body(i) for i in [0, n) on `pool` when non-null, inline otherwise.
 /// The serial path keeps ParallelFor's all-iterations/lowest-index-error
 /// semantics, so callers behave identically with and without a pool.
-Status ForEachIndex(ThreadPool* pool, size_t n,
+[[nodiscard]] Status ForEachIndex(ThreadPool* pool, size_t n,
                     const std::function<Status(size_t)>& body);
 
 }  // namespace costsense::runtime

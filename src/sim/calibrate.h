@@ -31,7 +31,7 @@ struct CalibrationResult {
 /// would produce that information from I/O telemetry. Needs at least two
 /// runs with linearly independent (repositions, pages) profiles — e.g.
 /// one sequential and one random workload.
-Result<CalibrationResult> CalibrateAdditiveModel(
+[[nodiscard]] Result<CalibrationResult> CalibrateAdditiveModel(
     const std::vector<IoTrace>& traces,
     const std::vector<double>& measured_times);
 

@@ -1,0 +1,13 @@
+// Fixture: bench/ is a sanctioned render path — the same output calls that
+// fire R3 under src/ must stay clean here.
+#include <cstdio>
+#include <iostream>
+
+namespace corpus {
+
+void RenderFigure(double v) {
+  std::cout << "figure row " << v << "\n";
+  printf("%.6f\n", v);
+}
+
+}  // namespace corpus

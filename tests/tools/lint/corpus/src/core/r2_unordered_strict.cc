@@ -1,0 +1,14 @@
+// Fixture: R2 in src/core is absolute — even a justified suppression does
+// not silence it, because core feeds figure/table output.
+#include <string>
+#include <unordered_map>
+
+namespace corpus {
+
+int StrictTree() {
+  // costsense-lint: allow(R2, "this justification must NOT be honored in core")
+  std::unordered_map<std::string, int> counts;
+  return static_cast<int>(counts.size());
+}
+
+}  // namespace corpus

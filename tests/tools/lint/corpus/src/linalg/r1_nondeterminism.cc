@@ -1,0 +1,28 @@
+// Fixture: R1 violations — ambient randomness and wall-clock reads in
+// library code. Strings and comments mentioning rand() must NOT fire.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+namespace corpus {
+
+// rand() in a comment is fine, as is "srand(42)" in a string.
+const char* kDoc = "call srand(42) before rand()";
+
+int AmbientRandom() {
+  std::random_device rd;
+  srand(rd());
+  return rand();
+}
+
+long WallClock() {
+  auto now = std::chrono::system_clock::now();
+  return now.time_since_epoch().count();
+}
+
+long Suppressed() {
+  // costsense-lint: allow(R1, "fixture demonstrating a justified suppression")
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+}  // namespace corpus

@@ -1,0 +1,15 @@
+// Fixture: R3 — raw stdout writes in library code. fprintf(stderr) is the
+// sanctioned diagnostic channel and must not fire.
+#include <cstdio>
+#include <iostream>
+
+namespace corpus {
+
+void Noisy(double v) {
+  std::cout << "v=" << v << "\n";
+  printf("v=%f\n", v);
+  puts("done");
+  std::fprintf(stderr, "diagnostic: %f\n", v);  // allowed
+}
+
+}  // namespace corpus

@@ -1,0 +1,21 @@
+// Fixture: R2 outside core/exp is suppressible with a justification; a
+// bare use without one is a finding.
+#include <string>
+// costsense-lint: allow(R2, "fixture: include is justified")
+#include <unordered_map>
+#include <unordered_set>
+
+namespace corpus {
+
+int Flagged() {
+  std::unordered_set<int> seen;
+  return static_cast<int>(seen.size());
+}
+
+int SuppressedUse() {
+  // costsense-lint: allow(R2, "point lookups only; never iterated")
+  std::unordered_map<std::string, int> index;
+  return static_cast<int>(index.count("x"));
+}
+
+}  // namespace corpus

@@ -1,0 +1,40 @@
+// Fixture: R4 — Status/Result<T>-returning declarations must carry
+// [[nodiscard]]. Annotated declarations, constructors, qualified calls and
+// Result-in-template-argument positions must all stay clean.
+#ifndef CORPUS_R4_NODISCARD_H_
+#define CORPUS_R4_NODISCARD_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace corpus {
+
+using costsense::Result;
+using costsense::Status;
+
+// Violations: missing [[nodiscard]].
+Status Save(int id);
+Result<int> Load(int id);
+class Store {
+ public:
+  virtual Result<std::vector<double>> Fetch(int id) = 0;
+  static Status Flush();
+};
+
+// Clean: annotated, including qualified spelling and template headers.
+[[nodiscard]] Status SaveChecked(int id);
+[[nodiscard]] costsense::Status SaveQualified(int id);
+[[nodiscard]] Result<int> LoadChecked(int id);
+template <typename T>
+[[nodiscard]] Result<T> LoadAs(int id);
+
+// Clean: not return-type positions.
+// costsense-lint: allow(R4, "fixture: R4 honors a justified suppression")
+inline Status MakeOk() { return Status::Ok(); }
+std::vector<Result<int>> LoadMany(const std::vector<int>& ids);
+void Consume(Status status);
+
+}  // namespace corpus
+
+#endif  // CORPUS_R4_NODISCARD_H_

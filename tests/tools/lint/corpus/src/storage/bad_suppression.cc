@@ -1,0 +1,26 @@
+// Fixture: SUP — suppression syntax discipline. A bare allow() without a
+// justification is itself a finding AND does not silence the underlying
+// violation; unknown rules and empty justifications are also rejected.
+#include <cstdio>
+
+namespace corpus {
+
+void BareAllow() {
+  // costsense-lint: allow(R3)
+  printf("dropped justification\n");
+}
+
+void EmptyJustification() {
+  printf("empty\n");  // costsense-lint: allow(R3, "")
+}
+
+void UnknownRule() {
+  printf("bogus rule\n");  // costsense-lint: allow(R9, "no such rule")
+}
+
+void Honored() {
+  // costsense-lint: allow(R3, "fixture: justified suppressions are honored")
+  printf("justified\n");
+}
+
+}  // namespace corpus

@@ -1,0 +1,303 @@
+// Tests for the costsense-lint analyzer — lexer hygiene (strings/comments
+// never produce findings), suppression grammar and coverage, R4 declaration
+// detection edge cases, and a fixture-corpus golden run (known-violation
+// files under tests/tools/lint/corpus, compared byte-exact).
+// (The directive prefix itself cannot appear in this comment: the tree
+// lint parses it in every scanned file, including this one.)
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "lint.h"
+
+namespace costsense::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string> TokenTexts(const std::string& src) {
+  std::vector<std::string> out;
+  for (const Token& t : Lex(src).tokens) out.push_back(t.text);
+  return out;
+}
+
+int CountRule(const std::vector<Finding>& findings, Rule rule) {
+  return static_cast<int>(
+      std::count_if(findings.begin(), findings.end(),
+                    [rule](const Finding& f) { return f.rule == rule; }));
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(LexerTest, StripsCommentsAndStrings) {
+  const auto toks = TokenTexts(
+      "int a; // rand() in a comment\n"
+      "const char* s = \"srand(1) \\\" rand()\";\n"
+      "/* system_clock */ char c = 'r';\n");
+  EXPECT_EQ(std::count(toks.begin(), toks.end(), "rand"), 0);
+  EXPECT_EQ(std::count(toks.begin(), toks.end(), "srand"), 0);
+  EXPECT_EQ(std::count(toks.begin(), toks.end(), "system_clock"), 0);
+  EXPECT_EQ(std::count(toks.begin(), toks.end(), "a"), 1);
+}
+
+TEST(LexerTest, RawStringsAndDigitSeparators) {
+  const auto toks = TokenTexts(
+      "auto s = R\"(rand() and printf())\";\n"
+      "int big = 1'000'000;\n");
+  EXPECT_EQ(std::count(toks.begin(), toks.end(), "rand"), 0);
+  EXPECT_EQ(std::count(toks.begin(), toks.end(), "printf"), 0);
+  EXPECT_EQ(std::count(toks.begin(), toks.end(), "1'000'000"), 1);
+}
+
+TEST(LexerTest, TracksLinesAndScopeResolution) {
+  const LexedFile lexed = Lex("int a;\n\ncostsense::Status b;\n");
+  ASSERT_GE(lexed.tokens.size(), 6u);
+  EXPECT_EQ(lexed.tokens[0].line, 1);
+  const Token& qual = lexed.tokens[4];
+  EXPECT_EQ(qual.text, "::");
+  EXPECT_EQ(qual.line, 3);
+}
+
+TEST(LexerTest, ClassifiesTrailingVersusStandaloneComments) {
+  const LexedFile lexed = Lex(
+      "// standalone\n"
+      "int a;  // trailing\n");
+  ASSERT_EQ(lexed.comments.size(), 2u);
+  EXPECT_FALSE(lexed.comments[0].trailing);
+  EXPECT_TRUE(lexed.comments[1].trailing);
+}
+
+// ---------------------------------------------------------------------------
+// R1 / R2 / R3 scoping
+// ---------------------------------------------------------------------------
+
+TEST(RulesTest, R1BansRandomnessOutsideRng) {
+  const auto findings =
+      AnalyzeSource("src/linalg/matrix.cc", "int x = rand();\n");
+  EXPECT_EQ(CountRule(findings, Rule::kNondeterminism), 1);
+}
+
+TEST(RulesTest, R1SanctionsRngAndClockFiles) {
+  EXPECT_TRUE(
+      AnalyzeSource("src/common/rng.cc", "int x = rand();\n").empty());
+  EXPECT_TRUE(AnalyzeSource("src/runtime/resilience/clock.cc",
+                            "auto t = std::chrono::steady_clock::now();\n")
+                  .empty());
+  // The sanction is per-family: a clock read inside rng.cc still fires.
+  EXPECT_EQ(CountRule(AnalyzeSource("src/common/rng.cc",
+                                    "auto t = system_clock::now();\n"),
+                      Rule::kNondeterminism),
+            1);
+}
+
+TEST(RulesTest, R2StrictInCoreIgnoresSuppression) {
+  const std::string src =
+      "// costsense-lint: allow(R2, \"should not be honored\")\n"
+      "std::unordered_map<int, int> m;\n";
+  EXPECT_EQ(CountRule(AnalyzeSource("src/core/discovery.cc", src),
+                      Rule::kUnorderedContainer),
+            1);
+  EXPECT_EQ(CountRule(AnalyzeSource("src/exp/report.cc", src),
+                      Rule::kUnorderedContainer),
+            1);
+  // Outside core/exp the same suppression silences the finding.
+  EXPECT_EQ(CountRule(AnalyzeSource("src/runtime/cache.cc", src),
+                      Rule::kUnorderedContainer),
+            0);
+}
+
+TEST(RulesTest, R3OnlyAppliesToLibraryCode) {
+  const std::string src = "void f() { printf(\"x\"); }\n";
+  EXPECT_EQ(CountRule(AnalyzeSource("src/opt/plan.cc", src),
+                      Rule::kRawOutput),
+            1);
+  EXPECT_TRUE(AnalyzeSource("src/exp/report.cc", src).empty());
+  EXPECT_TRUE(AnalyzeSource("bench/fig5_shared_device.cc", src).empty());
+  EXPECT_TRUE(AnalyzeSource("tests/opt/optimizer_test.cc", src).empty());
+}
+
+TEST(RulesTest, FprintfToStderrIsNotRawOutput) {
+  EXPECT_TRUE(AnalyzeSource("src/opt/plan.cc",
+                            "void f() { std::fprintf(stderr, \"d\"); }\n")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+TEST(SuppressionTest, TrailingCoversItsOwnLineOnly) {
+  const auto findings = AnalyzeSource(
+      "src/opt/plan.cc",
+      "void f() {\n"
+      "  printf(\"a\");  // costsense-lint: allow(R3, \"render shim\")\n"
+      "  printf(\"b\");\n"
+      "}\n");
+  ASSERT_EQ(CountRule(findings, Rule::kRawOutput), 1);
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(SuppressionTest, StandaloneCoversNextLine) {
+  const auto findings = AnalyzeSource(
+      "src/opt/plan.cc",
+      "// costsense-lint: allow(R3, \"render shim\")\n"
+      "void f() { printf(\"a\"); }\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(SuppressionTest, WrongRuleDoesNotSuppress) {
+  const auto findings = AnalyzeSource(
+      "src/opt/plan.cc",
+      "void f() { printf(\"a\"); }  // costsense-lint: allow(R1, \"wrong rule\")\n");
+  EXPECT_EQ(CountRule(findings, Rule::kRawOutput), 1);
+}
+
+TEST(SuppressionTest, BareAllowIsAFindingAndDoesNotSuppress) {
+  const auto findings = AnalyzeSource(
+      "src/opt/plan.cc",
+      "void f() { printf(\"a\"); }  // costsense-lint: allow(R3)\n");
+  EXPECT_EQ(CountRule(findings, Rule::kBadSuppression), 1);
+  EXPECT_EQ(CountRule(findings, Rule::kRawOutput), 1);
+}
+
+TEST(SuppressionTest, EmptyOrQuotedEmptyJustificationRejected) {
+  EXPECT_EQ(CountRule(AnalyzeSource("src/a/b.cc",
+                                    "// costsense-lint: allow(R2, )\n"),
+                      Rule::kBadSuppression),
+            1);
+  EXPECT_EQ(CountRule(AnalyzeSource("src/a/b.cc",
+                                    "// costsense-lint: allow(R2, \"\")\n"),
+                      Rule::kBadSuppression),
+            1);
+}
+
+TEST(SuppressionTest, SemanticRuleNamesAccepted) {
+  const auto findings = AnalyzeSource(
+      "src/opt/plan.cc",
+      "// costsense-lint: allow(raw-output, \"render shim\")\n"
+      "void f() { printf(\"a\"); }\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// R4
+// ---------------------------------------------------------------------------
+
+TEST(NodiscardTest, FlagsMissingAnnotationInHeaders) {
+  const auto findings = AnalyzeSource(
+      "src/opt/optimizer.h",
+      "Status Save(int id);\n"
+      "Result<int> Load(int id);\n"
+      "[[nodiscard]] Status SaveChecked(int id);\n"
+      "[[nodiscard]] Result<int> LoadChecked(int id);\n");
+  EXPECT_EQ(CountRule(findings, Rule::kNodiscard), 2);
+}
+
+TEST(NodiscardTest, CoversSpecifiersQualifiersAndTemplates) {
+  EXPECT_EQ(CountRule(AnalyzeSource("src/a/b.h",
+                                    "class C {\n"
+                                    " public:\n"
+                                    "  virtual Result<double> Get() = 0;\n"
+                                    "  static Status Flush();\n"
+                                    "};\n"),
+                      Rule::kNodiscard),
+            2);
+  EXPECT_EQ(CountRule(AnalyzeSource("src/a/b.h",
+                                    "costsense::Status Save(int id);\n"),
+                      Rule::kNodiscard),
+            1);
+  EXPECT_EQ(CountRule(AnalyzeSource("src/a/b.h",
+                                    "template <typename T>\n"
+                                    "Result<T> LoadAs(int id);\n"),
+                      Rule::kNodiscard),
+            1);
+  EXPECT_TRUE(AnalyzeSource("src/a/b.h",
+                            "template <typename T>\n"
+                            "[[nodiscard]] Result<T> LoadAs(int id);\n")
+                  .empty());
+}
+
+TEST(NodiscardTest, IgnoresUsesConstructorsAndNonHeaderFiles) {
+  // Calls, returns, parameters and template-argument positions are uses,
+  // not declarations.
+  EXPECT_TRUE(AnalyzeSource("src/a/b.h",
+                            "inline int f() {\n"
+                            "  return Status::Ok().ok() ? 1 : 0;\n"
+                            "}\n"
+                            "void Consume(Status status);\n"
+                            "std::vector<Result<int>> LoadMany();\n"
+                            "using Fn = std::function<Status(int)>;\n")
+                  .empty());
+  // Constructors of Status/Result themselves are not return types.
+  EXPECT_TRUE(AnalyzeSource("src/a/b.h",
+                            "class Status2 {\n"
+                            "  Status() : code_(0) {}\n"
+                            "  Result(int value);\n"
+                            "};\n")
+                  .empty());
+  // .cc files are out of scope for R4 (the header declaration carries the
+  // attribute for the whole program).
+  EXPECT_TRUE(
+      AnalyzeSource("src/a/b.cc", "Status Save(int id) { return Status(); }\n")
+          .empty());
+}
+
+// ---------------------------------------------------------------------------
+// Fixture corpus golden test
+// ---------------------------------------------------------------------------
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(CorpusTest, GoldenFindings) {
+  const fs::path corpus(COSTSENSE_LINT_CORPUS_DIR);
+  ASSERT_TRUE(fs::exists(corpus)) << corpus;
+
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(corpus)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".h" || ext == ".cc") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  ASSERT_GE(files.size(), 7u) << "corpus lost fixture files";
+
+  std::vector<Finding> findings;
+  for (const fs::path& file : files) {
+    std::string rel = fs::relative(file, corpus).generic_string();
+    const auto file_findings = AnalyzeSource(rel, ReadFile(file));
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+  }
+
+  const std::string expected = ReadFile(corpus / "expected_findings.txt");
+  EXPECT_EQ(FormatFindings(std::move(findings)), expected)
+      << "fixture corpus findings drifted; if the rule set changed on "
+         "purpose, regenerate with: costsense_lint --relative-to "
+         "tests/tools/lint/corpus --root tests/tools/lint/corpus";
+}
+
+/// Every rule must appear at least once in the golden file, so a rule
+/// silently going dead cannot pass the corpus test.
+TEST(CorpusTest, GoldenCoversEveryRule) {
+  const std::string expected =
+      ReadFile(fs::path(COSTSENSE_LINT_CORPUS_DIR) / "expected_findings.txt");
+  for (const char* id : {"[R1]", "[R2]", "[R3]", "[R4]", "[SUP]"}) {
+    EXPECT_NE(expected.find(id), std::string::npos)
+        << id << " missing from expected_findings.txt";
+  }
+}
+
+}  // namespace
+}  // namespace costsense::lint

@@ -1,0 +1,147 @@
+#include "lint.h"
+
+#include <cctype>
+
+namespace costsense::lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+LexedFile Lex(std::string_view source) {
+  LexedFile out;
+  const size_t n = source.size();
+  size_t i = 0;
+  int line = 1;
+  // Tracks whether any token was emitted on the current line, so comments
+  // can be classified as trailing (code before them) or standalone.
+  int last_token_line = 0;
+
+  auto push_punct = [&](std::string text) {
+    last_token_line = line;
+    out.tokens.push_back({Token::Kind::kPunct, std::move(text), line});
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      const int start_line = line;
+      size_t j = i + 2;
+      while (j < n && source[j] == '/') ++j;  // normalize /// doc comments
+      size_t end = j;
+      while (end < n && source[end] != '\n') ++end;
+      out.comments.push_back({start_line, last_token_line == start_line,
+                              std::string(source.substr(j, end - j))});
+      i = end;
+      continue;
+    }
+
+    // Block comment.
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      const int start_line = line;
+      size_t j = i + 2;
+      while (j + 1 < n && !(source[j] == '*' && source[j + 1] == '/')) {
+        if (source[j] == '\n') ++line;
+        ++j;
+      }
+      out.comments.push_back({start_line, last_token_line == start_line,
+                              std::string(source.substr(i + 2, j - (i + 2)))});
+      i = (j + 1 < n) ? j + 2 : n;
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim" (with optional encoding
+    // prefix, e.g. u8R"(...)"). Must be checked before plain identifiers.
+    if ((c == 'R' || c == 'u' || c == 'U' || c == 'L')) {
+      size_t j = i;
+      if (source[j] == 'u' && j + 1 < n && source[j + 1] == '8') j += 2;
+      else if (source[j] == 'u' || source[j] == 'U' || source[j] == 'L') j += 1;
+      if (j < n && source[j] == 'R' && j + 1 < n && source[j + 1] == '"') {
+        size_t k = j + 2;
+        std::string delim;
+        while (k < n && source[k] != '(') delim.push_back(source[k++]);
+        const std::string close = ")" + delim + "\"";
+        size_t end = source.find(close, k);
+        if (end == std::string_view::npos) end = n - close.size();
+        for (size_t p = i; p < end + close.size() && p < n; ++p) {
+          if (source[p] == '\n') ++line;
+        }
+        i = std::min(n, end + close.size());
+        continue;
+      }
+    }
+
+    // String / char literal (contents stripped; escapes honored).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      size_t j = i + 1;
+      while (j < n && source[j] != quote) {
+        if (source[j] == '\\' && j + 1 < n) ++j;
+        if (source[j] == '\n') ++line;  // unterminated-literal safety
+        ++j;
+      }
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(source[j])) ++j;
+      last_token_line = line;
+      out.tokens.push_back({Token::Kind::kIdentifier,
+                            std::string(source.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i + 1;
+      // Accept hex/exponent/digit-separator characters; a following quote
+      // is a C++14 digit separator, not a char literal.
+      while (j < n && (IsIdentChar(source[j]) || source[j] == '.' ||
+                       source[j] == '\'' ||
+                       ((source[j] == '+' || source[j] == '-') &&
+                        (source[j - 1] == 'e' || source[j - 1] == 'E' ||
+                         source[j - 1] == 'p' || source[j - 1] == 'P')))) {
+        ++j;
+      }
+      last_token_line = line;
+      out.tokens.push_back({Token::Kind::kNumber,
+                            std::string(source.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+
+    // `::` is one token so the rule engine can tell qualification
+    // (`costsense::Status`) apart from labels and ctor-init colons.
+    if (c == ':' && i + 1 < n && source[i + 1] == ':') {
+      push_punct("::");
+      i += 2;
+      continue;
+    }
+
+    push_punct(std::string(1, c));
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace costsense::lint

@@ -1,0 +1,105 @@
+#ifndef COSTSENSE_TOOLS_LINT_LINT_H_
+#define COSTSENSE_TOOLS_LINT_LINT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// costsense-lint: an in-repo determinism & status-discipline analyzer.
+///
+/// The byte-identical-stdout invariants proven by the runtime, kernel and
+/// resilience suites only hold if library code follows a handful of coding
+/// rules (no ambient randomness or wall-clock reads, no unordered-container
+/// iteration feeding output, no silently dropped Status). This tool turns
+/// those rules from reviewer folklore into a machine-checked property:
+///
+///   R1  nondeterminism sources (`rand`, `std::random_device`, `mt19937`,
+///       `system_clock`, `steady_clock`, `time`, ...) are banned outside
+///       `src/common/rng.*` (randomness) and
+///       `src/runtime/resilience/clock.*` (clock reads).
+///   R2  `std::unordered_map`/`unordered_set` are forbidden in `src/core`
+///       and `src/exp` (suppressions are NOT honored there) and flagged
+///       everywhere else unless suppressed with a justification.
+///   R3  `std::cout`/`printf`-family raw output is banned in library code
+///       (`src/**` except `src/exp`); render paths live in `src/exp`,
+///       `bench/`, tests and the CHECK macros (which use fprintf(stderr)).
+///   R4  every `Status`/`Result<T>`-returning declaration in a header must
+///       carry `[[nodiscard]]`.
+///
+/// Per-line suppressions:
+///
+///   code();  // costsense-lint: allow(R2, "point lookups only, never iterated")
+///
+/// A trailing suppression covers its own line; a comment alone on a line
+/// covers itself and the next line. The justification string is mandatory:
+/// a bare `allow(R2)` is itself a finding (SUP).
+namespace costsense::lint {
+
+// ---------------------------------------------------------------------------
+// Lexer (comment/string-aware; shared by the rule engine and its tests)
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum class Kind { kIdentifier, kNumber, kPunct };
+  Kind kind;
+  std::string text;
+  int line;  // 1-based
+};
+
+struct Comment {
+  int line;       // 1-based line the comment starts on
+  bool trailing;  // true when code precedes the comment on its line
+  std::string text;
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;      // comments/strings/chars stripped
+  std::vector<Comment> comments;  // kept separately for suppression parsing
+};
+
+/// Tokenizes C++ source. String literals (including raw strings), character
+/// literals and comments never produce tokens, so a banned name inside a
+/// string or comment is not a finding.
+LexedFile Lex(std::string_view source);
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+enum class Rule {
+  kNondeterminism,      // R1
+  kUnorderedContainer,  // R2
+  kRawOutput,           // R3
+  kNodiscard,           // R4
+  kBadSuppression,      // SUP: malformed / justification-free allow()
+};
+
+/// "R1".."R4" or "SUP".
+const char* RuleId(Rule rule);
+
+/// Parses "R1".."R4" or the semantic names ("nondeterminism", "unordered",
+/// "raw-output", "nodiscard"); returns false for anything else.
+bool ParseRuleName(std::string_view name, Rule* out);
+
+struct Finding {
+  std::string file;
+  int line;
+  Rule rule;
+  std::string message;
+
+  bool operator==(const Finding& other) const = default;
+};
+
+/// Analyzes one file. `virtual_path` decides rule scoping (the path
+/// component layout `src/...`, `bench/...`, `tests/...` is what matters,
+/// so tests can hand in synthetic paths for fixture content).
+std::vector<Finding> AnalyzeSource(const std::string& virtual_path,
+                                   std::string_view content);
+
+/// Stable rendering: one `path:line: [Rx] message` line per finding,
+/// sorted by (path, line, rule).
+std::string FormatFindings(std::vector<Finding> findings);
+
+}  // namespace costsense::lint
+
+#endif  // COSTSENSE_TOOLS_LINT_LINT_H_

@@ -1,0 +1,131 @@
+// costsense_lint CLI: walks source roots, runs the determinism &
+// status-discipline rules, prints findings, exits nonzero when dirty.
+//
+// Usage:
+//   costsense_lint --root src --root bench --root tests
+//       [--exclude tests/tools/lint/corpus] [--relative-to .]
+//
+// This tool is not part of the scanned library tree, so it may use any
+// I/O it likes.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool HasSourceExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+std::string NormalizeSlashes(std::string s) {
+  std::replace(s.begin(), s.end(), '\\', '/');
+  return s;
+}
+
+bool UnderPrefix(const std::string& path, const std::string& prefix) {
+  if (path.size() < prefix.size()) return false;
+  if (path.compare(0, prefix.size(), prefix) != 0) return false;
+  return path.size() == prefix.size() || path[prefix.size()] == '/' ||
+         prefix.back() == '/';
+}
+
+int Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --root <dir> [--root <dir>...] [--exclude <prefix>...]"
+               " [--relative-to <dir>]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  std::vector<std::string> excludes;
+  std::string relative_to;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--root") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      roots.push_back(v);
+    } else if (arg == "--exclude") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      excludes.push_back(NormalizeSlashes(v));
+    } else if (arg == "--relative-to") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      relative_to = v;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return Usage(argv[0]);
+    }
+  }
+  if (roots.empty()) return Usage(argv[0]);
+
+  // Deterministic file order regardless of directory-entry order.
+  std::vector<fs::path> files;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    fs::recursive_directory_iterator it(root, ec), end;
+    if (ec) {
+      std::cerr << "cannot open root '" << root << "': " << ec.message()
+                << "\n";
+      return 2;
+    }
+    for (; it != end; ++it) {
+      if (!it->is_regular_file() || !HasSourceExtension(it->path())) continue;
+      const std::string norm = NormalizeSlashes(it->path().string());
+      bool excluded = false;
+      for (const std::string& prefix : excludes) {
+        if (UnderPrefix(norm, prefix)) {
+          excluded = true;
+          break;
+        }
+      }
+      if (!excluded) files.push_back(it->path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<costsense::lint::Finding> findings;
+  size_t scanned = 0;
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::cerr << "cannot read " << file << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string display = NormalizeSlashes(file.string());
+    if (!relative_to.empty()) {
+      std::error_code ec;
+      const fs::path rel = fs::relative(file, relative_to, ec);
+      if (!ec && !rel.empty()) display = NormalizeSlashes(rel.string());
+    }
+    auto file_findings = costsense::lint::AnalyzeSource(display, buf.str());
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+    ++scanned;
+  }
+
+  std::cout << costsense::lint::FormatFindings(findings);
+  std::cerr << "costsense-lint: " << scanned << " files scanned, "
+            << findings.size() << " finding(s)\n";
+  return findings.empty() ? 0 : 1;
+}
