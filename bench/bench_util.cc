@@ -1,7 +1,7 @@
 #include "bench/bench_util.h"
 
 #include <cstdio>
-#include <cstdlib>
+#include <utility>
 
 #include "exp/report.h"
 #include "runtime/thread_pool.h"
@@ -10,33 +10,33 @@
 
 namespace costsense::bench {
 
-FigureBenchConfig MakeFigureBenchConfig() {
-  FigureBenchConfig config{tpch::MakeTpchCatalog(100.0), {}, {}, false};
-  config.quick = exp::QuickMode();
-  if (config.quick) {
+FigureBenchConfig MakeFigureBenchConfig(const engine::EngineConfig& config) {
+  FigureBenchConfig bench{tpch::MakeTpchCatalog(100.0), {}, {}, config.quick};
+  bench.options.cache = config.cache;
+  if (bench.quick) {
     for (int qn : exp::QuickQueryNumbers()) {
-      config.queries.push_back(tpch::MakeTpchQuery(config.catalog, qn));
+      bench.queries.push_back(tpch::MakeTpchQuery(bench.catalog, qn));
     }
-    config.options.deltas = {2, 10, 100, 1000};
-    config.options.discovery.random_samples = 16;
-    config.options.discovery.sampled_vertices = 48;
-    config.options.discovery.bisection_depth = 3;
-    config.options.discovery.completeness_rounds = 1;
+    bench.options.deltas = {2, 10, 100, 1000};
+    bench.options.discovery.random_samples = 16;
+    bench.options.discovery.sampled_vertices = 48;
+    bench.options.discovery.bisection_depth = 3;
+    bench.options.discovery.completeness_rounds = 1;
   } else {
-    config.queries = tpch::MakeTpchQueries(config.catalog);
-    config.options.deltas = {2, 5, 10, 100, 1000, 10000};
+    bench.queries = tpch::MakeTpchQueries(bench.catalog);
+    bench.options.deltas = {2, 5, 10, 100, 1000, 10000};
   }
-  return config;
+  return bench;
 }
 
-void EmitBenchJson(const std::string& bench_name,
+void EmitBenchJson(const engine::EngineConfig& config,
+                   const std::string& bench_name,
                    const runtime::RuntimeMetrics& metrics,
                    const std::vector<std::pair<std::string, double>>& extra) {
   const std::string line = metrics.ToJsonLine(bench_name, extra);
   std::fputs(line.c_str(), stderr);
-  const char* path = std::getenv("COSTSENSE_BENCH_JSON");
-  if (path != nullptr && path[0] != '\0') {
-    std::FILE* f = std::fopen(path, "a");
+  if (!config.bench_json_path.empty()) {
+    std::FILE* f = std::fopen(config.bench_json_path.c_str(), "a");
     if (f != nullptr) {
       std::fputs(line.c_str(), f);
       std::fclose(f);
@@ -45,13 +45,13 @@ void EmitBenchJson(const std::string& bench_name,
 }
 
 std::vector<exp::FigureSeries> RunWorstCaseFigure(
-    const std::string& title, const std::string& bench_name,
-    storage::LayoutPolicy policy,
+    engine::Engine& eng, const std::string& title,
+    const std::string& bench_name, storage::LayoutPolicy policy,
     const exp::FigureRunner::Options::Resilience* resilience) {
-  FigureBenchConfig config = MakeFigureBenchConfig();
+  FigureBenchConfig config = MakeFigureBenchConfig(eng.config());
   if (resilience != nullptr) config.options.resilience = *resilience;
   const exp::FigureRunner runner(config.catalog, config.options);
-  runtime::ThreadPool& pool = runtime::ThreadPool::Global();
+  runtime::ThreadPool& pool = eng.pool();
 
   runtime::RuntimeMetrics metrics;
   metrics.threads = pool.num_threads();
@@ -110,17 +110,68 @@ std::vector<exp::FigureSeries> RunWorstCaseFigure(
   metrics.tasks_run = pool_stats.tasks_run;
   metrics.queue_high_water = pool_stats.queue_high_water;
 
-  // Figure output on stdout only: byte-identical for every thread count.
-  std::fputs(exp::RenderFigureTable(title, all).c_str(), stdout);
-  std::fputs("\nCSV:\n", stdout);
-  std::fputs(exp::RenderFigureCsv(all).c_str(), stdout);
-
-  std::fputs(metrics.Render().c_str(), stderr);
-  EmitBenchJson(bench_name, metrics,
-                {{"queries", static_cast<double>(all.size())},
-                 {"oracle_calls", static_cast<double>(oracle_calls)},
-                 {"quick", config.quick ? 1.0 : 0.0}});
+  // Figure output through the configured sinks: the text sink keeps
+  // stdout byte-identical for every thread count, the JSON sidecar (when
+  // configured) captures the same series structured.
+  std::unique_ptr<engine::ArtifactWriter> writer = eng.MakeArtifactWriter();
+  writer->WriteFigure(title, all);
+  writer->WriteRunMetrics(bench_name, metrics,
+                          {{"queries", static_cast<double>(all.size())},
+                           {"oracle_calls", static_cast<double>(oracle_calls)},
+                           {"quick", config.quick ? 1.0 : 0.0}});
+  const Status finish = writer->Finish();
+  if (!finish.ok()) {
+    std::fprintf(stderr, "%s: artifact sink: %s\n", bench_name.c_str(),
+                 finish.ToString().c_str());
+  }
   return all;
+}
+
+int RunBenchMain(int argc, char** argv, const std::string& name,
+                 const std::function<int(engine::Engine&, int, char**)>& body) {
+  Result<engine::EngineConfig> config = engine::EngineConfig::FromEnv();
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                 config.status().ToString().c_str());
+    return 2;
+  }
+  std::vector<char*> passthrough;
+  passthrough.push_back(argc > 0 ? argv[0] : nullptr);
+  for (int i = 1; i < argc; ++i) {
+    if (engine::EngineConfig::IsOverride(argv[i])) {
+      const Status applied = config->ApplyOverride(argv[i]);
+      if (!applied.ok()) {
+        std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                     applied.ToString().c_str());
+        return 2;
+      }
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+
+  Result<engine::Engine> eng = engine::Engine::Create(std::move(*config));
+  if (!eng.ok()) {
+    std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                 eng.status().ToString().c_str());
+    return 2;
+  }
+
+  runtime::WallTimer timer;
+  const int rc =
+      body(*eng, static_cast<int>(passthrough.size()), passthrough.data());
+
+  // The uniform footprint line: every binary reports wall time, thread
+  // count, mode and exit code machine-readably, even the ones with
+  // bespoke stdout. Richer per-figure lines (cache/resilience counters)
+  // are emitted separately by RunWorstCaseFigure and friends.
+  runtime::RuntimeMetrics metrics;
+  metrics.threads = runtime::GlobalThreadCount();
+  metrics.phase_wall_ms.emplace_back("main", timer.ElapsedMs());
+  EmitBenchJson(eng->config(), name, metrics,
+                {{"quick", eng->config().quick ? 1.0 : 0.0},
+                 {"exit_code", static_cast<double>(rc)}});
+  return rc;
 }
 
 }  // namespace costsense::bench

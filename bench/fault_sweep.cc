@@ -99,13 +99,7 @@ RunOutput RunFigure(const catalog::Catalog& catalog, runtime::ThreadPool* pool,
   return out;
 }
 
-}  // namespace
-}  // namespace costsense::bench
-
-int main() {
-  using namespace costsense;          // NOLINT
-  using namespace costsense::bench;   // NOLINT
-
+int Run(engine::Engine& eng) {
   const catalog::Catalog catalog = tpch::MakeTpchCatalog(100.0);
   runtime::resilience::ManualClock clock;
 
@@ -158,7 +152,7 @@ int main() {
               tag + ": every fault was absorbed by a retry");
       }
       EmitBenchJson(
-          "fault_sweep_t" + std::to_string(threads), run.metrics,
+          eng.config(), "fault_sweep_t" + std::to_string(threads), run.metrics,
           {{"fault_rate", rate},
            {"retry_budget", 5.0},
            {"probe_calls", static_cast<double>(run.probe_calls)}});
@@ -189,7 +183,7 @@ int main() {
       check(a.oracle_attempts == a.oracle_probe_calls + a.oracle_retries,
             a.query_name + ": attempts == calls + retries");
     }
-    EmitBenchJson("fault_sweep_degraded", degraded.metrics,
+    EmitBenchJson(eng.config(), "fault_sweep_degraded", degraded.metrics,
                   {{"fault_rate", 0.20},
                    {"retry_budget", 0.0},
                    {"probe_calls",
@@ -202,4 +196,15 @@ int main() {
   }
   std::fprintf(stderr, "fault_sweep: %d assertion(s) FAILED\n", failures);
   return 1;
+}
+
+}  // namespace
+}  // namespace costsense::bench
+
+int main(int argc, char** argv) {
+  return costsense::bench::RunBenchMain(
+      argc, argv, "fault_sweep",
+      [](costsense::engine::Engine& eng, int, char**) {
+        return costsense::bench::Run(eng);
+      });
 }

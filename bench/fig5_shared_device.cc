@@ -5,9 +5,15 @@
 // Theorem 2 regime) — the paper saw at most 5x even at delta = 10000.
 #include "bench/bench_util.h"
 
-int main() {
-  costsense::bench::RunWorstCaseFigure(
-      "Figure 5: worst-case GTC, all tables and indexes on one device",
-      "fig5_shared_device", costsense::storage::LayoutPolicy::kSharedDevice);
-  return 0;
+int main(int argc, char** argv) {
+  return costsense::bench::RunBenchMain(
+      argc, argv, "fig5_shared_device",
+      [](costsense::engine::Engine& eng, int, char**) {
+        costsense::bench::RunWorstCaseFigure(
+            eng,
+            "Figure 5: worst-case GTC, all tables and indexes on one device",
+            "fig5_shared_device",
+            costsense::storage::LayoutPolicy::kSharedDevice);
+        return 0;
+      });
 }

@@ -5,10 +5,15 @@
 // plans exist; Theorem 1 regime), with Q20-style outliers.
 #include "bench/bench_util.h"
 
-int main() {
-  costsense::bench::RunWorstCaseFigure(
-      "Figure 6: worst-case GTC, tables and indexes on separate devices",
-      "fig6_separate_devices",
-      costsense::storage::LayoutPolicy::kPerTableAndIndex);
-  return 0;
+int main(int argc, char** argv) {
+  return costsense::bench::RunBenchMain(
+      argc, argv, "fig6_separate_devices",
+      [](costsense::engine::Engine& eng, int, char**) {
+        costsense::bench::RunWorstCaseFigure(
+            eng,
+            "Figure 6: worst-case GTC, tables and indexes on separate devices",
+            "fig6_separate_devices",
+            costsense::storage::LayoutPolicy::kPerTableAndIndex);
+        return 0;
+      });
 }

@@ -5,10 +5,15 @@
 // are gone), some still grow quadratically (temp-complementary remain).
 #include "bench/bench_util.h"
 
-int main() {
-  costsense::bench::RunWorstCaseFigure(
-      "Figure 7: worst-case GTC, one device per table with its indexes",
-      "fig7_colocated",
-      costsense::storage::LayoutPolicy::kPerTableColocated);
-  return 0;
+int main(int argc, char** argv) {
+  return costsense::bench::RunBenchMain(
+      argc, argv, "fig7_colocated",
+      [](costsense::engine::Engine& eng, int, char**) {
+        costsense::bench::RunWorstCaseFigure(
+            eng,
+            "Figure 7: worst-case GTC, one device per table with its indexes",
+            "fig7_colocated",
+            costsense::storage::LayoutPolicy::kPerTableColocated);
+        return 0;
+      });
 }

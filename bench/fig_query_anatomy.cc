@@ -9,6 +9,7 @@
 //    magnitude more sensitive than its peers.
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "common/strings.h"
 #include "opt/explain.h"
 #include "opt/optimizer.h"
@@ -109,12 +110,16 @@ void Q20IndexDeviceSweep(const catalog::Catalog& cat) {
 }  // namespace
 }  // namespace costsense
 
-int main() {
-  using namespace costsense;
-  const catalog::Catalog cat = tpch::MakeTpchCatalog(100.0);
-  SeekTransferSweep(cat, 8, "l", "p");
-  SeekTransferSweep(cat, 19, "l", "p");
-  SeekTransferSweep(cat, 20, "ps", "p");
-  Q20IndexDeviceSweep(cat);
-  return 0;
+int main(int argc, char** argv) {
+  return costsense::bench::RunBenchMain(
+      argc, argv, "fig_query_anatomy",
+      [](costsense::engine::Engine&, int, char**) {
+        using namespace costsense;
+        const catalog::Catalog cat = tpch::MakeTpchCatalog(100.0);
+        SeekTransferSweep(cat, 8, "l", "p");
+        SeekTransferSweep(cat, 19, "l", "p");
+        SeekTransferSweep(cat, 20, "ps", "p");
+        Q20IndexDeviceSweep(cat);
+        return 0;
+      });
 }

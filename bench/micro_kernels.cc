@@ -9,7 +9,6 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -66,13 +65,13 @@ double TimeSweep(const UsageVector& initial, const core::PlanMatrix& matrix,
   return timer.ElapsedMs();
 }
 
-int RunSweepGrid() {
+int RunSweepGrid(const engine::EngineConfig& config) {
   struct GridPoint {
     size_t dims;
     size_t plans;
   };
   const std::vector<GridPoint> grid = {{8, 32}, {12, 64}, {12, 128}, {16, 64}};
-  const bool quick = std::getenv("COSTSENSE_QUICK") != nullptr;
+  const bool quick = config.quick;
 
   std::printf("batched vertex-sweep kernels: scalar vs incremental\n");
   std::printf("%6s %6s %10s %12s %14s %9s\n", "dims", "plans", "vertices",
@@ -119,7 +118,7 @@ int RunSweepGrid() {
     metrics.phase_wall_ms.emplace_back("incremental", incremental_ms);
     metrics.degenerate_vertices =
         scalar_result.degenerate_vertices * static_cast<size_t>(reps);
-    bench::EmitBenchJson("micro_kernels_sweep", metrics,
+    bench::EmitBenchJson(config, "micro_kernels_sweep", metrics,
                          {{"dims", static_cast<double>(g.dims)},
                           {"plans", static_cast<double>(g.plans)},
                           {"reps", static_cast<double>(reps)},
@@ -164,8 +163,8 @@ std::vector<PlanUsage> NaiveFilterDominated(std::vector<PlanUsage> plans,
   return out;
 }
 
-int RunDominanceGrid() {
-  const bool quick = std::getenv("COSTSENSE_QUICK") != nullptr;
+int RunDominanceGrid(const engine::EngineConfig& config) {
+  const bool quick = config.quick;
   const std::vector<size_t> sizes = quick ? std::vector<size_t>{256}
                                           : std::vector<size_t>{256, 1024};
   constexpr size_t kDims = 16;
@@ -217,7 +216,7 @@ int RunDominanceGrid() {
     runtime::RuntimeMetrics metrics;
     metrics.phase_wall_ms.emplace_back("naive", naive_ms);
     metrics.phase_wall_ms.emplace_back("prescreen", prescreen_ms);
-    bench::EmitBenchJson("micro_kernels_dominance", metrics,
+    bench::EmitBenchJson(config, "micro_kernels_dominance", metrics,
                          {{"dims", static_cast<double>(kDims)},
                           {"plans", static_cast<double>(plans.size())},
                           {"reps", static_cast<double>(reps)},
@@ -232,13 +231,17 @@ int RunDominanceGrid() {
 }  // namespace
 }  // namespace costsense
 
-int main() {
-  int failures = costsense::RunSweepGrid();
-  failures += costsense::RunDominanceGrid();
-  if (failures > 0) {
-    std::fprintf(stderr, "micro_kernels: %d equivalence failure(s)\n",
-                 failures);
-    return 1;
-  }
-  return 0;
+int main(int argc, char** argv) {
+  return costsense::bench::RunBenchMain(
+      argc, argv, "micro_kernels",
+      [](costsense::engine::Engine& eng, int, char**) {
+        int failures = costsense::RunSweepGrid(eng.config());
+        failures += costsense::RunDominanceGrid(eng.config());
+        if (failures > 0) {
+          std::fprintf(stderr, "micro_kernels: %d equivalence failure(s)\n",
+                       failures);
+          return 1;
+        }
+        return 0;
+      });
 }

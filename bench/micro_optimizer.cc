@@ -4,6 +4,7 @@
 // DB2's optimization level 7 considers bushy trees, Section 7.1).
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "common/rng.h"
 #include "core/feasible_region.h"
 #include "opt/optimizer.h"
@@ -67,4 +68,14 @@ BENCHMARK(BM_MakeTpchCatalog)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace costsense
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return costsense::bench::RunBenchMain(
+      argc, argv, "micro_optimizer",
+      [](costsense::engine::Engine&, int gb_argc, char** gb_argv) {
+        benchmark::Initialize(&gb_argc, gb_argv);
+        if (benchmark::ReportUnrecognizedArguments(gb_argc, gb_argv)) return 1;
+        benchmark::RunSpecifiedBenchmarks();
+        benchmark::Shutdown();
+        return 0;
+      });
+}

@@ -9,8 +9,10 @@
 #include <atomic>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "common/rng.h"
 #include "core/vectors.h"
+#include "engine/oracle_stack.h"
 #include "runtime/oracle_cache.h"
 #include "runtime/thread_pool.h"
 #include "tests/core/fake_oracle.h"
@@ -48,7 +50,8 @@ std::vector<core::PlanUsage> MakePlans(size_t dims, size_t count) {
 void BM_OracleCacheHit(benchmark::State& state) {
   const size_t dims = 8;
   core::FakeOracle base(MakePlans(dims, 16), /*white_box=*/true);
-  runtime::CachingOracle cache(base);
+  engine::OracleStack stack = engine::OracleStackBuilder().Build(base);
+  runtime::CachingOracle& cache = stack.cache();
   const core::CostVector c(dims, 1.0);
   cache.Optimize(c);  // prime
   for (auto _ : state) {
@@ -62,7 +65,9 @@ void BM_OracleCacheMiss(benchmark::State& state) {
   core::FakeOracle base(MakePlans(dims, 16), /*white_box=*/true);
   runtime::OracleCacheOptions options;
   options.max_entries = 1 << 10;  // force steady-state eviction
-  runtime::CachingOracle cache(base, options);
+  engine::OracleStack stack =
+      engine::OracleStackBuilder().WithCache(options).Build(base);
+  runtime::CachingOracle& cache = stack.cache();
   Rng rng(3);
   core::CostVector c(dims, 1.0);
   for (auto _ : state) {
@@ -77,7 +82,8 @@ BENCHMARK(BM_OracleCacheMiss)->Unit(benchmark::kNanosecond);
 void BM_OracleCacheConcurrent(benchmark::State& state) {
   const size_t dims = 8;
   core::FakeOracle base(MakePlans(dims, 16), /*white_box=*/true);
-  runtime::CachingOracle cache(base);
+  engine::OracleStack stack = engine::OracleStackBuilder().Build(base);
+  runtime::CachingOracle& cache = stack.cache();
   runtime::ThreadPool pool(static_cast<size_t>(state.range(0)));
   std::vector<core::CostVector> points;
   Rng rng(11);
@@ -100,4 +106,14 @@ BENCHMARK(BM_OracleCacheConcurrent)->Arg(1)->Arg(4)->Arg(8)
 }  // namespace
 }  // namespace costsense
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return costsense::bench::RunBenchMain(
+      argc, argv, "micro_runtime",
+      [](costsense::engine::Engine&, int gb_argc, char** gb_argv) {
+        benchmark::Initialize(&gb_argc, gb_argv);
+        if (benchmark::ReportUnrecognizedArguments(gb_argc, gb_argv)) return 1;
+        benchmark::RunSpecifiedBenchmarks();
+        benchmark::Shutdown();
+        return 0;
+      });
+}

@@ -6,12 +6,15 @@
 // cost.
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "common/rng.h"
 #include "common/strings.h"
 #include "sim/replay.h"
 
-int main() {
-  using namespace costsense;
+namespace costsense {
+namespace {
+
+int Run() {
   const sim::DiskGeometry disk;  // defaults approximate a 2003-era drive
   const double ds = disk.EquivalentSeekCost();
   const double dt = disk.transfer_per_page;
@@ -77,4 +80,15 @@ int main() {
               "the error band the paper's framework\ntreats as feasible "
               "cost perturbation.\n");
   return 0;
+}
+
+}  // namespace
+}  // namespace costsense
+
+int main(int argc, char** argv) {
+  return costsense::bench::RunBenchMain(
+      argc, argv, "micro_sim_fidelity",
+      [](costsense::engine::Engine&, int, char**) {
+        return costsense::Run();
+      });
 }

@@ -3,6 +3,7 @@
 // trace replay, and risk profiling.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "common/rng.h"
 #include "core/risk.h"
 #include "core/usage_extraction.h"
@@ -125,4 +126,14 @@ BENCHMARK(BM_RiskProfile)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace costsense
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return costsense::bench::RunBenchMain(
+      argc, argv, "micro_substrate",
+      [](costsense::engine::Engine&, int gb_argc, char** gb_argv) {
+        benchmark::Initialize(&gb_argc, gb_argv);
+        if (benchmark::ReportUnrecognizedArguments(gb_argc, gb_argv)) return 1;
+        benchmark::RunSpecifiedBenchmarks();
+        benchmark::Shutdown();
+        return 0;
+      });
+}

@@ -5,6 +5,7 @@
 // discovery per oracle call.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "common/rng.h"
 #include "core/discovery.h"
 #include "core/worst_case.h"
@@ -97,4 +98,14 @@ BENCHMARK(BM_Discovery)->Arg(3)->Arg(6)->Arg(10)
 }  // namespace
 }  // namespace costsense
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return costsense::bench::RunBenchMain(
+      argc, argv, "micro_worstcase",
+      [](costsense::engine::Engine&, int gb_argc, char** gb_argv) {
+        benchmark::Initialize(&gb_argc, gb_argv);
+        if (benchmark::ReportUnrecognizedArguments(gb_argc, gb_argv)) return 1;
+        benchmark::RunSpecifiedBenchmarks();
+        benchmark::Shutdown();
+        return 0;
+      });
+}

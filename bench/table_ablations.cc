@@ -8,11 +8,11 @@
 //     without segment bisection and the completeness probe.
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "blackbox/narrow_optimizer.h"
 #include "common/strings.h"
 #include "core/discovery.h"
 #include "core/worst_case.h"
-#include "exp/report.h"
 #include "opt/optimizer.h"
 #include "tpch/queries.h"
 #include "tpch/schema.h"
@@ -54,15 +54,11 @@ AblationRow RunOne(const catalog::Catalog& cat, const query::Query& q,
   return row;
 }
 
-}  // namespace
-}  // namespace costsense
-
-int main() {
-  using namespace costsense;
+int Run(engine::Engine& eng) {
   const catalog::Catalog cat = tpch::MakeTpchCatalog(100.0);
   const std::vector<int> queries =
-      exp::QuickMode() ? std::vector<int>{8, 20} :
-                         std::vector<int>{3, 8, 11, 19, 20};
+      eng.config().quick ? std::vector<int>{8, 20} :
+                           std::vector<int>{3, 8, 11, 19, 20};
 
   core::DiscoveryOptions light;
   light.random_samples = 24;
@@ -110,4 +106,15 @@ int main() {
                 c.calls);
   }
   return 0;
+}
+
+}  // namespace
+}  // namespace costsense
+
+int main(int argc, char** argv) {
+  return costsense::bench::RunBenchMain(
+      argc, argv, "table_ablations",
+      [](costsense::engine::Engine& eng, int, char**) {
+        return costsense::Run(eng);
+      });
 }

@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "catalog/catalog.h"
 #include "common/strings.h"
 #include "core/bounds.h"
@@ -141,8 +142,12 @@ void Part2() {
 }  // namespace
 }  // namespace costsense
 
-int main() {
-  costsense::Part1();
-  costsense::Part2();
-  return 0;
+int main(int argc, char** argv) {
+  return costsense::bench::RunBenchMain(
+      argc, argv, "table_bounds",
+      [](costsense::engine::Engine&, int, char**) {
+        costsense::Part1();
+        costsense::Part2();
+        return 0;
+      });
 }

@@ -13,9 +13,11 @@
 #include "bench/bench_util.h"
 #include "exp/report.h"
 
-int main() {
-  using namespace costsense;
-  bench::FigureBenchConfig config = bench::MakeFigureBenchConfig();
+namespace costsense {
+namespace {
+
+int Run(engine::Engine& eng) {
+  bench::FigureBenchConfig config = bench::MakeFigureBenchConfig(eng.config());
   // The census classifies plan pairs; moderate discovery sampling is
   // enough and keeps the three-layout sweep fast even in full mode.
   config.options.discovery.sampled_vertices = 96;
@@ -54,4 +56,15 @@ int main() {
         total_compl, total_table, total_path, total_temp);
   }
   return 0;
+}
+
+}  // namespace
+}  // namespace costsense
+
+int main(int argc, char** argv) {
+  return costsense::bench::RunBenchMain(
+      argc, argv, "table_complementarity",
+      [](costsense::engine::Engine& eng, int, char**) {
+        return costsense::Run(eng);
+      });
 }

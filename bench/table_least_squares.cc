@@ -9,20 +9,22 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "blackbox/narrow_optimizer.h"
 #include "common/strings.h"
 #include "core/discovery.h"
-#include "exp/report.h"
 #include "opt/optimizer.h"
 #include "tpch/queries.h"
 #include "tpch/schema.h"
 
-int main() {
-  using namespace costsense;
+namespace costsense {
+namespace {
+
+int Run(engine::Engine& eng) {
   const catalog::Catalog cat = tpch::MakeTpchCatalog(100.0);
   const std::vector<int> query_numbers =
-      exp::QuickMode() ? std::vector<int>{3, 6} :
-                         std::vector<int>{1, 3, 6, 12, 14, 19};
+      eng.config().quick ? std::vector<int>{3, 6} :
+                           std::vector<int>{1, 3, 6, 12, 14, 19};
 
   std::printf("%-6s %-44s %10s %10s %8s\n", "query", "plan", "val_err",
               "true_err", "samples");
@@ -72,4 +74,15 @@ int main() {
   std::printf("\nworst held-out validation error: %.4f%% (paper: <1%%)\n",
               worst_val * 100.0);
   return 0;
+}
+
+}  // namespace
+}  // namespace costsense
+
+int main(int argc, char** argv) {
+  return costsense::bench::RunBenchMain(
+      argc, argv, "table_least_squares",
+      [](costsense::engine::Engine& eng, int, char**) {
+        return costsense::Run(eng);
+      });
 }

@@ -6,12 +6,15 @@
 // plans that avoid big external sorts).
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "opt/optimizer.h"
 #include "tpch/queries.h"
 #include "tpch/schema.h"
 
-int main() {
-  using namespace costsense;
+namespace costsense {
+namespace {
+
+int Run() {
   const catalog::SystemConfig config;
   std::printf("Section 7.3 tunable system parameters:\n");
   std::printf("%-28s %s\n", "Parameter Name", "Value");
@@ -36,4 +39,15 @@ int main() {
                 r->plan->id.c_str());
   }
   return 0;
+}
+
+}  // namespace
+}  // namespace costsense
+
+int main(int argc, char** argv) {
+  return costsense::bench::RunBenchMain(
+      argc, argv, "table_system_params",
+      [](costsense::engine::Engine&, int, char**) {
+        return costsense::Run();
+      });
 }

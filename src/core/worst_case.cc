@@ -3,9 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
-#include <cstdlib>
 #include <optional>
-#include <string_view>
 
 #include "common/macros.h"
 #include "common/strings.h"
@@ -335,15 +333,18 @@ ChunkBest PlansChunkGray(const UsageVector& initial, const PlanMatrix& m,
 
 }  // namespace
 
-SweepKernel ConfiguredSweepKernel() {
-  static const SweepKernel kernel = [] {
-    const char* v = std::getenv("COSTSENSE_KERNEL");
-    if (v != nullptr && std::string_view(v) == "scalar") {
-      return SweepKernel::kScalar;
-    }
-    return SweepKernel::kIncremental;
-  }();
-  return kernel;
+namespace {
+/// The process-default kernel; relaxed atomics suffice because the knob
+/// is installed once at engine creation, before sweeps start.
+std::atomic<SweepKernel> g_default_kernel{SweepKernel::kIncremental};
+}  // namespace
+
+SweepKernel DefaultSweepKernel() {
+  return g_default_kernel.load(std::memory_order_relaxed);
+}
+
+void SetDefaultSweepKernel(SweepKernel kernel) {
+  g_default_kernel.store(kernel, std::memory_order_relaxed);
 }
 
 Result<WorstCaseResult> WorstCaseByVertexSweep(PlanOracle& oracle,
@@ -351,7 +352,7 @@ Result<WorstCaseResult> WorstCaseByVertexSweep(PlanOracle& oracle,
                                                const Box& box, size_t max_dims,
                                                runtime::ThreadPool* pool) {
   return WorstCaseByVertexSweep(oracle, initial_usage, box,
-                                ConfiguredSweepKernel(), max_dims, pool);
+                                DefaultSweepKernel(), max_dims, pool);
 }
 
 Result<WorstCaseResult> WorstCaseByVertexSweep(PlanOracle& oracle,
@@ -390,7 +391,7 @@ Result<WorstCaseResult> WorstCaseByVertexSweep(
     const Box& box, size_t max_dims, runtime::ThreadPool* pool,
     runtime::resilience::SweepCheckpoint* checkpoint) {
   return WorstCaseByVertexSweep(oracle, initial_usage, box,
-                                ConfiguredSweepKernel(), max_dims, pool,
+                                DefaultSweepKernel(), max_dims, pool,
                                 checkpoint);
 }
 
@@ -466,7 +467,7 @@ WorstCaseResult WorstCaseOverPlansByVertices(const UsageVector& initial_usage,
                                              const Box& box,
                                              runtime::ThreadPool* pool) {
   return WorstCaseOverPlansByVertices(initial_usage, plans, box,
-                                      ConfiguredSweepKernel(), pool);
+                                      DefaultSweepKernel(), pool);
 }
 
 WorstCaseResult WorstCaseOverPlansByVertices(const UsageVector& initial_usage,

@@ -48,13 +48,13 @@ struct WorstCaseResult {
   double coverage = 1.0;
 };
 
-/// Vertex-sweep evaluation strategy, selected process-wide by the
-/// COSTSENSE_KERNEL environment variable ("scalar" or "incremental";
-/// unset/unknown means incremental) or per call via the explicit
-/// overloads. Both kernels return identical results — the incremental
-/// kernel re-evaluates candidate record vertices with the scalar kernel
-/// before accepting them — so the env var is a fallback/ablation switch,
-/// not a semantic knob.
+/// Vertex-sweep evaluation strategy, selected process-wide via
+/// SetDefaultSweepKernel (engine::Engine::Create installs the
+/// COSTSENSE_KERNEL choice from its typed config; the default is
+/// incremental) or per call via the explicit overloads. Both kernels
+/// return identical results — the incremental kernel re-evaluates
+/// candidate record vertices with the scalar kernel before accepting
+/// them — so the knob is a fallback/ablation switch, not a semantic one.
 enum class SweepKernel {
   /// Full O(n * d) cost re-derivation at every vertex, in ascending mask
   /// order (the seed implementation, minus its allocation churn).
@@ -66,8 +66,12 @@ enum class SweepKernel {
   kIncremental,
 };
 
-/// The configured default kernel (parses COSTSENSE_KERNEL once).
-SweepKernel ConfiguredSweepKernel();
+/// The process-default kernel used by the kernel-less overloads below.
+SweepKernel DefaultSweepKernel();
+
+/// Installs the process-default kernel. Called by engine::Engine::Create;
+/// sweeps already in flight keep the kernel they started with.
+void SetDefaultSweepKernel(SweepKernel kernel);
 
 /// Paper-faithful worst-case analysis (Section 6.1): evaluates the global
 /// relative cost of the plan with usage vector `initial_usage` at *every*

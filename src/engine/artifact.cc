@@ -1,0 +1,189 @@
+#include "engine/artifact.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/strings.h"
+#include "exp/report.h"
+
+namespace costsense::engine {
+namespace {
+
+/// JSON has no literal for non-finite numbers; encode them as strings so
+/// the sidecar stays parseable when Theorem 2's bound is infinite.
+std::string JsonNumber(double v) {
+  if (std::isfinite(v)) return StrFormat("%.17g", v);
+  if (std::isinf(v)) return v > 0 ? "\"inf\"" : "\"-inf\"";
+  return "\"nan\"";
+}
+
+}  // namespace
+
+std::string EscapeJson(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TextRenderer
+// ---------------------------------------------------------------------------
+
+TextRenderer::TextRenderer(std::string bench_json_path)
+    : bench_json_path_(std::move(bench_json_path)) {}
+
+void TextRenderer::WriteFigure(const std::string& title,
+                               const std::vector<exp::FigureSeries>& series) {
+  // Byte-for-byte the pre-engine driver output: table, blank line, CSV.
+  std::fputs(exp::RenderFigureTable(title, series).c_str(), stdout);
+  std::fputs("\nCSV:\n", stdout);
+  std::fputs(exp::RenderFigureCsv(series).c_str(), stdout);
+}
+
+void TextRenderer::WriteTextBlock(const std::string& text) {
+  std::fputs(text.c_str(), stdout);
+}
+
+void TextRenderer::WriteRunMetrics(
+    const std::string& bench_name, const runtime::RuntimeMetrics& metrics,
+    const std::vector<std::pair<std::string, double>>& extra) {
+  std::fputs(metrics.Render().c_str(), stderr);
+  const std::string line = metrics.ToJsonLine(bench_name, extra);
+  std::fputs(line.c_str(), stderr);
+  if (!bench_json_path_.empty()) {
+    std::FILE* f = std::fopen(bench_json_path_.c_str(), "a");
+    if (f != nullptr) {
+      std::fputs(line.c_str(), f);
+      std::fclose(f);
+    }
+  }
+}
+
+Status TextRenderer::Finish() { return Status::Ok(); }
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------------------
+
+JsonWriter::JsonWriter(std::string path) : path_(std::move(path)) {}
+
+void JsonWriter::WriteFigure(const std::string& title,
+                             const std::vector<exp::FigureSeries>& series) {
+  std::string line =
+      "{\"artifact\":\"figure\",\"title\":\"" + EscapeJson(title) +
+      "\",\"series\":[";
+  for (size_t s = 0; s < series.size(); ++s) {
+    const exp::FigureSeries& fs = series[s];
+    if (s > 0) line += ",";
+    line += "{\"query\":\"" + EscapeJson(fs.query_name) +
+            "\",\"candidate_plans\":" + StrFormat("%zu", fs.num_candidate_plans) +
+            ",\"constant_bound\":" + JsonNumber(fs.constant_bound) +
+            ",\"complementary\":" +
+            (fs.has_complementary_plans ? "true" : "false") + ",\"points\":[";
+    for (size_t p = 0; p < fs.points.size(); ++p) {
+      const exp::GtcPoint& pt = fs.points[p];
+      if (p > 0) line += ",";
+      line += "{\"delta\":" + JsonNumber(pt.delta) +
+              ",\"gtc\":" + JsonNumber(pt.gtc) + ",\"worst_rival\":\"" +
+              EscapeJson(pt.worst_rival) + "\"}";
+    }
+    line += "]}";
+  }
+  line += "]}\n";
+  buffer_ += line;
+}
+
+void JsonWriter::WriteTextBlock(const std::string& text) {
+  buffer_ += "{\"artifact\":\"text\",\"text\":\"" + EscapeJson(text) + "\"}\n";
+}
+
+void JsonWriter::WriteRunMetrics(
+    const std::string& bench_name, const runtime::RuntimeMetrics& metrics,
+    const std::vector<std::pair<std::string, double>>& extra) {
+  // Same schema as the perf line on stderr, tagged as a metrics artifact.
+  std::string line = metrics.ToJsonLine(bench_name, extra);
+  line.insert(1, "\"artifact\":\"metrics\",");
+  buffer_ += line;
+}
+
+Status JsonWriter::Finish() {
+  if (buffer_.empty()) return Status::Ok();
+  std::FILE* f = std::fopen(path_.c_str(), "a");
+  if (f == nullptr) {
+    return Status::Internal("cannot open artifact sidecar " + path_);
+  }
+  const size_t written = std::fwrite(buffer_.data(), 1, buffer_.size(), f);
+  std::fclose(f);
+  if (written != buffer_.size()) {
+    return Status::Internal("short write to artifact sidecar " + path_);
+  }
+  buffer_.clear();
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// MultiWriter
+// ---------------------------------------------------------------------------
+
+MultiWriter::MultiWriter(std::vector<std::unique_ptr<ArtifactWriter>> sinks)
+    : sinks_(std::move(sinks)) {}
+
+void MultiWriter::WriteFigure(const std::string& title,
+                              const std::vector<exp::FigureSeries>& series) {
+  for (auto& sink : sinks_) sink->WriteFigure(title, series);
+}
+
+void MultiWriter::WriteTextBlock(const std::string& text) {
+  for (auto& sink : sinks_) sink->WriteTextBlock(text);
+}
+
+void MultiWriter::WriteRunMetrics(
+    const std::string& bench_name, const runtime::RuntimeMetrics& metrics,
+    const std::vector<std::pair<std::string, double>>& extra) {
+  for (auto& sink : sinks_) sink->WriteRunMetrics(bench_name, metrics, extra);
+}
+
+Status MultiWriter::Finish() {
+  Status first;
+  for (auto& sink : sinks_) {
+    Status st = sink->Finish();
+    if (!st.ok() && first.ok()) first = std::move(st);
+  }
+  return first;
+}
+
+std::unique_ptr<ArtifactWriter> MakeArtifactWriter(const EngineConfig& config) {
+  auto text = std::make_unique<TextRenderer>(config.bench_json_path);
+  if (config.artifact_json_path.empty()) return text;
+  std::vector<std::unique_ptr<ArtifactWriter>> sinks;
+  sinks.push_back(std::move(text));
+  sinks.push_back(std::make_unique<JsonWriter>(config.artifact_json_path));
+  return std::make_unique<MultiWriter>(std::move(sinks));
+}
+
+}  // namespace costsense::engine

@@ -1,0 +1,117 @@
+#ifndef COSTSENSE_ENGINE_ARTIFACT_H_
+#define COSTSENSE_ENGINE_ARTIFACT_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/config.h"
+#include "exp/figure_runner.h"
+#include "runtime/metrics.h"
+
+namespace costsense::engine {
+
+/// Where figure/table results go, decoupled from how they were computed.
+///
+/// Drivers emit three artifact kinds: a figure (title + per-query GTC
+/// series), a pre-rendered text block (the census/bounds tables), and a
+/// run's RuntimeMetrics (which carry the resilience telemetry). Sinks
+/// decide the representation: TextRenderer reproduces today's stdout
+/// byte-for-byte, JsonWriter captures the same data structured.
+class ArtifactWriter {
+ public:
+  virtual ~ArtifactWriter() = default;
+
+  /// One worst-case figure: the table/CSV pair on the text sink, one
+  /// structured series record on the JSON sink.
+  virtual void WriteFigure(const std::string& title,
+                           const std::vector<exp::FigureSeries>& series) = 0;
+
+  /// A pre-rendered block (tables that are not GTC series). The text sink
+  /// forwards it verbatim.
+  virtual void WriteTextBlock(const std::string& text) = 0;
+
+  /// Per-run counters and resilience telemetry. `extra` appends numeric
+  /// fields to the machine-readable form.
+  virtual void WriteRunMetrics(
+      const std::string& bench_name, const runtime::RuntimeMetrics& metrics,
+      const std::vector<std::pair<std::string, double>>& extra = {}) = 0;
+
+  /// Flushes sink state (e.g. the JSON sidecar file). Idempotent.
+  [[nodiscard]] virtual Status Finish() = 0;
+};
+
+/// The classic rendering: figures/tables to stdout (byte-identical to the
+/// pre-engine drivers, proven by the golden harness), metrics to stderr as
+/// the human-readable block plus one perf-JSON line, the latter also
+/// appended to `bench_json_path` when non-empty.
+class TextRenderer final : public ArtifactWriter {
+ public:
+  explicit TextRenderer(std::string bench_json_path = "");
+
+  void WriteFigure(const std::string& title,
+                   const std::vector<exp::FigureSeries>& series) override;
+  void WriteTextBlock(const std::string& text) override;
+  void WriteRunMetrics(
+      const std::string& bench_name, const runtime::RuntimeMetrics& metrics,
+      const std::vector<std::pair<std::string, double>>& extra) override;
+  [[nodiscard]] Status Finish() override;
+
+ private:
+  const std::string bench_json_path_;
+};
+
+/// Structured sidecar: every artifact as one JSON object per line,
+/// buffered and written to `path` on Finish (append mode, so batch runs
+/// accumulate). Figure series keep full fidelity — per-point delta, gtc
+/// and worst rival, plus the per-series Theorem 2 bound — making runs
+/// machine-diffable without scraping stdout.
+class JsonWriter final : public ArtifactWriter {
+ public:
+  explicit JsonWriter(std::string path);
+
+  void WriteFigure(const std::string& title,
+                   const std::vector<exp::FigureSeries>& series) override;
+  void WriteTextBlock(const std::string& text) override;
+  void WriteRunMetrics(
+      const std::string& bench_name, const runtime::RuntimeMetrics& metrics,
+      const std::vector<std::pair<std::string, double>>& extra) override;
+  [[nodiscard]] Status Finish() override;
+
+  /// The buffered JSON lines (tests inspect without touching the disk).
+  const std::string& buffered() const { return buffer_; }
+
+ private:
+  const std::string path_;
+  std::string buffer_;
+};
+
+/// Fans every artifact out to several sinks in order.
+class MultiWriter final : public ArtifactWriter {
+ public:
+  explicit MultiWriter(std::vector<std::unique_ptr<ArtifactWriter>> sinks);
+
+  void WriteFigure(const std::string& title,
+                   const std::vector<exp::FigureSeries>& series) override;
+  void WriteTextBlock(const std::string& text) override;
+  void WriteRunMetrics(
+      const std::string& bench_name, const runtime::RuntimeMetrics& metrics,
+      const std::vector<std::pair<std::string, double>>& extra) override;
+  [[nodiscard]] Status Finish() override;
+
+ private:
+  std::vector<std::unique_ptr<ArtifactWriter>> sinks_;
+};
+
+/// The configured sink set: always a TextRenderer (stdout contract), plus
+/// a JsonWriter sidecar when config.artifact_json_path is set.
+std::unique_ptr<ArtifactWriter> MakeArtifactWriter(const EngineConfig& config);
+
+/// Escapes `text` for embedding in a JSON string literal.
+std::string EscapeJson(std::string_view text);
+
+}  // namespace costsense::engine
+
+#endif  // COSTSENSE_ENGINE_ARTIFACT_H_

@@ -1,0 +1,183 @@
+#include "engine/config.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/strings.h"
+
+namespace costsense::engine {
+namespace {
+
+/// The knob table: one row per documented setting. Env names and override
+/// keys are two spellings of the same knob and share one parser each, so
+/// FromEnv and ApplyOverride cannot drift apart.
+struct Knob {
+  const char* key;       // override spelling ("threads=3")
+  const char* env_name;  // environment spelling (COSTSENSE_THREADS)
+};
+
+constexpr Knob kKnobs[] = {
+    {"threads", "COSTSENSE_THREADS"},
+    {"kernel", "COSTSENSE_KERNEL"},
+    {"quick", "COSTSENSE_QUICK"},
+    {"bench_json", "COSTSENSE_BENCH_JSON"},
+    {"artifact_json", "COSTSENSE_ARTIFACT_JSON"},
+    {"cache_entries", "COSTSENSE_CACHE_ENTRIES"},
+    {"cache_shards", "COSTSENSE_CACHE_SHARDS"},
+    {"fault_rate", "COSTSENSE_FAULT_RATE"},
+    {"max_retries", "COSTSENSE_MAX_RETRIES"},
+};
+
+[[nodiscard]] Status BadValue(std::string_view source, std::string_view value,
+                              std::string_view expected) {
+  return Status::InvalidArgument(StrFormat(
+      "%.*s=\"%.*s\": expected %.*s", static_cast<int>(source.size()),
+      source.data(), static_cast<int>(value.size()), value.data(),
+      static_cast<int>(expected.size()), expected.data()));
+}
+
+[[nodiscard]] Status ParseSize(std::string_view source, std::string_view value,
+                               size_t min_value, size_t* out) {
+  const std::string text(value);
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
+  if (text.empty() || end == nullptr || *end != '\0' ||
+      text.front() == '-' || parsed < min_value) {
+    return BadValue(source, value,
+                    StrFormat("an integer >= %zu", min_value));
+  }
+  *out = static_cast<size_t>(parsed);
+  return Status::Ok();
+}
+
+[[nodiscard]] Status ParseUnitDouble(std::string_view source,
+                                     std::string_view value, double* out) {
+  const std::string text(value);
+  char* end = nullptr;
+  const double parsed = std::strtod(text.c_str(), &end);
+  if (text.empty() || end == nullptr || *end != '\0' || !(parsed >= 0.0) ||
+      !(parsed <= 1.0)) {
+    return BadValue(source, value, "a number in [0, 1]");
+  }
+  *out = parsed;
+  return Status::Ok();
+}
+
+[[nodiscard]] Status ParseKernel(std::string_view source,
+                                 std::string_view value,
+                                 core::SweepKernel* out) {
+  if (value == "scalar") {
+    *out = core::SweepKernel::kScalar;
+    return Status::Ok();
+  }
+  if (value == "incremental") {
+    *out = core::SweepKernel::kIncremental;
+    return Status::Ok();
+  }
+  return BadValue(source, value, "\"scalar\" or \"incremental\"");
+}
+
+/// Quick mode keeps its documented env semantics: any set, non-empty value
+/// other than "0" turns it on ("COSTSENSE_QUICK=1 ./fig5..." and
+/// "COSTSENSE_QUICK=yes" both work; "0" and "" mean off). Never an error.
+bool ParseQuick(std::string_view value) {
+  return !value.empty() && value != "0";
+}
+
+/// Applies one knob value to `config`. `source` names the spelling that
+/// supplied the value (env var or override key) for error messages.
+[[nodiscard]] Status ApplyKnob(EngineConfig* config, std::string_view key,
+                               std::string_view source,
+                               std::string_view value) {
+  if (key == "threads") {
+    // 0 keeps the documented meaning "hardware concurrency"; anything
+    // non-numeric is a typed error, not a silent fallback.
+    return ParseSize(source, value, 0, &config->threads);
+  }
+  if (key == "kernel") return ParseKernel(source, value, &config->kernel);
+  if (key == "quick") {
+    config->quick = ParseQuick(value);
+    return Status::Ok();
+  }
+  if (key == "bench_json") {
+    config->bench_json_path = std::string(value);
+    return Status::Ok();
+  }
+  if (key == "artifact_json") {
+    config->artifact_json_path = std::string(value);
+    return Status::Ok();
+  }
+  if (key == "cache_entries") {
+    return ParseSize(source, value, 1, &config->cache.max_entries);
+  }
+  if (key == "cache_shards") {
+    return ParseSize(source, value, 1, &config->cache.shards);
+  }
+  if (key == "fault_rate") {
+    return ParseUnitDouble(source, value, &config->fault_rate);
+  }
+  if (key == "max_retries") {
+    return ParseSize(source, value, 0, &config->max_retries);
+  }
+  return Status::InvalidArgument(
+      StrFormat("unknown engine config key \"%.*s\"",
+                static_cast<int>(key.size()), key.data()));
+}
+
+}  // namespace
+
+Result<EngineConfig> EngineConfig::FromEnv() {
+  // The single sanctioned environment read (lint rule R5).
+  return FromEnv([](const char* name) { return std::getenv(name); });
+}
+
+Result<EngineConfig> EngineConfig::FromEnv(const EnvLookup& lookup) {
+  EngineConfig config;
+  for (const Knob& knob : kKnobs) {
+    const char* value = lookup(knob.env_name);
+    if (value == nullptr) continue;
+    const Status st = ApplyKnob(&config, knob.key, knob.env_name, value);
+    if (!st.ok()) return st;
+  }
+  return config;
+}
+
+Status EngineConfig::ApplyOverride(std::string_view assignment) {
+  const size_t eq = assignment.find('=');
+  if (eq == std::string_view::npos) {
+    return Status::InvalidArgument(
+        StrFormat("override \"%.*s\" is not of the form key=value",
+                  static_cast<int>(assignment.size()), assignment.data()));
+  }
+  const std::string_view key = assignment.substr(0, eq);
+  return ApplyKnob(this, key, key, assignment.substr(eq + 1));
+}
+
+bool EngineConfig::IsOverride(std::string_view arg) {
+  const size_t eq = arg.find('=');
+  if (eq == std::string_view::npos) return false;
+  const std::string_view key = arg.substr(0, eq);
+  for (const Knob& knob : kKnobs) {
+    if (key == knob.key) return true;
+  }
+  return false;
+}
+
+std::vector<std::pair<std::string, std::string>> EngineConfig::KnobTable()
+    const {
+  std::vector<std::pair<std::string, std::string>> rows;
+  rows.emplace_back("threads", StrFormat("%zu", threads));
+  rows.emplace_back("kernel", kernel == core::SweepKernel::kScalar
+                                  ? "scalar"
+                                  : "incremental");
+  rows.emplace_back("quick", quick ? "1" : "0");
+  rows.emplace_back("bench_json", bench_json_path);
+  rows.emplace_back("artifact_json", artifact_json_path);
+  rows.emplace_back("cache_entries", StrFormat("%zu", cache.max_entries));
+  rows.emplace_back("cache_shards", StrFormat("%zu", cache.shards));
+  rows.emplace_back("fault_rate", StrFormat("%g", fault_rate));
+  rows.emplace_back("max_retries", StrFormat("%zu", max_retries));
+  return rows;
+}
+
+}  // namespace costsense::engine

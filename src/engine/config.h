@@ -1,0 +1,83 @@
+#ifndef COSTSENSE_ENGINE_CONFIG_H_
+#define COSTSENSE_ENGINE_CONFIG_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/worst_case.h"
+#include "runtime/oracle_cache.h"
+
+namespace costsense::engine {
+
+/// The one typed run configuration for every costsense entry point.
+///
+/// This is the only place the COSTSENSE_* environment variables are read
+/// (lint rule R5 bans std::getenv elsewhere). Malformed values are typed
+/// kInvalidArgument errors, not silent fallbacks: a bench run with
+/// COSTSENSE_THREADS=banana refuses to start instead of quietly running at
+/// hardware concurrency. Bench CLIs additionally accept key=value
+/// overrides (ApplyOverride), which win over the environment.
+///
+/// Knobs and their environment/override spellings:
+///
+///   threads        COSTSENSE_THREADS        integer; 0/unset = hardware
+///                                           concurrency
+///   kernel         COSTSENSE_KERNEL         "scalar" | "incremental"
+///   quick          COSTSENSE_QUICK          unset/""/"0" off, else on
+///   bench_json     COSTSENSE_BENCH_JSON     perf-JSON append path
+///   artifact_json  COSTSENSE_ARTIFACT_JSON  structured-artifact sidecar
+///                                           path (JSON lines)
+///   cache_entries  COSTSENSE_CACHE_ENTRIES  oracle-cache entry bound >= 1
+///   cache_shards   COSTSENSE_CACHE_SHARDS   oracle-cache shard count >= 1
+///   fault_rate     COSTSENSE_FAULT_RATE     injected fault rate in [0, 1]
+///   max_retries    COSTSENSE_MAX_RETRIES    resilient-oracle retry budget
+struct EngineConfig {
+  /// Concurrency level; 0 means hardware concurrency at pool build time.
+  size_t threads = 0;
+  /// Vertex-sweep kernel installed as the process default.
+  core::SweepKernel kernel = core::SweepKernel::kIncremental;
+  /// Quick mode: representative query subset + light discovery sampling.
+  bool quick = false;
+  /// Appended with one perf-JSON line per bench run when non-empty.
+  std::string bench_json_path;
+  /// Structured artifact sidecar (series/tables/metrics as JSON lines)
+  /// written when non-empty; figure stdout is unaffected.
+  std::string artifact_json_path;
+  /// Memoizing oracle-cache sizing for the per-query stacks.
+  runtime::OracleCacheOptions cache;
+  /// Resilience budgets for stacks built with the fault tier enabled.
+  double fault_rate = 0.0;
+  size_t max_retries = 5;
+
+  /// Environment accessor, injectable for tests (maps a variable name to
+  /// its value or nullptr). The default reads the process environment.
+  using EnvLookup = std::function<const char*(const char* name)>;
+
+  /// Parses the process environment. kInvalidArgument on any malformed
+  /// COSTSENSE_* value, naming the variable and the offending text.
+  [[nodiscard]] static Result<EngineConfig> FromEnv();
+  [[nodiscard]] static Result<EngineConfig> FromEnv(const EnvLookup& lookup);
+
+  /// Applies one "key=value" override (e.g. "threads=3", "kernel=scalar").
+  /// Overrides use the same parsers as FromEnv and win over it; unknown
+  /// keys and malformed values are kInvalidArgument.
+  [[nodiscard]] Status ApplyOverride(std::string_view assignment);
+
+  /// True when `arg` looks like a recognized "key=value" override — the
+  /// bench main uses this to split its argv from pass-through arguments
+  /// (e.g. google-benchmark's --benchmark_filter=...).
+  static bool IsOverride(std::string_view arg);
+
+  /// Every documented knob as (override key, current value) rows, in the
+  /// order listed above. Feeding each row back through ApplyOverride
+  /// reproduces the config (the round-trip property config_test proves).
+  std::vector<std::pair<std::string, std::string>> KnobTable() const;
+};
+
+}  // namespace costsense::engine
+
+#endif  // COSTSENSE_ENGINE_CONFIG_H_

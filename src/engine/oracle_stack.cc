@@ -1,0 +1,59 @@
+#include "engine/oracle_stack.h"
+
+namespace costsense::engine {
+
+StackTelemetry OracleStack::telemetry() const {
+  StackTelemetry t;
+  t.cache = cache_->stats();
+  if (injector_ != nullptr) t.faults = injector_->log();
+  if (resilient_ != nullptr) {
+    t.resilience = resilient_->stats();
+    t.resilient = true;
+  }
+  return t;
+}
+
+OracleStackBuilder& OracleStackBuilder::WithCache(
+    const runtime::OracleCacheOptions& options) {
+  cache_ = options;
+  return *this;
+}
+
+OracleStackBuilder& OracleStackBuilder::WithResilience(
+    const runtime::resilience::FaultInjectionOptions& faults,
+    const runtime::resilience::ResilientOracleOptions& retry,
+    runtime::resilience::Clock* clock) {
+  resilience_ = true;
+  faults_ = faults;
+  retry_ = retry;
+  clock_ = clock;
+  return *this;
+}
+
+OracleStackBuilder OracleStackBuilder::FromConfig(const EngineConfig& config) {
+  OracleStackBuilder builder;
+  builder.WithCache(config.cache);
+  if (config.fault_rate > 0.0) {
+    runtime::resilience::FaultInjectionOptions faults;
+    faults.fault_rate = config.fault_rate;
+    runtime::resilience::ResilientOracleOptions retry;
+    retry.max_retries = config.max_retries;
+    builder.WithResilience(faults, retry);
+  }
+  return builder;
+}
+
+OracleStack OracleStackBuilder::Build(core::PlanOracle& base) const {
+  OracleStack stack;
+  stack.cache_ = std::make_unique<runtime::CachingOracle>(base, cache_);
+  if (resilience_) {
+    stack.injector_ =
+        std::make_unique<runtime::resilience::FaultInjectingOracle>(
+            *stack.cache_, faults_, clock_);
+    stack.resilient_ = std::make_unique<runtime::resilience::ResilientOracle>(
+        *stack.injector_, retry_, clock_);
+  }
+  return stack;
+}
+
+}  // namespace costsense::engine

@@ -1,0 +1,104 @@
+#ifndef COSTSENSE_ENGINE_ORACLE_STACK_H_
+#define COSTSENSE_ENGINE_ORACLE_STACK_H_
+
+#include <memory>
+
+#include "core/oracle.h"
+#include "engine/config.h"
+#include "runtime/oracle_cache.h"
+#include "runtime/resilience/clock.h"
+#include "runtime/resilience/fault_injector.h"
+#include "runtime/resilience/resilient_oracle.h"
+
+namespace costsense::engine {
+
+/// One snapshot of every decorator's counters — the metrics-recorder tier
+/// of the stack. Fields for tiers that were not built stay zero.
+struct StackTelemetry {
+  runtime::OracleCacheStats cache;
+  runtime::resilience::FaultLog faults;
+  runtime::resilience::ResilienceStats resilience;
+  /// True when the fault/retry tiers exist (resilient() is non-null).
+  bool resilient = false;
+};
+
+/// An assembled PlanOracle decorator chain over a base optimizer oracle:
+///
+///   drivers -> ResilientOracle -> FaultInjectingOracle -> CachingOracle
+///           -> base (e.g. blackbox::NarrowOptimizer)
+///
+/// Faults are injected *above* the cache: a retried probe re-enters the
+/// injector (consuming its burst) and then lands on the warm cache, so
+/// retries cost no optimizer invocations and the cache only ever holds
+/// clean replies. This order is what makes figure output byte-identical
+/// under absorbed faults, and OracleStack is the one place it is encoded.
+///
+/// The base oracle is not owned and must outlive the stack. Every layer
+/// also remains individually constructible (CachingOracle,
+/// FaultInjectingOracle, ResilientOracle) for targeted tests.
+class OracleStack {
+ public:
+  OracleStack(OracleStack&&) = default;
+  OracleStack& operator=(OracleStack&&) = default;
+
+  /// The memoizing tier; always present. Drivers on the infallible path
+  /// probe this directly.
+  runtime::CachingOracle& cache() { return *cache_; }
+  const runtime::CachingOracle& cache() const { return *cache_; }
+
+  /// Top of the fallible chain, or nullptr when the stack was built
+  /// without the resilience tier.
+  core::FalliblePlanOracle* resilient() { return resilient_.get(); }
+
+  /// The fault tier, or nullptr without resilience (tests reach in to
+  /// read the fault log).
+  runtime::resilience::FaultInjectingOracle* injector() {
+    return injector_.get();
+  }
+
+  /// Snapshot of all per-tier counters.
+  StackTelemetry telemetry() const;
+
+ private:
+  friend class OracleStackBuilder;
+  OracleStack() = default;
+
+  std::unique_ptr<runtime::CachingOracle> cache_;
+  std::unique_ptr<runtime::resilience::FaultInjectingOracle> injector_;
+  std::unique_ptr<runtime::resilience::ResilientOracle> resilient_;
+};
+
+/// Assembles OracleStacks from configuration. One builder can stamp out
+/// many per-query stacks (Build is const).
+class OracleStackBuilder {
+ public:
+  OracleStackBuilder() = default;
+
+  /// Sizing for the memoizing tier (always built).
+  OracleStackBuilder& WithCache(const runtime::OracleCacheOptions& options);
+
+  /// Enables the fault-injection + retry tiers. `clock` drives latency
+  /// faults, backoff and deadlines; null = real steady clock.
+  OracleStackBuilder& WithResilience(
+      const runtime::resilience::FaultInjectionOptions& faults,
+      const runtime::resilience::ResilientOracleOptions& retry,
+      runtime::resilience::Clock* clock = nullptr);
+
+  /// A builder seeded from config: cache sizing always, and the
+  /// resilience tiers when config.fault_rate > 0 (with config.max_retries
+  /// as the retry budget).
+  static OracleStackBuilder FromConfig(const EngineConfig& config);
+
+  OracleStack Build(core::PlanOracle& base) const;
+
+ private:
+  runtime::OracleCacheOptions cache_;
+  bool resilience_ = false;
+  runtime::resilience::FaultInjectionOptions faults_;
+  runtime::resilience::ResilientOracleOptions retry_;
+  runtime::resilience::Clock* clock_ = nullptr;
+};
+
+}  // namespace costsense::engine
+
+#endif  // COSTSENSE_ENGINE_ORACLE_STACK_H_

@@ -27,12 +27,20 @@ Result<QueryAnalysis> FigureRunner::Analyze(
   const storage::ResourceSpace space = layout.BuildResourceSpace();
   const opt::Optimizer optimizer(catalog_, layout, space);
   blackbox::NarrowOptimizer narrow(optimizer, query, options_.white_box);
-  // Every probe is memoized: discovery's seed sweep, segment bisection and
-  // completeness rounds revisit cost points (the box center, shared
-  // segment midpoints), and the cache collapses those into one optimizer
+  // The per-query decorator chain, assembled by the engine's stack
+  // builder: the memoizing tier collapses discovery's revisited cost
+  // points (the box center, shared segment midpoints) into one optimizer
   // invocation each — concurrently safe, since misses compute outside the
-  // shard locks against the stateless optimizer.
-  runtime::CachingOracle oracle(narrow, options_.cache);
+  // shard locks against the stateless optimizer — and the resilience
+  // tiers are stacked above it only when the fault option is on.
+  engine::OracleStackBuilder builder;
+  builder.WithCache(options_.cache);
+  if (options_.resilience.enabled) {
+    builder.WithResilience(options_.resilience.faults,
+                           options_.resilience.retry,
+                           options_.resilience.clock);
+  }
+  engine::OracleStack stack = builder.Build(narrow);
 
   QueryAnalysis out;
   out.query_name = query.name;
@@ -42,8 +50,9 @@ Result<QueryAnalysis> FigureRunner::Analyze(
   out.dim_info = space.dim_info();
 
   if (options_.resilience.enabled) {
-    return AnalyzeResilient(query, optimizer, oracle, narrow, std::move(out));
+    return AnalyzeResilient(query, optimizer, stack, narrow, std::move(out));
   }
+  runtime::CachingOracle& oracle = stack.cache();
 
   // The initial plan: optimal at the (estimated) baseline costs, i.e. the
   // plan a DBA gets by leaving DB2's defaults in place (Section 8.1). The
@@ -93,17 +102,12 @@ Result<QueryAnalysis> FigureRunner::Analyze(
 
 Result<QueryAnalysis> FigureRunner::AnalyzeResilient(
     const query::Query& query, const opt::Optimizer& optimizer,
-    runtime::CachingOracle& oracle, blackbox::NarrowOptimizer& narrow,
+    engine::OracleStack& stack, blackbox::NarrowOptimizer& narrow,
     QueryAnalysis out) const {
-  const Options::Resilience& res = options_.resilience;
-  // Faults are injected *above* the cache: a retried probe re-enters the
-  // injector (consuming its burst) and then lands on the warm cache, so
-  // retries cost no optimizer invocations and the cache only ever holds
-  // clean replies.
-  runtime::resilience::FaultInjectingOracle injector(oracle, res.faults,
-                                                     res.clock);
-  runtime::resilience::ResilientOracle resilient(injector, res.retry,
-                                                 res.clock);
+  // The builder put the fault tier above the cache (see oracle_stack.h),
+  // so retries cost no optimizer invocations and the cache only ever
+  // holds clean replies.
+  core::FalliblePlanOracle& resilient = *stack.resilient();
 
   // Degraded probe points this driver skipped or routed to a fallback;
   // reconciled against the oracle- and injector-side counts below.
@@ -155,22 +159,21 @@ Result<QueryAnalysis> FigureRunner::AnalyzeResilient(
   out.discovery_complete = d->complete;
   degraded_points += d->failed_probes;
 
-  const runtime::OracleCacheStats cache = oracle.stats();
-  out.cache_hits = cache.hits;
-  out.cache_misses = cache.misses;
-
-  const runtime::resilience::ResilienceStats stats = resilient.stats();
-  out.oracle_probe_calls = stats.calls;
-  out.oracle_attempts = stats.attempts;
-  out.oracle_retries = stats.retries;
-  out.oracle_failures = stats.failures;
-  out.faults_injected = injector.log().faults;
+  const engine::StackTelemetry telemetry = stack.telemetry();
+  out.cache_hits = telemetry.cache.hits;
+  out.cache_misses = telemetry.cache.misses;
+  out.oracle_probe_calls = telemetry.resilience.calls;
+  out.oracle_attempts = telemetry.resilience.attempts;
+  out.oracle_retries = telemetry.resilience.retries;
+  out.oracle_failures = telemetry.resilience.failures;
+  out.faults_injected = telemetry.faults.faults;
   out.degraded_points = degraded_points;
   out.probe_coverage =
-      stats.calls == 0
+      telemetry.resilience.calls == 0
           ? 1.0
-          : static_cast<double>(stats.calls - stats.failures) /
-                static_cast<double>(stats.calls);
+          : static_cast<double>(telemetry.resilience.calls -
+                                telemetry.resilience.failures) /
+                static_cast<double>(telemetry.resilience.calls);
   return out;
 }
 

@@ -9,6 +9,7 @@
 #include "core/complementarity.h"
 #include "core/discovery.h"
 #include "core/vectors.h"
+#include "engine/oracle_stack.h"
 #include "query/query.h"
 #include "runtime/oracle_cache.h"
 #include "runtime/resilience/fault_injector.h"
@@ -108,16 +109,15 @@ class FigureRunner {
     uint64_t seed = 0x5eed;
     core::DiscoveryOptions discovery;
     /// Pool for per-query and per-probe fan-out; null uses the
-    /// process-global pool (sized by COSTSENSE_THREADS; 1 = serial).
+    /// process-global pool (sized by runtime::GlobalThreadCount(), which
+    /// engine::Engine::Create configures; 1 = serial).
     runtime::ThreadPool* pool = nullptr;
     /// Memoizing oracle cache applied around each per-query optimizer.
     runtime::OracleCacheOptions cache;
     /// Optional fault-injection + retry tier. When enabled the per-query
-    /// oracle stack becomes
-    ///   drivers -> ResilientOracle -> FaultInjectingOracle -> cache ->
-    ///   optimizer
-    /// (faults above the cache, so retries are cheap and the cache holds
-    /// only clean replies) and Analyze degrades gracefully instead of
+    /// engine::OracleStack is built with its resilience tiers (see
+    /// engine/oracle_stack.h for the decorator order and why faults sit
+    /// above the cache) and Analyze degrades gracefully instead of
     /// failing: probes the stack cannot answer are skipped and accounted
     /// in the QueryAnalysis counters. With fault_rate 0, or any fault rate
     /// whose bursts the retry budget absorbs (max_retries > max_burst),
@@ -161,12 +161,13 @@ class FigureRunner {
   runtime::ThreadPool& pool() const;
 
   /// The fault-tolerant variant of Analyze's probing phase, used when
-  /// options_.resilience.enabled: stacks the injector and retry tiers over
-  /// `oracle`, degrades per-point instead of failing, and fills the
-  /// resilience counters. `out` arrives with the layout fields populated.
+  /// options_.resilience.enabled: probes through the stack's resilient
+  /// tier, degrades per-point instead of failing, and fills the
+  /// resilience counters from the stack telemetry. `out` arrives with the
+  /// layout fields populated.
   [[nodiscard]] Result<QueryAnalysis> AnalyzeResilient(const query::Query& query,
                                          const opt::Optimizer& optimizer,
-                                         runtime::CachingOracle& oracle,
+                                         engine::OracleStack& stack,
                                          blackbox::NarrowOptimizer& narrow,
                                          QueryAnalysis out) const;
 

@@ -1,7 +1,6 @@
 #include "exp/report.h"
 
 #include <cmath>
-#include <cstdlib>
 
 #include "common/strings.h"
 
@@ -55,11 +54,6 @@ std::string RenderComplementarityTable(
                      r.num_access_path, r.num_temp, r.num_near_complementary);
   }
   return out;
-}
-
-bool QuickMode() {
-  const char* v = std::getenv("COSTSENSE_QUICK");
-  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
 }
 
 std::vector<int> QuickQueryNumbers() { return {1, 8, 11, 16, 19, 20}; }

@@ -26,14 +26,10 @@ std::string RenderComplementarityTable(
     const std::vector<std::pair<std::string, core::ComplementarityReport>>&
         rows);
 
-/// Parses the COSTSENSE_QUICK environment variable: when set (non-empty,
-/// not "0"), benches restrict to a representative query subset and
-/// lighter discovery so the whole suite runs in seconds. Full fidelity is
-/// the default.
-bool QuickMode();
-
 /// The query numbers exercised in quick mode (the paper's highlighted
-/// queries: 1, 8, 11, 16, 19, 20).
+/// queries: 1, 8, 11, 16, 19, 20). Quick mode itself is an engine
+/// setting — EngineConfig::quick, from COSTSENSE_QUICK — threaded to
+/// benches as a parameter; report stays env-free.
 std::vector<int> QuickQueryNumbers();
 
 }  // namespace costsense::exp

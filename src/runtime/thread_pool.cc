@@ -1,27 +1,46 @@
 #include "runtime/thread_pool.h"
 
-#include <cstdlib>
 #include <memory>
 
 #include "common/macros.h"
+#include "common/strings.h"
 
 namespace costsense::runtime {
+namespace {
 
-size_t ConfiguredThreadCount() {
-  const char* v = std::getenv("COSTSENSE_THREADS");
-  if (v != nullptr && v[0] != '\0') {
-    char* end = nullptr;
-    const long parsed = std::strtol(v, &end, 10);
-    if (end != nullptr && *end == '\0' && parsed >= 1) {
-      return static_cast<size_t>(parsed);
-    }
-  }
+/// The engine-configured size for the global pool (0 = unset) and the
+/// size the global pool was actually built with (0 = not built yet).
+std::atomic<size_t> g_configured_threads{0};
+std::atomic<size_t> g_global_built_threads{0};
+
+}  // namespace
+
+size_t DefaultThreadCount() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<size_t>(hw);
 }
 
+size_t GlobalThreadCount() {
+  const size_t configured =
+      g_configured_threads.load(std::memory_order_relaxed);
+  return configured != 0 ? configured : DefaultThreadCount();
+}
+
+Status ConfigureGlobalThreadCount(size_t count) {
+  if (count == 0) count = DefaultThreadCount();
+  const size_t built = g_global_built_threads.load(std::memory_order_acquire);
+  if (built != 0 && built != count) {
+    return Status::FailedPrecondition(StrFormat(
+        "global thread pool already built with %zu threads; cannot "
+        "reconfigure to %zu — apply the engine config before first use",
+        built, count));
+  }
+  g_configured_threads.store(count, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
 ThreadPool::ThreadPool(size_t num_threads)
-    : num_threads_(num_threads == 0 ? ConfiguredThreadCount() : num_threads) {
+    : num_threads_(num_threads == 0 ? GlobalThreadCount() : num_threads) {
   workers_.reserve(num_threads_ - 1);
   for (size_t i = 0; i + 1 < num_threads_; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -145,7 +164,12 @@ Status ThreadPool::ParallelFor(size_t n,
 }
 
 ThreadPool& ThreadPool::Global() {
-  static ThreadPool* pool = new ThreadPool(ConfiguredThreadCount());
+  static ThreadPool* pool = [] {
+    auto* p = new ThreadPool(GlobalThreadCount());
+    g_global_built_threads.store(p->num_threads(),
+                                 std::memory_order_release);
+    return p;
+  }();
   return *pool;
 }
 

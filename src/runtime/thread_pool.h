@@ -17,10 +17,22 @@
 
 namespace costsense::runtime {
 
-/// Concurrency level requested via the COSTSENSE_THREADS environment
-/// variable, or std::thread::hardware_concurrency() when unset/invalid.
-/// A value of 1 recovers the fully serial execution path.
-size_t ConfiguredThreadCount();
+/// Hardware concurrency (>= 1) — the global pool's size when nothing has
+/// been configured.
+size_t DefaultThreadCount();
+
+/// The concurrency level the global pool will be (or was) built with: the
+/// engine-configured count, or DefaultThreadCount() when unset. A value
+/// of 1 recovers the fully serial execution path.
+size_t GlobalThreadCount();
+
+/// Installs `count` (0 = DefaultThreadCount()) as the global pool's size.
+/// engine::Engine::Create is the only caller that translates
+/// COSTSENSE_THREADS into a pool size — the pool itself never reads the
+/// environment. kFailedPrecondition when the global pool was already
+/// constructed at a different size (the setting could no longer take
+/// effect; fail loudly instead of running mis-sized).
+[[nodiscard]] Status ConfigureGlobalThreadCount(size_t count);
 
 /// Counters exported by a ThreadPool (see RuntimeMetrics for the rendered
 /// form). Snapshots are consistent but not atomic across fields.
@@ -46,7 +58,7 @@ struct PoolStats {
 class ThreadPool {
  public:
   /// Spawns `num_threads - 1` workers (the caller is the remaining lane).
-  /// 0 means ConfiguredThreadCount(); 1 spawns no workers and runs all
+  /// 0 means GlobalThreadCount(); 1 spawns no workers and runs all
   /// helpers inline, byte-identical to the pre-pool serial code path.
   explicit ThreadPool(size_t num_threads = 0);
   ~ThreadPool();
@@ -87,7 +99,7 @@ class ThreadPool {
     return out;
   }
 
-  /// Process-wide pool sized by ConfiguredThreadCount(); constructed on
+  /// Process-wide pool sized by GlobalThreadCount(); constructed on
   /// first use and intentionally leaked (workers outlive static teardown).
   static ThreadPool& Global();
 

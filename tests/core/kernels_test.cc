@@ -7,21 +7,39 @@
 #include <gtest/gtest.h>
 
 #include <bit>
-#include <cstdlib>
 #include <limits>
 #include <set>
-#include <string_view>
 
 #include "common/rng.h"
 #include "core/dominance.h"
 #include "core/plan_matrix.h"
 #include "core/worst_case.h"
+#include "engine/config.h"
 #include "linalg/kernels.h"
 #include "runtime/thread_pool.h"
 #include "tests/core/fake_oracle.h"
 
 namespace costsense::core {
 namespace {
+
+/// ctest registers this binary twice, with COSTSENSE_KERNEL=scalar and
+/// =incremental. Engine::Create normally installs the env choice as the
+/// process default; tests have no engine, so this global environment
+/// performs the same installation before any test runs — the kernel-less
+/// default overloads below then exercise both kernels across the two
+/// registrations.
+class KernelConfigEnvironment : public ::testing::Environment {
+ public:
+  void SetUp() override {
+    const Result<engine::EngineConfig> config =
+        engine::EngineConfig::FromEnv();
+    ASSERT_TRUE(config.ok()) << config.status().ToString();
+    SetDefaultSweepKernel(config->kernel);
+  }
+};
+
+const ::testing::Environment* const kKernelEnv =
+    ::testing::AddGlobalTestEnvironment(new KernelConfigEnvironment);
 
 std::vector<PlanUsage> RandomPlans(Rng& rng, size_t dims, size_t count) {
   std::vector<PlanUsage> plans;
@@ -179,12 +197,12 @@ TEST(PlanMatrixTest, EmptyPlanSet) {
   EXPECT_EQ(r.degenerate_vertices, size_t{0});
 }
 
-TEST(SweepKernelTest, ConfiguredKernelFollowsEnvironment) {
-  const char* v = std::getenv("COSTSENSE_KERNEL");
-  const SweepKernel want = (v != nullptr && std::string_view(v) == "scalar")
-                               ? SweepKernel::kScalar
-                               : SweepKernel::kIncremental;
-  EXPECT_EQ(ConfiguredSweepKernel(), want);
+TEST(SweepKernelTest, DefaultKernelFollowsEngineConfig) {
+  // The global test environment above installed the typed config's
+  // kernel; the process default must reflect it.
+  const Result<engine::EngineConfig> config = engine::EngineConfig::FromEnv();
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  EXPECT_EQ(DefaultSweepKernel(), config->kernel);
 }
 
 TEST(SweepKernelTest, PlanSweepKernelsMatchNaiveSerialAndPooled) {
@@ -213,8 +231,8 @@ TEST(SweepKernelTest, PlanSweepKernelsMatchNaiveSerialAndPooled) {
       ExpectSameResult(want, WorstCaseOverPlansByVertices(initial, plans, box,
                                                           kernel, &pool));
     }
-    // The env-selected default overload must agree too (it is one of the
-    // two kernels, both already shown equal to the reference).
+    // The config-selected default overload must agree too (it is one of
+    // the two kernels, both already shown equal to the reference).
     ExpectSameResult(want,
                      WorstCaseOverPlansByVertices(initial, plans, box));
   }

@@ -1,0 +1,176 @@
+// Tests of the typed run configuration. EngineConfig::FromEnv is the one
+// sanctioned environment reader (lint rule R5), so everything here drives
+// the injectable lookup overload — no setenv, no process-global state.
+#include "engine/config.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+namespace costsense::engine {
+namespace {
+
+/// Env lookup backed by a map; absent keys read as unset.
+EngineConfig::EnvLookup MapLookup(
+    const std::map<std::string, std::string>& env) {
+  return [&env](const char* name) -> const char* {
+    const auto it = env.find(name);
+    return it == env.end() ? nullptr : it->second.c_str();
+  };
+}
+
+TEST(EngineConfigTest, EmptyEnvironmentYieldsDefaults) {
+  const std::map<std::string, std::string> env;
+  const Result<EngineConfig> config = EngineConfig::FromEnv(MapLookup(env));
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  EXPECT_EQ(config->threads, 0u);  // 0 = hardware concurrency
+  EXPECT_EQ(config->kernel, core::SweepKernel::kIncremental);
+  EXPECT_FALSE(config->quick);
+  EXPECT_TRUE(config->bench_json_path.empty());
+  EXPECT_TRUE(config->artifact_json_path.empty());
+  EXPECT_EQ(config->cache.shards, runtime::OracleCacheOptions{}.shards);
+  EXPECT_EQ(config->cache.max_entries,
+            runtime::OracleCacheOptions{}.max_entries);
+  EXPECT_EQ(config->fault_rate, 0.0);
+  EXPECT_EQ(config->max_retries, 5u);
+}
+
+TEST(EngineConfigTest, ParsesEveryKnobFromEnv) {
+  const std::map<std::string, std::string> env = {
+      {"COSTSENSE_THREADS", "3"},
+      {"COSTSENSE_KERNEL", "scalar"},
+      {"COSTSENSE_QUICK", "1"},
+      {"COSTSENSE_BENCH_JSON", "/tmp/bench.jsonl"},
+      {"COSTSENSE_ARTIFACT_JSON", "/tmp/artifacts.jsonl"},
+      {"COSTSENSE_CACHE_ENTRIES", "1024"},
+      {"COSTSENSE_CACHE_SHARDS", "4"},
+      {"COSTSENSE_FAULT_RATE", "0.25"},
+      {"COSTSENSE_MAX_RETRIES", "7"},
+  };
+  const Result<EngineConfig> config = EngineConfig::FromEnv(MapLookup(env));
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  EXPECT_EQ(config->threads, 3u);
+  EXPECT_EQ(config->kernel, core::SweepKernel::kScalar);
+  EXPECT_TRUE(config->quick);
+  EXPECT_EQ(config->bench_json_path, "/tmp/bench.jsonl");
+  EXPECT_EQ(config->artifact_json_path, "/tmp/artifacts.jsonl");
+  EXPECT_EQ(config->cache.max_entries, 1024u);
+  EXPECT_EQ(config->cache.shards, 4u);
+  EXPECT_EQ(config->fault_rate, 0.25);
+  EXPECT_EQ(config->max_retries, 7u);
+}
+
+TEST(EngineConfigTest, QuickKeepsItsDocumentedEnvSemantics) {
+  // Any set, non-empty value other than "0" turns quick mode on; "" and
+  // "0" mean off. Never a parse error.
+  for (const auto& [value, expected] :
+       std::map<std::string, bool>{
+           {"", false}, {"0", false}, {"1", true}, {"yes", true}}) {
+    const std::map<std::string, std::string> env = {
+        {"COSTSENSE_QUICK", value}};
+    const Result<EngineConfig> config = EngineConfig::FromEnv(MapLookup(env));
+    ASSERT_TRUE(config.ok()) << "COSTSENSE_QUICK=" << value;
+    EXPECT_EQ(config->quick, expected) << "COSTSENSE_QUICK=" << value;
+  }
+}
+
+TEST(EngineConfigTest, MalformedValuesAreTypedErrorsNamingTheVariable) {
+  const std::map<std::string, std::string> bad = {
+      {"COSTSENSE_THREADS", "banana"},
+      {"COSTSENSE_KERNEL", "vectorized"},
+      {"COSTSENSE_CACHE_ENTRIES", "0"},
+      {"COSTSENSE_CACHE_SHARDS", "-2"},
+      {"COSTSENSE_FAULT_RATE", "1.5"},
+      {"COSTSENSE_MAX_RETRIES", "2.5"},
+  };
+  for (const auto& [name, value] : bad) {
+    const std::map<std::string, std::string> env = {{name, value}};
+    const Result<EngineConfig> config = EngineConfig::FromEnv(MapLookup(env));
+    ASSERT_FALSE(config.ok()) << name << "=" << value;
+    EXPECT_EQ(config.status().code(), StatusCode::kInvalidArgument);
+    // The error must name the offending variable and echo the bad text, so
+    // a refused bench run is diagnosable from the one-line message.
+    EXPECT_NE(config.status().message().find(name), std::string::npos)
+        << config.status().ToString();
+    EXPECT_NE(config.status().message().find(value), std::string::npos)
+        << config.status().ToString();
+  }
+}
+
+TEST(EngineConfigTest, OverridesWinOverEnvironment) {
+  const std::map<std::string, std::string> env = {
+      {"COSTSENSE_THREADS", "2"}, {"COSTSENSE_KERNEL", "incremental"}};
+  Result<EngineConfig> config = EngineConfig::FromEnv(MapLookup(env));
+  ASSERT_TRUE(config.ok());
+  EXPECT_TRUE(config->ApplyOverride("threads=5").ok());
+  EXPECT_TRUE(config->ApplyOverride("kernel=scalar").ok());
+  EXPECT_EQ(config->threads, 5u);
+  EXPECT_EQ(config->kernel, core::SweepKernel::kScalar);
+}
+
+TEST(EngineConfigTest, OverrideErrorsAreTyped) {
+  EngineConfig config;
+  const Status unknown = config.ApplyOverride("bogus=1");
+  EXPECT_EQ(unknown.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(unknown.message().find("bogus"), std::string::npos);
+
+  const Status no_eq = config.ApplyOverride("threads");
+  EXPECT_EQ(no_eq.code(), StatusCode::kInvalidArgument);
+
+  const Status bad_value = config.ApplyOverride("threads=lots");
+  EXPECT_EQ(bad_value.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad_value.message().find("threads"), std::string::npos);
+}
+
+TEST(EngineConfigTest, IsOverrideRecognizesOnlyKnobKeys) {
+  // Every documented knob key is recognized...
+  for (const auto& [key, value] : EngineConfig().KnobTable()) {
+    EXPECT_TRUE(EngineConfig::IsOverride(key + "=" + value)) << key;
+  }
+  // ...and everything else passes through to the wrapped tool untouched
+  // (google-benchmark flags, bare words, unknown keys).
+  EXPECT_FALSE(EngineConfig::IsOverride("--benchmark_filter=BM_Sweep"));
+  EXPECT_FALSE(EngineConfig::IsOverride("threads"));
+  EXPECT_FALSE(EngineConfig::IsOverride("bogus=1"));
+}
+
+void ExpectSameConfig(const EngineConfig& a, const EngineConfig& b) {
+  EXPECT_EQ(a.threads, b.threads);
+  EXPECT_EQ(a.kernel, b.kernel);
+  EXPECT_EQ(a.quick, b.quick);
+  EXPECT_EQ(a.bench_json_path, b.bench_json_path);
+  EXPECT_EQ(a.artifact_json_path, b.artifact_json_path);
+  EXPECT_EQ(a.cache.max_entries, b.cache.max_entries);
+  EXPECT_EQ(a.cache.shards, b.cache.shards);
+  EXPECT_EQ(a.fault_rate, b.fault_rate);
+  EXPECT_EQ(a.max_retries, b.max_retries);
+}
+
+TEST(EngineConfigTest, KnobTableRoundTripsEveryKnob) {
+  // Feeding KnobTable() rows back through ApplyOverride reproduces the
+  // config exactly — the property that keeps the table, the env parsers
+  // and the override parsers from drifting apart.
+  EngineConfig original;
+  original.threads = 6;
+  original.kernel = core::SweepKernel::kScalar;
+  original.quick = true;
+  original.bench_json_path = "/tmp/b.jsonl";
+  original.artifact_json_path = "/tmp/a.jsonl";
+  original.cache.max_entries = 512;
+  original.cache.shards = 2;
+  original.fault_rate = 0.125;  // exact in binary, round-trips through %g
+  original.max_retries = 9;
+
+  for (const EngineConfig& seed : {original, EngineConfig()}) {
+    EngineConfig rebuilt;
+    for (const auto& [key, value] : seed.KnobTable()) {
+      const Status st = rebuilt.ApplyOverride(key + "=" + value);
+      EXPECT_TRUE(st.ok()) << key << "=" << value << ": " << st.ToString();
+    }
+    ExpectSameConfig(rebuilt, seed);
+  }
+}
+
+}  // namespace
+}  // namespace costsense::engine

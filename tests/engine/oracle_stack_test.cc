@@ -1,0 +1,151 @@
+// Tests of the oracle-stack builder: which tiers get built, and the one
+// ordering property the stack exists to encode — faults are injected
+// *above* the cache, so retries re-enter the injector but never cost an
+// extra base-optimizer call, and the cache only ever holds clean replies.
+#include "engine/oracle_stack.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tests/core/fake_oracle.h"
+
+namespace costsense::engine {
+namespace {
+
+std::vector<core::PlanUsage> TwoPlans() {
+  return {{"scan", core::UsageVector{10.0, 1.0}},
+          {"index", core::UsageVector{1.0, 10.0}}};
+}
+
+TEST(OracleStackTest, DefaultBuildIsCacheOnly) {
+  core::FakeOracle base(TwoPlans(), /*white_box=*/true);
+  OracleStack stack = OracleStackBuilder().Build(base);
+  EXPECT_EQ(stack.resilient(), nullptr);
+  EXPECT_EQ(stack.injector(), nullptr);
+  EXPECT_FALSE(stack.telemetry().resilient);
+
+  const core::CostVector probe{1.0, 2.0};
+  const core::OracleResult first = stack.cache().Optimize(probe);
+  const core::OracleResult second = stack.cache().Optimize(probe);
+  EXPECT_EQ(first.plan_id, second.plan_id);
+  EXPECT_EQ(base.calls(), 1u);  // second probe served from the cache
+
+  const StackTelemetry telemetry = stack.telemetry();
+  EXPECT_EQ(telemetry.cache.misses, 1u);
+  EXPECT_EQ(telemetry.cache.hits, 1u);
+  EXPECT_EQ(telemetry.resilience.calls, 0u);
+  EXPECT_EQ(telemetry.faults.faults, 0u);
+}
+
+TEST(OracleStackTest, WithCacheSizingIsApplied) {
+  core::FakeOracle base(TwoPlans(), /*white_box=*/true);
+  runtime::OracleCacheOptions options;
+  options.shards = 1;
+  options.max_entries = 2;
+  OracleStack stack = OracleStackBuilder().WithCache(options).Build(base);
+  // Three distinct probes through a 2-entry cache must evict.
+  for (double x : {1.0, 2.0, 3.0}) {
+    (void)stack.cache().Optimize(core::CostVector{x, 1.0});
+  }
+  const StackTelemetry telemetry = stack.telemetry();
+  EXPECT_EQ(telemetry.cache.misses, 3u);
+  EXPECT_GE(telemetry.cache.evictions, 1u);
+}
+
+TEST(OracleStackTest, FaultsInjectAboveTheCacheSoRetriesAreFree) {
+  core::FakeOracle base(TwoPlans(), /*white_box=*/true);
+
+  runtime::resilience::FaultInjectionOptions faults;
+  faults.fault_rate = 1.0;  // every key starts a burst
+  faults.max_burst = 2;
+  faults.weight_transient = 1.0;
+  runtime::resilience::ResilientOracleOptions retry;
+  retry.max_retries = 5;  // budget > burst: recovery is guaranteed
+
+  OracleStack stack =
+      OracleStackBuilder().WithResilience(faults, retry).Build(base);
+  ASSERT_NE(stack.resilient(), nullptr);
+  ASSERT_NE(stack.injector(), nullptr);
+  EXPECT_TRUE(stack.telemetry().resilient);
+
+  const core::CostVector probe{1.0, 2.0};
+  const Result<core::OracleResult> reply =
+      stack.resilient()->TryOptimize(probe);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+
+  StackTelemetry telemetry = stack.telemetry();
+  // The burst consumed two faulting attempts, then the clean attempt fell
+  // through the injector onto the (cold) cache exactly once.
+  EXPECT_EQ(telemetry.faults.faults, 2u);
+  EXPECT_EQ(telemetry.resilience.calls, 1u);
+  EXPECT_EQ(telemetry.resilience.attempts, 3u);
+  EXPECT_EQ(telemetry.resilience.retries, 2u);
+  EXPECT_EQ(telemetry.resilience.failures, 0u);
+  EXPECT_EQ(telemetry.cache.misses, 1u);
+  EXPECT_EQ(base.calls(), 1u);  // faults never reached the base optimizer
+
+  // Same key again: the burst is spent, the cache is warm — no new fault,
+  // no new base call.
+  const Result<core::OracleResult> again =
+      stack.resilient()->TryOptimize(probe);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->plan_id, reply->plan_id);
+  telemetry = stack.telemetry();
+  EXPECT_EQ(telemetry.faults.faults, 2u);
+  EXPECT_EQ(telemetry.cache.hits, 1u);
+  EXPECT_EQ(base.calls(), 1u);
+}
+
+TEST(OracleStackTest, ExhaustedRetryBudgetSurfacesTypedFailure) {
+  core::FakeOracle base(TwoPlans(), /*white_box=*/true);
+  runtime::resilience::FaultInjectionOptions faults;
+  faults.fault_rate = 1.0;
+  faults.max_burst = 3;
+  runtime::resilience::ResilientOracleOptions retry;
+  retry.max_retries = 1;  // 2 attempts < burst of 3: the call must fail
+
+  OracleStack stack =
+      OracleStackBuilder().WithResilience(faults, retry).Build(base);
+  const Result<core::OracleResult> reply =
+      stack.resilient()->TryOptimize(core::CostVector{1.0, 2.0});
+  EXPECT_FALSE(reply.ok());
+  const StackTelemetry telemetry = stack.telemetry();
+  EXPECT_EQ(telemetry.resilience.failures, 1u);
+  EXPECT_EQ(base.calls(), 0u);  // the fault tier absorbed every attempt
+}
+
+TEST(OracleStackTest, FromConfigGatesResilienceOnFaultRate) {
+  core::FakeOracle base(TwoPlans(), /*white_box=*/true);
+
+  EngineConfig plain;
+  OracleStack no_faults = OracleStackBuilder::FromConfig(plain).Build(base);
+  EXPECT_EQ(no_faults.resilient(), nullptr);
+
+  EngineConfig faulty;
+  faulty.fault_rate = 0.5;
+  faulty.max_retries = 4;
+  faulty.cache.shards = 2;
+  faulty.cache.max_entries = 64;
+  OracleStack with_faults =
+      OracleStackBuilder::FromConfig(faulty).Build(base);
+  EXPECT_NE(with_faults.resilient(), nullptr);
+  EXPECT_NE(with_faults.injector(), nullptr);
+}
+
+TEST(OracleStackTest, OneBuilderStampsOutIndependentStacks) {
+  core::FakeOracle base(TwoPlans(), /*white_box=*/true);
+  const OracleStackBuilder builder;
+  OracleStack a = builder.Build(base);
+  OracleStack b = builder.Build(base);
+  const core::CostVector probe{1.0, 2.0};
+  (void)a.cache().Optimize(probe);
+  (void)b.cache().Optimize(probe);
+  // Separate per-query stacks do not share cache state.
+  EXPECT_EQ(a.telemetry().cache.misses, 1u);
+  EXPECT_EQ(b.telemetry().cache.misses, 1u);
+  EXPECT_EQ(base.calls(), 2u);
+}
+
+}  // namespace
+}  // namespace costsense::engine

@@ -1,0 +1,58 @@
+# Golden-stdout regression check, run as `cmake -P` from ctest:
+#
+#   cmake -DBINARY=<figure binary> -DEXPECTED=<committed .stdout>
+#         [-DKERNEL=scalar|incremental] [-DTHREADS=N]
+#         [-DACTUAL_OUT=<dump path>] -P run_golden.cmake
+#
+# Runs the binary in quick mode under the requested kernel/thread config
+# and byte-compares its stdout against the committed expectation. This is
+# the executable form of the engine's central contract: figure/table
+# stdout is a pure function of the experiment, identical across thread
+# counts, sweep kernels and (absorbed) faults — stderr carries everything
+# else. A mismatch dumps the actual bytes next to the build for diffing.
+if(NOT DEFINED BINARY OR NOT DEFINED EXPECTED)
+  message(FATAL_ERROR "usage: cmake -DBINARY=... -DEXPECTED=... -P run_golden.cmake")
+endif()
+
+set(ENV{COSTSENSE_QUICK} "1")
+if(DEFINED KERNEL)
+  set(ENV{COSTSENSE_KERNEL} "${KERNEL}")
+endif()
+if(DEFINED THREADS)
+  set(ENV{COSTSENSE_THREADS} "${THREADS}")
+endif()
+# Optionally turn the structured sidecar on: it must not perturb stdout,
+# and it must actually get written (checked after the run).
+if(DEFINED ARTIFACT_JSON)
+  get_filename_component(artifact_dir "${ARTIFACT_JSON}" DIRECTORY)
+  file(MAKE_DIRECTORY "${artifact_dir}")
+  file(REMOVE "${ARTIFACT_JSON}")
+  set(ENV{COSTSENSE_ARTIFACT_JSON} "${ARTIFACT_JSON}")
+endif()
+
+execute_process(
+  COMMAND "${BINARY}"
+  OUTPUT_VARIABLE actual
+  ERROR_VARIABLE stderr_text
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${BINARY} exited with ${rc}:\n${stderr_text}")
+endif()
+
+if(DEFINED ARTIFACT_JSON AND NOT EXISTS "${ARTIFACT_JSON}")
+  message(FATAL_ERROR "sidecar ${ARTIFACT_JSON} was not written")
+endif()
+
+file(READ "${EXPECTED}" expected)
+if(actual STREQUAL expected)
+  return()
+endif()
+
+if(DEFINED ACTUAL_OUT)
+  file(WRITE "${ACTUAL_OUT}" "${actual}")
+  message(FATAL_ERROR
+    "stdout drifted from ${EXPECTED}\n"
+    "actual bytes dumped to ${ACTUAL_OUT}\n"
+    "if the output changed on purpose, copy the dump over the golden file")
+endif()
+message(FATAL_ERROR "stdout drifted from ${EXPECTED}")

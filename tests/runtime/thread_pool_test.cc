@@ -7,23 +7,31 @@
 
 #include <atomic>
 #include <chrono>
-#include <cstdlib>
 #include <thread>
 #include <vector>
 
 namespace costsense::runtime {
 namespace {
 
-TEST(ConfiguredThreadCountTest, ReadsEnvironment) {
-  ::setenv("COSTSENSE_THREADS", "3", 1);
-  EXPECT_EQ(ConfiguredThreadCount(), 3u);
-  ::setenv("COSTSENSE_THREADS", "1", 1);
-  EXPECT_EQ(ConfiguredThreadCount(), 1u);
-  // Unset or garbage falls back to hardware concurrency (>= 1).
-  ::setenv("COSTSENSE_THREADS", "banana", 1);
-  EXPECT_GE(ConfiguredThreadCount(), 1u);
-  ::unsetenv("COSTSENSE_THREADS");
-  EXPECT_GE(ConfiguredThreadCount(), 1u);
+TEST(GlobalThreadCountTest, CountsAreAtLeastOne) {
+  // The pool never reads the environment itself; engine::Engine::Create
+  // translates the typed config into ConfigureGlobalThreadCount.
+  EXPECT_GE(DefaultThreadCount(), 1u);
+  EXPECT_GE(GlobalThreadCount(), 1u);
+}
+
+TEST(GlobalThreadCountTest, ReconfigureAfterBuildFailsLoudly) {
+  // Force the global pool into existence, then ask for a different size:
+  // the setting could no longer take effect, so it must refuse rather
+  // than run mis-sized.
+  const size_t built = ThreadPool::Global().num_threads();
+  EXPECT_TRUE(ConfigureGlobalThreadCount(built).ok());
+  EXPECT_TRUE(ConfigureGlobalThreadCount(0).ok() ||
+              built != DefaultThreadCount());
+  const Status mismatched = ConfigureGlobalThreadCount(built + 1);
+  EXPECT_EQ(mismatched.code(), StatusCode::kFailedPrecondition);
+  // Restore the matching setting so later tests see a consistent state.
+  EXPECT_TRUE(ConfigureGlobalThreadCount(built).ok());
 }
 
 TEST(ThreadPoolTest, StartupAndShutdownAcrossSizes) {

@@ -1,0 +1,9 @@
+// Fixture: src/engine/config.* is the one sanctioned environment reader —
+// the same getenv calls that fire R5 elsewhere must stay clean here.
+#include <cstdlib>
+
+namespace corpus {
+
+const char* ReadKnob(const char* name) { return std::getenv(name); }
+
+}  // namespace corpus

@@ -122,6 +122,35 @@ TEST(RulesTest, R3OnlyAppliesToLibraryCode) {
   EXPECT_TRUE(AnalyzeSource("tests/opt/optimizer_test.cc", src).empty());
 }
 
+TEST(RulesTest, R5BansGetenvOutsideEngineConfig) {
+  const std::string src = "const char* v = std::getenv(\"X\");\n";
+  EXPECT_EQ(CountRule(AnalyzeSource("src/exp/report.cc", src), Rule::kGetenv),
+            1);
+  EXPECT_EQ(CountRule(AnalyzeSource("bench/bench_util.cc", src),
+                      Rule::kGetenv),
+            1);
+  EXPECT_EQ(CountRule(AnalyzeSource("tests/core/kernels_test.cc", src),
+                      Rule::kGetenv),
+            1);
+  EXPECT_EQ(CountRule(AnalyzeSource("src/runtime/thread_pool.cc",
+                                    "char* v = secure_getenv(\"X\");\n"),
+                      Rule::kGetenv),
+            1);
+  // The single sanctioned reader: both the header and the implementation.
+  EXPECT_TRUE(AnalyzeSource("src/engine/config.cc", src).empty());
+  EXPECT_TRUE(AnalyzeSource("src/engine/config.h", src).empty());
+  // Writing the environment is not reading it around the config.
+  EXPECT_TRUE(AnalyzeSource("tests/engine/config_test.cc",
+                            "setenv(\"COSTSENSE_THREADS\", \"2\", 1);\n")
+                  .empty());
+  // Suppressions are honored with a justification, same grammar as R2.
+  EXPECT_TRUE(AnalyzeSource(
+                  "src/exp/report.cc",
+                  "// costsense-lint: allow(R5, \"legacy shim, tracked\")\n" +
+                      src)
+                  .empty());
+}
+
 TEST(RulesTest, FprintfToStderrIsNotRawOutput) {
   EXPECT_TRUE(AnalyzeSource("src/opt/plan.cc",
                             "void f() { std::fprintf(stderr, \"d\"); }\n")
@@ -293,7 +322,7 @@ TEST(CorpusTest, GoldenFindings) {
 TEST(CorpusTest, GoldenCoversEveryRule) {
   const std::string expected =
       ReadFile(fs::path(COSTSENSE_LINT_CORPUS_DIR) / "expected_findings.txt");
-  for (const char* id : {"[R1]", "[R2]", "[R3]", "[R4]", "[SUP]"}) {
+  for (const char* id : {"[R1]", "[R2]", "[R3]", "[R4]", "[R5]", "[SUP]"}) {
     EXPECT_NE(expected.find(id), std::string::npos)
         << id << " missing from expected_findings.txt";
   }

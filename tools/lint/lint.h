@@ -25,6 +25,10 @@
 ///       `bench/`, tests and the CHECK macros (which use fprintf(stderr)).
 ///   R4  every `Status`/`Result<T>`-returning declaration in a header must
 ///       carry `[[nodiscard]]`.
+///   R5  `getenv`/`secure_getenv` are banned outside `src/engine/config.*`:
+///       `engine::EngineConfig::FromEnv` is the single place the process
+///       environment is read, so every knob is typed, validated and visible
+///       in one config struct.
 ///
 /// Per-line suppressions:
 ///
@@ -71,14 +75,15 @@ enum class Rule {
   kUnorderedContainer,  // R2
   kRawOutput,           // R3
   kNodiscard,           // R4
+  kGetenv,              // R5
   kBadSuppression,      // SUP: malformed / justification-free allow()
 };
 
-/// "R1".."R4" or "SUP".
+/// "R1".."R5" or "SUP".
 const char* RuleId(Rule rule);
 
-/// Parses "R1".."R4" or the semantic names ("nondeterminism", "unordered",
-/// "raw-output", "nodiscard"); returns false for anything else.
+/// Parses "R1".."R5" or the semantic names ("nondeterminism", "unordered",
+/// "raw-output", "nodiscard", "getenv"); returns false for anything else.
 bool ParseRuleName(std::string_view name, Rule* out);
 
 struct Finding {

@@ -136,8 +136,8 @@ Suppressions CollectSuppressions(const std::string& file,
     Rule rule;
     if (!ParseRuleName(Trim(rest.substr(0, comma)), &rule)) {
       bad("unknown rule '" + std::string(Trim(rest.substr(0, comma))) +
-          "' in allow(); use R1..R4 or "
-          "nondeterminism/unordered/raw-output/nodiscard");
+          "' in allow(); use R1..R5 or "
+          "nondeterminism/unordered/raw-output/nodiscard/getenv");
       continue;
     }
     std::string_view justification = Trim(rest.substr(comma + 1));
@@ -199,6 +199,16 @@ const std::set<std::string>& UnorderedTokens() {
 const std::set<std::string>& RawOutputTokens() {
   static const std::set<std::string> kSet = {
       "cout", "printf", "puts", "putchar", "vprintf",
+  };
+  return kSet;
+}
+
+// `setenv` is deliberately absent: tests install environments for child
+// configs, and writing the environment does not bypass the typed config.
+const std::set<std::string>& GetenvTokens() {
+  static const std::set<std::string> kSet = {
+      "getenv",
+      "secure_getenv",
   };
   return kSet;
 }
@@ -319,6 +329,8 @@ const char* RuleId(Rule rule) {
       return "R3";
     case Rule::kNodiscard:
       return "R4";
+    case Rule::kGetenv:
+      return "R5";
     case Rule::kBadSuppression:
       return "SUP";
   }
@@ -334,6 +346,8 @@ bool ParseRuleName(std::string_view name, Rule* out) {
     *out = Rule::kRawOutput;
   } else if (name == "R4" || name == "r4" || name == "nodiscard") {
     *out = Rule::kNodiscard;
+  } else if (name == "R5" || name == "r5" || name == "getenv") {
+    *out = Rule::kGetenv;
   } else {
     return false;
   }
@@ -358,6 +372,8 @@ std::vector<Finding> AnalyzeSource(const std::string& virtual_path,
       (StartsWith(pc.rel, "core/") || StartsWith(pc.rel, "exp/"));
   const bool raw_output_banned =
       pc.root == PathClass::kSrc && !StartsWith(pc.rel, "exp/");
+  const bool getenv_sanctioned =
+      pc.root == PathClass::kSrc && StartsWith(pc.rel, "engine/config.");
 
   for (const Token& t : lexed.tokens) {
     if (t.kind != Token::Kind::kIdentifier) continue;
@@ -410,6 +426,17 @@ std::vector<Finding> AnalyzeSource(const std::string& virtual_path,
                  "' is raw output in library code (R3); rendering belongs "
                  "to src/exp, bench/ and the CHECK macros (fprintf(stderr) "
                  "diagnostics are fine)"});
+      }
+    }
+    if (!getenv_sanctioned && GetenvTokens().count(t.text)) {
+      if (!IsSuppressed(sup, Rule::kGetenv, t.line)) {
+        findings.push_back(
+            {virtual_path, t.line, Rule::kGetenv,
+             "'" + t.text +
+                 "' reads the environment outside src/engine/config.* (R5); "
+                 "every COSTSENSE_* knob flows through "
+                 "engine::EngineConfig::FromEnv so a run is reproducible "
+                 "from one typed config"});
       }
     }
   }
