@@ -1,0 +1,122 @@
+// costsense-serve: the long-lived multi-tenant sensitivity-analysis
+// server. Listens on a Unix-domain socket (COSTSENSE_SERVE_SOCKET /
+// serve_socket=...), runs each accepted session on its own thread, and
+// multiplexes requests onto the process-global thread pool behind bounded
+// admission (serve_inflight / serve_queue) — saturated load comes back as
+// typed kUnavailable responses, never hangs. All sessions share the warm
+// per-(query, policy) oracle caches.
+//
+// Usage:
+//   costsense_serve [quick=1 threads=N serve_socket=PATH serve_inflight=K
+//                    serve_queue=Q serve_deadline_ms=MS ...]
+//                   [--max-sessions=N]
+//
+// --max-sessions=N exits after N sessions finish (benches and tests use
+// this for a drivable shutdown; 0 = serve until the socket is torn down).
+// On shutdown the final server statistics flow through the artifact sinks
+// with an explicit checkpoint Flush.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "engine/artifact.h"
+#include "runtime/metrics.h"
+#include "serve/server.h"
+#include "serve/transport.h"
+
+namespace costsense::bench {
+namespace {
+
+int ServeMain(engine::Engine& eng, int argc, char** argv) {
+  size_t max_sessions = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--max-sessions=";
+    if (arg.rfind(prefix, 0) == 0) {
+      max_sessions = static_cast<size_t>(std::atol(arg.c_str() + prefix.size()));
+    } else {
+      std::fprintf(stderr, "costsense-serve: unknown argument %s\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+
+  const engine::EngineConfig& config = eng.config();
+  serve::ServerOptions options;
+  options.max_inflight = config.serve_inflight;
+  options.max_queued = config.serve_queue;
+  options.dispatcher.cache = config.cache;
+  options.dispatcher.max_retries = config.max_retries;
+  options.dispatcher.default_deadline_ns =
+      static_cast<uint64_t>(config.serve_deadline_ms) * 1'000'000ULL;
+  options.dispatcher.pool = &eng.pool();
+  if (config.quick) {
+    options.dispatcher.discovery.random_samples = 16;
+    options.dispatcher.discovery.sampled_vertices = 48;
+    options.dispatcher.discovery.bisection_depth = 3;
+    options.dispatcher.discovery.completeness_rounds = 1;
+  }
+  serve::Server server(options);
+
+  Result<std::unique_ptr<serve::SocketListener>> listener =
+      serve::SocketListener::Bind(config.serve_socket);
+  if (!listener.ok()) {
+    std::fprintf(stderr, "costsense-serve: %s\n",
+                 listener.status().ToString().c_str());
+    return 2;
+  }
+  std::fprintf(stderr,
+               "costsense-serve: listening on %s (inflight=%zu queue=%zu "
+               "deadline_ms=%zu threads=%zu)\n",
+               config.serve_socket.c_str(), options.max_inflight,
+               options.max_queued, config.serve_deadline_ms,
+               eng.pool().num_threads());
+
+  runtime::WallTimer timer;
+  const Status served = server.ServeBlocking(**listener, max_sessions);
+  if (!served.ok()) {
+    std::fprintf(stderr, "costsense-serve: %s\n", served.ToString().c_str());
+  }
+  server.Shutdown();
+  (*listener)->Close();
+
+  // Shutdown telemetry through the configured sinks, with an explicit
+  // checkpoint Flush so the sidecar is on disk before teardown.
+  const serve::ServerStats stats = server.stats();
+  runtime::RuntimeMetrics metrics;
+  metrics.threads = eng.pool().num_threads();
+  metrics.phase_wall_ms.emplace_back("serve", timer.ElapsedMs());
+  metrics.AddCacheStats(stats.dispatcher.cache);
+  std::unique_ptr<engine::ArtifactWriter> writer = eng.MakeArtifactWriter();
+  writer->WriteRunMetrics(
+      "costsense_serve", metrics,
+      {{"sessions", static_cast<double>(stats.sessions)},
+       {"requests", static_cast<double>(stats.dispatcher.requests)},
+       {"failed_requests",
+        static_cast<double>(stats.dispatcher.failed_requests)},
+       {"admission_rejected", static_cast<double>(stats.admission.rejected)},
+       {"peak_inflight", static_cast<double>(stats.admission.peak_inflight)},
+       {"peak_queued", static_cast<double>(stats.admission.peak_queued)},
+       {"contexts", static_cast<double>(stats.dispatcher.contexts)}});
+  const Status checkpoint = writer->Flush();
+  if (!checkpoint.ok()) {
+    std::fprintf(stderr, "costsense-serve: checkpoint flush: %s\n",
+                 checkpoint.ToString().c_str());
+  }
+  const Status finished = writer->Finish();
+  if (!finished.ok()) {
+    std::fprintf(stderr, "costsense-serve: artifact sink: %s\n",
+                 finished.ToString().c_str());
+  }
+  return served.ok() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace costsense::bench
+
+int main(int argc, char** argv) {
+  return costsense::bench::RunBenchMain(argc, argv, "costsense_serve",
+                                        costsense::bench::ServeMain);
+}

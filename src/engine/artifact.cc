@@ -84,6 +84,14 @@ void TextRenderer::WriteRunMetrics(
   }
 }
 
+Status TextRenderer::Flush() {
+  // stdout/stderr and the perf line are written eagerly; only the libc
+  // buffers can hold data back.
+  std::fflush(stdout);
+  std::fflush(stderr);
+  return Status::Ok();
+}
+
 Status TextRenderer::Finish() { return Status::Ok(); }
 
 // ---------------------------------------------------------------------------
@@ -131,7 +139,7 @@ void JsonWriter::WriteRunMetrics(
   buffer_ += line;
 }
 
-Status JsonWriter::Finish() {
+Status JsonWriter::Flush() {
   if (buffer_.empty()) return Status::Ok();
   std::FILE* f = std::fopen(path_.c_str(), "a");
   if (f == nullptr) {
@@ -145,6 +153,8 @@ Status JsonWriter::Finish() {
   buffer_.clear();
   return Status::Ok();
 }
+
+Status JsonWriter::Finish() { return Flush(); }
 
 // ---------------------------------------------------------------------------
 // MultiWriter
@@ -166,6 +176,15 @@ void MultiWriter::WriteRunMetrics(
     const std::string& bench_name, const runtime::RuntimeMetrics& metrics,
     const std::vector<std::pair<std::string, double>>& extra) {
   for (auto& sink : sinks_) sink->WriteRunMetrics(bench_name, metrics, extra);
+}
+
+Status MultiWriter::Flush() {
+  Status first;
+  for (auto& sink : sinks_) {
+    Status st = sink->Flush();
+    if (!st.ok() && first.ok()) first = std::move(st);
+  }
+  return first;
 }
 
 Status MultiWriter::Finish() {

@@ -39,6 +39,13 @@ class ArtifactWriter {
       const std::string& bench_name, const runtime::RuntimeMetrics& metrics,
       const std::vector<std::pair<std::string, double>>& extra = {}) = 0;
 
+  /// Persists everything buffered so far without ending the run — the
+  /// checkpoint entry point. A long-lived producer (the analysis server,
+  /// the load generator) calls this at checkpoints and on shutdown so an
+  /// aborted run keeps every artifact written up to the last Flush.
+  /// Idempotent; a Flush with nothing buffered is a no-op.
+  [[nodiscard]] virtual Status Flush() = 0;
+
   /// Flushes sink state (e.g. the JSON sidecar file). Idempotent.
   [[nodiscard]] virtual Status Finish() = 0;
 };
@@ -57,6 +64,7 @@ class TextRenderer final : public ArtifactWriter {
   void WriteRunMetrics(
       const std::string& bench_name, const runtime::RuntimeMetrics& metrics,
       const std::vector<std::pair<std::string, double>>& extra) override;
+  [[nodiscard]] Status Flush() override;
   [[nodiscard]] Status Finish() override;
 
  private:
@@ -78,6 +86,7 @@ class JsonWriter final : public ArtifactWriter {
   void WriteRunMetrics(
       const std::string& bench_name, const runtime::RuntimeMetrics& metrics,
       const std::vector<std::pair<std::string, double>>& extra) override;
+  [[nodiscard]] Status Flush() override;
   [[nodiscard]] Status Finish() override;
 
   /// The buffered JSON lines (tests inspect without touching the disk).
@@ -99,6 +108,7 @@ class MultiWriter final : public ArtifactWriter {
   void WriteRunMetrics(
       const std::string& bench_name, const runtime::RuntimeMetrics& metrics,
       const std::vector<std::pair<std::string, double>>& extra) override;
+  [[nodiscard]] Status Flush() override;
   [[nodiscard]] Status Finish() override;
 
  private:

@@ -26,6 +26,10 @@ constexpr Knob kKnobs[] = {
     {"cache_shards", "COSTSENSE_CACHE_SHARDS"},
     {"fault_rate", "COSTSENSE_FAULT_RATE"},
     {"max_retries", "COSTSENSE_MAX_RETRIES"},
+    {"serve_inflight", "COSTSENSE_SERVE_INFLIGHT"},
+    {"serve_queue", "COSTSENSE_SERVE_QUEUE"},
+    {"serve_deadline_ms", "COSTSENSE_SERVE_DEADLINE_MS"},
+    {"serve_socket", "COSTSENSE_SERVE_SOCKET"},
 };
 
 [[nodiscard]] Status BadValue(std::string_view source, std::string_view value,
@@ -119,6 +123,19 @@ bool ParseQuick(std::string_view value) {
   if (key == "max_retries") {
     return ParseSize(source, value, 0, &config->max_retries);
   }
+  if (key == "serve_inflight") {
+    return ParseSize(source, value, 1, &config->serve_inflight);
+  }
+  if (key == "serve_queue") {
+    return ParseSize(source, value, 0, &config->serve_queue);
+  }
+  if (key == "serve_deadline_ms") {
+    return ParseSize(source, value, 0, &config->serve_deadline_ms);
+  }
+  if (key == "serve_socket") {
+    config->serve_socket = std::string(value);
+    return Status::Ok();
+  }
   return Status::InvalidArgument(
       StrFormat("unknown engine config key \"%.*s\"",
                 static_cast<int>(key.size()), key.data()));
@@ -177,6 +194,10 @@ std::vector<std::pair<std::string, std::string>> EngineConfig::KnobTable()
   rows.emplace_back("cache_shards", StrFormat("%zu", cache.shards));
   rows.emplace_back("fault_rate", StrFormat("%g", fault_rate));
   rows.emplace_back("max_retries", StrFormat("%zu", max_retries));
+  rows.emplace_back("serve_inflight", StrFormat("%zu", serve_inflight));
+  rows.emplace_back("serve_queue", StrFormat("%zu", serve_queue));
+  rows.emplace_back("serve_deadline_ms", StrFormat("%zu", serve_deadline_ms));
+  rows.emplace_back("serve_socket", serve_socket);
   return rows;
 }
 

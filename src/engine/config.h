@@ -35,6 +35,14 @@ namespace costsense::engine {
 ///   cache_shards   COSTSENSE_CACHE_SHARDS   oracle-cache shard count >= 1
 ///   fault_rate     COSTSENSE_FAULT_RATE     injected fault rate in [0, 1]
 ///   max_retries    COSTSENSE_MAX_RETRIES    resilient-oracle retry budget
+///   serve_inflight COSTSENSE_SERVE_INFLIGHT server: concurrent requests
+///                                           >= 1
+///   serve_queue    COSTSENSE_SERVE_QUEUE    server: admission wait-queue
+///                                           bound >= 0
+///   serve_deadline_ms COSTSENSE_SERVE_DEADLINE_MS
+///                                           server: default per-request
+///                                           deadline, 0 = unlimited
+///   serve_socket   COSTSENSE_SERVE_SOCKET   server: Unix socket path
 struct EngineConfig {
   /// Concurrency level; 0 means hardware concurrency at pool build time.
   size_t threads = 0;
@@ -52,6 +60,14 @@ struct EngineConfig {
   /// Resilience budgets for stacks built with the fault tier enabled.
   double fault_rate = 0.0;
   size_t max_retries = 5;
+  /// costsense-serve admission bounds: concurrent requests and the wait
+  /// queue behind them (see serve::AdmissionController).
+  size_t serve_inflight = 4;
+  size_t serve_queue = 16;
+  /// Default per-request deadline in milliseconds; 0 = unlimited.
+  size_t serve_deadline_ms = 0;
+  /// Unix-domain socket path costsense-serve listens on.
+  std::string serve_socket = "/tmp/costsense-serve.sock";
 
   /// Environment accessor, injectable for tests (maps a variable name to
   /// its value or nullptr). The default reads the process environment.

@@ -4,6 +4,13 @@
 
 namespace costsense::runtime {
 
+void RuntimeMetrics::AddCacheStats(const OracleCacheStats& stats) {
+  cache_hits += stats.hits;
+  cache_misses += stats.misses;
+  cache_evictions += stats.evictions;
+  cache_entries += stats.entries;
+}
+
 double RuntimeMetrics::CacheHitRate() const {
   const size_t total = cache_hits + cache_misses;
   return total == 0 ? 0.0 : static_cast<double>(cache_hits) / total;
@@ -18,10 +25,10 @@ double RuntimeMetrics::TotalWallMs() const {
 std::string RuntimeMetrics::Render() const {
   std::string out = StrFormat(
       "runtime: threads=%zu tasks=%zu queue_high_water=%zu "
-      "cache: hits=%zu misses=%zu evictions=%zu hit_rate=%.3f "
+      "cache: hits=%zu misses=%zu evictions=%zu entries=%zu hit_rate=%.3f "
       "degenerate_vertices=%zu\n",
       threads, tasks_run, queue_high_water, cache_hits, cache_misses,
-      cache_evictions, CacheHitRate(), degenerate_vertices);
+      cache_evictions, cache_entries, CacheHitRate(), degenerate_vertices);
   if (oracle_attempts > 0 || faults_injected > 0 || degraded_points > 0) {
     out += StrFormat(
         "resilience: attempts=%zu retries=%zu failures=%zu "
@@ -43,12 +50,14 @@ std::string RuntimeMetrics::ToJsonLine(
       "{\"bench\":\"%s\",\"threads\":%zu,\"wall_ms\":%.1f,"
       "\"tasks_run\":%zu,\"queue_high_water\":%zu,"
       "\"cache_hits\":%zu,\"cache_misses\":%zu,\"cache_evictions\":%zu,"
-      "\"cache_hit_rate\":%.4f,\"degenerate_vertices\":%zu,"
+      "\"cache_entries\":%zu,\"cache_hit_rate\":%.4f,"
+      "\"degenerate_vertices\":%zu,"
       "\"oracle_attempts\":%zu,\"oracle_retries\":%zu,"
       "\"oracle_failures\":%zu,\"faults_injected\":%zu,"
       "\"degraded_points\":%zu,\"coverage\":%.6f",
       bench_name.c_str(), threads, TotalWallMs(), tasks_run, queue_high_water,
-      cache_hits, cache_misses, cache_evictions, CacheHitRate(),
+      cache_hits, cache_misses, cache_evictions, cache_entries,
+      CacheHitRate(),
       degenerate_vertices, oracle_attempts, oracle_retries, oracle_failures,
       faults_injected, degraded_points, coverage);
   for (const auto& [name, ms] : phase_wall_ms) {

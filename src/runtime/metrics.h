@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "runtime/oracle_cache.h"
+
 namespace costsense::runtime {
 
 /// Wall-clock stopwatch for phase timing in drivers and benches.
@@ -41,6 +43,9 @@ struct RuntimeMetrics {
   size_t cache_hits = 0;
   size_t cache_misses = 0;
   size_t cache_evictions = 0;
+  /// Entries resident in the oracle cache(s) at snapshot time. For a
+  /// long-lived server this is the cross-request warm-cache footprint.
+  size_t cache_entries = 0;
   /// Degenerate vertices (non-positive optimal cost) skipped by worst-case
   /// vertex sweeps during the run; summed from WorstCaseResult counters.
   size_t degenerate_vertices = 0;
@@ -58,6 +63,10 @@ struct RuntimeMetrics {
   double coverage = 1.0;
   /// (phase name, wall milliseconds), in execution order.
   std::vector<std::pair<std::string, double>> phase_wall_ms;
+
+  /// Accumulates one CachingOracle's counters into the cache_* fields
+  /// (call once per cache; a server aggregates across its shared caches).
+  void AddCacheStats(const OracleCacheStats& stats);
 
   double CacheHitRate() const;
   double TotalWallMs() const;

@@ -84,6 +84,7 @@ Result<core::OracleResult> ResilientOracle::TryOptimize(
   if (run_budget_spent()) {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.failures;
+    ++stats_.deadline_exceeded;
     return Status::DeadlineExceeded("oracle run deadline budget spent");
   }
 

@@ -72,7 +72,9 @@ struct ResilienceStats {
   size_t failures = 0;
   /// Replies rejected by validation (non-finite cost, empty id, hook).
   size_t invalid_replies = 0;
-  /// Attempts discarded for blowing the per-call deadline.
+  /// Deadline rejections: attempts discarded for blowing the per-call
+  /// deadline, plus calls failed fast because the run budget was spent.
+  /// Lets callers classify a failed sweep as deadline-driven.
   size_t deadline_exceeded = 0;
   /// Times the breaker transitioned closed -> open.
   size_t breaker_trips = 0;

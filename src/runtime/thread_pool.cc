@@ -62,9 +62,15 @@ PoolStats ThreadPool::stats() const {
   s.tasks_run = tasks_run_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
+    s.queue_depth = queue_.size();
     s.queue_high_water = queue_high_water_;
   }
   return s;
+}
+
+void ThreadPool::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
@@ -91,9 +97,15 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // stop_ set and nothing left to drain
       task = std::move(queue_.front());
       queue_.pop_front();
+      ++active_;
     }
     task();
     tasks_run_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) drained_cv_.notify_all();
+    }
   }
 }
 

@@ -41,6 +41,9 @@ struct PoolStats {
   size_t threads = 1;
   /// Tasks executed by worker threads since construction.
   size_t tasks_run = 0;
+  /// Tasks waiting in the queue right now (instantaneous depth — the
+  /// quantity admission control and load monitoring watch).
+  size_t queue_depth = 0;
   /// High-water mark of the pending-task queue depth.
   size_t queue_high_water = 0;
 };
@@ -72,6 +75,14 @@ class ThreadPool {
   /// Enqueues a task for a worker. With num_threads() == 1 there are no
   /// workers and the task runs inline before Submit returns.
   void Submit(std::function<void()> task);
+
+  /// Quiesces the pool: blocks until the queue is empty and no worker is
+  /// executing a task. The pool stays fully usable afterwards — unlike
+  /// the destructor this is a rendezvous, not a teardown — which is what
+  /// a graceful server shutdown needs before releasing shared state that
+  /// queued tasks may reference. Tasks submitted after Drain returns are
+  /// unaffected; callers are responsible for stopping producers first.
+  void Drain();
 
   /// Runs body(i) for every i in [0, n), fanning out over the pool. All
   /// iterations execute even if some fail; the returned Status is OK or
@@ -107,10 +118,16 @@ class ThreadPool {
   void WorkerLoop();
 
   const size_t num_threads_;
-  mutable std::mutex mu_;  // guards queue_/stop_/queue_high_water_
+  mutable std::mutex mu_;  // guards queue_/stop_/active_/queue_high_water_
   std::condition_variable cv_;
+  /// Signals Drain waiters whenever the queue empties or a worker
+  /// finishes its task.
+  std::condition_variable drained_cv_;
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;
+  /// Worker tasks currently executing (claimed from the queue but not yet
+  /// finished).
+  size_t active_ = 0;
   size_t queue_high_water_ = 0;
   std::atomic<size_t> tasks_run_{0};
   std::vector<std::thread> workers_;

@@ -1,0 +1,68 @@
+#include "serve/admission.h"
+
+#include "common/strings.h"
+
+namespace costsense::serve {
+
+Status AdmissionController::Admit() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_) {
+    ++rejected_;
+    return Status::Unavailable("server is shutting down");
+  }
+  if (inflight_ < max_inflight_) {
+    ++inflight_;
+    ++admitted_;
+    if (inflight_ > peak_inflight_) peak_inflight_ = inflight_;
+    return Status::Ok();
+  }
+  if (queued_ >= max_queued_) {
+    ++rejected_;
+    return Status::Unavailable(StrFormat(
+        "server saturated: %zu request(s) inflight and %zu waiting; "
+        "retry later",
+        inflight_, queued_));
+  }
+  ++queued_;
+  if (queued_ > peak_queued_) peak_queued_ = queued_;
+  cv_.wait(lock, [this] { return closed_ || inflight_ < max_inflight_; });
+  --queued_;
+  if (closed_) {
+    ++rejected_;
+    return Status::Unavailable("server is shutting down");
+  }
+  ++inflight_;
+  ++admitted_;
+  if (inflight_ > peak_inflight_) peak_inflight_ = inflight_;
+  return Status::Ok();
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (inflight_ > 0) --inflight_;
+  }
+  cv_.notify_one();
+}
+
+void AdmissionController::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  AdmissionStats out;
+  out.admitted = admitted_;
+  out.rejected = rejected_;
+  out.inflight = inflight_;
+  out.peak_inflight = peak_inflight_;
+  out.queued = queued_;
+  out.peak_queued = peak_queued_;
+  return out;
+}
+
+}  // namespace costsense::serve

@@ -1,0 +1,78 @@
+#ifndef COSTSENSE_SERVE_ADMISSION_H_
+#define COSTSENSE_SERVE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "common/status.h"
+
+namespace costsense::serve {
+
+/// Counters describing admission behaviour since server start. Snapshot
+/// semantics: taken under the controller lock, internally consistent.
+struct AdmissionStats {
+  /// Requests granted an execution slot (immediately or after waiting).
+  uint64_t admitted = 0;
+  /// Requests turned away with kUnavailable because both the inflight
+  /// slots and the wait queue were full, or the controller was closed.
+  uint64_t rejected = 0;
+  /// Requests currently holding an execution slot.
+  size_t inflight = 0;
+  /// High-water mark of `inflight`.
+  size_t peak_inflight = 0;
+  /// Requests currently waiting for a slot.
+  size_t queued = 0;
+  /// High-water mark of `queued`.
+  size_t peak_queued = 0;
+};
+
+/// Bounded two-stage admission control for the analysis server.
+///
+/// At most `max_inflight` requests execute at once; up to `max_queued`
+/// more wait for a slot. Anything beyond that is rejected immediately with
+/// a typed kUnavailable — overload sheds load instead of building an
+/// unbounded backlog, and a saturated server never hangs a client.
+///
+/// Thread-safe. Every successful Admit() must be paired with exactly one
+/// Release() (the server does this in its request path).
+class AdmissionController {
+ public:
+  AdmissionController(size_t max_inflight, size_t max_queued)
+      : max_inflight_(max_inflight == 0 ? 1 : max_inflight),
+        max_queued_(max_queued) {}
+
+  /// Blocks until an execution slot is granted, or fails fast with
+  /// kUnavailable when the wait queue is already full or the controller
+  /// has been closed.
+  [[nodiscard]] Status Admit();
+
+  /// Returns the slot held by a previously admitted request and wakes one
+  /// waiter.
+  void Release();
+
+  /// Rejects all current and future waiters with kUnavailable. Requests
+  /// already inflight are unaffected (shutdown drains them separately).
+  void Close();
+
+  AdmissionStats stats() const;
+
+ private:
+  const size_t max_inflight_;
+  const size_t max_queued_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool closed_ = false;
+  uint64_t admitted_ = 0;
+  uint64_t rejected_ = 0;
+  size_t inflight_ = 0;
+  size_t peak_inflight_ = 0;
+  size_t queued_ = 0;
+  size_t peak_queued_ = 0;
+};
+
+}  // namespace costsense::serve
+
+#endif  // COSTSENSE_SERVE_ADMISSION_H_

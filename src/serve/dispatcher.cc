@@ -1,0 +1,224 @@
+#include "serve/dispatcher.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "blackbox/narrow_optimizer.h"
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/worst_case.h"
+#include "opt/optimizer.h"
+#include "query/query.h"
+#include "runtime/resilience/resilient_oracle.h"
+#include "storage/layout.h"
+#include "tpch/queries.h"
+#include "tpch/schema.h"
+
+namespace costsense::serve {
+
+/// The shared half of a request: one TPC-H query under one storage layout,
+/// its optimizer, and the long-lived memoizing cache every request against
+/// this pair probes through. Immutable after construction except through
+/// the thread-safe oracle layers.
+struct Dispatcher::QueryContext {
+  QueryContext(const catalog::Catalog& catalog, query::Query q,
+               storage::LayoutPolicy policy,
+               const engine::OracleStackBuilder& builder)
+      : query(std::move(q)),
+        layout(policy, catalog, query::ReferencedTables(query)),
+        space(layout.BuildResourceSpace()),
+        optimizer(catalog, layout, space),
+        narrow(optimizer, query, /*white_box=*/true),
+        stack(builder.Build(narrow)),
+        baseline(space.BaselineCosts()) {
+    // The initial plan — optimal at the DB2-default baseline — is a
+    // property of the (query, layout) pair, so it is computed once here
+    // and shared by every request. The probe also warms the cache at the
+    // box center every multiplicative band shares.
+    const core::OracleResult initial = stack.cache().Optimize(baseline);
+    COSTSENSE_CHECK(initial.usage.has_value());
+    initial_plan_id = initial.plan_id;
+    initial_usage = *initial.usage;
+  }
+
+  query::Query query;
+  storage::StorageLayout layout;
+  storage::ResourceSpace space;
+  opt::Optimizer optimizer;
+  blackbox::NarrowOptimizer narrow;
+  engine::OracleStack stack;
+  core::CostVector baseline;
+  std::string initial_plan_id;
+  core::UsageVector initial_usage;
+};
+
+Dispatcher::~Dispatcher() = default;
+
+Dispatcher::Dispatcher(DispatcherOptions options)
+    : options_(std::move(options)),
+      catalog_(tpch::MakeTpchCatalog(options_.scale_factor)) {
+  builder_.WithCache(options_.cache);
+}
+
+Dispatcher::QueryContext& Dispatcher::GetContext(
+    uint16_t query_number, storage::LayoutPolicy policy) {
+  const auto key = std::make_pair(query_number, static_cast<int>(policy));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = contexts_.find(key);
+  if (it == contexts_.end()) {
+    // Materialization runs under the dispatcher lock: it costs one
+    // baseline optimization, and serializing it guarantees exactly one
+    // shared cache per (query, policy) no matter how requests race.
+    it = contexts_
+             .emplace(key, std::make_unique<QueryContext>(
+                               catalog_,
+                               tpch::MakeTpchQuery(
+                                   catalog_, static_cast<int>(query_number)),
+                               policy, builder_))
+             .first;
+  }
+  return *it->second;
+}
+
+AnalysisResponse Dispatcher::Handle(const AnalysisRequest& request) {
+  QueryContext& ctx = GetContext(request.query_number, request.policy);
+  Result<std::string> body = Render(request, ctx);
+
+  AnalysisResponse response;
+  if (body.ok()) {
+    response.code = StatusCode::kOk;
+    response.body = std::move(body).value();
+  } else {
+    response.code = body.status().code();
+    response.body = body.status().message();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++requests_;
+    if (!response.ok()) ++failed_requests_;
+  }
+  return response;
+}
+
+Result<std::string> Dispatcher::Render(const AnalysisRequest& request,
+                                       QueryContext& ctx) {
+  // The per-request half of the oracle chain, stacked above the shared
+  // cache in the canonical decorator order (engine/oracle_stack.h):
+  // ResilientOracle (request deadline + retry budget) over an optional
+  // fault injector over the long-lived CachingOracle. Deadlines and
+  // faults stay request-local; computed points are shared.
+  runtime::resilience::Clock* clock = options_.clock;
+  std::unique_ptr<runtime::resilience::FaultInjectingOracle> injector;
+  std::unique_ptr<core::InfallibleOracleAdapter> adapter;
+  core::FalliblePlanOracle* base = nullptr;
+  if (options_.fault_injection) {
+    injector = std::make_unique<runtime::resilience::FaultInjectingOracle>(
+        ctx.stack.cache(), options_.faults, clock);
+    base = injector.get();
+  } else {
+    adapter = std::make_unique<core::InfallibleOracleAdapter>(
+        ctx.stack.cache());
+    base = adapter.get();
+  }
+  runtime::resilience::ResilientOracleOptions retry;
+  retry.max_retries = options_.max_retries;
+  retry.run_deadline_ns = request.deadline_ns != 0
+                              ? request.deadline_ns
+                              : options_.default_deadline_ns;
+  runtime::resilience::ResilientOracle resilient(*base, retry, clock);
+
+  // Plans are discovered once over the widest requested band; candidate
+  // sets for narrower bands are subsets (usage vectors are
+  // box-independent), so one discovery serves every delta.
+  const double band =
+      *std::max_element(request.deltas.begin(), request.deltas.end());
+  const core::Box box = core::Box::MultiplicativeBand(ctx.baseline, band);
+  Rng rng(options_.seed);
+  core::DiscoveryOptions discovery = options_.discovery;
+  discovery.pool = options_.pool != nullptr ? options_.pool
+                                            : &runtime::ThreadPool::Global();
+  Result<core::DiscoveryResult> d =
+      core::DiscoverCandidatePlans(resilient, box, rng, discovery);
+  if (!d.ok()) return d.status();
+
+  // A request whose budget ran out mid-analysis reports a typed error
+  // rather than a silently partial body: partial plan sets are not
+  // deterministic functions of the request, and the invariant is that
+  // every kOk body is.
+  const runtime::resilience::ResilienceStats rs = resilient.stats();
+  if (rs.failures > 0) {
+    const std::string detail = StrFormat(
+        "%zu of %zu oracle probe(s) failed after retries; analysis "
+        "abandoned to keep kOk bodies deterministic",
+        rs.failures, rs.calls);
+    if (rs.deadline_exceeded > 0) return Status::DeadlineExceeded(detail);
+    return Status::Unavailable(detail);
+  }
+
+  std::vector<core::PlanUsage> plans;
+  plans.reserve(d->plans.size());
+  for (const core::DiscoveredPlan& dp : d->plans) plans.push_back(dp.plan);
+
+  std::string body = StrFormat(
+      "costsense-serve v%u %s\n"
+      "query=%s policy=%s dims=%zu\n"
+      "band_delta=%s\n"
+      "initial_plan=%s\n"
+      "plans=%zu complete=%d\n",
+      kProtocolVersion, AnalysisKindName(request.kind),
+      ctx.query.name.c_str(), storage::LayoutPolicyName(request.policy),
+      ctx.space.dims(), FormatDouble(band).c_str(),
+      ctx.initial_plan_id.c_str(), plans.size(), d->complete ? 1 : 0);
+
+  switch (request.kind) {
+    case AnalysisKind::kDiscovery: {
+      for (size_t i = 0; i < d->plans.size(); ++i) {
+        body += StrFormat("plan %zu: %s margin=%s\n", i,
+                          d->plans[i].plan.plan_id.c_str(),
+                          FormatDouble(d->plans[i].margin).c_str());
+      }
+      break;
+    }
+    case AnalysisKind::kWorstCase:
+    case AnalysisKind::kGtcSeries: {
+      // Worst-case global relative cost per requested delta, in request
+      // order, via the exact linear-fractional program (no further oracle
+      // calls). kWorstCase is the single-delta special case.
+      const size_t count =
+          request.kind == AnalysisKind::kWorstCase ? 1 : request.deltas.size();
+      for (size_t i = 0; i < count; ++i) {
+        const core::Box delta_box =
+            core::Box::MultiplicativeBand(ctx.baseline, request.deltas[i]);
+        Result<core::WorstCaseResult> wc = core::WorstCaseOverPlansByLp(
+            ctx.initial_usage, plans, delta_box, discovery.pool);
+        if (!wc.ok()) return wc.status();
+        body += StrFormat("delta=%s gtc=%s rival=%s\n",
+                          FormatDouble(request.deltas[i]).c_str(),
+                          FormatDouble(wc->gtc).c_str(),
+                          wc->worst_rival.c_str());
+      }
+      break;
+    }
+  }
+  return body;
+}
+
+DispatcherStats Dispatcher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DispatcherStats out;
+  out.requests = requests_;
+  out.failed_requests = failed_requests_;
+  out.contexts = contexts_.size();
+  for (const auto& [key, ctx] : contexts_) {
+    const runtime::OracleCacheStats s = ctx->stack.cache().stats();
+    out.cache.hits += s.hits;
+    out.cache.misses += s.misses;
+    out.cache.evictions += s.evictions;
+    out.cache.entries += s.entries;
+  }
+  return out;
+}
+
+}  // namespace costsense::serve

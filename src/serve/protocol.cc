@@ -1,0 +1,253 @@
+#include "serve/protocol.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace costsense::serve {
+namespace {
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v >> 8));
+  out->push_back(static_cast<char>(v & 0xff));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void PutF64(std::string* out, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+/// Bounds-checked big-endian reader over a frame payload. Every Take*
+/// reports truncation as a typed error instead of reading past the end.
+class Reader {
+ public:
+  explicit Reader(std::string_view payload) : rest_(payload) {}
+
+  size_t remaining() const { return rest_.size(); }
+
+  [[nodiscard]] Status TakeU8(uint8_t* out) {
+    if (rest_.size() < 1) return Truncated("u8");
+    *out = static_cast<uint8_t>(rest_[0]);
+    rest_.remove_prefix(1);
+    return Status::Ok();
+  }
+
+  [[nodiscard]] Status TakeU16(uint16_t* out) {
+    if (rest_.size() < 2) return Truncated("u16");
+    *out = static_cast<uint16_t>(
+        (static_cast<uint16_t>(static_cast<uint8_t>(rest_[0])) << 8) |
+        static_cast<uint16_t>(static_cast<uint8_t>(rest_[1])));
+    rest_.remove_prefix(2);
+    return Status::Ok();
+  }
+
+  [[nodiscard]] Status TakeU32(uint32_t* out) {
+    if (rest_.size() < 4) return Truncated("u32");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v = (v << 8) | static_cast<uint8_t>(rest_[static_cast<size_t>(i)]);
+    }
+    *out = v;
+    rest_.remove_prefix(4);
+    return Status::Ok();
+  }
+
+  [[nodiscard]] Status TakeU64(uint64_t* out) {
+    if (rest_.size() < 8) return Truncated("u64");
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v = (v << 8) | static_cast<uint8_t>(rest_[static_cast<size_t>(i)]);
+    }
+    *out = v;
+    rest_.remove_prefix(8);
+    return Status::Ok();
+  }
+
+  [[nodiscard]] Status TakeF64(double* out) {
+    uint64_t bits = 0;
+    Status st = TakeU64(&bits);
+    if (!st.ok()) return st;
+    std::memcpy(out, &bits, sizeof(bits));
+    return Status::Ok();
+  }
+
+  [[nodiscard]] Status TakeBytes(size_t n, std::string* out) {
+    if (rest_.size() < n) return Truncated("byte block");
+    out->assign(rest_.data(), n);
+    rest_.remove_prefix(n);
+    return Status::Ok();
+  }
+
+ private:
+  [[nodiscard]] Status Truncated(const char* what) const {
+    return Status::InvalidArgument(
+        StrFormat("truncated frame payload: expected %s with %zu byte(s) "
+                  "remaining",
+                  what, rest_.size()));
+  }
+
+  std::string_view rest_;
+};
+
+[[nodiscard]] Status CheckVersion(uint8_t version) {
+  if (version != kProtocolVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported protocol version %u (this server speaks %u)",
+                  version, kProtocolVersion));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+const char* AnalysisKindName(AnalysisKind kind) {
+  switch (kind) {
+    case AnalysisKind::kDiscovery:
+      return "discovery";
+    case AnalysisKind::kWorstCase:
+      return "worstcase";
+    case AnalysisKind::kGtcSeries:
+      return "gtcseries";
+  }
+  return "unknown";
+}
+
+std::string EncodeRequest(const AnalysisRequest& request) {
+  std::string out;
+  out.reserve(15 + 8 * request.deltas.size());
+  PutU8(&out, kProtocolVersion);
+  PutU8(&out, static_cast<uint8_t>(request.kind));
+  PutU8(&out, static_cast<uint8_t>(request.policy));
+  PutU16(&out, request.query_number);
+  PutU64(&out, request.deadline_ns);
+  PutU16(&out, static_cast<uint16_t>(request.deltas.size()));
+  for (double delta : request.deltas) PutF64(&out, delta);
+  return out;
+}
+
+Result<AnalysisRequest> DecodeRequest(std::string_view payload) {
+  Reader r(payload);
+  uint8_t version = 0;
+  Status st = r.TakeU8(&version);
+  if (!st.ok()) return st;
+  st = CheckVersion(version);
+  if (!st.ok()) return st;
+
+  AnalysisRequest out;
+  uint8_t kind = 0;
+  st = r.TakeU8(&kind);
+  if (!st.ok()) return st;
+  if (kind > static_cast<uint8_t>(AnalysisKind::kGtcSeries)) {
+    return Status::InvalidArgument(
+        StrFormat("unknown analysis kind %u", kind));
+  }
+  out.kind = static_cast<AnalysisKind>(kind);
+
+  uint8_t policy = 0;
+  st = r.TakeU8(&policy);
+  if (!st.ok()) return st;
+  if (policy > static_cast<uint8_t>(storage::LayoutPolicy::kPerTableColocated)) {
+    return Status::InvalidArgument(
+        StrFormat("unknown storage layout policy %u", policy));
+  }
+  out.policy = static_cast<storage::LayoutPolicy>(policy);
+
+  st = r.TakeU16(&out.query_number);
+  if (!st.ok()) return st;
+  if (out.query_number < 1 || out.query_number > 22) {
+    return Status::InvalidArgument(
+        StrFormat("query number %u outside TPC-H range 1..22",
+                  out.query_number));
+  }
+
+  st = r.TakeU64(&out.deadline_ns);
+  if (!st.ok()) return st;
+
+  uint16_t ndeltas = 0;
+  st = r.TakeU16(&ndeltas);
+  if (!st.ok()) return st;
+  if (ndeltas == 0 || ndeltas > kMaxDeltas) {
+    return Status::InvalidArgument(
+        StrFormat("delta count %u outside 1..%u", ndeltas, kMaxDeltas));
+  }
+  out.deltas.clear();
+  out.deltas.reserve(ndeltas);
+  for (uint16_t i = 0; i < ndeltas; ++i) {
+    double delta = 0.0;
+    st = r.TakeF64(&delta);
+    if (!st.ok()) return st;
+    if (!std::isfinite(delta) || delta <= 1.0) {
+      return Status::InvalidArgument(StrFormat(
+          "delta %u is %g; error-band factors must be finite and > 1",
+          i, delta));
+    }
+    out.deltas.push_back(delta);
+  }
+  if (r.remaining() != 0) {
+    return Status::InvalidArgument(StrFormat(
+        "%zu trailing byte(s) after request payload", r.remaining()));
+  }
+  return out;
+}
+
+std::string EncodeResponse(const AnalysisResponse& response) {
+  std::string out;
+  out.reserve(6 + response.body.size());
+  PutU8(&out, kProtocolVersion);
+  PutU8(&out, static_cast<uint8_t>(response.code));
+  PutU32(&out, static_cast<uint32_t>(response.body.size()));
+  out += response.body;
+  return out;
+}
+
+Result<AnalysisResponse> DecodeResponse(std::string_view payload) {
+  Reader r(payload);
+  uint8_t version = 0;
+  Status st = r.TakeU8(&version);
+  if (!st.ok()) return st;
+  st = CheckVersion(version);
+  if (!st.ok()) return st;
+
+  AnalysisResponse out;
+  uint8_t code = 0;
+  st = r.TakeU8(&code);
+  if (!st.ok()) return st;
+  if (code > static_cast<uint8_t>(StatusCode::kDeadlineExceeded)) {
+    return Status::InvalidArgument(StrFormat("unknown status code %u", code));
+  }
+  out.code = static_cast<StatusCode>(code);
+
+  uint32_t body_len = 0;
+  st = r.TakeU32(&body_len);
+  if (!st.ok()) return st;
+  if (body_len != r.remaining()) {
+    return Status::InvalidArgument(
+        StrFormat("response body length %u disagrees with %zu payload "
+                  "byte(s) remaining",
+                  body_len, r.remaining()));
+  }
+  st = r.TakeBytes(body_len, &out.body);
+  if (!st.ok()) return st;
+  return out;
+}
+
+}  // namespace costsense::serve

@@ -1,0 +1,108 @@
+#ifndef COSTSENSE_SERVE_PROTOCOL_H_
+#define COSTSENSE_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/layout.h"
+
+namespace costsense::serve {
+
+/// costsense-serve wire protocol, version 1.
+///
+/// A connection carries length-prefixed frames in both directions:
+///
+///   [u32 big-endian payload length][payload bytes]
+///
+/// and strictly alternates request/response (one outstanding request per
+/// session; clients that want concurrency open more sessions, which is
+/// also what keeps per-session state trivial — the MariaDB-style split
+/// between session state and shared caches). Every multi-byte integer is
+/// big-endian; doubles travel as the big-endian bytes of their IEEE-754
+/// representation, so a payload is bit-reproducible across hosts.
+///
+/// Request payload:
+///
+///   u8  version (kProtocolVersion)
+///   u8  analysis kind (AnalysisKind)
+///   u8  storage layout policy (storage::LayoutPolicy)
+///   u16 TPC-H query number (1..22)
+///   u64 per-request deadline in nanoseconds (0 = server default)
+///   u16 delta count (>= 1, <= kMaxDeltas)
+///   f64 x count: multiplicative error-band factors defining the feasible
+///       cost box(es) around the layout's baseline costs. kDiscovery and
+///       kWorstCase read deltas[0]; kGtcSeries evaluates every delta
+///       against the plan set discovered at the widest one.
+///
+/// Response payload:
+///
+///   u8  version
+///   u8  status code (StatusCode; kOk on success)
+///   u32 body length, then body bytes — the rendered analysis text on
+///       success, the error message otherwise.
+inline constexpr uint8_t kProtocolVersion = 1;
+
+/// Frames above this size are rejected as malformed rather than trusted
+/// to allocate (a corrupted length prefix must not look like a 4 GiB
+/// request).
+inline constexpr uint32_t kMaxFrameBytes = 1u << 20;
+
+/// Cap on deltas per request (a series request is bounded work).
+inline constexpr uint16_t kMaxDeltas = 64;
+
+/// What the client wants computed for (query, box).
+enum class AnalysisKind : uint8_t {
+  /// Candidate-optimal plan discovery over the box: initial plan at the
+  /// baseline costs plus every plan the oracle picks somewhere feasible.
+  kDiscovery = 0,
+  /// Worst-case global relative cost of the initial plan over the box
+  /// (the paper's GTC at one delta).
+  kWorstCase = 1,
+  /// The full GTC-vs-delta curve (paper Figures 5-7, one query).
+  kGtcSeries = 2,
+};
+
+/// Returns a short stable name for `kind` ("discovery", ...).
+const char* AnalysisKindName(AnalysisKind kind);
+
+/// One analysis request. `deltas` defines the feasible-region box(es) as
+/// multiplicative error bands around the layout baseline.
+struct AnalysisRequest {
+  AnalysisKind kind = AnalysisKind::kDiscovery;
+  storage::LayoutPolicy policy = storage::LayoutPolicy::kSharedDevice;
+  uint16_t query_number = 1;
+  uint64_t deadline_ns = 0;
+  std::vector<double> deltas = {100.0};
+};
+
+/// One analysis response: a typed status code plus the payload text (the
+/// deterministic analysis rendering on success, the error message
+/// otherwise).
+struct AnalysisResponse {
+  StatusCode code = StatusCode::kOk;
+  std::string body;
+
+  bool ok() const { return code == StatusCode::kOk; }
+};
+
+/// Serializes `request` into a frame payload (no length prefix; the
+/// transport owns framing).
+std::string EncodeRequest(const AnalysisRequest& request);
+
+/// Parses a frame payload into a request. kInvalidArgument on truncated
+/// payloads, unknown versions/kinds/policies, out-of-range query numbers,
+/// or non-finite / non-positive deltas.
+[[nodiscard]] Result<AnalysisRequest> DecodeRequest(std::string_view payload);
+
+/// Serializes `response` into a frame payload.
+std::string EncodeResponse(const AnalysisResponse& response);
+
+/// Parses a frame payload into a response. kInvalidArgument on truncated
+/// or version-mismatched payloads.
+[[nodiscard]] Result<AnalysisResponse> DecodeResponse(std::string_view payload);
+
+}  // namespace costsense::serve
+
+#endif  // COSTSENSE_SERVE_PROTOCOL_H_

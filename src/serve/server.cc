@@ -1,0 +1,81 @@
+#include "serve/server.h"
+
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "serve/session.h"
+
+namespace costsense::serve {
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      dispatcher_(options_.dispatcher),
+      admission_(options_.max_inflight, options_.max_queued) {}
+
+runtime::ThreadPool& Server::pool() const {
+  return options_.dispatcher.pool != nullptr ? *options_.dispatcher.pool
+                                             : runtime::ThreadPool::Global();
+}
+
+AnalysisResponse Server::Handle(const AnalysisRequest& request) {
+  Status admitted = admission_.Admit();
+  if (!admitted.ok()) {
+    AnalysisResponse response;
+    response.code = admitted.code();
+    response.body = admitted.message();
+    return response;
+  }
+  AnalysisResponse response = dispatcher_.Handle(request);
+  admission_.Release();
+  return response;
+}
+
+Status Server::ServeBlocking(SocketListener& listener, size_t max_sessions) {
+  std::vector<std::thread> threads;
+  uint64_t accepted = 0;
+  Status terminal = Status::Ok();
+  for (;;) {
+    if (max_sessions != 0 && accepted >= max_sessions) break;
+    Result<std::unique_ptr<SocketTransport>> conn = listener.Accept();
+    if (!conn.ok()) {
+      // kUnavailable is the listener's close signal — a clean shutdown,
+      // not an error to propagate.
+      if (conn.status().code() != StatusCode::kUnavailable) {
+        terminal = conn.status();
+      }
+      break;
+    }
+    ++accepted;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++sessions_;
+    }
+    threads.emplace_back(
+        [this, transport = std::move(conn).value()]() mutable {
+          Session session(*this, std::move(transport));
+          // A failed session only affects its own connection; the peer
+          // already received a typed error frame where one was possible.
+          const Status session_status = session.Run();
+          (void)session_status;
+        });
+  }
+  for (std::thread& t : threads) t.join();
+  return terminal;
+}
+
+void Server::Shutdown() {
+  admission_.Close();
+  pool().Drain();
+}
+
+ServerStats Server::stats() const {
+  ServerStats out;
+  out.admission = admission_.stats();
+  out.dispatcher = dispatcher_.stats();
+  std::lock_guard<std::mutex> lock(mu_);
+  out.sessions = sessions_;
+  return out;
+}
+
+}  // namespace costsense::serve

@@ -1,0 +1,80 @@
+#ifndef COSTSENSE_SERVE_SERVER_H_
+#define COSTSENSE_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+#include "runtime/thread_pool.h"
+#include "serve/admission.h"
+#include "serve/dispatcher.h"
+#include "serve/protocol.h"
+#include "serve/transport.h"
+
+namespace costsense::serve {
+
+/// Server-wide tuning: the dispatcher policy plus admission bounds.
+struct ServerOptions {
+  DispatcherOptions dispatcher;
+  /// Requests executing at once across all sessions.
+  size_t max_inflight = 4;
+  /// Requests allowed to wait for a slot; beyond this, kUnavailable.
+  size_t max_queued = 16;
+};
+
+/// Everything the server can report about itself.
+struct ServerStats {
+  AdmissionStats admission;
+  DispatcherStats dispatcher;
+  /// Sessions ever accepted by ServeBlocking (in-process sessions
+  /// constructed directly against the server are not counted here).
+  uint64_t sessions = 0;
+};
+
+/// The long-lived analysis server: admission control in front of the
+/// shared dispatcher. Sessions (any number, on any threads) funnel their
+/// requests through Handle(), which bounds concurrent work and sheds load
+/// with typed kUnavailable once saturated — the server never hangs a
+/// client and never crashes from overload.
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+
+  /// Admission-controlled request execution; the single entry point for
+  /// every session. Admission failures come back as kUnavailable
+  /// responses, never as hangs.
+  AnalysisResponse Handle(const AnalysisRequest& request);
+
+  /// Accepts connections until the listener is closed (or `max_sessions`
+  /// sessions have finished, when nonzero — benches use this for a
+  /// drivable shutdown), running each session on its own thread. Returns
+  /// after every accepted session has drained.
+  [[nodiscard]] Status ServeBlocking(SocketListener& listener,
+                                     size_t max_sessions = 0);
+
+  /// Graceful shutdown: stop admitting, reject waiters, and quiesce the
+  /// worker pool so in-flight analyses finish before teardown. Idempotent.
+  void Shutdown();
+
+  ServerStats stats() const;
+
+  /// Exposed so tests can saturate admission directly.
+  AdmissionController& admission() { return admission_; }
+  Dispatcher& dispatcher() { return dispatcher_; }
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  runtime::ThreadPool& pool() const;
+
+  ServerOptions options_;
+  Dispatcher dispatcher_;
+  AdmissionController admission_;
+
+  mutable std::mutex mu_;
+  uint64_t sessions_ = 0;
+};
+
+}  // namespace costsense::serve
+
+#endif  // COSTSENSE_SERVE_SERVER_H_

@@ -1,0 +1,60 @@
+#include "serve/session.h"
+
+#include <utility>
+
+#include "serve/server.h"
+
+namespace costsense::serve {
+
+Session::Session(Server& server, std::unique_ptr<FrameTransport> transport)
+    : server_(server), transport_(std::move(transport)) {}
+
+Status Session::Run() {
+  for (;;) {
+    Result<std::string> frame = transport_->RecvFrame();
+    if (!frame.ok()) {
+      transport_->Close();
+      if (frame.status().code() == StatusCode::kNotFound) {
+        return Status::Ok();  // clean end of stream
+      }
+      return frame.status();
+    }
+
+    Result<AnalysisRequest> request = DecodeRequest(*frame);
+    AnalysisResponse response;
+    if (request.ok()) {
+      response = server_.Handle(*request);
+    } else {
+      response.code = request.status().code();
+      response.body = request.status().message();
+    }
+    Status sent = transport_->SendFrame(EncodeResponse(response));
+    if (!sent.ok()) {
+      transport_->Close();
+      return sent;
+    }
+    ++requests_served_;
+    if (!request.ok()) {
+      // The peer got a typed error for the malformed frame; drop the
+      // connection rather than guess at where the next frame starts.
+      transport_->Close();
+      return request.status();
+    }
+  }
+}
+
+Result<AnalysisResponse> Call(FrameTransport& transport,
+                              const AnalysisRequest& request) {
+  Status sent = transport.SendFrame(EncodeRequest(request));
+  if (!sent.ok()) return sent;
+  Result<std::string> frame = transport.RecvFrame();
+  if (!frame.ok()) {
+    if (frame.status().code() == StatusCode::kNotFound) {
+      return Status::Unavailable("server closed the stream mid-call");
+    }
+    return frame.status();
+  }
+  return DecodeResponse(*frame);
+}
+
+}  // namespace costsense::serve

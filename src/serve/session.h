@@ -1,0 +1,46 @@
+#ifndef COSTSENSE_SERVE_SESSION_H_
+#define COSTSENSE_SERVE_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+#include "serve/protocol.h"
+#include "serve/transport.h"
+
+namespace costsense::serve {
+
+class Server;
+
+/// One client connection: a strict request/response loop over one
+/// transport endpoint. All analysis state is shared (the server's
+/// dispatcher); per-session state is just the transport and counters,
+/// which is the MariaDB-style split that makes sessions cheap.
+class Session {
+ public:
+  /// `server` must outlive the session; the transport is owned.
+  Session(Server& server, std::unique_ptr<FrameTransport> transport);
+
+  /// Serves requests until the peer closes (returns OK) or the transport
+  /// fails. A frame that does not decode gets a typed error response and
+  /// ends the session — after a framing error the stream position is
+  /// untrustworthy.
+  [[nodiscard]] Status Run();
+
+  uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  Server& server_;
+  std::unique_ptr<FrameTransport> transport_;
+  uint64_t requests_served_ = 0;
+};
+
+/// Client-side convenience: one request/response round trip over
+/// `transport`. Transport-level failures and undecodable responses come
+/// back as error statuses; a decoded response carries its own typed code.
+[[nodiscard]] Result<AnalysisResponse> Call(FrameTransport& transport,
+                                            const AnalysisRequest& request);
+
+}  // namespace costsense::serve
+
+#endif  // COSTSENSE_SERVE_SESSION_H_

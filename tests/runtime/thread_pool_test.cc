@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -180,6 +181,68 @@ TEST(ThreadPoolTest, StatsCountWork) {
     stats = pool.stats();
   }
   EXPECT_GT(stats.tasks_run, 0u);
+}
+
+TEST(ThreadPoolTest, QueueDepthReportsPendingTasks) {
+  // Plug the only worker with a gate task, pile tasks behind it, and the
+  // instantaneous depth must count them; after the gate opens and the
+  // queue drains, depth returns to zero.
+  ThreadPool pool(2);  // one worker thread
+  std::mutex gate;
+  gate.lock();
+  pool.Submit([&gate] {
+    gate.lock();  // blocks until the test releases it
+    gate.unlock();
+  });
+  const int backlog = 7;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < backlog; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  // Once the worker claims the gate task and blocks on it, exactly the
+  // backlog is queued (before that the snapshot may also count the gate).
+  PoolStats stats = pool.stats();
+  for (int i = 0; i < 5000 && stats.queue_depth != static_cast<size_t>(backlog);
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    stats = pool.stats();
+  }
+  EXPECT_EQ(stats.queue_depth, static_cast<size_t>(backlog));
+  EXPECT_GE(stats.queue_high_water, stats.queue_depth);
+  gate.unlock();
+  pool.Drain();
+  EXPECT_EQ(ran.load(), backlog);
+  EXPECT_EQ(pool.stats().queue_depth, 0u);
+}
+
+TEST(ThreadPoolTest, DrainWaitsForQueuedAndActiveTasks) {
+  // Drain must rendezvous with tasks that are *executing*, not just wait
+  // for an empty queue: a task started before Drain finishes after it.
+  ThreadPool pool(3);
+  std::atomic<int> completed{0};
+  const int tasks = 50;
+  for (int i = 0; i < tasks; ++i) {
+    pool.Submit([&completed] {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      completed.fetch_add(1);
+    });
+  }
+  pool.Drain();
+  EXPECT_EQ(completed.load(), tasks);
+  // The pool stays fully usable after a drain (quiesce, not teardown).
+  std::atomic<int> after{0};
+  pool.Submit([&after] { after.fetch_add(1); });
+  pool.Drain();
+  EXPECT_EQ(after.load(), 1);
+}
+
+TEST(ThreadPoolTest, DrainOnIdleOrSingleThreadPoolReturnsImmediately) {
+  ThreadPool idle(4);
+  idle.Drain();  // nothing queued, nothing active: must not block
+  ThreadPool serial(1);
+  serial.Submit([] {});  // ran inline already
+  serial.Drain();
+  EXPECT_EQ(serial.stats().queue_depth, 0u);
 }
 
 TEST(ForEachIndexTest, NullPoolRunsSerially) {

@@ -1,0 +1,503 @@
+// Tests of the costsense-serve subsystem: wire-protocol round trips and
+// rejection of malformed frames, the in-process and Unix-socket
+// transports, bounded admission (typed kUnavailable under saturation,
+// never a hang), per-request deadlines on a manual clock, and the
+// headline invariant — interleaved concurrent sessions produce
+// byte-identical analysis payloads to serial execution at any thread
+// count.
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/resilience/clock.h"
+#include "runtime/thread_pool.h"
+#include "serve/admission.h"
+#include "serve/dispatcher.h"
+#include "serve/protocol.h"
+#include "serve/session.h"
+#include "serve/transport.h"
+
+namespace costsense::serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Protocol
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolTest, RequestRoundTrip) {
+  AnalysisRequest request;
+  request.kind = AnalysisKind::kGtcSeries;
+  request.policy = storage::LayoutPolicy::kPerTableColocated;
+  request.query_number = 14;
+  request.deadline_ns = 123456789;
+  request.deltas = {2.0, 10.0, 1000.0};
+
+  const Result<AnalysisRequest> decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->kind, request.kind);
+  EXPECT_EQ(decoded->policy, request.policy);
+  EXPECT_EQ(decoded->query_number, request.query_number);
+  EXPECT_EQ(decoded->deadline_ns, request.deadline_ns);
+  EXPECT_EQ(decoded->deltas, request.deltas);
+}
+
+TEST(ProtocolTest, ResponseRoundTrip) {
+  AnalysisResponse response;
+  response.code = StatusCode::kDeadlineExceeded;
+  response.body = "budget spent";
+  const Result<AnalysisResponse> decoded =
+      DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->code, response.code);
+  EXPECT_EQ(decoded->body, response.body);
+}
+
+TEST(ProtocolTest, MalformedRequestsAreTypedErrors) {
+  const std::string good = EncodeRequest(AnalysisRequest{});
+
+  // Truncated at every prefix length.
+  for (size_t len = 0; len < good.size(); ++len) {
+    const Result<AnalysisRequest> r = DecodeRequest(good.substr(0, len));
+    ASSERT_FALSE(r.ok()) << "prefix length " << len;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+  // Trailing bytes.
+  {
+    const Result<AnalysisRequest> r = DecodeRequest(good + "x");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+  // Wrong version.
+  {
+    std::string bad = good;
+    bad[0] = 99;
+    EXPECT_FALSE(DecodeRequest(bad).ok());
+  }
+  // Unknown analysis kind / policy.
+  {
+    std::string bad = good;
+    bad[1] = 17;
+    EXPECT_FALSE(DecodeRequest(bad).ok());
+    bad = good;
+    bad[2] = 17;
+    EXPECT_FALSE(DecodeRequest(bad).ok());
+  }
+  // Query number outside TPC-H.
+  {
+    AnalysisRequest request;
+    request.query_number = 23;
+    EXPECT_FALSE(DecodeRequest(EncodeRequest(request)).ok());
+    request.query_number = 0;
+    EXPECT_FALSE(DecodeRequest(EncodeRequest(request)).ok());
+  }
+  // Deltas must be finite and > 1.
+  {
+    AnalysisRequest request;
+    request.deltas = {0.5};
+    EXPECT_FALSE(DecodeRequest(EncodeRequest(request)).ok());
+    request.deltas = {1.0};
+    EXPECT_FALSE(DecodeRequest(EncodeRequest(request)).ok());
+  }
+  // Empty delta list.
+  {
+    AnalysisRequest request;
+    request.deltas = {};
+    EXPECT_FALSE(DecodeRequest(EncodeRequest(request)).ok());
+  }
+}
+
+TEST(ProtocolTest, ResponseRejectsUnknownCodeAndLengthMismatch) {
+  const std::string good = EncodeResponse(AnalysisResponse{});
+  std::string bad = good;
+  bad[1] = 99;  // past kDeadlineExceeded
+  EXPECT_FALSE(DecodeResponse(bad).ok());
+  EXPECT_FALSE(DecodeResponse(good + "extra").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Transports
+// ---------------------------------------------------------------------------
+
+TEST(InProcessTransportTest, FramesCrossInOrderAndCloseIsEof) {
+  auto [client, server] = InProcessTransport::CreatePair();
+  ASSERT_TRUE(client->SendFrame("one").ok());
+  ASSERT_TRUE(client->SendFrame("two").ok());
+  Result<std::string> a = server->RecvFrame();
+  Result<std::string> b = server->RecvFrame();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, "one");
+  EXPECT_EQ(*b, "two");
+
+  ASSERT_TRUE(server->SendFrame("reply").ok());
+  client->Close();
+  // Buffered frames still drain after close...
+  Result<std::string> reply = client->RecvFrame();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(*reply, "reply");
+  // ...then the stream reports a clean end, and sends are refused.
+  EXPECT_EQ(server->RecvFrame().status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(server->SendFrame("late").code(), StatusCode::kUnavailable);
+}
+
+TEST(InProcessTransportTest, OversizedFrameIsRejected) {
+  auto [client, server] = InProcessTransport::CreatePair();
+  const std::string huge(kMaxFrameBytes + 1, 'x');
+  EXPECT_EQ(client->SendFrame(huge).code(), StatusCode::kInvalidArgument);
+  (void)server;
+}
+
+// ---------------------------------------------------------------------------
+// Admission
+// ---------------------------------------------------------------------------
+
+TEST(AdmissionTest, RejectsWhenSlotsAndQueueAreFull) {
+  AdmissionController admission(/*max_inflight=*/1, /*max_queued=*/0);
+  ASSERT_TRUE(admission.Admit().ok());
+  const Status overflow = admission.Admit();
+  EXPECT_EQ(overflow.code(), StatusCode::kUnavailable);
+  admission.Release();
+  EXPECT_TRUE(admission.Admit().ok());
+  admission.Release();
+
+  const AdmissionStats stats = admission.stats();
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.inflight, 0u);
+  EXPECT_EQ(stats.peak_inflight, 1u);
+}
+
+TEST(AdmissionTest, QueuedWaiterGetsSlotOnRelease) {
+  AdmissionController admission(1, 1);
+  ASSERT_TRUE(admission.Admit().ok());
+  Status waiter_result = Status::Internal("not yet run");
+  std::thread waiter([&admission, &waiter_result] {
+    waiter_result = admission.Admit();
+  });
+  // The waiter parks in the bounded queue; releasing the slot admits it.
+  AdmissionStats stats = admission.stats();
+  for (int i = 0; i < 5000 && stats.queued == 0; ++i) {
+    std::this_thread::yield();
+    stats = admission.stats();
+  }
+  EXPECT_EQ(stats.queued, 1u);
+  admission.Release();
+  waiter.join();
+  EXPECT_TRUE(waiter_result.ok());
+  admission.Release();
+  EXPECT_EQ(admission.stats().peak_queued, 1u);
+}
+
+TEST(AdmissionTest, CloseRejectsWaitersAndFutureAdmits) {
+  AdmissionController admission(1, 4);
+  ASSERT_TRUE(admission.Admit().ok());
+  Status waiter_result = Status::Ok();
+  std::thread waiter([&admission, &waiter_result] {
+    waiter_result = admission.Admit();
+  });
+  AdmissionStats stats = admission.stats();
+  for (int i = 0; i < 5000 && stats.queued == 0; ++i) {
+    std::this_thread::yield();
+    stats = admission.stats();
+  }
+  admission.Close();
+  waiter.join();
+  EXPECT_EQ(waiter_result.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(admission.Admit().code(), StatusCode::kUnavailable);
+}
+
+// ---------------------------------------------------------------------------
+// Server fixtures
+// ---------------------------------------------------------------------------
+
+/// The quick-mode analysis budget (matches bench_util's quick preset) so
+/// a full request costs tens of milliseconds, not seconds.
+DispatcherOptions QuickDispatcherOptions(runtime::ThreadPool* pool) {
+  DispatcherOptions options;
+  options.discovery.random_samples = 16;
+  options.discovery.sampled_vertices = 48;
+  options.discovery.bisection_depth = 3;
+  options.discovery.completeness_rounds = 1;
+  options.pool = pool;
+  return options;
+}
+
+AnalysisRequest MakeRequest(AnalysisKind kind, storage::LayoutPolicy policy,
+                            uint16_t query, std::vector<double> deltas) {
+  AnalysisRequest request;
+  request.kind = kind;
+  request.policy = policy;
+  request.query_number = query;
+  request.deltas = std::move(deltas);
+  return request;
+}
+
+/// A request mix covering all three analysis kinds, two layouts, and two
+/// queries, sized for repeated execution.
+std::vector<AnalysisRequest> TestRequests() {
+  return {
+      MakeRequest(AnalysisKind::kDiscovery,
+                  storage::LayoutPolicy::kSharedDevice, 1, {100.0}),
+      MakeRequest(AnalysisKind::kGtcSeries,
+                  storage::LayoutPolicy::kSharedDevice, 6, {2.0, 10.0, 100.0}),
+      MakeRequest(AnalysisKind::kWorstCase,
+                  storage::LayoutPolicy::kPerTableColocated, 6, {100.0}),
+      MakeRequest(AnalysisKind::kGtcSeries,
+                  storage::LayoutPolicy::kSharedDevice, 1, {10.0, 1000.0}),
+  };
+}
+
+/// Runs a client session over an in-process pair against `server` (the
+/// server half runs on its own thread) and returns one response per
+/// request, in request order.
+std::vector<AnalysisResponse> RunSession(
+    Server& server, const std::vector<AnalysisRequest>& requests) {
+  auto [client, server_end] = InProcessTransport::CreatePair();
+  std::unique_ptr<FrameTransport> server_transport = std::move(server_end);
+  std::thread server_thread([&server, &server_transport] {
+    Session session(server, std::move(server_transport));
+    const Status st = session.Run();
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  });
+  std::vector<AnalysisResponse> responses;
+  for (const AnalysisRequest& request : requests) {
+    Result<AnalysisResponse> response = Call(*client, request);
+    EXPECT_TRUE(response.ok()) << response.status().ToString();
+    responses.push_back(response.ok() ? *response : AnalysisResponse{});
+  }
+  client->Close();
+  server_thread.join();
+  return responses;
+}
+
+// ---------------------------------------------------------------------------
+// The headline invariant: interleaved concurrent sessions == serial bytes
+// ---------------------------------------------------------------------------
+
+TEST(ServeEquivalenceTest, ConcurrentSessionsMatchSerialByteForByte) {
+  const std::vector<AnalysisRequest> requests = TestRequests();
+
+  // Serial reference: fresh server, one session, requests in order.
+  std::vector<AnalysisResponse> reference;
+  {
+    runtime::ThreadPool pool(1);
+    ServerOptions options;
+    options.dispatcher = QuickDispatcherOptions(&pool);
+    Server server(options);
+    reference = RunSession(server, requests);
+  }
+  ASSERT_EQ(reference.size(), requests.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    ASSERT_TRUE(reference[i].ok())
+        << "request " << i << ": " << reference[i].body;
+    EXPECT_FALSE(reference[i].body.empty());
+  }
+
+  // Concurrent: three sessions, each issuing the full request list
+  // starting at a different rotation, against one shared server — every
+  // request is in flight against a cache some other session may be
+  // warming. Repeat at thread counts 1 and 3.
+  for (const size_t threads : {size_t{1}, size_t{3}}) {
+    runtime::ThreadPool pool(threads);
+    ServerOptions options;
+    options.dispatcher = QuickDispatcherOptions(&pool);
+    Server server(options);
+
+    const size_t kSessions = 3;
+    std::vector<std::vector<AnalysisResponse>> responses(kSessions);
+    std::vector<std::vector<size_t>> order(kSessions);
+    std::vector<std::thread> clients;
+    for (size_t s = 0; s < kSessions; ++s) {
+      for (size_t i = 0; i < requests.size(); ++i) {
+        order[s].push_back((s + i) % requests.size());
+      }
+      clients.emplace_back([&, s] {
+        std::vector<AnalysisRequest> rotated;
+        for (size_t idx : order[s]) rotated.push_back(requests[idx]);
+        responses[s] = RunSession(server, rotated);
+      });
+    }
+    for (std::thread& t : clients) t.join();
+
+    for (size_t s = 0; s < kSessions; ++s) {
+      ASSERT_EQ(responses[s].size(), requests.size());
+      for (size_t i = 0; i < order[s].size(); ++i) {
+        const AnalysisResponse& got = responses[s][i];
+        const AnalysisResponse& want = reference[order[s][i]];
+        EXPECT_EQ(got.code, want.code)
+            << "threads=" << threads << " session=" << s << " slot=" << i;
+        EXPECT_EQ(got.body, want.body)
+            << "threads=" << threads << " session=" << s << " slot=" << i;
+      }
+    }
+
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.admission.admitted, kSessions * requests.size());
+    EXPECT_EQ(stats.admission.rejected, 0u);
+    EXPECT_EQ(stats.dispatcher.requests, kSessions * requests.size());
+    // The shared cache observed cross-request hits: the second and third
+    // session of each request replay probe points the first computed.
+    EXPECT_GT(stats.dispatcher.cache.hits, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Admission at the server level
+// ---------------------------------------------------------------------------
+
+TEST(ServerTest, SaturatedAdmissionReturnsTypedUnavailable) {
+  runtime::ThreadPool pool(1);
+  ServerOptions options;
+  options.dispatcher = QuickDispatcherOptions(&pool);
+  options.max_inflight = 1;
+  options.max_queued = 0;
+  Server server(options);
+
+  // Occupy the only slot directly, then every request must shed with a
+  // typed kUnavailable response — never a hang, never a crash.
+  ASSERT_TRUE(server.admission().Admit().ok());
+  const AnalysisRequest request = TestRequests()[1];
+  const AnalysisResponse rejected = server.Handle(request);
+  EXPECT_EQ(rejected.code, StatusCode::kUnavailable);
+  EXPECT_FALSE(rejected.body.empty());
+  server.admission().Release();
+
+  const AnalysisResponse accepted = server.Handle(request);
+  EXPECT_TRUE(accepted.ok()) << accepted.body;
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.admission.rejected, 1u);
+  EXPECT_EQ(stats.admission.admitted, 2u);  // direct Admit + request
+}
+
+TEST(ServerTest, ShutdownRejectsNewRequestsAndQuiesces) {
+  runtime::ThreadPool pool(3);
+  ServerOptions options;
+  options.dispatcher = QuickDispatcherOptions(&pool);
+  Server server(options);
+  const AnalysisRequest request = TestRequests()[2];
+  EXPECT_TRUE(server.Handle(request).ok());
+  server.Shutdown();
+  const AnalysisResponse after = server.Handle(request);
+  EXPECT_EQ(after.code, StatusCode::kUnavailable);
+  server.Shutdown();  // idempotent
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines
+// ---------------------------------------------------------------------------
+
+TEST(ServerTest, RequestDeadlineSurfacesAsTypedDeadlineExceeded) {
+  // Latency faults on a manual clock charge virtual time to every probe;
+  // a request-level deadline smaller than one probe's latency must spend
+  // its budget and come back as a typed kDeadlineExceeded response. The
+  // manual clock makes this deterministic and instant.
+  runtime::resilience::ManualClock clock;
+  runtime::ThreadPool pool(1);
+  ServerOptions options;
+  options.dispatcher = QuickDispatcherOptions(&pool);
+  options.dispatcher.clock = &clock;
+  options.dispatcher.fault_injection = true;
+  options.dispatcher.faults.fault_rate = 1.0;
+  options.dispatcher.faults.max_burst = 1;
+  options.dispatcher.faults.weight_transient = 0.0;
+  options.dispatcher.faults.weight_latency = 1.0;
+  options.dispatcher.faults.latency_nanos = 1000;
+  Server server(options);
+
+  AnalysisRequest request = TestRequests()[1];
+  request.deadline_ns = 500;  // less than one probe's injected latency
+  const AnalysisResponse response = server.Handle(request);
+  EXPECT_EQ(response.code, StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(response.body.empty());
+
+  // The same request with room to breathe succeeds: the injected
+  // latencies only age the clock, and each key faults once.
+  AnalysisRequest relaxed = TestRequests()[1];
+  relaxed.deadline_ns = 0;  // unlimited
+  const AnalysisResponse ok = server.Handle(relaxed);
+  EXPECT_TRUE(ok.ok()) << ok.body;
+}
+
+// ---------------------------------------------------------------------------
+// Sessions and malformed frames
+// ---------------------------------------------------------------------------
+
+TEST(SessionTest, MalformedFrameGetsTypedErrorThenClose) {
+  runtime::ThreadPool pool(1);
+  ServerOptions options;
+  options.dispatcher = QuickDispatcherOptions(&pool);
+  Server server(options);
+
+  auto [client, server_end] = InProcessTransport::CreatePair();
+  std::unique_ptr<FrameTransport> server_transport = std::move(server_end);
+  std::thread server_thread([&server, &server_transport] {
+    Session session(server, std::move(server_transport));
+    const Status st = session.Run();
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  });
+
+  ASSERT_TRUE(client->SendFrame("not a request").ok());
+  Result<std::string> frame = client->RecvFrame();
+  ASSERT_TRUE(frame.ok());
+  const Result<AnalysisResponse> response = DecodeResponse(*frame);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->code, StatusCode::kInvalidArgument);
+  // The session drops the connection after a framing error.
+  EXPECT_EQ(client->RecvFrame().status().code(), StatusCode::kNotFound);
+  server_thread.join();
+}
+
+// ---------------------------------------------------------------------------
+// Unix-socket transport end to end
+// ---------------------------------------------------------------------------
+
+TEST(SocketTransportTest, SocketSessionMatchesInProcessBytes) {
+  const std::string path = "costsense_serve_test.sock";
+  const AnalysisRequest request = TestRequests()[2];
+
+  // In-process reference bytes.
+  AnalysisResponse reference;
+  {
+    runtime::ThreadPool pool(1);
+    ServerOptions options;
+    options.dispatcher = QuickDispatcherOptions(&pool);
+    Server server(options);
+    reference = RunSession(server, {request})[0];
+  }
+  ASSERT_TRUE(reference.ok()) << reference.body;
+
+  // The same request over a real Unix-domain socket against a fresh
+  // server must produce the same bytes: the transport is not part of the
+  // analysis function.
+  runtime::ThreadPool pool(1);
+  ServerOptions options;
+  options.dispatcher = QuickDispatcherOptions(&pool);
+  Server server(options);
+  Result<std::unique_ptr<SocketListener>> listener = SocketListener::Bind(path);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  std::thread accept_thread([&server, &listener] {
+    const Status st = server.ServeBlocking(**listener, /*max_sessions=*/1);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  });
+
+  Result<std::unique_ptr<SocketTransport>> client = ConnectUnixSocket(path);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  Result<AnalysisResponse> response = Call(**client, request);
+  (*client)->Close();
+  accept_thread.join();
+  (*listener)->Close();
+
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->code, reference.code);
+  EXPECT_EQ(response->body, reference.body);
+  EXPECT_EQ(server.stats().sessions, 1u);
+}
+
+}  // namespace
+}  // namespace costsense::serve

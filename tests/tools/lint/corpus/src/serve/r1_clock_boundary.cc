@@ -1,0 +1,16 @@
+// Fixture: R1 keeps its normal suppression semantics in src/serve (only
+// R3 is strict there) — a justified allow() silences the clock read it
+// covers, while the unsuppressed neighbor still fires.
+#include <chrono>
+
+namespace corpus {
+
+long ClockBoundary() {
+  // costsense-lint: allow(R1, "TU-local timing probe; never reaches response bytes")
+  const auto sanctioned = std::chrono::steady_clock::now();
+  const auto leaking = std::chrono::system_clock::now();
+  return leaking.time_since_epoch().count() -
+         sanctioned.time_since_epoch().count();
+}
+
+}  // namespace corpus

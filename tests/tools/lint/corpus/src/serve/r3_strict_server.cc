@@ -1,0 +1,14 @@
+// Fixture: R3 in src/serve is absolute — even a justified suppression
+// does not silence it. Server code speaks only through the wire protocol
+// and the artifact sinks; stdout is invisible to remote clients.
+#include <cstdio>
+
+namespace corpus {
+
+void StrictServe() {
+  // costsense-lint: allow(R3, "this justification must NOT be honored in serve")
+  std::printf("request admitted\n");
+  std::puts("response sent");
+}
+
+}  // namespace corpus

@@ -122,6 +122,30 @@ TEST(RulesTest, R3OnlyAppliesToLibraryCode) {
   EXPECT_TRUE(AnalyzeSource("tests/opt/optimizer_test.cc", src).empty());
 }
 
+TEST(RulesTest, R3StrictInServeIgnoresSuppression) {
+  const std::string src =
+      "// costsense-lint: allow(R3, \"should not be honored\")\n"
+      "void f() { printf(\"x\"); }\n";
+  EXPECT_EQ(CountRule(AnalyzeSource("src/serve/server.cc", src),
+                      Rule::kRawOutput),
+            1);
+  EXPECT_EQ(CountRule(AnalyzeSource("src/serve/dispatcher.h", src),
+                      Rule::kRawOutput),
+            1);
+  // Outside serve the same suppression silences the finding, and only R3
+  // is strict there: a justified R1/R2 allow() still works in serve.
+  EXPECT_EQ(CountRule(AnalyzeSource("src/opt/plan.cc", src),
+                      Rule::kRawOutput),
+            0);
+  EXPECT_EQ(
+      CountRule(AnalyzeSource(
+                    "src/serve/session.cc",
+                    "// costsense-lint: allow(R2, \"never iterated\")\n"
+                    "std::unordered_map<int, int> m;\n"),
+                Rule::kUnorderedContainer),
+      0);
+}
+
 TEST(RulesTest, R5BansGetenvOutsideEngineConfig) {
   const std::string src = "const char* v = std::getenv(\"X\");\n";
   EXPECT_EQ(CountRule(AnalyzeSource("src/exp/report.cc", src), Rule::kGetenv),

@@ -23,6 +23,9 @@
 ///   R3  `std::cout`/`printf`-family raw output is banned in library code
 ///       (`src/**` except `src/exp`); render paths live in `src/exp`,
 ///       `bench/`, tests and the CHECK macros (which use fprintf(stderr)).
+///       In `src/serve` the ban is absolute (suppressions are NOT
+///       honored): server code speaks only through the wire protocol and
+///       the artifact sinks.
 ///   R4  every `Status`/`Result<T>`-returning declaration in a header must
 ///       carry `[[nodiscard]]`.
 ///   R5  `getenv`/`secure_getenv` are banned outside `src/engine/config.*`:

@@ -372,6 +372,12 @@ std::vector<Finding> AnalyzeSource(const std::string& virtual_path,
       (StartsWith(pc.rel, "core/") || StartsWith(pc.rel, "exp/"));
   const bool raw_output_banned =
       pc.root == PathClass::kSrc && !StartsWith(pc.rel, "exp/");
+  // The server tree is long-lived multi-tenant code whose only sanctioned
+  // byte streams are the wire protocol and the artifact sinks; a stray
+  // stdout write there is invisible to every remote client and breaks the
+  // response-bytes-are-the-interface contract, so R3 is absolute.
+  const bool raw_output_strict =
+      pc.root == PathClass::kSrc && StartsWith(pc.rel, "serve/");
   const bool getenv_sanctioned =
       pc.root == PathClass::kSrc && StartsWith(pc.rel, "engine/config.");
 
@@ -419,7 +425,15 @@ std::vector<Finding> AnalyzeSource(const std::string& virtual_path,
       }
     }
     if (raw_output_banned && RawOutputTokens().count(t.text)) {
-      if (!IsSuppressed(sup, Rule::kRawOutput, t.line)) {
+      if (raw_output_strict) {
+        findings.push_back(
+            {virtual_path, t.line, Rule::kRawOutput,
+             "'" + t.text +
+                 "' is forbidden in src/serve (R3): server code speaks only "
+                 "through the wire protocol and artifact sinks, and a stray "
+                 "stdout write is invisible to remote clients; suppressions "
+                 "are not honored here"});
+      } else if (!IsSuppressed(sup, Rule::kRawOutput, t.line)) {
         findings.push_back(
             {virtual_path, t.line, Rule::kRawOutput,
              "'" + t.text +
