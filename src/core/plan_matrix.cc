@@ -1,10 +1,12 @@
 #include "core/plan_matrix.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/macros.h"
 #include "common/strings.h"
 #include "linalg/kernels.h"
+#include "linalg/simd_kernels.h"
 
 namespace costsense::core {
 
@@ -66,6 +68,7 @@ PlanMatrix::PlanMatrix(const std::vector<PlanUsage>& plans)
     }
     sums_[p] = sum;
     norms_[p] = std::sqrt(sq);
+    max_norm_ = std::max(max_norm_, norms_[p]);
   }
 }
 
@@ -77,6 +80,16 @@ void PlanMatrix::BatchTotalCosts(const CostVector& c,
   if (rows_ == 0) return;
   linalg::MatVecRowMajor(row_major_.data(), rows_, dims_, c.data().data(),
                          out.data());
+}
+
+void PlanMatrix::BatchTotalCostsScreen(const CostVector& c,
+                                       std::vector<double>& out) const {
+  COSTSENSE_CHECK_MSG(c.size() == dims_ || rows_ == 0,
+                      "cost vector dims do not match plan matrix");
+  out.resize(rows_);
+  if (rows_ == 0) return;
+  linalg::MatVecRowMajorSimd(row_major_.data(), rows_, dims_, c.data().data(),
+                             out.data());
 }
 
 }  // namespace costsense::core

@@ -53,11 +53,24 @@ class PlanMatrix {
   double row_sum(size_t p) const { return sums_[p]; }
   /// Cached Euclidean norm of plan p's usage vector.
   double row_norm(size_t p) const { return norms_[p]; }
+  /// Cached maximum of row_norm over all plans (0 for an empty set). The
+  /// SIMD screening paths use it to size rigorous error bands around
+  /// approximate costs.
+  double max_row_norm() const { return max_norm_; }
 
   /// out[p] = U_p . c for every plan, resizing `out` to rows(). Blocked
   /// matrix-vector kernel; each entry is bit-identical to
   /// TotalCost(plans[p].usage, c).
   void BatchTotalCosts(const CostVector& c, std::vector<double>& out) const;
+
+  /// Approximate twin of BatchTotalCosts on the dispatched SIMD mat-vec
+  /// (linalg/simd_kernels.h): lane-reassociated sums, so entries carry
+  /// ~dims*eps relative error. Screen-only — callers must re-evaluate any
+  /// decision winner with BatchTotalCosts (or an exact per-row dot) before
+  /// emitting it. Falls back to the exact kernel when SIMD is compiled
+  /// out.
+  void BatchTotalCostsScreen(const CostVector& c,
+                             std::vector<double>& out) const;
 
  private:
   size_t rows_ = 0;
@@ -66,6 +79,7 @@ class PlanMatrix {
   std::vector<double> col_major_;
   std::vector<double> sums_;
   std::vector<double> norms_;
+  double max_norm_ = 0.0;
   std::vector<std::string> ids_;
 };
 

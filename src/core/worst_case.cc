@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <optional>
 
 #include "common/macros.h"
 #include "common/strings.h"
 #include "linalg/kernels.h"
+#include "linalg/simd_kernels.h"
 #include "lp/fractional.h"
 #include "runtime/resilience/checkpoint.h"
 #include "runtime/thread_pool.h"
@@ -331,6 +334,142 @@ ChunkBest PlansChunkGray(const UsageVector& initial, const PlanMatrix& m,
   return b;
 }
 
+/// SIMD twin of PlansChunkGray: the same exact re-evaluation of
+/// challengers, but the screening math runs on the dispatched vector
+/// kernels, and the walk prunes at *segment* granularity before falling
+/// back to per-flip screening.
+///
+/// Within a kRefreshPeriod-aligned segment [s, s+64) the Gray walk flips
+/// only bits 0..5 (ranks s+1..s+63 of an aligned s have at most five
+/// trailing zeros), so the segment's vertices all lie in the sub-box that
+/// fixes the high coordinates at the base vertex and lets the low six
+/// range. Plan costs are non-decreasing in every cost coordinate when the
+/// usage matrix is non-negative, so over that sub-box
+///
+///   cost_i(v) >= cost_i(corner with bits 0..5 low)   for every plan i
+///   init(v)   <= init(corner with bits 0..5 high)
+///
+/// — both bounds are attained at real vertices, making them tight. One
+/// batched mat-vec at the low corner gives floor = min_i cost_i(low), one
+/// dot at the high corner gives initmax; if floor clears a rigorous
+/// rounding band tau (Cauchy-Schwarz bound on the reassociated mat-vec,
+/// the risk-profile band argument) and initmax <= threshold * (floor -
+/// tau), every vertex in the segment has exact gtc <= b.gtc * (1 - 1e-9)
+/// < b.gtc and a strictly positive cheapest cost: the scalar kernels
+/// accept no record and count no degenerate vertex there, so the whole
+/// segment is skipped unvisited. The 1e-9 guard margin exceeds the
+/// ~dims*eps comparison rounding by four orders of magnitude — the same
+/// argument that lets the incremental kernel screen on drifted costs.
+/// Certificates are disabled entirely if any low-bit usage column or
+/// low-bit initial entry is negative (monotonicity would fail).
+///
+/// Uncertified segments run the per-flip path: AxpyScreenSimd updates the
+/// costs bit-identically to the scalar axpy and returns PlansChunkGray's
+/// screen verdict with the ratio test cross-multiplied (division-free;
+/// valid because the threshold is >= 0 and the comparison distributes
+/// over the min lanes). Records are accepted solely on exact
+/// re-evaluations, so the merged result is byte-identical to the other
+/// kernels.
+ChunkBest PlansChunkSimd(const UsageVector& initial, const PlanMatrix& m,
+                         const Box& box, uint64_t lo, uint64_t hi) {
+  ChunkBest b;
+  const size_t n = m.rows();
+  const size_t dims = box.dims();
+  const uint64_t low_mask = kRefreshPeriod - 1;  // bits a segment can flip
+  CostVector v(dims);
+  std::vector<double> costs(n);
+  std::vector<double> exact_costs(n);
+  bool certs_ok = true;
+  for (size_t bit = 0; bit < dims && (uint64_t{1} << bit) < kRefreshPeriod;
+       ++bit) {
+    if (initial[bit] < 0.0) certs_ok = false;
+    const double* col = m.col(bit);
+    for (size_t i = 0; i < n; ++i) {
+      if (col[i] < 0.0) certs_ok = false;
+    }
+  }
+  uint64_t rank = lo;
+  while (rank < hi) {
+    const uint64_t seg_end =
+        std::min<uint64_t>(hi, (rank / kRefreshPeriod + 1) * kRefreshPeriod);
+    uint64_t g = GrayCode(rank);
+    if (certs_ok && rank % kRefreshPeriod == 0 && b.any && b.gtc > 0.0) {
+      const double threshold = b.gtc * (1.0 - kRecheckGuard);
+      box.VertexInto(g & ~low_mask, v);
+      m.BatchTotalCostsScreen(v, costs);
+      const double floor = linalg::MinValueSimd(costs.data(), n);
+      // Rigorous bound on the screened mat-vec's reassociation error, so
+      // floor - tau lower-bounds every exact segment cost (tau > 0 also
+      // rules out degenerate vertices, which have no guard-band margin of
+      // their own). NaN floors or init costs fail the comparisons and
+      // fall through to the per-flip path, which owns the non-finite
+      // semantics.
+      const double eps = std::numeric_limits<double>::epsilon();
+      const double tau =
+          16.0 * static_cast<double>(dims) * eps * m.max_row_norm() *
+          std::sqrt(linalg::DotRaw(v.data().data(), v.data().data(), dims));
+      box.VertexInto(g | low_mask, v);
+      const double initmax = TotalCost(initial, v);
+      if (floor - tau > 0.0 && initmax <= threshold * (floor - tau)) {
+        rank = seg_end;
+        continue;
+      }
+    }
+    box.VertexInto(g, v);
+    m.BatchTotalCostsScreen(v, costs);
+    double init_cost = TotalCost(initial, v);
+    double threshold = b.any ? b.gtc * (1.0 - kRecheckGuard) : 0.0;
+    double cheapest = linalg::MinValueSimd(costs.data(), n);
+    bool challenger =
+        cheapest <= 0.0 || !b.any || init_cost > threshold * cheapest;
+    for (;;) {
+      if (challenger) {
+        m.BatchTotalCosts(v, exact_costs);
+        const size_t eci = linalg::ArgMin(exact_costs.data(), n);
+        const double exact_cheapest = exact_costs[eci];
+        if (exact_cheapest <= 0.0) {
+          ++b.degenerate;
+        } else {
+          const double gtc = TotalCost(initial, v) / exact_cheapest;
+          if (BeatsIncumbent(b, gtc, g)) {
+            b.gtc = gtc;
+            b.mask = g;
+            b.rival = m.plan_id(eci);
+            b.any = true;
+          }
+        }
+      }
+      if (++rank == seg_end) break;
+      const int bit = GrayFlipBit(rank);
+      g ^= uint64_t{1} << bit;
+      const bool up = (g >> bit) & 1;
+      v[bit] = up ? box.upper()[bit] : box.lower()[bit];
+      const double delta = box.FlipDelta(bit, up);
+      init_cost += initial[bit] * delta;
+      threshold = b.any ? b.gtc * (1.0 - kRecheckGuard) : 0.0;
+      challenger = linalg::AxpyScreenSimd(n, delta, m.col(bit), costs.data(),
+                                          init_cost, threshold) ||
+                   !b.any;
+    }
+  }
+  return b;
+}
+
+ChunkBest PlansChunk(const UsageVector& initial, const PlanMatrix& m,
+                     const Box& box, SweepKernel kernel, uint64_t lo,
+                     uint64_t hi) {
+  switch (kernel) {
+    case SweepKernel::kScalar:
+      return PlansChunkScalar(initial, m, box, lo, hi);
+    case SweepKernel::kIncremental:
+      return PlansChunkGray(initial, m, box, lo, hi);
+    case SweepKernel::kSimd:
+      return PlansChunkSimd(initial, m, box, lo, hi);
+  }
+  COSTSENSE_CHECK(false);  // unreachable
+  return ChunkBest{};
+}
+
 }  // namespace
 
 namespace {
@@ -338,6 +477,13 @@ namespace {
 /// is installed once at engine creation, before sweeps start.
 std::atomic<SweepKernel> g_default_kernel{SweepKernel::kIncremental};
 }  // namespace
+
+SweepKernel EffectiveSweepKernel(SweepKernel requested) {
+  if (requested == SweepKernel::kSimd && !linalg::SimdSweepAvailable()) {
+    return SweepKernel::kIncremental;
+  }
+  return requested;
+}
 
 SweepKernel DefaultSweepKernel() {
   return g_default_kernel.load(std::memory_order_relaxed);
@@ -491,14 +637,14 @@ WorstCaseResult WorstCaseOverPlanMatrix(const UsageVector& initial_usage,
   }
   const uint64_t vertices = box.VertexCount();
   const auto chunks = VertexChunks(vertices, pool);
+  // Resolve once per sweep: a kSimd request on a host without AVX2 runs
+  // the incremental kernel (identical results by contract).
+  const SweepKernel effective = EffectiveSweepKernel(kernel);
   std::vector<ChunkBest> best(chunks.size());
   const Status pool_status =
       runtime::ForEachIndex(pool, chunks.size(), [&](size_t k) {
-    best[k] = kernel == SweepKernel::kScalar
-                  ? PlansChunkScalar(initial_usage, plans, box,
-                                     chunks[k].first, chunks[k].second)
-                  : PlansChunkGray(initial_usage, plans, box, chunks[k].first,
-                                   chunks[k].second);
+    best[k] = PlansChunk(initial_usage, plans, box, effective,
+                         chunks[k].first, chunks[k].second);
     return Status::Ok();
   });
   COSTSENSE_CHECK(pool_status.ok());  // bodies always return Ok

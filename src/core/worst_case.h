@@ -51,10 +51,11 @@ struct WorstCaseResult {
 /// Vertex-sweep evaluation strategy, selected process-wide via
 /// SetDefaultSweepKernel (engine::Engine::Create installs the
 /// COSTSENSE_KERNEL choice from its typed config; the default is
-/// incremental) or per call via the explicit overloads. Both kernels
-/// return identical results — the incremental kernel re-evaluates
-/// candidate record vertices with the scalar kernel before accepting
-/// them — so the knob is a fallback/ablation switch, not a semantic one.
+/// incremental) or per call via the explicit overloads. All kernels
+/// return identical results — the incremental and simd kernels
+/// re-evaluate candidate record vertices with the scalar kernel before
+/// accepting them — so the knob is a fallback/ablation switch, not a
+/// semantic one.
 enum class SweepKernel {
   /// Full O(n * d) cost re-derivation at every vertex, in ascending mask
   /// order (the seed implementation, minus its allocation churn).
@@ -64,7 +65,22 @@ enum class SweepKernel {
   /// incremental updates is bounded by a full recompute every 64 vertices
   /// and by exact re-evaluation of any vertex that challenges the record.
   kIncremental,
+  /// The incremental walk with its screening math (column axpy + running
+  /// minimum, and the periodic full recompute) on the explicit AVX2
+  /// kernels of linalg/simd_kernels.h. Record candidates still go through
+  /// the same exact scalar re-evaluation, so results stay byte-identical.
+  /// On hosts without AVX2 (or builds with COSTSENSE_SIMD=OFF) this
+  /// resolves to kIncremental — see EffectiveSweepKernel. Oracle-backed
+  /// sweeps have no batched plan math to vectorize, so there kSimd and
+  /// kIncremental are the same code path.
+  kSimd,
 };
+
+/// The kernel that will actually run for `requested`: kSimd resolves to
+/// kIncremental when linalg::SimdSweepAvailable() is false (no AVX2 at
+/// runtime, or SIMD compiled out); everything else maps to itself. Benches
+/// and tests use this to label measurements honestly.
+SweepKernel EffectiveSweepKernel(SweepKernel requested);
 
 /// The process-default kernel used by the kernel-less overloads below.
 SweepKernel DefaultSweepKernel();

@@ -78,7 +78,26 @@ constexpr Knob kKnobs[] = {
     *out = core::SweepKernel::kIncremental;
     return Status::Ok();
   }
-  return BadValue(source, value, "\"scalar\" or \"incremental\"");
+  if (value == "simd") {
+    // Accepted on every host: the sweep resolves kSimd to the incremental
+    // kernel at run time when AVX2 is unavailable (identical results by
+    // contract), so the knob never needs host-specific validation.
+    *out = core::SweepKernel::kSimd;
+    return Status::Ok();
+  }
+  return BadValue(source, value, "\"scalar\", \"incremental\" or \"simd\"");
+}
+
+const char* KernelName(core::SweepKernel kernel) {
+  switch (kernel) {
+    case core::SweepKernel::kScalar:
+      return "scalar";
+    case core::SweepKernel::kIncremental:
+      return "incremental";
+    case core::SweepKernel::kSimd:
+      return "simd";
+  }
+  return "incremental";  // unreachable
 }
 
 /// Quick mode keeps its documented env semantics: any set, non-empty value
@@ -184,9 +203,7 @@ std::vector<std::pair<std::string, std::string>> EngineConfig::KnobTable()
     const {
   std::vector<std::pair<std::string, std::string>> rows;
   rows.emplace_back("threads", StrFormat("%zu", threads));
-  rows.emplace_back("kernel", kernel == core::SweepKernel::kScalar
-                                  ? "scalar"
-                                  : "incremental");
+  rows.emplace_back("kernel", KernelName(kernel));
   rows.emplace_back("quick", quick ? "1" : "0");
   rows.emplace_back("bench_json", bench_json_path);
   rows.emplace_back("artifact_json", artifact_json_path);

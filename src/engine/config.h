@@ -26,7 +26,9 @@ namespace costsense::engine {
 ///
 ///   threads        COSTSENSE_THREADS        integer; 0/unset = hardware
 ///                                           concurrency
-///   kernel         COSTSENSE_KERNEL         "scalar" | "incremental"
+///   kernel         COSTSENSE_KERNEL         "scalar" | "incremental" |
+///                                           "simd" (falls back to
+///                                           incremental without AVX2)
 ///   quick          COSTSENSE_QUICK          unset/""/"0" off, else on
 ///   bench_json     COSTSENSE_BENCH_JSON     perf-JSON append path
 ///   artifact_json  COSTSENSE_ARTIFACT_JSON  structured-artifact sidecar

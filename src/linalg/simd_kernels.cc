@@ -1,0 +1,475 @@
+#include "linalg/simd_kernels.h"
+
+#include "common/macros.h"
+#include "linalg/kernels.h"
+
+// Backend selection. COSTSENSE_SIMD (CMake option, default ON) compiles
+// the explicit vector paths at all; within them, the AVX2 implementations
+// are emitted with a per-function target attribute (no special compile
+// flags, so the rest of the translation unit — and the portable fallback —
+// still runs on any x86-64) and chosen at runtime via CPUID. The portable
+// fallback uses std::experimental::simd where libstdc++ provides it, and
+// degrades to the exact scalar kernels otherwise.
+//
+// This file is the one place raw intrinsics are permitted (lint rule R6).
+#if defined(COSTSENSE_SIMD)
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define COSTSENSE_SIMD_X86 1
+#endif
+#if __has_include(<experimental/simd>)
+#include <experimental/simd>
+#define COSTSENSE_SIMD_STDX 1
+#endif
+#endif
+
+namespace costsense::linalg {
+namespace {
+
+/// Cross-lane reduction in the exact comparison order of the scalar
+/// kernels' Min4 (kernels.cc): the lane values here equal the scalar
+/// code's four accumulators bit for bit, so reducing them in the same
+/// order reproduces the scalar return value exactly, NaNs included.
+inline double Min4(double m0, double m1, double m2, double m3) {
+  const double a = m0 < m1 ? m0 : m1;
+  const double b = m2 < m3 ? m2 : m3;
+  return a < b ? a : b;
+}
+
+#if defined(COSTSENSE_SIMD_X86)
+
+bool CpuHasAvx2() {
+  // The screen-only dot/mat-vec paths use FMA, so the "avx2" backend
+  // demands both features. Every AVX2-era x86 core ships FMA; a
+  // hypothetical avx2-without-fma host just takes the portable path.
+  static const bool has = __builtin_cpu_supports("avx2") != 0 &&
+                          __builtin_cpu_supports("fma") != 0;
+  return has;
+}
+
+// The bit-identical kernels (AxpyMin / AxpyScreen / MinValue) deliberately
+// use separate multiply and add intrinsics: their target attribute enables
+// only "avx2", so the compiler cannot contract them, and every lane
+// computes y[i] + alpha * x[i] with exactly the scalar code's two
+// roundings. The screen-only reductions (DotRaw / MatVecRowMajor) are
+// estimates by contract — they reassociate anyway — so they DO fuse with
+// FMA: a single rounding per term (error no worse than mul+add) and half
+// the FP uops, which matters because the refresh mat-vec dominates
+// certified segments. Loads are unaligned on purpose — PlanMatrix columns
+// are arbitrary offsets into one heap buffer, and loadu on aligned data
+// costs nothing on AVX2 hardware.
+
+__attribute__((target("avx2,fma"))) double DotRawAvx2(const double* a,
+                                                      const double* b,
+                                                      size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 4),
+                           _mm256_loadu_pd(b + i + 4), acc1);
+  }
+  if (i + 4 <= n) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           acc0);
+    i += 4;
+  }
+  const __m256d acc = _mm256_add_pd(acc0, acc1);
+  double lanes[4];
+  _mm256_storeu_pd(lanes, acc);
+  double s = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+__attribute__((target("avx2,fma"))) void MatVecRowMajorAvx2(const double* a,
+                                                            size_t rows,
+                                                            size_t cols,
+                                                            const double* x,
+                                                            double* out) {
+  size_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    const double* a0 = a + (r + 0) * cols;
+    const double* a1 = a + (r + 1) * cols;
+    const double* a2 = a + (r + 2) * cols;
+    const double* a3 = a + (r + 3) * cols;
+    __m256d s0 = _mm256_setzero_pd();
+    __m256d s1 = _mm256_setzero_pd();
+    __m256d s2 = _mm256_setzero_pd();
+    __m256d s3 = _mm256_setzero_pd();
+    size_t j = 0;
+    for (; j + 4 <= cols; j += 4) {
+      const __m256d xv = _mm256_loadu_pd(x + j);
+      s0 = _mm256_fmadd_pd(_mm256_loadu_pd(a0 + j), xv, s0);
+      s1 = _mm256_fmadd_pd(_mm256_loadu_pd(a1 + j), xv, s1);
+      s2 = _mm256_fmadd_pd(_mm256_loadu_pd(a2 + j), xv, s2);
+      s3 = _mm256_fmadd_pd(_mm256_loadu_pd(a3 + j), xv, s3);
+    }
+    double l0[4], l1[4], l2[4], l3[4];
+    _mm256_storeu_pd(l0, s0);
+    _mm256_storeu_pd(l1, s1);
+    _mm256_storeu_pd(l2, s2);
+    _mm256_storeu_pd(l3, s3);
+    double t0 = (l0[0] + l0[1]) + (l0[2] + l0[3]);
+    double t1 = (l1[0] + l1[1]) + (l1[2] + l1[3]);
+    double t2 = (l2[0] + l2[1]) + (l2[2] + l2[3]);
+    double t3 = (l3[0] + l3[1]) + (l3[2] + l3[3]);
+    for (; j < cols; ++j) {
+      const double xj = x[j];
+      t0 += a0[j] * xj;
+      t1 += a1[j] * xj;
+      t2 += a2[j] * xj;
+      t3 += a3[j] * xj;
+    }
+    out[r + 0] = t0;
+    out[r + 1] = t1;
+    out[r + 2] = t2;
+    out[r + 3] = t3;
+  }
+  for (; r < rows; ++r) {
+    out[r] = DotRawAvx2(a + r * cols, x, cols);
+  }
+}
+
+// Why widening the accumulator set preserves the scalar result: with the
+// `v < m ? v : m` blend, a NaN candidate never displaces an accumulator,
+// and an accumulator can only BE NaN if its seed was. Seed every
+// accumulator lane with the same first element and the result is
+// exactly "NaN if the first element is NaN, else the minimum of the
+// first element and every non-NaN element" — independent of how the
+// elements are partitioned across lanes, because min over the surviving
+// candidates is associative and commutative. The scalar kernel's
+// four-accumulator result is that same value, so any lane count and any
+// reduction order of same-seeded accumulators reproduces it bit for bit,
+// with one caveat: a minimum of zero has two encodings (+0.0 == -0.0
+// compare equal, so which one survives a tie is partition-dependent) and
+// may come back with the other sign. Every caller treats the returned
+// minimum as a value (and a non-positive one as "go re-evaluate
+// exactly"), so the sign of zero is unobservable — see the header.
+// Four accumulator vectors (16 elements per iteration) break the
+// loop-carried min_pd latency chain that a single vector would serialize
+// on — that chain, not ALU width, is what bounds the scalar kernel too.
+
+__attribute__((target("avx2"))) double AxpyMinAvx2(size_t n, double alpha,
+                                                   const double* x,
+                                                   double* y) {
+  const double first = y[0] + alpha * x[0];
+  y[0] = first;
+  __m256d m0v = _mm256_set1_pd(first);
+  __m256d m1v = m0v;
+  __m256d m2v = m0v;
+  __m256d m3v = m0v;
+  const __m256d av = _mm256_set1_pd(alpha);
+  size_t i = 1;
+  for (; i + 16 <= n; i += 16) {
+    const __m256d v0 = _mm256_add_pd(
+        _mm256_loadu_pd(y + i), _mm256_mul_pd(av, _mm256_loadu_pd(x + i)));
+    const __m256d v1 =
+        _mm256_add_pd(_mm256_loadu_pd(y + i + 4),
+                      _mm256_mul_pd(av, _mm256_loadu_pd(x + i + 4)));
+    const __m256d v2 =
+        _mm256_add_pd(_mm256_loadu_pd(y + i + 8),
+                      _mm256_mul_pd(av, _mm256_loadu_pd(x + i + 8)));
+    const __m256d v3 =
+        _mm256_add_pd(_mm256_loadu_pd(y + i + 12),
+                      _mm256_mul_pd(av, _mm256_loadu_pd(x + i + 12)));
+    _mm256_storeu_pd(y + i, v0);
+    _mm256_storeu_pd(y + i + 4, v1);
+    _mm256_storeu_pd(y + i + 8, v2);
+    _mm256_storeu_pd(y + i + 12, v3);
+    m0v = _mm256_min_pd(v0, m0v);
+    m1v = _mm256_min_pd(v1, m1v);
+    m2v = _mm256_min_pd(v2, m2v);
+    m3v = _mm256_min_pd(v3, m3v);
+  }
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_add_pd(_mm256_loadu_pd(y + i),
+                                    _mm256_mul_pd(av, _mm256_loadu_pd(x + i)));
+    _mm256_storeu_pd(y + i, v);
+    m0v = _mm256_min_pd(v, m0v);
+  }
+  const __m256d m =
+      _mm256_min_pd(_mm256_min_pd(m0v, m1v), _mm256_min_pd(m2v, m3v));
+  double lanes[4];
+  _mm256_storeu_pd(lanes, m);
+  double m0 = lanes[0];
+  for (; i < n; ++i) {
+    const double v = y[i] + alpha * x[i];
+    y[i] = v;
+    m0 = v < m0 ? v : m0;
+  }
+  return Min4(m0, lanes[1], lanes[2], lanes[3]);
+}
+
+__attribute__((target("avx2"))) bool AxpyScreenAvx2(size_t n, double alpha,
+                                                    const double* x, double* y,
+                                                    double init_cost,
+                                                    double threshold) {
+  // Same axpy body, accumulator discipline and reduction as AxpyMinAvx2 —
+  // the minimum must be the scalar chain's exact value (a first-element
+  // NaN masks every later candidate) or the verdict would diverge from
+  // the formula on AxpyMin's return. Only the final screen comparison is
+  // fused in; the one horizontal reduce per call is noise next to the
+  // n-element axpy.
+  const double first = y[0] + alpha * x[0];
+  y[0] = first;
+  __m256d m0v = _mm256_set1_pd(first);
+  __m256d m1v = m0v;
+  __m256d m2v = m0v;
+  __m256d m3v = m0v;
+  const __m256d av = _mm256_set1_pd(alpha);
+  size_t i = 1;
+  for (; i + 16 <= n; i += 16) {
+    const __m256d v0 = _mm256_add_pd(
+        _mm256_loadu_pd(y + i), _mm256_mul_pd(av, _mm256_loadu_pd(x + i)));
+    const __m256d v1 =
+        _mm256_add_pd(_mm256_loadu_pd(y + i + 4),
+                      _mm256_mul_pd(av, _mm256_loadu_pd(x + i + 4)));
+    const __m256d v2 =
+        _mm256_add_pd(_mm256_loadu_pd(y + i + 8),
+                      _mm256_mul_pd(av, _mm256_loadu_pd(x + i + 8)));
+    const __m256d v3 =
+        _mm256_add_pd(_mm256_loadu_pd(y + i + 12),
+                      _mm256_mul_pd(av, _mm256_loadu_pd(x + i + 12)));
+    _mm256_storeu_pd(y + i, v0);
+    _mm256_storeu_pd(y + i + 4, v1);
+    _mm256_storeu_pd(y + i + 8, v2);
+    _mm256_storeu_pd(y + i + 12, v3);
+    m0v = _mm256_min_pd(v0, m0v);
+    m1v = _mm256_min_pd(v1, m1v);
+    m2v = _mm256_min_pd(v2, m2v);
+    m3v = _mm256_min_pd(v3, m3v);
+  }
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_add_pd(_mm256_loadu_pd(y + i),
+                                    _mm256_mul_pd(av, _mm256_loadu_pd(x + i)));
+    _mm256_storeu_pd(y + i, v);
+    m0v = _mm256_min_pd(v, m0v);
+  }
+  const __m256d m =
+      _mm256_min_pd(_mm256_min_pd(m0v, m1v), _mm256_min_pd(m2v, m3v));
+  double lanes[4];
+  _mm256_storeu_pd(lanes, m);
+  double m0 = lanes[0];
+  for (; i < n; ++i) {
+    const double v = y[i] + alpha * x[i];
+    y[i] = v;
+    m0 = v < m0 ? v : m0;
+  }
+  const double cheapest = Min4(m0, lanes[1], lanes[2], lanes[3]);
+  return cheapest <= 0.0 || init_cost > threshold * cheapest;
+}
+
+__attribute__((target("avx2"))) double MinValueAvx2(const double* x,
+                                                    size_t n) {
+  __m256d m0v = _mm256_set1_pd(x[0]);
+  __m256d m1v = m0v;
+  __m256d m2v = m0v;
+  __m256d m3v = m0v;
+  size_t i = 1;
+  for (; i + 16 <= n; i += 16) {
+    m0v = _mm256_min_pd(_mm256_loadu_pd(x + i), m0v);
+    m1v = _mm256_min_pd(_mm256_loadu_pd(x + i + 4), m1v);
+    m2v = _mm256_min_pd(_mm256_loadu_pd(x + i + 8), m2v);
+    m3v = _mm256_min_pd(_mm256_loadu_pd(x + i + 12), m3v);
+  }
+  for (; i + 4 <= n; i += 4) {
+    m0v = _mm256_min_pd(_mm256_loadu_pd(x + i), m0v);
+  }
+  const __m256d m =
+      _mm256_min_pd(_mm256_min_pd(m0v, m1v), _mm256_min_pd(m2v, m3v));
+  double lanes[4];
+  _mm256_storeu_pd(lanes, m);
+  double m0 = lanes[0];
+  for (; i < n; ++i) {
+    m0 = x[i] < m0 ? x[i] : m0;
+  }
+  return Min4(m0, lanes[1], lanes[2], lanes[3]);
+}
+
+#else   // !COSTSENSE_SIMD_X86
+
+bool CpuHasAvx2() { return false; }
+
+#endif  // COSTSENSE_SIMD_X86
+
+#if defined(COSTSENSE_SIMD_STDX)
+
+namespace stdx = std::experimental;
+using DoubleV = stdx::fixed_size_simd<double, 4>;
+
+double DotRawStdx(const double* a, const double* b, size_t n) {
+  DoubleV acc(0.0);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    DoubleV av(a + i, stdx::element_aligned);
+    DoubleV bv(b + i, stdx::element_aligned);
+    acc += av * bv;
+  }
+  double s = ((acc[0] + acc[1]) + (acc[2] + acc[3]));
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+void MatVecRowMajorStdx(const double* a, size_t rows, size_t cols,
+                        const double* x, double* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    out[r] = DotRawStdx(a + r * cols, x, cols);
+  }
+}
+
+double AxpyMinStdx(size_t n, double alpha, const double* x, double* y) {
+  // Same lane partition as the scalar kernel (see AxpyMinAvx2): the
+  // element-wise multiply and add round exactly like the scalar
+  // expression (this file is compiled with fp-contract off, so no FMA
+  // fusion), and the where() blend is the scalar `v < m ? v : m`.
+  const double first = y[0] + alpha * x[0];
+  y[0] = first;
+  DoubleV m(first);
+  const DoubleV av(alpha);
+  size_t i = 1;
+  for (; i + 4 <= n; i += 4) {
+    DoubleV yv(y + i, stdx::element_aligned);
+    DoubleV xv(x + i, stdx::element_aligned);
+    const DoubleV t = av * xv;
+    const DoubleV v = yv + t;
+    v.copy_to(y + i, stdx::element_aligned);
+    stdx::where(v < m, m) = v;
+  }
+  double m0 = m[0];
+  for (; i < n; ++i) {
+    const double v = y[i] + alpha * x[i];
+    y[i] = v;
+    m0 = v < m0 ? v : m0;
+  }
+  return Min4(m0, m[1], m[2], m[3]);
+}
+
+bool AxpyScreenStdx(size_t n, double alpha, const double* x, double* y,
+                    double init_cost, double threshold) {
+  const double first = y[0] + alpha * x[0];
+  y[0] = first;
+  DoubleV m(first);
+  const DoubleV av(alpha);
+  size_t i = 1;
+  for (; i + 4 <= n; i += 4) {
+    DoubleV yv(y + i, stdx::element_aligned);
+    DoubleV xv(x + i, stdx::element_aligned);
+    const DoubleV t = av * xv;
+    const DoubleV v = yv + t;
+    v.copy_to(y + i, stdx::element_aligned);
+    stdx::where(v < m, m) = v;
+  }
+  double m0 = m[0];
+  for (; i < n; ++i) {
+    const double v = y[i] + alpha * x[i];
+    y[i] = v;
+    m0 = v < m0 ? v : m0;
+  }
+  const double cheapest = Min4(m0, m[1], m[2], m[3]);
+  return cheapest <= 0.0 || init_cost > threshold * cheapest;
+}
+
+double MinValueStdx(const double* x, size_t n) {
+  DoubleV m(x[0]);
+  size_t i = 1;
+  for (; i + 4 <= n; i += 4) {
+    DoubleV xv(x + i, stdx::element_aligned);
+    stdx::where(xv < m, m) = xv;
+  }
+  double m0 = m[0];
+  for (; i < n; ++i) {
+    m0 = x[i] < m0 ? x[i] : m0;
+  }
+  return Min4(m0, m[1], m[2], m[3]);
+}
+
+#endif  // COSTSENSE_SIMD_STDX
+
+}  // namespace
+
+bool SimdCompiledIn() {
+#if defined(COSTSENSE_SIMD)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool SimdSweepAvailable() { return SimdCompiledIn() && CpuHasAvx2(); }
+
+const char* SimdBackendName() {
+  if (!SimdCompiledIn()) return "scalar";
+  if (CpuHasAvx2()) return "avx2";
+  return "portable";
+}
+
+double DotRawSimd(const double* a, const double* b, size_t n) {
+#if defined(COSTSENSE_SIMD_X86)
+  if (CpuHasAvx2()) return DotRawAvx2(a, b, n);
+#endif
+#if defined(COSTSENSE_SIMD_STDX)
+  return DotRawStdx(a, b, n);
+#else
+  return DotRaw(a, b, n);
+#endif
+}
+
+void MatVecRowMajorSimd(const double* a, size_t rows, size_t cols,
+                        const double* x, double* out) {
+#if defined(COSTSENSE_SIMD_X86)
+  if (CpuHasAvx2()) {
+    MatVecRowMajorAvx2(a, rows, cols, x, out);
+    return;
+  }
+#endif
+#if defined(COSTSENSE_SIMD_STDX)
+  MatVecRowMajorStdx(a, rows, cols, x, out);
+#else
+  MatVecRowMajor(a, rows, cols, x, out);
+#endif
+}
+
+double AxpyMinSimd(size_t n, double alpha, const double* x, double* y) {
+  COSTSENSE_CHECK(n > 0);
+#if defined(COSTSENSE_SIMD_X86)
+  if (CpuHasAvx2()) return AxpyMinAvx2(n, alpha, x, y);
+#endif
+#if defined(COSTSENSE_SIMD_STDX)
+  return AxpyMinStdx(n, alpha, x, y);
+#else
+  return AxpyMin(n, alpha, x, y);
+#endif
+}
+
+bool AxpyScreenSimd(size_t n, double alpha, const double* x, double* y,
+                    double init_cost, double threshold) {
+  COSTSENSE_CHECK(n > 0);
+#if defined(COSTSENSE_SIMD_X86)
+  if (CpuHasAvx2()) {
+    return AxpyScreenAvx2(n, alpha, x, y, init_cost, threshold);
+  }
+#endif
+#if defined(COSTSENSE_SIMD_STDX)
+  return AxpyScreenStdx(n, alpha, x, y, init_cost, threshold);
+#else
+  const double cheapest = AxpyMin(n, alpha, x, y);
+  return cheapest <= 0.0 || init_cost > threshold * cheapest;
+#endif
+}
+
+double MinValueSimd(const double* x, size_t n) {
+  COSTSENSE_CHECK(n > 0);
+#if defined(COSTSENSE_SIMD_X86)
+  if (CpuHasAvx2()) return MinValueAvx2(x, n);
+#endif
+#if defined(COSTSENSE_SIMD_STDX)
+  return MinValueStdx(x, n);
+#else
+  return MinValue(x, n);
+#endif
+}
+
+}  // namespace costsense::linalg

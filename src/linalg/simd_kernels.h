@@ -1,0 +1,88 @@
+#ifndef COSTSENSE_LINALG_SIMD_KERNELS_H_
+#define COSTSENSE_LINALG_SIMD_KERNELS_H_
+
+#include <cstddef>
+
+namespace costsense::linalg {
+
+/// Explicitly vectorized twins of the kernels in linalg/kernels.h, behind
+/// one runtime dispatch point. Raw intrinsics are confined to
+/// src/linalg/simd* by lint rule R6; everything else calls through this
+/// header.
+///
+/// Two result contracts coexist here, and each function names its own:
+///
+///  * AxpyMinSimd / MinValueSimd return the scalar twins' exact minimum
+///    for every input, including NaN and infinities (element-wise
+///    mul+add with no FMA contraction, `v < m ? v : m` lane blends with
+///    the scalar NaN semantics; AxpyMinSimd's updated y[] values are
+///    always bit-identical to AxpyMin's). The one representational
+///    freedom: a minimum equal to zero may come back as the other
+///    signed zero (+0.0 vs -0.0 compare equal, so tie survival is
+///    partition-dependent). Callers compare the minimum as a value —
+///    and both sweeps route any non-positive minimum to an exact
+///    re-evaluation — so the two encodings are indistinguishable.
+///  * DotRawSimd / MatVecRowMajorSimd reassociate the reduction across
+///    lanes, so they are **estimates** (relative error ~n·eps for
+///    same-signed terms). They may only feed *screening* decisions whose
+///    winners are re-evaluated with the exact left-to-right scalar
+///    kernels before any result is emitted — the established
+///    exact-recheck pattern of the incremental sweep (DESIGN.md §5b/§5g).
+///
+/// Backend selection: when the library is compiled with COSTSENSE_SIMD
+/// (the default) and the host CPU reports AVX2, the AVX2 paths run;
+/// otherwise a portable std::experimental::simd implementation (or a
+/// plain unrolled loop where that header is unavailable) serves the same
+/// contracts. The sweep-kernel dispatcher additionally demands real AVX2
+/// before it claims the `simd` backend — see SimdSweepAvailable().
+
+/// True when the library was built with the COSTSENSE_SIMD CMake option
+/// (explicit vector paths compiled in at all).
+bool SimdCompiledIn();
+
+/// True when SimdCompiledIn() and the host CPU supports AVX2 (runtime
+/// CPUID check, cached). This is the gate `SweepKernel::kSimd` uses: on
+/// hosts where it is false the sweep falls back to the incremental
+/// kernel, because the portable path has no throughput edge over the
+/// 4-way-unrolled scalar kernels.
+bool SimdSweepAvailable();
+
+/// Human-readable backend the dispatched calls will take: "avx2",
+/// "portable", or "scalar" (COSTSENSE_SIMD off). Bench sidecars record it
+/// so throughput numbers are comparable across machines.
+const char* SimdBackendName();
+
+/// Reassociated dot product (screen-only contract; see header comment).
+double DotRawSimd(const double* a, const double* b, size_t n);
+
+/// Reassociated row-major mat-vec, out[r] = A[r] . x (screen-only
+/// contract). Same shape conventions as MatVecRowMajor.
+void MatVecRowMajorSimd(const double* a, size_t rows, size_t cols,
+                        const double* x, double* out);
+
+/// Fused axpy + min: updated y[] values bit-identical to AxpyMin's, and
+/// the same returned minimum for every input (up to the sign of a zero
+/// minimum; see the header comment). n must be positive.
+double AxpyMinSimd(size_t n, double alpha, const double* x, double* y);
+
+/// One fused Gray-sweep screening step: updates y[i] += alpha * x[i]
+/// (bit-identical to Axpy/AxpyMin) and returns the sweep's screen verdict
+///
+///   min(y') <= 0.0  ||  init_cost > threshold * min(y')
+///
+/// where min(y') is AxpyMin's exact return value — the minimum never
+/// touches memory, but it is the full scalar-chain reduction, so the
+/// decision equals evaluating the formula on AxpyMin's result for every
+/// input: a NaN minimum never fires (both comparisons are false), and a
+/// zero minimum fires through the <= 0 arm whatever its sign, so the
+/// zero-sign freedom above is unobservable here too. n must be positive.
+bool AxpyScreenSimd(size_t n, double alpha, const double* x, double* y,
+                    double init_cost, double threshold);
+
+/// Smallest element of x, same value as MinValue for every input (up to
+/// the sign of a zero minimum). n must be positive.
+double MinValueSimd(const double* x, size_t n);
+
+}  // namespace costsense::linalg
+
+#endif  // COSTSENSE_LINALG_SIMD_KERNELS_H_

@@ -7,8 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <bit>
+#include <cmath>
+#include <cstring>
 #include <limits>
 #include <set>
+#include <vector>
 
 #include "common/rng.h"
 #include "core/dominance.h"
@@ -16,6 +19,7 @@
 #include "core/worst_case.h"
 #include "engine/config.h"
 #include "linalg/kernels.h"
+#include "linalg/simd_kernels.h"
 #include "runtime/thread_pool.h"
 #include "tests/core/fake_oracle.h"
 
@@ -224,17 +228,208 @@ TEST(SweepKernelTest, PlanSweepKernelsMatchNaiveSerialAndPooled) {
     if (t % 7 == 0) {
       EXPECT_EQ(want.degenerate_vertices, box.VertexCount());
     }
-    for (SweepKernel kernel :
-         {SweepKernel::kScalar, SweepKernel::kIncremental}) {
+    for (SweepKernel kernel : {SweepKernel::kScalar, SweepKernel::kIncremental,
+                               SweepKernel::kSimd}) {
       ExpectSameResult(
           want, WorstCaseOverPlansByVertices(initial, plans, box, kernel));
       ExpectSameResult(want, WorstCaseOverPlansByVertices(initial, plans, box,
                                                           kernel, &pool));
     }
     // The config-selected default overload must agree too (it is one of
-    // the two kernels, both already shown equal to the reference).
+    // the three kernels, all already shown equal to the reference).
     ExpectSameResult(want,
                      WorstCaseOverPlansByVertices(initial, plans, box));
+  }
+}
+
+TEST(SweepKernelTest, PlanSweepKernelsMatchWithNegativeUsages) {
+  // Negative usage entries break the cost monotonicity the simd kernel's
+  // segment certificates rely on; the kernel must detect them and fall
+  // back to per-flip screening, still byte-identical to the reference.
+  Rng rng(456);
+  runtime::ThreadPool pool(3);
+  for (int t = 0; t < 10; ++t) {
+    const size_t dims = 4 + rng.Index(6);
+    auto plans = RandomPlans(rng, dims, 2 + rng.Index(10));
+    for (auto& plan : plans) {
+      if (rng.Uniform() < 0.5) {
+        plan.usage[rng.Index(dims)] *= -1.0;
+      }
+    }
+    const Box box = RandomBox(rng, dims);
+    const UsageVector& initial = plans[0].usage;
+    const WorstCaseResult want = NaivePlansSweep(initial, plans, box);
+    for (SweepKernel kernel : {SweepKernel::kScalar, SweepKernel::kIncremental,
+                               SweepKernel::kSimd}) {
+      ExpectSameResult(
+          want, WorstCaseOverPlansByVertices(initial, plans, box, kernel));
+      ExpectSameResult(want, WorstCaseOverPlansByVertices(initial, plans, box,
+                                                          kernel, &pool));
+    }
+  }
+}
+
+TEST(SweepKernelTest, SimdKernelMatchesAtCertificateScale) {
+  // Big enough (64 aligned segments, a real plan set) that the simd
+  // kernel's segment certificates actually fire; the result must still be
+  // byte-identical to the scalar reference, serial and pooled.
+  Rng rng(0xcafe);
+  runtime::ThreadPool pool(3);
+  const size_t dims = 12;
+  const auto plans = RandomPlans(rng, dims, 64);
+  const Box box = RandomBox(rng, dims);
+  const UsageVector& initial = plans[0].usage;
+  const WorstCaseResult want =
+      WorstCaseOverPlansByVertices(initial, plans, box, SweepKernel::kScalar);
+  ExpectSameResult(want, WorstCaseOverPlansByVertices(initial, plans, box,
+                                                      SweepKernel::kSimd));
+  ExpectSameResult(want, WorstCaseOverPlansByVertices(
+                             initial, plans, box, SweepKernel::kSimd, &pool));
+}
+
+TEST(SweepKernelTest, SimdRequestResolvesToARealKernel) {
+  EXPECT_EQ(EffectiveSweepKernel(SweepKernel::kScalar), SweepKernel::kScalar);
+  EXPECT_EQ(EffectiveSweepKernel(SweepKernel::kIncremental),
+            SweepKernel::kIncremental);
+  const SweepKernel resolved = EffectiveSweepKernel(SweepKernel::kSimd);
+  if (linalg::SimdSweepAvailable()) {
+    EXPECT_EQ(resolved, SweepKernel::kSimd);
+  } else {
+    EXPECT_EQ(resolved, SweepKernel::kIncremental);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property tests for the SIMD primitives themselves (linalg/simd_kernels.h):
+// every length hits a different tail shape (the AVX2 paths peel 16-wide,
+// 4-wide and scalar remainders), buffers are deliberately mis-aligned, and
+// NaN / infinity / signed-zero values are injected to pin down the documented
+// result contracts against the scalar twins.
+// ---------------------------------------------------------------------------
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Random value with occasional non-finite and signed-zero spice.
+double SpicedValue(Rng& rng) {
+  const double roll = rng.Uniform();
+  if (roll < 0.04) return kNaN;
+  if (roll < 0.08) return rng.Uniform() < 0.5 ? kInf : -kInf;
+  if (roll < 0.14) return rng.Uniform() < 0.5 ? 0.0 : -0.0;
+  const double mag = rng.LogUniform(1e-3, 1e3);
+  return rng.Uniform() < 0.5 ? mag : -mag;
+}
+
+TEST(SimdPrimitiveTest, AxpyMinMatchesScalarOnTailsUnalignedAndNonFinite) {
+  Rng rng(2024);
+  // Lengths cover every remainder class of the 16-wide main loop and the
+  // 4-wide cleanup, plus a couple of large sizes.
+  for (size_t n = 1; n <= 40; ++n) {
+    for (size_t offset : {size_t{0}, size_t{1}, size_t{3}}) {
+      // Over-allocate and index off the start so the working pointers are
+      // not 32-byte aligned; the kernels take unaligned loads by contract.
+      std::vector<double> xbuf(n + offset), ybuf(n + offset);
+      for (size_t i = 0; i < n; ++i) {
+        xbuf[offset + i] = SpicedValue(rng);
+        ybuf[offset + i] = SpicedValue(rng);
+      }
+      const double alpha = SpicedValue(rng);
+      std::vector<double> want_y(ybuf), got_y(ybuf);
+      const double want_min =
+          linalg::AxpyMin(n, alpha, xbuf.data() + offset,
+                          want_y.data() + offset);
+      const double got_min =
+          linalg::AxpyMinSimd(n, alpha, xbuf.data() + offset,
+                              got_y.data() + offset);
+      // Updated y[] values must be bit-identical (same mul + add per lane).
+      EXPECT_EQ(0, std::memcmp(want_y.data(), got_y.data(),
+                               want_y.size() * sizeof(double)))
+          << "n=" << n << " offset=" << offset;
+      // The minimum matches as a value: NaN iff NaN, else equal (a zero
+      // minimum may differ in sign, and EXPECT_EQ treats +-0 as equal —
+      // exactly the documented freedom).
+      if (std::isnan(want_min)) {
+        EXPECT_TRUE(std::isnan(got_min)) << "n=" << n << " offset=" << offset;
+      } else {
+        EXPECT_EQ(want_min, got_min) << "n=" << n << " offset=" << offset;
+      }
+    }
+  }
+}
+
+TEST(SimdPrimitiveTest, MinValueMatchesScalarOnTailsUnalignedAndNonFinite) {
+  Rng rng(2025);
+  for (size_t n = 1; n <= 40; ++n) {
+    for (size_t offset : {size_t{0}, size_t{1}, size_t{2}}) {
+      std::vector<double> buf(n + offset);
+      for (size_t i = 0; i < n; ++i) buf[offset + i] = SpicedValue(rng);
+      const double want = linalg::MinValue(buf.data() + offset, n);
+      const double got = linalg::MinValueSimd(buf.data() + offset, n);
+      if (std::isnan(want)) {
+        EXPECT_TRUE(std::isnan(got)) << "n=" << n << " offset=" << offset;
+      } else {
+        EXPECT_EQ(want, got) << "n=" << n << " offset=" << offset;
+      }
+    }
+  }
+}
+
+TEST(SimdPrimitiveTest, AxpyScreenVerdictEqualsFormulaOnScalarMin) {
+  Rng rng(2026);
+  for (int t = 0; t < 400; ++t) {
+    const size_t n = 1 + rng.Index(48);
+    const size_t offset = rng.Index(4);
+    std::vector<double> xbuf(n + offset), ybuf(n + offset);
+    for (size_t i = 0; i < n; ++i) {
+      xbuf[offset + i] = SpicedValue(rng);
+      ybuf[offset + i] = SpicedValue(rng);
+    }
+    const double alpha = SpicedValue(rng);
+    // The sweep only ever passes threshold >= 0 (gtc * (1 - guard) with
+    // gtc >= 0) and a finite or NaN init_cost; cover zero thresholds too.
+    const double threshold =
+        rng.Uniform() < 0.2 ? 0.0 : rng.LogUniform(1e-6, 1e6);
+    const double init_cost =
+        rng.Uniform() < 0.1 ? kNaN : SpicedValue(rng);
+    std::vector<double> want_y(ybuf), got_y(ybuf);
+    const double want_min = linalg::AxpyMin(n, alpha, xbuf.data() + offset,
+                                            want_y.data() + offset);
+    const bool want =
+        want_min <= 0.0 || init_cost > threshold * want_min;
+    const bool got =
+        linalg::AxpyScreenSimd(n, alpha, xbuf.data() + offset,
+                               got_y.data() + offset, init_cost, threshold);
+    EXPECT_EQ(want, got) << "n=" << n << " offset=" << offset
+                         << " min=" << want_min << " init=" << init_cost
+                         << " thr=" << threshold;
+    EXPECT_EQ(0, std::memcmp(want_y.data(), got_y.data(),
+                             want_y.size() * sizeof(double)))
+        << "n=" << n << " offset=" << offset;
+  }
+}
+
+TEST(SimdPrimitiveTest, ScreenOnlyKernelsStayWithinReassociationError) {
+  // DotRawSimd / MatVecRowMajorSimd are estimates by contract — they only
+  // feed screening. Against well-conditioned same-signed inputs they must
+  // stay within a small multiple of n * eps relative error of the exact
+  // left-to-right kernels.
+  Rng rng(2027);
+  for (int t = 0; t < 50; ++t) {
+    const size_t rows = 1 + rng.Index(20);
+    const size_t cols = 1 + rng.Index(24);
+    std::vector<double> a(rows * cols), x(cols), want(rows), got(rows);
+    for (double& v : a) v = rng.LogUniform(1e-2, 1e2);
+    for (double& v : x) v = rng.LogUniform(1e-2, 1e2);
+    linalg::MatVecRowMajor(a.data(), rows, cols, x.data(), want.data());
+    linalg::MatVecRowMajorSimd(a.data(), rows, cols, x.data(), got.data());
+    const double tol = 16.0 * static_cast<double>(cols) *
+                       std::numeric_limits<double>::epsilon();
+    for (size_t r = 0; r < rows; ++r) {
+      EXPECT_NEAR(got[r] / want[r], 1.0, tol) << "row " << r;
+    }
+    const double dot_want = linalg::DotRaw(a.data(), x.data(), cols);
+    const double dot_got = linalg::DotRawSimd(a.data(), x.data(), cols);
+    EXPECT_NEAR(dot_got / dot_want, 1.0, tol);
   }
 }
 
@@ -252,8 +447,8 @@ TEST(SweepKernelTest, OracleSweepKernelsMatchNaiveSerialAndPooled) {
 
     FakeOracle ref_oracle(plans, /*white_box=*/false);
     const WorstCaseResult want = NaiveOracleSweep(ref_oracle, initial, box);
-    for (SweepKernel kernel :
-         {SweepKernel::kScalar, SweepKernel::kIncremental}) {
+    for (SweepKernel kernel : {SweepKernel::kScalar, SweepKernel::kIncremental,
+                               SweepKernel::kSimd}) {
       FakeOracle serial_oracle(plans, false);
       const Result<WorstCaseResult> serial =
           WorstCaseByVertexSweep(serial_oracle, initial, box, kernel);

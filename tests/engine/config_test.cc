@@ -162,7 +162,10 @@ TEST(EngineConfigTest, KnobTableRoundTripsEveryKnob) {
   original.fault_rate = 0.125;  // exact in binary, round-trips through %g
   original.max_retries = 9;
 
-  for (const EngineConfig& seed : {original, EngineConfig()}) {
+  EngineConfig simd = original;
+  simd.kernel = core::SweepKernel::kSimd;
+
+  for (const EngineConfig& seed : {original, simd, EngineConfig()}) {
     EngineConfig rebuilt;
     for (const auto& [key, value] : seed.KnobTable()) {
       const Status st = rebuilt.ApplyOverride(key + "=" + value);

@@ -73,6 +73,7 @@ TEST(EngineCreateTest, MalformedEnvironmentIsInvalidArgument) {
       {"COSTSENSE_THREADS", "banana"},
       {"COSTSENSE_THREADS", "-2"},
       {"COSTSENSE_KERNEL", "quantum"},
+      {"COSTSENSE_KERNEL", "avx512"},
       {"COSTSENSE_CACHE_ENTRIES", "0"},
       {"COSTSENSE_CACHE_SHARDS", "zero"},
       {"COSTSENSE_FAULT_RATE", "1.5"},
@@ -111,6 +112,22 @@ TEST(EngineCreateTest, WellFormedEnvironmentReachesTheEngine) {
   const Result<Engine> engine = Engine::Create(*config);
   ASSERT_TRUE(engine.ok()) << engine.status().ToString();
   EXPECT_EQ(engine->config().kernel, core::SweepKernel::kScalar);
+}
+
+TEST(EngineCreateTest, SimdKernelParsesAndReachesTheEngine) {
+  // "simd" is a valid kernel name on every host; hosts without AVX2
+  // resolve it to the incremental path at sweep time (EffectiveSweepKernel),
+  // not at config-parse or engine-construction time.
+  const size_t built = runtime::ThreadPool::Global().num_threads();
+  const Result<EngineConfig> config = EngineConfig::FromEnv(MapEnv({
+      {"COSTSENSE_THREADS", std::to_string(built)},
+      {"COSTSENSE_KERNEL", "simd"},
+  }));
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  EXPECT_EQ(config->kernel, core::SweepKernel::kSimd);
+  const Result<Engine> engine = Engine::Create(*config);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_EQ(engine->config().kernel, core::SweepKernel::kSimd);
 }
 
 }  // namespace

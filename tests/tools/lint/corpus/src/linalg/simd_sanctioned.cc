@@ -1,0 +1,14 @@
+// Fixture: R6 sanction — src/linalg/simd* is the one tree where raw
+// intrinsics are legal, so nothing here may fire.
+#include <immintrin.h>
+
+namespace corpus {
+
+double FirstLane(const double* p) {
+  const __m256d v = _mm256_loadu_pd(p);
+  double lanes[4];
+  _mm256_storeu_pd(lanes, v);
+  return lanes[0];
+}
+
+}  // namespace corpus

@@ -1,0 +1,16 @@
+// Fixture: R6 — raw SIMD intrinsics outside src/linalg/simd*. The include
+// line, the vector type and the intrinsic call must each fire; the
+// suppressed call carries a justification and must not.
+#include <immintrin.h>
+
+namespace corpus {
+
+double SumLanes(const double* p) {
+  __m256d v = _mm256_loadu_pd(p);
+  double lanes[4];
+  // costsense-lint: allow(R6, "fixture demonstrating a justified escape")
+  _mm256_storeu_pd(lanes, v);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+}  // namespace corpus

@@ -175,6 +175,40 @@ TEST(RulesTest, R5BansGetenvOutsideEngineConfig) {
                   .empty());
 }
 
+TEST(RulesTest, R6BansIntrinsicsOutsideLinalgSimd) {
+  const std::string src =
+      "#include <immintrin.h>\n"
+      "__m256d Load(const double* p) { return _mm256_loadu_pd(p); }\n";
+  // Include line fires once; the vector type and the call fire on line 2.
+  const auto findings = AnalyzeSource("src/core/worst_case.cc", src);
+  EXPECT_EQ(CountRule(findings, Rule::kRawIntrinsics), 3);
+  EXPECT_EQ(CountRule(AnalyzeSource("bench/micro_kernels.cc", src),
+                      Rule::kRawIntrinsics),
+            3);
+  EXPECT_EQ(CountRule(AnalyzeSource("tests/core/kernels_test.cc", src),
+                      Rule::kRawIntrinsics),
+            3);
+  // The sanctioned tree: both the dispatch header and the implementation.
+  EXPECT_TRUE(AnalyzeSource("src/linalg/simd_kernels.cc", src).empty());
+  EXPECT_TRUE(AnalyzeSource("src/linalg/simd_kernels.h", src).empty());
+  // SSE-era prefixes and types are the same rule.
+  EXPECT_EQ(CountRule(AnalyzeSource("src/opt/plan.cc",
+                                    "__m128i v = _mm_setzero_si128();\n"),
+                      Rule::kRawIntrinsics),
+            2);
+  // Suppressions are honored with a justification, same grammar as R2.
+  EXPECT_TRUE(
+      AnalyzeSource("src/storage/layout.cc",
+                    "// costsense-lint: allow(R6, \"measured, documented\")\n"
+                    "__m256i v = _mm256_setzero_si256();\n")
+          .empty());
+  // Names that merely mention simd stay clean: the dispatched API itself
+  // must not trip the rule at call sites.
+  EXPECT_TRUE(AnalyzeSource("src/core/risk.cc",
+                            "double m = linalg::MinValueSimd(x, n);\n")
+                  .empty());
+}
+
 TEST(RulesTest, FprintfToStderrIsNotRawOutput) {
   EXPECT_TRUE(AnalyzeSource("src/opt/plan.cc",
                             "void f() { std::fprintf(stderr, \"d\"); }\n")
@@ -346,7 +380,8 @@ TEST(CorpusTest, GoldenFindings) {
 TEST(CorpusTest, GoldenCoversEveryRule) {
   const std::string expected =
       ReadFile(fs::path(COSTSENSE_LINT_CORPUS_DIR) / "expected_findings.txt");
-  for (const char* id : {"[R1]", "[R2]", "[R3]", "[R4]", "[R5]", "[SUP]"}) {
+  for (const char* id :
+       {"[R1]", "[R2]", "[R3]", "[R4]", "[R5]", "[R6]", "[SUP]"}) {
     EXPECT_NE(expected.find(id), std::string::npos)
         << id << " missing from expected_findings.txt";
   }

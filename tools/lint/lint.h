@@ -32,6 +32,12 @@
 ///       `engine::EngineConfig::FromEnv` is the single place the process
 ///       environment is read, so every knob is typed, validated and visible
 ///       in one config struct.
+///   R6  raw SIMD intrinsics (`_mm*`, `__m128/__m256/__m512`, the
+///       `*intrin.h` headers) are banned outside `src/linalg/simd*`: the
+///       dispatched kernels in linalg/simd_kernels.h are the one place
+///       per-ISA code lives, so every other file stays portable and the
+///       bit-compatibility contracts are auditable in one translation
+///       unit.
 ///
 /// Per-line suppressions:
 ///
@@ -79,14 +85,16 @@ enum class Rule {
   kRawOutput,           // R3
   kNodiscard,           // R4
   kGetenv,              // R5
+  kRawIntrinsics,       // R6
   kBadSuppression,      // SUP: malformed / justification-free allow()
 };
 
-/// "R1".."R5" or "SUP".
+/// "R1".."R6" or "SUP".
 const char* RuleId(Rule rule);
 
-/// Parses "R1".."R5" or the semantic names ("nondeterminism", "unordered",
-/// "raw-output", "nodiscard", "getenv"); returns false for anything else.
+/// Parses "R1".."R6" or the semantic names ("nondeterminism", "unordered",
+/// "raw-output", "nodiscard", "getenv", "intrinsics"); returns false for
+/// anything else.
 bool ParseRuleName(std::string_view name, Rule* out);
 
 struct Finding {

@@ -136,8 +136,8 @@ Suppressions CollectSuppressions(const std::string& file,
     Rule rule;
     if (!ParseRuleName(Trim(rest.substr(0, comma)), &rule)) {
       bad("unknown rule '" + std::string(Trim(rest.substr(0, comma))) +
-          "' in allow(); use R1..R5 or "
-          "nondeterminism/unordered/raw-output/nodiscard/getenv");
+          "' in allow(); use R1..R6 or "
+          "nondeterminism/unordered/raw-output/nodiscard/getenv/intrinsics");
       continue;
     }
     std::string_view justification = Trim(rest.substr(comma + 1));
@@ -211,6 +211,25 @@ const std::set<std::string>& GetenvTokens() {
       "secure_getenv",
   };
   return kSet;
+}
+
+/// R6: raw SIMD surface. Prefix matching catches the whole intrinsic
+/// families (`_mm_*`, `_mm256_*`, `_mm512_*`, the `__m128/__m256/__m512`
+/// vector types) plus the per-ISA intrinsic headers; `#include
+/// <immintrin.h>` lexes its header name as an identifier token, so the
+/// include line is flagged too.
+bool IsIntrinsicToken(const std::string& text) {
+  if (StartsWith(text, "_mm")) return true;
+  if (StartsWith(text, "__m128") || StartsWith(text, "__m256") ||
+      StartsWith(text, "__m512")) {
+    return true;
+  }
+  static const std::set<std::string> kHeaders = {
+      "immintrin", "emmintrin", "xmmintrin", "pmmintrin", "smmintrin",
+      "tmmintrin", "nmmintrin", "wmmintrin", "avxintrin",  "avx2intrin",
+      "x86intrin", "arm_neon",
+  };
+  return kHeaders.count(text) > 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -331,6 +350,8 @@ const char* RuleId(Rule rule) {
       return "R4";
     case Rule::kGetenv:
       return "R5";
+    case Rule::kRawIntrinsics:
+      return "R6";
     case Rule::kBadSuppression:
       return "SUP";
   }
@@ -348,6 +369,8 @@ bool ParseRuleName(std::string_view name, Rule* out) {
     *out = Rule::kNodiscard;
   } else if (name == "R5" || name == "r5" || name == "getenv") {
     *out = Rule::kGetenv;
+  } else if (name == "R6" || name == "r6" || name == "intrinsics") {
+    *out = Rule::kRawIntrinsics;
   } else {
     return false;
   }
@@ -380,6 +403,11 @@ std::vector<Finding> AnalyzeSource(const std::string& virtual_path,
       pc.root == PathClass::kSrc && StartsWith(pc.rel, "serve/");
   const bool getenv_sanctioned =
       pc.root == PathClass::kSrc && StartsWith(pc.rel, "engine/config.");
+  // Per-ISA code is quarantined: only src/linalg/simd* may spell raw
+  // intrinsics; everything else reaches them through the dispatched
+  // linalg/simd_kernels.h API.
+  const bool intrinsics_sanctioned =
+      pc.root == PathClass::kSrc && StartsWith(pc.rel, "linalg/simd");
 
   for (const Token& t : lexed.tokens) {
     if (t.kind != Token::Kind::kIdentifier) continue;
@@ -440,6 +468,17 @@ std::vector<Finding> AnalyzeSource(const std::string& virtual_path,
                  "' is raw output in library code (R3); rendering belongs "
                  "to src/exp, bench/ and the CHECK macros (fprintf(stderr) "
                  "diagnostics are fine)"});
+      }
+    }
+    if (!intrinsics_sanctioned && IsIntrinsicToken(t.text)) {
+      if (!IsSuppressed(sup, Rule::kRawIntrinsics, t.line)) {
+        findings.push_back(
+            {virtual_path, t.line, Rule::kRawIntrinsics,
+             "'" + t.text +
+                 "' is a raw SIMD intrinsic outside src/linalg/simd* (R6); "
+                 "call through the dispatched kernels in "
+                 "linalg/simd_kernels.h so portability and the "
+                 "bit-compatibility contracts stay centralized"});
       }
     }
     if (!getenv_sanctioned && GetenvTokens().count(t.text)) {
