@@ -1,9 +1,11 @@
 #include "bench/bench_util.h"
 
 #include <cstdio>
+#include <memory>
 #include <utility>
 
 #include "exp/report.h"
+#include "runtime/cache_store.h"
 #include "runtime/thread_pool.h"
 #include "tpch/queries.h"
 #include "tpch/schema.h"
@@ -50,6 +52,21 @@ std::vector<exp::FigureSeries> RunWorstCaseFigure(
     const exp::FigureRunner::Options::Resilience* resilience) {
   FigureBenchConfig config = MakeFigureBenchConfig(eng.config());
   if (resilience != nullptr) config.options.resilience = *resilience;
+
+  // Optional persisted oracle cache: load the snapshot (or cold-start on
+  // corruption/mismatch, with typed telemetry), warm every per-query
+  // stack, and save the merged warmth back on the way out. Warm or cold,
+  // figure stdout is byte-identical — only the counters move.
+  std::unique_ptr<runtime::CacheStore> store;
+  if (!eng.config().cache_path.empty()) {
+    runtime::CacheStoreOptions store_options;
+    store_options.path = eng.config().cache_path;
+    store_options.catalog_hash = config.catalog.Fingerprint();
+    store_options.mantissa_bits = config.options.cache.mantissa_bits;
+    store = std::make_unique<runtime::CacheStore>(std::move(store_options));
+    config.options.store = store.get();
+  }
+
   const exp::FigureRunner runner(config.catalog, config.options);
   runtime::ThreadPool& pool = eng.pool();
 
@@ -67,6 +84,7 @@ std::vector<exp::FigureSeries> RunWorstCaseFigure(
   timer.Restart();
   size_t oracle_calls = 0;
   size_t probe_calls = 0;
+  size_t cache_imported = 0;
   std::vector<exp::FigureSeries> all;
   for (size_t i = 0; i < analyses.size(); ++i) {
     const query::Query& q = config.queries[i];
@@ -91,6 +109,7 @@ std::vector<exp::FigureSeries> RunWorstCaseFigure(
     oracle_calls += analysis->oracle_calls;
     metrics.cache_hits += analysis->cache_hits;
     metrics.cache_misses += analysis->cache_misses;
+    cache_imported += analysis->cache_imported;
     probe_calls += analysis->oracle_probe_calls;
     metrics.oracle_attempts += analysis->oracle_attempts;
     metrics.oracle_retries += analysis->oracle_retries;
@@ -115,10 +134,32 @@ std::vector<exp::FigureSeries> RunWorstCaseFigure(
   // configured) captures the same series structured.
   std::unique_ptr<engine::ArtifactWriter> writer = eng.MakeArtifactWriter();
   writer->WriteFigure(title, all);
-  writer->WriteRunMetrics(bench_name, metrics,
-                          {{"queries", static_cast<double>(all.size())},
-                           {"oracle_calls", static_cast<double>(oracle_calls)},
-                           {"quick", config.quick ? 1.0 : 0.0}});
+  std::vector<std::pair<std::string, double>> extra = {
+      {"queries", static_cast<double>(all.size())},
+      {"oracle_calls", static_cast<double>(oracle_calls)},
+      {"quick", config.quick ? 1.0 : 0.0}};
+  if (store != nullptr) {
+    // Persist the merged warmth before reporting, so the telemetry line
+    // reflects what actually reached disk.
+    const Status saved = store->Save();
+    if (!saved.ok()) {
+      std::fprintf(stderr, "%s: cache store save: %s\n", bench_name.c_str(),
+                   saved.ToString().c_str());
+    }
+    const runtime::CacheStoreTelemetry t = store->telemetry();
+    std::fprintf(stderr,
+                 "cache-store: loaded=%zu imported=%zu saved=%zu "
+                 "rejected(crc=%zu truncated=%zu version=%zu catalog=%zu "
+                 "quantization=%zu)\n",
+                 t.loaded, cache_imported, t.saved, t.rejected_crc,
+                 t.rejected_truncated, t.rejected_version, t.rejected_catalog,
+                 t.rejected_quantization);
+    extra.emplace_back("cache_imported", static_cast<double>(cache_imported));
+    extra.emplace_back("store_loaded", static_cast<double>(t.loaded));
+    extra.emplace_back("store_saved", static_cast<double>(t.saved));
+    extra.emplace_back("store_rejected", t.rejected() ? 1.0 : 0.0);
+  }
+  writer->WriteRunMetrics(bench_name, metrics, extra);
   const Status finish = writer->Finish();
   if (!finish.ok()) {
     std::fprintf(stderr, "%s: artifact sink: %s\n", bench_name.c_str(),

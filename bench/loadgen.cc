@@ -21,6 +21,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -87,8 +88,17 @@ std::vector<serve::AnalysisRequest> MakeWorkload(Rng& rng, size_t count,
   return out;
 }
 
+/// The three analysis kinds, indexable for the per-kind breakdown.
+constexpr serve::AnalysisKind kKinds[] = {serve::AnalysisKind::kDiscovery,
+                                          serve::AnalysisKind::kWorstCase,
+                                          serve::AnalysisKind::kGtcSeries};
+constexpr size_t kNumKinds = sizeof(kKinds) / sizeof(kKinds[0]);
+
 struct SessionResult {
-  std::vector<double> latencies_ms;  // kOk requests, issue order
+  /// kOk request latencies in issue order, split by analysis kind —
+  /// discovery, worst-case and GTC-series requests have very different
+  /// cost profiles, and one blended percentile hides which one regressed.
+  std::vector<double> latencies_ms[kNumKinds];
   size_t shed = 0;                   // kUnavailable (admission overload)
   size_t errors = 0;                 // any other non-OK response code
   uint64_t virtual_arrival_ns = 0;   // last offered arrival timestamp
@@ -172,7 +182,8 @@ int LoadgenMain(engine::Engine& eng, int argc, char** argv) {
         const Result<serve::AnalysisResponse> response =
             serve::Call(*client, request);
         if (response.ok() && response->ok()) {
-          result.latencies_ms.push_back(latency.ElapsedMs());
+          result.latencies_ms[static_cast<size_t>(request.kind)].push_back(
+              latency.ElapsedMs());
         } else if (response.ok() &&
                    response->code == StatusCode::kUnavailable) {
           ++result.shed;  // load shedding is the admission design working
@@ -190,17 +201,23 @@ int LoadgenMain(engine::Engine& eng, int argc, char** argv) {
   server.Shutdown();
 
   std::vector<double> latencies;
+  std::vector<double> by_kind[kNumKinds];
   size_t shed = 0;
   size_t errors = 0;
   uint64_t virtual_ns = 0;
   for (const SessionResult& r : results) {
-    latencies.insert(latencies.end(), r.latencies_ms.begin(),
-                     r.latencies_ms.end());
+    for (size_t k = 0; k < kNumKinds; ++k) {
+      latencies.insert(latencies.end(), r.latencies_ms[k].begin(),
+                       r.latencies_ms[k].end());
+      by_kind[k].insert(by_kind[k].end(), r.latencies_ms[k].begin(),
+                        r.latencies_ms[k].end());
+    }
     shed += r.shed;
     errors += r.errors;
     virtual_ns = std::max(virtual_ns, r.virtual_arrival_ns);
   }
   std::sort(latencies.begin(), latencies.end());
+  for (std::vector<double>& v : by_kind) std::sort(v.begin(), v.end());
 
   const serve::ServerStats stats = server.stats();
   runtime::RuntimeMetrics metrics;
@@ -216,20 +233,29 @@ int LoadgenMain(engine::Engine& eng, int argc, char** argv) {
   // checkpoint Flush so the artifacts survive even if the process dies
   // before the summary.
   std::unique_ptr<engine::ArtifactWriter> writer = eng.MakeArtifactWriter();
-  writer->WriteRunMetrics(
-      "loadgen", metrics,
-      {{"sessions", static_cast<double>(load.sessions)},
-       {"requests",
-        static_cast<double>(latencies.size() + shed + errors)},
-       {"shed", static_cast<double>(shed)},
-       {"errors", static_cast<double>(errors)},
-       {"admission_rejected", static_cast<double>(stats.admission.rejected)},
-       {"peak_inflight", static_cast<double>(stats.admission.peak_inflight)},
-       {"contexts", static_cast<double>(stats.dispatcher.contexts)},
-       {"offered_virtual_ms", static_cast<double>(virtual_ns) / 1e6},
-       {"lat_p50_ms", Percentile(latencies, .5)},
-       {"lat_p99_ms", Percentile(latencies, .99)},
-       {"lat_p999_ms", Percentile(latencies, .999)}});
+  std::vector<std::pair<std::string, double>> extras = {
+      {"sessions", static_cast<double>(load.sessions)},
+      {"requests", static_cast<double>(latencies.size() + shed + errors)},
+      {"shed", static_cast<double>(shed)},
+      {"errors", static_cast<double>(errors)},
+      {"admission_rejected", static_cast<double>(stats.admission.rejected)},
+      {"peak_inflight", static_cast<double>(stats.admission.peak_inflight)},
+      {"contexts", static_cast<double>(stats.dispatcher.contexts)},
+      {"offered_virtual_ms", static_cast<double>(virtual_ns) / 1e6},
+      {"lat_p50_ms", Percentile(latencies, .5)},
+      {"lat_p99_ms", Percentile(latencies, .99)},
+      {"lat_p999_ms", Percentile(latencies, .999)}};
+  // The per-kind breakdown (lat_discovery_p50_ms, ...): same nearest-rank
+  // percentiles over each kind's own sample, plus its request count so a
+  // tiny sample can't masquerade as a tight tail.
+  for (size_t k = 0; k < kNumKinds; ++k) {
+    const std::string name = serve::AnalysisKindName(kKinds[k]);
+    extras.emplace_back("requests_" + name,
+                        static_cast<double>(by_kind[k].size()));
+    extras.emplace_back("lat_" + name + "_p50_ms", Percentile(by_kind[k], .5));
+    extras.emplace_back("lat_" + name + "_p99_ms", Percentile(by_kind[k], .99));
+  }
+  writer->WriteRunMetrics("loadgen", metrics, extras);
   const Status checkpoint = writer->Flush();
   if (!checkpoint.ok()) {
     std::fprintf(stderr, "loadgen: checkpoint flush: %s\n",

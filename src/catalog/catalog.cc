@@ -1,8 +1,36 @@
 #include "catalog/catalog.h"
 
+#include <bit>
+
 #include "common/macros.h"
 
 namespace costsense::catalog {
+namespace {
+
+/// FNV-1a accumulation helpers for Catalog::Fingerprint(). Doubles are
+/// hashed by IEEE-754 bit pattern, so any statistical perturbation —
+/// however small — changes the fingerprint.
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void HashBytes(uint64_t& h, const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+}
+
+void HashU64(uint64_t& h, uint64_t v) { HashBytes(h, &v, sizeof(v)); }
+void HashDouble(uint64_t& h, double v) {
+  HashU64(h, std::bit_cast<uint64_t>(v));
+}
+void HashString(uint64_t& h, const std::string& s) {
+  HashU64(h, s.size());
+  HashBytes(h, s.data(), s.size());
+}
+
+}  // namespace
 
 int Catalog::AddTable(Table table) {
   for (const Table& t : tables_) {
@@ -46,6 +74,63 @@ std::vector<int> Catalog::IndexesOn(int table_id) const {
     if (indexes_[i].table_id == table_id) out.push_back(static_cast<int>(i));
   }
   return out;
+}
+
+uint64_t Catalog::Fingerprint() const {
+  uint64_t h = kFnvOffset;
+  HashDouble(h, config_.page_size_bytes);
+  HashDouble(h, config_.buffer_pool_pages);
+  HashDouble(h, config_.sort_heap_pages);
+  HashU64(h, static_cast<uint64_t>(config_.degree_of_parallelism));
+  HashU64(h, static_cast<uint64_t>(config_.optimization_level));
+  HashDouble(h, config_.prefetch_pages);
+  HashDouble(h, config_.merge_fan_in);
+  HashDouble(h, config_.hash_build_memory_fraction);
+  HashDouble(h, config_.cpu_tuple_instructions);
+  HashDouble(h, config_.cpu_predicate_instructions);
+  HashDouble(h, config_.cpu_probe_instructions);
+  HashDouble(h, config_.cpu_hash_build_instructions);
+  HashDouble(h, config_.cpu_hash_probe_instructions);
+  HashDouble(h, config_.cpu_sort_compare_instructions);
+  HashDouble(h, config_.cpu_agg_instructions);
+  HashDouble(h, config_.cpu_join_output_instructions);
+
+  HashU64(h, tables_.size());
+  for (const Table& t : tables_) {
+    HashString(h, t.name());
+    HashDouble(h, t.row_count());
+    HashDouble(h, t.row_width_bytes());
+    HashDouble(h, t.pages());
+    HashU64(h, t.num_columns());
+    for (const Column& c : t.columns()) {
+      HashString(h, c.name);
+      HashDouble(h, c.stats.n_distinct);
+      HashDouble(h, c.stats.min_value);
+      HashDouble(h, c.stats.max_value);
+      HashDouble(h, c.stats.avg_width_bytes);
+    }
+  }
+
+  HashU64(h, indexes_.size());
+  for (const Index& idx : indexes_) {
+    HashString(h, idx.name);
+    HashU64(h, static_cast<uint64_t>(idx.table_id));
+    HashU64(h, idx.key_columns.size());
+    for (size_t col : idx.key_columns) HashU64(h, col);
+    HashU64(h, idx.unique ? 1 : 0);
+    HashU64(h, idx.clustered ? 1 : 0);
+    HashDouble(h, idx.leaf_pages);
+    HashU64(h, static_cast<uint64_t>(idx.levels));
+    HashDouble(h, idx.key_width_bytes);
+  }
+
+  // Final avalanche so near-identical catalogs don't share low bits.
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
 }
 
 int Catalog::FindIndexByLeadingColumn(int table_id, size_t column) const {

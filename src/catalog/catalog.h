@@ -1,6 +1,7 @@
 #ifndef COSTSENSE_CATALOG_CATALOG_H_
 #define COSTSENSE_CATALOG_CATALOG_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,15 @@ class Catalog {
   /// The first index on `table_id` whose leading key column is `column`,
   /// or -1 if none exists.
   int FindIndexByLeadingColumn(int table_id, size_t column) const;
+
+  /// A stable 64-bit hash of everything the optimizer reads from this
+  /// catalog: system configuration, per-table and per-column statistics,
+  /// and every index definition. Two catalogs that fingerprint equal
+  /// produce identical plan choices at identical cost points, so the hash
+  /// keys persisted oracle caches (runtime/cache_store.h) — a snapshot
+  /// built over a different catalog (a different scale factor, or a
+  /// q-error-perturbed variant of this one) is refused on load.
+  uint64_t Fingerprint() const;
 
  private:
   SystemConfig config_;

@@ -30,6 +30,10 @@ constexpr Knob kKnobs[] = {
     {"serve_queue", "COSTSENSE_SERVE_QUEUE"},
     {"serve_deadline_ms", "COSTSENSE_SERVE_DEADLINE_MS"},
     {"serve_socket", "COSTSENSE_SERVE_SOCKET"},
+    {"cache_path", "COSTSENSE_CACHE_PATH"},
+    {"serve_stats_interval_ms", "COSTSENSE_SERVE_STATS_INTERVAL_MS"},
+    {"serve_drain_timeout_ms", "COSTSENSE_SERVE_DRAIN_TIMEOUT_MS"},
+    {"serve_idle_timeout_ms", "COSTSENSE_SERVE_IDLE_TIMEOUT_MS"},
 };
 
 [[nodiscard]] Status BadValue(std::string_view source, std::string_view value,
@@ -155,6 +159,19 @@ bool ParseQuick(std::string_view value) {
     config->serve_socket = std::string(value);
     return Status::Ok();
   }
+  if (key == "cache_path") {
+    config->cache_path = std::string(value);
+    return Status::Ok();
+  }
+  if (key == "serve_stats_interval_ms") {
+    return ParseSize(source, value, 0, &config->serve_stats_interval_ms);
+  }
+  if (key == "serve_drain_timeout_ms") {
+    return ParseSize(source, value, 0, &config->serve_drain_timeout_ms);
+  }
+  if (key == "serve_idle_timeout_ms") {
+    return ParseSize(source, value, 0, &config->serve_idle_timeout_ms);
+  }
   return Status::InvalidArgument(
       StrFormat("unknown engine config key \"%.*s\"",
                 static_cast<int>(key.size()), key.data()));
@@ -215,6 +232,13 @@ std::vector<std::pair<std::string, std::string>> EngineConfig::KnobTable()
   rows.emplace_back("serve_queue", StrFormat("%zu", serve_queue));
   rows.emplace_back("serve_deadline_ms", StrFormat("%zu", serve_deadline_ms));
   rows.emplace_back("serve_socket", serve_socket);
+  rows.emplace_back("cache_path", cache_path);
+  rows.emplace_back("serve_stats_interval_ms",
+                    StrFormat("%zu", serve_stats_interval_ms));
+  rows.emplace_back("serve_drain_timeout_ms",
+                    StrFormat("%zu", serve_drain_timeout_ms));
+  rows.emplace_back("serve_idle_timeout_ms",
+                    StrFormat("%zu", serve_idle_timeout_ms));
   return rows;
 }
 

@@ -45,6 +45,18 @@ namespace costsense::engine {
 ///                                           server: default per-request
 ///                                           deadline, 0 = unlimited
 ///   serve_socket   COSTSENSE_SERVE_SOCKET   server: Unix socket path
+///   cache_path     COSTSENSE_CACHE_PATH     oracle-cache snapshot file;
+///                                           empty = no persistence
+///   serve_stats_interval_ms COSTSENSE_SERVE_STATS_INTERVAL_MS
+///                                           server: periodic stats-snapshot
+///                                           interval, 0 = only at shutdown
+///   serve_drain_timeout_ms COSTSENSE_SERVE_DRAIN_TIMEOUT_MS
+///                                           server: Shutdown() bound before
+///                                           wedged sessions are force-closed,
+///                                           0 = wait forever
+///   serve_idle_timeout_ms COSTSENSE_SERVE_IDLE_TIMEOUT_MS
+///                                           server: idle-session watchdog
+///                                           reclaim threshold, 0 = off
 struct EngineConfig {
   /// Concurrency level; 0 means hardware concurrency at pool build time.
   size_t threads = 0;
@@ -70,6 +82,20 @@ struct EngineConfig {
   size_t serve_deadline_ms = 0;
   /// Unix-domain socket path costsense-serve listens on.
   std::string serve_socket = "/tmp/costsense-serve.sock";
+  /// Oracle-cache snapshot path (runtime::CacheStore); empty disables
+  /// persistence. Drivers load it at startup (warm start) and save on
+  /// clean shutdown; a corrupt or mismatched snapshot degrades to a cold
+  /// cache with typed telemetry, never an error.
+  std::string cache_path;
+  /// Interval between server-side stats snapshots through the artifact
+  /// sinks while serving; 0 = snapshot only at shutdown.
+  size_t serve_stats_interval_ms = 0;
+  /// Upper bound on Server::Shutdown() waiting for in-flight sessions
+  /// before force-closing their transports; 0 = wait forever.
+  size_t serve_drain_timeout_ms = 0;
+  /// Idle threshold after which the session watchdog reclaims a
+  /// connection that has stopped sending requests; 0 = never.
+  size_t serve_idle_timeout_ms = 0;
 
   /// Environment accessor, injectable for tests (maps a variable name to
   /// its value or nullptr). The default reads the process environment.

@@ -13,6 +13,11 @@ StackTelemetry OracleStack::telemetry() const {
   return t;
 }
 
+void OracleStack::PublishToStore() {
+  if (store_ == nullptr || scope_.empty()) return;
+  store_->Publish(scope_, cache_->Export());
+}
+
 OracleStackBuilder& OracleStackBuilder::WithCache(
     const runtime::OracleCacheOptions& options) {
   cache_ = options;
@@ -43,9 +48,27 @@ OracleStackBuilder OracleStackBuilder::FromConfig(const EngineConfig& config) {
   return builder;
 }
 
+OracleStackBuilder& OracleStackBuilder::WithStore(runtime::CacheStore* store) {
+  store_ = store;
+  return *this;
+}
+
 OracleStack OracleStackBuilder::Build(core::PlanOracle& base) const {
+  return Build(base, std::string_view());
+}
+
+OracleStack OracleStackBuilder::Build(core::PlanOracle& base,
+                                      std::string_view scope) const {
   OracleStack stack;
   stack.cache_ = std::make_unique<runtime::CachingOracle>(base, cache_);
+  if (store_ != nullptr && !scope.empty()) {
+    stack.store_ = store_;
+    stack.scope_ = std::string(scope);
+    // The warm start. Imported entries were computed at their keys'
+    // canonical points, so a warm sweep returns bit-identical results —
+    // it just skips the optimizer invocations.
+    (void)stack.cache_->Import(store_->EntriesFor(scope));
+  }
   if (resilience_) {
     stack.injector_ =
         std::make_unique<runtime::resilience::FaultInjectingOracle>(

@@ -2,9 +2,12 @@
 #define COSTSENSE_ENGINE_ORACLE_STACK_H_
 
 #include <memory>
+#include <string>
+#include <string_view>
 
 #include "core/oracle.h"
 #include "engine/config.h"
+#include "runtime/cache_store.h"
 #include "runtime/oracle_cache.h"
 #include "runtime/resilience/clock.h"
 #include "runtime/resilience/fault_injector.h"
@@ -59,6 +62,11 @@ class OracleStack {
   /// Snapshot of all per-tier counters.
   StackTelemetry telemetry() const;
 
+  /// Publishes the cache's current contents back to the persistence scope
+  /// this stack was built with (no-op for stacks built without a store).
+  /// The store batches scopes in memory; CacheStore::Save() writes disk.
+  void PublishToStore();
+
  private:
   friend class OracleStackBuilder;
   OracleStack() = default;
@@ -66,6 +74,8 @@ class OracleStack {
   std::unique_ptr<runtime::CachingOracle> cache_;
   std::unique_ptr<runtime::resilience::FaultInjectingOracle> injector_;
   std::unique_ptr<runtime::resilience::ResilientOracle> resilient_;
+  runtime::CacheStore* store_ = nullptr;  // not owned
+  std::string scope_;
 };
 
 /// Assembles OracleStacks from configuration. One builder can stamp out
@@ -89,7 +99,17 @@ class OracleStackBuilder {
   /// as the retry budget).
   static OracleStackBuilder FromConfig(const EngineConfig& config);
 
+  /// Attaches a snapshot store (not owned; may be null to detach).
+  /// Stacks built with a non-empty scope import the store's entries for
+  /// that scope at Build time (the warm start) and can publish back via
+  /// OracleStack::PublishToStore().
+  OracleStackBuilder& WithStore(runtime::CacheStore* store);
+
   OracleStack Build(core::PlanOracle& base) const;
+
+  /// Builds a stack bound to persistence scope `scope` (e.g. "Q6/shared").
+  /// Identical to Build(base) when no store is attached.
+  OracleStack Build(core::PlanOracle& base, std::string_view scope) const;
 
  private:
   runtime::OracleCacheOptions cache_;
@@ -97,6 +117,7 @@ class OracleStackBuilder {
   runtime::resilience::FaultInjectionOptions faults_;
   runtime::resilience::ResilientOracleOptions retry_;
   runtime::resilience::Clock* clock_ = nullptr;
+  runtime::CacheStore* store_ = nullptr;  // not owned
 };
 
 }  // namespace costsense::engine

@@ -35,12 +35,17 @@ Result<QueryAnalysis> FigureRunner::Analyze(
   // tiers are stacked above it only when the fault option is on.
   engine::OracleStackBuilder builder;
   builder.WithCache(options_.cache);
+  builder.WithStore(options_.store);
   if (options_.resilience.enabled) {
     builder.WithResilience(options_.resilience.faults,
                            options_.resilience.retry,
                            options_.resilience.clock);
   }
-  engine::OracleStack stack = builder.Build(narrow);
+  // The persistence scope: one snapshot bucket per (query, layout) pair,
+  // matching the per-pair stacks this runner stamps out.
+  const std::string scope =
+      query.name + "/" + storage::LayoutPolicyName(policy);
+  engine::OracleStack stack = builder.Build(narrow, scope);
 
   QueryAnalysis out;
   out.query_name = query.name;
@@ -48,9 +53,13 @@ Result<QueryAnalysis> FigureRunner::Analyze(
   out.dims = space.dims();
   out.baseline = space.BaselineCosts();
   out.dim_info = space.dim_info();
+  out.cache_imported = stack.cache().stats().imported;
 
   if (options_.resilience.enabled) {
-    return AnalyzeResilient(query, optimizer, stack, narrow, std::move(out));
+    Result<QueryAnalysis> r =
+        AnalyzeResilient(query, optimizer, stack, narrow, std::move(out));
+    if (r.ok()) stack.PublishToStore();
+    return r;
   }
   runtime::CachingOracle& oracle = stack.cache();
 
@@ -97,6 +106,7 @@ Result<QueryAnalysis> FigureRunner::Analyze(
   const runtime::OracleCacheStats cache = oracle.stats();
   out.cache_hits = cache.hits;
   out.cache_misses = cache.misses;
+  stack.PublishToStore();
   return out;
 }
 

@@ -11,6 +11,7 @@
 #include "core/vectors.h"
 #include "engine/oracle_stack.h"
 #include "query/query.h"
+#include "runtime/cache_store.h"
 #include "runtime/oracle_cache.h"
 #include "runtime/resilience/fault_injector.h"
 #include "runtime/resilience/resilient_oracle.h"
@@ -49,6 +50,9 @@ struct QueryAnalysis {
   /// Memoizing-oracle effectiveness during this analysis.
   size_t cache_hits = 0;
   size_t cache_misses = 0;
+  /// Entries seeded from a persisted snapshot before the first probe (0
+  /// on a cold start or when no store is attached).
+  size_t cache_imported = 0;
   /// Resilience accounting (all zero when the resilience tier is off).
   /// Oracle-side view, from ResilientOracle: probe_calls are TryOptimize
   /// invocations, attempts includes retries; failures are calls that erred
@@ -114,6 +118,14 @@ class FigureRunner {
     runtime::ThreadPool* pool = nullptr;
     /// Memoizing oracle cache applied around each per-query optimizer.
     runtime::OracleCacheOptions cache;
+    /// Optional snapshot store (not owned; null = no persistence). Each
+    /// per-query stack imports the scope "<query>/<layout>" before its
+    /// first probe and publishes its cache back after a successful
+    /// analysis; the owner decides when to CacheStore::Save(). Thread-safe
+    /// for AnalyzeMany's fan-out. Warm analyses produce byte-identical
+    /// content (imported results were computed at the same canonical
+    /// points); only the hit/miss split moves.
+    runtime::CacheStore* store = nullptr;
     /// Optional fault-injection + retry tier. When enabled the per-query
     /// engine::OracleStack is built with its resilience tiers (see
     /// engine/oracle_stack.h for the decorator order and why faults sit

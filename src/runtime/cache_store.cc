@@ -1,0 +1,319 @@
+#include "runtime/cache_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+namespace costsense::runtime {
+namespace {
+
+constexpr char kMagic[4] = {'C', 'S', 'O', 'C'};
+constexpr uint32_t kFormatVersion = 1;
+/// Upper bound on a single record body; anything larger is a corrupt or
+/// adversarial length field, not a real entry (the largest legitimate body
+/// is a few KiB: scope + plan id + ~64 coordinates + usage vector).
+constexpr uint32_t kMaxRecordBytes = 1 << 20;
+
+constexpr std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void PutU16(std::string& out, uint16_t v) {
+  out.push_back(static_cast<char>(v >> 8));
+  out.push_back(static_cast<char>(v & 0xff));
+}
+
+void PutU32(std::string& out, uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+/// Bounds-checked big-endian reader over a loaded snapshot. Any read past
+/// the end sets `ok` false and stays false; callers check once per record.
+struct Reader {
+  std::string_view data;
+  size_t pos = 0;
+  bool ok = true;
+
+  bool Remaining(size_t n) const { return ok && data.size() - pos >= n; }
+
+  uint64_t TakeBits(int bytes) {
+    if (!Remaining(static_cast<size_t>(bytes))) {
+      ok = false;
+      return 0;
+    }
+    uint64_t v = 0;
+    for (int i = 0; i < bytes; ++i) {
+      v = (v << 8) | static_cast<uint8_t>(data[pos++]);
+    }
+    return v;
+  }
+
+  uint16_t TakeU16() { return static_cast<uint16_t>(TakeBits(2)); }
+  uint32_t TakeU32() { return static_cast<uint32_t>(TakeBits(4)); }
+  uint64_t TakeU64() { return TakeBits(8); }
+
+  std::string_view TakeBytes(size_t n) {
+    if (!Remaining(n)) {
+      ok = false;
+      return {};
+    }
+    std::string_view v = data.substr(pos, n);
+    pos += n;
+    return v;
+  }
+};
+
+std::string EncodeRecordBody(std::string_view scope,
+                             const OracleCacheEntry& entry) {
+  std::string body;
+  PutU16(body, static_cast<uint16_t>(scope.size()));
+  body.append(scope);
+  PutU16(body, static_cast<uint16_t>(entry.key.size()));
+  for (uint64_t q : entry.key) PutU64(body, q);
+  PutU16(body, static_cast<uint16_t>(entry.result.plan_id.size()));
+  body.append(entry.result.plan_id);
+  PutU64(body, std::bit_cast<uint64_t>(entry.result.total_cost));
+  if (entry.result.usage.has_value()) {
+    body.push_back(1);
+    PutU16(body, static_cast<uint16_t>(entry.result.usage->size()));
+    for (double u : *entry.result.usage) {
+      PutU64(body, std::bit_cast<uint64_t>(u));
+    }
+  } else {
+    body.push_back(0);
+  }
+  return body;
+}
+
+/// Decodes one record body into (scope, entry). Returns false when the
+/// body is malformed (short fields or trailing bytes).
+bool DecodeRecordBody(std::string_view body, std::string& scope,
+                      OracleCacheEntry& entry) {
+  Reader r{body};
+  scope = std::string(r.TakeBytes(r.TakeU16()));
+  const uint16_t dims = r.TakeU16();
+  entry.key.clear();
+  entry.key.reserve(dims);
+  for (uint16_t i = 0; i < dims && r.ok; ++i) entry.key.push_back(r.TakeU64());
+  entry.result.plan_id = std::string(r.TakeBytes(r.TakeU16()));
+  entry.result.total_cost = std::bit_cast<double>(r.TakeU64());
+  entry.result.usage.reset();
+  const uint64_t has_usage = r.TakeBits(1);
+  if (r.ok && has_usage != 0) {
+    const uint16_t n = r.TakeU16();
+    std::vector<double> usage;
+    usage.reserve(n);
+    for (uint16_t i = 0; i < n && r.ok; ++i) {
+      usage.push_back(std::bit_cast<double>(r.TakeU64()));
+    }
+    if (r.ok) entry.result.usage = core::UsageVector(std::move(usage));
+  }
+  return r.ok && r.pos == body.size();
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static constexpr std::array<uint32_t, 256> kTable = MakeCrcTable();
+  uint32_t crc = 0xffffffffu;
+  for (char ch : data) {
+    crc = kTable[(crc ^ static_cast<uint8_t>(ch)) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+CacheStore::CacheStore(CacheStoreOptions options)
+    : options_(std::move(options)) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LoadLocked();
+}
+
+void CacheStore::LoadLocked() {
+  if (options_.path.empty()) return;
+  std::ifstream in(options_.path, std::ios::binary);
+  if (!in) return;  // No snapshot yet: a silent cold start.
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+
+  if (bytes.empty()) {
+    // A zero-byte file is the classic torn-write artifact (created, then
+    // the writer died before any bytes landed) — truncation, not a
+    // foreign format.
+    telemetry_.rejected_truncated = 1;
+    return;
+  }
+
+  Reader r{bytes};
+  // Header. Magic/version problems are reported as rejected_version even
+  // when the file is too short to hold the magic: a 2-byte file is not a
+  // truncated snapshot, it is not a snapshot.
+  std::string_view magic = r.TakeBytes(sizeof(kMagic));
+  const uint32_t version = r.TakeU32();
+  if (!r.ok || std::memcmp(magic.data(), kMagic, sizeof(kMagic)) != 0 ||
+      version != kFormatVersion) {
+    telemetry_.rejected_version = 1;
+    return;
+  }
+  const uint64_t catalog_hash = r.TakeU64();
+  const uint32_t mantissa_bits = r.TakeU32();
+  const uint64_t record_count = r.TakeU64();
+  if (!r.ok) {
+    telemetry_.rejected_truncated = 1;
+    return;
+  }
+  if (catalog_hash != options_.catalog_hash) {
+    telemetry_.rejected_catalog = 1;
+    return;
+  }
+  if (mantissa_bits != static_cast<uint32_t>(options_.mantissa_bits)) {
+    telemetry_.rejected_quantization = 1;
+    return;
+  }
+
+  // Records: validate every length and CRC before publishing anything, so
+  // a snapshot is only ever adopted whole.
+  std::map<std::string, std::vector<OracleCacheEntry>, std::less<>> staged;
+  for (uint64_t i = 0; i < record_count; ++i) {
+    const uint32_t body_len = r.TakeU32();
+    const uint32_t crc = r.TakeU32();
+    if (!r.ok || body_len > kMaxRecordBytes || !r.Remaining(body_len)) {
+      telemetry_.rejected_truncated = 1;
+      return;
+    }
+    std::string_view body = r.TakeBytes(body_len);
+    if (Crc32(body) != crc) {
+      telemetry_.rejected_crc = 1;
+      return;
+    }
+    std::string scope;
+    OracleCacheEntry entry;
+    if (!DecodeRecordBody(body, scope, entry)) {
+      telemetry_.rejected_truncated = 1;
+      return;
+    }
+    staged[std::move(scope)].push_back(std::move(entry));
+  }
+  if (r.pos != bytes.size()) {
+    // Trailing garbage after the declared records: refuse it too.
+    telemetry_.rejected_truncated = 1;
+    return;
+  }
+
+  scopes_ = std::move(staged);
+  telemetry_.loaded = record_count;
+}
+
+std::vector<OracleCacheEntry> CacheStore::EntriesFor(
+    std::string_view scope) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = scopes_.find(scope);
+  if (it == scopes_.end()) return {};
+  return it->second;
+}
+
+void CacheStore::Publish(std::string_view scope,
+                         std::vector<OracleCacheEntry> entries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  scopes_.insert_or_assign(std::string(scope), std::move(entries));
+}
+
+Status CacheStore::Save() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.path.empty()) {
+    return Status::FailedPrecondition("cache store has no path configured");
+  }
+
+  std::string bytes;
+  bytes.append(kMagic, sizeof(kMagic));
+  PutU32(bytes, kFormatVersion);
+  PutU64(bytes, options_.catalog_hash);
+  PutU32(bytes, static_cast<uint32_t>(options_.mantissa_bits));
+  uint64_t record_count = 0;
+  for (const auto& [scope, entries] : scopes_) {
+    record_count += entries.size();
+  }
+  PutU64(bytes, record_count);
+  for (const auto& [scope, entries] : scopes_) {
+    for (const OracleCacheEntry& entry : entries) {
+      const std::string body = EncodeRecordBody(scope, entry);
+      PutU32(bytes, static_cast<uint32_t>(body.size()));
+      PutU32(bytes, Crc32(body));
+      bytes.append(body);
+    }
+  }
+
+  // tmp + fsync + rename: a crash at any point leaves either the previous
+  // snapshot or a complete new one at options_.path, never a torn file.
+  const std::string tmp = options_.path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal("cache store: open(" + tmp +
+                            ") failed: " + std::strerror(errno));
+  }
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::Internal("cache store: write(" + tmp +
+                              ") failed: " + std::strerror(err));
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::Internal("cache store: fsync(" + tmp +
+                            ") failed: " + std::strerror(err));
+  }
+  if (::close(fd) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    return Status::Internal("cache store: close(" + tmp +
+                            ") failed: " + std::strerror(err));
+  }
+  if (std::rename(tmp.c_str(), options_.path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    return Status::Internal("cache store: rename to " + options_.path +
+                            " failed: " + std::strerror(err));
+  }
+  telemetry_.saved = record_count;
+  return Status::Ok();
+}
+
+CacheStoreTelemetry CacheStore::telemetry() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return telemetry_;
+}
+
+}  // namespace costsense::runtime

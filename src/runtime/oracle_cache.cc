@@ -70,6 +70,7 @@ struct CachingOracle::Shard {
   size_t hits = 0;
   size_t misses = 0;
   size_t evictions = 0;
+  size_t imported = 0;
 };
 
 CachingOracle::CachingOracle(core::PlanOracle& base,
@@ -141,8 +142,48 @@ OracleCacheStats CachingOracle::stats() const {
     s.misses += shard->misses;
     s.evictions += shard->evictions;
     s.entries += shard->map.size();
+    s.imported += shard->imported;
   }
   return s;
+}
+
+std::vector<OracleCacheEntry> CachingOracle::Export() const {
+  std::vector<OracleCacheEntry> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [key, entry] : shard->map) {
+      out.push_back(OracleCacheEntry{key, entry.result});
+    }
+  }
+  // Sort by key: shard iteration order is a function of hash layout, and
+  // the snapshot bytes must be a pure function of the cache contents.
+  std::sort(out.begin(), out.end(),
+            [](const OracleCacheEntry& a, const OracleCacheEntry& b) {
+              return a.key < b.key;
+            });
+  return out;
+}
+
+size_t CachingOracle::Import(const std::vector<OracleCacheEntry>& entries) {
+  size_t inserted = 0;
+  for (const OracleCacheEntry& entry : entries) {
+    Shard& shard = *shards_[HashKey(entry.key) & shard_mask_];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto [it, fresh] = shard.map.try_emplace(entry.key);
+    if (!fresh) continue;
+    shard.lru.push_front(it->first);
+    it->second.result = entry.result;
+    it->second.lru_it = shard.lru.begin();
+    ++shard.imported;
+    ++inserted;
+    if (shard.map.size() > per_shard_capacity_) {
+      const Key& victim = shard.lru.back();
+      shard.map.erase(victim);
+      shard.lru.pop_back();
+      ++shard.evictions;
+    }
+  }
+  return inserted;
 }
 
 void CachingOracle::Clear() {

@@ -33,10 +33,20 @@ struct OracleCacheStats {
   size_t evictions = 0;
   /// Entries currently resident across all shards.
   size_t entries = 0;
+  /// Entries seeded by Import() (a warm start from a snapshot).
+  size_t imported = 0;
   double hit_rate() const {
     const size_t total = hits + misses;
     return total == 0 ? 0.0 : static_cast<double>(hits) / total;
   }
+};
+
+/// One memoized result in snapshot form: the quantized cost key and the
+/// oracle's reply at that key's canonical point. This is the unit the
+/// persistence layer (runtime/cache_store.h) checksums and stores.
+struct OracleCacheEntry {
+  std::vector<uint64_t> key;
+  core::OracleResult result;
 };
 
 /// Quantizes a cost coordinate to `mantissa_bits` of mantissa, rounding to
@@ -79,6 +89,19 @@ class CachingOracle : public core::PlanOracle {
 
   /// Drops every entry (counters are preserved).
   void Clear();
+
+  /// Snapshot of every resident entry, sorted by key so the serialized
+  /// form is deterministic regardless of shard layout or probe order.
+  std::vector<OracleCacheEntry> Export() const;
+
+  /// Seeds entries into the cache (the warm-start path). Existing keys
+  /// are left untouched, capacity bounds still evict, and hit/miss
+  /// counters are unaffected — a warm run's first probe of an imported
+  /// key counts as an ordinary hit. Returns the number inserted.
+  size_t Import(const std::vector<OracleCacheEntry>& entries);
+
+  /// Mantissa bits the cache quantizes keys with (snapshot compatibility).
+  int mantissa_bits() const { return options_.mantissa_bits; }
 
  private:
   struct Shard;

@@ -31,7 +31,11 @@ struct Dispatcher::QueryContext {
         space(layout.BuildResourceSpace()),
         optimizer(catalog, layout, space),
         narrow(optimizer, query, /*white_box=*/true),
-        stack(builder.Build(narrow)),
+        // The persistence scope matches the figure drivers'
+        // "<query>/<layout>" spelling, so a server restart can warm from a
+        // sweep's snapshot and vice versa.
+        stack(builder.Build(
+            narrow, query.name + "/" + storage::LayoutPolicyName(policy))),
         baseline(space.BaselineCosts()) {
     // The initial plan — optimal at the DB2-default baseline — is a
     // property of the (query, layout) pair, so it is computed once here
@@ -59,7 +63,15 @@ Dispatcher::~Dispatcher() = default;
 Dispatcher::Dispatcher(DispatcherOptions options)
     : options_(std::move(options)),
       catalog_(tpch::MakeTpchCatalog(options_.scale_factor)) {
+  if (!options_.cache_path.empty()) {
+    runtime::CacheStoreOptions store_options;
+    store_options.path = options_.cache_path;
+    store_options.catalog_hash = catalog_.Fingerprint();
+    store_options.mantissa_bits = options_.cache.mantissa_bits;
+    store_ = std::make_unique<runtime::CacheStore>(std::move(store_options));
+  }
   builder_.WithCache(options_.cache);
+  builder_.WithStore(store_.get());
 }
 
 Dispatcher::QueryContext& Dispatcher::GetContext(
@@ -205,6 +217,17 @@ Result<std::string> Dispatcher::Render(const AnalysisRequest& request,
   return body;
 }
 
+Status Dispatcher::PersistCache() {
+  if (store_ == nullptr) return Status::Ok();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [key, ctx] : contexts_) {
+      ctx->stack.PublishToStore();
+    }
+  }
+  return store_->Save();
+}
+
 DispatcherStats Dispatcher::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   DispatcherStats out;
@@ -217,6 +240,11 @@ DispatcherStats Dispatcher::stats() const {
     out.cache.misses += s.misses;
     out.cache.evictions += s.evictions;
     out.cache.entries += s.entries;
+    out.cache.imported += s.imported;
+  }
+  if (store_ != nullptr) {
+    out.persistent = true;
+    out.store = store_->telemetry();
   }
   return out;
 }

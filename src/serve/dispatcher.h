@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "core/discovery.h"
 #include "engine/oracle_stack.h"
+#include "runtime/cache_store.h"
 #include "runtime/oracle_cache.h"
 #include "runtime/resilience/clock.h"
 #include "runtime/resilience/fault_injector.h"
@@ -47,6 +48,10 @@ struct DispatcherOptions {
   runtime::resilience::Clock* clock = nullptr;
   /// TPC-H catalog scale factor (the paper's experiments use 100).
   double scale_factor = 100.0;
+  /// Oracle-cache snapshot file (COSTSENSE_CACHE_PATH); empty = no
+  /// persistence. Loaded at construction so contexts materialize warm;
+  /// PersistCache() writes the merged warmth back.
+  std::string cache_path;
 };
 
 /// Cross-request dispatcher state counters.
@@ -59,6 +64,10 @@ struct DispatcherStats {
   size_t contexts = 0;
   /// Aggregate over every context's shared oracle cache.
   runtime::OracleCacheStats cache;
+  /// True when a snapshot store is attached (cache_path configured).
+  bool persistent = false;
+  /// Snapshot load/save/rejection counters (zero without a store).
+  runtime::CacheStoreTelemetry store;
 };
 
 /// Executes analysis requests against lazily materialized, shared
@@ -89,6 +98,12 @@ class Dispatcher {
 
   DispatcherStats stats() const;
 
+  /// Publishes every materialized context's cache to the snapshot store
+  /// and saves it to disk (tmp + fsync + rename). No-op success when no
+  /// cache_path was configured; typed error on I/O failure. Called by
+  /// Server::Shutdown() so a clean shutdown leaves the next process warm.
+  [[nodiscard]] Status PersistCache();
+
   const DispatcherOptions& options() const { return options_; }
 
  private:
@@ -104,6 +119,9 @@ class Dispatcher {
 
   DispatcherOptions options_;
   catalog::Catalog catalog_;
+  /// Snapshot store behind every context's stack (null without
+  /// cache_path). Declared before builder_ so the builder can point at it.
+  std::unique_ptr<runtime::CacheStore> store_;
   engine::OracleStackBuilder builder_;
 
   mutable std::mutex mu_;

@@ -6,10 +6,39 @@
 
 namespace costsense::serve {
 
+namespace {
+
+/// Deregisters the session on every Run() exit path, before the Session
+/// (and its transport) can be destroyed — which is what makes the
+/// server's Abort()-under-registry-lock free of use-after-free.
+/// BeginSession is idempotent, so a session ServeBlocking already
+/// registered at accept time is not double-counted.
+struct SessionRegistration {
+  Server& server;
+  Session& session;
+  SessionRegistration(Server& s, Session& sess) : server(s), session(sess) {
+    server.BeginSession(session);
+  }
+  ~SessionRegistration() { server.EndSession(session); }
+};
+
+}  // namespace
+
 Session::Session(Server& server, std::unique_ptr<FrameTransport> transport)
-    : server_(server), transport_(std::move(transport)) {}
+    : server_(server), transport_(std::move(transport)) {
+  // Stamped at construction: ServeBlocking registers sessions before
+  // their thread first runs, and the idle watchdog must never observe a
+  // zero timestamp (it would reap the session as infinitely idle).
+  last_activity_ns_.store(server_.clock().NowNanos(),
+                          std::memory_order_relaxed);
+}
+
+void Session::Abort() { transport_->Close(); }
 
 Status Session::Run() {
+  runtime::resilience::Clock& clock = server_.clock();
+  last_activity_ns_.store(clock.NowNanos(), std::memory_order_relaxed);
+  SessionRegistration registration(server_, *this);
   for (;;) {
     Result<std::string> frame = transport_->RecvFrame();
     if (!frame.ok()) {
@@ -19,6 +48,7 @@ Status Session::Run() {
       }
       return frame.status();
     }
+    last_activity_ns_.store(clock.NowNanos(), std::memory_order_relaxed);
 
     Result<AnalysisRequest> request = DecodeRequest(*frame);
     AnalysisResponse response;
@@ -34,6 +64,7 @@ Status Session::Run() {
       return sent;
     }
     ++requests_served_;
+    last_activity_ns_.store(clock.NowNanos(), std::memory_order_relaxed);
     if (!request.ok()) {
       // The peer got a typed error for the malformed frame; drop the
       // connection rather than guess at where the next frame starts.

@@ -1,6 +1,7 @@
 #ifndef COSTSENSE_SERVE_SESSION_H_
 #define COSTSENSE_SERVE_SESSION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 
@@ -24,8 +25,20 @@ class Session {
   /// Serves requests until the peer closes (returns OK) or the transport
   /// fails. A frame that does not decode gets a typed error response and
   /// ends the session — after a framing error the stream position is
-  /// untrustworthy.
+  /// untrustworthy. The session registers with the server for the
+  /// duration, so the bounded drain and idle watchdog can reach it.
   [[nodiscard]] Status Run();
+
+  /// Force-closes the transport from another thread (the server's drain
+  /// deadline or idle watchdog). A Run() blocked in Recv wakes with end
+  /// of stream and exits; an idle peer just sees its connection drop.
+  void Abort();
+
+  /// Server-clock timestamp of the last protocol activity (frame received
+  /// or response sent); the idle watchdog's input.
+  uint64_t last_activity_ns() const {
+    return last_activity_ns_.load(std::memory_order_relaxed);
+  }
 
   uint64_t requests_served() const { return requests_served_; }
 
@@ -33,6 +46,7 @@ class Session {
   Server& server_;
   std::unique_ptr<FrameTransport> transport_;
   uint64_t requests_served_ = 0;
+  std::atomic<uint64_t> last_activity_ns_{0};
 };
 
 /// Client-side convenience: one request/response round trip over

@@ -128,12 +128,17 @@ void InProcessTransport::Close() {
   }
 }
 
-SocketTransport::~SocketTransport() { Close(); }
+SocketTransport::~SocketTransport() {
+  Close();
+  if (fd_ >= 0) ::close(fd_);
+}
 
 Status SocketTransport::SendFrame(std::string_view payload) {
   Status st = CheckFrameSize(payload.size());
   if (!st.ok()) return st;
-  if (fd_ < 0) return Status::Unavailable("transport closed; frame not sent");
+  if (closed_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("transport closed; frame not sent");
+  }
   std::string frame =
       FramePrefix(static_cast<uint32_t>(payload.size()));
   frame.append(payload.data(), payload.size());
@@ -141,7 +146,9 @@ Status SocketTransport::SendFrame(std::string_view payload) {
 }
 
 Result<std::string> SocketTransport::RecvFrame() {
-  if (fd_ < 0) return Status::NotFound("end of stream");
+  if (closed_.load(std::memory_order_acquire)) {
+    return Status::NotFound("end of stream");
+  }
   char prefix[4];
   bool eof = false;
   Status st = RecvAll(fd_, prefix, sizeof(prefix), &eof);
@@ -163,11 +170,11 @@ Result<std::string> SocketTransport::RecvFrame() {
 }
 
 void SocketTransport::Close() {
-  if (fd_ >= 0) {
-    // Wake any thread blocked in recv() before releasing the descriptor.
+  // First closer shuts the stream down; the descriptor itself lives until
+  // destruction. A thread blocked in recv() wakes with end-of-stream, and
+  // no thread can race against descriptor reuse.
+  if (fd_ >= 0 && !closed_.exchange(true, std::memory_order_acq_rel)) {
     ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
   }
 }
 

@@ -1,6 +1,7 @@
 #ifndef COSTSENSE_SERVE_TRANSPORT_H_
 #define COSTSENSE_SERVE_TRANSPORT_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <memory>
@@ -21,6 +22,9 @@ namespace costsense::serve {
 /// A transport endpoint is owned by one session and is not required to be
 /// safe for concurrent Send/Recv from multiple threads; concurrency in
 /// costsense-serve comes from running many sessions, not from sharing one.
+/// Close() is the exception: it is safe to call from any thread while the
+/// owner is blocked in Send/Recv — the watchdog and bounded drain reclaim
+/// wedged sessions exactly this way.
 class FrameTransport {
  public:
   virtual ~FrameTransport() = default;
@@ -87,7 +91,12 @@ class SocketTransport final : public FrameTransport {
   void Close() override;
 
  private:
-  int fd_;
+  /// The descriptor stays valid (and is only ::close()d) until
+  /// destruction; Close() merely shuts the stream down. That split is
+  /// what makes cross-thread Close() safe: a session blocked in recv()
+  /// wakes on the shutdown without ever touching a reused descriptor.
+  const int fd_;
+  std::atomic<bool> closed_{false};
 };
 
 /// Connects to a costsense-serve Unix-domain socket at `path`.

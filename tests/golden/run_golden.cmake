@@ -30,6 +30,17 @@ if(DEFINED ARTIFACT_JSON)
   set(ENV{COSTSENSE_ARTIFACT_JSON} "${ARTIFACT_JSON}")
 endif()
 
+# Optionally turn the persistent oracle-cache snapshot on. The binary runs
+# twice from a clean slate: the cold run writes the snapshot, the warm run
+# loads it — and BOTH must produce the committed bytes, which is the
+# executable form of "a warm cache changes latency, never answers".
+if(DEFINED CACHE_PATH)
+  get_filename_component(cache_dir "${CACHE_PATH}" DIRECTORY)
+  file(MAKE_DIRECTORY "${cache_dir}")
+  file(REMOVE "${CACHE_PATH}")
+  set(ENV{COSTSENSE_CACHE_PATH} "${CACHE_PATH}")
+endif()
+
 execute_process(
   COMMAND "${BINARY}"
   OUTPUT_VARIABLE actual
@@ -41,6 +52,28 @@ endif()
 
 if(DEFINED ARTIFACT_JSON AND NOT EXISTS "${ARTIFACT_JSON}")
   message(FATAL_ERROR "sidecar ${ARTIFACT_JSON} was not written")
+endif()
+
+if(DEFINED CACHE_PATH)
+  if(NOT EXISTS "${CACHE_PATH}")
+    message(FATAL_ERROR "cache snapshot ${CACHE_PATH} was not written")
+  endif()
+  execute_process(
+    COMMAND "${BINARY}"
+    OUTPUT_VARIABLE warm_actual
+    ERROR_VARIABLE warm_stderr
+    RESULT_VARIABLE warm_rc)
+  if(NOT warm_rc EQUAL 0)
+    message(FATAL_ERROR "${BINARY} (warm) exited with ${warm_rc}:\n${warm_stderr}")
+  endif()
+  if(NOT warm_actual STREQUAL actual)
+    if(DEFINED ACTUAL_OUT)
+      file(WRITE "${ACTUAL_OUT}.warm" "${warm_actual}")
+    endif()
+    message(FATAL_ERROR
+      "warm-cache stdout diverged from the cold run for ${BINARY}\n"
+      "the snapshot made the answers drift — that is a correctness bug")
+  endif()
 endif()
 
 file(READ "${EXPECTED}" expected)

@@ -14,12 +14,16 @@
 #include <thread>
 #include <vector>
 
+#include <fstream>
+
+#include "engine/artifact.h"
 #include "runtime/resilience/clock.h"
 #include "runtime/thread_pool.h"
 #include "serve/admission.h"
 #include "serve/dispatcher.h"
 #include "serve/protocol.h"
 #include "serve/session.h"
+#include "serve/snapshotter.h"
 #include "serve/transport.h"
 
 namespace costsense::serve {
@@ -497,6 +501,198 @@ TEST(SocketTransportTest, SocketSessionMatchesInProcessBytes) {
   EXPECT_EQ(response->code, reference.code);
   EXPECT_EQ(response->body, reference.body);
   EXPECT_EQ(server.stats().sessions, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded drain and the idle watchdog
+// ---------------------------------------------------------------------------
+
+/// Opens a session against `server` whose client never sends anything —
+/// the wedged peer the drain deadline and idle watchdog exist for.
+struct WedgedSession {
+  std::unique_ptr<InProcessTransport> client;
+  std::thread thread;
+  Status run_status = Status::Internal("not finished");
+
+  explicit WedgedSession(Server& server) {
+    auto [client_end, server_end] = InProcessTransport::CreatePair();
+    client = std::move(client_end);
+    std::unique_ptr<FrameTransport> transport = std::move(server_end);
+    thread = std::thread([this, &server, t = std::move(transport)]() mutable {
+      Session session(server, std::move(t));
+      run_status = session.Run();
+    });
+    // The session is reachable by drain/watchdog once registered.
+    while (server.stats().active_sessions == 0) std::this_thread::yield();
+  }
+
+  ~WedgedSession() {
+    client->Close();
+    if (thread.joinable()) thread.join();
+  }
+};
+
+TEST(ServerDrainTest, DrainTimeoutForcesWedgedSession) {
+  runtime::resilience::ManualClock clock;
+  runtime::ThreadPool pool(1);
+  ServerOptions options;
+  options.dispatcher = QuickDispatcherOptions(&pool);
+  options.dispatcher.clock = &clock;
+  options.drain_timeout_ns = 5'000'000;  // 5 virtual ms
+  Server server(options);
+
+  WedgedSession wedged(server);
+  // Shutdown must return: the drain polls the virtual clock to its
+  // deadline, then force-closes the straggler instead of waiting forever.
+  server.Shutdown();
+
+  const ServerStats stats = server.stats();
+  EXPECT_TRUE(stats.shutdown.ran);
+  EXPECT_EQ(stats.shutdown.forced_sessions, 1u);
+  EXPECT_GE(stats.shutdown.drain_wait_ns, options.drain_timeout_ns);
+
+  // The forced session exits as a clean end of stream on both sides.
+  wedged.thread.join();
+  EXPECT_TRUE(wedged.run_status.ok()) << wedged.run_status.ToString();
+  EXPECT_EQ(wedged.client->RecvFrame().status().code(), StatusCode::kNotFound);
+}
+
+TEST(ServerDrainTest, GracefulCloseIsNotForced) {
+  runtime::resilience::ManualClock clock;
+  runtime::ThreadPool pool(1);
+  ServerOptions options;
+  options.dispatcher = QuickDispatcherOptions(&pool);
+  options.dispatcher.clock = &clock;
+  options.drain_timeout_ns = 5'000'000;
+  Server server(options);
+
+  {
+    WedgedSession session(server);
+    session.client->Close();
+    session.thread.join();
+  }
+  while (server.stats().active_sessions != 0) std::this_thread::yield();
+
+  server.Shutdown();
+  const ServerStats stats = server.stats();
+  EXPECT_TRUE(stats.shutdown.ran);
+  EXPECT_EQ(stats.shutdown.forced_sessions, 0u);
+}
+
+TEST(ServerDrainTest, WedgedSocketSessionCannotWedgeServeBlocking) {
+  // End to end over a real socket on the real clock: one client connects
+  // and sends nothing; ServeBlocking's join of that session thread is
+  // bounded by the drain deadline.
+  const std::string path = "costsense_drain_test.sock";
+  runtime::ThreadPool pool(1);
+  ServerOptions options;
+  options.dispatcher = QuickDispatcherOptions(&pool);
+  options.drain_timeout_ns = 50'000'000;  // 50 real ms
+  Server server(options);
+
+  Result<std::unique_ptr<SocketListener>> listener = SocketListener::Bind(path);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  Result<std::unique_ptr<SocketTransport>> client = ConnectUnixSocket(path);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  // max_sessions=1: the accept loop exits after this connection and falls
+  // into the drain, where only the deadline unwedges the silent client.
+  const Status served = server.ServeBlocking(**listener, /*max_sessions=*/1);
+  EXPECT_TRUE(served.ok()) << served.ToString();
+  (*listener)->Close();
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.shutdown.forced_sessions, 1u);
+  EXPECT_GE(stats.shutdown.drain_wait_ns, options.drain_timeout_ns);
+}
+
+TEST(ServerWatchdogTest, ReapsOnlySessionsIdlePastTimeout) {
+  runtime::resilience::ManualClock clock;
+  runtime::ThreadPool pool(1);
+  ServerOptions options;
+  options.dispatcher = QuickDispatcherOptions(&pool);
+  options.dispatcher.clock = &clock;
+  options.idle_timeout_ns = 1'000'000'000;  // 1 virtual second
+  Server server(options);
+
+  WedgedSession session(server);
+  // 900 ms idle: under the timeout, nothing reaped.
+  clock.Advance(900'000'000);
+  EXPECT_EQ(server.ReapIdleSessions(), 0u);
+
+  // Activity resets the idle clock: a request stamps the session.
+  const Result<AnalysisResponse> response =
+      Call(*session.client, TestRequests()[0]);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  clock.Advance(900'000'000);  // 900 ms since the request
+  EXPECT_EQ(server.ReapIdleSessions(), 0u);
+
+  // 1.1 s since the last activity: reaped, and the client sees the drop.
+  clock.Advance(200'000'000);
+  EXPECT_EQ(server.ReapIdleSessions(), 1u);
+  session.thread.join();
+  EXPECT_TRUE(session.run_status.ok()) << session.run_status.ToString();
+  EXPECT_EQ(session.client->RecvFrame().status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(server.stats().idle_reaped, 1u);
+}
+
+TEST(ServerWatchdogTest, ZeroTimeoutNeverReaps) {
+  runtime::resilience::ManualClock clock;
+  runtime::ThreadPool pool(1);
+  ServerOptions options;
+  options.dispatcher = QuickDispatcherOptions(&pool);
+  options.dispatcher.clock = &clock;
+  Server server(options);  // idle_timeout_ns = 0
+
+  WedgedSession session(server);
+  clock.Advance(3'600'000'000'000ULL);  // an hour of virtual idleness
+  EXPECT_EQ(server.ReapIdleSessions(), 0u);
+  EXPECT_EQ(server.stats().idle_reaped, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Periodic stats snapshots
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotterTest, TickOnceWritesFlushedRecordsAndDrivesWatchdog) {
+  const std::string path = "snapshotter_test.jsonl";
+  {
+    std::ofstream truncate(path, std::ios::trunc);
+  }
+  runtime::resilience::ManualClock clock;
+  runtime::ThreadPool pool(1);
+  ServerOptions options;
+  options.dispatcher = QuickDispatcherOptions(&pool);
+  options.dispatcher.clock = &clock;
+  options.idle_timeout_ns = 1'000'000'000;
+  Server server(options);
+
+  engine::JsonWriter writer(path);
+  SnapshotterOptions snapshot_options;  // interval 0: Start() is a no-op
+  StatsSnapshotter snapshotter(server, writer, snapshot_options);
+  snapshotter.Start();
+
+  EXPECT_EQ(snapshotter.TickOnce(), 0u);  // no sessions, nothing to reap
+  {
+    WedgedSession session(server);
+    clock.Advance(2'000'000'000);
+    // The periodic tick runs the watchdog, then snapshots the stats.
+    EXPECT_EQ(snapshotter.TickOnce(), 1u);
+    session.thread.join();
+  }
+  EXPECT_EQ(snapshotter.ticks(), 2u);
+  snapshotter.Stop();  // idempotent with no thread running
+
+  // Every tick is already flushed: an aborted server keeps them all.
+  const std::string written = [&path] {
+    std::ifstream in(path);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }();
+  EXPECT_NE(written.find("\"bench\":\"serve-stats\""), std::string::npos);
+  EXPECT_NE(written.find("\"snapshot_seq\":1"), std::string::npos);
+  EXPECT_NE(written.find("\"snapshot_seq\":2"), std::string::npos);
+  EXPECT_NE(written.find("\"idle_reaped\":1"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,420 @@
+// protocol_fuzz: a seeded, deterministic mutation fuzzer for the
+// costsense-serve wire protocol (protocol version 1).
+//
+// One long-lived Server (quick analysis budgets, shared warm oracle
+// cache) receives frames over the in-process transport — byte-for-byte
+// the frames a socket client would send, with no kernel in the loop. Each
+// iteration takes a valid request frame from a small pool and either
+// passes it through untouched or mutates it: random bit flips,
+// truncation to an arbitrary prefix, a lying delta-count field, splices
+// of two valid frames, trailing junk, pure garbage, or an oversized
+// frame past kMaxFrameBytes.
+//
+// The invariants asserted, per frame:
+//   - the server never crashes (any crash fails the run);
+//   - every accepted frame gets exactly one response that decodes as a
+//     protocol response with a typed status code — never silence;
+//   - the client re-runs DecodeRequest on the exact bytes it sent, so it
+//     knows which fate the protocol mandates: an undecodable frame must
+//     come back with the decoder's own status code and then a clean
+//     close (end of stream, not a hang); a decodable frame gets an
+//     analysis response on a session that stays open;
+//   - the whole run finishes before a wall-clock deadline enforced by a
+//     watchdog thread that aborts the process on expiry, so a wedged
+//     Recv can never turn the fuzzer into an infinite hang.
+//
+// The mutation stream is a pure function of `seed`, so any failure
+// reproduces with the same command line.
+//
+// Usage: protocol_fuzz [seed=N] [iters=N] [deadline_ms=N] [verbose=1]
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "runtime/resilience/clock.h"
+#include "runtime/thread_pool.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/session.h"
+#include "serve/transport.h"
+
+namespace costsense::fuzz {
+namespace {
+
+using serve::AnalysisKind;
+using serve::AnalysisRequest;
+using serve::AnalysisResponse;
+
+/// Byte offset of the u16 delta-count field in an encoded request
+/// (u8 version, u8 kind, u8 policy, u16 query, u64 deadline precede it).
+constexpr size_t kDeltaCountOffset = 13;
+
+/// Builds the pool of valid request frames the mutator draws from: all
+/// three analysis kinds over two layouts and two cheap queries, so
+/// pass-through iterations exercise real analyses against the shared
+/// warm cache without blowing the smoke-test budget.
+std::vector<std::string> ValidFrames() {
+  std::vector<std::string> frames;
+  const storage::LayoutPolicy policies[] = {
+      storage::LayoutPolicy::kSharedDevice,
+      storage::LayoutPolicy::kPerTableColocated};
+  const uint16_t queries[] = {1, 6};
+  for (const storage::LayoutPolicy policy : policies) {
+    for (const uint16_t query : queries) {
+      AnalysisRequest discovery;
+      discovery.kind = AnalysisKind::kDiscovery;
+      discovery.policy = policy;
+      discovery.query_number = query;
+      discovery.deltas = {100.0};
+      frames.push_back(EncodeRequest(discovery));
+
+      AnalysisRequest worst = discovery;
+      worst.kind = AnalysisKind::kWorstCase;
+      frames.push_back(EncodeRequest(worst));
+
+      AnalysisRequest series = discovery;
+      series.kind = AnalysisKind::kGtcSeries;
+      series.deltas = {2.0, 10.0, 100.0};
+      frames.push_back(EncodeRequest(series));
+    }
+  }
+  return frames;
+}
+
+enum class Mutation : uint64_t {
+  kPassThrough = 0,
+  kBitFlips = 1,
+  kTruncate = 2,
+  kDeltaCountLie = 3,
+  kSplice = 4,
+  kTrailingJunk = 5,
+  kGarbage = 6,
+  kOversized = 7,
+};
+
+const char* MutationName(Mutation m) {
+  switch (m) {
+    case Mutation::kPassThrough:   return "pass-through";
+    case Mutation::kBitFlips:      return "bit-flips";
+    case Mutation::kTruncate:      return "truncate";
+    case Mutation::kDeltaCountLie: return "delta-count-lie";
+    case Mutation::kSplice:        return "splice";
+    case Mutation::kTrailingJunk:  return "trailing-junk";
+    case Mutation::kGarbage:       return "garbage";
+    case Mutation::kOversized:     return "oversized";
+  }
+  return "?";
+}
+
+/// Draws the next frame to send. Pass-through gets a double weight so the
+/// server keeps doing real work between attacks; oversized gets a half
+/// weight (it allocates kMaxFrameBytes + 1 every time).
+Mutation PickMutation(Rng& rng) {
+  const uint64_t roll = rng.Index(16);
+  if (roll < 3) return Mutation::kPassThrough;
+  if (roll < 6) return Mutation::kBitFlips;
+  if (roll < 8) return Mutation::kTruncate;
+  if (roll < 10) return Mutation::kDeltaCountLie;
+  if (roll < 12) return Mutation::kSplice;
+  if (roll < 14) return Mutation::kTrailingJunk;
+  if (roll < 15) return Mutation::kGarbage;
+  return Mutation::kOversized;
+}
+
+std::string RandomBytes(Rng& rng, size_t n) {
+  std::string out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<char>(rng.Index(256)));
+  }
+  return out;
+}
+
+std::string Mutate(Mutation mutation, Rng& rng,
+                   const std::vector<std::string>& pool) {
+  const std::string& base = pool[rng.Index(pool.size())];
+  switch (mutation) {
+    case Mutation::kPassThrough:
+      return base;
+    case Mutation::kBitFlips: {
+      std::string frame = base;
+      const uint64_t flips = 1 + rng.Index(8);
+      for (uint64_t i = 0; i < flips; ++i) {
+        const uint64_t bit = rng.Index(frame.size() * 8);
+        frame[bit / 8] = static_cast<char>(
+            static_cast<uint8_t>(frame[bit / 8]) ^ (1u << (bit % 8)));
+      }
+      return frame;
+    }
+    case Mutation::kTruncate:
+      return base.substr(0, rng.Index(base.size()));
+    case Mutation::kDeltaCountLie: {
+      // Claim an arbitrary delta count while leaving the payload bytes
+      // alone: the decoder must catch the length/content mismatch (or
+      // the > kMaxDeltas bound), never read past the end.
+      std::string frame = base;
+      const uint16_t lie = static_cast<uint16_t>(rng.Index(1 << 16));
+      frame[kDeltaCountOffset] = static_cast<char>(lie >> 8);
+      frame[kDeltaCountOffset + 1] = static_cast<char>(lie & 0xff);
+      return frame;
+    }
+    case Mutation::kSplice: {
+      const std::string& other = pool[rng.Index(pool.size())];
+      return base.substr(0, rng.Index(base.size() + 1)) +
+             other.substr(rng.Index(other.size() + 1));
+    }
+    case Mutation::kTrailingJunk:
+      return base + RandomBytes(rng, 1 + rng.Index(16));
+    case Mutation::kGarbage:
+      return RandomBytes(rng, rng.Index(64));
+    case Mutation::kOversized:
+      return std::string(serve::kMaxFrameBytes + 1, 'x');
+  }
+  return base;
+}
+
+/// One live session against the shared server: the client endpoint plus
+/// the thread running the server half. Recreated whenever the session
+/// closes (which the protocol mandates after any malformed frame).
+struct LiveSession {
+  std::unique_ptr<serve::InProcessTransport> client;
+  std::thread server_thread;
+
+  explicit LiveSession(serve::Server& server) {
+    auto [client_end, server_end] = serve::InProcessTransport::CreatePair();
+    client = std::move(client_end);
+    std::unique_ptr<serve::FrameTransport> transport = std::move(server_end);
+    server_thread = std::thread([&server, t = std::move(transport)]() mutable {
+      serve::Session session(server, std::move(t));
+      // Malformed frames end sessions with kInvalidArgument by design;
+      // the fuzzer's invariants live on the client side of the pair.
+      const Status status = session.Run();
+      (void)status;
+    });
+  }
+
+  ~LiveSession() {
+    client->Close();
+    if (server_thread.joinable()) server_thread.join();
+  }
+};
+
+struct FuzzTally {
+  uint64_t sent = 0;
+  uint64_t ok_responses = 0;
+  uint64_t typed_errors = 0;
+  uint64_t client_rejected = 0;
+  uint64_t eof_after_send = 0;
+  uint64_t sessions = 0;
+};
+
+int Fail(uint64_t iter, Mutation mutation, const char* what,
+         const Status& status) {
+  std::fprintf(stderr,
+               "protocol_fuzz: FAIL at iteration %llu (%s): %s: %s\n",
+               static_cast<unsigned long long>(iter), MutationName(mutation),
+               what, status.ToString().c_str());
+  return 1;
+}
+
+int Run(uint64_t seed, uint64_t iters, uint64_t deadline_ms, bool verbose) {
+  // Watchdog: the whole run must finish before the deadline. A server
+  // that swallows a frame without responding would park the fuzzer in
+  // RecvFrame forever; this turns that hang into a loud abort.
+  std::atomic<bool> done{false};
+  std::thread watchdog([&done, deadline_ms] {
+    runtime::resilience::Clock& clk = runtime::resilience::Clock::Real();
+    const uint64_t deadline_ns = deadline_ms * 1'000'000ULL;
+    const uint64_t start = clk.NowNanos();
+    while (!done.load(std::memory_order_acquire)) {
+      if (clk.NowNanos() - start >= deadline_ns) {
+        std::fprintf(stderr,
+                     "protocol_fuzz: HANG — run exceeded %llu ms deadline\n",
+                     static_cast<unsigned long long>(deadline_ms));
+        std::abort();
+      }
+      clk.SleepFor(10'000'000);  // re-check every 10 ms
+    }
+  });
+
+  runtime::ThreadPool pool(1);
+  serve::ServerOptions options;
+  options.dispatcher.pool = &pool;
+  // Quick analysis budgets (the bench_util quick preset): accidental
+  // valid mutants trigger real analyses, and each must cost tens of
+  // milliseconds, not seconds.
+  options.dispatcher.discovery.random_samples = 16;
+  options.dispatcher.discovery.sampled_vertices = 48;
+  options.dispatcher.discovery.bisection_depth = 3;
+  options.dispatcher.discovery.completeness_rounds = 1;
+  serve::Server server(options);
+
+  const std::vector<std::string> pool_frames = ValidFrames();
+  Rng rng(seed);
+  FuzzTally tally;
+  int exit_code = 0;
+
+  std::unique_ptr<LiveSession> session =
+      std::make_unique<LiveSession>(server);
+  ++tally.sessions;
+
+  for (uint64_t iter = 0; iter < iters && exit_code == 0; ++iter) {
+    const Mutation mutation = PickMutation(rng);
+    const std::string frame = Mutate(mutation, rng, pool_frames);
+    if (verbose) {
+      std::fprintf(stderr, "protocol_fuzz: iter=%llu %s len=%zu ",
+                   static_cast<unsigned long long>(iter),
+                   MutationName(mutation), frame.size());
+      for (size_t i = 0; i < frame.size() && i < 64; ++i) {
+        std::fprintf(stderr, "%02x", static_cast<uint8_t>(frame[i]));
+      }
+      std::fprintf(stderr, "\n");
+    }
+
+    // The client knows the bytes it sent, so it can predict the server's
+    // move: an undecodable frame must come back as a typed error with
+    // the decoder's exact status code followed by a clean close; a
+    // decodable frame gets an analysis response (any typed code — a
+    // mutant may still carry an impossible deadline) on a session that
+    // stays open.
+    const Result<AnalysisRequest> predicted = serve::DecodeRequest(frame);
+
+    const Status sent = session->client->SendFrame(frame);
+    if (!sent.ok()) {
+      // The transport itself may reject a frame (oversized) — that must
+      // be a typed error, and the session must stay usable.
+      if (sent.code() != StatusCode::kInvalidArgument) {
+        exit_code = Fail(iter, mutation, "send rejected with wrong code", sent);
+        break;
+      }
+      ++tally.client_rejected;
+      continue;
+    }
+    ++tally.sent;
+
+    Result<std::string> reply = session->client->RecvFrame();
+    if (!reply.ok()) {
+      // End of stream without a response frame: the session send path
+      // failed after our frame arrived. Anything else is a violation.
+      if (reply.status().code() != StatusCode::kNotFound) {
+        exit_code = Fail(iter, mutation, "recv failed", reply.status());
+        break;
+      }
+      ++tally.eof_after_send;
+      session = std::make_unique<LiveSession>(server);
+      ++tally.sessions;
+      continue;
+    }
+
+    const Result<AnalysisResponse> response = serve::DecodeResponse(*reply);
+    if (!response.ok()) {
+      // The server's response bytes must always decode — a malformed
+      // *response* is a server bug regardless of what we sent.
+      exit_code =
+          Fail(iter, mutation, "undecodable response", response.status());
+      break;
+    }
+    if (predicted.ok()) {
+      // Valid request: the response carries whatever typed code the
+      // analysis produced and the session must stay open for the next
+      // frame. kOk responses must carry the rendered analysis.
+      if (response->ok()) {
+        ++tally.ok_responses;
+        if (response->body.empty()) {
+          exit_code = Fail(iter, mutation, "empty success body", Status::Ok());
+          break;
+        }
+      } else {
+        ++tally.typed_errors;
+      }
+    } else {
+      // Malformed frame: the typed error must mirror the decoder's own
+      // verdict, and the session drops the connection — the next recv
+      // must be a clean end of stream, then we reconnect.
+      ++tally.typed_errors;
+      if (response->code != predicted.status().code()) {
+        exit_code = Fail(iter, mutation, "wrong error code for bad frame",
+                         predicted.status());
+        break;
+      }
+      const Result<std::string> eof = session->client->RecvFrame();
+      if (eof.ok() || eof.status().code() != StatusCode::kNotFound) {
+        exit_code = Fail(iter, mutation, "no clean close after error",
+                         eof.ok() ? Status::Ok() : eof.status());
+        break;
+      }
+      session = std::make_unique<LiveSession>(server);
+      ++tally.sessions;
+    }
+    if (verbose && (iter + 1) % 1000 == 0) {
+      std::fprintf(stderr, "protocol_fuzz: %llu/%llu iterations\n",
+                   static_cast<unsigned long long>(iter + 1),
+                   static_cast<unsigned long long>(iters));
+    }
+  }
+
+  session.reset();
+  server.Shutdown();
+  done.store(true, std::memory_order_release);
+  watchdog.join();
+
+  if (exit_code == 0) {
+    std::printf(
+        "protocol_fuzz: PASS seed=%llu iters=%llu sent=%llu ok=%llu "
+        "typed_errors=%llu client_rejected=%llu eof_after_send=%llu "
+        "sessions=%llu\n",
+        static_cast<unsigned long long>(seed),
+        static_cast<unsigned long long>(iters),
+        static_cast<unsigned long long>(tally.sent),
+        static_cast<unsigned long long>(tally.ok_responses),
+        static_cast<unsigned long long>(tally.typed_errors),
+        static_cast<unsigned long long>(tally.client_rejected),
+        static_cast<unsigned long long>(tally.eof_after_send),
+        static_cast<unsigned long long>(tally.sessions));
+  }
+  return exit_code;
+}
+
+int Main(int argc, char** argv) {
+  uint64_t seed = 1;
+  uint64_t iters = 10000;
+  uint64_t deadline_ms = 300000;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "protocol_fuzz: unknown argument %s\n", arg.c_str());
+      return 2;
+    }
+    const std::string key = arg.substr(0, eq);
+    const uint64_t value =
+        static_cast<uint64_t>(std::atoll(arg.c_str() + eq + 1));
+    if (key == "seed") {
+      seed = value;
+    } else if (key == "iters") {
+      iters = value;
+    } else if (key == "deadline_ms") {
+      deadline_ms = value;
+    } else if (key == "verbose") {
+      verbose = value != 0;
+    } else {
+      std::fprintf(stderr, "protocol_fuzz: unknown argument %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  return Run(seed, iters, deadline_ms, verbose);
+}
+
+}  // namespace
+}  // namespace costsense::fuzz
+
+int main(int argc, char** argv) { return costsense::fuzz::Main(argc, argv); }
