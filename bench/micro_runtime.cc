@@ -12,7 +12,7 @@
 #include "bench/bench_util.h"
 #include "common/rng.h"
 #include "core/vectors.h"
-#include "engine/oracle_stack.h"
+#include "runtime/oracle_stack.h"
 #include "runtime/oracle_cache.h"
 #include "runtime/thread_pool.h"
 #include "tests/core/fake_oracle.h"
@@ -50,7 +50,7 @@ std::vector<core::PlanUsage> MakePlans(size_t dims, size_t count) {
 void BM_OracleCacheHit(benchmark::State& state) {
   const size_t dims = 8;
   core::FakeOracle base(MakePlans(dims, 16), /*white_box=*/true);
-  engine::OracleStack stack = engine::OracleStackBuilder().Build(base);
+  runtime::OracleStack stack = runtime::OracleStackBuilder().Build(base);
   runtime::CachingOracle& cache = stack.cache();
   const core::CostVector c(dims, 1.0);
   cache.Optimize(c);  // prime
@@ -65,8 +65,8 @@ void BM_OracleCacheMiss(benchmark::State& state) {
   core::FakeOracle base(MakePlans(dims, 16), /*white_box=*/true);
   runtime::OracleCacheOptions options;
   options.max_entries = 1 << 10;  // force steady-state eviction
-  engine::OracleStack stack =
-      engine::OracleStackBuilder().WithCache(options).Build(base);
+  runtime::OracleStack stack =
+      runtime::OracleStackBuilder().WithCache(options).Build(base);
   runtime::CachingOracle& cache = stack.cache();
   Rng rng(3);
   core::CostVector c(dims, 1.0);
@@ -82,7 +82,7 @@ BENCHMARK(BM_OracleCacheMiss)->Unit(benchmark::kNanosecond);
 void BM_OracleCacheConcurrent(benchmark::State& state) {
   const size_t dims = 8;
   core::FakeOracle base(MakePlans(dims, 16), /*white_box=*/true);
-  engine::OracleStack stack = engine::OracleStackBuilder().Build(base);
+  runtime::OracleStack stack = runtime::OracleStackBuilder().Build(base);
   runtime::CachingOracle& cache = stack.cache();
   runtime::ThreadPool pool(static_cast<size_t>(state.range(0)));
   std::vector<core::CostVector> points;

@@ -242,4 +242,17 @@ std::vector<std::pair<std::string, std::string>> EngineConfig::KnobTable()
   return rows;
 }
 
+runtime::OracleStackBuilder MakeOracleStackBuilder(const EngineConfig& config) {
+  runtime::OracleStackBuilder builder;
+  builder.WithCache(config.cache);
+  if (config.fault_rate > 0.0) {
+    runtime::resilience::FaultInjectionOptions faults;
+    faults.fault_rate = config.fault_rate;
+    runtime::resilience::ResilientOracleOptions retry;
+    retry.max_retries = config.max_retries;
+    builder.WithResilience(faults, retry);
+  }
+  return builder;
+}
+
 }  // namespace costsense::engine

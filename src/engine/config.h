@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "core/worst_case.h"
 #include "runtime/oracle_cache.h"
+#include "runtime/oracle_stack.h"
 
 namespace costsense::engine {
 
@@ -121,6 +122,13 @@ struct EngineConfig {
   /// reproduces the config (the round-trip property config_test proves).
   std::vector<std::pair<std::string, std::string>> KnobTable() const;
 };
+
+/// An oracle-stack builder seeded from config: cache sizing always, and
+/// the resilience tiers when config.fault_rate > 0 (with
+/// config.max_retries as the retry budget). Lives here rather than on
+/// runtime::OracleStackBuilder so the runtime module never depends on
+/// EngineConfig (layer rule R7: runtime sits below engine).
+runtime::OracleStackBuilder MakeOracleStackBuilder(const EngineConfig& config);
 
 }  // namespace costsense::engine
 

@@ -6,7 +6,7 @@
 #include "common/status.h"
 #include "engine/artifact.h"
 #include "engine/config.h"
-#include "engine/oracle_stack.h"
+#include "runtime/oracle_stack.h"
 #include "runtime/thread_pool.h"
 
 namespace costsense::engine {
@@ -31,8 +31,8 @@ class Engine {
 
   /// An oracle-stack builder seeded from this config (cache sizing and,
   /// when fault_rate > 0, the resilience tiers).
-  OracleStackBuilder MakeOracleStackBuilder() const {
-    return OracleStackBuilder::FromConfig(config_);
+  runtime::OracleStackBuilder MakeOracleStackBuilder() const {
+    return engine::MakeOracleStackBuilder(config_);
   }
 
   /// The configured artifact sink set (TextRenderer, plus the JSON

@@ -33,7 +33,7 @@ Result<QueryAnalysis> FigureRunner::Analyze(
   // invocation each — concurrently safe, since misses compute outside the
   // shard locks against the stateless optimizer — and the resilience
   // tiers are stacked above it only when the fault option is on.
-  engine::OracleStackBuilder builder;
+  runtime::OracleStackBuilder builder;
   builder.WithCache(options_.cache);
   builder.WithStore(options_.store);
   if (options_.resilience.enabled) {
@@ -45,7 +45,7 @@ Result<QueryAnalysis> FigureRunner::Analyze(
   // matching the per-pair stacks this runner stamps out.
   const std::string scope =
       query.name + "/" + storage::LayoutPolicyName(policy);
-  engine::OracleStack stack = builder.Build(narrow, scope);
+  runtime::OracleStack stack = builder.Build(narrow, scope);
 
   QueryAnalysis out;
   out.query_name = query.name;
@@ -112,7 +112,7 @@ Result<QueryAnalysis> FigureRunner::Analyze(
 
 Result<QueryAnalysis> FigureRunner::AnalyzeResilient(
     const query::Query& query, const opt::Optimizer& optimizer,
-    engine::OracleStack& stack, blackbox::NarrowOptimizer& narrow,
+    runtime::OracleStack& stack, blackbox::NarrowOptimizer& narrow,
     QueryAnalysis out) const {
   // The builder put the fault tier above the cache (see oracle_stack.h),
   // so retries cost no optimizer invocations and the cache only ever
@@ -169,7 +169,7 @@ Result<QueryAnalysis> FigureRunner::AnalyzeResilient(
   out.discovery_complete = d->complete;
   degraded_points += d->failed_probes;
 
-  const engine::StackTelemetry telemetry = stack.telemetry();
+  const runtime::StackTelemetry telemetry = stack.telemetry();
   out.cache_hits = telemetry.cache.hits;
   out.cache_misses = telemetry.cache.misses;
   out.oracle_probe_calls = telemetry.resilience.calls;

@@ -9,7 +9,7 @@
 #include "core/complementarity.h"
 #include "core/discovery.h"
 #include "core/vectors.h"
-#include "engine/oracle_stack.h"
+#include "runtime/oracle_stack.h"
 #include "query/query.h"
 #include "runtime/cache_store.h"
 #include "runtime/oracle_cache.h"
@@ -127,8 +127,8 @@ class FigureRunner {
     /// points); only the hit/miss split moves.
     runtime::CacheStore* store = nullptr;
     /// Optional fault-injection + retry tier. When enabled the per-query
-    /// engine::OracleStack is built with its resilience tiers (see
-    /// engine/oracle_stack.h for the decorator order and why faults sit
+    /// runtime::OracleStack is built with its resilience tiers (see
+    /// runtime/oracle_stack.h for the decorator order and why faults sit
     /// above the cache) and Analyze degrades gracefully instead of
     /// failing: probes the stack cannot answer are skipped and accounted
     /// in the QueryAnalysis counters. With fault_rate 0, or any fault rate
@@ -179,7 +179,7 @@ class FigureRunner {
   /// layout fields populated.
   [[nodiscard]] Result<QueryAnalysis> AnalyzeResilient(const query::Query& query,
                                          const opt::Optimizer& optimizer,
-                                         engine::OracleStack& stack,
+                                         runtime::OracleStack& stack,
                                          blackbox::NarrowOptimizer& narrow,
                                          QueryAnalysis out) const;
 

@@ -1,6 +1,6 @@
-#include "engine/oracle_stack.h"
+#include "runtime/oracle_stack.h"
 
-namespace costsense::engine {
+namespace costsense::runtime {
 
 StackTelemetry OracleStack::telemetry() const {
   StackTelemetry t;
@@ -19,15 +19,15 @@ void OracleStack::PublishToStore() {
 }
 
 OracleStackBuilder& OracleStackBuilder::WithCache(
-    const runtime::OracleCacheOptions& options) {
+    const OracleCacheOptions& options) {
   cache_ = options;
   return *this;
 }
 
 OracleStackBuilder& OracleStackBuilder::WithResilience(
-    const runtime::resilience::FaultInjectionOptions& faults,
-    const runtime::resilience::ResilientOracleOptions& retry,
-    runtime::resilience::Clock* clock) {
+    const resilience::FaultInjectionOptions& faults,
+    const resilience::ResilientOracleOptions& retry,
+    resilience::Clock* clock) {
   resilience_ = true;
   faults_ = faults;
   retry_ = retry;
@@ -35,20 +35,7 @@ OracleStackBuilder& OracleStackBuilder::WithResilience(
   return *this;
 }
 
-OracleStackBuilder OracleStackBuilder::FromConfig(const EngineConfig& config) {
-  OracleStackBuilder builder;
-  builder.WithCache(config.cache);
-  if (config.fault_rate > 0.0) {
-    runtime::resilience::FaultInjectionOptions faults;
-    faults.fault_rate = config.fault_rate;
-    runtime::resilience::ResilientOracleOptions retry;
-    retry.max_retries = config.max_retries;
-    builder.WithResilience(faults, retry);
-  }
-  return builder;
-}
-
-OracleStackBuilder& OracleStackBuilder::WithStore(runtime::CacheStore* store) {
+OracleStackBuilder& OracleStackBuilder::WithStore(CacheStore* store) {
   store_ = store;
   return *this;
 }
@@ -60,7 +47,7 @@ OracleStack OracleStackBuilder::Build(core::PlanOracle& base) const {
 OracleStack OracleStackBuilder::Build(core::PlanOracle& base,
                                       std::string_view scope) const {
   OracleStack stack;
-  stack.cache_ = std::make_unique<runtime::CachingOracle>(base, cache_);
+  stack.cache_ = std::make_unique<CachingOracle>(base, cache_);
   if (store_ != nullptr && !scope.empty()) {
     stack.store_ = store_;
     stack.scope_ = std::string(scope);
@@ -70,13 +57,12 @@ OracleStack OracleStackBuilder::Build(core::PlanOracle& base,
     (void)stack.cache_->Import(store_->EntriesFor(scope));
   }
   if (resilience_) {
-    stack.injector_ =
-        std::make_unique<runtime::resilience::FaultInjectingOracle>(
-            *stack.cache_, faults_, clock_);
-    stack.resilient_ = std::make_unique<runtime::resilience::ResilientOracle>(
+    stack.injector_ = std::make_unique<resilience::FaultInjectingOracle>(
+        *stack.cache_, faults_, clock_);
+    stack.resilient_ = std::make_unique<resilience::ResilientOracle>(
         *stack.injector_, retry_, clock_);
   }
   return stack;
 }
 
-}  // namespace costsense::engine
+}  // namespace costsense::runtime

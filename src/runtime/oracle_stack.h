@@ -1,26 +1,25 @@
-#ifndef COSTSENSE_ENGINE_ORACLE_STACK_H_
-#define COSTSENSE_ENGINE_ORACLE_STACK_H_
+#ifndef COSTSENSE_RUNTIME_ORACLE_STACK_H_
+#define COSTSENSE_RUNTIME_ORACLE_STACK_H_
 
 #include <memory>
 #include <string>
 #include <string_view>
 
 #include "core/oracle.h"
-#include "engine/config.h"
 #include "runtime/cache_store.h"
 #include "runtime/oracle_cache.h"
 #include "runtime/resilience/clock.h"
 #include "runtime/resilience/fault_injector.h"
 #include "runtime/resilience/resilient_oracle.h"
 
-namespace costsense::engine {
+namespace costsense::runtime {
 
 /// One snapshot of every decorator's counters — the metrics-recorder tier
 /// of the stack. Fields for tiers that were not built stay zero.
 struct StackTelemetry {
-  runtime::OracleCacheStats cache;
-  runtime::resilience::FaultLog faults;
-  runtime::resilience::ResilienceStats resilience;
+  OracleCacheStats cache;
+  resilience::FaultLog faults;
+  resilience::ResilienceStats resilience;
   /// True when the fault/retry tiers exist (resilient() is non-null).
   bool resilient = false;
 };
@@ -39,6 +38,11 @@ struct StackTelemetry {
 /// The base oracle is not owned and must outlive the stack. Every layer
 /// also remains individually constructible (CachingOracle,
 /// FaultInjectingOracle, ResilientOracle) for targeted tests.
+///
+/// The stack composes runtime decorators over the pure core::PlanOracle
+/// interface, so it lives in runtime/; seeding a builder from an
+/// EngineConfig is the engine module's job (engine::MakeOracleStackBuilder)
+/// so that runtime stays below engine in the layer order.
 class OracleStack {
  public:
   OracleStack(OracleStack&&) = default;
@@ -46,8 +50,8 @@ class OracleStack {
 
   /// The memoizing tier; always present. Drivers on the infallible path
   /// probe this directly.
-  runtime::CachingOracle& cache() { return *cache_; }
-  const runtime::CachingOracle& cache() const { return *cache_; }
+  CachingOracle& cache() { return *cache_; }
+  const CachingOracle& cache() const { return *cache_; }
 
   /// Top of the fallible chain, or nullptr when the stack was built
   /// without the resilience tier.
@@ -55,9 +59,7 @@ class OracleStack {
 
   /// The fault tier, or nullptr without resilience (tests reach in to
   /// read the fault log).
-  runtime::resilience::FaultInjectingOracle* injector() {
-    return injector_.get();
-  }
+  resilience::FaultInjectingOracle* injector() { return injector_.get(); }
 
   /// Snapshot of all per-tier counters.
   StackTelemetry telemetry() const;
@@ -71,39 +73,34 @@ class OracleStack {
   friend class OracleStackBuilder;
   OracleStack() = default;
 
-  std::unique_ptr<runtime::CachingOracle> cache_;
-  std::unique_ptr<runtime::resilience::FaultInjectingOracle> injector_;
-  std::unique_ptr<runtime::resilience::ResilientOracle> resilient_;
-  runtime::CacheStore* store_ = nullptr;  // not owned
+  std::unique_ptr<CachingOracle> cache_;
+  std::unique_ptr<resilience::FaultInjectingOracle> injector_;
+  std::unique_ptr<resilience::ResilientOracle> resilient_;
+  CacheStore* store_ = nullptr;  // not owned
   std::string scope_;
 };
 
-/// Assembles OracleStacks from configuration. One builder can stamp out
+/// Assembles OracleStacks from explicit options. One builder can stamp out
 /// many per-query stacks (Build is const).
 class OracleStackBuilder {
  public:
   OracleStackBuilder() = default;
 
   /// Sizing for the memoizing tier (always built).
-  OracleStackBuilder& WithCache(const runtime::OracleCacheOptions& options);
+  OracleStackBuilder& WithCache(const OracleCacheOptions& options);
 
   /// Enables the fault-injection + retry tiers. `clock` drives latency
   /// faults, backoff and deadlines; null = real steady clock.
   OracleStackBuilder& WithResilience(
-      const runtime::resilience::FaultInjectionOptions& faults,
-      const runtime::resilience::ResilientOracleOptions& retry,
-      runtime::resilience::Clock* clock = nullptr);
-
-  /// A builder seeded from config: cache sizing always, and the
-  /// resilience tiers when config.fault_rate > 0 (with config.max_retries
-  /// as the retry budget).
-  static OracleStackBuilder FromConfig(const EngineConfig& config);
+      const resilience::FaultInjectionOptions& faults,
+      const resilience::ResilientOracleOptions& retry,
+      resilience::Clock* clock = nullptr);
 
   /// Attaches a snapshot store (not owned; may be null to detach).
   /// Stacks built with a non-empty scope import the store's entries for
   /// that scope at Build time (the warm start) and can publish back via
   /// OracleStack::PublishToStore().
-  OracleStackBuilder& WithStore(runtime::CacheStore* store);
+  OracleStackBuilder& WithStore(CacheStore* store);
 
   OracleStack Build(core::PlanOracle& base) const;
 
@@ -112,14 +109,14 @@ class OracleStackBuilder {
   OracleStack Build(core::PlanOracle& base, std::string_view scope) const;
 
  private:
-  runtime::OracleCacheOptions cache_;
+  OracleCacheOptions cache_;
   bool resilience_ = false;
-  runtime::resilience::FaultInjectionOptions faults_;
-  runtime::resilience::ResilientOracleOptions retry_;
-  runtime::resilience::Clock* clock_ = nullptr;
-  runtime::CacheStore* store_ = nullptr;  // not owned
+  resilience::FaultInjectionOptions faults_;
+  resilience::ResilientOracleOptions retry_;
+  resilience::Clock* clock_ = nullptr;
+  CacheStore* store_ = nullptr;  // not owned
 };
 
-}  // namespace costsense::engine
+}  // namespace costsense::runtime
 
-#endif  // COSTSENSE_ENGINE_ORACLE_STACK_H_
+#endif  // COSTSENSE_RUNTIME_ORACLE_STACK_H_

@@ -25,7 +25,7 @@ namespace costsense::serve {
 struct Dispatcher::QueryContext {
   QueryContext(const catalog::Catalog& catalog, query::Query q,
                storage::LayoutPolicy policy,
-               const engine::OracleStackBuilder& builder)
+               const runtime::OracleStackBuilder& builder)
       : query(std::move(q)),
         layout(policy, catalog, query::ReferencedTables(query)),
         space(layout.BuildResourceSpace()),
@@ -52,7 +52,7 @@ struct Dispatcher::QueryContext {
   storage::ResourceSpace space;
   opt::Optimizer optimizer;
   blackbox::NarrowOptimizer narrow;
-  engine::OracleStack stack;
+  runtime::OracleStack stack;
   core::CostVector baseline;
   std::string initial_plan_id;
   core::UsageVector initial_usage;
@@ -84,6 +84,7 @@ Dispatcher::QueryContext& Dispatcher::GetContext(
     // baseline optimization, and serializing it guarantees exactly one
     // shared cache per (query, policy) no matter how requests race.
     it = contexts_
+             // costsense-lint: allow(R8, "context materialization must be atomic with map insertion so racing requests share one cache per (query, policy)")
              .emplace(key, std::make_unique<QueryContext>(
                                catalog_,
                                tpch::MakeTpchQuery(
@@ -117,7 +118,7 @@ AnalysisResponse Dispatcher::Handle(const AnalysisRequest& request) {
 Result<std::string> Dispatcher::Render(const AnalysisRequest& request,
                                        QueryContext& ctx) {
   // The per-request half of the oracle chain, stacked above the shared
-  // cache in the canonical decorator order (engine/oracle_stack.h):
+  // cache in the canonical decorator order (runtime/oracle_stack.h):
   // ResilientOracle (request deadline + retry budget) over an optional
   // fault injector over the long-lived CachingOracle. Deadlines and
   // faults stay request-local; computed points are shared.

@@ -10,7 +10,7 @@
 #include "catalog/catalog.h"
 #include "common/status.h"
 #include "core/discovery.h"
-#include "engine/oracle_stack.h"
+#include "runtime/oracle_stack.h"
 #include "runtime/cache_store.h"
 #include "runtime/oracle_cache.h"
 #include "runtime/resilience/clock.h"
@@ -122,7 +122,7 @@ class Dispatcher {
   /// Snapshot store behind every context's stack (null without
   /// cache_path). Declared before builder_ so the builder can point at it.
   std::unique_ptr<runtime::CacheStore> store_;
-  engine::OracleStackBuilder builder_;
+  runtime::OracleStackBuilder builder_;
 
   mutable std::mutex mu_;
   std::map<std::pair<uint16_t, int>, std::unique_ptr<QueryContext>> contexts_;

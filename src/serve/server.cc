@@ -58,6 +58,7 @@ size_t Server::ReapIdleSessions() {
       // Abort() only touches the transport (thread-safe close); the
       // session deregisters itself before destruction, so this pointer is
       // valid for as long as we hold the registry lock.
+      // costsense-lint: allow(R8, "Abort closes, never blocks; the session pointer is only valid while the registry lock pins it")
       session->Abort();
       ++reaped;
     }
@@ -78,6 +79,7 @@ void Server::DrainSessions() {
         // Deadline: force-close the stragglers. Their blocked Recv calls
         // wake with end-of-stream and the sessions deregister on exit.
         for (Session* session : active_) {
+          // costsense-lint: allow(R8, "Abort closes, never blocks; the session pointer is only valid while the registry lock pins it")
           session->Abort();
           ++shutdown_.forced_sessions;
         }

@@ -53,8 +53,12 @@ void StatsSnapshotter::Loop() {
 }
 
 size_t StatsSnapshotter::TickOnce() {
-  std::lock_guard<std::mutex> lock(tick_mu_);
+  // Reap before taking the tick lock: ReapIdleSessions force-closes idle
+  // transports, and holding tick_mu_ across that close would let one
+  // wedged connection stall every concurrent manual Tick() caller
+  // (lint rule R8: no lock held across a transport boundary).
   const size_t reaped = server_.ReapIdleSessions();
+  std::lock_guard<std::mutex> lock(tick_mu_);
   const ServerStats stats = server_.stats();
   const uint64_t seq = ticks_.fetch_add(1, std::memory_order_relaxed) + 1;
 

@@ -2,15 +2,16 @@
 // ordering property the stack exists to encode — faults are injected
 // *above* the cache, so retries re-enter the injector but never cost an
 // extra base-optimizer call, and the cache only ever holds clean replies.
-#include "engine/oracle_stack.h"
+#include "runtime/oracle_stack.h"
 
 #include <gtest/gtest.h>
 
 #include <vector>
 
+#include "engine/config.h"
 #include "tests/core/fake_oracle.h"
 
-namespace costsense::engine {
+namespace costsense::runtime {
 namespace {
 
 std::vector<core::PlanUsage> TwoPlans() {
@@ -40,7 +41,7 @@ TEST(OracleStackTest, DefaultBuildIsCacheOnly) {
 
 TEST(OracleStackTest, WithCacheSizingIsApplied) {
   core::FakeOracle base(TwoPlans(), /*white_box=*/true);
-  runtime::OracleCacheOptions options;
+  OracleCacheOptions options;
   options.shards = 1;
   options.max_entries = 2;
   OracleStack stack = OracleStackBuilder().WithCache(options).Build(base);
@@ -56,11 +57,11 @@ TEST(OracleStackTest, WithCacheSizingIsApplied) {
 TEST(OracleStackTest, FaultsInjectAboveTheCacheSoRetriesAreFree) {
   core::FakeOracle base(TwoPlans(), /*white_box=*/true);
 
-  runtime::resilience::FaultInjectionOptions faults;
+  resilience::FaultInjectionOptions faults;
   faults.fault_rate = 1.0;  // every key starts a burst
   faults.max_burst = 2;
   faults.weight_transient = 1.0;
-  runtime::resilience::ResilientOracleOptions retry;
+  resilience::ResilientOracleOptions retry;
   retry.max_retries = 5;  // budget > burst: recovery is guaranteed
 
   OracleStack stack =
@@ -99,10 +100,10 @@ TEST(OracleStackTest, FaultsInjectAboveTheCacheSoRetriesAreFree) {
 
 TEST(OracleStackTest, ExhaustedRetryBudgetSurfacesTypedFailure) {
   core::FakeOracle base(TwoPlans(), /*white_box=*/true);
-  runtime::resilience::FaultInjectionOptions faults;
+  resilience::FaultInjectionOptions faults;
   faults.fault_rate = 1.0;
   faults.max_burst = 3;
-  runtime::resilience::ResilientOracleOptions retry;
+  resilience::ResilientOracleOptions retry;
   retry.max_retries = 1;  // 2 attempts < burst of 3: the call must fail
 
   OracleStack stack =
@@ -115,20 +116,20 @@ TEST(OracleStackTest, ExhaustedRetryBudgetSurfacesTypedFailure) {
   EXPECT_EQ(base.calls(), 0u);  // the fault tier absorbed every attempt
 }
 
-TEST(OracleStackTest, FromConfigGatesResilienceOnFaultRate) {
+TEST(OracleStackTest, MakeBuilderGatesResilienceOnFaultRate) {
   core::FakeOracle base(TwoPlans(), /*white_box=*/true);
 
-  EngineConfig plain;
-  OracleStack no_faults = OracleStackBuilder::FromConfig(plain).Build(base);
+  engine::EngineConfig plain;
+  OracleStack no_faults = engine::MakeOracleStackBuilder(plain).Build(base);
   EXPECT_EQ(no_faults.resilient(), nullptr);
 
-  EngineConfig faulty;
+  engine::EngineConfig faulty;
   faulty.fault_rate = 0.5;
   faulty.max_retries = 4;
   faulty.cache.shards = 2;
   faulty.cache.max_entries = 64;
   OracleStack with_faults =
-      OracleStackBuilder::FromConfig(faulty).Build(base);
+      engine::MakeOracleStackBuilder(faulty).Build(base);
   EXPECT_NE(with_faults.resilient(), nullptr);
   EXPECT_NE(with_faults.injector(), nullptr);
 }
@@ -148,4 +149,4 @@ TEST(OracleStackTest, OneBuilderStampsOutIndependentStacks) {
 }
 
 }  // namespace
-}  // namespace costsense::engine
+}  // namespace costsense::runtime

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "core/worst_case.h"
 #include "exp/figure_runner.h"
 #include "exp/report.h"
 #include "runtime/thread_pool.h"

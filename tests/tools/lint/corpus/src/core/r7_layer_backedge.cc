@@ -1,0 +1,9 @@
+// R7 fixture: core sits below engine in the layer order, so this include
+// is a back-edge the manifest does not sanction.
+#include "engine/config.h"
+
+namespace costsense::core {
+
+int LayerBackedgeFixture() { return 1; }
+
+}  // namespace costsense::core

@@ -1,0 +1,17 @@
+// R7 fixture: one half of a deliberate file-level include cycle.
+// Intra-module includes are fine at the layer level, but the file graph
+// must still be acyclic.
+#ifndef COSTSENSE_CORPUS_RUNTIME_R7_CYCLE_A_H_
+#define COSTSENSE_CORPUS_RUNTIME_R7_CYCLE_A_H_
+
+#include "runtime/r7_cycle_b.h"
+
+namespace costsense::runtime {
+
+struct CycleFixtureA {
+  int value = 0;
+};
+
+}  // namespace costsense::runtime
+
+#endif  // COSTSENSE_CORPUS_RUNTIME_R7_CYCLE_A_H_

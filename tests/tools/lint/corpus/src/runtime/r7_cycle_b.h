@@ -1,0 +1,16 @@
+// R7 fixture: the other half of the deliberate include cycle with
+// r7_cycle_a.h.
+#ifndef COSTSENSE_CORPUS_RUNTIME_R7_CYCLE_B_H_
+#define COSTSENSE_CORPUS_RUNTIME_R7_CYCLE_B_H_
+
+#include "runtime/r7_cycle_a.h"
+
+namespace costsense::runtime {
+
+struct CycleFixtureB {
+  int value = 0;
+};
+
+}  // namespace costsense::runtime
+
+#endif  // COSTSENSE_CORPUS_RUNTIME_R7_CYCLE_B_H_

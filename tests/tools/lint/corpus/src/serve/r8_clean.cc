@@ -1,0 +1,32 @@
+// R8 fixture: the clean counterpart. One path takes both locks atomically
+// (scoped_lock groups are exempt from intra-group ordering) and the other
+// always goes a before b, including through a callee — no cycle, no
+// boundary crossing, zero findings.
+#include <mutex>
+
+namespace costsense::serve {
+
+class R8CleanFixture {
+ public:
+  void Atomic() {
+    std::scoped_lock lock(clean_a_mu_, clean_b_mu_);
+    ++calls_;
+  }
+
+  void Ordered() {
+    std::lock_guard<std::mutex> a(clean_a_mu_);
+    Tail();
+  }
+
+ private:
+  void Tail() {
+    std::lock_guard<std::mutex> b(clean_b_mu_);
+    ++calls_;
+  }
+
+  std::mutex clean_a_mu_;
+  std::mutex clean_b_mu_;
+  int calls_ = 0;
+};
+
+}  // namespace costsense::serve

@@ -1,0 +1,25 @@
+// R8 fixture: a mutex held across an oracle call. Optimize() can take
+// arbitrarily long, so every other thread contending on the lock stalls
+// behind one slow optimization.
+#include <mutex>
+
+namespace costsense::serve {
+
+class R8OracleShim {
+ public:
+  double Optimize(int query) { return static_cast<double>(query); }
+};
+
+class R8AcrossOracleFixture {
+ public:
+  double Cached(int query) {
+    std::lock_guard<std::mutex> lock(across_mu_);
+    return oracle_shim_.Optimize(query);
+  }
+
+ private:
+  std::mutex across_mu_;
+  R8OracleShim oracle_shim_;
+};
+
+}  // namespace costsense::serve

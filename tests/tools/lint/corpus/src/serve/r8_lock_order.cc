@@ -1,0 +1,27 @@
+// R8 fixture: two mutexes acquired in opposite orders on two paths — the
+// classic ABBA deadlock shape the lock-order graph must flag as a cycle.
+#include <mutex>
+
+namespace costsense::serve {
+
+class R8OrderFixture {
+ public:
+  void ForwardPath() {
+    std::lock_guard<std::mutex> a(order_a_mu_);
+    std::lock_guard<std::mutex> b(order_b_mu_);
+    ++calls_;
+  }
+
+  void ReversedPath() {
+    std::lock_guard<std::mutex> b(order_b_mu_);
+    std::lock_guard<std::mutex> a(order_a_mu_);
+    ++calls_;
+  }
+
+ private:
+  std::mutex order_a_mu_;
+  std::mutex order_b_mu_;
+  int calls_ = 0;
+};
+
+}  // namespace costsense::serve

@@ -1,7 +1,9 @@
 // Tests for the costsense-lint analyzer — lexer hygiene (strings/comments
 // never produce findings), suppression grammar and coverage, R4 declaration
-// detection edge cases, and a fixture-corpus golden run (known-violation
-// files under tests/tools/lint/corpus, compared byte-exact).
+// detection edge cases, layers.toml parsing, the R7 include-graph and R8
+// lock-discipline whole-program passes, the JSON diagnostic format, and a
+// fixture-corpus golden run (known-violation files under
+// tests/tools/lint/corpus, compared byte-exact).
 // (The directive prefix itself cannot appear in this comment: the tree
 // lint parses it in every scanned file, including this one.)
 #include <algorithm>
@@ -336,6 +338,284 @@ TEST(NodiscardTest, IgnoresUsesConstructorsAndNonHeaderFiles) {
 }
 
 // ---------------------------------------------------------------------------
+// Layer manifest parsing
+// ---------------------------------------------------------------------------
+
+constexpr const char* kTestManifest =
+    "[layers]\n"
+    "common = []\n"
+    "core = [\"common\"]\n"
+    "engine = [\"common\", \"core\"]\n"
+    "\n"
+    "[[exception]]\n"
+    "from = \"core\"\n"
+    "to = \"engine/legacy.h\"\n"
+    "why = \"documented inversion kept for the test\"\n";
+
+LayerManifest TestManifest() {
+  LayerManifest manifest;
+  std::string error;
+  EXPECT_TRUE(ParseLayerManifest(kTestManifest, &manifest, &error)) << error;
+  return manifest;
+}
+
+TEST(ManifestTest, ParsesOrderAllowedEdgesAndExceptions) {
+  const LayerManifest m = TestManifest();
+  ASSERT_EQ(m.order.size(), 3u);
+  EXPECT_EQ(m.order[0], "common");
+  EXPECT_EQ(m.order[2], "engine");
+  EXPECT_TRUE(m.allowed.at("common").empty());
+  EXPECT_EQ(m.allowed.at("engine").count("core"), 1u);
+  ASSERT_EQ(m.exceptions.size(), 1u);
+  EXPECT_EQ(m.exceptions[0].from, "core");
+  EXPECT_EQ(m.exceptions[0].to, "engine/legacy.h");
+  EXPECT_FALSE(m.exceptions[0].why.empty());
+}
+
+TEST(ManifestTest, RejectsUndeclaredModuleInAllowList) {
+  LayerManifest m;
+  std::string error;
+  EXPECT_FALSE(ParseLayerManifest(
+      "[layers]\ncommon = []\ncore = [\"mystery\"]\n", &m, &error));
+  EXPECT_NE(error.find("mystery"), std::string::npos) << error;
+}
+
+TEST(ManifestTest, RejectsCycleInAllowedGraph) {
+  LayerManifest m;
+  std::string error;
+  EXPECT_FALSE(ParseLayerManifest(
+      "[layers]\nalpha = [\"beta\"]\nbeta = [\"alpha\"]\n", &m, &error));
+}
+
+TEST(ManifestTest, RejectsIncompleteException) {
+  LayerManifest m;
+  std::string error;
+  EXPECT_FALSE(ParseLayerManifest(
+      std::string("[layers]\ncommon = []\ncore = [\"common\"]\n") +
+          "[[exception]]\nfrom = \"core\"\nto = \"common/x.h\"\n",
+      &m, &error));
+  // Diagnostics carry a line anchor so a broken manifest is fixable.
+  EXPECT_EQ(error.rfind("layers.toml:", 0), 0u) << error;
+}
+
+// ---------------------------------------------------------------------------
+// R7: include-graph layering
+// ---------------------------------------------------------------------------
+
+TEST(LayeringTest, FlagsBackEdgeAndAcceptsSanctionedEdges) {
+  const LayerManifest m = TestManifest();
+  const std::vector<SourceFile> files = {
+      {"src/core/plan.cc", "#include \"engine/config.h\"\nint x;\n"},
+      {"src/engine/config.cc", "#include \"core/plan.h\"\nint y;\n"},
+  };
+  const auto findings = CheckIncludeGraph(files, m);
+  ASSERT_EQ(CountRule(findings, Rule::kLayering), 1);
+  EXPECT_EQ(findings[0].file, "src/core/plan.cc");
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(LayeringTest, ManifestExceptionCoversOneTargetOnly) {
+  const LayerManifest m = TestManifest();
+  EXPECT_TRUE(CheckIncludeGraph({{"src/core/plan.cc",
+                                  "#include \"engine/legacy.h\"\n"}},
+                                m)
+                  .empty());
+  EXPECT_EQ(CountRule(CheckIncludeGraph({{"src/core/plan.cc",
+                                          "#include \"engine/other.h\"\n"}},
+                                        m),
+                      Rule::kLayering),
+            1);
+}
+
+TEST(LayeringTest, SuppressionOnTheIncludeLineIsHonored) {
+  const LayerManifest m = TestManifest();
+  EXPECT_TRUE(
+      CheckIncludeGraph(
+          {{"src/core/plan.cc",
+            "#include \"engine/other.h\"  // costsense-lint: allow(R7, "
+            "\"transitional, tracked in the migration issue\")\n"}},
+          m)
+          .empty());
+}
+
+TEST(LayeringTest, LibraryCodeMustNotIncludeTestsOrBench) {
+  const LayerManifest m = TestManifest();
+  const auto findings = CheckIncludeGraph(
+      {{"src/core/plan.cc", "#include \"tests/util.h\"\n"}}, m);
+  ASSERT_EQ(CountRule(findings, Rule::kLayering), 1);
+  EXPECT_NE(findings[0].message.find("bench/, tests/ or tools/"),
+            std::string::npos);
+}
+
+TEST(LayeringTest, UndeclaredTargetModuleIsAFinding) {
+  const auto findings = CheckIncludeGraph(
+      {{"src/core/plan.cc", "#include \"mystery/box.h\"\n"}}, TestManifest());
+  ASSERT_EQ(CountRule(findings, Rule::kLayering), 1);
+  EXPECT_NE(findings[0].message.find("does not declare"), std::string::npos);
+}
+
+TEST(LayeringTest, FileCyclesAreNeverSuppressible) {
+  const LayerManifest m = TestManifest();
+  const std::vector<SourceFile> files = {
+      {"src/core/a.h",
+       "#include \"core/b.h\"  // costsense-lint: allow(R7, \"no\")\n"},
+      {"src/core/b.h",
+       "#include \"core/a.h\"  // costsense-lint: allow(R7, \"no\")\n"},
+  };
+  const auto findings = CheckIncludeGraph(files, m);
+  ASSERT_EQ(CountRule(findings, Rule::kLayering), 1);
+  EXPECT_NE(findings[0].message.find("include cycle"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// R8: lock discipline
+// ---------------------------------------------------------------------------
+
+TEST(LockDisciplineTest, FlagsAbbaOrderCycle) {
+  const std::vector<SourceFile> files = {
+      {"src/serve/abba.cc",
+       "#include <mutex>\n"
+       "class Abba {\n"
+       " public:\n"
+       "  void F() { std::lock_guard<std::mutex> a(a_mu_);\n"
+       "             std::lock_guard<std::mutex> b(b_mu_); }\n"
+       "  void G() { std::lock_guard<std::mutex> b(b_mu_);\n"
+       "             std::lock_guard<std::mutex> a(a_mu_); }\n"
+       " private:\n"
+       "  std::mutex a_mu_;\n"
+       "  std::mutex b_mu_;\n"
+       "};\n"}};
+  const auto findings = CheckLockDiscipline(files);
+  ASSERT_EQ(CountRule(findings, Rule::kLockDiscipline), 1);
+  EXPECT_NE(findings[0].message.find("inconsistent lock acquisition order"),
+            std::string::npos);
+}
+
+TEST(LockDisciplineTest, FlagsLockHeldAcrossOracleCall) {
+  const std::vector<SourceFile> files = {
+      {"src/serve/held.cc",
+       "#include <mutex>\n"
+       "class Held {\n"
+       " public:\n"
+       "  double F(int q) {\n"
+       "    std::lock_guard<std::mutex> lock(mu_);\n"
+       "    return oracle_.Optimize(q);\n"
+       "  }\n"
+       " private:\n"
+       "  std::mutex mu_;\n"
+       "  Oracle oracle_;\n"
+       "};\n"}};
+  const auto findings = CheckLockDiscipline(files);
+  ASSERT_EQ(CountRule(findings, Rule::kLockDiscipline), 1);
+  EXPECT_NE(findings[0].message.find("oracle boundary"), std::string::npos);
+}
+
+TEST(LockDisciplineTest, ReachesTransportBoundaryThroughTheCallGraph) {
+  // F holds the lock and calls a helper; only the helper touches the
+  // transport. The whole-program pass must follow the call edge.
+  const std::vector<SourceFile> files = {
+      {"src/serve/deep.cc",
+       "#include <mutex>\n"
+       "class Deep {\n"
+       " public:\n"
+       "  void F() {\n"
+       "    std::lock_guard<std::mutex> lock(mu_);\n"
+       "    Helper();\n"
+       "  }\n"
+       " private:\n"
+       "  void Helper() { (void)transport_->SendFrame(0, \"x\"); }\n"
+       "  std::mutex mu_;\n"
+       "  FrameTransport* transport_;\n"
+       "};\n"}};
+  const auto findings = CheckLockDiscipline(files);
+  ASSERT_EQ(CountRule(findings, Rule::kLockDiscipline), 1);
+  EXPECT_EQ(findings[0].line, 6);
+}
+
+TEST(LockDisciplineTest, ScopedLockGroupAndScopedReleaseAreClean) {
+  const std::vector<SourceFile> files = {
+      {"src/serve/clean.cc",
+       "#include <mutex>\n"
+       "class Clean {\n"
+       " public:\n"
+       "  void Atomic() { std::scoped_lock lock(a_mu_, b_mu_); n_ = 1; }\n"
+       "  double Staged(int q) {\n"
+       "    { std::lock_guard<std::mutex> lock(a_mu_); n_ = 2; }\n"
+       "    return oracle_.Optimize(q);\n"  // lock released before the call
+       "  }\n"
+       " private:\n"
+       "  std::mutex a_mu_;\n"
+       "  std::mutex b_mu_;\n"
+       "  Oracle oracle_;\n"
+       "  int n_ = 0;\n"
+       "};\n"}};
+  EXPECT_TRUE(CheckLockDiscipline(files).empty());
+}
+
+TEST(LockDisciplineTest, JustifiedSuppressionVouchesTheEdge) {
+  const std::vector<SourceFile> files = {
+      {"src/serve/vouched.cc",
+       "#include <mutex>\n"
+       "class Vouched {\n"
+       " public:\n"
+       "  void F() {\n"
+       "    std::lock_guard<std::mutex> a(a_mu_);\n"
+       "    // costsense-lint: allow(R8, \"startup-only path, cannot race "
+       "G\")\n"
+       "    std::lock_guard<std::mutex> b(b_mu_);\n"
+       "  }\n"
+       "  void G() { std::lock_guard<std::mutex> b(b_mu_);\n"
+       "             std::lock_guard<std::mutex> a(a_mu_); }\n"
+       " private:\n"
+       "  std::mutex a_mu_;\n"
+       "  std::mutex b_mu_;\n"
+       "};\n"}};
+  EXPECT_TRUE(CheckLockDiscipline(files).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostic formats
+// ---------------------------------------------------------------------------
+
+TEST(FormatTest, JsonCarriesFileLineColRuleAndFingerprint) {
+  const std::string json = FormatFindingsJson(
+      AnalyzeSource("src/opt/plan.cc", "void f() { printf(\"x\"); }\n"));
+  EXPECT_NE(json.find("\"version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"file\": \"src/opt/plan.cc\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"R3\""), std::string::npos);
+  EXPECT_NE(json.find("\"fingerprint\": \""), std::string::npos);
+}
+
+TEST(FormatTest, JsonWithNoFindingsIsStillWellFormed) {
+  EXPECT_EQ(FormatFindingsJson({}),
+            "{\"version\": 1, \"count\": 0, \"findings\": []}\n");
+}
+
+TEST(FormatTest, FingerprintsSurviveLineShifts) {
+  std::vector<Finding> before =
+      AnalyzeSource("src/opt/plan.cc", "void f() { printf(\"x\"); }\n");
+  std::vector<Finding> after = AnalyzeSource(
+      "src/opt/plan.cc", "\n\n\nvoid f() { printf(\"x\"); }\n");
+  AssignFingerprints(&before);
+  AssignFingerprints(&after);
+  ASSERT_EQ(before.size(), 1u);
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_NE(before[0].line, after[0].line);
+  EXPECT_EQ(before[0].fingerprint, after[0].fingerprint);
+}
+
+TEST(FormatTest, DuplicateFindingsGetDistinctStableFingerprints) {
+  std::vector<Finding> findings = AnalyzeSource(
+      "src/opt/plan.cc",
+      "void f() { printf(\"x\"); }\nvoid g() { printf(\"x\"); }\n");
+  AssignFingerprints(&findings);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_NE(findings[0].fingerprint, findings[1].fingerprint);
+}
+
+// ---------------------------------------------------------------------------
 // Fixture corpus golden test
 // ---------------------------------------------------------------------------
 
@@ -351,28 +631,33 @@ TEST(CorpusTest, GoldenFindings) {
   const fs::path corpus(COSTSENSE_LINT_CORPUS_DIR);
   ASSERT_TRUE(fs::exists(corpus)) << corpus;
 
-  std::vector<fs::path> files;
+  LayerManifest manifest;
+  std::string manifest_error;
+  ASSERT_TRUE(ParseLayerManifest(ReadFile(corpus / "layers.toml"), &manifest,
+                                 &manifest_error))
+      << manifest_error;
+
+  std::vector<fs::path> paths;
   for (const auto& entry : fs::recursive_directory_iterator(corpus)) {
     if (!entry.is_regular_file()) continue;
     const std::string ext = entry.path().extension().string();
-    if (ext == ".h" || ext == ".cc") files.push_back(entry.path());
+    if (ext == ".h" || ext == ".cc") paths.push_back(entry.path());
   }
-  std::sort(files.begin(), files.end());
-  ASSERT_GE(files.size(), 7u) << "corpus lost fixture files";
+  std::sort(paths.begin(), paths.end());
+  ASSERT_GE(paths.size(), 15u) << "corpus lost fixture files";
 
-  std::vector<Finding> findings;
-  for (const fs::path& file : files) {
-    std::string rel = fs::relative(file, corpus).generic_string();
-    const auto file_findings = AnalyzeSource(rel, ReadFile(file));
-    findings.insert(findings.end(), file_findings.begin(),
-                    file_findings.end());
+  std::vector<SourceFile> files;
+  for (const fs::path& path : paths) {
+    files.push_back(
+        {fs::relative(path, corpus).generic_string(), ReadFile(path)});
   }
 
   const std::string expected = ReadFile(corpus / "expected_findings.txt");
-  EXPECT_EQ(FormatFindings(std::move(findings)), expected)
+  EXPECT_EQ(FormatFindings(AnalyzeRepo(files, &manifest)), expected)
       << "fixture corpus findings drifted; if the rule set changed on "
-         "purpose, regenerate with: costsense_lint --relative-to "
-         "tests/tools/lint/corpus --root tests/tools/lint/corpus";
+         "purpose, regenerate with: costsense_lint --root "
+         "tests/tools/lint/corpus --relative-to tests/tools/lint/corpus "
+         "--layers tests/tools/lint/corpus/layers.toml";
 }
 
 /// Every rule must appear at least once in the golden file, so a rule
@@ -380,8 +665,8 @@ TEST(CorpusTest, GoldenFindings) {
 TEST(CorpusTest, GoldenCoversEveryRule) {
   const std::string expected =
       ReadFile(fs::path(COSTSENSE_LINT_CORPUS_DIR) / "expected_findings.txt");
-  for (const char* id :
-       {"[R1]", "[R2]", "[R3]", "[R4]", "[R5]", "[R6]", "[SUP]"}) {
+  for (const char* id : {"[R1]", "[R2]", "[R3]", "[R4]", "[R5]", "[R6]",
+                         "[R7]", "[R8]", "[SUP]"}) {
     EXPECT_NE(expected.find(id), std::string::npos)
         << id << " missing from expected_findings.txt";
   }

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# The one CI entry point: configure + build + full test suite + the lint
+# gate (machine-readable), then targeted sanitizer builds. Each stage owns
+# a stable exit code so automation can tell *what* broke without parsing
+# logs:
+#
+#   0  everything passed
+#   2  configure or build failed (plain build tree)
+#   3  ctest suite failed
+#   4  costsense-lint found violations (its JSON is on stdout) or its
+#      configuration is broken (e.g. unparseable layers.toml)
+#   5  AddressSanitizer build or its test subset failed
+#   6  ThreadSanitizer build or its test subset failed
+#
+# The sanitizer stages rebuild into their own trees (build-asan,
+# build-tsan) and run the label subsets the root CMakeLists documents for
+# them: resilience under ASan, concurrency under TSan. Set
+# COSTSENSE_CI_SKIP_SANITIZERS=1 to stop after the lint gate (fast local
+# pre-push loop).
+set -u
+
+ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
+JOBS="${COSTSENSE_CI_JOBS:-$(nproc)}"
+
+stage() { echo "== costsense-ci: $*" >&2; }
+
+stage "configure + build (build/)"
+cmake -B "$ROOT/build" -S "$ROOT" >/dev/null || exit 2
+cmake --build "$ROOT/build" -j "$JOBS" || exit 2
+
+stage "ctest (full suite)"
+ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS" || exit 3
+
+stage "lint gate (--format json)"
+"$ROOT/build/tools/lint/costsense_lint" \
+  --format json \
+  --relative-to "$ROOT" \
+  --exclude "$ROOT/tests/tools/lint/corpus" \
+  --layers "$ROOT/tools/lint/layers.toml" \
+  --root "$ROOT/src" \
+  --root "$ROOT/bench" \
+  --root "$ROOT/tests" \
+  --root "$ROOT/tools" || exit 4
+
+if [ "${COSTSENSE_CI_SKIP_SANITIZERS:-0}" = "1" ]; then
+  stage "sanitizers skipped (COSTSENSE_CI_SKIP_SANITIZERS=1)"
+  exit 0
+fi
+
+stage "AddressSanitizer (build-asan/, ctest -L resilience)"
+cmake -B "$ROOT/build-asan" -S "$ROOT" -DCOSTSENSE_ASAN=ON >/dev/null || exit 5
+cmake --build "$ROOT/build-asan" -j "$JOBS" || exit 5
+ctest --test-dir "$ROOT/build-asan" -L resilience --output-on-failure \
+  -j "$JOBS" || exit 5
+
+stage "ThreadSanitizer (build-tsan/, ctest -L concurrency)"
+cmake -B "$ROOT/build-tsan" -S "$ROOT" -DCOSTSENSE_TSAN=ON >/dev/null || exit 6
+cmake --build "$ROOT/build-tsan" -j "$JOBS" || exit 6
+ctest --test-dir "$ROOT/build-tsan" -L concurrency --output-on-failure \
+  -j "$JOBS" || exit 6
+
+stage "all stages passed"
+exit 0

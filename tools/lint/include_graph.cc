@@ -1,0 +1,319 @@
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "internal.h"
+#include "lint.h"
+
+/// R7: include-graph layering. Two properties, both over `src/`-classified
+/// files only (bench/tests/tools may include whatever they test):
+///
+///  1. Module edges. Every quoted `#include "module/file.h"` whose first
+///     path component is another module must be sanctioned: either listed
+///     in the including module's [layers] entry, covered by a documented
+///     [[exception]], or suppressed on the include line with
+///     allow(R7, ...). Includes of bench/tests/tools from library code and
+///     includes of modules the manifest has never heard of are findings.
+///
+///  2. File-level cycles. The include graph over the scanned src files must
+///     be acyclic. Cycles are reported once per strongly connected
+///     component and are NOT suppressible and NOT exemptable: a manifest
+///     exception whitelists a module-level back-edge, but a concrete
+///     file-level cycle is always a defect.
+namespace costsense::lint {
+namespace {
+
+using internal::ClassifyPath;
+using internal::IsSuppressed;
+using internal::PathClass;
+using internal::SplitPath;
+using internal::Suppressions;
+
+struct SrcNode {
+  const SourceFile* file = nullptr;
+  std::string rel;     // module-relative path, e.g. "core/oracle.h"
+  std::string module;  // first component of rel
+  LexedFile lexed;
+  Suppressions sup;
+};
+
+std::string JoinSorted(const std::set<std::string>& items) {
+  std::string out;
+  for (const std::string& item : items) {
+    if (!out.empty()) out += ", ";
+    out += item;
+  }
+  return out;
+}
+
+bool ExceptionCovers(const LayerException& exc, const SrcNode& node,
+                     const std::string& target_module,
+                     const std::string& include_path) {
+  const bool from_ok = exc.from == node.module || exc.from == node.rel;
+  const bool to_ok = exc.to == target_module || exc.to == include_path;
+  return from_ok && to_ok;
+}
+
+}  // namespace
+
+namespace internal {
+
+/// Kosaraju SCC; component ids come out in reverse-topological discovery
+/// order, which is stable for a given adjacency list.
+std::vector<int> StronglyConnectedComponents(
+    const std::vector<std::vector<int>>& adj, int* component_count) {
+  const int n = static_cast<int>(adj.size());
+  std::vector<std::vector<int>> radj(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v : adj[u]) radj[v].push_back(u);
+  }
+  std::vector<int> order;
+  std::vector<char> seen(static_cast<size_t>(n), 0);
+  for (int start = 0; start < n; ++start) {
+    if (seen[static_cast<size_t>(start)]) continue;
+    std::vector<std::pair<int, size_t>> stack = {{start, 0}};
+    seen[static_cast<size_t>(start)] = 1;
+    while (!stack.empty()) {
+      const int u = stack.back().first;
+      const size_t next = stack.back().second;
+      if (next >= adj[static_cast<size_t>(u)].size()) {
+        order.push_back(u);
+        stack.pop_back();
+        continue;
+      }
+      stack.back().second = next + 1;
+      const int v = adj[static_cast<size_t>(u)][next];
+      if (!seen[static_cast<size_t>(v)]) {
+        seen[static_cast<size_t>(v)] = 1;
+        stack.push_back({v, 0});
+      }
+    }
+  }
+  std::vector<int> comp(static_cast<size_t>(n), -1);
+  int c = 0;
+  for (int idx = n - 1; idx >= 0; --idx) {
+    const int start = order[static_cast<size_t>(idx)];
+    if (comp[static_cast<size_t>(start)] != -1) continue;
+    std::vector<int> stack = {start};
+    comp[static_cast<size_t>(start)] = c;
+    while (!stack.empty()) {
+      const int u = stack.back();
+      stack.pop_back();
+      for (int v : radj[static_cast<size_t>(u)]) {
+        if (comp[static_cast<size_t>(v)] == -1) {
+          comp[static_cast<size_t>(v)] = c;
+          stack.push_back(v);
+        }
+      }
+    }
+    ++c;
+  }
+  *component_count = c;
+  return comp;
+}
+
+}  // namespace internal
+
+namespace {
+
+/// Shortest path u -> target inside one component (BFS); used to render a
+/// concrete cycle chain in the finding message.
+std::vector<int> PathWithin(const std::vector<std::vector<int>>& adj,
+                            const std::vector<int>& comp, int u, int target) {
+  std::vector<int> prev(adj.size(), -1);
+  std::vector<int> queue = {u};
+  std::vector<char> seen(adj.size(), 0);
+  seen[static_cast<size_t>(u)] = 1;
+  for (size_t qi = 0; qi < queue.size(); ++qi) {
+    const int cur = queue[qi];
+    for (int v : adj[static_cast<size_t>(cur)]) {
+      if (comp[static_cast<size_t>(v)] != comp[static_cast<size_t>(u)]) {
+        continue;
+      }
+      if (seen[static_cast<size_t>(v)]) continue;
+      seen[static_cast<size_t>(v)] = 1;
+      prev[static_cast<size_t>(v)] = cur;
+      if (v == target) {
+        std::vector<int> path = {v};
+        int p = cur;
+        while (p != -1 && p != u) {
+          path.push_back(p);
+          p = prev[static_cast<size_t>(p)];
+        }
+        path.push_back(u);
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      queue.push_back(v);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<Finding> CheckIncludeGraph(const std::vector<SourceFile>& files,
+                                       const LayerManifest& manifest) {
+  std::vector<Finding> findings;
+
+  std::vector<SrcNode> nodes;
+  for (const SourceFile& file : files) {
+    const PathClass pc = ClassifyPath(file.path);
+    if (pc.root != PathClass::kSrc) continue;
+    const std::vector<std::string> parts = SplitPath(pc.rel);
+    if (parts.size() < 2) continue;  // no module directory
+    SrcNode node;
+    node.file = &file;
+    node.rel = pc.rel;
+    node.module = parts[0];
+    node.lexed = Lex(file.content);
+    node.sup = internal::CollectSuppressions(file.path, node.lexed.comments);
+    nodes.push_back(std::move(node));
+  }
+
+  std::map<std::string, int> index_of_rel;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    index_of_rel[nodes[i].rel] = static_cast<int>(i);
+  }
+
+  // --- Property 1: module edges vs. the manifest -------------------------
+  std::vector<std::vector<int>> adj(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    SrcNode& node = nodes[i];
+    // node.sup.bad is NOT re-reported here; the per-file pass owns SUP.
+    for (const IncludeDirective& inc : node.lexed.includes) {
+      if (inc.angled) continue;  // system headers are outside the layer map
+      const std::vector<std::string> inc_parts = SplitPath(inc.path);
+      if (inc_parts.size() < 2) continue;  // same-directory include
+      const std::string& target = inc_parts[0];
+
+      // File-level edge for the cycle check, whatever the manifest says.
+      const auto rel_it = index_of_rel.find(inc.path);
+      if (rel_it != index_of_rel.end()) {
+        adj[i].push_back(rel_it->second);
+      }
+
+      if (target == node.module) continue;  // intra-module: always allowed
+
+      if (target == "bench" || target == "tests" || target == "tools") {
+        findings.push_back(
+            {node.file->path, inc.line, inc.col, Rule::kLayering,
+             "library code includes \"" + inc.path + "\" (R7): src/" +
+                 node.module +
+                 " must never depend on bench/, tests/ or tools/; invert "
+                 "the dependency or move the shared piece into src/",
+             ""});
+        continue;
+      }
+      if (!manifest.allowed.count(target)) {
+        findings.push_back(
+            {node.file->path, inc.line, inc.col, Rule::kLayering,
+             "include of \"" + inc.path + "\" names module '" + target +
+                 "' which layers.toml does not declare (R7); add the module "
+                 "to the [layers] table or fix the include path",
+             ""});
+        continue;
+      }
+      const auto allowed_it = manifest.allowed.find(node.module);
+      const bool module_declared = allowed_it != manifest.allowed.end();
+      const bool edge_allowed =
+          module_declared && allowed_it->second.count(target) > 0;
+      if (!module_declared) {
+        findings.push_back(
+            {node.file->path, inc.line, inc.col, Rule::kLayering,
+             "module '" + node.module +
+                 "' is not declared in layers.toml (R7); every src/ module "
+                 "must have a [layers] entry naming what it may include",
+             ""});
+        continue;
+      }
+      if (edge_allowed) continue;
+      bool excepted = false;
+      for (const LayerException& exc : manifest.exceptions) {
+        if (ExceptionCovers(exc, node, target, inc.path)) {
+          excepted = true;
+          break;
+        }
+      }
+      if (excepted) continue;
+      if (IsSuppressed(node.sup, Rule::kLayering, inc.line)) continue;
+      findings.push_back(
+          {node.file->path, inc.line, inc.col, Rule::kLayering,
+           "include of \"" + inc.path + "\" is a layer violation (R7): '" +
+               node.module + "' may only include [" +
+               JoinSorted(allowed_it->second) +
+               "]; add the edge to tools/lint/layers.toml (or a documented "
+               "[[exception]] if the inversion is load-bearing) or break "
+               "the dependency",
+           ""});
+    }
+  }
+
+  // --- Property 2: file-level include cycles -----------------------------
+  int component_count = 0;
+  const std::vector<int> comp =
+      internal::StronglyConnectedComponents(adj, &component_count);
+  std::vector<std::vector<int>> members(
+      static_cast<size_t>(component_count));
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    members[static_cast<size_t>(comp[i])].push_back(static_cast<int>(i));
+  }
+  for (std::vector<int>& scc : members) {
+    bool self_loop = false;
+    if (scc.size() == 1) {
+      const int u = scc[0];
+      for (int v : adj[static_cast<size_t>(u)]) self_loop |= (v == u);
+      if (!self_loop) continue;
+    }
+    // Representative: lexicographically smallest member path.
+    std::sort(scc.begin(), scc.end(), [&](int a, int b) {
+      return nodes[static_cast<size_t>(a)].rel <
+             nodes[static_cast<size_t>(b)].rel;
+    });
+    const int rep = scc[0];
+    const SrcNode& rep_node = nodes[static_cast<size_t>(rep)];
+
+    // Render a concrete chain rep -> ... -> rep.
+    std::string chain = rep_node.rel;
+    int first_hop = rep;
+    if (self_loop) {
+      chain += " -> " + rep_node.rel;
+    } else {
+      for (int v : adj[static_cast<size_t>(rep)]) {
+        if (comp[static_cast<size_t>(v)] != comp[static_cast<size_t>(rep)]) {
+          continue;
+        }
+        const std::vector<int> path = PathWithin(adj, comp, v, rep);
+        if (path.empty()) continue;
+        first_hop = v;
+        for (int p : path) {
+          chain += " -> " + nodes[static_cast<size_t>(p)].rel;
+        }
+        break;
+      }
+    }
+    // Anchor at the rep's include directive that enters the cycle.
+    int line = 1;
+    int col = 1;
+    for (const IncludeDirective& inc : rep_node.lexed.includes) {
+      if (inc.path == nodes[static_cast<size_t>(first_hop)].rel) {
+        line = inc.line;
+        col = inc.col;
+        break;
+      }
+    }
+    findings.push_back(
+        {rep_node.file->path, line, col, Rule::kLayering,
+         "include cycle (R7): " + chain +
+             "; cycles are never suppressible — break the knot with a "
+             "forward declaration or by extracting the shared interface",
+         ""});
+  }
+
+  return findings;
+}
+
+}  // namespace costsense::lint

@@ -1,0 +1,57 @@
+#ifndef COSTSENSE_TOOLS_LINT_INTERNAL_H_
+#define COSTSENSE_TOOLS_LINT_INTERNAL_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint.h"
+
+/// Shared plumbing for the rule passes: path classification and the
+/// suppression-directive parser. Implemented in rules.cc; the whole-program
+/// passes (include_graph.cc, locks.cc) reuse it so `allow(R7, ...)` /
+/// `allow(R8, ...)` behave exactly like the per-file rules' suppressions.
+namespace costsense::lint::internal {
+
+/// Which scanned tree a file belongs to. Classification keys off the LAST
+/// `src`/`bench`/`tests` path component, so fixture corpora that mirror the
+/// tree layout under `tests/tools/lint/corpus/src/...` classify as `src`.
+struct PathClass {
+  enum Root { kSrc, kBench, kTests, kOther } root = kOther;
+  std::string rel;  // path below the root component, '/'-separated
+};
+
+PathClass ClassifyPath(const std::string& path);
+
+std::vector<std::string> SplitPath(std::string_view path);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+std::string_view Trim(std::string_view s);
+
+struct Suppressions {
+  // line -> rules allowed on that line (by a *valid* suppression).
+  std::map<int, std::set<Rule>> by_line;
+  std::vector<Finding> bad;  // malformed / justification-free directives
+};
+
+/// Parses `allow(<rule>, <justification>)` directives out of the file's
+/// comments. A trailing comment covers its own line; a standalone comment
+/// covers itself and the following line.
+Suppressions CollectSuppressions(const std::string& file,
+                                 const std::vector<Comment>& comments);
+
+bool IsSuppressed(const Suppressions& sup, Rule rule, int line);
+
+/// Kosaraju SCC over a directed graph given as adjacency lists; returns
+/// the component id per node and the component count. Shared by the R7
+/// include-cycle check and the R8 lock-order-cycle check. Implemented in
+/// include_graph.cc.
+std::vector<int> StronglyConnectedComponents(
+    const std::vector<std::vector<int>>& adj, int* component_count);
+
+}  // namespace costsense::lint::internal
+
+#endif  // COSTSENSE_TOOLS_LINT_INTERNAL_H_

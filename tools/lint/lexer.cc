@@ -1,6 +1,7 @@
-#include "lint.h"
-
+#include <algorithm>
 #include <cctype>
+
+#include "lint.h"
 
 namespace costsense::lint {
 namespace {
@@ -20,13 +21,20 @@ LexedFile Lex(std::string_view source) {
   const size_t n = source.size();
   size_t i = 0;
   int line = 1;
+  // Offset of the current line's first character; columns are 1-based
+  // distances from it.
+  size_t line_start = 0;
   // Tracks whether any token was emitted on the current line, so comments
   // can be classified as trailing (code before them) or standalone.
   int last_token_line = 0;
 
-  auto push_punct = [&](std::string text) {
+  auto col_of = [&](size_t pos) {
+    return static_cast<int>(pos - line_start) + 1;
+  };
+
+  auto push_punct = [&](std::string text, int col) {
     last_token_line = line;
-    out.tokens.push_back({Token::Kind::kPunct, std::move(text), line});
+    out.tokens.push_back({Token::Kind::kPunct, std::move(text), line, col});
   };
 
   while (i < n) {
@@ -34,6 +42,7 @@ LexedFile Lex(std::string_view source) {
     if (c == '\n') {
       ++line;
       ++i;
+      line_start = i;
       continue;
     }
     if (std::isspace(static_cast<unsigned char>(c))) {
@@ -41,14 +50,40 @@ LexedFile Lex(std::string_view source) {
       continue;
     }
 
+    // Include directive capture: `#include "path"` / `#include <path>`.
+    // The directive is recorded on the side and lexing then proceeds
+    // normally (the quoted path is skipped as a string literal; an angled
+    // path still lexes as tokens, which R6's header detection relies on).
+    if (c == '#') {
+      size_t j = i + 1;
+      while (j < n && (source[j] == ' ' || source[j] == '\t')) ++j;
+      size_t k = j;
+      while (k < n && IsIdentChar(source[k])) ++k;
+      if (source.substr(j, k - j) == "include") {
+        while (k < n && (source[k] == ' ' || source[k] == '\t')) ++k;
+        if (k < n && (source[k] == '"' || source[k] == '<')) {
+          const char close = source[k] == '"' ? '"' : '>';
+          size_t end = k + 1;
+          while (end < n && source[end] != close && source[end] != '\n') ++end;
+          if (end < n && source[end] == close) {
+            out.includes.push_back(
+                {std::string(source.substr(k + 1, end - (k + 1))), line,
+                 col_of(i), close == '>'});
+          }
+        }
+      }
+    }
+
     // Line comment.
     if (c == '/' && i + 1 < n && source[i + 1] == '/') {
       const int start_line = line;
+      const int start_col = col_of(i);
       size_t j = i + 2;
       while (j < n && source[j] == '/') ++j;  // normalize /// doc comments
       size_t end = j;
       while (end < n && source[end] != '\n') ++end;
-      out.comments.push_back({start_line, last_token_line == start_line,
+      out.comments.push_back({start_line, start_col,
+                              last_token_line == start_line,
                               std::string(source.substr(j, end - j))});
       i = end;
       continue;
@@ -57,12 +92,17 @@ LexedFile Lex(std::string_view source) {
     // Block comment.
     if (c == '/' && i + 1 < n && source[i + 1] == '*') {
       const int start_line = line;
+      const int start_col = col_of(i);
       size_t j = i + 2;
       while (j + 1 < n && !(source[j] == '*' && source[j + 1] == '/')) {
-        if (source[j] == '\n') ++line;
+        if (source[j] == '\n') {
+          ++line;
+          line_start = j + 1;
+        }
         ++j;
       }
-      out.comments.push_back({start_line, last_token_line == start_line,
+      out.comments.push_back({start_line, start_col,
+                              last_token_line == start_line,
                               std::string(source.substr(i + 2, j - (i + 2)))});
       i = (j + 1 < n) ? j + 2 : n;
       continue;
@@ -82,7 +122,10 @@ LexedFile Lex(std::string_view source) {
         size_t end = source.find(close, k);
         if (end == std::string_view::npos) end = n - close.size();
         for (size_t p = i; p < end + close.size() && p < n; ++p) {
-          if (source[p] == '\n') ++line;
+          if (source[p] == '\n') {
+            ++line;
+            line_start = p + 1;
+          }
         }
         i = std::min(n, end + close.size());
         continue;
@@ -95,7 +138,10 @@ LexedFile Lex(std::string_view source) {
       size_t j = i + 1;
       while (j < n && source[j] != quote) {
         if (source[j] == '\\' && j + 1 < n) ++j;
-        if (source[j] == '\n') ++line;  // unterminated-literal safety
+        if (source[j] == '\n') {  // unterminated-literal safety
+          ++line;
+          line_start = j + 1;
+        }
         ++j;
       }
       i = (j < n) ? j + 1 : n;
@@ -107,7 +153,8 @@ LexedFile Lex(std::string_view source) {
       while (j < n && IsIdentChar(source[j])) ++j;
       last_token_line = line;
       out.tokens.push_back({Token::Kind::kIdentifier,
-                            std::string(source.substr(i, j - i)), line});
+                            std::string(source.substr(i, j - i)), line,
+                            col_of(i)});
       i = j;
       continue;
     }
@@ -125,7 +172,8 @@ LexedFile Lex(std::string_view source) {
       }
       last_token_line = line;
       out.tokens.push_back({Token::Kind::kNumber,
-                            std::string(source.substr(i, j - i)), line});
+                            std::string(source.substr(i, j - i)), line,
+                            col_of(i)});
       i = j;
       continue;
     }
@@ -133,12 +181,21 @@ LexedFile Lex(std::string_view source) {
     // `::` is one token so the rule engine can tell qualification
     // (`costsense::Status`) apart from labels and ctor-init colons.
     if (c == ':' && i + 1 < n && source[i + 1] == ':') {
-      push_punct("::");
+      push_punct("::", col_of(i));
+      i += 2;
+      continue;
+    }
+    // `->` is one token so the lock-discipline pass can walk member-access
+    // chains (`transport_->Close()`) without confusing `-` `>` with a
+    // comparison against a negated value.
+    if (c == '-' && i + 1 < n && source[i + 1] == '>' &&
+        (i + 2 >= n || source[i + 2] != '*')) {
+      push_punct("->", col_of(i));
       i += 2;
       continue;
     }
 
-    push_punct(std::string(1, c));
+    push_punct(std::string(1, c), col_of(i));
     ++i;
   }
   return out;

@@ -1,9 +1,15 @@
-// costsense_lint CLI: walks source roots, runs the determinism &
-// status-discipline rules, prints findings, exits nonzero when dirty.
+// costsense_lint CLI: walks source roots, runs the per-file rules plus the
+// whole-program passes (R7 layering when --layers is given, R8 lock
+// discipline always), prints findings, exits nonzero when dirty.
 //
 // Usage:
-//   costsense_lint --root src --root bench --root tests
+//   costsense_lint --root src --root bench --root tests --root tools
+//       [--layers tools/lint/layers.toml] [--format text|json]
 //       [--exclude tests/tools/lint/corpus] [--relative-to .]
+//
+// Exit codes are stable for CI: 0 clean, 1 findings, 2 usage/config error
+// (including an unparseable layers.toml — a broken manifest must fail the
+// gate, never silently disable it).
 //
 // This tool is not part of the scanned library tree, so it may use any
 // I/O it likes.
@@ -42,7 +48,8 @@ bool UnderPrefix(const std::string& path, const std::string& prefix) {
 int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --root <dir> [--root <dir>...] [--exclude <prefix>...]"
-               " [--relative-to <dir>]\n";
+               " [--relative-to <dir>] [--layers <layers.toml>]"
+               " [--format text|json]\n";
   return 2;
 }
 
@@ -52,6 +59,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> roots;
   std::vector<std::string> excludes;
   std::string relative_to;
+  std::string layers_path;
+  std::string format = "text";
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -70,12 +79,42 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage(argv[0]);
       relative_to = v;
+    } else if (arg == "--layers") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      layers_path = v;
+    } else if (arg == "--format") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      format = v;
+      if (format != "text" && format != "json") {
+        std::cerr << "unknown format '" << format << "'; use text or json\n";
+        return 2;
+      }
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
       return Usage(argv[0]);
     }
   }
   if (roots.empty()) return Usage(argv[0]);
+
+  costsense::lint::LayerManifest manifest;
+  bool have_manifest = false;
+  if (!layers_path.empty()) {
+    std::ifstream in(layers_path, std::ios::binary);
+    if (!in) {
+      std::cerr << "cannot read layer manifest " << layers_path << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    if (!costsense::lint::ParseLayerManifest(buf.str(), &manifest, &error)) {
+      std::cerr << "costsense-lint: " << error << "\n";
+      return 2;
+    }
+    have_manifest = true;
+  }
 
   // Deterministic file order regardless of directory-entry order.
   std::vector<fs::path> files;
@@ -102,8 +141,8 @@ int main(int argc, char** argv) {
   }
   std::sort(files.begin(), files.end());
 
-  std::vector<costsense::lint::Finding> findings;
-  size_t scanned = 0;
+  std::vector<costsense::lint::SourceFile> sources;
+  sources.reserve(files.size());
   for (const fs::path& file : files) {
     std::ifstream in(file, std::ios::binary);
     if (!in) {
@@ -118,14 +157,19 @@ int main(int argc, char** argv) {
       const fs::path rel = fs::relative(file, relative_to, ec);
       if (!ec && !rel.empty()) display = NormalizeSlashes(rel.string());
     }
-    auto file_findings = costsense::lint::AnalyzeSource(display, buf.str());
-    findings.insert(findings.end(), file_findings.begin(),
-                    file_findings.end());
-    ++scanned;
+    sources.push_back({std::move(display), buf.str()});
   }
 
-  std::cout << costsense::lint::FormatFindings(findings);
-  std::cerr << "costsense-lint: " << scanned << " files scanned, "
-            << findings.size() << " finding(s)\n";
-  return findings.empty() ? 0 : 1;
+  std::vector<costsense::lint::Finding> findings = costsense::lint::AnalyzeRepo(
+      sources, have_manifest ? &manifest : nullptr);
+
+  const size_t count = findings.size();
+  if (format == "json") {
+    std::cout << costsense::lint::FormatFindingsJson(std::move(findings));
+  } else {
+    std::cout << costsense::lint::FormatFindings(std::move(findings));
+  }
+  std::cerr << "costsense-lint: " << sources.size() << " files scanned, "
+            << count << " finding(s)\n";
+  return count == 0 ? 0 : 1;
 }

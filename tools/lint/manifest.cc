@@ -1,0 +1,251 @@
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "internal.h"
+#include "lint.h"
+
+/// layers.toml loader. The manifest is a deliberately small TOML subset —
+/// exactly what the layer declaration needs and nothing more:
+///
+///   [layers]
+///   common = []                 # bottom layer: includes nothing
+///   linalg = ["common"]         # may include common/ only
+///
+///   [[exception]]               # documented, load-bearing back-edge
+///   from = "runtime"            # module, or module-relative file
+///   to = "core/oracle.h"        # module, or module-relative file
+///   why = "dependency inversion on a pure interface"
+///
+/// Declaration order in [layers] is the bottom→top layer order used for
+/// documentation; the machine-checked property is the per-module allowed
+/// list. Parsing is strict: unknown sections, malformed arrays, undeclared
+/// modules in an allowed list, a cyclic allowed graph, or an exception
+/// missing from/to/why all fail the parse (the CLI exits 2 — a broken
+/// manifest must never silently disable the gate).
+namespace costsense::lint {
+namespace {
+
+using internal::Trim;
+
+/// Strips a trailing `# comment`, respecting quoted strings.
+std::string_view StripToml(std::string_view line) {
+  bool in_string = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == '"') in_string = !in_string;
+    if (line[i] == '#' && !in_string) return line.substr(0, i);
+  }
+  return line;
+}
+
+bool ParseQuoted(std::string_view text, std::string* out) {
+  text = Trim(text);
+  if (text.size() < 2 || text.front() != '"' || text.back() != '"') {
+    return false;
+  }
+  *out = std::string(text.substr(1, text.size() - 2));
+  return true;
+}
+
+/// Parses `["a", "b"]` into a vector; empty arrays allowed.
+bool ParseStringArray(std::string_view text, std::vector<std::string>* out) {
+  text = Trim(text);
+  if (text.size() < 2 || text.front() != '[' || text.back() != ']') {
+    return false;
+  }
+  text = Trim(text.substr(1, text.size() - 2));
+  while (!text.empty()) {
+    const size_t comma = text.find(',');
+    std::string_view piece =
+        comma == std::string_view::npos ? text : text.substr(0, comma);
+    std::string value;
+    if (!ParseQuoted(piece, &value) || value.empty()) return false;
+    out->push_back(value);
+    if (comma == std::string_view::npos) break;
+    text = Trim(text.substr(comma + 1));
+    if (text.empty()) return false;  // trailing comma
+  }
+  return true;
+}
+
+std::string ModuleOf(const std::string& spec) {
+  const size_t slash = spec.find('/');
+  return slash == std::string::npos ? spec : spec.substr(0, slash);
+}
+
+/// The allowed graph must be acyclic: an edge whitelist containing a cycle
+/// would let a genuine layering knot pass silently. Iterative DFS.
+bool AllowedGraphHasCycle(const LayerManifest& manifest, std::string* cycle) {
+  std::map<std::string, int> state;  // 0 unvisited, 1 in-stack, 2 done
+  for (const std::string& start : manifest.order) {
+    if (state[start] != 0) continue;
+    std::vector<std::pair<std::string, size_t>> stack = {{start, 0}};
+    state[start] = 1;
+    while (!stack.empty()) {
+      // Copy, not bind: push_back below may reallocate the stack.
+      const std::string node = stack.back().first;
+      const size_t next = stack.back().second;
+      const auto it = manifest.allowed.find(node);
+      std::vector<std::string> targets(it->second.begin(), it->second.end());
+      if (next >= targets.size()) {
+        state[node] = 2;
+        stack.pop_back();
+        continue;
+      }
+      stack.back().second = next + 1;
+      const std::string& target = targets[next];
+      if (state[target] == 1) {
+        *cycle = node + " -> " + target;
+        return true;
+      }
+      if (state[target] == 0) {
+        state[target] = 1;
+        stack.push_back({target, 0});
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ParseLayerManifest(std::string_view text, LayerManifest* out,
+                        std::string* error) {
+  *out = LayerManifest{};
+  enum class Section { kNone, kLayers, kException } section = Section::kNone;
+
+  auto fail = [&](int line, const std::string& why) {
+    *error = "layers.toml:" + std::to_string(line) + ": " + why;
+    return false;
+  };
+
+  int line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t nl = text.find('\n', pos);
+    std::string_view raw = text.substr(
+        pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+
+    const std::string_view line = Trim(StripToml(raw));
+    if (line.empty()) continue;
+
+    if (line == "[layers]") {
+      section = Section::kLayers;
+      continue;
+    }
+    if (line == "[[exception]]") {
+      section = Section::kException;
+      out->exceptions.push_back({});
+      continue;
+    }
+    if (line.front() == '[') {
+      return fail(line_no, "unknown section '" + std::string(line) +
+                               "'; expected [layers] or [[exception]]");
+    }
+
+    const size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return fail(line_no, "expected key = value");
+    }
+    const std::string key(Trim(line.substr(0, eq)));
+    const std::string_view value = Trim(line.substr(eq + 1));
+
+    if (section == Section::kLayers) {
+      if (out->allowed.count(key)) {
+        return fail(line_no, "module '" + key + "' declared twice");
+      }
+      std::vector<std::string> targets;
+      if (!ParseStringArray(value, &targets)) {
+        return fail(line_no, "module '" + key +
+                                 "' needs an array of quoted module names, "
+                                 "e.g. " +
+                                 key + " = [\"common\"]");
+      }
+      out->order.push_back(key);
+      std::set<std::string>& allowed = out->allowed[key];
+      for (const std::string& target : targets) {
+        if (target == key) {
+          return fail(line_no, "module '" + key +
+                                   "' lists itself; intra-module includes "
+                                   "are always allowed and never declared");
+        }
+        if (!allowed.insert(target).second) {
+          return fail(line_no, "module '" + key + "' lists '" + target +
+                                   "' twice");
+        }
+      }
+      continue;
+    }
+    if (section == Section::kException) {
+      LayerException& exc = out->exceptions.back();
+      std::string value_str;
+      if (!ParseQuoted(value, &value_str) || value_str.empty()) {
+        return fail(line_no,
+                    "exception key '" + key + "' needs a quoted string");
+      }
+      if (key == "from") {
+        exc.from = value_str;
+      } else if (key == "to") {
+        exc.to = value_str;
+      } else if (key == "why") {
+        exc.why = value_str;
+      } else {
+        return fail(line_no, "unknown exception key '" + key +
+                                 "'; expected from/to/why");
+      }
+      continue;
+    }
+    return fail(line_no, "key outside a section; start with [layers]");
+  }
+
+  if (out->order.empty()) {
+    *error = "layers.toml: no [layers] section / no modules declared";
+    return false;
+  }
+  for (const auto& [module, targets] : out->allowed) {
+    for (const std::string& target : targets) {
+      if (!out->allowed.count(target)) {
+        *error = "layers.toml: module '" + module +
+                 "' allows undeclared module '" + target + "'";
+        return false;
+      }
+    }
+  }
+  std::string cycle;
+  if (AllowedGraphHasCycle(*out, &cycle)) {
+    *error = "layers.toml: the allowed-include graph has a cycle (" + cycle +
+             "); break it or turn one direction into a documented "
+             "[[exception]]";
+    return false;
+  }
+  for (size_t i = 0; i < out->exceptions.size(); ++i) {
+    const LayerException& exc = out->exceptions[i];
+    const std::string label = "exception #" + std::to_string(i + 1);
+    if (exc.from.empty() || exc.to.empty()) {
+      *error = "layers.toml: " + label + " needs both from and to";
+      return false;
+    }
+    if (exc.why.empty()) {
+      *error = "layers.toml: " + label + " (" + exc.from + " -> " + exc.to +
+               ") has no why; an undocumented exception is just a hole";
+      return false;
+    }
+    if (!out->allowed.count(ModuleOf(exc.from))) {
+      *error = "layers.toml: " + label + " names undeclared module '" +
+               ModuleOf(exc.from) + "'";
+      return false;
+    }
+    if (!out->allowed.count(ModuleOf(exc.to))) {
+      *error = "layers.toml: " + label + " names undeclared module '" +
+               ModuleOf(exc.to) + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace costsense::lint

@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <cctype>
+#include <cstdint>
 #include <map>
 #include <set>
 #include <sstream>
@@ -7,22 +8,16 @@
 #include <string_view>
 #include <vector>
 
+#include "internal.h"
 #include "lint.h"
 
 namespace costsense::lint {
-namespace {
 
 // ---------------------------------------------------------------------------
-// Path classification
+// Shared plumbing (internal.h): path classification & suppressions
 // ---------------------------------------------------------------------------
 
-/// Which scanned tree a file belongs to. Classification keys off the LAST
-/// `src`/`bench`/`tests` path component, so fixture corpora that mirror the
-/// tree layout under `tests/tools/lint/corpus/src/...` classify as `src`.
-struct PathClass {
-  enum Root { kSrc, kBench, kTests, kOther } root = kOther;
-  std::string rel;  // path below the root component, '/'-separated
-};
+namespace internal {
 
 std::vector<std::string> SplitPath(std::string_view path) {
   std::vector<std::string> parts;
@@ -72,16 +67,6 @@ bool EndsWith(std::string_view s, std::string_view suffix) {
          s.substr(s.size() - suffix.size()) == suffix;
 }
 
-bool IsHeaderPath(std::string_view path) {
-  return EndsWith(path, ".h") || EndsWith(path, ".hpp");
-}
-
-// ---------------------------------------------------------------------------
-// Suppressions
-// ---------------------------------------------------------------------------
-
-constexpr std::string_view kDirective = "costsense-lint:";
-
 std::string_view Trim(std::string_view s) {
   while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
     s.remove_prefix(1);
@@ -92,16 +77,10 @@ std::string_view Trim(std::string_view s) {
   return s;
 }
 
-struct Suppressions {
-  // line -> rules allowed on that line (by a *valid* suppression).
-  std::map<int, std::set<Rule>> by_line;
-  std::vector<Finding> bad;  // malformed / justification-free directives
-};
+namespace {
+constexpr std::string_view kDirective = "costsense-lint:";
+}  // namespace
 
-/// Parses `costsense-lint: allow(<rule>, <justification>)` out of one
-/// comment. A trailing comment covers its own line; a standalone comment
-/// covers itself and the following line (so the directive can sit above
-/// the offending statement).
 Suppressions CollectSuppressions(const std::string& file,
                                  const std::vector<Comment>& comments) {
   Suppressions out;
@@ -112,7 +91,8 @@ Suppressions CollectSuppressions(const std::string& file,
         Trim(std::string_view(comment.text).substr(at + kDirective.size()));
 
     auto bad = [&](const std::string& why) {
-      out.bad.push_back({file, comment.line, Rule::kBadSuppression, why});
+      out.bad.push_back(
+          {file, comment.line, comment.col, Rule::kBadSuppression, why, ""});
     };
 
     if (!StartsWith(rest, "allow")) {
@@ -136,8 +116,8 @@ Suppressions CollectSuppressions(const std::string& file,
     Rule rule;
     if (!ParseRuleName(Trim(rest.substr(0, comma)), &rule)) {
       bad("unknown rule '" + std::string(Trim(rest.substr(0, comma))) +
-          "' in allow(); use R1..R6 or "
-          "nondeterminism/unordered/raw-output/nodiscard/getenv/intrinsics");
+          "' in allow(); use R1..R8 or nondeterminism/unordered/raw-output/"
+          "nodiscard/getenv/intrinsics/layering/locks");
       continue;
     }
     std::string_view justification = Trim(rest.substr(comma + 1));
@@ -160,6 +140,19 @@ Suppressions CollectSuppressions(const std::string& file,
 bool IsSuppressed(const Suppressions& sup, Rule rule, int line) {
   auto it = sup.by_line.find(line);
   return it != sup.by_line.end() && it->second.count(rule) > 0;
+}
+
+}  // namespace internal
+
+namespace {
+
+using internal::IsSuppressed;
+using internal::PathClass;
+using internal::StartsWith;
+using internal::Suppressions;
+
+bool IsHeaderPath(std::string_view path) {
+  return internal::EndsWith(path, ".h") || internal::EndsWith(path, ".hpp");
 }
 
 // ---------------------------------------------------------------------------
@@ -328,12 +321,82 @@ void CheckNodiscard(const std::string& file, const std::vector<Token>& toks,
     if (!ctx.is_declaration || ctx.has_nodiscard) continue;
     if (IsSuppressed(sup, Rule::kNodiscard, t.line)) continue;
     findings->push_back(
-        {file, t.line, Rule::kNodiscard,
+        {file, t.line, t.col, Rule::kNodiscard,
          "declaration of '" + toks[j].text + "' returns " +
              (is_status ? "Status" : "Result<T>") +
              " but is not marked [[nodiscard]] (R4); a silently dropped "
-             "status hides failures"});
+             "status hides failures",
+         ""});
   }
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprints & rendering helpers
+// ---------------------------------------------------------------------------
+
+uint64_t Fnv1a(std::string_view data, uint64_t h) {
+  for (char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string HexDigest(uint64_t h) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kHex[h & 0xF];
+    h >>= 4;
+  }
+  return out;
+}
+
+void SortFindings(std::vector<Finding>* findings) {
+  std::sort(findings->begin(), findings->end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.col != b.col) return a.col < b.col;
+              if (a.rule != b.rule) {
+                return static_cast<int>(a.rule) < static_cast<int>(b.rule);
+              }
+              return a.message < b.message;
+            });
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xF];
+          out += kHex[c & 0xF];
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -352,6 +415,10 @@ const char* RuleId(Rule rule) {
       return "R5";
     case Rule::kRawIntrinsics:
       return "R6";
+    case Rule::kLayering:
+      return "R7";
+    case Rule::kLockDiscipline:
+      return "R8";
     case Rule::kBadSuppression:
       return "SUP";
   }
@@ -371,6 +438,12 @@ bool ParseRuleName(std::string_view name, Rule* out) {
     *out = Rule::kGetenv;
   } else if (name == "R6" || name == "r6" || name == "intrinsics") {
     *out = Rule::kRawIntrinsics;
+  } else if (name == "R7" || name == "r7" || name == "layering" ||
+             name == "include-graph") {
+    *out = Rule::kLayering;
+  } else if (name == "R8" || name == "r8" || name == "locks" ||
+             name == "lock-discipline") {
+    *out = Rule::kLockDiscipline;
   } else {
     return false;
   }
@@ -379,9 +452,10 @@ bool ParseRuleName(std::string_view name, Rule* out) {
 
 std::vector<Finding> AnalyzeSource(const std::string& virtual_path,
                                    std::string_view content) {
-  const PathClass pc = ClassifyPath(virtual_path);
+  const PathClass pc = internal::ClassifyPath(virtual_path);
   const LexedFile lexed = Lex(content);
-  Suppressions sup = CollectSuppressions(virtual_path, lexed.comments);
+  Suppressions sup =
+      internal::CollectSuppressions(virtual_path, lexed.comments);
 
   std::vector<Finding> findings = std::move(sup.bad);
 
@@ -415,21 +489,23 @@ std::vector<Finding> AnalyzeSource(const std::string& virtual_path,
     if (!rng_sanctioned && RandomTokens().count(t.text)) {
       if (!IsSuppressed(sup, Rule::kNondeterminism, t.line)) {
         findings.push_back(
-            {virtual_path, t.line, Rule::kNondeterminism,
+            {virtual_path, t.line, t.col, Rule::kNondeterminism,
              "'" + t.text +
                  "' is a banned randomness source outside src/common/rng.* "
                  "(R1); route randomness through costsense::Rng so runs are "
-                 "replayable"});
+                 "replayable",
+             ""});
       }
     }
     if (!clock_sanctioned && TimeTokens().count(t.text)) {
       if (!IsSuppressed(sup, Rule::kNondeterminism, t.line)) {
         findings.push_back(
-            {virtual_path, t.line, Rule::kNondeterminism,
+            {virtual_path, t.line, t.col, Rule::kNondeterminism,
              "'" + t.text +
                  "' is a banned wall-clock read outside "
                  "src/runtime/resilience/clock.* (R1); route time through "
-                 "resilience::Clock so deadlines are injectable"});
+                 "resilience::Clock so deadlines are injectable",
+             ""});
       }
     }
     if (UnorderedTokens().count(t.text)) {
@@ -437,59 +513,65 @@ std::vector<Finding> AnalyzeSource(const std::string& virtual_path,
         // Determinism-critical trees: the rule is absolute, a suppression
         // comment does not silence it.
         findings.push_back(
-            {virtual_path, t.line, Rule::kUnorderedContainer,
+            {virtual_path, t.line, t.col, Rule::kUnorderedContainer,
              "'" + t.text +
                  "' is forbidden in src/core and src/exp (R2): these trees "
                  "feed figure/table output, where unspecified iteration "
                  "order breaks byte-identical stdout; suppressions are not "
-                 "honored here — use an ordered container"});
+                 "honored here — use an ordered container",
+             ""});
       } else if (!IsSuppressed(sup, Rule::kUnorderedContainer, t.line)) {
         findings.push_back(
-            {virtual_path, t.line, Rule::kUnorderedContainer,
+            {virtual_path, t.line, t.col, Rule::kUnorderedContainer,
              "'" + t.text +
                  "' has unspecified iteration order (R2); use an ordered "
                  "container, or suppress with a justification proving the "
-                 "order never reaches logs, stats or output"});
+                 "order never reaches logs, stats or output",
+             ""});
       }
     }
     if (raw_output_banned && RawOutputTokens().count(t.text)) {
       if (raw_output_strict) {
         findings.push_back(
-            {virtual_path, t.line, Rule::kRawOutput,
+            {virtual_path, t.line, t.col, Rule::kRawOutput,
              "'" + t.text +
                  "' is forbidden in src/serve (R3): server code speaks only "
                  "through the wire protocol and artifact sinks, and a stray "
                  "stdout write is invisible to remote clients; suppressions "
-                 "are not honored here"});
+                 "are not honored here",
+             ""});
       } else if (!IsSuppressed(sup, Rule::kRawOutput, t.line)) {
         findings.push_back(
-            {virtual_path, t.line, Rule::kRawOutput,
+            {virtual_path, t.line, t.col, Rule::kRawOutput,
              "'" + t.text +
                  "' is raw output in library code (R3); rendering belongs "
                  "to src/exp, bench/ and the CHECK macros (fprintf(stderr) "
-                 "diagnostics are fine)"});
+                 "diagnostics are fine)",
+             ""});
       }
     }
     if (!intrinsics_sanctioned && IsIntrinsicToken(t.text)) {
       if (!IsSuppressed(sup, Rule::kRawIntrinsics, t.line)) {
         findings.push_back(
-            {virtual_path, t.line, Rule::kRawIntrinsics,
+            {virtual_path, t.line, t.col, Rule::kRawIntrinsics,
              "'" + t.text +
                  "' is a raw SIMD intrinsic outside src/linalg/simd* (R6); "
                  "call through the dispatched kernels in "
                  "linalg/simd_kernels.h so portability and the "
-                 "bit-compatibility contracts stay centralized"});
+                 "bit-compatibility contracts stay centralized",
+             ""});
       }
     }
     if (!getenv_sanctioned && GetenvTokens().count(t.text)) {
       if (!IsSuppressed(sup, Rule::kGetenv, t.line)) {
         findings.push_back(
-            {virtual_path, t.line, Rule::kGetenv,
+            {virtual_path, t.line, t.col, Rule::kGetenv,
              "'" + t.text +
                  "' reads the environment outside src/engine/config.* (R5); "
                  "every COSTSENSE_* knob flows through "
                  "engine::EngineConfig::FromEnv so a run is reproducible "
-                 "from one typed config"});
+                 "from one typed config",
+             ""});
       }
     }
   }
@@ -500,18 +582,65 @@ std::vector<Finding> AnalyzeSource(const std::string& virtual_path,
   return findings;
 }
 
+std::vector<Finding> AnalyzeRepo(const std::vector<SourceFile>& files,
+                                 const LayerManifest* manifest) {
+  std::vector<Finding> findings;
+  for (const SourceFile& file : files) {
+    std::vector<Finding> per_file = AnalyzeSource(file.path, file.content);
+    findings.insert(findings.end(), per_file.begin(), per_file.end());
+  }
+  if (manifest != nullptr) {
+    std::vector<Finding> layering = CheckIncludeGraph(files, *manifest);
+    findings.insert(findings.end(), layering.begin(), layering.end());
+  }
+  std::vector<Finding> locks = CheckLockDiscipline(files);
+  findings.insert(findings.end(), locks.begin(), locks.end());
+  return findings;
+}
+
+void AssignFingerprints(std::vector<Finding>* findings) {
+  SortFindings(findings);
+  // Ordinal per (file, rule, message) key: line/col stay out of the hash so
+  // the identity survives unrelated edits, while N identical findings in
+  // one file keep N distinct stable fingerprints.
+  std::map<std::string, int> ordinals;
+  for (Finding& f : *findings) {
+    std::string key = f.file;
+    key.push_back('\0');
+    key += RuleId(f.rule);
+    key.push_back('\0');
+    key += f.message;
+    const int ordinal = ordinals[key]++;
+    uint64_t h = Fnv1a(key, 1469598103934665603ULL);
+    h = Fnv1a(std::to_string(ordinal), h);
+    f.fingerprint = HexDigest(h);
+  }
+}
+
 std::string FormatFindings(std::vector<Finding> findings) {
-  std::sort(findings.begin(), findings.end(),
-            [](const Finding& a, const Finding& b) {
-              if (a.file != b.file) return a.file < b.file;
-              if (a.line != b.line) return a.line < b.line;
-              return static_cast<int>(a.rule) < static_cast<int>(b.rule);
-            });
+  SortFindings(&findings);
   std::ostringstream os;
   for (const Finding& f : findings) {
-    os << f.file << ":" << f.line << ": [" << RuleId(f.rule) << "] "
-       << f.message << "\n";
+    os << f.file << ":" << f.line << ":" << f.col << ": [" << RuleId(f.rule)
+       << "] " << f.message << "\n";
   }
+  return os.str();
+}
+
+std::string FormatFindingsJson(std::vector<Finding> findings) {
+  AssignFingerprints(&findings);
+  std::ostringstream os;
+  os << "{\"version\": 1, \"count\": " << findings.size()
+     << ", \"findings\": [";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "  {\"file\": \"" << JsonEscape(f.file) << "\", \"line\": " << f.line
+       << ", \"col\": " << f.col << ", \"rule\": \"" << RuleId(f.rule)
+       << "\", \"fingerprint\": \"" << f.fingerprint << "\", \"message\": \""
+       << JsonEscape(f.message) << "\"}";
+  }
+  os << (findings.empty() ? "]}\n" : "\n]}\n");
   return os.str();
 }
 
