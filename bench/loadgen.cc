@@ -1,19 +1,31 @@
-// loadgen: open-loop load generator for the costsense-serve analysis
-// server. Drives S concurrent client sessions through the in-process
-// transport against one shared server — the same session/admission/
-// dispatcher path a socket client exercises, minus the kernel socket —
-// and reports exact p50/p99/p999 service latency into the bench JSON
-// sidecar.
+// loadgen: load generator for the costsense-serve analysis server.
+// Drives concurrent client sessions through the in-process transport
+// against one shared server — the same session/admission/dispatcher path
+// a socket client exercises, minus the kernel socket — and reports exact
+// p50/p99/p999 service latency into the bench JSON sidecar.
 //
-// The workload is deterministic: each session forks its own Rng stream
+// Two client populations can run side by side:
+//   open-loop   (--sessions=S)     offered arrivals at --rate Hz per
+//               session, protocol v1 request/response calls. Arrivals
+//               never wait for responses, so this population measures
+//               behaviour under a fixed offered load.
+//   closed-loop (--closed-loop=N)  N clients each cycling request ->
+//               response -> think, protocol v2 streamed calls. Each
+//               client has at most one request outstanding, so this
+//               population measures service latency without coordinated
+//               omission from queueing behind its own backlog.
+//
+// The workload is deterministic: each client forks its own Rng stream
 // from the seed and draws its request mix (query, analysis kind, layout
-// policy, delta set) and exponential inter-arrival gaps from it. The
-// arrival process runs on a ManualClock — virtual time records the
-// *offered* open-loop schedule reproducibly while real wall time measures
-// service latency — so two runs offer byte-identical request streams.
+// policy, delta set) and its exponential gaps (inter-arrival or think
+// time) from it. Schedules are charged to a client-local ManualClock —
+// virtual time records the offered schedule reproducibly while real wall
+// time measures service latency — so two runs offer byte-identical
+// request streams.
 //
 // Usage:
-//   loadgen [quick=1 threads=N ...] [--sessions=S] [--requests=R] [--rate=HZ]
+//   loadgen [quick=1 threads=N ...] [--sessions=S] [--requests=R]
+//           [--rate=HZ] [--closed-loop=N] [--think-ms=T]
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -43,6 +55,11 @@ struct LoadgenOptions {
   size_t requests_per_session = 16;
   /// Offered arrival rate per session (Hz) on the virtual clock.
   double rate_hz = 200.0;
+  /// Closed-loop clients running alongside the open-loop sessions
+  /// (0 = open-loop only).
+  size_t closed_loop = 0;
+  /// Mean think time per closed-loop cycle (ms) on the virtual clock.
+  double think_ms = 2.0;
   uint64_t seed = 0x10adULL;
 };
 
@@ -122,14 +139,21 @@ int LoadgenMain(engine::Engine& eng, int argc, char** argv) {
       load.requests_per_session = static_cast<size_t>(value);
     } else if (ParseFlag(argv[i], "--rate", &value)) {
       load.rate_hz = value;
+    } else if (ParseFlag(argv[i], "--closed-loop", &value)) {
+      load.closed_loop = static_cast<size_t>(value);
+    } else if (ParseFlag(argv[i], "--think-ms", &value)) {
+      load.think_ms = value;
     } else {
       std::fprintf(stderr, "loadgen: unknown argument %s\n", argv[i]);
       return 2;
     }
   }
-  if (load.sessions == 0 || load.requests_per_session == 0 ||
-      load.rate_hz <= 0.0) {
-    std::fprintf(stderr, "loadgen: sessions, requests and rate must be > 0\n");
+  if (load.sessions + load.closed_loop == 0 ||
+      load.requests_per_session == 0 || load.rate_hz <= 0.0 ||
+      load.think_ms < 0.0) {
+    std::fprintf(stderr,
+                 "loadgen: need at least one client; requests and rate must "
+                 "be > 0 and think time >= 0\n");
     return 2;
   }
 
@@ -150,19 +174,23 @@ int LoadgenMain(engine::Engine& eng, int argc, char** argv) {
   }
   serve::Server server(options);
 
-  std::vector<SessionResult> results(load.sessions);
+  const size_t total_clients = load.sessions + load.closed_loop;
+  std::vector<SessionResult> results(total_clients);
   std::vector<std::thread> clients;
   runtime::WallTimer run_timer;
-  for (size_t s = 0; s < load.sessions; ++s) {
-    clients.emplace_back([&, s] {
+  for (size_t s = 0; s < total_clients; ++s) {
+    const bool closed = s >= load.sessions;
+    clients.emplace_back([&, s, closed] {
       Rng rng = Rng(load.seed).Fork(s);
       const std::vector<serve::AnalysisRequest> workload =
           MakeWorkload(rng, load.requests_per_session, config.quick);
-      // The offered schedule: exponential gaps at rate_hz, charged to a
-      // session-local virtual clock. Virtual time makes the open-loop
-      // schedule a pure function of the seed; the requests themselves are
-      // issued as fast as the server absorbs them.
-      runtime::resilience::ManualClock arrivals;
+      // The offered schedule: exponential gaps, charged to a client-local
+      // virtual clock. Open-loop charges an arrival gap *before* each
+      // request; closed-loop charges a think gap *after* each response.
+      // Virtual time makes either schedule a pure function of the seed;
+      // the requests themselves are issued as fast as the server absorbs
+      // them.
+      runtime::resilience::ManualClock schedule;
       SessionResult& result = results[s];
 
       auto [client, server_end] = serve::InProcessTransport::CreatePair();
@@ -175,12 +203,18 @@ int LoadgenMain(engine::Engine& eng, int argc, char** argv) {
                        status.ToString().c_str());
         }
       });
+      const double mean_gap_s =
+          closed ? load.think_ms / 1e3 : 1.0 / load.rate_hz;
       for (const serve::AnalysisRequest& request : workload) {
-        const double gap_s = -std::log(1.0 - rng.Uniform()) / load.rate_hz;
-        arrivals.SleepFor(static_cast<uint64_t>(gap_s * 1e9));
+        const uint64_t gap_ns = static_cast<uint64_t>(
+            -std::log(1.0 - rng.Uniform()) * mean_gap_s * 1e9);
+        if (!closed) schedule.SleepFor(gap_ns);
         runtime::WallTimer latency;
+        // Closed-loop clients speak protocol v2 — the streamed frame
+        // path — so one run covers both wire formats under concurrency.
         const Result<serve::AnalysisResponse> response =
-            serve::Call(*client, request);
+            closed ? serve::CallV2(*client, request)
+                   : serve::Call(*client, request);
         if (response.ok() && response->ok()) {
           result.latencies_ms[static_cast<size_t>(request.kind)].push_back(
               latency.ElapsedMs());
@@ -190,8 +224,9 @@ int LoadgenMain(engine::Engine& eng, int argc, char** argv) {
         } else {
           ++result.errors;
         }
+        if (closed) schedule.SleepFor(gap_ns);
       }
-      result.virtual_arrival_ns = arrivals.NowNanos();
+      result.virtual_arrival_ns = schedule.NowNanos();
       client->Close();
       session_thread.join();
     });
@@ -202,15 +237,20 @@ int LoadgenMain(engine::Engine& eng, int argc, char** argv) {
 
   std::vector<double> latencies;
   std::vector<double> by_kind[kNumKinds];
+  std::vector<double> by_mode[2];  // 0 = open-loop, 1 = closed-loop
   size_t shed = 0;
   size_t errors = 0;
   uint64_t virtual_ns = 0;
-  for (const SessionResult& r : results) {
+  for (size_t s = 0; s < results.size(); ++s) {
+    const SessionResult& r = results[s];
+    const size_t mode = s >= load.sessions ? 1 : 0;
     for (size_t k = 0; k < kNumKinds; ++k) {
       latencies.insert(latencies.end(), r.latencies_ms[k].begin(),
                        r.latencies_ms[k].end());
       by_kind[k].insert(by_kind[k].end(), r.latencies_ms[k].begin(),
                         r.latencies_ms[k].end());
+      by_mode[mode].insert(by_mode[mode].end(), r.latencies_ms[k].begin(),
+                           r.latencies_ms[k].end());
     }
     shed += r.shed;
     errors += r.errors;
@@ -218,6 +258,7 @@ int LoadgenMain(engine::Engine& eng, int argc, char** argv) {
   }
   std::sort(latencies.begin(), latencies.end());
   for (std::vector<double>& v : by_kind) std::sort(v.begin(), v.end());
+  for (std::vector<double>& v : by_mode) std::sort(v.begin(), v.end());
 
   const serve::ServerStats stats = server.stats();
   runtime::RuntimeMetrics metrics;
@@ -235,6 +276,7 @@ int LoadgenMain(engine::Engine& eng, int argc, char** argv) {
   std::unique_ptr<engine::ArtifactWriter> writer = eng.MakeArtifactWriter();
   std::vector<std::pair<std::string, double>> extras = {
       {"sessions", static_cast<double>(load.sessions)},
+      {"closed_clients", static_cast<double>(load.closed_loop)},
       {"requests", static_cast<double>(latencies.size() + shed + errors)},
       {"shed", static_cast<double>(shed)},
       {"errors", static_cast<double>(errors)},
@@ -245,6 +287,18 @@ int LoadgenMain(engine::Engine& eng, int argc, char** argv) {
       {"lat_p50_ms", Percentile(latencies, .5)},
       {"lat_p99_ms", Percentile(latencies, .99)},
       {"lat_p999_ms", Percentile(latencies, .999)}};
+  // The per-mode breakdown (lat_open_p50_ms, lat_closed_p50_ms, ...):
+  // open-loop latencies include queueing behind the offered schedule,
+  // closed-loop latencies are pure service time (one request outstanding
+  // per client) — blending them would hide which one regressed.
+  const char* const kModeNames[2] = {"open", "closed"};
+  for (size_t m = 0; m < 2; ++m) {
+    const std::string name = kModeNames[m];
+    extras.emplace_back("requests_" + name,
+                        static_cast<double>(by_mode[m].size()));
+    extras.emplace_back("lat_" + name + "_p50_ms", Percentile(by_mode[m], .5));
+    extras.emplace_back("lat_" + name + "_p99_ms", Percentile(by_mode[m], .99));
+  }
   // The per-kind breakdown (lat_discovery_p50_ms, ...): same nearest-rank
   // percentiles over each kind's own sample, plus its request count so a
   // tiny sample can't masquerade as a tight tail.
@@ -264,9 +318,10 @@ int LoadgenMain(engine::Engine& eng, int argc, char** argv) {
 
   std::fprintf(
       stderr,
-      "loadgen: %zu session(s) x %zu request(s): ok=%zu shed=%zu "
-      "errors=%zu rejected=%zu p50=%.3fms p99=%.3fms p999=%.3fms\n",
-      load.sessions, load.requests_per_session, latencies.size(), shed, errors,
+      "loadgen: %zu open + %zu closed client(s) x %zu request(s): ok=%zu "
+      "shed=%zu errors=%zu rejected=%zu p50=%.3fms p99=%.3fms p999=%.3fms\n",
+      load.sessions, load.closed_loop, load.requests_per_session,
+      latencies.size(), shed, errors,
       static_cast<size_t>(stats.admission.rejected), Percentile(latencies, .5),
       Percentile(latencies, .99), Percentile(latencies, .999));
 

@@ -55,50 +55,65 @@ std::string EscapeJson(std::string_view text) {
 // ---------------------------------------------------------------------------
 
 TextRenderer::TextRenderer(std::string bench_json_path)
-    : bench_json_path_(std::move(bench_json_path)) {}
+    : bench_json_path_(std::move(bench_json_path)),
+      out_(stdout),
+      err_(stderr) {}
+
+void TextRenderer::Note(Status st) {
+  if (!st.ok() && deferred_.ok()) deferred_ = std::move(st);
+}
 
 void TextRenderer::WriteFigure(const std::string& title,
                                const std::vector<exp::FigureSeries>& series) {
   // Byte-for-byte the pre-engine driver output: table, blank line, CSV.
-  std::fputs(exp::RenderFigureTable(title, series).c_str(), stdout);
-  std::fputs("\nCSV:\n", stdout);
-  std::fputs(exp::RenderFigureCsv(series).c_str(), stdout);
+  Note(out_.Write(exp::RenderFigureTable(title, series)));
+  Note(out_.Write("\nCSV:\n"));
+  Note(out_.Write(exp::RenderFigureCsv(series)));
 }
 
 void TextRenderer::WriteTextBlock(const std::string& text) {
-  std::fputs(text.c_str(), stdout);
+  Note(out_.Write(text));
 }
 
 void TextRenderer::WriteRunMetrics(
     const std::string& bench_name, const runtime::RuntimeMetrics& metrics,
     const std::vector<std::pair<std::string, double>>& extra) {
-  std::fputs(metrics.Render().c_str(), stderr);
+  Note(err_.Write(metrics.Render()));
   const std::string line = metrics.ToJsonLine(bench_name, extra);
-  std::fputs(line.c_str(), stderr);
-  if (!bench_json_path_.empty()) {
-    std::FILE* f = std::fopen(bench_json_path_.c_str(), "a");
-    if (f != nullptr) {
-      std::fputs(line.c_str(), f);
-      std::fclose(f);
-    }
+  Note(err_.Write(line));
+  if (bench_json_path_.empty()) return;
+  if (bench_json_ == nullptr) {
+    bench_json_ = std::make_unique<runtime::sink::FileSink>(
+        bench_json_path_, runtime::sink::FileSink::Mode::kAppend);
   }
+  // The perf line is best-effort, exactly as the historical fopen-append
+  // was: an unwritable path never fails a figure run. The eager Flush
+  // keeps each line on disk as soon as it is produced.
+  Status st = bench_json_->Write(line);
+  if (st.ok()) st = bench_json_->Flush();
+  (void)st.ok();
 }
 
 Status TextRenderer::Flush() {
-  // stdout/stderr and the perf line are written eagerly; only the libc
-  // buffers can hold data back.
-  std::fflush(stdout);
-  std::fflush(stderr);
-  return Status::Ok();
+  Note(out_.Flush());
+  Note(err_.Flush());
+  return deferred_;
 }
 
-Status TextRenderer::Finish() { return Status::Ok(); }
+Status TextRenderer::Finish() {
+  if (bench_json_ != nullptr) {
+    const Status st = bench_json_->Close();
+    (void)st.ok();  // best-effort, matching WriteRunMetrics
+  }
+  return Flush();
+}
 
 // ---------------------------------------------------------------------------
 // JsonWriter
 // ---------------------------------------------------------------------------
 
-JsonWriter::JsonWriter(std::string path) : path_(std::move(path)) {}
+JsonWriter::JsonWriter(std::string path, ArtifactChain chain)
+    : path_(std::move(path)), chain_(chain) {}
 
 void JsonWriter::WriteFigure(const std::string& title,
                              const std::vector<exp::FigureSeries>& series) {
@@ -139,22 +154,54 @@ void JsonWriter::WriteRunMetrics(
   buffer_ += line;
 }
 
+void JsonWriter::EnsureChain() {
+  if (top_ != nullptr) return;
+  file_ = std::make_unique<runtime::sink::FileSink>(
+      path_, runtime::sink::FileSink::Mode::kAppend);
+  top_ = file_.get();
+  switch (chain_) {
+    case ArtifactChain::kPlain:
+      break;
+    case ArtifactChain::kBuffered:
+      batch_ = std::make_unique<runtime::sink::BufferSink>(*top_,
+                                                           size_t{4} * 1024);
+      top_ = batch_.get();
+      break;
+    case ArtifactChain::kCompressed:
+      compress_ = std::make_unique<runtime::sink::BlockCompressSink>(*top_);
+      top_ = compress_.get();
+      break;
+  }
+}
+
+Status JsonWriter::Wrap(Status st) const {
+  if (st.ok()) return st;
+  return Status(st.code(), "artifact sidecar " + path_ + ": " + st.message());
+}
+
 Status JsonWriter::Flush() {
   if (buffer_.empty()) return Status::Ok();
-  std::FILE* f = std::fopen(path_.c_str(), "a");
-  if (f == nullptr) {
-    return Status::Internal("cannot open artifact sidecar " + path_);
-  }
-  const size_t written = std::fwrite(buffer_.data(), 1, buffer_.size(), f);
-  std::fclose(f);
-  if (written != buffer_.size()) {
-    return Status::Internal("short write to artifact sidecar " + path_);
-  }
+  EnsureChain();
+  Status st = top_->Write(buffer_);
+  if (st.ok()) st = top_->Flush();
+  if (!st.ok()) return Wrap(std::move(st));  // buffer kept for a retry
   buffer_.clear();
   return Status::Ok();
 }
 
-Status JsonWriter::Finish() { return Flush(); }
+Status JsonWriter::Finish() {
+  Status st = Flush();
+  if (!st.ok()) return st;
+  if (top_ == nullptr) return Status::Ok();  // nothing ever flushed
+  st = top_->Close();
+  // A later Flush rebuilds a fresh chain appending after these bytes, so
+  // batch runs accumulate exactly as the historical fopen("a") did.
+  top_ = nullptr;
+  compress_.reset();
+  batch_.reset();
+  file_.reset();
+  return Wrap(std::move(st));
+}
 
 // ---------------------------------------------------------------------------
 // MultiWriter
@@ -201,7 +248,8 @@ std::unique_ptr<ArtifactWriter> MakeArtifactWriter(const EngineConfig& config) {
   if (config.artifact_json_path.empty()) return text;
   std::vector<std::unique_ptr<ArtifactWriter>> sinks;
   sinks.push_back(std::move(text));
-  sinks.push_back(std::make_unique<JsonWriter>(config.artifact_json_path));
+  sinks.push_back(std::make_unique<JsonWriter>(config.artifact_json_path,
+                                               config.artifact_chain));
   return std::make_unique<MultiWriter>(std::move(sinks));
 }
 

@@ -10,6 +10,8 @@
 #include "engine/config.h"
 #include "exp/figure_runner.h"
 #include "runtime/metrics.h"
+#include "runtime/sink/compress.h"
+#include "runtime/sink/stages.h"
 
 namespace costsense::engine {
 
@@ -54,6 +56,11 @@ class ArtifactWriter {
 /// pre-engine drivers, proven by the golden harness), metrics to stderr as
 /// the human-readable block plus one perf-JSON line, the latter also
 /// appended to `bench_json_path` when non-empty.
+///
+/// Internally every byte now travels through a sink chain — stdout/stderr
+/// through borrowed StdioSinks, the perf line through an append FileSink.
+/// The Write* entry points are void, so a failed write is remembered and
+/// surfaced as the first error from Flush()/Finish().
 class TextRenderer final : public ArtifactWriter {
  public:
   explicit TextRenderer(std::string bench_json_path = "");
@@ -68,7 +75,14 @@ class TextRenderer final : public ArtifactWriter {
   [[nodiscard]] Status Finish() override;
 
  private:
+  /// Remembers the first failed write until Flush/Finish reports it.
+  void Note(Status st);
+
   const std::string bench_json_path_;
+  runtime::sink::StdioSink out_;
+  runtime::sink::StdioSink err_;
+  std::unique_ptr<runtime::sink::FileSink> bench_json_;
+  Status deferred_;
 };
 
 /// Structured sidecar: every artifact as one JSON object per line,
@@ -78,7 +92,13 @@ class TextRenderer final : public ArtifactWriter {
 /// machine-diffable without scraping stdout.
 class JsonWriter final : public ArtifactWriter {
  public:
-  explicit JsonWriter(std::string path);
+  /// `chain` selects the stages the sidecar bytes travel through on
+  /// Flush: kPlain writes straight to the append file, kBuffered batches
+  /// through a coalescing stage (byte-identical output), kCompressed
+  /// writes the deterministic block-stream form (decode with
+  /// runtime::sink::DecompressBlocks to recover identical bytes).
+  explicit JsonWriter(std::string path,
+                      ArtifactChain chain = ArtifactChain::kPlain);
 
   void WriteFigure(const std::string& title,
                    const std::vector<exp::FigureSeries>& series) override;
@@ -93,8 +113,20 @@ class JsonWriter final : public ArtifactWriter {
   const std::string& buffered() const { return buffer_; }
 
  private:
+  /// Builds the configured stage stack (bottom-up over unique_ptrs so the
+  /// stages have stable addresses); top_ is the chain entry. No-op when
+  /// already built.
+  void EnsureChain();
+  /// Tags a chain error with the sidecar path for the caller.
+  [[nodiscard]] Status Wrap(Status st) const;
+
   const std::string path_;
+  const ArtifactChain chain_;
   std::string buffer_;
+  std::unique_ptr<runtime::sink::FileSink> file_;
+  std::unique_ptr<runtime::sink::BufferSink> batch_;
+  std::unique_ptr<runtime::sink::BlockCompressSink> compress_;
+  runtime::sink::Sink* top_ = nullptr;
 };
 
 /// Fans every artifact out to several sinks in order.

@@ -1,15 +1,11 @@
 #include "runtime/cache_store.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <array>
 #include <bit>
-#include <cerrno>
-#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <utility>
+
+#include "runtime/sink/stages.h"
 
 namespace costsense::runtime {
 namespace {
@@ -20,18 +16,6 @@ constexpr uint32_t kFormatVersion = 1;
 /// adversarial length field, not a real entry (the largest legitimate body
 /// is a few KiB: scope + plan id + ~64 coordinates + usage vector).
 constexpr uint32_t kMaxRecordBytes = 1 << 20;
-
-constexpr std::array<uint32_t, 256> MakeCrcTable() {
-  std::array<uint32_t, 256> table{};
-  for (uint32_t i = 0; i < 256; ++i) {
-    uint32_t c = i;
-    for (int k = 0; k < 8; ++k) {
-      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
-    }
-    table[i] = c;
-  }
-  return table;
-}
 
 void PutU16(std::string& out, uint16_t v) {
   out.push_back(static_cast<char>(v >> 8));
@@ -136,15 +120,6 @@ bool DecodeRecordBody(std::string_view body, std::string& scope,
 
 }  // namespace
 
-uint32_t Crc32(std::string_view data) {
-  static constexpr std::array<uint32_t, 256> kTable = MakeCrcTable();
-  uint32_t crc = 0xffffffffu;
-  for (char ch : data) {
-    crc = kTable[(crc ^ static_cast<uint8_t>(ch)) & 0xff] ^ (crc >> 8);
-  }
-  return crc ^ 0xffffffffu;
-}
-
 CacheStore::CacheStore(CacheStoreOptions options)
     : options_(std::move(options)) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -247,66 +222,36 @@ Status CacheStore::Save() {
     return Status::FailedPrecondition("cache store has no path configured");
   }
 
-  std::string bytes;
-  bytes.append(kMagic, sizeof(kMagic));
-  PutU32(bytes, kFormatVersion);
-  PutU64(bytes, options_.catalog_hash);
-  PutU32(bytes, static_cast<uint32_t>(options_.mantissa_bits));
+  // The snapshot streams through a sink chain: raw header bytes, then the
+  // CRC framing stage (one Write per record body), all into a crash-safe
+  // atomic file (tmp + fsync + rename on Close). A failure at any stage
+  // aborts the staging file and the previous snapshot survives.
+  sink::AtomicFileSink file(options_.path);
+  std::string header;
+  header.append(kMagic, sizeof(kMagic));
+  PutU32(header, kFormatVersion);
+  PutU64(header, options_.catalog_hash);
+  PutU32(header, static_cast<uint32_t>(options_.mantissa_bits));
   uint64_t record_count = 0;
   for (const auto& [scope, entries] : scopes_) {
     record_count += entries.size();
   }
-  PutU64(bytes, record_count);
+  PutU64(header, record_count);
+  Status st = file.Write(header);
+  if (!st.ok()) return st;
+
+  sink::CrcFrameSink framed(file);
   for (const auto& [scope, entries] : scopes_) {
     for (const OracleCacheEntry& entry : entries) {
-      const std::string body = EncodeRecordBody(scope, entry);
-      PutU32(bytes, static_cast<uint32_t>(body.size()));
-      PutU32(bytes, Crc32(body));
-      bytes.append(body);
+      st = framed.Write(EncodeRecordBody(scope, entry));
+      if (!st.ok()) {
+        file.Abort();
+        return st;
+      }
     }
   }
-
-  // tmp + fsync + rename: a crash at any point leaves either the previous
-  // snapshot or a complete new one at options_.path, never a torn file.
-  const std::string tmp = options_.path + ".tmp";
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) {
-    return Status::Internal("cache store: open(" + tmp +
-                            ") failed: " + std::strerror(errno));
-  }
-  size_t written = 0;
-  while (written < bytes.size()) {
-    const ssize_t n =
-        ::write(fd, bytes.data() + written, bytes.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      const int err = errno;
-      ::close(fd);
-      ::unlink(tmp.c_str());
-      return Status::Internal("cache store: write(" + tmp +
-                              ") failed: " + std::strerror(err));
-    }
-    written += static_cast<size_t>(n);
-  }
-  if (::fsync(fd) != 0) {
-    const int err = errno;
-    ::close(fd);
-    ::unlink(tmp.c_str());
-    return Status::Internal("cache store: fsync(" + tmp +
-                            ") failed: " + std::strerror(err));
-  }
-  if (::close(fd) != 0) {
-    const int err = errno;
-    ::unlink(tmp.c_str());
-    return Status::Internal("cache store: close(" + tmp +
-                            ") failed: " + std::strerror(err));
-  }
-  if (std::rename(tmp.c_str(), options_.path.c_str()) != 0) {
-    const int err = errno;
-    ::unlink(tmp.c_str());
-    return Status::Internal("cache store: rename to " + options_.path +
-                            " failed: " + std::strerror(err));
-  }
+  st = framed.Close();
+  if (!st.ok()) return st;
   telemetry_.saved = record_count;
   return Status::Ok();
 }

@@ -10,13 +10,16 @@
 
 #include "common/status.h"
 #include "runtime/oracle_cache.h"
+#include "runtime/sink/crc32.h"
 
 namespace costsense::runtime {
 
 /// CRC-32 (IEEE 802.3 polynomial, reflected) over `data`. Every snapshot
 /// record carries its body's checksum so a torn write or flipped bit is
-/// detected before a single stale result can reach an analysis.
-uint32_t Crc32(std::string_view data);
+/// detected before a single stale result can reach an analysis. The
+/// implementation lives in the sink module (the framing stage shares it);
+/// this forwarder keeps the historical call sites compiling.
+inline uint32_t Crc32(std::string_view data) { return sink::Crc32(data); }
 
 /// Why a snapshot load ended up cold (or didn't). A load either accepts
 /// the whole file or rejects the whole file: a snapshot any of whose

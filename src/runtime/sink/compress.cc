@@ -1,0 +1,272 @@
+#include "runtime/sink/compress.h"
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#include "runtime/sink/crc32.h"
+
+namespace costsense::runtime::sink {
+namespace {
+
+constexpr char kBlockMagic[4] = {'C', 'S', 'K', 'B'};
+constexpr size_t kHashBits = 13;
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxOffset = 65535;
+
+/// Worst case for incompressible input: every byte a literal, plus one
+/// token and one 255-run extension byte per 255 literals, plus slack for
+/// the final short sequence. Anything claiming more is a corrupt header.
+constexpr size_t MaxCompressedSize(size_t raw) {
+  return raw + raw / 255 + 16;
+}
+
+uint32_t Load32(const char* p) {
+  uint32_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+uint32_t HashOf(uint32_t v) {
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void PutU32(std::string& out, uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void PutRunLength(std::string& out, size_t extra) {
+  while (extra >= 255) {
+    out.push_back(static_cast<char>(0xff));
+    extra -= 255;
+  }
+  out.push_back(static_cast<char>(extra));
+}
+
+/// Appends one sequence: `literals`, then a match of `match_len` bytes at
+/// `offset` back (match_len == 0 for the block-final literals-only
+/// sequence, which carries no offset).
+void EmitSequence(std::string& out, std::string_view literals,
+                  size_t match_len, size_t offset) {
+  const size_t lit = literals.size();
+  const size_t match_code = match_len == 0 ? 0 : match_len - kMinMatch;
+  const uint8_t token =
+      static_cast<uint8_t>((lit < 15 ? lit : 15) << 4 |
+                           (match_code < 15 ? match_code : 15));
+  out.push_back(static_cast<char>(token));
+  if (lit >= 15) PutRunLength(out, lit - 15);
+  out.append(literals);
+  if (match_len == 0) return;
+  out.push_back(static_cast<char>((offset >> 8) & 0xff));
+  out.push_back(static_cast<char>(offset & 0xff));
+  if (match_code >= 15) PutRunLength(out, match_code - 15);
+}
+
+/// Greedy single-pass encoder over one block. Fixed hash table, fixed
+/// probe policy: deterministic by construction.
+std::string CompressBlock(std::string_view in) {
+  std::string out;
+  out.reserve(in.size() / 2 + 32);
+  std::array<int32_t, size_t{1} << kHashBits> table;
+  table.fill(-1);
+
+  const size_t n = in.size();
+  size_t pos = 0;
+  size_t anchor = 0;
+  while (pos + kMinMatch <= n) {
+    const uint32_t h = HashOf(Load32(in.data() + pos));
+    const int32_t cand = table[h];
+    table[h] = static_cast<int32_t>(pos);
+    if (cand >= 0 && pos - static_cast<size_t>(cand) <= kMaxOffset &&
+        Load32(in.data() + cand) == Load32(in.data() + pos)) {
+      size_t len = kMinMatch;
+      while (pos + len < n &&
+             in[static_cast<size_t>(cand) + len] == in[pos + len]) {
+        ++len;
+      }
+      EmitSequence(out, in.substr(anchor, pos - anchor), len,
+                   pos - static_cast<size_t>(cand));
+      pos += len;
+      anchor = pos;
+    } else {
+      ++pos;
+    }
+  }
+  EmitSequence(out, in.substr(anchor), 0, 0);
+  return out;
+}
+
+[[nodiscard]] Status Corrupt(const std::string& what) {
+  return Status::InvalidArgument("compressed block stream: " + what);
+}
+
+/// Reads a 15-extension length run. `base` is the token nibble.
+[[nodiscard]] Status TakeRunLength(std::string_view comp, size_t* pos,
+                                   size_t base, size_t* out) {
+  size_t len = base;
+  if (base == 15) {
+    for (;;) {
+      if (*pos >= comp.size()) return Corrupt("truncated length run");
+      const uint8_t b = static_cast<uint8_t>(comp[(*pos)++]);
+      len += b;
+      if (b < 255) break;
+    }
+  }
+  *out = len;
+  return Status::Ok();
+}
+
+[[nodiscard]] Status DecompressBlock(std::string_view comp, size_t raw_len,
+                                     std::string* out) {
+  const size_t start = out->size();
+  size_t pos = 0;
+  while (pos < comp.size()) {
+    const uint8_t token = static_cast<uint8_t>(comp[pos++]);
+    size_t lit = 0;
+    Status st = TakeRunLength(comp, &pos, token >> 4, &lit);
+    if (!st.ok()) return st;
+    if (lit > comp.size() - pos) return Corrupt("literal run past block end");
+    if (out->size() - start + lit > raw_len) {
+      return Corrupt("literals overflow the declared raw length");
+    }
+    out->append(comp.substr(pos, lit));
+    pos += lit;
+    if (pos == comp.size()) break;  // final literals-only sequence
+
+    if (comp.size() - pos < 2) return Corrupt("truncated match offset");
+    const size_t offset = static_cast<size_t>(
+        (static_cast<uint8_t>(comp[pos]) << 8) |
+        static_cast<uint8_t>(comp[pos + 1]));
+    pos += 2;
+    if (offset == 0 || offset > out->size() - start) {
+      return Corrupt("match offset outside the produced output");
+    }
+    size_t match_code = 0;
+    st = TakeRunLength(comp, &pos, token & 0xf, &match_code);
+    if (!st.ok()) return st;
+    const size_t match_len = match_code + kMinMatch;
+    if (out->size() - start + match_len > raw_len) {
+      return Corrupt("match overflows the declared raw length");
+    }
+    // Byte-by-byte: matches may overlap their own output (RLE-style).
+    size_t from = out->size() - offset;
+    for (size_t i = 0; i < match_len; ++i) {
+      out->push_back((*out)[from + i]);
+    }
+  }
+  if (out->size() - start != raw_len) {
+    return Corrupt("block decoded to a different length than declared");
+  }
+  return Status::Ok();
+}
+
+/// One block in container form: header + compressed bytes.
+std::string EncodeBlock(std::string_view raw) {
+  const std::string comp = CompressBlock(raw);
+  std::string out;
+  out.reserve(16 + comp.size());
+  out.append(kBlockMagic, sizeof(kBlockMagic));
+  PutU32(out, static_cast<uint32_t>(raw.size()));
+  PutU32(out, static_cast<uint32_t>(comp.size()));
+  PutU32(out, Crc32(raw));
+  out.append(comp);
+  return out;
+}
+
+}  // namespace
+
+Status BlockCompressSink::EmitBlock(size_t take) {
+  const Status st =
+      down_.Write(EncodeBlock(std::string_view(pending_).substr(0, take)));
+  pending_.erase(0, take);
+  return st;
+}
+
+Status BlockCompressSink::Write(std::string_view span) {
+  if (closed_) {
+    return Status::FailedPrecondition("compress sink used after Close");
+  }
+  pending_.append(span);
+  while (pending_.size() >= kCompressBlockBytes) {
+    const Status st = EmitBlock(kCompressBlockBytes);
+    if (!st.ok()) return st;
+  }
+  return Status::Ok();
+}
+
+Status BlockCompressSink::Flush() {
+  if (closed_) {
+    return Status::FailedPrecondition("compress sink used after Close");
+  }
+  if (!pending_.empty()) {
+    const Status st = EmitBlock(pending_.size());
+    if (!st.ok()) return st;
+  }
+  return down_.Flush();
+}
+
+Status BlockCompressSink::Close() {
+  if (closed_) return Status::Ok();
+  closed_ = true;
+  if (!pending_.empty()) {
+    const Status st = EmitBlock(pending_.size());
+    if (!st.ok()) {
+      const Status ignored = down_.Close();
+      (void)ignored;  // the emit failure is the primary error
+      return st;
+    }
+  }
+  return down_.Close();
+}
+
+std::string CompressToBlocks(std::string_view raw) {
+  std::string out;
+  while (raw.size() > kCompressBlockBytes) {
+    out += EncodeBlock(raw.substr(0, kCompressBlockBytes));
+    raw.remove_prefix(kCompressBlockBytes);
+  }
+  if (!raw.empty()) out += EncodeBlock(raw);
+  return out;
+}
+
+Result<std::string> DecompressBlocks(std::string_view data) {
+  std::string out;
+  size_t pos = 0;
+  while (pos < data.size()) {
+    if (data.size() - pos < 16) return Corrupt("truncated block header");
+    if (std::memcmp(data.data() + pos, kBlockMagic, sizeof(kBlockMagic)) !=
+        0) {
+      return Corrupt("bad block magic");
+    }
+    pos += sizeof(kBlockMagic);
+    uint32_t raw_len = 0;
+    uint32_t comp_len = 0;
+    uint32_t crc = 0;
+    for (int i = 0; i < 4; ++i) {
+      raw_len = (raw_len << 8) | static_cast<uint8_t>(data[pos + i]);
+      comp_len = (comp_len << 8) | static_cast<uint8_t>(data[pos + 4 + i]);
+      crc = (crc << 8) | static_cast<uint8_t>(data[pos + 8 + i]);
+    }
+    pos += 12;
+    if (raw_len > kCompressBlockBytes) {
+      return Corrupt("declared raw length exceeds the block bound");
+    }
+    if (comp_len > MaxCompressedSize(raw_len)) {
+      return Corrupt("declared compressed length exceeds the expansion bound");
+    }
+    if (comp_len > data.size() - pos) return Corrupt("truncated block body");
+    const size_t before = out.size();
+    const Status st =
+        DecompressBlock(data.substr(pos, comp_len), raw_len, &out);
+    if (!st.ok()) return st;
+    pos += comp_len;
+    if (Crc32(std::string_view(out).substr(before)) != crc) {
+      return Corrupt("block CRC mismatch");
+    }
+  }
+  return out;
+}
+
+}  // namespace costsense::runtime::sink

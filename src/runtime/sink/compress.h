@@ -1,0 +1,75 @@
+#ifndef COSTSENSE_RUNTIME_SINK_COMPRESS_H_
+#define COSTSENSE_RUNTIME_SINK_COMPRESS_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "runtime/sink/sink.h"
+
+namespace costsense::runtime::sink {
+
+/// Zero-dependency deterministic block compression for artifact streams.
+///
+/// The stream is a sequence of self-contained blocks:
+///
+///   block   "CSKB" | u32 raw length | u32 compressed length |
+///           u32 CRC32(raw bytes) | compressed bytes
+///
+/// (all integers big-endian, matching the snapshot and wire formats).
+/// Inside a block the encoding is a byte-oriented LZ77 with fixed
+/// parameters, in the LZ4 token format:
+///
+///   sequence   u8 token (literal count in the high nibble, match length
+///              minus 4 in the low nibble; 15 extends with 255-run bytes)
+///              | literal bytes | u16 big-endian match offset (1..65535)
+///              | match-length extension bytes
+///
+/// The final sequence of a block is literals-only (no offset follows; the
+/// decoder stops when the block's compressed bytes run out). Matching is
+/// greedy over a fixed 8192-entry hash table of 4-byte prefixes, blocks
+/// are cut at exactly kCompressBlockBytes of input, and nothing about the
+/// search depends on the host — so the compressed bytes are a pure
+/// function of the input byte sequence plus the Flush/Close points,
+/// byte-identical across threads and hosts.
+inline constexpr size_t kCompressBlockBytes = 64 * 1024;
+
+/// Compression stage: buffers input into fixed-size blocks and writes
+/// each compressed block downstream. Flush compresses the buffered
+/// partial block (so checkpoints land on disk) and flushes downstream;
+/// Close drains the tail and closes downstream. Output bytes depend only
+/// on the input byte sequence and the Flush/Close points, never on how
+/// Write calls were chunked.
+class BlockCompressSink final : public Sink {
+ public:
+  explicit BlockCompressSink(Sink& down) : down_(down) {}
+
+  [[nodiscard]] Status Write(std::string_view span) override;
+  [[nodiscard]] Status Flush() override;
+  [[nodiscard]] Status Close() override;
+
+ private:
+  /// Compresses pending_[0, take) into one block downstream.
+  [[nodiscard]] Status EmitBlock(size_t take);
+
+  Sink& down_;
+  std::string pending_;
+  bool closed_ = false;
+};
+
+/// Compresses `raw` into the block-stream form BlockCompressSink emits
+/// for a single-shot input (one Close-terminated chain). Exposed for
+/// tests and tools.
+std::string CompressToBlocks(std::string_view raw);
+
+/// Decodes a whole block stream back to the original bytes. Every
+/// failure mode is a typed kInvalidArgument: bad magic, truncated
+/// header or body, length fields that disagree with the payload, CRC
+/// mismatch, or match references outside the produced output. Never
+/// trusts a length field to allocate unbounded memory.
+[[nodiscard]] Result<std::string> DecompressBlocks(std::string_view data);
+
+}  // namespace costsense::runtime::sink
+
+#endif  // COSTSENSE_RUNTIME_SINK_COMPRESS_H_

@@ -12,6 +12,7 @@
 #include "opt/optimizer.h"
 #include "query/query.h"
 #include "runtime/resilience/resilient_oracle.h"
+#include "runtime/sink/stages.h"
 #include "storage/layout.h"
 #include "tpch/queries.h"
 #include "tpch/schema.h"
@@ -96,27 +97,30 @@ Dispatcher::QueryContext& Dispatcher::GetContext(
 }
 
 AnalysisResponse Dispatcher::Handle(const AnalysisRequest& request) {
-  QueryContext& ctx = GetContext(request.query_number, request.policy);
-  Result<std::string> body = Render(request, ctx);
-
   AnalysisResponse response;
-  if (body.ok()) {
-    response.code = StatusCode::kOk;
-    response.body = std::move(body).value();
-  } else {
-    response.code = body.status().code();
-    response.body = body.status().message();
-  }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++requests_;
-    if (!response.ok()) ++failed_requests_;
+  runtime::sink::StringSink body(&response.body);
+  const Status st = HandleStreaming(request, body);
+  if (!st.ok()) {
+    response.code = st.code();
+    response.body = st.message();  // drops any partially rendered records
   }
   return response;
 }
 
-Result<std::string> Dispatcher::Render(const AnalysisRequest& request,
-                                       QueryContext& ctx) {
+Status Dispatcher::HandleStreaming(const AnalysisRequest& request,
+                                   runtime::sink::Sink& records) {
+  QueryContext& ctx = GetContext(request.query_number, request.policy);
+  const Status st = Render(request, ctx, records);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++requests_;
+    if (!st.ok()) ++failed_requests_;
+  }
+  return st;
+}
+
+Status Dispatcher::Render(const AnalysisRequest& request, QueryContext& ctx,
+                          runtime::sink::Sink& out) {
   // The per-request half of the oracle chain, stacked above the shared
   // cache in the canonical decorator order (runtime/oracle_stack.h):
   // ResilientOracle (request deadline + retry budget) over an optional
@@ -144,10 +148,23 @@ Result<std::string> Dispatcher::Render(const AnalysisRequest& request,
 
   // Plans are discovered once over the widest requested band; candidate
   // sets for narrower bands are subsets (usage vectors are
-  // box-independent), so one discovery serves every delta.
+  // box-independent), so one discovery serves every delta. A v2 request
+  // carrying an explicit box replaces that band box for discovery (and
+  // for the worst-case LP below); its dimension count must match the
+  // query's resource space.
+  if (request.box.has_value() &&
+      request.box->dims() != ctx.space.dims()) {
+    return Status::InvalidArgument(StrFormat(
+        "feasible-region box has %zu dimension(s); %s under %s spans %zu",
+        request.box->dims(), ctx.query.name.c_str(),
+        storage::LayoutPolicyName(request.policy), ctx.space.dims()));
+  }
   const double band =
       *std::max_element(request.deltas.begin(), request.deltas.end());
-  const core::Box box = core::Box::MultiplicativeBand(ctx.baseline, band);
+  const core::Box box =
+      request.box.has_value()
+          ? *request.box
+          : core::Box::MultiplicativeBand(ctx.baseline, band);
   Rng rng(options_.seed);
   core::DiscoveryOptions discovery = options_.discovery;
   discovery.pool = options_.pool != nullptr ? options_.pool
@@ -174,7 +191,12 @@ Result<std::string> Dispatcher::Render(const AnalysisRequest& request,
   plans.reserve(d->plans.size());
   for (const core::DiscoveredPlan& dp : d->plans) plans.push_back(dp.plan);
 
-  std::string body = StrFormat(
+  // Each logical piece is one Write: the prologue, then one record per
+  // plan or delta line. Over a StringSink this concatenates into the v1
+  // body; over the v2 record sink each piece is one length-prefixed
+  // record, so a reassembled v2 stream equals the v1 body byte for byte.
+  // The body keeps the v1 stamp under both protocols for that reason.
+  Status st = out.Write(StrFormat(
       "costsense-serve v%u %s\n"
       "query=%s policy=%s dims=%zu\n"
       "band_delta=%s\n"
@@ -183,14 +205,16 @@ Result<std::string> Dispatcher::Render(const AnalysisRequest& request,
       kProtocolVersion, AnalysisKindName(request.kind),
       ctx.query.name.c_str(), storage::LayoutPolicyName(request.policy),
       ctx.space.dims(), FormatDouble(band).c_str(),
-      ctx.initial_plan_id.c_str(), plans.size(), d->complete ? 1 : 0);
+      ctx.initial_plan_id.c_str(), plans.size(), d->complete ? 1 : 0));
+  if (!st.ok()) return st;
 
   switch (request.kind) {
     case AnalysisKind::kDiscovery: {
       for (size_t i = 0; i < d->plans.size(); ++i) {
-        body += StrFormat("plan %zu: %s margin=%s\n", i,
-                          d->plans[i].plan.plan_id.c_str(),
-                          FormatDouble(d->plans[i].margin).c_str());
+        st = out.Write(StrFormat("plan %zu: %s margin=%s\n", i,
+                                 d->plans[i].plan.plan_id.c_str(),
+                                 FormatDouble(d->plans[i].margin).c_str()));
+        if (!st.ok()) return st;
       }
       break;
     }
@@ -198,24 +222,31 @@ Result<std::string> Dispatcher::Render(const AnalysisRequest& request,
     case AnalysisKind::kGtcSeries: {
       // Worst-case global relative cost per requested delta, in request
       // order, via the exact linear-fractional program (no further oracle
-      // calls). kWorstCase is the single-delta special case.
+      // calls). kWorstCase is the single-delta special case; an explicit
+      // box replaces its LP region (a gtcseries curve stays
+      // delta-parameterized by definition).
       const size_t count =
           request.kind == AnalysisKind::kWorstCase ? 1 : request.deltas.size();
       for (size_t i = 0; i < count; ++i) {
+        const bool explicit_box = request.kind == AnalysisKind::kWorstCase &&
+                                  request.box.has_value();
         const core::Box delta_box =
-            core::Box::MultiplicativeBand(ctx.baseline, request.deltas[i]);
+            explicit_box ? *request.box
+                         : core::Box::MultiplicativeBand(ctx.baseline,
+                                                         request.deltas[i]);
         Result<core::WorstCaseResult> wc = core::WorstCaseOverPlansByLp(
             ctx.initial_usage, plans, delta_box, discovery.pool);
         if (!wc.ok()) return wc.status();
-        body += StrFormat("delta=%s gtc=%s rival=%s\n",
-                          FormatDouble(request.deltas[i]).c_str(),
-                          FormatDouble(wc->gtc).c_str(),
-                          wc->worst_rival.c_str());
+        st = out.Write(StrFormat("delta=%s gtc=%s rival=%s\n",
+                                 FormatDouble(request.deltas[i]).c_str(),
+                                 FormatDouble(wc->gtc).c_str(),
+                                 wc->worst_rival.c_str()));
+        if (!st.ok()) return st;
       }
       break;
     }
   }
-  return body;
+  return Status::Ok();
 }
 
 Status Dispatcher::PersistCache() {

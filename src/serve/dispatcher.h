@@ -15,6 +15,7 @@
 #include "runtime/oracle_cache.h"
 #include "runtime/resilience/clock.h"
 #include "runtime/resilience/fault_injector.h"
+#include "runtime/sink/sink.h"
 #include "runtime/thread_pool.h"
 #include "serve/protocol.h"
 
@@ -96,6 +97,16 @@ class Dispatcher {
   /// spent mid-analysis), or another typed error.
   AnalysisResponse Handle(const AnalysisRequest& request);
 
+  /// Streaming form: every body piece (the prologue, then one record per
+  /// plan or delta line) goes through `records` as a separate Write the
+  /// moment it is produced. Returns the analysis status; on a non-OK
+  /// status the records already written must be discarded by the consumer
+  /// (the v2 terminal status frame is what tells a remote client to).
+  /// Handle() is this over a StringSink — one rendering path for both
+  /// protocol versions, byte-for-byte.
+  [[nodiscard]] Status HandleStreaming(const AnalysisRequest& request,
+                                       runtime::sink::Sink& records);
+
   DispatcherStats stats() const;
 
   /// Publishes every materialized context's cache to the snapshot store
@@ -114,8 +125,8 @@ class Dispatcher {
   QueryContext& GetContext(uint16_t query_number,
                            storage::LayoutPolicy policy);
 
-  [[nodiscard]] Result<std::string> Render(const AnalysisRequest& request,
-                                           QueryContext& ctx);
+  [[nodiscard]] Status Render(const AnalysisRequest& request,
+                              QueryContext& ctx, runtime::sink::Sink& out);
 
   DispatcherOptions options_;
   catalog::Catalog catalog_;

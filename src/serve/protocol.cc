@@ -117,6 +117,39 @@ class Reader {
   return Status::Ok();
 }
 
+[[nodiscard]] Status CheckRequestVersion(uint8_t version) {
+  if (version != kProtocolVersion && version != kProtocolVersionV2) {
+    return Status::InvalidArgument(StrFormat(
+        "unsupported protocol version %u (this server speaks %u and %u)",
+        version, kProtocolVersion, kProtocolVersionV2));
+  }
+  return Status::Ok();
+}
+
+[[nodiscard]] Status TakeKind(Reader& r, AnalysisKind* out) {
+  uint8_t kind = 0;
+  Status st = r.TakeU8(&kind);
+  if (!st.ok()) return st;
+  if (kind > static_cast<uint8_t>(AnalysisKind::kGtcSeries)) {
+    return Status::InvalidArgument(StrFormat("unknown analysis kind %u", kind));
+  }
+  *out = static_cast<AnalysisKind>(kind);
+  return Status::Ok();
+}
+
+[[nodiscard]] Status TakePolicy(Reader& r, storage::LayoutPolicy* out) {
+  uint8_t policy = 0;
+  Status st = r.TakeU8(&policy);
+  if (!st.ok()) return st;
+  if (policy >
+      static_cast<uint8_t>(storage::LayoutPolicy::kPerTableColocated)) {
+    return Status::InvalidArgument(
+        StrFormat("unknown storage layout policy %u", policy));
+  }
+  *out = static_cast<storage::LayoutPolicy>(policy);
+  return Status::Ok();
+}
+
 }  // namespace
 
 const char* AnalysisKindName(AnalysisKind kind) {
@@ -134,13 +167,22 @@ const char* AnalysisKindName(AnalysisKind kind) {
 std::string EncodeRequest(const AnalysisRequest& request) {
   std::string out;
   out.reserve(15 + 8 * request.deltas.size());
-  PutU8(&out, kProtocolVersion);
+  PutU8(&out, request.version);
   PutU8(&out, static_cast<uint8_t>(request.kind));
   PutU8(&out, static_cast<uint8_t>(request.policy));
   PutU16(&out, request.query_number);
   PutU64(&out, request.deadline_ns);
   PutU16(&out, static_cast<uint16_t>(request.deltas.size()));
   for (double delta : request.deltas) PutF64(&out, delta);
+  if (request.version >= kProtocolVersionV2) {
+    PutU8(&out, request.box.has_value() ? 1 : 0);
+    if (request.box.has_value()) {
+      const core::Box& box = *request.box;
+      PutU16(&out, static_cast<uint16_t>(box.dims()));
+      for (size_t i = 0; i < box.dims(); ++i) PutF64(&out, box.lower()[i]);
+      for (size_t i = 0; i < box.dims(); ++i) PutF64(&out, box.upper()[i]);
+    }
+  }
   return out;
 }
 
@@ -149,27 +191,16 @@ Result<AnalysisRequest> DecodeRequest(std::string_view payload) {
   uint8_t version = 0;
   Status st = r.TakeU8(&version);
   if (!st.ok()) return st;
-  st = CheckVersion(version);
+  st = CheckRequestVersion(version);
   if (!st.ok()) return st;
 
   AnalysisRequest out;
-  uint8_t kind = 0;
-  st = r.TakeU8(&kind);
+  out.version = version;
+  st = TakeKind(r, &out.kind);
   if (!st.ok()) return st;
-  if (kind > static_cast<uint8_t>(AnalysisKind::kGtcSeries)) {
-    return Status::InvalidArgument(
-        StrFormat("unknown analysis kind %u", kind));
-  }
-  out.kind = static_cast<AnalysisKind>(kind);
 
-  uint8_t policy = 0;
-  st = r.TakeU8(&policy);
+  st = TakePolicy(r, &out.policy);
   if (!st.ok()) return st;
-  if (policy > static_cast<uint8_t>(storage::LayoutPolicy::kPerTableColocated)) {
-    return Status::InvalidArgument(
-        StrFormat("unknown storage layout policy %u", policy));
-  }
-  out.policy = static_cast<storage::LayoutPolicy>(policy);
 
   st = r.TakeU16(&out.query_number);
   if (!st.ok()) return st;
@@ -201,6 +232,42 @@ Result<AnalysisRequest> DecodeRequest(std::string_view payload) {
           i, delta));
     }
     out.deltas.push_back(delta);
+  }
+  if (version >= kProtocolVersionV2) {
+    uint8_t has_box = 0;
+    st = r.TakeU8(&has_box);
+    if (!st.ok()) return st;
+    if (has_box > 1) {
+      return Status::InvalidArgument(
+          StrFormat("has-box flag is %u; must be 0 or 1", has_box));
+    }
+    if (has_box == 1) {
+      uint16_t dims = 0;
+      st = r.TakeU16(&dims);
+      if (!st.ok()) return st;
+      if (dims == 0 || dims > kMaxBoxDims) {
+        return Status::InvalidArgument(StrFormat(
+            "box dimension count %u outside 1..%u", dims, kMaxBoxDims));
+      }
+      std::vector<double> lower(dims);
+      std::vector<double> upper(dims);
+      for (uint16_t i = 0; i < dims; ++i) {
+        st = r.TakeF64(&lower[i]);
+        if (!st.ok()) return st;
+      }
+      for (uint16_t i = 0; i < dims; ++i) {
+        st = r.TakeF64(&upper[i]);
+        if (!st.ok()) return st;
+      }
+      // Box::Validated enforces positive, finite, element-wise ordered
+      // bounds as a typed error — the wire never reaches the CHECKing
+      // constructor.
+      Result<core::Box> box =
+          core::Box::Validated(core::CostVector(std::move(lower)),
+                               core::CostVector(std::move(upper)));
+      if (!box.ok()) return box.status();
+      out.box = std::move(box).value();
+    }
   }
   if (r.remaining() != 0) {
     return Status::InvalidArgument(StrFormat(
@@ -248,6 +315,160 @@ Result<AnalysisResponse> DecodeResponse(std::string_view payload) {
   st = r.TakeBytes(body_len, &out.body);
   if (!st.ok()) return st;
   return out;
+}
+
+std::string EncodeResponseFrame(const ResponseFrame& frame) {
+  std::string out;
+  PutU8(&out, kProtocolVersionV2);
+  PutU8(&out, static_cast<uint8_t>(frame.type));
+  switch (frame.type) {
+    case ResponseFrameType::kHeader:
+      PutU8(&out, static_cast<uint8_t>(frame.kind));
+      PutU8(&out, static_cast<uint8_t>(frame.policy));
+      PutU16(&out, frame.query_number);
+      break;
+    case ResponseFrameType::kRecords:
+      for (const std::string& record : frame.records) {
+        PutU32(&out, static_cast<uint32_t>(record.size()));
+        out += record;
+      }
+      break;
+    case ResponseFrameType::kStatus:
+      PutU8(&out, static_cast<uint8_t>(frame.code));
+      PutU32(&out, static_cast<uint32_t>(frame.message.size()));
+      out += frame.message;
+      break;
+  }
+  return out;
+}
+
+Result<ResponseFrame> DecodeResponseFrame(std::string_view payload) {
+  Reader r(payload);
+  uint8_t version = 0;
+  Status st = r.TakeU8(&version);
+  if (!st.ok()) return st;
+  if (version != kProtocolVersionV2) {
+    return Status::InvalidArgument(StrFormat(
+        "response frame version %u; the frame stream is version %u only",
+        version, kProtocolVersionV2));
+  }
+
+  ResponseFrame out;
+  uint8_t type = 0;
+  st = r.TakeU8(&type);
+  if (!st.ok()) return st;
+  if (type > static_cast<uint8_t>(ResponseFrameType::kStatus)) {
+    return Status::InvalidArgument(
+        StrFormat("unknown response frame type %u", type));
+  }
+  out.type = static_cast<ResponseFrameType>(type);
+
+  switch (out.type) {
+    case ResponseFrameType::kHeader: {
+      st = TakeKind(r, &out.kind);
+      if (!st.ok()) return st;
+      st = TakePolicy(r, &out.policy);
+      if (!st.ok()) return st;
+      st = r.TakeU16(&out.query_number);
+      if (!st.ok()) return st;
+      if (out.query_number < 1 || out.query_number > 22) {
+        return Status::InvalidArgument(
+            StrFormat("query number %u outside TPC-H range 1..22",
+                      out.query_number));
+      }
+      break;
+    }
+    case ResponseFrameType::kRecords: {
+      while (r.remaining() > 0) {
+        uint32_t len = 0;
+        st = r.TakeU32(&len);
+        if (!st.ok()) return st;
+        if (len > r.remaining()) {
+          return Status::InvalidArgument(StrFormat(
+              "record length %u exceeds %zu frame byte(s) remaining", len,
+              r.remaining()));
+        }
+        std::string record;
+        st = r.TakeBytes(len, &record);
+        if (!st.ok()) return st;
+        out.records.push_back(std::move(record));
+      }
+      break;
+    }
+    case ResponseFrameType::kStatus: {
+      uint8_t code = 0;
+      st = r.TakeU8(&code);
+      if (!st.ok()) return st;
+      if (code > static_cast<uint8_t>(StatusCode::kDeadlineExceeded)) {
+        return Status::InvalidArgument(
+            StrFormat("unknown status code %u", code));
+      }
+      out.code = static_cast<StatusCode>(code);
+      uint32_t len = 0;
+      st = r.TakeU32(&len);
+      if (!st.ok()) return st;
+      if (len != r.remaining()) {
+        return Status::InvalidArgument(StrFormat(
+            "status message length %u disagrees with %zu frame byte(s) "
+            "remaining",
+            len, r.remaining()));
+      }
+      st = r.TakeBytes(len, &out.message);
+      if (!st.ok()) return st;
+      break;
+    }
+  }
+  if (r.remaining() != 0) {
+    return Status::InvalidArgument(StrFormat(
+        "%zu trailing byte(s) after response frame", r.remaining()));
+  }
+  return out;
+}
+
+Status ResponseReassembler::Feed(std::string_view payload) {
+  if (state_ == State::kDone) {
+    return Status::InvalidArgument(
+        "response frame after the terminal status frame");
+  }
+  Result<ResponseFrame> frame = DecodeResponseFrame(payload);
+  if (!frame.ok()) return frame.status();
+
+  switch (frame->type) {
+    case ResponseFrameType::kHeader: {
+      if (state_ != State::kExpectHeader) {
+        return Status::InvalidArgument("duplicate response header frame");
+      }
+      has_header_ = true;
+      kind_ = frame->kind;
+      policy_ = frame->policy;
+      query_number_ = frame->query_number;
+      state_ = State::kStreaming;
+      return Status::Ok();
+    }
+    case ResponseFrameType::kRecords: {
+      if (state_ != State::kStreaming) {
+        return Status::InvalidArgument(
+            "record frame before the response header frame");
+      }
+      for (const std::string& record : frame->records) records_ += record;
+      return Status::Ok();
+    }
+    case ResponseFrameType::kStatus: {
+      // Header-first has one exception: an error status may arrive alone
+      // when the request was rejected before any analysis began.
+      if (state_ == State::kExpectHeader && frame->code == StatusCode::kOk) {
+        return Status::InvalidArgument(
+            "OK status frame before the response header frame");
+      }
+      response_.code = frame->code;
+      response_.body = frame->code == StatusCode::kOk
+                           ? std::move(records_)
+                           : std::move(frame->message);
+      state_ = State::kDone;
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unreachable response frame type");
 }
 
 }  // namespace costsense::serve

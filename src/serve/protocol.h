@@ -2,15 +2,17 @@
 #define COSTSENSE_SERVE_PROTOCOL_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "core/feasible_region.h"
 #include "storage/layout.h"
 
 namespace costsense::serve {
 
-/// costsense-serve wire protocol, version 1.
+/// costsense-serve wire protocol, versions 1 and 2.
 ///
 /// A connection carries length-prefixed frames in both directions:
 ///
@@ -23,7 +25,7 @@ namespace costsense::serve {
 /// big-endian; doubles travel as the big-endian bytes of their IEEE-754
 /// representation, so a payload is bit-reproducible across hosts.
 ///
-/// Request payload:
+/// Version 1 request payload:
 ///
 ///   u8  version (kProtocolVersion)
 ///   u8  analysis kind (AnalysisKind)
@@ -36,13 +38,39 @@ namespace costsense::serve {
 ///       kWorstCase read deltas[0]; kGtcSeries evaluates every delta
 ///       against the plan set discovered at the widest one.
 ///
-/// Response payload:
+/// Version 1 response payload:
 ///
 ///   u8  version
 ///   u8  status code (StatusCode; kOk on success)
 ///   u32 body length, then body bytes — the rendered analysis text on
 ///       success, the error message otherwise.
+///
+/// Version 2 extends the request with an explicit feasible-region box and
+/// replaces the single response payload with a structured frame stream
+/// (see ResponseFrameType). A v2 request is the v1 fields with the
+/// version byte set to kProtocolVersionV2 followed by:
+///
+///   u8  has-box flag (0 or 1)
+///   [when 1]
+///   u16 dims (1..kMaxBoxDims)
+///   f64 x dims: per-parameter lower bounds
+///   f64 x dims: per-parameter upper bounds
+///
+/// The bounds are validated at decode time with core::Box::Validated
+/// (positive, finite, element-wise lower <= upper); a malformed box is a
+/// typed kInvalidArgument, never a crash. When present, the box replaces
+/// the multiplicative band for discovery and for the worst-case LP; the
+/// deltas still drive the per-delta bands of a kGtcSeries curve. A server
+/// accepts both versions on one socket, keyed by the request's version
+/// byte.
 inline constexpr uint8_t kProtocolVersion = 1;
+
+/// Version tag of the structured-payload protocol revision.
+inline constexpr uint8_t kProtocolVersionV2 = 2;
+
+/// Cap on the dimension count of an explicit v2 feasible-region box
+/// (matches the 64-dim bound the vertex sweeps can address).
+inline constexpr uint16_t kMaxBoxDims = 64;
 
 /// Frames above this size are rejected as malformed rather than trusted
 /// to allocate (a corrupted length prefix must not look like a 4 GiB
@@ -68,13 +96,22 @@ enum class AnalysisKind : uint8_t {
 const char* AnalysisKindName(AnalysisKind kind);
 
 /// One analysis request. `deltas` defines the feasible-region box(es) as
-/// multiplicative error bands around the layout baseline.
+/// multiplicative error bands around the layout baseline; a v2 request
+/// may carry an explicit box instead.
 struct AnalysisRequest {
+  /// Wire version EncodeRequest emits (and DecodeRequest saw). The box
+  /// field only travels on kProtocolVersionV2.
+  uint8_t version = kProtocolVersion;
   AnalysisKind kind = AnalysisKind::kDiscovery;
   storage::LayoutPolicy policy = storage::LayoutPolicy::kSharedDevice;
   uint16_t query_number = 1;
   uint64_t deadline_ns = 0;
   std::vector<double> deltas = {100.0};
+  /// Explicit feasible-region box (v2 only); validated at decode. When
+  /// set, it replaces the multiplicative band for discovery and the
+  /// worst-case LP, and its dimension count must match the query's
+  /// resource space (checked at dispatch).
+  std::optional<core::Box> box;
 };
 
 /// One analysis response: a typed status code plus the payload text (the
@@ -102,6 +139,86 @@ std::string EncodeResponse(const AnalysisResponse& response);
 /// Parses a frame payload into a response. kInvalidArgument on truncated
 /// or version-mismatched payloads.
 [[nodiscard]] Result<AnalysisResponse> DecodeResponse(std::string_view payload);
+
+// ---------------------------------------------------------------------------
+// Version 2 response frame stream
+// ---------------------------------------------------------------------------
+
+/// A v2 response is a stream of transport frames, each carrying one of
+/// three payload types:
+///
+///   header   u8 ver=2 | u8 type=0 | u8 kind | u8 policy | u16 query
+///   records  u8 ver=2 | u8 type=1 | repeated (u32 length | body bytes)
+///   status   u8 ver=2 | u8 type=2 | u8 code | u32 length | message bytes
+///
+/// The stream is header-first, then zero or more record frames, then
+/// exactly one terminal status frame. On kOk the concatenated record
+/// bodies equal the v1 response body byte for byte; on any other code the
+/// records are discarded and the message is the error text. As the one
+/// exception to header-first, an error status frame may arrive alone
+/// (a request rejected before analysis has no header to send).
+enum class ResponseFrameType : uint8_t {
+  kHeader = 0,
+  kRecords = 1,
+  kStatus = 2,
+};
+
+/// One decoded v2 frame; which fields are meaningful depends on `type`.
+struct ResponseFrame {
+  ResponseFrameType type = ResponseFrameType::kHeader;
+  // kHeader
+  AnalysisKind kind = AnalysisKind::kDiscovery;
+  storage::LayoutPolicy policy = storage::LayoutPolicy::kSharedDevice;
+  uint16_t query_number = 1;
+  // kRecords
+  std::vector<std::string> records;
+  // kStatus
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+};
+
+/// Serializes one v2 frame into a transport payload.
+std::string EncodeResponseFrame(const ResponseFrame& frame);
+
+/// Parses one v2 frame payload. kInvalidArgument on truncation, unknown
+/// frame types, record lengths that disagree with the payload, or a
+/// status length that lies about the remaining bytes.
+[[nodiscard]] Result<ResponseFrame> DecodeResponseFrame(
+    std::string_view payload);
+
+/// Client-side state machine that folds a v2 frame stream back into the
+/// v1-equivalent AnalysisResponse. Feed() every received payload in
+/// order; after done() reports true, response() is the reassembled
+/// result. Violations of the stream grammar (records before the header,
+/// frames after the terminal status, a duplicate header) are typed
+/// kInvalidArgument errors.
+class ResponseReassembler {
+ public:
+  [[nodiscard]] Status Feed(std::string_view payload);
+
+  bool done() const { return state_ == State::kDone; }
+
+  /// Valid once done(): the terminal response (concatenated records on
+  /// kOk, the status message otherwise).
+  const AnalysisResponse& response() const { return response_; }
+
+  /// Valid once a header frame arrived: what the server echoed back.
+  bool has_header() const { return has_header_; }
+  AnalysisKind kind() const { return kind_; }
+  storage::LayoutPolicy policy() const { return policy_; }
+  uint16_t query_number() const { return query_number_; }
+
+ private:
+  enum class State { kExpectHeader, kStreaming, kDone };
+
+  State state_ = State::kExpectHeader;
+  bool has_header_ = false;
+  AnalysisKind kind_ = AnalysisKind::kDiscovery;
+  storage::LayoutPolicy policy_ = storage::LayoutPolicy::kSharedDevice;
+  uint16_t query_number_ = 1;
+  std::string records_;
+  AnalysisResponse response_;
+};
 
 }  // namespace costsense::serve
 

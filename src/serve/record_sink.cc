@@ -1,0 +1,20 @@
+#include "serve/record_sink.h"
+
+namespace costsense::serve {
+
+Status FrameRecordSink::Write(std::string_view record) {
+  pending_.records.emplace_back(record);
+  ++records_;
+  if (pending_.records.size() >= records_per_frame_) return Flush();
+  return Status::Ok();
+}
+
+Status FrameRecordSink::Flush() {
+  if (pending_.records.empty()) return Status::Ok();
+  const Status st = transport_.SendFrame(EncodeResponseFrame(pending_));
+  pending_.records.clear();
+  if (st.ok()) ++frames_;
+  return st;
+}
+
+}  // namespace costsense::serve

@@ -109,6 +109,15 @@ AnalysisResponse Server::Handle(const AnalysisRequest& request) {
   return response;
 }
 
+Status Server::HandleStreaming(const AnalysisRequest& request,
+                               runtime::sink::Sink& records) {
+  Status admitted = admission_.Admit();
+  if (!admitted.ok()) return admitted;
+  const Status st = dispatcher_.HandleStreaming(request, records);
+  admission_.Release();
+  return st;
+}
+
 Status Server::ServeBlocking(SocketListener& listener, size_t max_sessions) {
   std::vector<std::thread> threads;
   uint64_t accepted = 0;

@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "runtime/resilience/clock.h"
+#include "runtime/sink/sink.h"
 #include "runtime/thread_pool.h"
 #include "serve/admission.h"
 #include "serve/dispatcher.h"
@@ -79,6 +80,14 @@ class Server {
   /// every session. Admission failures come back as kUnavailable
   /// responses, never as hangs.
   AnalysisResponse Handle(const AnalysisRequest& request);
+
+  /// Streaming (protocol v2) form of Handle: the same admission gate, but
+  /// body records go through `records` as they are produced instead of
+  /// accumulating in a response. Returns the analysis status the session
+  /// turns into the terminal status frame; on a non-OK status any records
+  /// already streamed are discarded by the client's reassembler.
+  [[nodiscard]] Status HandleStreaming(const AnalysisRequest& request,
+                                       runtime::sink::Sink& records);
 
   /// Accepts connections until the listener is closed (or `max_sessions`
   /// sessions have finished, when nonzero — benches use this for a

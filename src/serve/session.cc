@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "serve/record_sink.h"
 #include "serve/server.h"
 
 namespace costsense::serve {
@@ -51,14 +52,39 @@ Status Session::Run() {
     last_activity_ns_.store(clock.NowNanos(), std::memory_order_relaxed);
 
     Result<AnalysisRequest> request = DecodeRequest(*frame);
-    AnalysisResponse response;
+    if (request.ok() && request->version >= kProtocolVersionV2) {
+      // v2: the response is a frame stream, not a single payload.
+      Status served = ServeStreaming(*request);
+      if (!served.ok()) {
+        transport_->Close();
+        return served;
+      }
+      ++requests_served_;
+      last_activity_ns_.store(clock.NowNanos(), std::memory_order_relaxed);
+      continue;
+    }
+
+    std::string reply;
     if (request.ok()) {
-      response = server_.Handle(*request);
+      reply = EncodeResponse(server_.Handle(*request));
+    } else if (!frame->empty() &&
+               static_cast<uint8_t>((*frame)[0]) == kProtocolVersionV2) {
+      // The peer attempted v2 (the version byte says so) but the request
+      // did not decode: answer in the grammar it expects — a lone error
+      // status frame, the one frame a reassembler accepts without a
+      // header.
+      ResponseFrame status_frame;
+      status_frame.type = ResponseFrameType::kStatus;
+      status_frame.code = request.status().code();
+      status_frame.message = request.status().message();
+      reply = EncodeResponseFrame(status_frame);
     } else {
+      AnalysisResponse response;
       response.code = request.status().code();
       response.body = request.status().message();
+      reply = EncodeResponse(response);
     }
-    Status sent = transport_->SendFrame(EncodeResponse(response));
+    Status sent = transport_->SendFrame(reply);
     if (!sent.ok()) {
       transport_->Close();
       return sent;
@@ -74,6 +100,30 @@ Status Session::Run() {
   }
 }
 
+Status Session::ServeStreaming(const AnalysisRequest& request) {
+  ResponseFrame header;
+  header.type = ResponseFrameType::kHeader;
+  header.kind = request.kind;
+  header.policy = request.policy;
+  header.query_number = request.query_number;
+  Status st = transport_->SendFrame(EncodeResponseFrame(header));
+  if (!st.ok()) return st;
+
+  FrameRecordSink records(*transport_);
+  const Status analysis = server_.HandleStreaming(request, records);
+  // Drain the partial batch before the terminal frame; only a transport
+  // failure here is a session error (an analysis failure still ends with
+  // a well-formed status frame telling the client to discard records).
+  st = records.Close();
+  if (!st.ok()) return st;
+
+  ResponseFrame status_frame;
+  status_frame.type = ResponseFrameType::kStatus;
+  status_frame.code = analysis.code();
+  if (!analysis.ok()) status_frame.message = analysis.message();
+  return transport_->SendFrame(EncodeResponseFrame(status_frame));
+}
+
 Result<AnalysisResponse> Call(FrameTransport& transport,
                               const AnalysisRequest& request) {
   Status sent = transport.SendFrame(EncodeRequest(request));
@@ -86,6 +136,27 @@ Result<AnalysisResponse> Call(FrameTransport& transport,
     return frame.status();
   }
   return DecodeResponse(*frame);
+}
+
+Result<AnalysisResponse> CallV2(FrameTransport& transport,
+                                const AnalysisRequest& request) {
+  AnalysisRequest v2 = request;
+  v2.version = kProtocolVersionV2;
+  Status sent = transport.SendFrame(EncodeRequest(v2));
+  if (!sent.ok()) return sent;
+  ResponseReassembler reassembler;
+  while (!reassembler.done()) {
+    Result<std::string> frame = transport.RecvFrame();
+    if (!frame.ok()) {
+      if (frame.status().code() == StatusCode::kNotFound) {
+        return Status::Unavailable("server closed the stream mid-call");
+      }
+      return frame.status();
+    }
+    Status fed = reassembler.Feed(*frame);
+    if (!fed.ok()) return fed;
+  }
+  return reassembler.response();
 }
 
 }  // namespace costsense::serve

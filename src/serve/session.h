@@ -43,6 +43,10 @@ class Session {
   uint64_t requests_served() const { return requests_served_; }
 
  private:
+  /// Serves one decoded v2 request: header frame, record frames streamed
+  /// straight from the dispatcher, terminal status frame.
+  [[nodiscard]] Status ServeStreaming(const AnalysisRequest& request);
+
   Server& server_;
   std::unique_ptr<FrameTransport> transport_;
   uint64_t requests_served_ = 0;
@@ -54,6 +58,14 @@ class Session {
 /// back as error statuses; a decoded response carries its own typed code.
 [[nodiscard]] Result<AnalysisResponse> Call(FrameTransport& transport,
                                             const AnalysisRequest& request);
+
+/// Protocol-v2 round trip: sends `request` with the v2 version byte and
+/// reassembles the response frame stream into the v1-equivalent
+/// AnalysisResponse (on kOk the body is byte-identical to what Call()
+/// returns for the same request). Grammar violations in the stream come
+/// back as typed errors.
+[[nodiscard]] Result<AnalysisResponse> CallV2(FrameTransport& transport,
+                                              const AnalysisRequest& request);
 
 }  // namespace costsense::serve
 

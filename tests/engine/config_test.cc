@@ -29,6 +29,7 @@ TEST(EngineConfigTest, EmptyEnvironmentYieldsDefaults) {
   EXPECT_FALSE(config->quick);
   EXPECT_TRUE(config->bench_json_path.empty());
   EXPECT_TRUE(config->artifact_json_path.empty());
+  EXPECT_EQ(config->artifact_chain, ArtifactChain::kPlain);
   EXPECT_EQ(config->cache.shards, runtime::OracleCacheOptions{}.shards);
   EXPECT_EQ(config->cache.max_entries,
             runtime::OracleCacheOptions{}.max_entries);
@@ -43,6 +44,7 @@ TEST(EngineConfigTest, ParsesEveryKnobFromEnv) {
       {"COSTSENSE_QUICK", "1"},
       {"COSTSENSE_BENCH_JSON", "/tmp/bench.jsonl"},
       {"COSTSENSE_ARTIFACT_JSON", "/tmp/artifacts.jsonl"},
+      {"COSTSENSE_ARTIFACT_CHAIN", "compressed"},
       {"COSTSENSE_CACHE_ENTRIES", "1024"},
       {"COSTSENSE_CACHE_SHARDS", "4"},
       {"COSTSENSE_FAULT_RATE", "0.25"},
@@ -55,6 +57,7 @@ TEST(EngineConfigTest, ParsesEveryKnobFromEnv) {
   EXPECT_TRUE(config->quick);
   EXPECT_EQ(config->bench_json_path, "/tmp/bench.jsonl");
   EXPECT_EQ(config->artifact_json_path, "/tmp/artifacts.jsonl");
+  EXPECT_EQ(config->artifact_chain, ArtifactChain::kCompressed);
   EXPECT_EQ(config->cache.max_entries, 1024u);
   EXPECT_EQ(config->cache.shards, 4u);
   EXPECT_EQ(config->fault_rate, 0.25);
@@ -79,6 +82,7 @@ TEST(EngineConfigTest, MalformedValuesAreTypedErrorsNamingTheVariable) {
   const std::map<std::string, std::string> bad = {
       {"COSTSENSE_THREADS", "banana"},
       {"COSTSENSE_KERNEL", "vectorized"},
+      {"COSTSENSE_ARTIFACT_CHAIN", "zip"},
       {"COSTSENSE_CACHE_ENTRIES", "0"},
       {"COSTSENSE_CACHE_SHARDS", "-2"},
       {"COSTSENSE_FAULT_RATE", "1.5"},
@@ -141,6 +145,7 @@ void ExpectSameConfig(const EngineConfig& a, const EngineConfig& b) {
   EXPECT_EQ(a.quick, b.quick);
   EXPECT_EQ(a.bench_json_path, b.bench_json_path);
   EXPECT_EQ(a.artifact_json_path, b.artifact_json_path);
+  EXPECT_EQ(a.artifact_chain, b.artifact_chain);
   EXPECT_EQ(a.cache.max_entries, b.cache.max_entries);
   EXPECT_EQ(a.cache.shards, b.cache.shards);
   EXPECT_EQ(a.fault_rate, b.fault_rate);
@@ -157,6 +162,7 @@ TEST(EngineConfigTest, KnobTableRoundTripsEveryKnob) {
   original.quick = true;
   original.bench_json_path = "/tmp/b.jsonl";
   original.artifact_json_path = "/tmp/a.jsonl";
+  original.artifact_chain = ArtifactChain::kCompressed;
   original.cache.max_entries = 512;
   original.cache.shards = 2;
   original.fault_rate = 0.125;  // exact in binary, round-trips through %g
@@ -164,6 +170,7 @@ TEST(EngineConfigTest, KnobTableRoundTripsEveryKnob) {
 
   EngineConfig simd = original;
   simd.kernel = core::SweepKernel::kSimd;
+  simd.artifact_chain = ArtifactChain::kBuffered;
 
   for (const EngineConfig& seed : {original, simd, EngineConfig()}) {
     EngineConfig rebuilt;

@@ -29,6 +29,12 @@ if(DEFINED ARTIFACT_JSON)
   file(REMOVE "${ARTIFACT_JSON}")
   set(ENV{COSTSENSE_ARTIFACT_JSON} "${ARTIFACT_JSON}")
 endif()
+# Optionally pick the sidecar sink chain (plain/buffered/compressed). The
+# chain shapes the sidecar file only; the byte-compared stdout must not
+# move, which is exactly what these entries prove.
+if(DEFINED ARTIFACT_CHAIN)
+  set(ENV{COSTSENSE_ARTIFACT_CHAIN} "${ARTIFACT_CHAIN}")
+endif()
 
 # Optionally turn the persistent oracle-cache snapshot on. The binary runs
 # twice from a clean slate: the cold run writes the snapshot, the warm run

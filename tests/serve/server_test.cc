@@ -9,9 +9,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <fstream>
@@ -121,6 +123,251 @@ TEST(ProtocolTest, ResponseRejectsUnknownCodeAndLengthMismatch) {
   bad[1] = 99;  // past kDeadlineExceeded
   EXPECT_FALSE(DecodeResponse(bad).ok());
   EXPECT_FALSE(DecodeResponse(good + "extra").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Protocol v2: explicit feasible-region boxes on the request
+// ---------------------------------------------------------------------------
+
+/// A 3-dim explicit box (matches the kSharedDevice resource space:
+/// seek + transfer + cpu).
+core::Box TestBox() {
+  const Result<core::Box> box = core::Box::Validated(
+      core::CostVector({0.5, 0.25, 0.125}),
+      core::CostVector({8.0, 16.0, 4.0}));
+  EXPECT_TRUE(box.ok()) << box.status().ToString();
+  return *box;
+}
+
+TEST(ProtocolV2Test, RequestRoundTripsWithAndWithoutBox) {
+  AnalysisRequest request;
+  request.version = kProtocolVersionV2;
+  request.kind = AnalysisKind::kWorstCase;
+  request.query_number = 6;
+  request.deltas = {100.0};
+  {
+    const Result<AnalysisRequest> decoded =
+        DecodeRequest(EncodeRequest(request));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->version, kProtocolVersionV2);
+    EXPECT_EQ(decoded->kind, request.kind);
+    EXPECT_FALSE(decoded->box.has_value());
+  }
+  const core::Box box = TestBox();
+  request.box = box;
+  const Result<AnalysisRequest> decoded =
+      DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_TRUE(decoded->box.has_value());
+  ASSERT_EQ(decoded->box->dims(), box.dims());
+  for (size_t i = 0; i < box.dims(); ++i) {
+    EXPECT_EQ(decoded->box->lower()[i], box.lower()[i]) << i;
+    EXPECT_EQ(decoded->box->upper()[i], box.upper()[i]) << i;
+  }
+}
+
+TEST(ProtocolV2Test, MalformedBoxesAreTypedErrors) {
+  AnalysisRequest request;
+  request.version = kProtocolVersionV2;
+  request.box = TestBox();
+  const std::string good = EncodeRequest(request);
+  ASSERT_TRUE(DecodeRequest(good).ok());
+  // With the default single delta the box region starts at byte 23:
+  // u8 has_box | u16 dims | 3 x f64 lower | 3 x f64 upper.
+  const size_t kBoxOffset = 23;
+
+  // Truncation anywhere inside the box region.
+  for (size_t len = kBoxOffset; len < good.size(); ++len) {
+    const Result<AnalysisRequest> r = DecodeRequest(good.substr(0, len));
+    ASSERT_FALSE(r.ok()) << "prefix length " << len;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+  // Trailing bytes after a complete box.
+  EXPECT_FALSE(DecodeRequest(good + "x").ok());
+  // has-box flag outside {0, 1}.
+  {
+    std::string bad = good;
+    bad[kBoxOffset] = 2;
+    EXPECT_FALSE(DecodeRequest(bad).ok());
+  }
+  // Dimension count of zero (and one that disagrees with the payload).
+  {
+    std::string bad = good;
+    bad[kBoxOffset + 1] = 0;
+    bad[kBoxOffset + 2] = 0;
+    EXPECT_FALSE(DecodeRequest(bad).ok());
+    bad[kBoxOffset + 2] = 7;
+    EXPECT_FALSE(DecodeRequest(bad).ok());
+  }
+  // Bounds validation runs at decode: swapping the lower and upper blocks
+  // makes every lower bound exceed its upper bound.
+  {
+    std::string bad = good;
+    std::swap_ranges(bad.begin() + kBoxOffset + 3,
+                     bad.begin() + kBoxOffset + 3 + 24,
+                     bad.begin() + kBoxOffset + 3 + 24);
+    const Result<AnalysisRequest> r = DecodeRequest(bad);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol v2: the response frame stream and its reassembler
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolV2Test, ResponseFramesRoundTrip) {
+  ResponseFrame header;
+  header.type = ResponseFrameType::kHeader;
+  header.kind = AnalysisKind::kGtcSeries;
+  header.policy = storage::LayoutPolicy::kPerTableColocated;
+  header.query_number = 14;
+  {
+    const Result<ResponseFrame> decoded =
+        DecodeResponseFrame(EncodeResponseFrame(header));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->type, ResponseFrameType::kHeader);
+    EXPECT_EQ(decoded->kind, header.kind);
+    EXPECT_EQ(decoded->policy, header.policy);
+    EXPECT_EQ(decoded->query_number, header.query_number);
+  }
+  ResponseFrame records;
+  records.type = ResponseFrameType::kRecords;
+  records.records = {"alpha", "", std::string("b\0c", 3)};
+  {
+    const Result<ResponseFrame> decoded =
+        DecodeResponseFrame(EncodeResponseFrame(records));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->type, ResponseFrameType::kRecords);
+    EXPECT_EQ(decoded->records, records.records);
+  }
+  ResponseFrame status;
+  status.type = ResponseFrameType::kStatus;
+  status.code = StatusCode::kDeadlineExceeded;
+  status.message = "budget spent";
+  {
+    const Result<ResponseFrame> decoded =
+        DecodeResponseFrame(EncodeResponseFrame(status));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->type, ResponseFrameType::kStatus);
+    EXPECT_EQ(decoded->code, status.code);
+    EXPECT_EQ(decoded->message, status.message);
+  }
+}
+
+TEST(ProtocolV2Test, MalformedResponseFramesAreTypedErrors) {
+  ResponseFrame records;
+  records.type = ResponseFrameType::kRecords;
+  records.records = {"alpha"};
+  const std::string good = EncodeResponseFrame(records);
+
+  for (const auto& [name, bytes] : std::vector<std::pair<const char*,
+                                                         std::string>>{
+           {"empty payload", ""},
+           {"version byte", [&] {
+              std::string b = good;
+              b[0] = kProtocolVersion;
+              return b;
+            }()},
+           {"unknown frame type", [&] {
+              std::string b = good;
+              b[1] = 9;
+              return b;
+            }()},
+           {"record length lie", [&] {
+              std::string b = good;
+              b[2] = 0x7f;  // claims a record far past the payload
+              return b;
+            }()},
+           {"record body cut", good.substr(0, good.size() - 1)},
+       }) {
+    const Result<ResponseFrame> r = DecodeResponseFrame(bytes);
+    ASSERT_FALSE(r.ok()) << name;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << name;
+  }
+  // A status frame whose length field lies about the remaining bytes.
+  ResponseFrame status;
+  status.type = ResponseFrameType::kStatus;
+  status.message = "msg";
+  std::string bad_status = EncodeResponseFrame(status);
+  bad_status[6] = static_cast<char>(bad_status[6] + 1);
+  EXPECT_FALSE(DecodeResponseFrame(bad_status).ok());
+}
+
+std::string FrameOfRecords(std::vector<std::string> bodies) {
+  ResponseFrame frame;
+  frame.type = ResponseFrameType::kRecords;
+  frame.records = std::move(bodies);
+  return EncodeResponseFrame(frame);
+}
+
+std::string FrameOfStatus(StatusCode code, const std::string& message) {
+  ResponseFrame frame;
+  frame.type = ResponseFrameType::kStatus;
+  frame.code = code;
+  frame.message = message;
+  return EncodeResponseFrame(frame);
+}
+
+std::string FrameOfHeader() {
+  ResponseFrame frame;
+  frame.type = ResponseFrameType::kHeader;
+  frame.kind = AnalysisKind::kWorstCase;
+  frame.query_number = 6;
+  return EncodeResponseFrame(frame);
+}
+
+TEST(ResponseReassemblerTest, ConcatenatesRecordsAndEchoesTheHeader) {
+  ResponseReassembler reassembler;
+  ASSERT_TRUE(reassembler.Feed(FrameOfHeader()).ok());
+  EXPECT_FALSE(reassembler.done());  // header alone is not a response
+  ASSERT_TRUE(reassembler.Feed(FrameOfRecords({"ab", "cd"})).ok());
+  ASSERT_TRUE(reassembler.Feed(FrameOfRecords({"ef"})).ok());
+  EXPECT_FALSE(reassembler.done());  // truncation before the terminal frame
+  ASSERT_TRUE(reassembler.Feed(FrameOfStatus(StatusCode::kOk, "")).ok());
+  ASSERT_TRUE(reassembler.done());
+  EXPECT_TRUE(reassembler.response().ok());
+  EXPECT_EQ(reassembler.response().body, "abcdef");
+  EXPECT_TRUE(reassembler.has_header());
+  EXPECT_EQ(reassembler.kind(), AnalysisKind::kWorstCase);
+  EXPECT_EQ(reassembler.query_number(), 6);
+}
+
+TEST(ResponseReassemblerTest, GrammarViolationsAreTypedErrors) {
+  {
+    ResponseReassembler r;  // records before the header
+    EXPECT_EQ(r.Feed(FrameOfRecords({"x"})).code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    ResponseReassembler r;  // duplicate header
+    ASSERT_TRUE(r.Feed(FrameOfHeader()).ok());
+    EXPECT_EQ(r.Feed(FrameOfHeader()).code(), StatusCode::kInvalidArgument);
+  }
+  {
+    ResponseReassembler r;  // frames after the terminal status
+    ASSERT_TRUE(r.Feed(FrameOfHeader()).ok());
+    ASSERT_TRUE(r.Feed(FrameOfStatus(StatusCode::kOk, "")).ok());
+    EXPECT_EQ(r.Feed(FrameOfRecords({"late"})).code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    ResponseReassembler r;  // a lone OK status has no body to deliver
+    EXPECT_EQ(r.Feed(FrameOfStatus(StatusCode::kOk, "")).code(),
+              StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(ResponseReassemblerTest, LoneErrorStatusCompletesTheStream) {
+  // The one sanctioned header-less shape: a request rejected before
+  // analysis arrives as a single error status frame.
+  ResponseReassembler reassembler;
+  ASSERT_TRUE(
+      reassembler.Feed(FrameOfStatus(StatusCode::kUnavailable, "shed")).ok());
+  ASSERT_TRUE(reassembler.done());
+  EXPECT_FALSE(reassembler.has_header());
+  EXPECT_EQ(reassembler.response().code, StatusCode::kUnavailable);
+  EXPECT_EQ(reassembler.response().body, "shed");
 }
 
 // ---------------------------------------------------------------------------
@@ -452,6 +699,120 @@ TEST(SessionTest, MalformedFrameGetsTypedErrorThenClose) {
   const Result<AnalysisResponse> response = DecodeResponse(*frame);
   ASSERT_TRUE(response.ok()) << response.status().ToString();
   EXPECT_EQ(response->code, StatusCode::kInvalidArgument);
+  // The session drops the connection after a framing error.
+  EXPECT_EQ(client->RecvFrame().status().code(), StatusCode::kNotFound);
+  server_thread.join();
+}
+
+// ---------------------------------------------------------------------------
+// Protocol v2 over real sessions
+// ---------------------------------------------------------------------------
+
+TEST(SessionV2Test, StreamedResponsesMatchV1ByteForByte) {
+  // One server, one session, both protocol versions interleaved: for every
+  // request in the mix the reassembled v2 body must equal the v1 body
+  // byte for byte — the frame stream is a transport detail, not part of
+  // the analysis function.
+  runtime::ThreadPool pool(3);
+  ServerOptions options;
+  options.dispatcher = QuickDispatcherOptions(&pool);
+  Server server(options);
+
+  auto [client, server_end] = InProcessTransport::CreatePair();
+  std::unique_ptr<FrameTransport> server_transport = std::move(server_end);
+  std::thread server_thread([&server, &server_transport] {
+    Session session(server, std::move(server_transport));
+    const Status st = session.Run();
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  });
+
+  for (const AnalysisRequest& request : TestRequests()) {
+    const Result<AnalysisResponse> v1 = Call(*client, request);
+    ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+    ASSERT_TRUE(v1->ok()) << v1->body;
+    const Result<AnalysisResponse> v2 = CallV2(*client, request);
+    ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+    EXPECT_EQ(v2->code, v1->code);
+    EXPECT_EQ(v2->body, v1->body);
+    EXPECT_FALSE(v2->body.empty());
+  }
+  client->Close();
+  server_thread.join();
+}
+
+TEST(SessionV2Test, ExplicitBoxRunsAndDimsMismatchIsTyped) {
+  runtime::ThreadPool pool(1);
+  ServerOptions options;
+  options.dispatcher = QuickDispatcherOptions(&pool);
+  Server server(options);
+
+  auto [client, server_end] = InProcessTransport::CreatePair();
+  std::unique_ptr<FrameTransport> server_transport = std::move(server_end);
+  std::thread server_thread([&server, &server_transport] {
+    Session session(server, std::move(server_transport));
+    const Status st = session.Run();
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  });
+
+  // The 3-dim box matches the shared-device space: real analysis runs.
+  AnalysisRequest request = MakeRequest(
+      AnalysisKind::kWorstCase, storage::LayoutPolicy::kSharedDevice, 6,
+      {100.0});
+  request.version = kProtocolVersionV2;
+  request.box = TestBox();
+  const Result<AnalysisResponse> ok = CallV2(*client, request);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  ASSERT_TRUE(ok->ok()) << ok->body;
+  EXPECT_FALSE(ok->body.empty());
+
+  // A 2-dim box cannot span the 3-dim shared-device space: a typed error
+  // naming the mismatch, session intact.
+  const Result<core::Box> narrow = core::Box::Validated(
+      core::CostVector({0.5, 0.25}), core::CostVector({8.0, 16.0}));
+  ASSERT_TRUE(narrow.ok()) << narrow.status().ToString();
+  request.box = *narrow;
+  const Result<AnalysisResponse> mismatch = CallV2(*client, request);
+  ASSERT_TRUE(mismatch.ok()) << mismatch.status().ToString();
+  EXPECT_EQ(mismatch->code, StatusCode::kInvalidArgument);
+  EXPECT_NE(mismatch->body.find("dimension"), std::string::npos)
+      << mismatch->body;
+
+  // The session survived the typed rejection: the next request works.
+  request.box = TestBox();
+  const Result<AnalysisResponse> again = CallV2(*client, request);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->body, ok->body);
+
+  client->Close();
+  server_thread.join();
+}
+
+TEST(SessionV2Test, MalformedV2FrameGetsLoneStatusFrameThenClose) {
+  runtime::ThreadPool pool(1);
+  ServerOptions options;
+  options.dispatcher = QuickDispatcherOptions(&pool);
+  Server server(options);
+
+  auto [client, server_end] = InProcessTransport::CreatePair();
+  std::unique_ptr<FrameTransport> server_transport = std::move(server_end);
+  std::thread server_thread([&server, &server_transport] {
+    Session session(server, std::move(server_transport));
+    const Status st = session.Run();
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  });
+
+  // First byte 2: the peer was speaking v2, so the error comes back as a
+  // lone v2 status frame (which a fresh reassembler accepts as terminal).
+  std::string garbage = "garbage";
+  garbage[0] = static_cast<char>(kProtocolVersionV2);
+  ASSERT_TRUE(client->SendFrame(garbage).ok());
+  Result<std::string> reply = client->RecvFrame();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ResponseReassembler reassembler;
+  ASSERT_TRUE(reassembler.Feed(*reply).ok());
+  ASSERT_TRUE(reassembler.done());
+  EXPECT_EQ(reassembler.response().code, StatusCode::kInvalidArgument);
+  EXPECT_FALSE(reassembler.response().body.empty());
   // The session drops the connection after a framing error.
   EXPECT_EQ(client->RecvFrame().status().code(), StatusCode::kNotFound);
   server_thread.join();

@@ -467,6 +467,73 @@ TEST(LayeringTest, FileCyclesAreNeverSuppressible) {
   EXPECT_NE(findings[0].message.find("include cycle"), std::string::npos);
 }
 
+constexpr const char* kNestedManifest =
+    "[layers]\n"
+    "common = []\n"
+    "runtime/sink = [\"common\"]\n"
+    "runtime = [\"common\", \"runtime/sink\"]\n";
+
+LayerManifest NestedManifest() {
+  LayerManifest manifest;
+  std::string error;
+  EXPECT_TRUE(ParseLayerManifest(kNestedManifest, &manifest, &error)) << error;
+  return manifest;
+}
+
+TEST(ManifestTest, NestedModuleKeysParseAndResolveExceptions) {
+  const LayerManifest m = NestedManifest();
+  EXPECT_EQ(m.allowed.at("runtime").count("runtime/sink"), 1u);
+  EXPECT_TRUE(m.allowed.at("runtime/sink").count("common"));
+  // A file-level exception spec under a nested module resolves to the
+  // longest declared prefix, so the manifest validates.
+  LayerManifest with_exception;
+  std::string error;
+  EXPECT_TRUE(ParseLayerManifest(
+      std::string(kNestedManifest) +
+          "[[exception]]\n"
+          "from = \"runtime/sink/stages.cc\"\n"
+          "to = \"runtime/cache_store.h\"\n"
+          "why = \"test fixture\"\n",
+      &with_exception, &error))
+      << error;
+}
+
+TEST(LayeringTest, DeclaredSubdirectoryIsItsOwnLayer) {
+  const LayerManifest m = NestedManifest();
+  // Child -> parent is a back-edge: "runtime/sink" may only include
+  // common, and runtime/cache_store.h belongs to the parent module.
+  const auto findings = CheckIncludeGraph(
+      {{"src/runtime/sink/stages.cc",
+        "#include \"runtime/cache_store.h\"\n"}},
+      m);
+  ASSERT_EQ(CountRule(findings, Rule::kLayering), 1);
+  EXPECT_NE(findings[0].message.find("'runtime/sink'"), std::string::npos)
+      << findings[0].message;
+  // The declared parent -> child edge and intra-child includes are clean.
+  EXPECT_TRUE(CheckIncludeGraph(
+                  {{"src/runtime/cache_store.cc",
+                    "#include \"runtime/sink/stages.h\"\n"},
+                   {"src/runtime/sink/compress.cc",
+                    "#include \"runtime/sink/sink.h\"\n"}},
+                  m)
+                  .empty());
+}
+
+TEST(LayeringTest, UndeclaredSubdirectoryFoldsIntoItsParent) {
+  // Without the nested entry the same file is just part of runtime, so
+  // the include that was a back-edge above is intra-module here.
+  LayerManifest m;
+  std::string error;
+  ASSERT_TRUE(ParseLayerManifest("[layers]\ncommon = []\nruntime = [\"common\"]\n",
+                                 &m, &error))
+      << error;
+  EXPECT_TRUE(CheckIncludeGraph(
+                  {{"src/runtime/sink/stages.cc",
+                    "#include \"runtime/cache_store.h\"\n"}},
+                  m)
+                  .empty());
+}
+
 // ---------------------------------------------------------------------------
 // R8: lock discipline
 // ---------------------------------------------------------------------------

@@ -1,32 +1,53 @@
 // protocol_fuzz: a seeded, deterministic mutation fuzzer for the
-// costsense-serve wire protocol (protocol version 1).
+// costsense-serve wire protocol (versions 1 and 2).
 //
 // One long-lived Server (quick analysis budgets, shared warm oracle
 // cache) receives frames over the in-process transport — byte-for-byte
 // the frames a socket client would send, with no kernel in the loop. Each
-// iteration takes a valid request frame from a small pool and either
-// passes it through untouched or mutates it: random bit flips,
-// truncation to an arbitrary prefix, a lying delta-count field, splices
-// of two valid frames, trailing junk, pure garbage, or an oversized
-// frame past kMaxFrameBytes.
+// iteration takes a valid request frame from a small pool (v1 and v2,
+// with and without feasible-region boxes) and either passes it through
+// untouched or mutates it: random bit flips, truncation to an arbitrary
+// prefix, a lying delta-count field, splices of two valid frames,
+// trailing junk, pure garbage, an oversized frame past kMaxFrameBytes,
+// or a corrupted v2 box section (flag lies, dimension lies, truncation
+// inside the bounds, swapped lower/upper).
 //
-// The invariants asserted, per frame:
+// Three iterations in twenty skip the server and attack the client-side
+// v2 ResponseReassembler instead: a synthetic valid response stream is
+// truncated at a frame or record boundary, given a lying record length
+// prefix, or spliced with a rogue terminal status frame mid-stream.
+//
+// The invariants asserted, per server frame:
 //   - the server never crashes (any crash fails the run);
-//   - every accepted frame gets exactly one response that decodes as a
-//     protocol response with a typed status code — never silence;
+//   - every accepted frame gets exactly one reply that decodes — a v1
+//     response or a v2 frame stream the reassembler accepts — never
+//     silence;
 //   - the client re-runs DecodeRequest on the exact bytes it sent, so it
 //     knows which fate the protocol mandates: an undecodable frame must
-//     come back with the decoder's own status code and then a clean
-//     close (end of stream, not a hang); a decodable frame gets an
-//     analysis response on a session that stays open;
+//     come back with the decoder's own status code (as a v1 error
+//     response, or a lone v2 status frame when the version byte claimed
+//     v2) and then a clean close (end of stream, not a hang); a
+//     decodable frame gets an analysis response on a session that stays
+//     open;
 //   - the whole run finishes before a wall-clock deadline enforced by a
 //     watchdog thread that aborts the process on expiry, so a wedged
 //     Recv can never turn the fuzzer into an infinite hang.
+//
+// And per reassembler stream:
+//   - Feed never crashes, and every rejection is a typed
+//     kInvalidArgument;
+//   - a stream cut at a frame boundary before its terminal status frame
+//     never reports done() — truncation is always detectable;
+//   - a stream that reassembles to kOk despite a mid-frame cut yields a
+//     strict prefix of the original record bytes, never invented data;
+//   - a rogue terminal status frame with frames still behind it is
+//     always rejected.
 //
 // The mutation stream is a pure function of `seed`, so any failure
 // reproduces with the same command line.
 //
 // Usage: protocol_fuzz [seed=N] [iters=N] [deadline_ms=N] [verbose=1]
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
@@ -39,6 +60,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "core/feasible_region.h"
 #include "runtime/resilience/clock.h"
 #include "runtime/thread_pool.h"
 #include "serve/protocol.h"
@@ -57,10 +79,23 @@ using serve::AnalysisResponse;
 /// (u8 version, u8 kind, u8 policy, u16 query, u64 deadline precede it).
 constexpr size_t kDeltaCountOffset = 13;
 
+/// A valid 3-dimensional feasible-region box (the shared-device cost
+/// space: seek, transfer, cpu). v2 requests carrying it run real
+/// explicit-box analyses under kSharedDevice and draw the dispatcher's
+/// typed dimension-mismatch error under kPerTableColocated — both are
+/// protocol-legal outcomes the invariants below accept.
+core::Box FuzzBox() {
+  Result<core::Box> box =
+      core::Box::Validated(core::CostVector({0.5, 0.25, 0.125}),
+                           core::CostVector({8.0, 16.0, 4.0}));
+  return *box;
+}
+
 /// Builds the pool of valid request frames the mutator draws from: all
-/// three analysis kinds over two layouts and two cheap queries, so
-/// pass-through iterations exercise real analyses against the shared
-/// warm cache without blowing the smoke-test budget.
+/// three analysis kinds over two layouts and two cheap queries, in both
+/// protocol versions, so pass-through iterations exercise real analyses
+/// (single-payload and streamed) against the shared warm cache without
+/// blowing the smoke-test budget.
 std::vector<std::string> ValidFrames() {
   std::vector<std::string> frames;
   const storage::LayoutPolicy policies[] = {
@@ -84,6 +119,15 @@ std::vector<std::string> ValidFrames() {
       series.kind = AnalysisKind::kGtcSeries;
       series.deltas = {2.0, 10.0, 100.0};
       frames.push_back(EncodeRequest(series));
+
+      AnalysisRequest v2 = discovery;
+      v2.version = serve::kProtocolVersionV2;
+      frames.push_back(EncodeRequest(v2));
+
+      AnalysisRequest v2_box = worst;
+      v2_box.version = serve::kProtocolVersionV2;
+      v2_box.box = FuzzBox();
+      frames.push_back(EncodeRequest(v2_box));
     }
   }
   return frames;
@@ -98,27 +142,44 @@ enum class Mutation : uint64_t {
   kTrailingJunk = 5,
   kGarbage = 6,
   kOversized = 7,
+  kBoxCorrupt = 8,
+  // The remaining classes never reach the server: they attack the
+  // client-side v2 ResponseReassembler with mutated response streams.
+  kStreamTruncate = 9,
+  kStreamLengthLie = 10,
+  kStreamRogueStatus = 11,
 };
 
 const char* MutationName(Mutation m) {
   switch (m) {
-    case Mutation::kPassThrough:   return "pass-through";
-    case Mutation::kBitFlips:      return "bit-flips";
-    case Mutation::kTruncate:      return "truncate";
-    case Mutation::kDeltaCountLie: return "delta-count-lie";
-    case Mutation::kSplice:        return "splice";
-    case Mutation::kTrailingJunk:  return "trailing-junk";
-    case Mutation::kGarbage:       return "garbage";
-    case Mutation::kOversized:     return "oversized";
+    case Mutation::kPassThrough:       return "pass-through";
+    case Mutation::kBitFlips:          return "bit-flips";
+    case Mutation::kTruncate:          return "truncate";
+    case Mutation::kDeltaCountLie:     return "delta-count-lie";
+    case Mutation::kSplice:            return "splice";
+    case Mutation::kTrailingJunk:      return "trailing-junk";
+    case Mutation::kGarbage:           return "garbage";
+    case Mutation::kOversized:         return "oversized";
+    case Mutation::kBoxCorrupt:        return "box-corrupt";
+    case Mutation::kStreamTruncate:    return "stream-truncate";
+    case Mutation::kStreamLengthLie:   return "stream-length-lie";
+    case Mutation::kStreamRogueStatus: return "stream-rogue-status";
   }
   return "?";
 }
 
-/// Draws the next frame to send. Pass-through gets a double weight so the
-/// server keeps doing real work between attacks; oversized gets a half
-/// weight (it allocates kMaxFrameBytes + 1 every time).
+/// True for the classes that fuzz the ResponseReassembler in-process
+/// instead of sending a frame to the server.
+bool IsStreamMutation(Mutation m) {
+  return m == Mutation::kStreamTruncate || m == Mutation::kStreamLengthLie ||
+         m == Mutation::kStreamRogueStatus;
+}
+
+/// Draws the next frame to send. Pass-through gets a triple weight so the
+/// server keeps doing real work between attacks; oversized gets a single
+/// slot (it allocates kMaxFrameBytes + 1 every time).
 Mutation PickMutation(Rng& rng) {
-  const uint64_t roll = rng.Index(16);
+  const uint64_t roll = rng.Index(20);
   if (roll < 3) return Mutation::kPassThrough;
   if (roll < 6) return Mutation::kBitFlips;
   if (roll < 8) return Mutation::kTruncate;
@@ -126,7 +187,11 @@ Mutation PickMutation(Rng& rng) {
   if (roll < 12) return Mutation::kSplice;
   if (roll < 14) return Mutation::kTrailingJunk;
   if (roll < 15) return Mutation::kGarbage;
-  return Mutation::kOversized;
+  if (roll < 16) return Mutation::kOversized;
+  if (roll < 17) return Mutation::kBoxCorrupt;
+  if (roll < 18) return Mutation::kStreamTruncate;
+  if (roll < 19) return Mutation::kStreamLengthLie;
+  return Mutation::kStreamRogueStatus;
 }
 
 std::string RandomBytes(Rng& rng, size_t n) {
@@ -136,6 +201,15 @@ std::string RandomBytes(Rng& rng, size_t n) {
     out.push_back(static_cast<char>(rng.Index(256)));
   }
   return out;
+}
+
+int Fail(uint64_t iter, Mutation mutation, const char* what,
+         const Status& status) {
+  std::fprintf(stderr,
+               "protocol_fuzz: FAIL at iteration %llu (%s): %s: %s\n",
+               static_cast<unsigned long long>(iter), MutationName(mutation),
+               what, status.ToString().c_str());
+  return 1;
 }
 
 std::string Mutate(Mutation mutation, Rng& rng,
@@ -177,8 +251,180 @@ std::string Mutate(Mutation mutation, Rng& rng,
       return RandomBytes(rng, rng.Index(64));
     case Mutation::kOversized:
       return std::string(serve::kMaxFrameBytes + 1, 'x');
+    case Mutation::kBoxCorrupt: {
+      // A fresh v2 request with one delta and the 3-dim box, then
+      // targeted surgery on the box section. Offsets: 15 bytes of fixed
+      // header + 8 for the single delta put has_box at 23, dims at 24,
+      // the six f64 bounds at 26.
+      AnalysisRequest request;
+      request.version = serve::kProtocolVersionV2;
+      request.kind = AnalysisKind::kWorstCase;
+      request.policy = rng.Index(2) == 0
+                           ? storage::LayoutPolicy::kSharedDevice
+                           : storage::LayoutPolicy::kPerTableColocated;
+      request.query_number = rng.Index(2) == 0 ? 1 : 6;
+      request.deltas = {100.0};
+      request.box = FuzzBox();
+      std::string frame = EncodeRequest(request);
+      constexpr size_t kBoxOffset = 23;
+      switch (rng.Index(4)) {
+        case 0:  // has_box flag outside {0, 1}
+          frame[kBoxOffset] = static_cast<char>(2 + rng.Index(254));
+          break;
+        case 1: {  // dimension-count lie
+          const uint16_t lie = static_cast<uint16_t>(rng.Index(1 << 16));
+          frame[kBoxOffset + 1] = static_cast<char>(lie >> 8);
+          frame[kBoxOffset + 2] = static_cast<char>(lie & 0xff);
+          break;
+        }
+        case 2:  // truncation inside the box section
+          frame = frame.substr(
+              0, kBoxOffset + rng.Index(frame.size() - kBoxOffset));
+          break;
+        default:  // swap the bound blocks: every lower lands above its upper
+          std::swap_ranges(frame.begin() + kBoxOffset + 3,
+                           frame.begin() + kBoxOffset + 3 + 24,
+                           frame.begin() + kBoxOffset + 3 + 24);
+          break;
+      }
+      return frame;
+    }
+    case Mutation::kStreamTruncate:
+    case Mutation::kStreamLengthLie:
+    case Mutation::kStreamRogueStatus:
+      break;  // handled by FuzzStream, never encoded as a request
   }
   return base;
+}
+
+/// A synthetic, valid v2 response stream — header, one to three record
+/// frames, terminal OK status — plus the concatenated record bytes it
+/// should reassemble to.
+std::vector<std::string> ValidStream(Rng& rng, std::string* body) {
+  body->clear();
+  std::vector<std::string> frames;
+  serve::ResponseFrame header;
+  header.type = serve::ResponseFrameType::kHeader;
+  header.kind = static_cast<AnalysisKind>(rng.Index(3));
+  header.policy = rng.Index(2) == 0 ? storage::LayoutPolicy::kSharedDevice
+                                    : storage::LayoutPolicy::kPerTableColocated;
+  header.query_number = static_cast<uint16_t>(1 + rng.Index(22));
+  frames.push_back(EncodeResponseFrame(header));
+  const uint64_t record_frames = 1 + rng.Index(3);
+  for (uint64_t f = 0; f < record_frames; ++f) {
+    serve::ResponseFrame records;
+    records.type = serve::ResponseFrameType::kRecords;
+    const uint64_t count = 1 + rng.Index(4);
+    for (uint64_t r = 0; r < count; ++r) {
+      records.records.push_back(RandomBytes(rng, rng.Index(32)));
+      body->append(records.records.back());
+    }
+    frames.push_back(EncodeResponseFrame(records));
+  }
+  serve::ResponseFrame status;
+  status.type = serve::ResponseFrameType::kStatus;
+  status.code = StatusCode::kOk;
+  frames.push_back(EncodeResponseFrame(status));
+  return frames;
+}
+
+/// Feeds a mutated response stream to a fresh ResponseReassembler and
+/// checks the class-specific invariant. Returns 0 on pass.
+int FuzzStream(Mutation mutation, Rng& rng, uint64_t iter) {
+  std::string body;
+  std::vector<std::string> frames = ValidStream(rng, &body);
+  bool cut_at_frame_boundary = false;
+  switch (mutation) {
+    case Mutation::kStreamTruncate:
+      if (rng.Index(2) == 0) {
+        // Frame-boundary cut: drop the tail (always including the
+        // terminal status frame... or a whole record frame plus it).
+        frames.resize(1 + rng.Index(frames.size() - 1));
+        cut_at_frame_boundary = true;
+      } else {
+        // Mid-frame cut: sever one frame's bytes at an arbitrary point
+        // (possibly inside a record length prefix) and drop the rest.
+        const uint64_t victim = rng.Index(frames.size());
+        frames[victim] =
+            frames[victim].substr(0, rng.Index(frames[victim].size()));
+        frames.resize(victim + 1);
+      }
+      break;
+    case Mutation::kStreamLengthLie: {
+      // Rewrite the first record's u32 length prefix in the first
+      // records frame: half the draws lie huge (must be rejected — the
+      // claimed record runs past the frame), half lie small (shifts
+      // record boundaries; the stream may still parse, but must never
+      // crash or hang).
+      std::string& frame = frames[1];
+      const uint32_t lie = rng.Index(2) == 0
+                               ? static_cast<uint32_t>(rng.Index(1u << 31))
+                               : static_cast<uint32_t>(rng.Index(32));
+      frame[2] = static_cast<char>(lie >> 24);
+      frame[3] = static_cast<char>((lie >> 16) & 0xff);
+      frame[4] = static_cast<char>((lie >> 8) & 0xff);
+      frame[5] = static_cast<char>(lie & 0xff);
+      break;
+    }
+    case Mutation::kStreamRogueStatus: {
+      // Splice a terminal status frame in with frames still behind it:
+      // whatever state it lands in, the reassembler must reject the
+      // stream rather than silently drop the tail.
+      serve::ResponseFrame rogue;
+      rogue.type = serve::ResponseFrameType::kStatus;
+      if (rng.Index(2) == 0) {
+        rogue.code = StatusCode::kOk;
+      } else {
+        rogue.code = StatusCode::kDeadlineExceeded;
+        rogue.message = "rogue";
+      }
+      frames.insert(frames.begin() + rng.Index(frames.size() - 1),
+                    EncodeResponseFrame(rogue));
+      break;
+    }
+    default:
+      break;
+  }
+
+  serve::ResponseReassembler reassembler;
+  Status error = Status::Ok();
+  for (const std::string& frame : frames) {
+    error = reassembler.Feed(frame);
+    if (!error.ok()) break;
+  }
+  if (!error.ok() && error.code() != StatusCode::kInvalidArgument) {
+    return Fail(iter, mutation, "stream rejected with wrong code", error);
+  }
+  switch (mutation) {
+    case Mutation::kStreamTruncate:
+      if (cut_at_frame_boundary && error.ok() && reassembler.done()) {
+        // Every frame up to the cut is individually valid, so no Feed
+        // may fail — but the missing terminal frame must be missed.
+        return Fail(iter, mutation,
+                    "frame-boundary truncation reported a complete stream",
+                    Status::Ok());
+      }
+      if (error.ok() && reassembler.done() &&
+          reassembler.response().code == StatusCode::kOk) {
+        const std::string& got = reassembler.response().body;
+        if (got.size() > body.size() ||
+            body.compare(0, got.size(), got) != 0) {
+          return Fail(iter, mutation,
+                      "truncated stream reassembled to a non-prefix",
+                      Status::Ok());
+        }
+      }
+      break;
+    case Mutation::kStreamRogueStatus:
+      if (error.ok()) {
+        return Fail(iter, mutation, "rogue status frame accepted silently",
+                    Status::Ok());
+      }
+      break;
+    default:
+      break;  // length-lie: typed-error-or-parse is all that must hold
+  }
+  return 0;
 }
 
 /// One live session against the shared server: the client endpoint plus
@@ -214,16 +460,8 @@ struct FuzzTally {
   uint64_t client_rejected = 0;
   uint64_t eof_after_send = 0;
   uint64_t sessions = 0;
+  uint64_t streams = 0;  // reassembler streams fuzzed in-process
 };
-
-int Fail(uint64_t iter, Mutation mutation, const char* what,
-         const Status& status) {
-  std::fprintf(stderr,
-               "protocol_fuzz: FAIL at iteration %llu (%s): %s: %s\n",
-               static_cast<unsigned long long>(iter), MutationName(mutation),
-               what, status.ToString().c_str());
-  return 1;
-}
 
 int Run(uint64_t seed, uint64_t iters, uint64_t deadline_ms, bool verbose) {
   // Watchdog: the whole run must finish before the deadline. A server
@@ -268,6 +506,11 @@ int Run(uint64_t seed, uint64_t iters, uint64_t deadline_ms, bool verbose) {
 
   for (uint64_t iter = 0; iter < iters && exit_code == 0; ++iter) {
     const Mutation mutation = PickMutation(rng);
+    if (IsStreamMutation(mutation)) {
+      exit_code = FuzzStream(mutation, rng, iter);
+      ++tally.streams;
+      continue;
+    }
     const std::string frame = Mutate(mutation, rng, pool_frames);
     if (verbose) {
       std::fprintf(stderr, "protocol_fuzz: iter=%llu %s len=%zu ",
@@ -300,6 +543,49 @@ int Run(uint64_t seed, uint64_t iters, uint64_t deadline_ms, bool verbose) {
     }
     ++tally.sent;
 
+    if (predicted.ok() && predicted->version >= serve::kProtocolVersionV2) {
+      // Decodable v2 request: the reply is a frame stream the server
+      // must keep grammatical end to end — header first, records, one
+      // terminal status — on a session that stays open.
+      serve::ResponseReassembler reassembler;
+      bool settled = false;
+      while (!reassembler.done()) {
+        Result<std::string> piece = session->client->RecvFrame();
+        if (!piece.ok()) {
+          if (piece.status().code() != StatusCode::kNotFound) {
+            exit_code =
+                Fail(iter, mutation, "recv failed mid-stream", piece.status());
+          } else {
+            // End of stream before the terminal frame: the session's
+            // send path failed. Reconnect, like the v1 eof case.
+            ++tally.eof_after_send;
+            session = std::make_unique<LiveSession>(server);
+            ++tally.sessions;
+          }
+          settled = true;
+          break;
+        }
+        const Status fed = reassembler.Feed(*piece);
+        if (!fed.ok()) {
+          exit_code = Fail(iter, mutation,
+                           "server stream rejected by reassembler", fed);
+          settled = true;
+          break;
+        }
+      }
+      if (settled) continue;
+      const AnalysisResponse& streamed = reassembler.response();
+      if (streamed.ok()) {
+        ++tally.ok_responses;
+        if (streamed.body.empty()) {
+          exit_code = Fail(iter, mutation, "empty success body", Status::Ok());
+        }
+      } else {
+        ++tally.typed_errors;
+      }
+      continue;
+    }
+
     Result<std::string> reply = session->client->RecvFrame();
     if (!reply.ok()) {
       // End of stream without a response frame: the session send path
@@ -314,33 +600,36 @@ int Run(uint64_t seed, uint64_t iters, uint64_t deadline_ms, bool verbose) {
       continue;
     }
 
-    const Result<AnalysisResponse> response = serve::DecodeResponse(*reply);
-    if (!response.ok()) {
-      // The server's response bytes must always decode — a malformed
-      // *response* is a server bug regardless of what we sent.
-      exit_code =
-          Fail(iter, mutation, "undecodable response", response.status());
-      break;
-    }
-    if (predicted.ok()) {
-      // Valid request: the response carries whatever typed code the
-      // analysis produced and the session must stay open for the next
-      // frame. kOk responses must carry the rendered analysis.
-      if (response->ok()) {
-        ++tally.ok_responses;
-        if (response->body.empty()) {
-          exit_code = Fail(iter, mutation, "empty success body", Status::Ok());
+    if (!predicted.ok()) {
+      // Malformed frame: the typed error must mirror the decoder's own
+      // verdict — as a lone v2 status frame when the version byte
+      // claimed v2, as a v1 error response otherwise — and the session
+      // drops the connection: the next recv must be a clean end of
+      // stream, then we reconnect.
+      ++tally.typed_errors;
+      StatusCode replied;
+      if (!frame.empty() &&
+          static_cast<uint8_t>(frame[0]) == serve::kProtocolVersionV2) {
+        serve::ResponseReassembler reassembler;
+        const Status fed = reassembler.Feed(*reply);
+        if (!fed.ok() || !reassembler.done()) {
+          exit_code = Fail(iter, mutation,
+                           "bad v2 frame not answered by a lone status frame",
+                           fed.ok() ? Status::Ok() : fed);
           break;
         }
+        replied = reassembler.response().code;
       } else {
-        ++tally.typed_errors;
+        const Result<AnalysisResponse> response =
+            serve::DecodeResponse(*reply);
+        if (!response.ok()) {
+          exit_code =
+              Fail(iter, mutation, "undecodable response", response.status());
+          break;
+        }
+        replied = response->code;
       }
-    } else {
-      // Malformed frame: the typed error must mirror the decoder's own
-      // verdict, and the session drops the connection — the next recv
-      // must be a clean end of stream, then we reconnect.
-      ++tally.typed_errors;
-      if (response->code != predicted.status().code()) {
+      if (replied != predicted.status().code()) {
         exit_code = Fail(iter, mutation, "wrong error code for bad frame",
                          predicted.status());
         break;
@@ -353,6 +642,28 @@ int Run(uint64_t seed, uint64_t iters, uint64_t deadline_ms, bool verbose) {
       }
       session = std::make_unique<LiveSession>(server);
       ++tally.sessions;
+      continue;
+    }
+
+    // Valid v1 request: the single response carries whatever typed code
+    // the analysis produced and the session must stay open for the next
+    // frame. kOk responses must carry the rendered analysis.
+    const Result<AnalysisResponse> response = serve::DecodeResponse(*reply);
+    if (!response.ok()) {
+      // The server's response bytes must always decode — a malformed
+      // *response* is a server bug regardless of what we sent.
+      exit_code =
+          Fail(iter, mutation, "undecodable response", response.status());
+      break;
+    }
+    if (response->ok()) {
+      ++tally.ok_responses;
+      if (response->body.empty()) {
+        exit_code = Fail(iter, mutation, "empty success body", Status::Ok());
+        break;
+      }
+    } else {
+      ++tally.typed_errors;
     }
     if (verbose && (iter + 1) % 1000 == 0) {
       std::fprintf(stderr, "protocol_fuzz: %llu/%llu iterations\n",
@@ -370,7 +681,7 @@ int Run(uint64_t seed, uint64_t iters, uint64_t deadline_ms, bool verbose) {
     std::printf(
         "protocol_fuzz: PASS seed=%llu iters=%llu sent=%llu ok=%llu "
         "typed_errors=%llu client_rejected=%llu eof_after_send=%llu "
-        "sessions=%llu\n",
+        "sessions=%llu streams=%llu\n",
         static_cast<unsigned long long>(seed),
         static_cast<unsigned long long>(iters),
         static_cast<unsigned long long>(tally.sent),
@@ -378,7 +689,8 @@ int Run(uint64_t seed, uint64_t iters, uint64_t deadline_ms, bool verbose) {
         static_cast<unsigned long long>(tally.typed_errors),
         static_cast<unsigned long long>(tally.client_rejected),
         static_cast<unsigned long long>(tally.eof_after_send),
-        static_cast<unsigned long long>(tally.sessions));
+        static_cast<unsigned long long>(tally.sessions),
+        static_cast<unsigned long long>(tally.streams));
   }
   return exit_code;
 }

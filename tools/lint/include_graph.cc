@@ -11,12 +11,17 @@
 /// R7: include-graph layering. Two properties, both over `src/`-classified
 /// files only (bench/tests/tools may include whatever they test):
 ///
-///  1. Module edges. Every quoted `#include "module/file.h"` whose first
-///     path component is another module must be sanctioned: either listed
-///     in the including module's [layers] entry, covered by a documented
+///  1. Module edges. Every quoted `#include "module/file.h"` that crosses
+///     a module boundary must be sanctioned: either listed in the
+///     including module's [layers] entry, covered by a documented
 ///     [[exception]], or suppressed on the include line with
-///     allow(R7, ...). Includes of bench/tests/tools from library code and
-///     includes of modules the manifest has never heard of are findings.
+///     allow(R7, ...). A file's module is the longest directory prefix
+///     the manifest declares — "runtime/sink/stages.h" belongs to the
+///     nested module "runtime/sink" when that entry exists, to "runtime"
+///     otherwise — so a subdirectory can be carved into its own layer
+///     without renaming files. Includes of bench/tests/tools from library
+///     code and includes of modules the manifest has never heard of are
+///     findings.
 ///
 ///  2. File-level cycles. The include graph over the scanned src files must
 ///     be acyclic. Cycles are reported once per strongly connected
@@ -35,10 +40,27 @@ using internal::Suppressions;
 struct SrcNode {
   const SourceFile* file = nullptr;
   std::string rel;     // module-relative path, e.g. "core/oracle.h"
-  std::string module;  // first component of rel
+  std::string module;  // longest manifest-declared prefix of rel
   LexedFile lexed;
   Suppressions sup;
 };
+
+/// Resolves a split path to its module: the longest directory prefix the
+/// manifest declares ("runtime/sink/stages.h" is module "runtime/sink"
+/// when that entry exists, module "runtime" otherwise). Falls back to the
+/// first component when no prefix is declared, so undeclared modules
+/// still get named in findings.
+std::string ModuleFor(const std::vector<std::string>& parts,
+                      const LayerManifest& manifest) {
+  std::string prefix;
+  std::string best;
+  for (size_t i = 0; i + 1 < parts.size(); ++i) {  // last part is the file
+    if (!prefix.empty()) prefix += '/';
+    prefix += parts[i];
+    if (manifest.allowed.count(prefix)) best = prefix;
+  }
+  return best.empty() ? parts[0] : best;
+}
 
 std::string JoinSorted(const std::set<std::string>& items) {
   std::string out;
@@ -168,7 +190,7 @@ std::vector<Finding> CheckIncludeGraph(const std::vector<SourceFile>& files,
     SrcNode node;
     node.file = &file;
     node.rel = pc.rel;
-    node.module = parts[0];
+    node.module = ModuleFor(parts, manifest);
     node.lexed = Lex(file.content);
     node.sup = internal::CollectSuppressions(file.path, node.lexed.comments);
     nodes.push_back(std::move(node));
@@ -188,7 +210,7 @@ std::vector<Finding> CheckIncludeGraph(const std::vector<SourceFile>& files,
       if (inc.angled) continue;  // system headers are outside the layer map
       const std::vector<std::string> inc_parts = SplitPath(inc.path);
       if (inc_parts.size() < 2) continue;  // same-directory include
-      const std::string& target = inc_parts[0];
+      const std::string target = ModuleFor(inc_parts, manifest);
 
       // File-level edge for the cycle check, whatever the manifest says.
       const auto rel_it = index_of_rel.find(inc.path);
@@ -198,7 +220,8 @@ std::vector<Finding> CheckIncludeGraph(const std::vector<SourceFile>& files,
 
       if (target == node.module) continue;  // intra-module: always allowed
 
-      if (target == "bench" || target == "tests" || target == "tools") {
+      if (inc_parts[0] == "bench" || inc_parts[0] == "tests" ||
+          inc_parts[0] == "tools") {
         findings.push_back(
             {node.file->path, inc.line, inc.col, Rule::kLayering,
              "library code includes \"" + inc.path + "\" (R7): src/" +

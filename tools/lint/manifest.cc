@@ -70,8 +70,20 @@ bool ParseStringArray(std::string_view text, std::vector<std::string>* out) {
   return true;
 }
 
-std::string ModuleOf(const std::string& spec) {
-  const size_t slash = spec.find('/');
+/// Module an exception's from/to names: the spec itself when it is a
+/// declared module, else the longest declared directory prefix (nested
+/// modules like "runtime/sink"), else the first path component.
+std::string ModuleOf(const LayerManifest& manifest, const std::string& spec) {
+  if (manifest.allowed.count(spec)) return spec;
+  std::string best;
+  size_t slash = spec.find('/');
+  while (slash != std::string::npos) {
+    const std::string prefix = spec.substr(0, slash);
+    if (manifest.allowed.count(prefix)) best = prefix;
+    slash = spec.find('/', slash + 1);
+  }
+  if (!best.empty()) return best;
+  slash = spec.find('/');
   return slash == std::string::npos ? spec : spec.substr(0, slash);
 }
 
@@ -234,14 +246,14 @@ bool ParseLayerManifest(std::string_view text, LayerManifest* out,
                ") has no why; an undocumented exception is just a hole";
       return false;
     }
-    if (!out->allowed.count(ModuleOf(exc.from))) {
+    if (!out->allowed.count(ModuleOf(*out, exc.from))) {
       *error = "layers.toml: " + label + " names undeclared module '" +
-               ModuleOf(exc.from) + "'";
+               ModuleOf(*out, exc.from) + "'";
       return false;
     }
-    if (!out->allowed.count(ModuleOf(exc.to))) {
+    if (!out->allowed.count(ModuleOf(*out, exc.to))) {
       *error = "layers.toml: " + label + " names undeclared module '" +
-               ModuleOf(exc.to) + "'";
+               ModuleOf(*out, exc.to) + "'";
       return false;
     }
   }
